@@ -1,0 +1,80 @@
+// Prediction-horizon ablation (sections 4.1 / 5.2): end-to-end QoE and
+// solver work as the horizon K grows. The paper's theory says performance
+// approaches optimal exponentially fast in K (so small K suffices) while
+// prediction accuracy decays with lookahead (so large K is wasted); this
+// bench shows both effects in the full simulator.
+#include <memory>
+
+#include "bench_common.hpp"
+
+namespace soda {
+namespace {
+
+void Run() {
+  const std::uint64_t seed = bench::kDefaultSeed;
+  bench::PrintHeader("Ablation | prediction horizon K", seed);
+
+  Rng rng(seed);
+  std::vector<net::ThroughputTrace> sessions;
+  for (const auto kind : {net::DatasetKind::k5G, net::DatasetKind::k4G}) {
+    for (auto& s :
+         net::DatasetEmulator(kind).MakeSessions(bench::Scaled(20), rng)) {
+      sessions.push_back(std::move(s));
+    }
+  }
+  const media::BitrateLadder ladder =
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2);
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const qoe::EvalConfig config = bench::LiveEvalConfig(ladder);
+  std::printf("corpus: %zu mobile sessions, ladder %s, EMA predictor\n",
+              sessions.size(), ladder.ToString().c_str());
+
+  ConsoleTable table({"K", "QoE", "utility", "rebuf ratio", "switch rate",
+                      "sequences/decision"});
+  for (const int k : {1, 2, 3, 4, 5}) {
+    long long sequences = 0;
+    const qoe::EvalResult result = qoe::EvaluateController(
+        sessions,
+        [&] {
+          core::SodaConfig soda_config;
+          soda_config.horizon = k;
+          return abr::ControllerPtr(
+              std::make_unique<core::SodaController>(soda_config));
+        },
+        bench::EmaFactory(), video, config);
+    // Sample the solver work at a representative decision.
+    core::SodaConfig probe_config;
+    probe_config.horizon = k;
+    core::SodaController probe(probe_config);
+    predict::EmaPredictor predictor;
+    abr::Context context;
+    context.buffer_s = 10.0;
+    context.prev_rung = 2;
+    context.max_buffer_s = 20.0;
+    context.video = &video;
+    context.predictor = &predictor;
+    (void)probe.ChooseRung(context);
+    sequences = probe.LastSequencesEvaluated();
+
+    table.AddRow({std::to_string(k), bench::Cell(result.aggregate.qoe, 3),
+                  bench::Cell(result.aggregate.utility, 3),
+                  bench::Cell(result.aggregate.rebuffer_ratio, 4),
+                  bench::Cell(result.aggregate.switch_rate, 3),
+                  std::to_string(sequences)});
+  }
+  table.Print();
+
+  std::printf("\nexpected shape: most of the QoE is already captured by\n"
+              "K=2-3 and the curve flattens (exponential decay of the gap,\n"
+              "Theorem 4.1) while solver work grows polynomially; K=5 at\n"
+              "2 s segments is the paper's sweet spot under the 10 s\n"
+              "prediction-validity limit.\n");
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Shared setup for the figure/table reproduction benches: the standard
+// controller roster, dataset construction, evaluation plumbing and
+// console reporting. Every bench prints its configuration (including the
+// seed) so runs are exactly reproducible.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/bola.hpp"
+#include "abr/dynamic.hpp"
+#include "abr/hyb.hpp"
+#include "abr/mpc.hpp"
+#include "abr/production_baseline.hpp"
+#include "abr/rl_like.hpp"
+#include "abr/throughput_rule.hpp"
+#include "core/soda_controller.hpp"
+#include "media/quality.hpp"
+#include "net/dataset.hpp"
+#include "predict/ema.hpp"
+#include "predict/oracle.hpp"
+#include "predict/robust_discount.hpp"
+#include "predict/sliding_window.hpp"
+#include "qoe/eval.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+namespace soda::bench {
+
+inline constexpr std::uint64_t kDefaultSeed = 20240804;  // SIGCOMM '24 dates
+
+// Session counts are scaled down from the paper's 230k+ sessions to keep
+// each bench interactive; set SODA_BENCH_SCALE=N (default 1) to multiply.
+inline std::size_t Scaled(std::size_t base) {
+  const char* scale = std::getenv("SODA_BENCH_SCALE");
+  if (scale == nullptr) return base;
+  const long factor = std::strtol(scale, nullptr, 10);
+  return factor > 0 ? base * static_cast<std::size_t>(factor) : base;
+}
+
+struct NamedController {
+  std::string name;
+  qoe::ControllerFactory factory;
+};
+
+// The numerical-simulation roster of section 6.1.2 plus SODA.
+inline std::vector<NamedController> SimulationRoster() {
+  return {
+      {"SODA", [] { return abr::ControllerPtr(std::make_unique<core::SodaController>()); }},
+      {"HYB", [] { return abr::ControllerPtr(std::make_unique<abr::HybController>()); }},
+      {"BOLA", [] { return abr::ControllerPtr(std::make_unique<abr::BolaController>()); }},
+      {"Dynamic", [] { return abr::ControllerPtr(std::make_unique<abr::DynamicController>()); }},
+      {"MPC", [] { return abr::ControllerPtr(std::make_unique<abr::MpcController>()); }},
+  };
+}
+
+// dash.js's default EMA predictor (the simulation default of section 6.1.1).
+inline qoe::TracePredictorFactory EmaFactory() {
+  return [](const net::ThroughputTrace&) {
+    return predict::PredictorPtr(std::make_unique<predict::EmaPredictor>());
+  };
+}
+
+// Standard live-streaming evaluation config (20 s buffer, log utility).
+inline qoe::EvalConfig LiveEvalConfig(const media::BitrateLadder& ladder,
+                                      double max_buffer_s = 20.0) {
+  qoe::EvalConfig config;
+  config.sim.max_buffer_s = max_buffer_s;
+  config.sim.live = true;
+  config.sim.live_latency_s = max_buffer_s;
+  config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
+    return u.At(mbps);
+  };
+  return config;
+}
+
+inline std::string Cell(const RunningStats& stats, int decimals) {
+  return FormatWithCi(stats.Mean(), stats.CiHalfWidth95(), decimals);
+}
+
+inline void PrintHeader(const std::string& title, std::uint64_t seed) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("seed=%llu\n", static_cast<unsigned long long>(seed));
+  std::printf("============================================================\n");
+}
+
+}  // namespace soda::bench

@@ -1,0 +1,102 @@
+// Fig. 1 reproduction: viewing percentage vs bitrate switching rate.
+//
+// The paper's figure is production data from a live sports event. Here we
+// regenerate the cohort synthetically: sessions are simulated across a
+// sweep of network volatilities with a deliberately switch-happy rule (so
+// the cohort spans a wide range of switching rates), filtered like the
+// paper's plot (no rebuffering, HD+ quality, short-lived sessions), and
+// viewing fractions drawn from the calibrated engagement model. The
+// deliverables are the negative best-fit slope and the "<10% watched above
+// 20% switching" anchor.
+#include <algorithm>
+#include <memory>
+
+#include "abr/hyb.hpp"
+#include "bench_common.hpp"
+#include "net/generators.hpp"
+#include "sim/session.hpp"
+#include "user/engagement.hpp"
+#include "util/stats.hpp"
+
+namespace soda {
+namespace {
+
+void Run() {
+  const std::uint64_t seed = bench::kDefaultSeed;
+  bench::PrintHeader(
+      "Fig. 1 | Stream viewing percentage vs bitrate switching rate", seed);
+
+  Rng rng(seed);
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const media::NormalizedLogUtility utility(ladder);
+  const user::EngagementModel engagement;
+
+  std::vector<double> switch_rates;
+  std::vector<double> watch_fractions;
+  const std::size_t sessions = bench::Scaled(2000);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    // Sweep volatility so the cohort covers a wide switching-rate range.
+    net::RandomWalkConfig walk;
+    walk.mean_mbps = rng.Uniform(8.0, 80.0);
+    walk.stationary_rel_std = rng.Uniform(0.1, 1.2);
+    walk.reversion_rate = 0.15;
+    walk.duration_s = 600.0;
+    const net::ThroughputTrace trace = net::RandomWalkTrace(walk, rng);
+
+    abr::HybController controller;  // switch-happy: spans the x axis
+    predict::EmaPredictor predictor;
+    sim::SimConfig sim_config;
+    sim_config.live = true;
+    sim_config.live_latency_s = 20.0;
+    const sim::SessionLog log =
+        sim::RunSession(trace, controller, predictor, video, sim_config);
+    const qoe::QoeMetrics metrics = qoe::ComputeQoe(
+        log, [&](double mbps) { return utility.At(mbps); });
+
+    // Paper cohort filter: no rebuffering, at least HD quality.
+    if (metrics.rebuffer_ratio > 1e-6) continue;
+    if (log.MeanBitrateMbps() < 4.0) continue;
+
+    const double fraction = engagement.SampleWatchFraction(metrics, rng);
+    // Short-lived sessions only (< 25% of the stream watched).
+    if (fraction >= 0.25) continue;
+    switch_rates.push_back(metrics.switch_rate);
+    watch_fractions.push_back(fraction);
+  }
+
+  const LinearFit fit = FitLine(switch_rates, watch_fractions);
+  PlotOptions options;
+  options.width = 70;
+  options.height = 14;
+  options.x_label = "switching rate";
+  options.y_label = "fraction of stream watched";
+  std::printf("%s", RenderScatter(switch_rates, watch_fractions, options).c_str());
+
+  std::printf("\ncohort sessions: %zu\n", switch_rates.size());
+  std::printf("best fit: watch%% = %.1f%% %+.1f%% per 10%% switching (R^2=%.2f)\n",
+              fit.intercept * 100.0, fit.slope * 10.0, fit.r2);
+  std::printf("fit at 20%% switching rate: %.1f%% of stream watched "
+              "(paper: < 10%%)\n",
+              fit.At(0.20) * 100.0);
+  std::printf("correlation(switching, watching): %.2f (paper: strongly "
+              "negative)\n",
+              PearsonCorrelation(switch_rates, watch_fractions));
+  RunningStats above_20;
+  for (std::size_t i = 0; i < switch_rates.size(); ++i) {
+    if (switch_rates[i] > 0.20) above_20.Add(watch_fractions[i]);
+  }
+  if (!above_20.Empty()) {
+    std::printf("mean watch%% among sessions with > 20%% switching: %.1f%% "
+                "over %zu sessions (paper: < 10%%)\n",
+                above_20.Mean() * 100.0, above_20.Count());
+  }
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 2 reproduction: BOLA's bitrate decision boundaries for on-demand
+// (120 s buffer) vs live (20 s buffer) streaming. The figure's point: with
+// a long buffer the boundaries are spaced tens of seconds apart, while the
+// live configuration compresses them into 1-3 s of each other, so tiny
+// buffer fluctuations flip the decision.
+#include "abr/bola.hpp"
+#include "bench_common.hpp"
+
+namespace soda {
+namespace {
+
+void PrintBoundaries(const std::string& label, const abr::BolaConfig& config,
+                     const media::BitrateLadder& ladder) {
+  const abr::BolaController bola(config);
+  const auto thresholds = bola.DecisionThresholds(ladder);
+
+  std::printf("\n%s (buffer_low=%.0fs, buffer_target=%.0fs)\n", label.c_str(),
+              config.buffer_low_s, config.buffer_target_s);
+  ConsoleTable table({"switch", "buffer level (s)", "gap to previous (s)"});
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const std::string transition =
+        FormatDouble(ladder.BitrateMbps(static_cast<int>(i)), 1) + " -> " +
+        FormatDouble(ladder.BitrateMbps(static_cast<int>(i) + 1), 1) + " Mb/s";
+    const double gap = i == 0 ? 0.0 : thresholds[i] - thresholds[i - 1];
+    table.AddRow({transition, FormatDouble(thresholds[i], 2),
+                  i == 0 ? "-" : FormatDouble(gap, 2)});
+  }
+  table.Print();
+
+  double min_gap = 1e18;
+  for (std::size_t i = 1; i < thresholds.size(); ++i) {
+    min_gap = std::min(min_gap, thresholds[i] - thresholds[i - 1]);
+  }
+  std::printf("smallest boundary gap: %.2f s\n", min_gap);
+}
+
+void Run() {
+  bench::PrintHeader("Fig. 2 | BOLA decision boundaries: on-demand vs live",
+                     bench::kDefaultSeed);
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  std::printf("ladder: %s\n", ladder.ToString().c_str());
+
+  // On-demand: 120 s buffer (dash.js stable buffer config).
+  PrintBoundaries("On-demand (120 s buffer)",
+                  {.buffer_low_s = 10.0, .buffer_target_s = 110.0}, ladder);
+  // Live: 20 s buffer.
+  PrintBoundaries("Live (20 s buffer)",
+                  {.buffer_low_s = 4.0, .buffer_target_s = 18.0}, ladder);
+
+  std::printf("\nTakeaway (paper): on-demand boundaries sit up to ~20 s apart;"
+              "\nwith a live 20 s buffer they compress to 1-3 s, so small\n"
+              "buffer deviations cause frequent switching.\n");
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Fig. 3 reproduction: a RobustMPC session that intentionally rebuffers
+// instead of lowering the bitrate.
+//
+// Setup mirrors the paper's: ample throughput long enough for the
+// controller to park on the top rung, then a drop to just below the
+// second-highest sustainable bitrate. With RobustMPC's switching-averse
+// weighting, tolerating repeated small stalls maximizes its objective, so
+// the session shows a sawtooth of rebuffer events at the top bitrate. The
+// bench also sweeps the rebuffering penalty (the paper: even a 20x penalty
+// only shortens the tolerable stalls, it does not eliminate them) and
+// contrasts SODA on the same trace.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "net/generators.hpp"
+#include "sim/session.hpp"
+
+namespace soda {
+namespace {
+
+struct SessionSummary {
+  int rebuffer_events = 0;
+  double rebuffer_s = 0.0;
+  int switches = 0;
+  double mean_bitrate = 0.0;
+  sim::SessionLog log;
+};
+
+SessionSummary RunOne(abr::Controller& controller,
+                      const net::ThroughputTrace& trace,
+                      const media::VideoModel& video) {
+  predict::RobustDiscountPredictor predictor(
+      std::make_unique<predict::EmaPredictor>(), 5);
+  sim::SimConfig config;
+  config.max_buffer_s = 20.0;
+  SessionSummary out;
+  out.log = sim::RunSession(trace, controller, predictor, video, config);
+  for (const auto& segment : out.log.segments) {
+    if (segment.rebuffer_s > 1e-9) ++out.rebuffer_events;
+  }
+  out.rebuffer_s = out.log.total_rebuffer_s;
+  out.switches = out.log.SwitchCount();
+  out.mean_bitrate = out.log.MeanBitrateMbps();
+  return out;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Fig. 3 | RobustMPC rebuffers rather than lower the bitrate",
+      bench::kDefaultSeed);
+
+  // Pensieve/MPC evaluation ladder and a trace that drops from ample to
+  // just below the second-highest sustainable bitrate at t=60 s.
+  const media::BitrateLadder ladder({0.3, 0.75, 1.2, 1.85, 2.85, 4.3});
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const net::ThroughputTrace trace =
+      net::RobustMpcPathologyTrace(/*high=*/8.0, /*constrained=*/2.6,
+                                   /*good_s=*/60.0, /*duration_s=*/260.0);
+  std::printf("ladder: %s\n", ladder.ToString().c_str());
+  std::printf("trace: 8.0 Mb/s for 60 s, then 2.6 Mb/s (just below the "
+              "2.85 Mb/s rung)\n");
+
+  // RobustMPC with the original paper's weighting translated to the
+  // normalized-utility scale: the rebuffering term is small enough that a
+  // long buffer hides stalls from the planning horizon, which is exactly
+  // the regime where tolerating rebuffers beats switching down.
+  abr::MpcConfig robust;
+  robust.name = "RobustMPC";
+  robust.switch_penalty = 1.0;
+  robust.rebuffer_penalty_per_s = 0.12;
+  abr::MpcController robust_mpc(robust);
+  const SessionSummary pathological = RunOne(robust_mpc, trace, video);
+
+  // Time series of the pathological session.
+  std::vector<double> times;
+  std::vector<double> buffers;
+  std::vector<double> bitrates;
+  for (const auto& s : pathological.log.segments) {
+    times.push_back(s.request_s);
+    buffers.push_back(s.buffer_after_s);
+    bitrates.push_back(s.bitrate_mbps);
+  }
+  PlotOptions options;
+  options.width = 72;
+  options.height = 10;
+  options.x_label = "time (s)";
+  std::printf("\nBuffer level over time (RobustMPC):\n%s",
+              RenderLinePlot(times, {buffers}, {"buffer (s)"}, options).c_str());
+  std::printf("\nBitrate over time (RobustMPC):\n%s",
+              RenderLinePlot(times, {bitrates}, {"bitrate (Mb/s)"}, options)
+                  .c_str());
+
+  // Penalty sweep + SODA comparison.
+  ConsoleTable table({"controller", "rebuffer events", "rebuffer time (s)",
+                      "switches", "mean bitrate (Mb/s)"});
+  auto add_row = [&](const std::string& name, const SessionSummary& s) {
+    table.AddRow({name, std::to_string(s.rebuffer_events),
+                  FormatDouble(s.rebuffer_s, 1), std::to_string(s.switches),
+                  FormatDouble(s.mean_bitrate, 2)});
+  };
+  add_row("RobustMPC (1x rebuf penalty)", pathological);
+  for (const double multiplier : {5.0, 20.0}) {
+    abr::MpcConfig config = robust;
+    config.rebuffer_penalty_per_s *= multiplier;
+    config.name = "RobustMPC";
+    abr::MpcController mpc(config);
+    add_row("RobustMPC (" + FormatDouble(multiplier, 0) + "x rebuf penalty)",
+            RunOne(mpc, trace, video));
+  }
+  core::SodaController soda;
+  add_row("SODA", RunOne(soda, trace, video));
+  table.Print();
+
+  std::printf("\nTakeaway (paper): RobustMPC racks up dozens of rebuffer\n"
+              "events while parked on the top bitrate; raising the penalty\n"
+              "shortens the tolerable stalls but does not eliminate them\n"
+              "until quality is given up entirely. SODA steps down promptly\n"
+              "and plays on without stalling.\n");
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 4 reproduction: why the time-based formulation analyzes cleanly.
+//
+// Replays the paper's worked example — the throughput function w(t) = 4, 1,
+// 2, 2 Mb/s over four 1-second intervals — and shows that the time-based
+// throughput sequence is independent of the controller's bitrate choices,
+// while the segment-based attribution changes with the chosen bitrates
+// (the causal bias of section 3.1 that makes segment-based analysis hard).
+#include "bench_common.hpp"
+#include "net/generators.hpp"
+
+namespace soda {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Fig. 4 | Time-based vs segment-based throughput "
+                     "attribution",
+                     bench::kDefaultSeed);
+
+  const net::ThroughputTrace trace = net::StepTrace({4.0, 1.0, 2.0, 2.0}, 1.0);
+  std::printf("throughput function: 4, 1, 2, 2 Mb/s over 1 s intervals\n");
+
+  // Time-based attribution: fixed clock windows, independent of bitrate.
+  std::printf("\ntime-based sequence (dt = 1 s): w1=%.1f w2=%.1f w3=%.1f "
+              "w4=%.1f  — identical for every controller\n",
+              trace.AverageMbps(0.0, 1.0), trace.AverageMbps(1.0, 2.0),
+              trace.AverageMbps(2.0, 3.0), trace.AverageMbps(3.0, 4.0));
+
+  // Segment-based attribution: per-download averages depend on the
+  // bitrates chosen (segment length L = 1 s of video).
+  auto segment_sequence = [&](const std::vector<double>& bitrates) {
+    std::vector<double> attributed;
+    double t = 0.0;
+    for (const double r : bitrates) {
+      const double size_mb = r * 1.0;  // 1 s of video at bitrate r
+      const double dl = trace.TimeToDownload(t, size_mb);
+      attributed.push_back(size_mb / dl);
+      t += dl;
+    }
+    return attributed;
+  };
+
+  ConsoleTable table({"controller's bitrate choices", "segment-based w1",
+                      "segment-based w2"});
+  for (const auto& choices :
+       {std::vector<double>{2.0, 2.5}, std::vector<double>{1.0, 1.0},
+        std::vector<double>{4.0, 2.0}}) {
+    const auto attributed = segment_sequence(choices);
+    table.AddRow({FormatDouble(choices[0], 1) + ", " +
+                      FormatDouble(choices[1], 1) + " Mb/s",
+                  FormatDouble(attributed[0], 2),
+                  FormatDouble(attributed[1], 2)});
+  }
+  table.Print();
+
+  std::printf("\npaper's example: choosing r1=2, r2=2.5 makes the\n"
+              "segment-based sequence (4, 2.5) — the attribution is\n"
+              "causally biased by the bitrate decisions, which is what the\n"
+              "time-based formulation (always 4, 1, 2, 2) avoids and why\n"
+              "SODA's theory works on clock-time intervals (section 3.1).\n");
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

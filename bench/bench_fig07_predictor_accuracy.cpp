@@ -1,0 +1,81 @@
+// Fig. 7 reproduction: accuracy of the two dash.js throughput predictors
+// (moving average, EMA) as a function of how far into the future they
+// predict. The paper reports mean correlation around 50% in the immediate
+// future decaying to ~15% far out, motivating SODA's <= 10 s horizon.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "predict/moving_average.hpp"
+#include "predict/profiler.hpp"
+
+namespace soda {
+namespace {
+
+void Run() {
+  const std::uint64_t seed = bench::kDefaultSeed;
+  bench::PrintHeader("Fig. 7 | Predictor correlation vs prediction horizon",
+                     seed);
+
+  // Mixed corpus across the three emulated datasets.
+  Rng rng(seed);
+  std::vector<net::ThroughputTrace> traces;
+  for (const auto kind : {net::DatasetKind::kPuffer, net::DatasetKind::k5G,
+                          net::DatasetKind::k4G}) {
+    const net::DatasetEmulator emulator(kind);
+    for (auto& session : emulator.MakeSessions(bench::Scaled(25), rng)) {
+      traces.push_back(std::move(session));
+    }
+  }
+  std::printf("corpus: %zu ten-minute sessions (Puffer/5G/4G emulators)\n",
+              traces.size());
+
+  const int max_horizon = 30;  // 30 seconds of lookahead at 1 s intervals
+  const auto ma_profile = predict::ProfilePredictor(
+      [] {
+        return predict::PredictorPtr(
+            std::make_unique<predict::MovingAveragePredictor>(5));
+      },
+      traces, 1.0, max_horizon);
+  const auto ema_profile = predict::ProfilePredictor(
+      [] {
+        return predict::PredictorPtr(std::make_unique<predict::EmaPredictor>());
+      },
+      traces, 1.0, max_horizon);
+
+  PlotOptions options;
+  options.width = 70;
+  options.height = 14;
+  options.x_label = "seconds into the future";
+  options.y_label = "correlation";
+  std::printf("%s", RenderLinePlot(ma_profile.horizon_s,
+                                   {ma_profile.correlation,
+                                    ema_profile.correlation},
+                                   {"moving average", "EMA"}, options)
+                        .c_str());
+
+  ConsoleTable table({"lookahead (s)", "MA correlation", "EMA correlation",
+                      "EMA median |rel err|"});
+  for (const int h : {0, 2, 5, 9, 14, 19, 29}) {
+    const auto i = static_cast<std::size_t>(h);
+    table.AddRow({FormatDouble(ma_profile.horizon_s[i], 1),
+                  FormatDouble(ma_profile.correlation[i], 3),
+                  FormatDouble(ema_profile.correlation[i], 3),
+                  FormatDouble(ema_profile.median_abs_rel_error[i], 3)});
+  }
+  table.Print();
+
+  std::printf("\npaper: ~50%% mean correlation in the immediate future, "
+              "~15%% far out;\nthis motivates limiting SODA's prediction "
+              "horizon to <= 10 s (section 5.2).\n");
+  std::printf("EMA one-step median relative error: %.1f%% (the ~30%% "
+              "reference noise level of section 6.1.4)\n",
+              ema_profile.median_abs_rel_error.front() * 100.0);
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

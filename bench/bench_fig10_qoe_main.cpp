@@ -1,0 +1,109 @@
+// Fig. 10 reproduction: the headline numerical-simulation comparison.
+// Mean QoE score, utility, rebuffering ratio and switching rate for SODA
+// and the baseline controllers (HYB, BOLA, Dynamic, MPC) under each
+// network condition bucket: Puffer volatility quartiles Q1..Q4, 5G, 4G.
+// Setup per section 6.1: 20 s live buffer, YouTube HFR-4K ladder (top two
+// rungs dropped for the mobile datasets), dash.js EMA predictor, 2 s
+// segments, QoE weights beta=10, gamma=1.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "net/trace_stats.hpp"
+
+namespace soda {
+namespace {
+
+struct Bucket {
+  std::string name;
+  std::vector<net::ThroughputTrace> sessions;
+  std::vector<std::size_t> indices;
+  media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+};
+
+void Run() {
+  const std::uint64_t seed = bench::kDefaultSeed;
+  bench::PrintHeader("Fig. 10 | Main QoE comparison across network datasets",
+                     seed);
+
+  std::vector<Bucket> buckets;
+
+  // Puffer split into volatility quartiles (section 6.1.3).
+  {
+    Rng rng(seed);
+    const net::DatasetEmulator emulator(net::DatasetKind::kPuffer);
+    auto sessions = emulator.MakeSessions(bench::Scaled(120), rng);
+    const auto quartiles = net::VolatilityQuartiles(sessions);
+    for (int q = 0; q < 4; ++q) {
+      Bucket bucket;
+      bucket.name = "Puffer Q" + std::to_string(q + 1);
+      bucket.sessions = sessions;
+      bucket.indices = quartiles[static_cast<std::size_t>(q)];
+      buckets.push_back(std::move(bucket));
+    }
+  }
+  // Mobile datasets with the top two rungs removed (section 6.1.1).
+  for (const auto kind : {net::DatasetKind::k5G, net::DatasetKind::k4G}) {
+    Rng rng(seed + (kind == net::DatasetKind::k5G ? 1 : 2));
+    const net::DatasetEmulator emulator(kind);
+    Bucket bucket;
+    bucket.name = net::DatasetName(kind);
+    bucket.sessions = emulator.MakeSessions(bench::Scaled(50), rng);
+    bucket.indices.resize(bucket.sessions.size());
+    for (std::size_t i = 0; i < bucket.indices.size(); ++i) {
+      bucket.indices[i] = i;
+    }
+    bucket.ladder = media::YoutubeHfr4kLadder().WithoutTopRungs(2);
+    buckets.push_back(std::move(bucket));
+  }
+
+  const auto roster = bench::SimulationRoster();
+  for (const auto& bucket : buckets) {
+    const media::VideoModel video(bucket.ladder, {.segment_seconds = 2.0});
+    const qoe::EvalConfig config = bench::LiveEvalConfig(bucket.ladder);
+
+    std::printf("\n--- %s (%zu sessions, ladder %s)\n", bucket.name.c_str(),
+                bucket.indices.size(), bucket.ladder.ToString().c_str());
+    ConsoleTable table({"controller", "QoE", "utility", "rebuf ratio",
+                        "switch rate"});
+    double best_baseline_qoe = -1e18;
+    double soda_qoe = 0.0;
+    double soda_switch = 0.0;
+    double dynamic_switch = 0.0;
+    for (const auto& entry : roster) {
+      const qoe::EvalResult result = qoe::EvaluateControllerOn(
+          bucket.sessions, bucket.indices, entry.factory, bench::EmaFactory(),
+          video, config);
+      table.AddRow({entry.name, bench::Cell(result.aggregate.qoe, 3),
+                    bench::Cell(result.aggregate.utility, 3),
+                    bench::Cell(result.aggregate.rebuffer_ratio, 4),
+                    bench::Cell(result.aggregate.switch_rate, 3)});
+      if (entry.name == "SODA") {
+        soda_qoe = result.aggregate.qoe.Mean();
+        soda_switch = result.aggregate.switch_rate.Mean();
+      } else {
+        best_baseline_qoe =
+            std::max(best_baseline_qoe, result.aggregate.qoe.Mean());
+      }
+      if (entry.name == "Dynamic") {
+        dynamic_switch = result.aggregate.switch_rate.Mean();
+      }
+    }
+    table.Print();
+    std::printf("SODA QoE vs best baseline: %s | switching vs Dynamic: %s\n",
+                FormatPercent(soda_qoe / best_baseline_qoe - 1.0, 1).c_str(),
+                FormatPercent(soda_switch / dynamic_switch - 1.0, 1).c_str());
+  }
+
+  std::printf("\npaper: SODA has the highest mean QoE in every bucket\n"
+              "(+9.55%% to +27.8%% vs the best baseline across datasets) and\n"
+              "cuts switching by as much as 70.4%% vs Dynamic; QoE degrades\n"
+              "for every controller as volatility grows Q1 -> Q4.\n");
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Fig. 12 reproduction: the Puffer prototype evaluation. SSIM-based
+// utility, 15 s buffer cap (Puffer's setting), five-rendition ladder with
+// the top rung around 2 Mb/s, and challenging sessions whose mean
+// throughput sits below the top bitrate. Adds the two learning-based
+// baselines: Fugu-like (MPC control + low-error stochastic predictor) and
+// CausalSimRL-like (offline-trained tabular policy); see DESIGN.md
+// substitutions #3 and #4.
+#include <memory>
+
+#include "bench_common.hpp"
+
+namespace soda {
+namespace {
+
+void Run() {
+  const std::uint64_t seed = bench::kDefaultSeed;
+  bench::PrintHeader("Fig. 12 | Prototype (Puffer) evaluation with SSIM utility",
+                     seed);
+
+  // Challenging Puffer-like sessions: same volatility profile, mean scaled
+  // to sit below the top rendition bitrate (paper: subset with mean < 2
+  // Mb/s).
+  net::DatasetProfile profile = net::ProfileFor(net::DatasetKind::kPuffer);
+  profile.target_mean_mbps = 0.9;
+  profile.base_rel_std = 0.6;
+  profile.session_scale_rel_std = 0.5;
+  const net::DatasetEmulator emulator(profile);
+  Rng rng(seed);
+  const auto sessions = emulator.MakeSessions(bench::Scaled(60), rng);
+
+  const media::BitrateLadder ladder = media::PufferPrototypeLadder();
+  // CRF-encoded news clip: real VBR variability across segments.
+  const media::VideoModel video(
+      ladder, {.segment_seconds = 2.0, .vbr_amplitude = 0.35, .vbr_seed = 9});
+  const media::SsimModel ssim(0.99, ladder.MaxMbps());
+
+  qoe::EvalConfig config;
+  config.sim.max_buffer_s = 15.0;  // Puffer's cap
+  config.sim.live = true;
+  config.sim.live_latency_s = 15.0;
+  config.utility = [&ssim](double mbps) { return ssim.NormalizedAt(mbps); };
+
+  std::printf("ladder: %s, 15 s buffer, normalized SSIM utility\n",
+              ladder.ToString().c_str());
+  std::printf("sessions: %zu Puffer-like, mean throughput ~0.9 Mb/s\n",
+              sessions.size());
+
+  std::vector<bench::NamedController> roster = bench::SimulationRoster();
+  roster.push_back({"Fugu", [] {
+                      abr::MpcConfig config_fugu;
+                      config_fugu.name = "Fugu";
+                      // Fugu plans against its learned predictor's lower
+                      // quantile: mildly conservative.
+                      config_fugu.prediction_scale = 0.93;
+                      return abr::ControllerPtr(
+                          std::make_unique<abr::MpcController>(config_fugu));
+                    }});
+  roster.push_back({"CausalSimRL", [] {
+                      return abr::ControllerPtr(
+                          std::make_unique<abr::RlLikeController>());
+                    }});
+
+  ConsoleTable table({"controller", "QoE", "norm SSIM", "rebuf ratio",
+                      "switch rate"});
+  double soda_qoe = 0.0;
+  double fugu_qoe = 0.0;
+  double best_predictive = -1e18;
+  std::string best_predictive_name;
+  std::uint64_t fugu_counter = 0;
+  for (const auto& entry : roster) {
+    // Fugu gets its stochastic learned predictor (low-error oracle); all
+    // others use the dash.js EMA.
+    qoe::TracePredictorFactory predictor_factory;
+    if (entry.name == "Fugu") {
+      predictor_factory = [&](const net::ThroughputTrace& trace) {
+        predict::OracleConfig oracle;
+        oracle.noise_rel_std = 0.10;
+        oracle.seed = seed + 31 * ++fugu_counter;
+        return predict::PredictorPtr(
+            std::make_unique<predict::OraclePredictor>(trace, oracle));
+      };
+    } else {
+      predictor_factory = bench::EmaFactory();
+    }
+    const qoe::EvalResult result = qoe::EvaluateController(
+        sessions, entry.factory, predictor_factory, video, config);
+    table.AddRow({entry.name, bench::Cell(result.aggregate.qoe, 3),
+                  bench::Cell(result.aggregate.utility, 3),
+                  bench::Cell(result.aggregate.rebuffer_ratio, 4),
+                  bench::Cell(result.aggregate.switch_rate, 3)});
+    const double qoe_mean = result.aggregate.qoe.Mean();
+    if (entry.name == "SODA") {
+      soda_qoe = qoe_mean;
+    } else if (entry.name != "BOLA" && entry.name != "Dynamic" &&
+               qoe_mean > best_predictive) {
+      best_predictive = qoe_mean;
+      best_predictive_name = entry.name;
+    }
+    if (entry.name == "Fugu") fugu_qoe = qoe_mean;
+  }
+  table.Print();
+
+  std::printf("\nSODA QoE vs Fugu: %s | vs best predictive baseline (%s): %s\n"
+              "(paper: +30.4%% vs Fugu, the best baseline in its prototype)\n",
+              FormatPercent(soda_qoe / fugu_qoe - 1.0, 1).c_str(),
+              best_predictive_name.c_str(),
+              FormatPercent(soda_qoe / best_predictive - 1.0, 1).c_str());
+  std::printf("paper: SODA is the only controller with simultaneously low\n"
+              "rebuffering and low switching; Fugu/MPC rebuffer 104-230%%\n"
+              "more; CausalSimRL switches 86.3%% more.\n");
+  std::printf("known deviation (EXPERIMENTS.md): our idealized BOLA/Dynamic\n"
+              "score higher than their real Puffer ports did — Puffer's\n"
+              "BOLA-BASIC used degenerate SSIM utilities [Marx et al. 2020],\n"
+              "which this clean reimplementation does not replicate.\n");
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

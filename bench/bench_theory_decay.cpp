@@ -1,0 +1,113 @@
+// Fig. 6 / Theorem A.1 validation: exponentially decaying perturbations.
+//
+// (a) Two SODA rollouts started from different initial buffer levels
+//     converge toward each other; the per-step distance decays roughly
+//     geometrically (we fit rho).
+// (b) Perturbing the prediction for lookahead j moves the first committed
+//     action less and less as j grows.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "theory/constants.hpp"
+#include "theory/perturbation.hpp"
+
+namespace soda {
+namespace {
+
+void Run() {
+  const std::uint64_t seed = bench::kDefaultSeed;
+  bench::PrintHeader("Fig. 6 / Thm A.1 | Exponentially decaying perturbations",
+                     seed);
+
+  // Dense ladder approximates the theory's continuous action set.
+  std::vector<double> rungs;
+  for (int i = 0; i < 16; ++i) {
+    rungs.push_back(std::pow(60.0, i / 15.0));
+  }
+  const media::BitrateLadder ladder(std::move(rungs));
+  core::CostModelConfig model_config;
+  model_config.target_buffer_s = 12.0;
+  model_config.max_buffer_s = 20.0;
+  model_config.dt_s = 2.0;
+  model_config.weights.beta = 25.0;
+  model_config.weights.gamma = 50.0;
+  model_config.weights.kappa = 0.0;
+  const core::CostModel model(ladder, model_config);
+
+  std::printf("\n[a] trajectory convergence from buffers 4 s vs 18 s "
+              "(constant 15 Mb/s)\n");
+  const std::vector<double> bandwidth(60, 15.0);
+  const theory::DecayMeasurement decay =
+      theory::MeasureInitialStateDecay(model, bandwidth, 4.0, 18.0, 5);
+
+  std::vector<double> ts;
+  for (std::size_t t = 0; t < decay.distances.size(); ++t) {
+    ts.push_back(static_cast<double>(t));
+  }
+  PlotOptions options;
+  options.width = 64;
+  options.height = 12;
+  options.x_label = "interval";
+  options.y_label = "|x - x'| + |u - u'|";
+  std::printf("%s",
+              RenderLinePlot(ts, {decay.distances}, {"distance"}, options)
+                  .c_str());
+  ConsoleTable decay_table({"interval", "distance"});
+  for (const std::size_t t : {0ul, 2ul, 5ul, 10ul, 20ul, 40ul}) {
+    if (t < decay.distances.size()) {
+      decay_table.AddRow({std::to_string(t),
+                          FormatDouble(decay.distances[t], 4)});
+    }
+  }
+  decay_table.Print();
+  std::printf("fitted decay factor rho: %.3f (theorem: rho < 1)\n",
+              decay.fitted_rho);
+
+  std::printf("\n[b] first-action sensitivity to perturbing the prediction "
+              "for lookahead j (+30 Mb/s on one entry)\n");
+  const auto sensitivity = theory::MeasurePredictionSensitivity(
+      model, /*constant_mbps=*/10.0, /*buffer_s=*/10.0, /*prev_rung=*/7,
+      /*horizon=*/8, /*perturbation_mbps=*/30.0);
+  ConsoleTable sensitivity_table({"lookahead j", "|u1 - u1'| (1/Mbps)"});
+  for (std::size_t j = 0; j < sensitivity.size(); ++j) {
+    sensitivity_table.AddRow({std::to_string(j),
+                              FormatDouble(sensitivity[j], 5)});
+  }
+  sensitivity_table.Print();
+  std::printf("theorem: the impact of perturbing w_hat(j) on the first\n"
+              "action decays exponentially in j — far-future prediction\n"
+              "errors barely matter, which is why SODA tolerates simple\n"
+              "predictors.\n");
+
+  std::printf("\n[c] Theorem A.1 closed-form constants for this system\n");
+  theory::SystemParameters params;
+  params.omega_min_mbps = 5.0;
+  params.omega_max_mbps = 50.0;
+  params.r_min_mbps = 1.0;
+  params.r_max_mbps = 60.0;
+  params.x_max_s = 20.0;
+  params.epsilon = 0.2;
+  params.beta = 25.0;
+  params.gamma = 50.0;
+  const theory::DecayConstants constants =
+      theory::ComputeDecayConstants(params);
+  std::printf("Assumption A.1 slack delta = %.3f (%s)\n", constants.delta,
+              constants.assumption_holds ? "holds" : "violated — formulas "
+                                                     "still evaluated");
+  std::printf("provable rho = %.6f, C = %.3g\n", constants.rho, constants.c);
+  std::printf("empirical fitted rho = %.3f — far better than the (very\n"
+              "conservative) worst-case bound, as the paper notes.\n",
+              decay.fitted_rho);
+  std::printf("Theorem A.3 minimal horizon from the formula: K >= %.1f\n"
+              "(conservative; empirically K ~ 5 already achieves\n"
+              "near-optimal cost — see bench_theory_regret).\n",
+              theory::MinimalHorizonForGuarantee(constants));
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Theorem 4.3 / A.9 validation: the optimal bitrate plan is approximately
+// monotone, with the approximation error shrinking as the switching weight
+// gamma grows — and growing with the horizon K at fixed gamma (the
+// K^2/lambda^2 trade-off in the theorem's condition). Complements the
+// Fig. 8 bench with the objective-gap view.
+#include "bench_common.hpp"
+#include "theory/monotone_check.hpp"
+
+namespace soda {
+namespace {
+
+void Run() {
+  const std::uint64_t seed = bench::kDefaultSeed;
+  bench::PrintHeader("Thm 4.3/A.9 | Monotone approximation error vs gamma",
+                     seed);
+
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  core::CostModelConfig base;
+  base.target_buffer_s = 12.0;
+  base.max_buffer_s = 20.0;
+  base.dt_s = 2.0;
+  base.weights.beta = 10.0;
+  base.weights.kappa = 0.0;  // the pure Equation-2 objective
+
+  theory::MismatchConfig config;
+  config.situations = static_cast<long long>(bench::Scaled(8000));
+  config.seed = seed;
+
+  std::printf("\n[gamma sweep at K=4] mean relative objective gap of the\n"
+              "monotone plan vs the brute-force optimum\n");
+  ConsoleTable gamma_table({"gamma", "P(mismatch)", "mean objective gap"});
+  for (const double gamma : {1.0, 10.0, 40.0, 100.0, 300.0, 1000.0}) {
+    const theory::MismatchSample sample =
+        theory::MeasureMismatch(ladder, base, gamma, 4, config);
+    gamma_table.AddRow({FormatDouble(gamma, 0),
+                        FormatDouble(sample.mismatch_probability, 4),
+                        FormatDouble(sample.mean_objective_gap, 6)});
+  }
+  gamma_table.Print();
+
+  std::printf("\n[horizon sweep at gamma=40] longer horizons make matching\n"
+              "the unconstrained optimum harder (Theorem A.9's K^2 factor)\n");
+  ConsoleTable k_table({"K", "P(mismatch)", "mean objective gap"});
+  for (const int k : {2, 3, 4, 5, 6}) {
+    const theory::MismatchSample sample =
+        theory::MeasureMismatch(ladder, base, 40.0, k, config);
+    k_table.AddRow({std::to_string(k),
+                    FormatDouble(sample.mismatch_probability, 4),
+                    FormatDouble(sample.mean_objective_gap, 6)});
+  }
+  k_table.Print();
+
+  std::printf("\ntheorem: the monotone approximation error is O(K/sqrt(gamma))"
+              "\n— it vanishes as gamma grows and worsens with K at fixed\n"
+              "gamma. The committed decision is usually identical (Fig. 8).\n");
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

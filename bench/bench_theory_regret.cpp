@@ -1,0 +1,123 @@
+// Theorems 4.1 / 4.2 validation in the time-based setting.
+//
+// 4.1 (exact predictions): dynamic regret and competitive ratio decay
+// exponentially as the prediction horizon K grows.
+// 4.2 (inexact predictions): regret grows with prediction error, and with
+// steep buffer costs the realized buffer never touches 0 or x_max.
+#include "bench_common.hpp"
+#include "net/generators.hpp"
+#include "theory/offline_optimal.hpp"
+#include "theory/rollout.hpp"
+
+namespace soda {
+namespace {
+
+std::vector<double> Bandwidths(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  net::RandomWalkConfig walk;
+  walk.mean_mbps = 15.0;
+  walk.stationary_rel_std = 0.5;
+  walk.reversion_rate = 0.12;
+  walk.dt_s = 2.0;
+  walk.duration_s = 2.0 * static_cast<double>(n);
+  const net::ThroughputTrace trace = net::RandomWalkTrace(walk, rng);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(trace.AverageMbps(2.0 * static_cast<double>(i),
+                                    2.0 * static_cast<double>(i + 1)));
+  }
+  return out;
+}
+
+void Run() {
+  const std::uint64_t seed = bench::kDefaultSeed;
+  bench::PrintHeader("Theorems 4.1/4.2 | Regret vs horizon and prediction error",
+                     seed);
+
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  core::CostModelConfig model_config;
+  model_config.target_buffer_s = 12.0;
+  model_config.max_buffer_s = 20.0;
+  model_config.dt_s = 2.0;
+  model_config.weights.beta = 25.0;
+  model_config.weights.gamma = 50.0;
+  model_config.weights.kappa = 0.0;
+  const core::CostModel model(ladder, model_config);
+
+  const std::size_t steps = bench::Scaled(300);
+  const int trials = 8;
+
+  std::printf("\n[Theorem 4.1] exact predictions, horizon sweep (N=%zu "
+              "intervals, %d trials)\n",
+              steps, trials);
+  ConsoleTable horizon_table(
+      {"K", "dynamic regret", "competitive ratio", "regret / N"});
+  double previous_regret = 1e18;
+  bool monotone = true;
+  for (const int k : {1, 2, 3, 4, 6, 8}) {
+    RunningStats regret;
+    RunningStats ratio;
+    for (int t = 0; t < trials; ++t) {
+      const auto bandwidth = Bandwidths(steps, seed + 17 * t);
+      theory::RolloutConfig config;
+      config.horizon = k;
+      const theory::RegretReport report =
+          theory::CompareToOffline(model, bandwidth, 12.0, 3, config);
+      regret.Add(report.dynamic_regret);
+      ratio.Add(report.competitive_ratio);
+    }
+    horizon_table.AddRow(
+        {std::to_string(k), FormatDouble(regret.Mean(), 3),
+         FormatDouble(ratio.Mean(), 4),
+         FormatDouble(regret.Mean() / static_cast<double>(steps), 5)});
+    // The offline DP's buffer-grid discretization leaves a small
+    // residual, so the decay saturates at a floor; require decay up to 5%%
+    // tolerance of that floor.
+    if (regret.Mean() > previous_regret * 1.05 + 1.0) monotone = false;
+    previous_regret = regret.Mean();
+  }
+  horizon_table.Print();
+  std::printf("regret decays in K down to the discretization floor: %s "
+              "(theorem: exponential decay O(rho^K N))\n",
+              monotone ? "yes" : "no");
+
+  std::printf("\n[Theorem 4.2] inexact predictions, noise sweep (K=5)\n");
+  ConsoleTable noise_table({"pred noise", "dynamic regret", "min buffer (s)",
+                            "max buffer (s)", "boundary hit"});
+  for (const double noise : {0.0, 0.1, 0.2, 0.4, 0.6}) {
+    RunningStats regret;
+    double min_buffer = 1e18;
+    double max_buffer = -1e18;
+    for (int t = 0; t < trials; ++t) {
+      const auto bandwidth = Bandwidths(steps, seed + 17 * t);
+      theory::RolloutConfig config;
+      config.horizon = 5;
+      config.prediction_noise = noise;
+      config.noise_seed = seed + 7 * t;
+      const theory::RegretReport report =
+          theory::CompareToOffline(model, bandwidth, 12.0, 3, config);
+      regret.Add(report.dynamic_regret);
+      const theory::RolloutResult rollout = theory::RunTimeBasedRollout(
+          model, bandwidth, 12.0, 3, config);
+      min_buffer = std::min(min_buffer, rollout.min_buffer_s);
+      max_buffer = std::max(max_buffer, rollout.max_buffer_s);
+    }
+    const bool hit = min_buffer <= 1e-9 || max_buffer >= 20.0 - 1e-9;
+    noise_table.AddRow({FormatPercent(noise, 0).substr(1),
+                        FormatDouble(regret.Mean(), 3),
+                        FormatDouble(min_buffer, 2),
+                        FormatDouble(max_buffer, 2), hit ? "YES" : "no"});
+  }
+  noise_table.Print();
+  std::printf("theorem: regret grows with the error terms E_kappa and the\n"
+              "buffer stays strictly inside (0, x_max) for bounded errors.\n");
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extending the library: implement your own ABR controller against the
+// abr::Controller interface and evaluate it with the same harness used for
+// the paper's figures. The example controller is a deliberately simple
+// "buffer thirds" rule; the printout shows how it stacks up against SODA
+// on the same sessions.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "core/soda_controller.hpp"
+#include "media/quality.hpp"
+#include "net/dataset.hpp"
+#include "predict/ema.hpp"
+#include "qoe/eval.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// A three-zone buffer rule: low buffer -> lowest rung, high buffer -> the
+// highest throughput-sustainable rung, otherwise hold the previous rung.
+class BufferThirdsController final : public soda::abr::Controller {
+ public:
+  soda::media::Rung ChooseRung(const soda::abr::Context& context) override {
+    const auto& ladder = context.Ladder();
+    const double fill = context.buffer_s / context.max_buffer_s;
+    if (fill < 1.0 / 3.0) return ladder.LowestRung();
+    if (fill > 2.0 / 3.0) {
+      return ladder.HighestRungAtMost(context.PredictMbps());
+    }
+    return context.HasPrev() ? context.prev_rung : ladder.LowestRung();
+  }
+  std::string Name() const override { return "BufferThirds"; }
+};
+
+}  // namespace
+
+int main() {
+  using namespace soda;
+
+  // Evaluate on 25 emulated 4G sessions, mobile-trimmed ladder.
+  Rng rng(11);
+  const auto sessions =
+      net::DatasetEmulator(net::DatasetKind::k4G).MakeSessions(25, rng);
+  const media::BitrateLadder ladder =
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2);
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const media::NormalizedLogUtility utility(ladder);
+
+  qoe::EvalConfig config;
+  config.sim.live = true;
+  config.sim.live_latency_s = 20.0;
+  config.utility = [&](double mbps) { return utility.At(mbps); };
+
+  const auto ema = [](const net::ThroughputTrace&) {
+    return predict::PredictorPtr(std::make_unique<predict::EmaPredictor>());
+  };
+
+  const qoe::EvalResult custom = qoe::EvaluateController(
+      sessions, [] { return std::make_unique<BufferThirdsController>(); }, ema,
+      video, config);
+  const qoe::EvalResult soda_result = qoe::EvaluateController(
+      sessions, [] { return std::make_unique<core::SodaController>(); }, ema,
+      video, config);
+
+  std::printf("Custom controller vs SODA on %zu 4G sessions:\n\n",
+              sessions.size());
+  ConsoleTable table(
+      {"controller", "QoE", "utility", "rebuf ratio", "switch rate"});
+  for (const qoe::EvalResult* result : {&custom, &soda_result}) {
+    table.AddRow({result->controller_name,
+                  FormatDouble(result->aggregate.qoe.Mean(), 3),
+                  FormatDouble(result->aggregate.utility.Mean(), 3),
+                  FormatDouble(result->aggregate.rebuffer_ratio.Mean(), 4),
+                  FormatDouble(result->aggregate.switch_rate.Mean(), 3)});
+  }
+  table.Print();
+  std::printf("\nTo build your own controller: derive from abr::Controller,\n"
+              "implement ChooseRung(context), and hand a factory to\n"
+              "qoe::EvaluateController — everything else (simulation, QoE,\n"
+              "confidence intervals) is provided by the library.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Live sports event scenario: thousands of viewers join a 2-hour broadcast
+// on diverse connections. Compares SODA against Dynamic (the dash.js
+// default) and a tuned production-style baseline, reporting the QoE
+// components and the expected viewing time per controller — the
+// quantities that drove the paper's production deployment (section 6.3).
+#include <cstdio>
+#include <memory>
+
+#include "abr/dynamic.hpp"
+#include "abr/production_baseline.hpp"
+#include "core/soda_controller.hpp"
+#include "media/quality.hpp"
+#include "net/generators.hpp"
+#include "predict/sliding_window.hpp"
+#include "qoe/eval.hpp"
+#include "user/engagement.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace soda;
+
+  // Audience: 60 sessions across wifi/cellular-like conditions.
+  Rng rng(7);
+  std::vector<net::ThroughputTrace> audience;
+  for (int i = 0; i < 60; ++i) {
+    net::RandomWalkConfig network;
+    network.mean_mbps = rng.Uniform(2.0, 30.0);
+    network.stationary_rel_std = rng.Uniform(0.3, 0.9);
+    network.duration_s = 600.0;
+    audience.push_back(net::RandomWalkTrace(network, rng));
+  }
+
+  const media::BitrateLadder ladder = media::PrimeVideoProductionLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const media::NormalizedLogUtility utility(ladder);
+
+  qoe::EvalConfig config;
+  config.sim.live = true;
+  config.sim.live_latency_s = 20.0;
+  config.sim.max_buffer_s = 20.0;
+  config.utility = [&](double mbps) { return utility.At(mbps); };
+
+  const user::EngagementModel engagement({.base_fraction = 0.55,
+                                          .switch_slope = 0.25,
+                                          .rebuffer_sensitivity = 6.0,
+                                          .noise = 0.0,
+                                          .max_fraction = 1.0});
+
+  struct Entry {
+    const char* name;
+    qoe::ControllerFactory factory;
+  };
+  const Entry entries[] = {
+      {"SODA",
+       [] { return abr::ControllerPtr(std::make_unique<core::SodaController>()); }},
+      {"Dynamic",
+       [] { return abr::ControllerPtr(std::make_unique<abr::DynamicController>()); }},
+      {"ProdBaseline",
+       [] {
+         return abr::ControllerPtr(
+             std::make_unique<abr::ProductionBaselineController>());
+       }},
+  };
+
+  std::printf("Live event: %zu viewers | ladder %s | 20 s behind live\n\n",
+              audience.size(), ladder.ToString().c_str());
+  ConsoleTable table({"controller", "QoE", "utility", "rebuf ratio",
+                      "switch rate", "expected viewing (min of 120)"});
+  for (const Entry& entry : entries) {
+    const qoe::EvalResult result = qoe::EvaluateController(
+        audience, entry.factory,
+        [](const net::ThroughputTrace&) {
+          return predict::PredictorPtr(
+              std::make_unique<predict::SlidingWindowPredictor>(10.0));
+        },
+        video, config);
+    RunningStats viewing;
+    for (const auto& m : result.per_session) {
+      viewing.Add(engagement.ExpectedViewingSeconds(m, 2.0 * 3600.0) / 60.0);
+    }
+    table.AddRow({entry.name,
+                  FormatWithCi(result.aggregate.qoe.Mean(),
+                               result.aggregate.qoe.CiHalfWidth95(), 3),
+                  FormatDouble(result.aggregate.utility.Mean(), 3),
+                  FormatDouble(result.aggregate.rebuffer_ratio.Mean(), 4),
+                  FormatDouble(result.aggregate.switch_rate.Mean(), 3),
+                  FormatDouble(viewing.Mean(), 1)});
+  }
+  table.Print();
+  std::printf("\nSODA holds quality steady instead of chasing every "
+              "throughput wiggle,\nso viewers see far fewer bitrate jumps "
+              "and stay longer.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: stream a 10-minute session with SODA over a fluctuating
+// network and print the session's QoE.
+//
+//   $ ./quickstart
+//
+// The five steps below are the whole public API surface a basic user
+// needs: pick a ladder, model the video, get a trace, run a session,
+// compute QoE.
+#include <cstdio>
+
+#include "core/soda_controller.hpp"
+#include "media/quality.hpp"
+#include "net/generators.hpp"
+#include "predict/ema.hpp"
+#include "qoe/metrics.hpp"
+#include "sim/session.hpp"
+
+int main() {
+  using namespace soda;
+
+  // 1) The bitrate ladder and video model (2-second segments).
+  const media::BitrateLadder ladder = media::PrimeVideoProductionLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+
+  // 2) A network: 10 minutes of autocorrelated throughput around 6 Mb/s.
+  Rng rng(42);
+  net::RandomWalkConfig network;
+  network.mean_mbps = 6.0;
+  network.stationary_rel_std = 0.5;
+  network.duration_s = 600.0;
+  const net::ThroughputTrace trace = net::RandomWalkTrace(network, rng);
+
+  // 3) The controller and its throughput predictor (dash.js-style EMA).
+  core::SodaController soda;
+  predict::EmaPredictor predictor;
+
+  // 4) Play the session: live stream, 20 seconds behind the live edge.
+  sim::SimConfig player;
+  player.live = true;
+  player.live_latency_s = 20.0;
+  player.max_buffer_s = 20.0;
+  const sim::SessionLog session =
+      sim::RunSession(trace, soda, predictor, video, player);
+
+  // 5) Score it with the paper's QoE (log utility, beta=10, gamma=1).
+  const media::NormalizedLogUtility utility(ladder);
+  const qoe::QoeMetrics metrics = qoe::ComputeQoe(
+      session, [&](double mbps) { return utility.At(mbps); });
+
+  std::printf("segments downloaded : %lld\n",
+              static_cast<long long>(session.SegmentCount()));
+  std::printf("mean bitrate        : %.1f Mb/s\n", session.MeanBitrateMbps());
+  std::printf("startup time        : %.2f s\n", session.startup_s);
+  std::printf("rebuffering         : %.2f s (%.2f%% of session)\n",
+              session.total_rebuffer_s, metrics.rebuffer_ratio * 100.0);
+  std::printf("bitrate switches    : %d (rate %.3f)\n", session.SwitchCount(),
+              metrics.switch_rate);
+  std::printf("mean utility        : %.3f\n", metrics.mean_utility);
+  std::printf("QoE score           : %.3f\n", metrics.qoe);
+  return 0;
+}

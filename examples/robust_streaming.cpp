@@ -1,0 +1,111 @@
+// Prediction robustness in practice: run the same SODA configuration with
+// four very different throughput predictors — dash.js EMA, a 10-second
+// sliding window (the production predictor), a perfect oracle, and an
+// oracle corrupted with 40% white noise — and watch the QoE barely move.
+// This is the deployability property of sections 4.2/5.2: SODA does not
+// need a sophisticated predictor. Also demonstrates tuning the
+// smoothness/stability trade-off through SodaConfig.
+#include <cstdio>
+#include <memory>
+
+#include "core/soda_controller.hpp"
+#include "media/quality.hpp"
+#include "net/dataset.hpp"
+#include "predict/ema.hpp"
+#include "predict/oracle.hpp"
+#include "predict/sliding_window.hpp"
+#include "qoe/eval.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace soda;
+
+  Rng rng(23);
+  const auto sessions =
+      net::DatasetEmulator(net::DatasetKind::k5G).MakeSessions(25, rng);
+  const media::BitrateLadder ladder =
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2);
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const media::NormalizedLogUtility utility(ladder);
+
+  qoe::EvalConfig config;
+  config.sim.live = true;
+  config.sim.live_latency_s = 20.0;
+  config.utility = [&](double mbps) { return utility.At(mbps); };
+
+  struct PredictorChoice {
+    const char* name;
+    qoe::TracePredictorFactory factory;
+  };
+  std::uint64_t counter = 0;
+  const PredictorChoice predictors[] = {
+      {"EMA (dash.js default)",
+       [](const net::ThroughputTrace&) {
+         return predict::PredictorPtr(std::make_unique<predict::EmaPredictor>());
+       }},
+      {"10 s sliding window",
+       [](const net::ThroughputTrace&) {
+         return predict::PredictorPtr(
+             std::make_unique<predict::SlidingWindowPredictor>(10.0));
+       }},
+      {"perfect oracle",
+       [](const net::ThroughputTrace& trace) {
+         return predict::PredictorPtr(
+             std::make_unique<predict::OraclePredictor>(trace));
+       }},
+      {"oracle + 40% noise",
+       [&counter](const net::ThroughputTrace& trace) {
+         predict::OracleConfig oracle;
+         oracle.noise_rel_std = 0.4;
+         oracle.seed = 1000 + 31 * ++counter;
+         return predict::PredictorPtr(
+             std::make_unique<predict::OraclePredictor>(trace, oracle));
+       }},
+  };
+
+  std::printf("SODA with four predictors on %zu 5G sessions:\n\n",
+              sessions.size());
+  ConsoleTable table(
+      {"predictor", "QoE", "utility", "rebuf ratio", "switch rate"});
+  for (const auto& choice : predictors) {
+    const qoe::EvalResult result = qoe::EvaluateController(
+        sessions, [] { return std::make_unique<core::SodaController>(); },
+        choice.factory, video, config);
+    table.AddRow({choice.name, FormatDouble(result.aggregate.qoe.Mean(), 3),
+                  FormatDouble(result.aggregate.utility.Mean(), 3),
+                  FormatDouble(result.aggregate.rebuffer_ratio.Mean(), 4),
+                  FormatDouble(result.aggregate.switch_rate.Mean(), 3)});
+  }
+  table.Print();
+
+  // Tuning tour: the smoothness knob (gamma) and stall barrier.
+  std::printf("\nTuning SODA (EMA predictor): gamma trades smoothness for "
+              "responsiveness\n\n");
+  ConsoleTable tuning({"config", "QoE", "utility", "rebuf ratio",
+                       "switch rate"});
+  for (const double gamma : {10.0, 80.0, 400.0}) {
+    const qoe::EvalResult result = qoe::EvaluateController(
+        sessions,
+        [gamma] {
+          core::SodaConfig soda_config;
+          soda_config.weights.gamma = gamma;
+          return abr::ControllerPtr(
+              std::make_unique<core::SodaController>(soda_config));
+        },
+        [](const net::ThroughputTrace&) {
+          return predict::PredictorPtr(
+              std::make_unique<predict::EmaPredictor>());
+        },
+        video, config);
+    tuning.AddRow({"gamma = " + FormatDouble(gamma, 0),
+                   FormatDouble(result.aggregate.qoe.Mean(), 3),
+                   FormatDouble(result.aggregate.utility.Mean(), 3),
+                   FormatDouble(result.aggregate.rebuffer_ratio.Mean(), 4),
+                   FormatDouble(result.aggregate.switch_rate.Mean(), 3)});
+  }
+  tuning.Print();
+  std::printf("\nTakeaway: predictor sophistication barely moves SODA's QoE\n"
+              "(the exponential-decay property absorbs prediction error),\n"
+              "while gamma cleanly dials the smoothness trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "abr/bba.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace soda::abr {
+
+BbaController::BbaController(BbaConfig config) : config_(config) {
+  SODA_ENSURE(config_.reservoir_s > 0.0, "reservoir must be positive");
+  SODA_ENSURE(config_.cushion_s > 0.0, "cushion must be positive");
+}
+
+double BbaController::MappedRateMbps(const media::BitrateLadder& ladder,
+                                     double buffer_s) const noexcept {
+  if (buffer_s <= config_.reservoir_s) return ladder.MinMbps();
+  if (buffer_s >= config_.reservoir_s + config_.cushion_s) {
+    return ladder.MaxMbps();
+  }
+  const double fraction = (buffer_s - config_.reservoir_s) / config_.cushion_s;
+  return ladder.MinMbps() + fraction * (ladder.MaxMbps() - ladder.MinMbps());
+}
+
+media::Rung BbaController::ChooseRung(const Context& context) {
+  const auto& ladder = context.Ladder();
+  const double mapped = MappedRateMbps(ladder, context.buffer_s);
+
+  if (!context.HasPrev()) {
+    return ladder.HighestRungAtMost(mapped);
+  }
+  const media::Rung prev = context.prev_rung;
+
+  // Rate-band hysteresis from the BBA paper: move up only when f(B)
+  // reaches the *next* rung's bitrate, down only when f(B) falls below the
+  // *previous* rung's bitrate; otherwise hold.
+  if (prev < ladder.HighestRung() &&
+      mapped >= ladder.BitrateMbps(prev + 1)) {
+    return ladder.HighestRungAtMost(mapped);
+  }
+  if (prev > ladder.LowestRung() && mapped < ladder.BitrateMbps(prev)) {
+    // Drop to the highest rung the mapped rate still supports.
+    return ladder.HighestRungAtMost(mapped);
+  }
+  return prev;
+}
+
+}  // namespace soda::abr

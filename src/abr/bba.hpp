@@ -1,0 +1,39 @@
+// BBA [Huang et al., SIGCOMM 2014]: the classic buffer-based algorithm
+// from Netflix. Maps the buffer level linearly onto the bitrate range
+// between a reservoir and a cushion, with the original rate-band
+// hysteresis: the bitrate only moves up when the buffer-mapped rate
+// crosses the *next* rung's bitrate, and only down when it falls below the
+// previous rung's, so small buffer wiggles inside the band do not switch.
+// Purely buffer-based (ignores throughput predictions entirely), like
+// BOLA; included as the second classic of that family (section 7.1).
+#pragma once
+
+#include "abr/controller.hpp"
+
+namespace soda::abr {
+
+struct BbaConfig {
+  // Below the reservoir the controller pins the lowest bitrate.
+  double reservoir_s = 5.0;
+  // The linear ramp spans [reservoir, reservoir + cushion]; above it the
+  // highest bitrate is pinned.
+  double cushion_s = 10.0;
+};
+
+class BbaController final : public Controller {
+ public:
+  explicit BbaController(BbaConfig config = {});
+
+  [[nodiscard]] media::Rung ChooseRung(const Context& context) override;
+  [[nodiscard]] std::string Name() const override { return "BBA"; }
+
+  // The buffer-mapped rate f(B) in Mb/s for a given ladder (exposed for
+  // tests).
+  [[nodiscard]] double MappedRateMbps(const media::BitrateLadder& ladder,
+                                      double buffer_s) const noexcept;
+
+ private:
+  BbaConfig config_;
+};
+
+}  // namespace soda::abr

@@ -1,0 +1,82 @@
+#include "abr/bola.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/ensure.hpp"
+
+namespace soda::abr {
+namespace {
+
+// u_i = ln(r_i / r_min); u_0 == 0.
+double Utility(const media::BitrateLadder& ladder, media::Rung rung) {
+  return std::log(ladder.BitrateMbps(rung) / ladder.MinMbps());
+}
+
+// Intercept term of the decision boundary between adjacent rungs i and i+1:
+// Q boundary = V * (intercept + gp). Sizes are proportional to bitrate, so
+// bitrates stand in for sizes.
+double BoundaryIntercept(const media::BitrateLadder& ladder, media::Rung i) {
+  const double si = ladder.BitrateMbps(i);
+  const double sj = ladder.BitrateMbps(i + 1);
+  const double ui = Utility(ladder, i);
+  const double uj = Utility(ladder, i + 1);
+  return (sj * ui - si * uj) / (sj - si);
+}
+
+}  // namespace
+
+BolaController::BolaController(BolaConfig config) : config_(config) {
+  SODA_ENSURE(config_.buffer_low_s > 0.0, "buffer_low must be positive");
+  SODA_ENSURE(config_.buffer_target_s > config_.buffer_low_s,
+              "buffer_target must exceed buffer_low");
+}
+
+BolaController::Parameters BolaController::DeriveParameters(
+    const media::BitrateLadder& ladder) const {
+  Parameters params;
+  if (ladder.Count() < 2) {
+    params.v = 1.0;
+    params.gp = 1.0;
+    return params;
+  }
+  const double a = BoundaryIntercept(ladder, 0);
+  const double b = BoundaryIntercept(ladder, ladder.HighestRung() - 1);
+  SODA_ASSERT(b > a);
+  params.v = (config_.buffer_target_s - config_.buffer_low_s) / (b - a);
+  params.gp = config_.buffer_low_s / params.v - a;
+  return params;
+}
+
+media::Rung BolaController::ChooseRung(const Context& context) {
+  const auto& ladder = context.Ladder();
+  const Parameters params = DeriveParameters(ladder);
+  const double q = context.buffer_s;
+
+  media::Rung best = ladder.LowestRung();
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (media::Rung r = ladder.LowestRung(); r <= ladder.HighestRung(); ++r) {
+    const double size = ladder.BitrateMbps(r);  // proportional to true size
+    const double score =
+        (params.v * (Utility(ladder, r) + params.gp) - q) / size;
+    if (score > best_score) {
+      best_score = score;
+      best = r;
+    }
+  }
+  return best;
+}
+
+std::vector<double> BolaController::DecisionThresholds(
+    const media::BitrateLadder& ladder) const {
+  std::vector<double> thresholds;
+  if (ladder.Count() < 2) return thresholds;
+  const Parameters params = DeriveParameters(ladder);
+  thresholds.reserve(static_cast<std::size_t>(ladder.Count()) - 1);
+  for (media::Rung i = 0; i < ladder.HighestRung(); ++i) {
+    thresholds.push_back(params.v * (BoundaryIntercept(ladder, i) + params.gp));
+  }
+  return thresholds;
+}
+
+}  // namespace soda::abr

@@ -1,0 +1,55 @@
+// BOLA [Spiteri, Urgaonkar, Sitaraman 2020]: buffer-based bitrate
+// adaptation from Lyapunov optimization.
+//
+// Decision rule: pick the rung maximizing (V*(u_i + gp) - Q) / S_i, where
+// Q is the buffer level in seconds, u_i = ln(r_i / r_min) and S_i is the
+// segment size. V and gp are derived from two placement conditions — the
+// buffer level at which the controller leaves the lowest rung
+// (`buffer_low_s`) and the level at which it reaches the top rung
+// (`buffer_target_s`) — the same derivation dash.js's BolaRule uses.
+//
+// The derived per-rung decision thresholds are exposed so the Fig. 2
+// reproduction can show how 120 s (on-demand) vs 20 s (live) buffers space
+// the switching boundaries.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "abr/controller.hpp"
+
+namespace soda::abr {
+
+struct BolaConfig {
+  // Buffer level at which rung 1 starts beating rung 0.
+  double buffer_low_s = 4.0;
+  // Buffer level at which the top rung wins. dash.js derives this from the
+  // stable buffer time; callers should set it near the max buffer.
+  double buffer_target_s = 18.0;
+};
+
+class BolaController final : public Controller {
+ public:
+  explicit BolaController(BolaConfig config = {});
+
+  [[nodiscard]] media::Rung ChooseRung(const Context& context) override;
+  [[nodiscard]] std::string Name() const override { return "BOLA"; }
+
+  // Buffer level at which rung i+1 overtakes rung i (for adjacent rungs of
+  // `ladder`); thresholds[i] is the i -> i+1 boundary. Used by Fig. 2.
+  [[nodiscard]] std::vector<double> DecisionThresholds(
+      const media::BitrateLadder& ladder) const;
+
+  struct Parameters {
+    double v = 0.0;
+    double gp = 0.0;
+  };
+  // The (V, gp) pair derived for a given ladder.
+  [[nodiscard]] Parameters DeriveParameters(
+      const media::BitrateLadder& ladder) const;
+
+ private:
+  BolaConfig config_;
+};
+
+}  // namespace soda::abr

@@ -1,0 +1,4 @@
+#include "abr/controller.hpp"
+
+// Interface is header-only; this translation unit anchors the vtable.
+namespace soda::abr {}

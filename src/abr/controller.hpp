@@ -1,0 +1,59 @@
+// The ABR controller interface shared by SODA and every baseline.
+//
+// The simulator calls ChooseRung before each segment request with a
+// snapshot of player state; the controller returns the rung to download.
+// Waiting (buffer-full or live-edge stalls) is enforced by the player, not
+// the controller, matching how dash.js separates the ABR rules from the
+// scheduler.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "media/video_model.hpp"
+#include "predict/predictor.hpp"
+
+namespace soda::abr {
+
+struct Context {
+  double now_s = 0.0;
+  double buffer_s = 0.0;
+  // Rung of the previously downloaded segment; -1 before the first one.
+  media::Rung prev_rung = -1;
+  std::int64_t segment_index = 0;
+  bool playing = false;
+  double max_buffer_s = 20.0;
+  const media::VideoModel* video = nullptr;
+  predict::ThroughputPredictor* predictor = nullptr;
+
+  [[nodiscard]] const media::BitrateLadder& Ladder() const {
+    return video->Ladder();
+  }
+  [[nodiscard]] double SegmentSeconds() const {
+    return video->SegmentSeconds();
+  }
+  [[nodiscard]] bool HasPrev() const noexcept { return prev_rung >= 0; }
+  // Scalar one-interval throughput forecast (interval = segment length).
+  [[nodiscard]] double PredictMbps() const {
+    return predictor->PredictOne(now_s, video->SegmentSeconds());
+  }
+};
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  // Picks the rung for the next segment. Must return a valid rung of the
+  // context's ladder.
+  [[nodiscard]] virtual media::Rung ChooseRung(const Context& context) = 0;
+
+  // Clears per-session state (start of a new session).
+  virtual void Reset() {}
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+};
+
+using ControllerPtr = std::unique_ptr<Controller>;
+
+}  // namespace soda::abr

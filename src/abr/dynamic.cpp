@@ -1,0 +1,68 @@
+#include "abr/dynamic.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace soda::abr {
+
+DynamicController::DynamicController(DynamicConfig config)
+    : config_(config), bola_(config.bola) {
+  SODA_ENSURE(config_.bola_mode_buffer_s > 0.0,
+              "mode threshold must be positive");
+  SODA_ENSURE(config_.throughput_safety > 0.0 &&
+                  config_.throughput_safety <= 1.0,
+              "throughput safety must be in (0, 1]");
+  SODA_ENSURE(config_.upswitch_safety > 0.0 && config_.upswitch_safety <= 1.0,
+              "upswitch safety must be in (0, 1]");
+}
+
+media::Rung DynamicController::ChooseRung(const Context& context) {
+  const auto& ladder = context.Ladder();
+  const double predicted = context.PredictMbps();
+
+  // Mode switching with hysteresis (dash.js switches between its
+  // ThroughputRule and BolaRule the same way).
+  if (bola_mode_ && context.buffer_s < config_.bola_mode_buffer_s / 2.0) {
+    bola_mode_ = false;
+  } else if (!bola_mode_ && context.buffer_s >= config_.bola_mode_buffer_s) {
+    bola_mode_ = true;
+  }
+
+  media::Rung choice;
+  if (bola_mode_) {
+    choice = bola_.ChooseRung(context);
+  } else {
+    choice = ladder.HighestRungAtMost(config_.throughput_safety * predicted);
+  }
+
+  // Insufficient-buffer safety: the expected download must not stall
+  // playback. Cap the rung so size / predicted <= playable buffer.
+  if (context.playing && predicted > 0.0) {
+    const double playable = std::max(context.buffer_s, 0.5);
+    while (choice > ladder.LowestRung()) {
+      const double size =
+          context.video->SegmentSizeMb(context.segment_index, choice);
+      if (size / predicted <= playable) break;
+      --choice;
+    }
+  }
+
+  // Switch-avoidance heuristic: climb one rung at a time. In throughput
+  // mode additionally require the new rung to be sustainable (in BOLA mode
+  // the buffer itself is the safety margin, as in dash.js where BolaRule
+  // decisions are not throughput-vetoed).
+  if (context.HasPrev() && choice > context.prev_rung) {
+    media::Rung step_up = context.prev_rung + 1;
+    if (!bola_mode_ &&
+        ladder.BitrateMbps(step_up) > config_.upswitch_safety * predicted) {
+      step_up = context.prev_rung;  // not sustainable: hold
+    }
+    choice = step_up;
+  }
+  return choice;
+}
+
+void DynamicController::Reset() { bola_mode_ = false; }
+
+}  // namespace soda::abr

@@ -1,0 +1,43 @@
+// Dynamic [Spiteri, Sitaraman, Sparacio 2019]: the production evolution of
+// BOLA that ships as dash.js's default ABR logic.
+//
+// - Mode switching: throughput rule while the buffer is short (BOLA's
+//   decisions are unreliable with little buffer), BOLA once the buffer
+//   passes a threshold, with hysteresis to avoid mode flapping.
+// - Insufficient-buffer safety: never pick a rung whose expected download
+//   time exceeds what the buffer can absorb.
+// - Switch-avoidance: upward switches are limited to one rung per decision
+//   and only taken when the throughput estimate sustains the new rung;
+//   this is the oscillation damping the paper refers to.
+#pragma once
+
+#include "abr/bola.hpp"
+#include "abr/controller.hpp"
+
+namespace soda::abr {
+
+struct DynamicConfig {
+  BolaConfig bola;
+  // Enter BOLA mode above this buffer level; drop back below half of it.
+  double bola_mode_buffer_s = 10.0;
+  double throughput_safety = 0.9;
+  // Upward switches require the target rung to fit under this fraction of
+  // the predicted throughput.
+  double upswitch_safety = 0.85;
+};
+
+class DynamicController final : public Controller {
+ public:
+  explicit DynamicController(DynamicConfig config = {});
+
+  [[nodiscard]] media::Rung ChooseRung(const Context& context) override;
+  void Reset() override;
+  [[nodiscard]] std::string Name() const override { return "Dynamic"; }
+
+ private:
+  DynamicConfig config_;
+  BolaController bola_;
+  bool bola_mode_ = false;
+};
+
+}  // namespace soda::abr

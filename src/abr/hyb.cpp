@@ -1,0 +1,37 @@
+#include "abr/hyb.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace soda::abr {
+
+HybController::HybController(double beta, double reserve_s)
+    : beta_(beta), reserve_s_(reserve_s) {
+  SODA_ENSURE(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+  SODA_ENSURE(reserve_s >= 0.0, "reserve must be non-negative");
+}
+
+media::Rung HybController::ChooseRung(const Context& context) {
+  const double predicted = beta_ * context.PredictMbps();
+  if (predicted <= 0.0) return context.Ladder().LowestRung();
+
+  // Time we can spend downloading without draining the buffer to the
+  // reserve. Before playback starts the buffer is not draining, so allow
+  // one segment duration.
+  const double playable =
+      context.playing ? std::max(context.buffer_s - reserve_s_, 0.0)
+                      : context.SegmentSeconds();
+
+  const auto& ladder = context.Ladder();
+  media::Rung best = ladder.LowestRung();
+  for (media::Rung r = ladder.LowestRung(); r <= ladder.HighestRung(); ++r) {
+    const double size_mb =
+        context.video->SegmentSizeMb(context.segment_index, r);
+    const double download_s = size_mb / predicted;
+    if (download_s <= playable) best = r;
+  }
+  return best;
+}
+
+}  // namespace soda::abr

@@ -1,0 +1,28 @@
+// HYB [Akhtar et al., Oboe 2018]: a widely-deployed heuristic hybrid rule.
+// Picks the highest bitrate whose estimated download time (segment size at
+// that bitrate divided by discounted predicted throughput) does not exceed
+// the playable buffer, i.e. the highest bitrate that avoids rebuffering if
+// the prediction holds. Ignores switching entirely, which is why the paper
+// measures it switching up to 215% more than SODA.
+#pragma once
+
+#include "abr/controller.hpp"
+
+namespace soda::abr {
+
+class HybController final : public Controller {
+ public:
+  // `beta` discounts the throughput prediction (Oboe describes HYB with a
+  // discount around 0.25-0.5 of headroom; we express it as a usable
+  // fraction). `reserve_s` keeps a small buffer floor unspent.
+  explicit HybController(double beta = 0.9, double reserve_s = 0.2);
+
+  [[nodiscard]] media::Rung ChooseRung(const Context& context) override;
+  [[nodiscard]] std::string Name() const override { return "HYB"; }
+
+ private:
+  double beta_;
+  double reserve_s_;
+};
+
+}  // namespace soda::abr

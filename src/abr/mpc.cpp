@@ -1,0 +1,88 @@
+#include "abr/mpc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/ensure.hpp"
+
+namespace soda::abr {
+
+MpcController::MpcController(MpcConfig config) : config_(std::move(config)) {
+  SODA_ENSURE(config_.horizon > 0, "horizon must be positive");
+  SODA_ENSURE(config_.rebuffer_penalty_per_s >= 0.0,
+              "rebuffer penalty must be non-negative");
+  SODA_ENSURE(config_.switch_penalty >= 0.0,
+              "switch penalty must be non-negative");
+  SODA_ENSURE(config_.prediction_scale > 0.0 && config_.prediction_scale <= 1.0,
+              "prediction scale must be in (0, 1]");
+}
+
+media::Rung MpcController::ChooseRung(const Context& context) {
+  const media::NormalizedLogUtility utility(context.Ladder());
+
+  SearchState state;
+  state.context = &context;
+  state.utility = &utility;
+  state.predicted_mbps =
+      std::max(config_.prediction_scale * context.PredictMbps(), 1e-3);
+  state.best_reward = -std::numeric_limits<double>::infinity();
+  state.best_first = context.Ladder().LowestRung();
+  state.has_best = false;
+
+  sequences_evaluated_ = 0;
+  // With no previous bitrate, anchor the smoothness term at the
+  // throughput-matched rung rather than the lowest one, so the first
+  // decision is not biased downward by a phantom switch.
+  const media::Rung prev =
+      context.HasPrev()
+          ? context.prev_rung
+          : context.Ladder().HighestRungAtMost(state.predicted_mbps);
+  Search(state, /*depth=*/0, context.buffer_s, prev, /*first_rung=*/0,
+         /*reward=*/0.0);
+  return state.best_first;
+}
+
+void MpcController::Search(SearchState& state, int depth, double buffer_s,
+                           media::Rung prev_rung, media::Rung first_rung,
+                           double reward) {
+  const Context& context = *state.context;
+  const auto& ladder = context.Ladder();
+
+  if (depth == config_.horizon) {
+    ++sequences_evaluated_;
+    if (reward > state.best_reward) {
+      state.best_reward = reward;
+      state.best_first = first_rung;
+      state.has_best = true;
+    }
+    return;
+  }
+
+  // Optimistic bound: at best, every remaining step earns max utility with
+  // no penalties. Prune when even that cannot beat the incumbent.
+  const double optimistic =
+      reward + static_cast<double>(config_.horizon - depth);
+  if (state.has_best && optimistic <= state.best_reward) return;
+
+  const double seg_s = context.SegmentSeconds();
+  for (media::Rung r = ladder.LowestRung(); r <= ladder.HighestRung(); ++r) {
+    const double size_mb =
+        context.video->SegmentSizeMb(context.segment_index + depth, r);
+    const double download_s = size_mb / state.predicted_mbps;
+    const double rebuffer_s = std::max(0.0, download_s - buffer_s);
+    const double next_buffer = std::min(
+        std::max(buffer_s - download_s, 0.0) + seg_s, context.max_buffer_s);
+
+    double step_reward = state.utility->At(ladder.BitrateMbps(r));
+    step_reward -= config_.rebuffer_penalty_per_s * rebuffer_s;
+    step_reward -= config_.switch_penalty *
+                   std::abs(state.utility->At(ladder.BitrateMbps(r)) -
+                            state.utility->At(ladder.BitrateMbps(prev_rung)));
+
+    Search(state, depth + 1, next_buffer, r,
+           depth == 0 ? r : first_rung, reward + step_reward);
+  }
+}
+
+}  // namespace soda::abr

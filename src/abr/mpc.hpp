@@ -1,0 +1,69 @@
+// MPC [Yin et al. 2015]: segment-based model predictive control.
+//
+// Plans over a K-segment horizon by enumerating rate sequences against the
+// predicted throughput, simulating buffer/rebuffer dynamics, and committing
+// to the first decision. The objective mirrors the paper's evaluation QoE:
+// per segment, utility minus a rebuffering-time penalty minus a switching
+// penalty. This is the exponential-complexity search that motivates SODA's
+// polynomial solver; branch-and-bound pruning keeps it tolerable in the
+// simulator but the enumeration is still O(|R|^K).
+//
+// RobustMPC is obtained by wrapping the predictor in
+// predict::RobustDiscountPredictor (the max-error discount of the original
+// paper); the Fugu-like baseline is this controller fed by a low-error
+// stochastic oracle predictor (see DESIGN.md substitutions).
+#pragma once
+
+#include <functional>
+
+#include "abr/controller.hpp"
+#include "media/quality.hpp"
+
+namespace soda::abr {
+
+struct MpcConfig {
+  int horizon = 5;
+  // Penalty per second of predicted rebuffering, in utility units. The
+  // evaluation QoE uses beta=10 per unit rebuffer *ratio*; per second this
+  // is beta / segment_seconds and is set by the harness.
+  double rebuffer_penalty_per_s = 5.0;
+  // Weight on |u(r_k) - u(r_{k-1})| (the MPC paper's smoothness term).
+  double switch_penalty = 1.0;
+  // Uniform multiplicative conservatism applied to predictions.
+  double prediction_scale = 1.0;
+  std::string name = "MPC";
+};
+
+class MpcController final : public Controller {
+ public:
+  explicit MpcController(MpcConfig config = {});
+
+  [[nodiscard]] media::Rung ChooseRung(const Context& context) override;
+  [[nodiscard]] std::string Name() const override { return config_.name; }
+
+  // Number of rate sequences evaluated by the last ChooseRung call (before
+  // pruning savings are excluded; pruned subtrees are not counted). Used by
+  // the solver-efficiency bench.
+  [[nodiscard]] long long LastSequencesEvaluated() const noexcept {
+    return sequences_evaluated_;
+  }
+
+ private:
+  struct SearchState {
+    const Context* context = nullptr;
+    const media::NormalizedLogUtility* utility = nullptr;
+    double predicted_mbps = 0.0;
+    double best_reward = 0.0;
+    media::Rung best_first = 0;
+    bool has_best = false;
+  };
+
+  // Depth-first enumeration with optimistic-bound pruning.
+  void Search(SearchState& state, int depth, double buffer_s,
+              media::Rung prev_rung, media::Rung first_rung, double reward);
+
+  MpcConfig config_;
+  long long sequences_evaluated_ = 0;
+};
+
+}  // namespace soda::abr

@@ -1,0 +1,47 @@
+#include "abr/production_baseline.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace soda::abr {
+
+ProductionBaselineController::ProductionBaselineController(
+    ProductionBaselineConfig config)
+    : config_(config) {
+  SODA_ENSURE(config_.safety > 0.0 && config_.safety <= 1.0,
+              "safety must be in (0, 1]");
+  SODA_ENSURE(config_.low_buffer_fraction > 0.0 &&
+                  config_.low_buffer_fraction < 1.0,
+              "low-buffer fraction must be in (0, 1)");
+  SODA_ENSURE(config_.upswitch_margin >= 1.0,
+              "upswitch margin must be at least 1");
+}
+
+media::Rung ProductionBaselineController::ChooseRung(const Context& context) {
+  const auto& ladder = context.Ladder();
+  const double predicted = context.PredictMbps();
+
+  // Buffer-aware usable throughput: scale the safety factor down when the
+  // buffer is low so the rule de-risks toward lower rungs.
+  double usable = config_.safety * predicted;
+  const double low_buffer = config_.low_buffer_fraction * context.max_buffer_s;
+  if (context.playing && context.buffer_s < low_buffer && low_buffer > 0.0) {
+    usable *= std::max(context.buffer_s / low_buffer, 0.25);
+  }
+
+  media::Rung choice = ladder.HighestRungAtMost(usable);
+
+  // Hysteresis: require extra headroom before switching up.
+  if (context.HasPrev() && choice > context.prev_rung) {
+    const media::Rung candidate = context.prev_rung + 1;
+    if (ladder.BitrateMbps(candidate) * config_.upswitch_margin <= usable) {
+      choice = candidate;
+    } else {
+      choice = context.prev_rung;
+    }
+  }
+  return choice;
+}
+
+}  // namespace soda::abr

@@ -1,0 +1,36 @@
+// Production-baseline proxy for the section 6.3 A/B comparison.
+//
+// Prime Video's in-production controller is proprietary; this models a
+// "fine-tuned production controller" of the common hybrid family: a
+// throughput rule with a conservative safety factor, a buffer-reserve
+// ramp (more aggressive as buffer grows), and a small hysteresis band to
+// damp — but not eliminate — oscillation. Its tuning targets low
+// rebuffering, so like most deployed heuristics it trades switching for
+// safety; the A/B bench measures SODA's deltas against it.
+#pragma once
+
+#include "abr/controller.hpp"
+
+namespace soda::abr {
+
+struct ProductionBaselineConfig {
+  double safety = 0.85;
+  // Fraction of max buffer below which the rule sticks to lower rungs.
+  double low_buffer_fraction = 0.3;
+  // Hysteresis: only switch up when the target rung fits under
+  // safety * predicted with this extra margin.
+  double upswitch_margin = 1.1;
+};
+
+class ProductionBaselineController final : public Controller {
+ public:
+  explicit ProductionBaselineController(ProductionBaselineConfig config = {});
+
+  [[nodiscard]] media::Rung ChooseRung(const Context& context) override;
+  [[nodiscard]] std::string Name() const override { return "ProdBaseline"; }
+
+ private:
+  ProductionBaselineConfig config_;
+};
+
+}  // namespace soda::abr

@@ -1,0 +1,135 @@
+#include "abr/rl_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "media/quality.hpp"
+#include "util/ensure.hpp"
+
+namespace soda::abr {
+
+RlLikeController::RlLikeController(RlLikeConfig config) : config_(config) {
+  SODA_ENSURE(config_.buffer_bins >= 4, "need at least 4 buffer bins");
+  SODA_ENSURE(config_.throughput_bins >= 4, "need at least 4 throughput bins");
+  SODA_ENSURE(config_.discount > 0.0 && config_.discount < 1.0,
+              "discount must be in (0, 1)");
+  SODA_ENSURE(config_.persistence > 0.0 && config_.persistence <= 1.0,
+              "persistence must be in (0, 1]");
+}
+
+int RlLikeController::BufferBin(double buffer_s) const noexcept {
+  const double unit = buffer_s / max_buffer_s_ * config_.buffer_bins;
+  return std::clamp(static_cast<int>(unit), 0, config_.buffer_bins - 1);
+}
+
+int RlLikeController::ThroughputBin(double mbps) const noexcept {
+  int best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (int j = 0; j < static_cast<int>(throughput_grid_mbps_.size()); ++j) {
+    const double distance =
+        std::abs(std::log(std::max(mbps, 1e-3) /
+                          throughput_grid_mbps_[static_cast<std::size_t>(j)]));
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::size_t RlLikeController::StateIndex(int b, media::Rung prev,
+                                         int w) const noexcept {
+  return static_cast<std::size_t>(
+      (b * rung_count_ + prev) * config_.throughput_bins + w);
+}
+
+void RlLikeController::TrainIfNeeded(const Context& context) {
+  if (trained_) return;
+  const auto& ladder = context.Ladder();
+  rung_count_ = ladder.Count();
+  max_buffer_s_ = context.max_buffer_s;
+  segment_s_ = context.SegmentSeconds();
+
+  // Log-spaced throughput grid covering half the lowest to twice the
+  // highest ladder bitrate.
+  throughput_grid_mbps_.clear();
+  const double lo = ladder.MinMbps() / 2.0;
+  const double hi = ladder.MaxMbps() * 2.0;
+  const double step = std::log(hi / lo) /
+                      static_cast<double>(config_.throughput_bins - 1);
+  for (int j = 0; j < config_.throughput_bins; ++j) {
+    throughput_grid_mbps_.push_back(lo * std::exp(step * j));
+  }
+
+  const media::NormalizedLogUtility utility(ladder);
+  const std::size_t n_states = static_cast<std::size_t>(config_.buffer_bins) *
+                               static_cast<std::size_t>(rung_count_) *
+                               static_cast<std::size_t>(config_.throughput_bins);
+  std::vector<double> value(n_states, 0.0);
+  std::vector<double> next_value(n_states, 0.0);
+  policy_.assign(n_states, 0);
+
+  const double bin_width_s = max_buffer_s_ / config_.buffer_bins;
+  const double p_stay = config_.persistence;
+  const double p_move = (1.0 - p_stay) / 2.0;
+
+  for (int iteration = 0; iteration < config_.max_iterations; ++iteration) {
+    double max_delta = 0.0;
+    for (int b = 0; b < config_.buffer_bins; ++b) {
+      const double buffer_s = (b + 0.5) * bin_width_s;
+      for (media::Rung prev = 0; prev < rung_count_; ++prev) {
+        for (int w = 0; w < config_.throughput_bins; ++w) {
+          const double mbps = throughput_grid_mbps_[static_cast<std::size_t>(w)];
+          double best = -std::numeric_limits<double>::infinity();
+          media::Rung best_action = 0;
+          for (media::Rung a = 0; a < rung_count_; ++a) {
+            const double size_mb = ladder.BitrateMbps(a) * segment_s_;
+            const double download_s = size_mb / mbps;
+            const double rebuffer_s = std::max(0.0, download_s - buffer_s);
+            const double next_buffer =
+                std::min(std::max(buffer_s - download_s, 0.0) + segment_s_,
+                         max_buffer_s_);
+            double reward = utility.At(ladder.BitrateMbps(a));
+            reward -= config_.rebuffer_penalty_per_s * rebuffer_s;
+            reward -= config_.switch_penalty *
+                      std::abs(utility.At(ladder.BitrateMbps(a)) -
+                               utility.At(ladder.BitrateMbps(prev)));
+
+            const int nb = BufferBin(next_buffer);
+            double expected = 0.0;
+            const int w_down = std::max(w - 1, 0);
+            const int w_up = std::min(w + 1, config_.throughput_bins - 1);
+            expected += p_stay * value[StateIndex(nb, a, w)];
+            expected += p_move * value[StateIndex(nb, a, w_down)];
+            expected += p_move * value[StateIndex(nb, a, w_up)];
+
+            const double total = reward + config_.discount * expected;
+            if (total > best) {
+              best = total;
+              best_action = a;
+            }
+          }
+          const std::size_t s = StateIndex(b, prev, w);
+          next_value[s] = best;
+          policy_[s] = best_action;
+          max_delta = std::max(max_delta, std::abs(next_value[s] - value[s]));
+        }
+      }
+    }
+    value.swap(next_value);
+    if (max_delta < 1e-6) break;
+  }
+  trained_ = true;
+}
+
+media::Rung RlLikeController::ChooseRung(const Context& context) {
+  TrainIfNeeded(context);
+  const media::Rung prev =
+      context.HasPrev() ? context.prev_rung : context.Ladder().LowestRung();
+  const int b = BufferBin(context.buffer_s);
+  const int w = ThroughputBin(context.PredictMbps());
+  return policy_[StateIndex(b, prev, w)];
+}
+
+}  // namespace soda::abr

@@ -1,0 +1,61 @@
+// RL-like baseline standing in for CausalSimRL (a CausalSim-trained
+// Pensieve; section 6.2.2).
+//
+// We cannot ship a neural RL stack, so this reproduces the *behavioral*
+// properties the paper relies on: a black-box learned policy over
+// (buffer, throughput, previous rung) that attains high utility but
+// switches often, and whose QoE trade-off cannot be re-tuned without
+// retraining. The policy is obtained by discounted value iteration on a
+// discretized MDP of the streaming dynamics with a Pensieve-style reward
+// (utility - rebuffer penalty - |utility delta|). Training is deterministic
+// and happens lazily on first use for the ladder/buffer configuration
+// observed at runtime.
+#pragma once
+
+#include <vector>
+
+#include "abr/controller.hpp"
+
+namespace soda::abr {
+
+struct RlLikeConfig {
+  int buffer_bins = 16;
+  int throughput_bins = 12;
+  double discount = 0.9;
+  int max_iterations = 400;
+  double rebuffer_penalty_per_s = 5.0;
+  // Pensieve's smoothness weight is small relative to rebuffering, which is
+  // exactly why the learned policy switches freely.
+  double switch_penalty = 0.3;
+  // Throughput persistence probability in the training MDP's AR(1) chain.
+  double persistence = 0.6;
+};
+
+class RlLikeController final : public Controller {
+ public:
+  explicit RlLikeController(RlLikeConfig config = {});
+
+  [[nodiscard]] media::Rung ChooseRung(const Context& context) override;
+  void Reset() override {}
+  [[nodiscard]] std::string Name() const override { return "CausalSimRL"; }
+
+  [[nodiscard]] bool Trained() const noexcept { return trained_; }
+
+ private:
+  void TrainIfNeeded(const Context& context);
+  [[nodiscard]] int BufferBin(double buffer_s) const noexcept;
+  [[nodiscard]] int ThroughputBin(double mbps) const noexcept;
+  [[nodiscard]] std::size_t StateIndex(int b, media::Rung prev,
+                                       int w) const noexcept;
+
+  RlLikeConfig config_;
+  bool trained_ = false;
+  // Cached training geometry.
+  int rung_count_ = 0;
+  double max_buffer_s_ = 0.0;
+  double segment_s_ = 0.0;
+  std::vector<double> throughput_grid_mbps_;
+  std::vector<media::Rung> policy_;  // argmax action per state
+};
+
+}  // namespace soda::abr

@@ -1,0 +1,17 @@
+#include "abr/throughput_rule.hpp"
+
+#include "util/ensure.hpp"
+
+namespace soda::abr {
+
+ThroughputRuleController::ThroughputRuleController(double safety)
+    : safety_(safety) {
+  SODA_ENSURE(safety > 0.0 && safety <= 1.0, "safety must be in (0, 1]");
+}
+
+media::Rung ThroughputRuleController::ChooseRung(const Context& context) {
+  const double usable = safety_ * context.PredictMbps();
+  return context.Ladder().HighestRungAtMost(usable);
+}
+
+}  // namespace soda::abr

@@ -1,0 +1,23 @@
+// Pure rate-based rule: the highest rung whose bitrate fits under a safety
+// fraction of the predicted throughput. This is the classic "throughput
+// rule" half of dash.js's Dynamic and a building block for HYB and the
+// production baseline.
+#pragma once
+
+#include "abr/controller.hpp"
+
+namespace soda::abr {
+
+class ThroughputRuleController final : public Controller {
+ public:
+  // `safety` in (0, 1]: fraction of predicted throughput considered usable.
+  explicit ThroughputRuleController(double safety = 0.9);
+
+  [[nodiscard]] media::Rung ChooseRung(const Context& context) override;
+  [[nodiscard]] std::string Name() const override { return "Throughput"; }
+
+ private:
+  double safety_;
+};
+
+}  // namespace soda::abr

@@ -1,0 +1,85 @@
+#include "core/cost_model.hpp"
+
+#include "util/ensure.hpp"
+
+namespace soda::core {
+
+CostModel::CostModel(const media::BitrateLadder& ladder, CostModelConfig config)
+    : ladder_(&ladder),
+      config_(config),
+      distortion_(config.distortion, ladder.MinMbps(), ladder.MaxMbps()) {
+  SODA_ENSURE(config_.weights.alpha >= 0.0, "alpha must be non-negative");
+  SODA_ENSURE(config_.weights.beta >= 0.0, "beta must be non-negative");
+  SODA_ENSURE(config_.weights.gamma >= 0.0, "gamma must be non-negative");
+  SODA_ENSURE(config_.weights.epsilon > 0.0 && config_.weights.epsilon <= 1.0,
+              "epsilon must be in (0, 1]");
+  SODA_ENSURE(config_.weights.barrier >= 0.0, "barrier must be non-negative");
+  SODA_ENSURE(config_.weights.kappa >= 0.0, "kappa must be non-negative");
+  SODA_ENSURE(config_.weights.safe_fraction >= 0.0 &&
+                  config_.weights.safe_fraction < 1.0,
+              "safe fraction must be in [0, 1)");
+  SODA_ENSURE(config_.dt_s > 0.0, "dt must be positive");
+  SODA_ENSURE(config_.max_buffer_s > 0.0, "max buffer must be positive");
+  SODA_ENSURE(config_.target_buffer_s > 0.0 &&
+                  config_.target_buffer_s < config_.max_buffer_s,
+              "target buffer must be inside (0, max buffer)");
+}
+
+double CostModel::BufferCost(double buffer_s) const noexcept {
+  const double target = config_.target_buffer_s;
+  // Relative deviation keeps beta meaningful across buffer scales.
+  const double deviation = (buffer_s - target) / target;
+  double cost = deviation * deviation;
+  if (buffer_s > target) {
+    cost *= config_.weights.epsilon;
+  } else {
+    const double safe = config_.weights.safe_fraction * target;
+    if (buffer_s < safe && safe > 0.0 && config_.weights.beta > 0.0) {
+      // Expressed relative to beta so the total buffer cost stays a single
+      // beta-weighted term in the objective.
+      const double shortfall = (safe - buffer_s) / safe;
+      cost += config_.weights.barrier / config_.weights.beta * shortfall *
+              shortfall;
+    }
+  }
+  return cost;
+}
+
+double CostModel::SwitchCost(double bitrate_mbps,
+                             double prev_bitrate_mbps) const noexcept {
+  const double delta =
+      distortion_.At(bitrate_mbps) - distortion_.At(prev_bitrate_mbps);
+  return delta * delta;
+}
+
+double CostModel::VideoSecondsDownloaded(double predicted_mbps,
+                                         double bitrate_mbps) const noexcept {
+  return predicted_mbps * config_.dt_s / bitrate_mbps;
+}
+
+double CostModel::DistortionTermCost(double predicted_mbps,
+                                     double bitrate_mbps) const noexcept {
+  return config_.weights.alpha * distortion_.At(bitrate_mbps) *
+         VideoSecondsDownloaded(predicted_mbps, bitrate_mbps);
+}
+
+double CostModel::NextBuffer(double buffer_s, double predicted_mbps,
+                             double bitrate_mbps) const noexcept {
+  return buffer_s + VideoSecondsDownloaded(predicted_mbps, bitrate_mbps) -
+         config_.dt_s;
+}
+
+double CostModel::IntervalCost(double predicted_mbps, double bitrate_mbps,
+                               double prev_bitrate_mbps, double buffer_after_s,
+                               bool include_switch) const noexcept {
+  double cost = config_.weights.alpha * distortion_.At(bitrate_mbps) *
+                VideoSecondsDownloaded(predicted_mbps, bitrate_mbps);
+  cost += config_.weights.beta * BufferCost(buffer_after_s);
+  if (include_switch) {
+    cost += config_.weights.gamma * SwitchCost(bitrate_mbps, prev_bitrate_mbps);
+    if (bitrate_mbps != prev_bitrate_mbps) cost += config_.weights.kappa;
+  }
+  return cost;
+}
+
+}  // namespace soda::core

@@ -1,0 +1,81 @@
+#include "core/decision_map.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/ensure.hpp"
+
+namespace soda::core {
+
+DecisionMap ComputeDecisionMap(const CostModel& model,
+                               const DecisionMapConfig& config) {
+  SODA_ENSURE(config.buffer_points >= 2 && config.throughput_points >= 2,
+              "decision map needs at least a 2x2 grid");
+  SODA_ENSURE(config.max_mbps > config.min_mbps && config.min_mbps > 0.0,
+              "invalid throughput range");
+  SODA_ENSURE(config.horizon > 0, "horizon must be positive");
+
+  SolverConfig solver_config;
+  solver_config.hard_buffer_constraints = true;
+  const MonotonicSolver solver(model, solver_config);
+  const MonotonicSolver soft_solver(model, SolverConfig{});
+
+  DecisionMap map;
+  map.buffer_axis_s.reserve(static_cast<std::size_t>(config.buffer_points));
+  const double max_buffer = model.Config().max_buffer_s;
+  for (int b = 0; b < config.buffer_points; ++b) {
+    map.buffer_axis_s.push_back(max_buffer * static_cast<double>(b) /
+                                (config.buffer_points - 1));
+  }
+  const double log_step = std::log(config.max_mbps / config.min_mbps) /
+                          (config.throughput_points - 1);
+  for (int t = 0; t < config.throughput_points; ++t) {
+    map.throughput_axis_mbps.push_back(config.min_mbps *
+                                       std::exp(log_step * t));
+  }
+
+  map.grid.assign(static_cast<std::size_t>(config.throughput_points),
+                  std::vector<double>(
+                      static_cast<std::size_t>(config.buffer_points), 0.0));
+  for (int t = 0; t < config.throughput_points; ++t) {
+    const std::vector<double> predictions(
+        static_cast<std::size_t>(config.horizon),
+        map.throughput_axis_mbps[static_cast<std::size_t>(t)]);
+    for (int b = 0; b < config.buffer_points; ++b) {
+      const double buffer = map.buffer_axis_s[static_cast<std::size_t>(b)];
+      const PlanResult plan =
+          solver.Solve(predictions, buffer, config.prev_rung);
+      double& cell =
+          map.grid[static_cast<std::size_t>(t)][static_cast<std::size_t>(b)];
+      media::Rung rung;
+      if (plan.feasible) {
+        rung = plan.first_rung;
+      } else {
+        // Infeasible under hard constraints. If even the top rung (which
+        // downloads the least video per interval) would overflow the
+        // buffer, SODA makes no download: the blank Fig. 5 region.
+        // Otherwise (a low-throughput underflow, excluded by Assumption
+        // A.1 in the theory), fall back to the deployable
+        // soft-constrained plan.
+        const double least_download = model.NextBuffer(
+            buffer, predictions.front(), model.Ladder().MaxMbps());
+        if (least_download > model.Config().max_buffer_s) {
+          cell = std::numeric_limits<double>::quiet_NaN();
+          continue;
+        }
+        rung = soft_solver.Solve(predictions, buffer, config.prev_rung)
+                   .first_rung;
+      }
+      // The deployed controller's section 5.1 throughput cap (engaged when
+      // the buffer is below target); the map shows deployed behavior.
+      if (buffer < model.Config().target_buffer_s) {
+        rung = std::min(
+            rung, model.Ladder().LowestRungAtLeast(predictions.front()));
+      }
+      cell = static_cast<double>(rung);
+    }
+  }
+  return map;
+}
+
+}  // namespace soda::core

@@ -1,0 +1,35 @@
+// SODA's bitrate decision diagram (Fig. 5): the committed rung as a function
+// of buffer level and predicted throughput, with NaN in the region where no
+// feasible download exists (buffer overflow would be unavoidable).
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/solver.hpp"
+
+namespace soda::core {
+
+struct DecisionMapConfig {
+  int buffer_points = 40;       // x axis: buffer level 0..max
+  int throughput_points = 60;   // y axis: log-spaced throughput range
+  double min_mbps = 0.5;
+  double max_mbps = 120.0;
+  int horizon = 5;
+  media::Rung prev_rung = -1;   // previous bitrate fed to the solver
+};
+
+struct DecisionMap {
+  std::vector<double> buffer_axis_s;
+  std::vector<double> throughput_axis_mbps;
+  // grid[t][b]: rung index as double, NaN where no feasible plan exists.
+  std::vector<std::vector<double>> grid;
+};
+
+// Computes the decision map by solving the planning problem (with hard
+// buffer constraints, as in the paper's optimization phase) at each grid
+// point with a constant throughput prediction.
+[[nodiscard]] DecisionMap ComputeDecisionMap(const CostModel& model,
+                                             const DecisionMapConfig& config);
+
+}  // namespace soda::core

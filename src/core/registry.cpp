@@ -1,0 +1,108 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "abr/bba.hpp"
+#include "abr/bola.hpp"
+#include "abr/dynamic.hpp"
+#include "abr/hyb.hpp"
+#include "abr/mpc.hpp"
+#include "abr/production_baseline.hpp"
+#include "abr/rl_like.hpp"
+#include "abr/throughput_rule.hpp"
+#include "core/soda_controller.hpp"
+#include "predict/ema.hpp"
+#include "predict/harmonic_mean.hpp"
+#include "predict/markov.hpp"
+#include "predict/moving_average.hpp"
+#include "predict/quantile.hpp"
+#include "predict/robust_discount.hpp"
+#include "predict/sliding_window.hpp"
+#include "util/ensure.hpp"
+
+namespace soda::core {
+namespace {
+
+std::string ToLower(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return name;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ControllerNames() {
+  return {"soda",      "hyb",  "bola", "bba",        "dynamic",    "mpc",
+          "robustmpc", "fugu", "rl",   "throughput", "production"};
+}
+
+abr::ControllerPtr MakeController(const std::string& raw_name) {
+  const std::string name = ToLower(raw_name);
+  if (name == "soda") return std::make_unique<SodaController>();
+  if (name == "hyb") return std::make_unique<abr::HybController>();
+  if (name == "bola") return std::make_unique<abr::BolaController>();
+  if (name == "bba") return std::make_unique<abr::BbaController>();
+  if (name == "dynamic") return std::make_unique<abr::DynamicController>();
+  if (name == "mpc") return std::make_unique<abr::MpcController>();
+  if (name == "robustmpc") {
+    abr::MpcConfig config;
+    config.name = "RobustMPC";
+    return std::make_unique<abr::MpcController>(config);
+  }
+  if (name == "fugu") {
+    abr::MpcConfig config;
+    config.name = "Fugu";
+    config.prediction_scale = 0.93;
+    return std::make_unique<abr::MpcController>(config);
+  }
+  if (name == "rl") return std::make_unique<abr::RlLikeController>();
+  if (name == "throughput") {
+    return std::make_unique<abr::ThroughputRuleController>();
+  }
+  if (name == "production") {
+    return std::make_unique<abr::ProductionBaselineController>();
+  }
+  SODA_ENSURE(false, "unknown controller '" + raw_name + "'; valid: " +
+                         JoinNames(ControllerNames()));
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> PredictorNames() {
+  return {"ema", "ma",  "harmonic", "window",
+          "markov", "p10", "p25",      "p50", "robust-ema"};
+}
+
+predict::PredictorPtr MakePredictor(const std::string& raw_name) {
+  const std::string name = ToLower(raw_name);
+  if (name == "ema") return std::make_unique<predict::EmaPredictor>();
+  if (name == "ma") return std::make_unique<predict::MovingAveragePredictor>();
+  if (name == "harmonic") {
+    return std::make_unique<predict::HarmonicMeanPredictor>();
+  }
+  if (name == "window") {
+    return std::make_unique<predict::SlidingWindowPredictor>();
+  }
+  if (name == "markov") return std::make_unique<predict::MarkovPredictor>();
+  if (name == "p10") return std::make_unique<predict::QuantilePredictor>(10.0);
+  if (name == "p25") return std::make_unique<predict::QuantilePredictor>(25.0);
+  if (name == "p50") return std::make_unique<predict::QuantilePredictor>(50.0);
+  if (name == "robust-ema") {
+    return std::make_unique<predict::RobustDiscountPredictor>(
+        std::make_unique<predict::EmaPredictor>(), 5);
+  }
+  SODA_ENSURE(false, "unknown predictor '" + raw_name + "'; valid: " +
+                         JoinNames(PredictorNames()));
+  return nullptr;  // unreachable
+}
+
+}  // namespace soda::core

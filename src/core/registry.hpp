@@ -1,0 +1,35 @@
+// Name-based registries for controllers and predictors, powering the CLI
+// tools and making roster sweeps trivial in scripts:
+//
+//   auto controller = core::MakeController("soda");
+//   auto predictor  = core::MakePredictor("ema");
+//
+// Names are case-insensitive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "abr/controller.hpp"
+
+namespace soda::core {
+
+// All registered controller names (lower-case): soda, hyb, bola, dynamic,
+// mpc, robustmpc*, fugu, rl, throughput, production.
+// (*robustmpc additionally needs its predictor wrapped in
+// predict::RobustDiscountPredictor; MakePredictor("robust-ema") does that.)
+[[nodiscard]] std::vector<std::string> ControllerNames();
+
+// Creates a controller by name. Throws std::invalid_argument for unknown
+// names (the message lists the valid ones).
+[[nodiscard]] abr::ControllerPtr MakeController(const std::string& name);
+
+// All registered predictor names (lower-case): ema, ma, harmonic, window,
+// markov, p10, p25, p50, robust-ema.
+[[nodiscard]] std::vector<std::string> PredictorNames();
+
+// Creates a predictor by name. Throws std::invalid_argument for unknown
+// names.
+[[nodiscard]] predict::PredictorPtr MakePredictor(const std::string& name);
+
+}  // namespace soda::core

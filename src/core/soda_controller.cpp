@@ -1,0 +1,82 @@
+#include "core/soda_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace soda::core {
+
+SodaController::SodaController(SodaConfig config) : config_(config) {
+  SODA_ENSURE(config_.horizon > 0, "horizon must be positive");
+  SODA_ENSURE(config_.max_horizon_s > 0.0, "max horizon must be positive");
+  SODA_ENSURE(config_.target_fraction > 0.0 && config_.target_fraction < 1.0,
+              "target fraction must be in (0, 1)");
+}
+
+void SodaController::EnsureModel(const abr::Context& context) {
+  CostModelConfig mc;
+  mc.weights = config_.weights;
+  mc.dt_s = context.SegmentSeconds();
+  mc.max_buffer_s = context.max_buffer_s;
+  mc.target_buffer_s = config_.target_buffer_s.value_or(
+      config_.target_fraction * context.max_buffer_s);
+  mc.distortion = config_.distortion;
+
+  const bool needs_rebuild =
+      !model_.has_value() ||
+      model_->Config().dt_s != mc.dt_s ||
+      model_->Config().max_buffer_s != mc.max_buffer_s ||
+      model_->Config().target_buffer_s != mc.target_buffer_s ||
+      &model_->Ladder() != &context.Ladder();
+  if (!needs_rebuild) return;
+
+  model_.emplace(context.Ladder(), mc);
+  SolverConfig sc;
+  sc.hard_buffer_constraints = config_.hard_buffer_constraints;
+  sc.tail_intervals = config_.tail_intervals;
+  solver_.emplace(*model_, sc);
+}
+
+media::Rung SodaController::ChooseRung(const abr::Context& context) {
+  EnsureModel(context);
+  const auto& ladder = context.Ladder();
+  const double dt = context.SegmentSeconds();
+
+  // Horizon limited to max_horizon_s of clock time (section 5.2).
+  const int max_by_time = std::max(
+      1, static_cast<int>(std::floor(config_.max_horizon_s / dt + 1e-9)));
+  const int horizon = std::clamp(config_.horizon, 1, max_by_time);
+
+  const std::vector<double> predictions =
+      context.predictor->PredictHorizon(context.now_s, horizon, dt);
+
+  const PlanResult plan =
+      solver_->Solve(predictions, context.buffer_s, context.prev_rung);
+  last_sequences_ = plan.sequences_evaluated;
+
+  media::Rung choice;
+  if (plan.feasible) {
+    choice = plan.first_rung;
+  } else {
+    // No feasible plan under hard constraints (possible when even the
+    // lowest bitrate overflows or the highest cannot keep the buffer
+    // non-negative). Fall back to the throughput-matched rung.
+    choice = ladder.HighestRungAtMost(predictions.front());
+  }
+
+  if (config_.throughput_cap &&
+      context.buffer_s <
+          config_.cap_fraction * model_->Config().target_buffer_s) {
+    // Section 5.1: never commit to a bitrate above
+    // min{r in R : r >= w_hat}, which bounds how long one segment download
+    // can overrun its interval. Overrunning is only risky when the buffer
+    // is short, so the cap engages below the target level; with an ample
+    // buffer the planner's own buffer cost governs.
+    const media::Rung cap = ladder.LowestRungAtLeast(predictions.front());
+    choice = std::min(choice, cap);
+  }
+  return choice;
+}
+
+}  // namespace soda::core

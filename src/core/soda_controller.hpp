@@ -1,0 +1,68 @@
+// The SODA ABR controller (sections 3 and 5).
+//
+// Plans over the next K intervals of dt = segment length with the
+// time-based cost model, using the monotonic approximate solver, and
+// commits the first decision. Implementation heuristics from section 5:
+//  - dt is set to the segment duration (segment-based schema, section 5.1);
+//  - the committed bitrate is capped at min{r in R : r >= w_hat}
+//    (section 5.1) so a download never commits far beyond one interval;
+//  - the prediction horizon is limited to at most ~10 s of clock time
+//    (section 5.2), since predictor accuracy degrades beyond that.
+#pragma once
+
+#include <optional>
+
+#include "abr/controller.hpp"
+#include "core/cost_model.hpp"
+#include "core/solver.hpp"
+
+namespace soda::core {
+
+struct SodaConfig {
+  CostWeights weights;
+  // Planning horizon in intervals; clamped so horizon * dt <= max_horizon_s.
+  int horizon = 5;
+  double max_horizon_s = 10.0;
+  // Target buffer as a fraction of the max buffer (used unless
+  // target_buffer_s is set explicitly).
+  double target_fraction = 0.6;
+  std::optional<double> target_buffer_s;
+  media::DistortionModel distortion = media::DistortionModel::kLog;
+  // Apply the section 5.1 throughput cap heuristic. The cap engages when
+  // the buffer falls below cap_fraction * target (overrunning one interval
+  // is only risky with little buffer).
+  bool throughput_cap = true;
+  double cap_fraction = 1.0;
+  // Hard (paper optimization-phase) vs soft (clamped) buffer constraints in
+  // planning; the deployable controller uses soft so a plan always exists.
+  bool hard_buffer_constraints = false;
+  // Terminal distortion tail (see core::SolverConfig::tail_intervals).
+  double tail_intervals = 8.0;
+};
+
+class SodaController final : public abr::Controller {
+ public:
+  explicit SodaController(SodaConfig config = {});
+
+  [[nodiscard]] media::Rung ChooseRung(const abr::Context& context) override;
+  [[nodiscard]] std::string Name() const override { return "SODA"; }
+
+  // Solver work done by the last decision (for the efficiency bench).
+  [[nodiscard]] long long LastSequencesEvaluated() const noexcept {
+    return last_sequences_;
+  }
+
+  [[nodiscard]] const SodaConfig& Config() const noexcept { return config_; }
+
+ private:
+  // Lazily builds the cost model for the ladder/buffer geometry seen at
+  // runtime (they are not known at construction).
+  void EnsureModel(const abr::Context& context);
+
+  SodaConfig config_;
+  std::optional<CostModel> model_;
+  std::optional<MonotonicSolver> solver_;
+  long long last_sequences_ = 0;
+};
+
+}  // namespace soda::core

@@ -1,0 +1,232 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/ensure.hpp"
+
+namespace soda::core {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+constexpr double kFeasibilityTolerance = 1e-9;
+
+struct StepOutcome {
+  double next_buffer = 0.0;
+  double cost = 0.0;
+  bool feasible = true;
+};
+
+StepOutcome EvaluateStep(const CostModel& model, double predicted_mbps,
+                         media::Rung rung, media::Rung prev_rung,
+                         double buffer_s, bool charge_switch,
+                         bool hard_constraints) {
+  const auto& ladder = model.Ladder();
+  const double bitrate = ladder.BitrateMbps(rung);
+  const double raw_next = model.NextBuffer(buffer_s, predicted_mbps, bitrate);
+  const double max_buffer = model.Config().max_buffer_s;
+
+  StepOutcome out;
+  out.next_buffer = std::clamp(raw_next, 0.0, max_buffer);
+  if (hard_constraints) {
+    out.feasible = raw_next >= -kFeasibilityTolerance &&
+                   raw_next <= max_buffer + kFeasibilityTolerance;
+  }
+  const double prev_bitrate =
+      prev_rung >= 0 ? ladder.BitrateMbps(prev_rung) : bitrate;
+  out.cost = model.IntervalCost(predicted_mbps, bitrate, prev_bitrate,
+                                out.next_buffer, charge_switch);
+  return out;
+}
+
+// Anchor rung used when there is no previous bitrate: the highest rung the
+// predicted throughput sustains.
+media::Rung AnchorRung(const CostModel& model, double predicted_mbps) {
+  return model.Ladder().HighestRungAtMost(predicted_mbps);
+}
+
+// Terminal tail: the plan's last rung is assumed to persist for
+// `tail_intervals` more intervals at the last predicted throughput. Charges
+// the distortion term plus the buffer cost at the midpoint of the
+// continuation's buffer drift, so an unsustainable final rung (which would
+// drain the buffer right after the horizon) is not scored as a free ride.
+double TailCost(const CostModel& model, double tail_intervals,
+                double predicted_mbps, media::Rung rung, double buffer_s) {
+  if (tail_intervals <= 0.0) return 0.0;
+  const double bitrate = model.Ladder().BitrateMbps(rung);
+  const double drift_per_interval =
+      model.NextBuffer(buffer_s, predicted_mbps, bitrate) - buffer_s;
+  const double mid_buffer =
+      std::clamp(buffer_s + 0.5 * tail_intervals * drift_per_interval, 0.0,
+                 model.Config().max_buffer_s);
+  return tail_intervals *
+         (model.DistortionTermCost(predicted_mbps, bitrate) +
+          model.Config().weights.beta * model.BufferCost(mid_buffer));
+}
+
+}  // namespace
+
+MonotonicSolver::MonotonicSolver(const CostModel& model, SolverConfig config)
+    : model_(&model), config_(config) {}
+
+void MonotonicSolver::SearchMonotone(std::span<const double> predicted_mbps,
+                                     int depth, double buffer_s,
+                                     media::Rung prev, bool charge_switch,
+                                     int direction, double accumulated,
+                                     std::vector<media::Rung>& stack,
+                                     Branch& best) const {
+  const int horizon = static_cast<int>(predicted_mbps.size());
+  if (depth == horizon) {
+    const double total =
+        accumulated + TailCost(*model_, config_.tail_intervals,
+                               predicted_mbps.back(), stack.back(), buffer_s);
+    ++best.sequences;
+    if (!best.found || total < best.objective) {
+      best.found = true;
+      best.objective = total;
+      best.first = stack.front();
+      best.plan = stack;
+    }
+    return;
+  }
+
+  const auto& ladder = model_->Ladder();
+  const media::Rung begin = prev;
+  const media::Rung end =
+      direction > 0 ? ladder.HighestRung() : ladder.LowestRung();
+  const double w = predicted_mbps[static_cast<std::size_t>(depth)];
+
+  for (media::Rung r = begin;; r += direction) {
+    const StepOutcome step =
+        EvaluateStep(*model_, w, r, charge_switch ? prev : -1, buffer_s,
+                     charge_switch, config_.hard_buffer_constraints);
+    if (step.feasible) {
+      stack.push_back(r);
+      SearchMonotone(predicted_mbps, depth + 1, step.next_buffer, r,
+                     /*charge_switch=*/true, direction,
+                     accumulated + step.cost, stack, best);
+      stack.pop_back();
+    }
+    if (r == end) break;
+  }
+}
+
+PlanResult MonotonicSolver::Solve(std::span<const double> predicted_mbps,
+                                  double buffer_s,
+                                  media::Rung prev_rung) const {
+  SODA_ENSURE(!predicted_mbps.empty(), "need at least one prediction");
+  for (const double w : predicted_mbps) {
+    SODA_ENSURE(w > 0.0, "predicted throughput must be positive");
+  }
+
+  const bool has_prev = prev_rung >= 0;
+  const media::Rung anchor =
+      has_prev ? prev_rung : AnchorRung(*model_, predicted_mbps.front());
+
+  Branch up;
+  Branch down;
+  std::vector<media::Rung> stack;
+  stack.reserve(predicted_mbps.size());
+  SearchMonotone(predicted_mbps, 0, buffer_s, anchor, has_prev,
+                 /*direction=*/+1, 0.0, stack, up);
+  SearchMonotone(predicted_mbps, 0, buffer_s, anchor, has_prev,
+                 /*direction=*/-1, 0.0, stack, down);
+
+  PlanResult result;
+  result.sequences_evaluated = up.sequences + down.sequences;
+  const Branch* chosen = nullptr;
+  if (up.found && (!down.found || up.objective < down.objective)) {
+    chosen = &up;
+  } else if (down.found) {
+    chosen = &down;
+  }
+  if (chosen != nullptr) {
+    result.feasible = true;
+    result.first_rung = chosen->first;
+    result.objective = chosen->objective;
+    result.plan = chosen->plan;
+  }
+  return result;
+}
+
+BruteForceSolver::BruteForceSolver(const CostModel& model, SolverConfig config)
+    : model_(&model), config_(config) {}
+
+void BruteForceSolver::SearchAll(std::span<const double> predicted_mbps,
+                                 int depth, double buffer_s, media::Rung prev,
+                                 bool charge_switch, double accumulated,
+                                 std::vector<media::Rung>& stack,
+                                 PlanResult& best) const {
+  const int horizon = static_cast<int>(predicted_mbps.size());
+  if (depth == horizon) {
+    const double total =
+        accumulated + TailCost(*model_, config_.tail_intervals,
+                               predicted_mbps.back(), stack.back(), buffer_s);
+    ++best.sequences_evaluated;
+    if (!best.feasible || total < best.objective) {
+      best.feasible = true;
+      best.objective = total;
+      best.first_rung = stack.front();
+      best.plan = stack;
+    }
+    return;
+  }
+  const auto& ladder = model_->Ladder();
+  const double w = predicted_mbps[static_cast<std::size_t>(depth)];
+  for (media::Rung r = ladder.LowestRung(); r <= ladder.HighestRung(); ++r) {
+    const StepOutcome step =
+        EvaluateStep(*model_, w, r, charge_switch ? prev : -1, buffer_s,
+                     charge_switch, config_.hard_buffer_constraints);
+    if (!step.feasible) continue;
+    stack.push_back(r);
+    SearchAll(predicted_mbps, depth + 1, step.next_buffer, r,
+              /*charge_switch=*/true, accumulated + step.cost, stack, best);
+    stack.pop_back();
+  }
+}
+
+PlanResult BruteForceSolver::Solve(std::span<const double> predicted_mbps,
+                                   double buffer_s,
+                                   media::Rung prev_rung) const {
+  SODA_ENSURE(!predicted_mbps.empty(), "need at least one prediction");
+  const double combos =
+      std::pow(static_cast<double>(model_->Ladder().Count()),
+               static_cast<double>(predicted_mbps.size()));
+  SODA_ENSURE(combos <= 2e7, "brute-force search space too large");
+
+  const bool has_prev = prev_rung >= 0;
+  const media::Rung anchor =
+      has_prev ? prev_rung : AnchorRung(*model_, predicted_mbps.front());
+
+  PlanResult best;
+  std::vector<media::Rung> stack;
+  stack.reserve(predicted_mbps.size());
+  SearchAll(predicted_mbps, 0, buffer_s, anchor, has_prev, 0.0, stack, best);
+  return best;
+}
+
+double EvaluatePlan(const CostModel& model,
+                    std::span<const double> predicted_mbps,
+                    std::span<const media::Rung> plan, double buffer_s,
+                    media::Rung prev_rung, bool hard_buffer_constraints) {
+  SODA_ENSURE(plan.size() == predicted_mbps.size(),
+              "plan and prediction lengths must match");
+  double total = 0.0;
+  double buffer = buffer_s;
+  media::Rung prev = prev_rung;
+  bool charge_switch = prev_rung >= 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const StepOutcome step = EvaluateStep(
+        model, predicted_mbps[i], plan[i], charge_switch ? prev : -1, buffer,
+        charge_switch, hard_buffer_constraints);
+    if (!step.feasible) return kInfinity;
+    total += step.cost;
+    buffer = step.next_buffer;
+    prev = plan[i];
+    charge_switch = true;
+  }
+  return total;
+}
+
+}  // namespace soda::core

@@ -1,0 +1,103 @@
+// SODA's horizon solvers.
+//
+// MonotonicSolver implements Algorithm 1: it searches only bitrate
+// sequences that move monotonically (up or down) from the previous bitrate,
+// which Theorem 4.3 shows approximates the unconstrained optimum; the
+// complexity drops from O(|R|^K) to O(C(|R|+K, K)). BruteForceSolver
+// enumerates everything and exists to validate the approximation (Fig. 8)
+// and for the micro-benchmarks.
+//
+// Both solvers plan over K intervals of dt seconds against per-interval
+// throughput predictions, with buffer dynamics from the cost model. With
+// `hard_buffer_constraints` the planner rejects trajectories leaving
+// [0, x_max] (the paper's optimization-phase constraint); in soft mode the
+// trajectory is clamped and the boundary cost charged, which is what the
+// deployable controller uses so a plan always exists.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/cost_model.hpp"
+
+namespace soda::core {
+
+struct SolverConfig {
+  bool hard_buffer_constraints = false;
+  // Terminal tail: the plan's last rung is assumed to persist for this many
+  // extra intervals and its distortion term is charged for them. This
+  // approximates the value of ending the horizon at a sustainable quality
+  // level, so that one-time switching costs amortize over more than K
+  // intervals (K-step lookahead alone undervalues climbing back after a
+  // dip). 0 recovers the pure Equation-2 objective used by the theory.
+  double tail_intervals = 0.0;
+};
+
+struct PlanResult {
+  bool feasible = false;
+  media::Rung first_rung = 0;
+  double objective = 0.0;
+  // Full planned rung sequence (length = horizon).
+  std::vector<media::Rung> plan;
+  // Number of complete bitrate sequences whose objective was evaluated.
+  long long sequences_evaluated = 0;
+};
+
+class MonotonicSolver {
+ public:
+  MonotonicSolver(const CostModel& model, SolverConfig config = {});
+
+  // Plans against `predicted_mbps` (one entry per interval; the horizon is
+  // its length). `prev_rung` < 0 means no previous bitrate: the first
+  // step's switching cost is dropped and the search is anchored at the
+  // throughput-matched rung.
+  [[nodiscard]] PlanResult Solve(std::span<const double> predicted_mbps,
+                                 double buffer_s, media::Rung prev_rung) const;
+
+ private:
+  struct Branch {
+    double objective = 0.0;
+    media::Rung first = -1;
+    std::vector<media::Rung> plan;
+    bool found = false;
+    long long sequences = 0;
+  };
+
+  // Depth-first search over monotone sequences. `direction` is +1 for
+  // SearchUp (non-decreasing rungs) and -1 for SearchDown.
+  void SearchMonotone(std::span<const double> predicted_mbps, int depth,
+                      double buffer_s, media::Rung prev, bool charge_switch,
+                      int direction, double accumulated,
+                      std::vector<media::Rung>& stack, Branch& best) const;
+
+  const CostModel* model_;
+  SolverConfig config_;
+};
+
+class BruteForceSolver {
+ public:
+  BruteForceSolver(const CostModel& model, SolverConfig config = {});
+
+  [[nodiscard]] PlanResult Solve(std::span<const double> predicted_mbps,
+                                 double buffer_s, media::Rung prev_rung) const;
+
+ private:
+  void SearchAll(std::span<const double> predicted_mbps, int depth,
+                 double buffer_s, media::Rung prev, bool charge_switch,
+                 double accumulated, std::vector<media::Rung>& stack,
+                 PlanResult& best) const;
+
+  const CostModel* model_;
+  SolverConfig config_;
+};
+
+// Evaluates the cost-model objective of a fixed rung sequence (used by
+// tests and the theory module). Returns infinity when infeasible under
+// hard constraints.
+[[nodiscard]] double EvaluatePlan(const CostModel& model,
+                                  std::span<const double> predicted_mbps,
+                                  std::span<const media::Rung> plan,
+                                  double buffer_s, media::Rung prev_rung,
+                                  bool hard_buffer_constraints);
+
+}  // namespace soda::core

@@ -1,0 +1,86 @@
+#include "media/bitrate_ladder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/ensure.hpp"
+#include "util/table.hpp"
+
+namespace soda::media {
+
+BitrateLadder::BitrateLadder(std::vector<double> bitrates_mbps)
+    : bitrates_(std::move(bitrates_mbps)) {
+  SODA_ENSURE(!bitrates_.empty(), "bitrate ladder must not be empty");
+  SODA_ENSURE(bitrates_.front() > 0.0, "bitrates must be positive");
+  SODA_ENSURE(std::is_sorted(bitrates_.begin(), bitrates_.end()),
+              "bitrate ladder must be sorted ascending");
+  SODA_ENSURE(std::adjacent_find(bitrates_.begin(), bitrates_.end()) ==
+                  bitrates_.end(),
+              "bitrate ladder must not contain duplicates");
+}
+
+double BitrateLadder::BitrateMbps(Rung rung) const {
+  SODA_ENSURE(IsValidRung(rung), "rung out of range");
+  return bitrates_[static_cast<std::size_t>(rung)];
+}
+
+Rung BitrateLadder::HighestRungAtMost(double mbps) const noexcept {
+  Rung best = 0;
+  for (Rung r = 0; r < Count(); ++r) {
+    if (bitrates_[static_cast<std::size_t>(r)] <= mbps) best = r;
+  }
+  return best;
+}
+
+Rung BitrateLadder::LowestRungAtLeast(double mbps) const noexcept {
+  for (Rung r = 0; r < Count(); ++r) {
+    if (bitrates_[static_cast<std::size_t>(r)] >= mbps) return r;
+  }
+  return HighestRung();
+}
+
+Rung BitrateLadder::NearestRung(double mbps) const noexcept {
+  Rung best = 0;
+  double best_distance = std::abs(bitrates_[0] - mbps);
+  for (Rung r = 1; r < Count(); ++r) {
+    const double distance = std::abs(bitrates_[static_cast<std::size_t>(r)] - mbps);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = r;
+    }
+  }
+  return best;
+}
+
+BitrateLadder BitrateLadder::WithoutTopRungs(int n) const {
+  SODA_ENSURE(n >= 0 && n < Count(), "cannot remove that many rungs");
+  std::vector<double> kept(bitrates_.begin(), bitrates_.end() - n);
+  return BitrateLadder(std::move(kept));
+}
+
+std::string BitrateLadder::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < bitrates_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(bitrates_[i], bitrates_[i] < 1.0 ? 2 : 1);
+  }
+  out += "} Mb/s";
+  return out;
+}
+
+BitrateLadder YoutubeHfr4kLadder() {
+  return BitrateLadder({1.5, 4.0, 7.5, 12.0, 24.0, 60.0});
+}
+
+BitrateLadder PrimeVideoProductionLadder() {
+  return BitrateLadder({0.2, 0.45, 0.8, 1.2, 1.8, 2.0, 4.0, 5.0, 6.5, 8.0});
+}
+
+BitrateLadder PufferPrototypeLadder() {
+  // Average encoded bitrates for the five Puffer renditions (240p..1080p at
+  // CRF 26); the top rung averages about 2 Mb/s as stated in section 6.2.1.
+  return BitrateLadder({0.1, 0.25, 0.55, 1.1, 2.0});
+}
+
+}  // namespace soda::media

@@ -1,0 +1,70 @@
+// Bitrate ladders: the ordered set of encodings an ABR controller selects
+// from. Provides the three ladders used in the paper's evaluation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace soda::media {
+
+// Index of a rung within a ladder. Rung 0 is the lowest bitrate.
+using Rung = int;
+
+// An ordered (strictly increasing) list of encoding bitrates in Mb/s.
+class BitrateLadder {
+ public:
+  // Throws std::invalid_argument unless `bitrates_mbps` is non-empty,
+  // strictly increasing, and positive.
+  explicit BitrateLadder(std::vector<double> bitrates_mbps);
+
+  [[nodiscard]] std::size_t Size() const noexcept { return bitrates_.size(); }
+  [[nodiscard]] int Count() const noexcept {
+    return static_cast<int>(bitrates_.size());
+  }
+  [[nodiscard]] double BitrateMbps(Rung rung) const;
+  [[nodiscard]] std::span<const double> Bitrates() const noexcept {
+    return bitrates_;
+  }
+  [[nodiscard]] double MinMbps() const noexcept { return bitrates_.front(); }
+  [[nodiscard]] double MaxMbps() const noexcept { return bitrates_.back(); }
+  [[nodiscard]] Rung LowestRung() const noexcept { return 0; }
+  [[nodiscard]] Rung HighestRung() const noexcept {
+    return static_cast<Rung>(bitrates_.size()) - 1;
+  }
+  [[nodiscard]] bool IsValidRung(Rung rung) const noexcept {
+    return rung >= 0 && rung < Count();
+  }
+
+  // Highest rung whose bitrate is <= mbps; LowestRung() when none is.
+  [[nodiscard]] Rung HighestRungAtMost(double mbps) const noexcept;
+  // Lowest rung whose bitrate is >= mbps; HighestRung() when none is.
+  // This is the paper's section 5.1 cap: min{r in R : r >= w}.
+  [[nodiscard]] Rung LowestRungAtLeast(double mbps) const noexcept;
+  // Rung whose bitrate is closest to mbps.
+  [[nodiscard]] Rung NearestRung(double mbps) const noexcept;
+
+  // A copy of this ladder with the top `n` rungs removed (used by the
+  // evaluation for 4G/5G datasets). Throws when n would empty the ladder.
+  [[nodiscard]] BitrateLadder WithoutTopRungs(int n) const;
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<double> bitrates_;
+};
+
+// YouTube-recommended high-frame-rate 4K ladder used by the paper's
+// numerical simulations: {1.5, 4, 7.5, 12, 24, 60} Mb/s.
+[[nodiscard]] BitrateLadder YoutubeHfr4kLadder();
+
+// Prime Video production ladder used in section 6.3:
+// {0.2, 0.45, 0.8, 1.2, 1.8, 2, 4, 5, 6.5, 8} Mb/s.
+[[nodiscard]] BitrateLadder PrimeVideoProductionLadder();
+
+// Puffer prototype ladder (five renditions, CRF 26, top rung averages about
+// 2 Mb/s) used in section 6.2.
+[[nodiscard]] BitrateLadder PufferPrototypeLadder();
+
+}  // namespace soda::media

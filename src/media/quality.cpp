@@ -1,0 +1,67 @@
+#include "media/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace soda::media {
+
+NormalizedLogUtility::NormalizedLogUtility(const BitrateLadder& ladder)
+    : NormalizedLogUtility(ladder.MinMbps(), ladder.MaxMbps()) {}
+
+NormalizedLogUtility::NormalizedLogUtility(double min_mbps, double max_mbps)
+    : min_mbps_(min_mbps), log_span_(std::log(max_mbps / min_mbps)) {
+  SODA_ENSURE(min_mbps > 0.0, "min bitrate must be positive");
+  SODA_ENSURE(max_mbps > min_mbps, "max bitrate must exceed min bitrate");
+}
+
+double NormalizedLogUtility::At(double bitrate_mbps) const noexcept {
+  if (bitrate_mbps <= min_mbps_) return 0.0;
+  const double value = std::log(bitrate_mbps / min_mbps_) / log_span_;
+  return std::min(value, 1.0);
+}
+
+Distortion::Distortion(DistortionModel model, double min_mbps, double max_mbps)
+    : model_(model),
+      min_mbps_(min_mbps),
+      max_mbps_(max_mbps),
+      log_span_(std::log(max_mbps / min_mbps)) {
+  SODA_ENSURE(min_mbps > 0.0, "min bitrate must be positive");
+  SODA_ENSURE(max_mbps > min_mbps, "max bitrate must exceed min bitrate");
+}
+
+double Distortion::At(double bitrate_mbps) const noexcept {
+  const double r = std::clamp(bitrate_mbps, min_mbps_, max_mbps_);
+  switch (model_) {
+    case DistortionModel::kInverse:
+      // Scaled so v(rmin) == 1; strictly decreasing and convex in r.
+      return min_mbps_ / r;
+    case DistortionModel::kLog:
+      // Scaled so v(rmin) == 1, v(rmax) == 0.
+      return std::log(max_mbps_ / r) / log_span_;
+  }
+  return 0.0;  // Unreachable; keeps -Wreturn-type happy.
+}
+
+SsimModel::SsimModel(double max_ssim, double mbps_at_max)
+    : max_ssim_(max_ssim), mbps_at_max_(mbps_at_max) {
+  SODA_ENSURE(max_ssim > 0.0 && max_ssim <= 1.0, "SSIM must be in (0, 1]");
+  SODA_ENSURE(mbps_at_max > 0.0, "bitrate at max SSIM must be positive");
+}
+
+double SsimModel::SsimAt(double bitrate_mbps) const noexcept {
+  if (bitrate_mbps >= mbps_at_max_) return max_ssim_;
+  if (bitrate_mbps <= 0.0) return 0.5;
+  // Empirical slope of ~0.03 SSIM per halving of bitrate, matching the SSIM
+  // spread Puffer reports across its 240p..1080p renditions.
+  const double ssim =
+      max_ssim_ - 0.03 * std::log2(mbps_at_max_ / bitrate_mbps);
+  return std::max(ssim, 0.5);
+}
+
+double SsimModel::NormalizedAt(double bitrate_mbps) const noexcept {
+  return SsimAt(bitrate_mbps) / max_ssim_;
+}
+
+}  // namespace soda::media

@@ -1,0 +1,71 @@
+// Perceptual quality / utility functions.
+//
+// - NormalizedLogUtility: the evaluation's mean-utility definition,
+//   log(r/rmin)/log(rmax/rmin) in [0, 1].
+// - Distortion: the controller-side distortion cost v(r), either 1/r
+//   (theory default) or log(rmax/r) (discussed in Appendix B). Both are
+//   positive, strictly decreasing, convex.
+// - SsimModel: a logistic SSIM-vs-bitrate curve for the prototype
+//   evaluation (section 6.2.3), standing in for Puffer's per-encoding SSIM.
+#pragma once
+
+#include "media/bitrate_ladder.hpp"
+
+namespace soda::media {
+
+// log(r/rmin) / log(rmax/rmin), clamped to [0, 1] outside the ladder range.
+class NormalizedLogUtility {
+ public:
+  explicit NormalizedLogUtility(const BitrateLadder& ladder);
+  NormalizedLogUtility(double min_mbps, double max_mbps);
+
+  [[nodiscard]] double At(double bitrate_mbps) const noexcept;
+
+ private:
+  double min_mbps_;
+  double log_span_;
+};
+
+enum class DistortionModel {
+  kInverse,  // v(r) = 1/r
+  kLog,      // v(r) = log(rmax / r)
+};
+
+// Controller-side distortion cost v(r). Values are normalized so that
+// v(rmin) == 1 and v(rmax) == 0 for kLog (and v is scaled by rmin for
+// kInverse so v(rmin) == 1); this keeps cost weights transferable across
+// ladders.
+class Distortion {
+ public:
+  Distortion(DistortionModel model, double min_mbps, double max_mbps);
+
+  [[nodiscard]] double At(double bitrate_mbps) const noexcept;
+  [[nodiscard]] DistortionModel Model() const noexcept { return model_; }
+
+ private:
+  DistortionModel model_;
+  double min_mbps_;
+  double max_mbps_;
+  double log_span_;
+};
+
+// SSIM as a function of bitrate: ssim(r) = max_ssim - a * exp(-b * log r).
+// Parameterized to resemble Puffer's reported SSIM range (about 0.93-0.99
+// across its ladder). Used to compute the normalized SSIM utility
+// ssim/ssim_max of section 6.2.3.
+class SsimModel {
+ public:
+  // `mbps_at_max` is the bitrate that achieves ~max SSIM.
+  SsimModel(double max_ssim, double mbps_at_max);
+
+  [[nodiscard]] double SsimAt(double bitrate_mbps) const noexcept;
+  // ssim(r) / max_ssim, in (0, 1].
+  [[nodiscard]] double NormalizedAt(double bitrate_mbps) const noexcept;
+  [[nodiscard]] double MaxSsim() const noexcept { return max_ssim_; }
+
+ private:
+  double max_ssim_;
+  double mbps_at_max_;
+};
+
+}  // namespace soda::media

@@ -1,0 +1,47 @@
+#include "media/video_model.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/ensure.hpp"
+
+namespace soda::media {
+namespace {
+
+// Cheap deterministic hash of (segment index, seed) onto [-1, 1). Gives each
+// segment a stable VBR multiplier shared across rungs, mimicking how scene
+// complexity inflates every rendition of the same content.
+double SegmentNoise(std::int64_t index, std::uint64_t seed) noexcept {
+  std::uint64_t z = static_cast<std::uint64_t>(index) * 0x9E3779B97F4A7C15ULL +
+                    seed * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
+  return 2.0 * unit - 1.0;
+}
+
+}  // namespace
+
+VideoModel::VideoModel(BitrateLadder ladder, VideoModelConfig config)
+    : ladder_(std::move(ladder)), config_(config) {
+  SODA_ENSURE(config_.segment_seconds > 0.0,
+              "segment duration must be positive");
+  SODA_ENSURE(config_.vbr_amplitude >= 0.0 && config_.vbr_amplitude <= 0.9,
+              "vbr amplitude must be in [0, 0.9]");
+}
+
+double VideoModel::SegmentSizeMb(std::int64_t index, Rung rung) const {
+  SODA_ENSURE(index >= 0, "segment index must be non-negative");
+  const double nominal = NominalSegmentSizeMb(rung);
+  if (config_.vbr_amplitude == 0.0) return nominal;
+  const double multiplier =
+      1.0 + config_.vbr_amplitude * SegmentNoise(index, config_.vbr_seed);
+  return nominal * multiplier;
+}
+
+double VideoModel::NominalSegmentSizeMb(Rung rung) const {
+  return ladder_.BitrateMbps(rung) * config_.segment_seconds;
+}
+
+}  // namespace soda::media

@@ -1,0 +1,46 @@
+// Video model: maps (segment index, rung) to encoded segment sizes.
+//
+// Supports both constant-bitrate segments (size = bitrate * duration) and a
+// deterministic VBR model where per-segment size varies around the nominal
+// bitrate with configurable amplitude, as real encoders produce.
+#pragma once
+
+#include <cstdint>
+
+#include "media/bitrate_ladder.hpp"
+
+namespace soda::media {
+
+struct VideoModelConfig {
+  double segment_seconds = 2.0;
+  // Peak-to-mean VBR variability: 0 = constant bitrate; 0.2 means segment
+  // sizes vary +/-20% around nominal in a deterministic per-segment pattern.
+  double vbr_amplitude = 0.0;
+  // Seed for the deterministic VBR pattern; two models with the same seed
+  // produce identical segment sizes.
+  std::uint64_t vbr_seed = 1;
+};
+
+class VideoModel {
+ public:
+  // Throws std::invalid_argument on non-positive segment duration or
+  // vbr_amplitude outside [0, 0.9].
+  VideoModel(BitrateLadder ladder, VideoModelConfig config);
+
+  [[nodiscard]] const BitrateLadder& Ladder() const noexcept { return ladder_; }
+  [[nodiscard]] double SegmentSeconds() const noexcept {
+    return config_.segment_seconds;
+  }
+
+  // Size of segment `index` encoded at `rung`, in megabits. Deterministic.
+  [[nodiscard]] double SegmentSizeMb(std::int64_t index, Rung rung) const;
+
+  // Nominal (VBR-free) segment size at `rung` in megabits.
+  [[nodiscard]] double NominalSegmentSizeMb(Rung rung) const;
+
+ private:
+  BitrateLadder ladder_;
+  VideoModelConfig config_;
+};
+
+}  // namespace soda::media

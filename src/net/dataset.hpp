@@ -1,0 +1,64 @@
+// Dataset emulators.
+//
+// The paper's evaluation uses three real trace corpora (Puffer, Irish 5G,
+// Irish 4G; section 6.1.1). The raw corpora are not redistributable here, so
+// this module generates synthetic 10-minute sessions whose aggregate
+// statistics are calibrated to the paper's Fig. 9: mean throughput
+// 57.1 / 31.3 / 13.0 Mb/s and mean within-session relative standard
+// deviation 47.2% / 133% / 80.6% for Puffer / 5G / 4G. Mobile datasets get
+// regime fades (deep short outages) on top of an autocorrelated log-normal
+// base process, mirroring the cellular traces' burstiness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/generators.hpp"
+#include "net/trace.hpp"
+#include "util/rng.hpp"
+
+namespace soda::net {
+
+enum class DatasetKind { kPuffer, k5G, k4G };
+
+[[nodiscard]] std::string DatasetName(DatasetKind kind);
+
+struct DatasetProfile {
+  DatasetKind kind = DatasetKind::kPuffer;
+  // Aggregate calibration targets (paper, Fig. 9).
+  double target_mean_mbps = 57.1;
+  double target_rel_std = 0.472;
+  // Generator parameters realizing the targets.
+  double base_rel_std = 0.472;       // OU stationary rel-std (pre-fade).
+  double reversion_rate = 0.08;      // OU theta, 1/s.
+  double session_scale_rel_std = 0.35;  // Cross-session mean variation.
+  bool fades = false;
+  FadeConfig fade;
+  double dt_s = 1.0;
+  double session_s = 600.0;  // Paper uses consecutive 10-minute sessions.
+};
+
+// The calibrated profile for each dataset.
+[[nodiscard]] DatasetProfile ProfileFor(DatasetKind kind);
+
+class DatasetEmulator {
+ public:
+  explicit DatasetEmulator(DatasetProfile profile);
+  explicit DatasetEmulator(DatasetKind kind) : DatasetEmulator(ProfileFor(kind)) {}
+
+  [[nodiscard]] const DatasetProfile& Profile() const noexcept {
+    return profile_;
+  }
+
+  // One 10-minute session. Deterministic given the Rng state.
+  [[nodiscard]] ThroughputTrace MakeSession(Rng& rng) const;
+
+  // `count` independent sessions.
+  [[nodiscard]] std::vector<ThroughputTrace> MakeSessions(std::size_t count,
+                                                          Rng& rng) const;
+
+ private:
+  DatasetProfile profile_;
+};
+
+}  // namespace soda::net

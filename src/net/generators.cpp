@@ -1,0 +1,97 @@
+#include "net/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace soda::net {
+
+ThroughputTrace ConstantTrace(double mbps, double duration_s) {
+  return ThroughputTrace({{0.0, mbps}}, duration_s);
+}
+
+ThroughputTrace StepTrace(std::vector<double> levels_mbps, double step_s) {
+  SODA_ENSURE(!levels_mbps.empty(), "step trace needs at least one level");
+  return ThroughputTrace::Uniform(std::move(levels_mbps), step_s);
+}
+
+ThroughputTrace SquareWaveTrace(double low_mbps, double high_mbps,
+                                double period_s, double duration_s) {
+  SODA_ENSURE(period_s > 0.0, "period must be positive");
+  SODA_ENSURE(duration_s > 0.0, "duration must be positive");
+  std::vector<double> levels;
+  const double half = period_s / 2.0;
+  const auto steps = static_cast<std::size_t>(std::ceil(duration_s / half));
+  levels.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    levels.push_back(i % 2 == 0 ? high_mbps : low_mbps);
+  }
+  return ThroughputTrace::Uniform(std::move(levels), half);
+}
+
+ThroughputTrace RandomWalkTrace(const RandomWalkConfig& config, Rng& rng) {
+  SODA_ENSURE(config.mean_mbps > 0.0, "mean throughput must be positive");
+  SODA_ENSURE(config.stationary_rel_std > 0.0, "rel std must be positive");
+  SODA_ENSURE(config.dt_s > 0.0 && config.duration_s > 0.0,
+              "dt and duration must be positive");
+
+  // Log-normal moment matching: if log X ~ N(mu, s^2) then
+  //   E[X] = exp(mu + s^2/2),  relstd(X) = sqrt(exp(s^2) - 1).
+  const double s2 = std::log(1.0 + config.stationary_rel_std *
+                                       config.stationary_rel_std);
+  const double s = std::sqrt(s2);
+  const double mu = std::log(config.mean_mbps) - s2 / 2.0;
+
+  // OU with stationary std s: x' = x + theta*(mu - x)*dt + sigma*sqrt(dt)*N,
+  // where sigma = s * sqrt(2*theta).
+  const double theta = config.reversion_rate;
+  const double sigma = s * std::sqrt(2.0 * theta);
+
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(config.duration_s / config.dt_s));
+  std::vector<double> rates;
+  rates.reserve(steps);
+  double x = rng.Gaussian(mu, s);  // Start in the stationary distribution.
+  for (std::size_t i = 0; i < steps; ++i) {
+    rates.push_back(std::max(std::exp(x), config.floor_mbps));
+    x += theta * (mu - x) * config.dt_s +
+         sigma * std::sqrt(config.dt_s) * rng.Gaussian();
+  }
+  return ThroughputTrace::Uniform(std::move(rates), config.dt_s);
+}
+
+std::vector<double> FadeMultipliers(const FadeConfig& config, double dt_s,
+                                    std::size_t steps, Rng& rng) {
+  SODA_ENSURE(config.fade_depth > 0.0 && config.fade_depth <= 1.0,
+              "fade depth must be in (0, 1]");
+  SODA_ENSURE(config.mean_good_s > 0.0 && config.mean_fade_s > 0.0,
+              "dwell times must be positive");
+  std::vector<double> multipliers;
+  multipliers.reserve(steps);
+  bool fading = false;
+  double remaining = rng.Exponential(1.0 / config.mean_good_s);
+  for (std::size_t i = 0; i < steps; ++i) {
+    multipliers.push_back(fading ? config.fade_depth : 1.0);
+    remaining -= dt_s;
+    if (remaining <= 0.0) {
+      fading = !fading;
+      remaining = rng.Exponential(
+          1.0 / (fading ? config.mean_fade_s : config.mean_good_s));
+    }
+  }
+  return multipliers;
+}
+
+ThroughputTrace RobustMpcPathologyTrace(double high_mbps,
+                                        double constrained_mbps, double good_s,
+                                        double duration_s) {
+  SODA_ENSURE(high_mbps > constrained_mbps && constrained_mbps > 0.0,
+              "pathology trace needs high > constrained > 0");
+  SODA_ENSURE(duration_s > good_s && good_s > 0.0,
+              "duration must exceed the good period");
+  return ThroughputTrace({{0.0, high_mbps}, {good_s, constrained_mbps}},
+                         duration_s);
+}
+
+}  // namespace soda::net

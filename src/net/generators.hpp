@@ -1,0 +1,63 @@
+// Synthetic throughput trace generators.
+//
+// These provide controlled network conditions for unit tests, theory
+// validation benches, and the figure reproductions that need crafted
+// conditions (e.g. the RobustMPC pathology trace of Fig. 3).
+#pragma once
+
+#include <vector>
+
+#include "net/trace.hpp"
+#include "util/rng.hpp"
+
+namespace soda::net {
+
+// Constant `mbps` for `duration_s` seconds.
+[[nodiscard]] ThroughputTrace ConstantTrace(double mbps, double duration_s);
+
+// Piecewise-constant steps: levels[i] holds for step_s seconds each.
+[[nodiscard]] ThroughputTrace StepTrace(std::vector<double> levels_mbps,
+                                        double step_s);
+
+// Alternates low/high every half period for the given duration.
+[[nodiscard]] ThroughputTrace SquareWaveTrace(double low_mbps, double high_mbps,
+                                              double period_s,
+                                              double duration_s);
+
+// Mean-reverting (Ornstein-Uhlenbeck) process in log-throughput space,
+// sampled every dt_s. `stationary_rel_std` is the relative standard
+// deviation of the resulting (log-normal) throughput; `reversion_rate` is
+// the OU theta (1/s): higher values decorrelate faster.
+struct RandomWalkConfig {
+  double mean_mbps = 10.0;
+  double stationary_rel_std = 0.5;
+  double reversion_rate = 0.05;
+  double dt_s = 1.0;
+  double duration_s = 600.0;
+  double floor_mbps = 0.05;
+};
+[[nodiscard]] ThroughputTrace RandomWalkTrace(const RandomWalkConfig& config,
+                                              Rng& rng);
+
+// Two-state fade process multiplier timeline: value 1 in the good state,
+// `fade_depth` (< 1) in the fade state; exponential dwell times. Used to add
+// mobile-style outages on top of a base process.
+struct FadeConfig {
+  double mean_good_s = 30.0;
+  double mean_fade_s = 4.0;
+  double fade_depth = 0.15;
+};
+[[nodiscard]] std::vector<double> FadeMultipliers(const FadeConfig& config,
+                                                  double dt_s,
+                                                  std::size_t steps, Rng& rng);
+
+// The crafted trace used for the RobustMPC pathology reproduction (Fig. 3):
+// ample throughput for `good_s` seconds, then a drop to slightly below the
+// second-highest sustainable bitrate so a switching-averse controller parked
+// on the top rung oscillates into repeated rebuffering.
+[[nodiscard]] ThroughputTrace RobustMpcPathologyTrace(double high_mbps,
+                                                      double constrained_mbps,
+                                                      double good_s,
+                                                      double duration_s);
+
+}  // namespace soda::net

@@ -1,0 +1,133 @@
+#include "net/mahimahi.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/ensure.hpp"
+
+namespace soda::net {
+namespace {
+
+std::vector<long long> ParseSchedule(const std::string& text) {
+  std::vector<long long> timestamps_ms;
+  std::size_t pos = 0;
+  int line_number = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string_view line(text.data() + pos, end - pos);
+    pos = end + 1;
+    ++line_number;
+    // Trim and skip blanks/comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+
+    long long value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(line.data(), line.data() + line.size(), value);
+    if (ec != std::errc() || ptr != line.data() + line.size() || value < 0) {
+      throw std::runtime_error("mahimahi: bad timestamp on line " +
+                               std::to_string(line_number));
+    }
+    if (!timestamps_ms.empty() && value < timestamps_ms.back()) {
+      throw std::runtime_error("mahimahi: timestamps must be non-decreasing "
+                               "(line " + std::to_string(line_number) + ")");
+    }
+    timestamps_ms.push_back(value);
+  }
+  if (timestamps_ms.empty()) {
+    throw std::runtime_error("mahimahi: empty delivery schedule");
+  }
+  return timestamps_ms;
+}
+
+}  // namespace
+
+ThroughputTrace ParseMahimahi(const std::string& text,
+                              const MahimahiOptions& options) {
+  SODA_ENSURE(options.bin_seconds > 0.0, "bin width must be positive");
+  const std::vector<long long> schedule = ParseSchedule(text);
+
+  // Mahimahi loops the schedule with period = the last timestamp (or 1 ms
+  // minimum so a single-packet file still has a period).
+  const double period_s =
+      std::max(static_cast<double>(schedule.back()) / 1000.0, 1e-3);
+  const double duration =
+      options.duration_s > 0.0 ? options.duration_s : period_s;
+
+  const auto bins = static_cast<std::size_t>(
+      std::ceil(duration / options.bin_seconds));
+  SODA_ENSURE(bins > 0, "duration too short for one bin");
+  std::vector<double> megabits(bins, 0.0);
+
+  const double packet_mb = kMahimahiMtuBytes * 8.0 / 1e6;
+  // Walk delivery opportunities across repeats of the schedule until the
+  // requested duration is covered.
+  for (double offset_s = 0.0; offset_s < duration; offset_s += period_s) {
+    for (const long long ms : schedule) {
+      const double t = offset_s + static_cast<double>(ms) / 1000.0;
+      if (t >= duration) break;
+      const auto bin = static_cast<std::size_t>(t / options.bin_seconds);
+      if (bin < bins) megabits[bin] += packet_mb;
+    }
+  }
+
+  std::vector<double> rates;
+  rates.reserve(bins);
+  for (const double mb : megabits) {
+    rates.push_back(mb / options.bin_seconds);
+  }
+  return ThroughputTrace::Uniform(std::move(rates), options.bin_seconds);
+}
+
+ThroughputTrace LoadMahimahiFile(const std::filesystem::path& path,
+                                 const MahimahiOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open mahimahi trace: " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseMahimahi(buffer.str(), options);
+}
+
+std::string ToMahimahi(const ThroughputTrace& trace, double bin_seconds) {
+  SODA_ENSURE(bin_seconds > 0.0, "bin width must be positive");
+  const double packet_mb = kMahimahiMtuBytes * 8.0 / 1e6;
+  std::string out;
+  double carry_mb = 0.0;  // fractional packet carried between bins
+  for (double t0 = 0.0; t0 < trace.DurationS(); t0 += bin_seconds) {
+    const double t1 = std::min(t0 + bin_seconds, trace.DurationS());
+    const double mb = trace.MegabitsBetween(t0, t1) + carry_mb;
+    const auto packets = static_cast<long long>(mb / packet_mb);
+    carry_mb = mb - static_cast<double>(packets) * packet_mb;
+    for (long long p = 0; p < packets; ++p) {
+      const double when =
+          t0 + (t1 - t0) * (static_cast<double>(p) + 0.5) /
+                   static_cast<double>(packets);
+      out += std::to_string(static_cast<long long>(std::llround(when * 1000.0)));
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void SaveMahimahiFile(const ThroughputTrace& trace,
+                      const std::filesystem::path& path, double bin_seconds) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot write mahimahi trace: " + path.string());
+  }
+  out << ToMahimahi(trace, bin_seconds);
+}
+
+}  // namespace soda::net

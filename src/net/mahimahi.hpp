@@ -1,0 +1,52 @@
+// Mahimahi trace support.
+//
+// The mahimahi link-emulator format (used by the MPC, Pensieve and Puffer
+// communities to replay cellular captures) lists one packet-delivery
+// opportunity per line as an integer millisecond timestamp; each
+// opportunity carries one MTU (1500 bytes). This module converts such
+// traces to ThroughputTrace by binning delivered bytes into fixed windows,
+// and can export a ThroughputTrace back to the format (quantizing each
+// window's byte budget into MTU opportunities), enabling round-trips with
+// the ecosystem's tooling.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "net/trace.hpp"
+
+namespace soda::net {
+
+inline constexpr double kMahimahiMtuBytes = 1500.0;
+
+struct MahimahiOptions {
+  // Width of the throughput bins when converting to a rate trace.
+  double bin_seconds = 1.0;
+  // Mahimahi loops its trace; when the requested duration exceeds the
+  // file's span the delivery schedule repeats. 0 = the file's own span.
+  double duration_s = 0.0;
+};
+
+// Parses mahimahi text (one integer millisecond timestamp per line; blank
+// lines and '#' comments ignored). Timestamps must be non-decreasing.
+// Throws std::runtime_error on malformed input or an empty schedule.
+[[nodiscard]] ThroughputTrace ParseMahimahi(const std::string& text,
+                                            const MahimahiOptions& options = {});
+
+// Loads a mahimahi trace file.
+[[nodiscard]] ThroughputTrace LoadMahimahiFile(
+    const std::filesystem::path& path, const MahimahiOptions& options = {});
+
+// Renders a ThroughputTrace as a mahimahi delivery schedule: each
+// bin_seconds window emits round(window_megabits / MTU) opportunities
+// spread uniformly across the window.
+[[nodiscard]] std::string ToMahimahi(const ThroughputTrace& trace,
+                                     double bin_seconds = 1.0);
+
+// Writes the mahimahi rendering to a file. Throws on I/O failure.
+void SaveMahimahiFile(const ThroughputTrace& trace,
+                      const std::filesystem::path& path,
+                      double bin_seconds = 1.0);
+
+}  // namespace soda::net

@@ -1,0 +1,146 @@
+#include "net/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/ensure.hpp"
+
+namespace soda::net {
+
+ThroughputTrace::ThroughputTrace(std::vector<TraceSample> samples,
+                                 double duration_s)
+    : samples_(std::move(samples)), duration_s_(duration_s) {
+  SODA_ENSURE(!samples_.empty(), "trace must have at least one sample");
+  SODA_ENSURE(samples_.front().time_s == 0.0, "trace must start at time 0");
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    SODA_ENSURE(samples_[i].mbps >= 0.0, "throughput must be non-negative");
+    SODA_ENSURE(std::isfinite(samples_[i].mbps), "throughput must be finite");
+    if (i > 0) {
+      SODA_ENSURE(samples_[i].time_s > samples_[i - 1].time_s,
+                  "trace timestamps must be strictly increasing");
+    }
+  }
+  SODA_ENSURE(duration_s_ >= samples_.back().time_s,
+              "trace duration must cover all samples");
+  SODA_ENSURE(duration_s_ > 0.0, "trace duration must be positive");
+
+  cumulative_mb_.resize(samples_.size());
+  cumulative_mb_[0] = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const double span = samples_[i].time_s - samples_[i - 1].time_s;
+    cumulative_mb_[i] = cumulative_mb_[i - 1] + samples_[i - 1].mbps * span;
+  }
+}
+
+ThroughputTrace ThroughputTrace::Uniform(std::vector<double> rates_mbps,
+                                         double dt_s) {
+  SODA_ENSURE(dt_s > 0.0, "sample spacing must be positive");
+  SODA_ENSURE(!rates_mbps.empty(), "rate list must not be empty");
+  std::vector<TraceSample> samples;
+  samples.reserve(rates_mbps.size());
+  for (std::size_t i = 0; i < rates_mbps.size(); ++i) {
+    samples.push_back({static_cast<double>(i) * dt_s, rates_mbps[i]});
+  }
+  const double duration = static_cast<double>(rates_mbps.size()) * dt_s;
+  return ThroughputTrace(std::move(samples), duration);
+}
+
+std::size_t ThroughputTrace::IndexAt(double t) const noexcept {
+  // Last sample with time_s <= t.
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](double value, const TraceSample& s) { return value < s.time_s; });
+  if (it == samples_.begin()) return 0;
+  return static_cast<std::size_t>(std::distance(samples_.begin(), it)) - 1;
+}
+
+double ThroughputTrace::ThroughputAt(double t) const noexcept {
+  if (t <= 0.0) return samples_.front().mbps;
+  return samples_[IndexAt(t)].mbps;
+}
+
+double ThroughputTrace::MegabitsBetween(double t0, double t1) const noexcept {
+  if (t1 <= t0) return 0.0;
+  auto cumulative_at = [this](double t) {
+    const std::size_t i = IndexAt(t);
+    return cumulative_mb_[i] + samples_[i].mbps * (t - samples_[i].time_s);
+  };
+  return cumulative_at(t1) - cumulative_at(t0);
+}
+
+double ThroughputTrace::AverageMbps(double t0, double t1) const noexcept {
+  if (t1 <= t0) return ThroughputAt(t0);
+  return MegabitsBetween(t0, t1) / (t1 - t0);
+}
+
+double ThroughputTrace::MeanMbps() const noexcept {
+  return AverageMbps(0.0, duration_s_);
+}
+
+double ThroughputTrace::TimeToDownload(double start_s,
+                                       double megabits) const noexcept {
+  if (megabits <= 0.0) return 0.0;
+  double remaining = megabits;
+  std::size_t i = IndexAt(start_s);
+  double t = std::max(start_s, 0.0);
+  while (true) {
+    const double rate = samples_[i].mbps;
+    const bool last = (i + 1 == samples_.size());
+    const double segment_end =
+        last ? std::numeric_limits<double>::infinity() : samples_[i + 1].time_s;
+    const double span = segment_end - t;
+    const double deliverable = rate * span;  // inf*0 avoided: span>0 here.
+    if (rate > 0.0 && (last || deliverable >= remaining)) {
+      const double needed = remaining / rate;
+      if (last || needed <= span) return (t - start_s) + needed;
+    }
+    if (last) {
+      // Tail rate is zero and demand remains: never completes.
+      return std::numeric_limits<double>::infinity();
+    }
+    remaining -= rate * span;
+    t = segment_end;
+    ++i;
+  }
+}
+
+ThroughputTrace ThroughputTrace::Slice(double t0, double t1) const {
+  SODA_ENSURE(t0 >= 0.0 && t1 > t0, "invalid slice bounds");
+  std::vector<TraceSample> out;
+  const std::size_t first = IndexAt(t0);
+  out.push_back({0.0, samples_[first].mbps});
+  for (std::size_t i = first + 1; i < samples_.size(); ++i) {
+    if (samples_[i].time_s >= t1) break;
+    if (samples_[i].time_s > t0) {
+      out.push_back({samples_[i].time_s - t0, samples_[i].mbps});
+    }
+  }
+  return ThroughputTrace(std::move(out), t1 - t0);
+}
+
+std::vector<ThroughputTrace> ThroughputTrace::SplitSessions(
+    double session_s, double min_final_s) const {
+  SODA_ENSURE(session_s > 0.0, "session length must be positive");
+  std::vector<ThroughputTrace> sessions;
+  double t = 0.0;
+  while (t + session_s <= duration_s_ + 1e-9) {
+    sessions.push_back(Slice(t, t + session_s));
+    t += session_s;
+  }
+  const double leftover = duration_s_ - t;
+  if (leftover >= min_final_s && leftover > 0.0) {
+    sessions.push_back(Slice(t, duration_s_));
+  }
+  return sessions;
+}
+
+ThroughputTrace ThroughputTrace::Scaled(double factor) const {
+  SODA_ENSURE(factor > 0.0, "scale factor must be positive");
+  std::vector<TraceSample> scaled = samples_;
+  for (auto& s : scaled) s.mbps *= factor;
+  return ThroughputTrace(std::move(scaled), duration_s_);
+}
+
+}  // namespace soda::net

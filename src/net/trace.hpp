@@ -1,0 +1,76 @@
+// Throughput traces.
+//
+// A ThroughputTrace is a piecewise-constant throughput function of wall
+// time: sample i's rate applies from its timestamp until the next sample's
+// timestamp. The trace exposes exact byte-accounting primitives — megabits
+// deliverable over an interval and the inverse (time to download a given
+// size) — which is what both the simulator and the time-based SODA
+// formulation consume. Beyond the final sample the last rate holds forever,
+// so downloads that straddle the trace end remain well-defined.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace soda::net {
+
+struct TraceSample {
+  double time_s = 0.0;
+  double mbps = 0.0;
+};
+
+class ThroughputTrace {
+ public:
+  // `samples` must be non-empty, start at time 0, have strictly increasing
+  // timestamps and non-negative rates; `duration_s` must be at least the
+  // last timestamp. Throws std::invalid_argument otherwise.
+  ThroughputTrace(std::vector<TraceSample> samples, double duration_s);
+
+  // Uniformly spaced trace: rates[i] applies over [i*dt, (i+1)*dt).
+  static ThroughputTrace Uniform(std::vector<double> rates_mbps, double dt_s);
+
+  [[nodiscard]] double DurationS() const noexcept { return duration_s_; }
+  [[nodiscard]] const std::vector<TraceSample>& Samples() const noexcept {
+    return samples_;
+  }
+
+  // Instantaneous throughput at time t (>= 0). Holds the last rate beyond
+  // the trace end.
+  [[nodiscard]] double ThroughputAt(double t) const noexcept;
+
+  // Megabits deliverable over [t0, t1]. Exact under the piecewise-constant
+  // model. Requires t1 >= t0 >= 0.
+  [[nodiscard]] double MegabitsBetween(double t0, double t1) const noexcept;
+
+  // Average throughput over [t0, t1]; equals ThroughputAt(t0) when t1==t0.
+  [[nodiscard]] double AverageMbps(double t0, double t1) const noexcept;
+
+  // Mean throughput over the whole trace duration.
+  [[nodiscard]] double MeanMbps() const noexcept;
+
+  // Seconds needed to download `megabits` starting at `start_s`. Returns
+  // +inf when the tail rate is zero and the size cannot be served.
+  [[nodiscard]] double TimeToDownload(double start_s, double megabits) const noexcept;
+
+  // Sub-trace covering [t0, t1], re-based to time 0.
+  [[nodiscard]] ThroughputTrace Slice(double t0, double t1) const;
+
+  // Splits into consecutive sessions of `session_s` seconds, dropping a
+  // final partial session shorter than `min_final_s`.
+  [[nodiscard]] std::vector<ThroughputTrace> SplitSessions(
+      double session_s, double min_final_s) const;
+
+  // Copy with every rate multiplied by `factor` (> 0).
+  [[nodiscard]] ThroughputTrace Scaled(double factor) const;
+
+ private:
+  // Index of the sample active at time t.
+  [[nodiscard]] std::size_t IndexAt(double t) const noexcept;
+
+  std::vector<TraceSample> samples_;
+  // cumulative_mb_[i]: megabits delivered from time 0 to samples_[i].time_s.
+  std::vector<double> cumulative_mb_;
+  double duration_s_;
+};
+
+}  // namespace soda::net

@@ -1,0 +1,93 @@
+#include "net/trace_io.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/ensure.hpp"
+#include "util/table.hpp"
+
+namespace soda::net {
+
+ThroughputTrace LoadTraceCsv(const std::filesystem::path& path,
+                             double duration_hint_s) {
+  // Detect a header: if the first row's first field does not parse as a
+  // number, treat it as a header row.
+  CsvTable raw = LoadCsvFile(path, /*has_header=*/false);
+  if (raw.rows.empty()) {
+    throw std::runtime_error("trace CSV is empty: " + path.string());
+  }
+  std::size_t first_row = 0;
+  try {
+    (void)ParseDouble(raw.rows[0][0], "header probe");
+  } catch (const std::runtime_error&) {
+    first_row = 1;
+  }
+  if (raw.rows.size() <= first_row) {
+    throw std::runtime_error("trace CSV has no data rows: " + path.string());
+  }
+
+  std::vector<TraceSample> samples;
+  samples.reserve(raw.rows.size() - first_row);
+  for (std::size_t i = first_row; i < raw.rows.size(); ++i) {
+    const auto& row = raw.rows[i];
+    if (row.size() < 2) {
+      throw std::runtime_error("trace CSV row needs 2 columns: " +
+                               path.string());
+    }
+    const double t = ParseDouble(row[0], path.string());
+    const double mbps = ParseDouble(row[1], path.string());
+    samples.push_back({t, mbps});
+  }
+  // Re-base to time zero for tolerance of sliced exports.
+  const double t0 = samples.front().time_s;
+  for (auto& s : samples) s.time_s -= t0;
+
+  double duration = samples.back().time_s;
+  if (samples.size() > 1) {
+    // Assume the final sample lasts as long as the median spacing.
+    duration += (samples.back().time_s - samples.front().time_s) /
+                static_cast<double>(samples.size() - 1);
+  } else {
+    duration += 1.0;
+  }
+  duration = std::max(duration, duration_hint_s);
+  return ThroughputTrace(std::move(samples), duration);
+}
+
+void SaveTraceCsv(const ThroughputTrace& trace,
+                  const std::filesystem::path& path) {
+  CsvWriter writer;
+  writer.AddRow({"time_s", "mbps"});
+  for (const auto& s : trace.Samples()) {
+    writer.AddRow({FormatDouble(s.time_s, 4), FormatDouble(s.mbps, 6)});
+  }
+  writer.WriteFile(path);
+}
+
+std::vector<ThroughputTrace> LoadTraceDirectory(
+    const std::filesystem::path& dir,
+    std::vector<std::filesystem::path>* skipped) {
+  SODA_ENSURE(std::filesystem::is_directory(dir),
+              "not a directory: " + dir.string());
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<ThroughputTrace> traces;
+  traces.reserve(files.size());
+  for (const auto& file : files) {
+    try {
+      traces.push_back(LoadTraceCsv(file));
+    } catch (const std::exception&) {
+      if (skipped != nullptr) skipped->push_back(file);
+    }
+  }
+  return traces;
+}
+
+}  // namespace soda::net

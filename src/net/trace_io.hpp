@@ -1,0 +1,32 @@
+// Trace CSV I/O.
+//
+// Format: two columns "time_s,mbps" (header optional). Loading accepts any
+// CSV whose first two numeric columns are timestamp seconds and throughput
+// in Mb/s, which covers the common public trace exports (Puffer log
+// downsamples, the Irish 4G/5G dataset CSVs after unit conversion).
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "net/trace.hpp"
+
+namespace soda::net {
+
+// Loads a trace from CSV. `duration_hint_s` extends the trace beyond its
+// last sample when positive. Throws std::runtime_error on malformed input.
+[[nodiscard]] ThroughputTrace LoadTraceCsv(const std::filesystem::path& path,
+                                           double duration_hint_s = 0.0);
+
+// Writes "time_s,mbps" CSV with a header row.
+void SaveTraceCsv(const ThroughputTrace& trace,
+                  const std::filesystem::path& path);
+
+// Loads every *.csv in a directory (sorted by filename). Throws when the
+// directory does not exist; skips files that fail to parse, reporting them
+// in `skipped` when provided.
+[[nodiscard]] std::vector<ThroughputTrace> LoadTraceDirectory(
+    const std::filesystem::path& dir,
+    std::vector<std::filesystem::path>* skipped = nullptr);
+
+}  // namespace soda::net

@@ -1,0 +1,88 @@
+#include "net/trace_stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/ensure.hpp"
+#include "util/stats.hpp"
+
+namespace soda::net {
+
+TraceStats ComputeTraceStats(const ThroughputTrace& trace, double sample_dt_s) {
+  SODA_ENSURE(sample_dt_s > 0.0, "sample spacing must be positive");
+  RunningStats stats;
+  std::vector<double> samples;
+  for (double t = 0.0; t < trace.DurationS(); t += sample_dt_s) {
+    const double v = trace.ThroughputAt(t);
+    stats.Add(v);
+    samples.push_back(v);
+  }
+  TraceStats out;
+  out.mean_mbps = stats.Mean();
+  out.rel_std = stats.RelStdDev();
+  out.min_mbps = stats.Min();
+  out.max_mbps = stats.Max();
+  out.p5_mbps = Percentile(samples, 5.0);
+  out.p95_mbps = Percentile(std::move(samples), 95.0);
+  return out;
+}
+
+DatasetStats ComputeDatasetStats(const std::vector<ThroughputTrace>& sessions,
+                                 double sample_dt_s) {
+  DatasetStats out;
+  out.session_count = sessions.size();
+  if (sessions.empty()) return out;
+  RunningStats means;
+  RunningStats rel_stds;
+  std::vector<double> session_means;
+  session_means.reserve(sessions.size());
+  for (const auto& session : sessions) {
+    const TraceStats s = ComputeTraceStats(session, sample_dt_s);
+    means.Add(s.mean_mbps);
+    rel_stds.Add(s.rel_std);
+    session_means.push_back(s.mean_mbps);
+  }
+  out.mean_mbps = means.Mean();
+  out.mean_rel_std = rel_stds.Mean();
+  out.p5_session_mean = Percentile(session_means, 5.0);
+  out.p95_session_mean = Percentile(std::move(session_means), 95.0);
+  return out;
+}
+
+std::vector<ThroughputTrace> FilterAndSplitSessions(
+    const std::vector<ThroughputTrace>& raw, double session_s,
+    double min_session_s) {
+  SODA_ENSURE(session_s > 0.0, "session length must be positive");
+  std::vector<ThroughputTrace> out;
+  for (const auto& trace : raw) {
+    if (trace.DurationS() < min_session_s) continue;
+    for (auto& session : trace.SplitSessions(session_s, session_s)) {
+      out.push_back(std::move(session));
+    }
+  }
+  return out;
+}
+
+std::array<std::vector<std::size_t>, 4> VolatilityQuartiles(
+    const std::vector<ThroughputTrace>& sessions, double sample_dt_s) {
+  std::vector<std::size_t> order(sessions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> volatility(sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    volatility[i] = ComputeTraceStats(sessions[i], sample_dt_s).rel_std;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return volatility[a] < volatility[b];
+  });
+
+  std::array<std::vector<std::size_t>, 4> quartiles;
+  const std::size_t n = order.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Integer split that distributes remainders over the later quartiles.
+    const std::size_t q = std::min<std::size_t>(i * 4 / std::max<std::size_t>(n, 1), 3);
+    quartiles[q].push_back(order[i]);
+  }
+  return quartiles;
+}
+
+}  // namespace soda::net

@@ -1,0 +1,52 @@
+// Trace statistics and volatility bucketing.
+//
+// Implements the evaluation's session filtering (drop sessions shorter than
+// 10 minutes, split longer ones) and the Puffer Q1..Q4 volatility quartile
+// split of section 6.1.3, plus the aggregate statistics reported in Fig. 9.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "net/trace.hpp"
+
+namespace soda::net {
+
+struct TraceStats {
+  double mean_mbps = 0.0;
+  double rel_std = 0.0;      // within-trace relative standard deviation
+  double min_mbps = 0.0;
+  double max_mbps = 0.0;
+  double p5_mbps = 0.0;
+  double p95_mbps = 0.0;
+};
+
+// Statistics of a trace sampled every `sample_dt_s` seconds.
+[[nodiscard]] TraceStats ComputeTraceStats(const ThroughputTrace& trace,
+                                           double sample_dt_s = 1.0);
+
+struct DatasetStats {
+  std::size_t session_count = 0;
+  double mean_mbps = 0.0;        // mean of per-session means
+  double mean_rel_std = 0.0;     // mean of per-session rel std devs
+  double p5_session_mean = 0.0;  // distributional summaries across sessions
+  double p95_session_mean = 0.0;
+};
+
+[[nodiscard]] DatasetStats ComputeDatasetStats(
+    const std::vector<ThroughputTrace>& sessions, double sample_dt_s = 1.0);
+
+// Paper preprocessing (section 6.1.1): drop sessions shorter than
+// `min_session_s`, split longer ones into consecutive `session_s` chunks.
+[[nodiscard]] std::vector<ThroughputTrace> FilterAndSplitSessions(
+    const std::vector<ThroughputTrace>& raw, double session_s,
+    double min_session_s);
+
+// Buckets session indices into volatility quartiles Q1 (most stable) ..
+// Q4 (most volatile) by within-session relative standard deviation
+// (section 6.1.3). Returns four index lists covering all sessions.
+[[nodiscard]] std::array<std::vector<std::size_t>, 4> VolatilityQuartiles(
+    const std::vector<ThroughputTrace>& sessions, double sample_dt_s = 1.0);
+
+}  // namespace soda::net

@@ -1,0 +1,50 @@
+#include "predict/ema.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace soda::predict {
+
+EmaPredictor::EmaPredictor(double fast_half_life_s, double slow_half_life_s)
+    : fast_half_life_s_(fast_half_life_s), slow_half_life_s_(slow_half_life_s) {
+  SODA_ENSURE(fast_half_life_s > 0.0 && slow_half_life_s > fast_half_life_s,
+              "EMA half-lives must satisfy 0 < fast < slow");
+}
+
+void EmaPredictor::Observe(const DownloadObservation& observation) {
+  const double mbps = observation.MeasuredMbps();
+  if (mbps <= 0.0 || observation.duration_s <= 0.0) return;
+
+  auto update = [&](double half_life, double& estimate, double& weight) {
+    // dash.js ThroughputModel: alpha = 0.5^(duration / half_life).
+    const double alpha = std::pow(0.5, observation.duration_s / half_life);
+    estimate = alpha * estimate + (1.0 - alpha) * mbps;
+    weight = alpha * weight + (1.0 - alpha);
+  };
+  update(fast_half_life_s_, fast_estimate_, fast_weight_);
+  update(slow_half_life_s_, slow_estimate_, slow_weight_);
+}
+
+std::vector<double> EmaPredictor::PredictHorizon(double /*now_s*/, int horizon,
+                                                 double /*dt_s*/) {
+  SODA_ENSURE(horizon > 0, "horizon must be positive");
+  double value = kDefaultColdStartMbps;
+  if (fast_weight_ > 0.0 && slow_weight_ > 0.0) {
+    // Zero-debiased estimates (divide out the missing cold-start mass).
+    const double fast = fast_estimate_ / fast_weight_;
+    const double slow = slow_estimate_ / slow_weight_;
+    value = std::max(std::min(fast, slow), 1e-3);
+  }
+  return std::vector<double>(static_cast<std::size_t>(horizon), value);
+}
+
+void EmaPredictor::Reset() {
+  fast_estimate_ = 0.0;
+  slow_estimate_ = 0.0;
+  fast_weight_ = 0.0;
+  slow_weight_ = 0.0;
+}
+
+}  // namespace soda::predict

@@ -1,0 +1,36 @@
+// dash.js-style exponential moving average predictor.
+//
+// Maintains a fast and a slow EMA of measured throughput, with per-sample
+// weights scaled by download duration (a 4-second download moves the
+// average more than a 0.5-second one), and forecasts the minimum of the
+// two — the conservative blend dash.js ships as its default predictor and
+// the default predictor of the paper's simulations (section 6.1.1).
+#pragma once
+
+#include "predict/predictor.hpp"
+
+namespace soda::predict {
+
+class EmaPredictor final : public ThroughputPredictor {
+ public:
+  // Half-lives in seconds of downloaded-data time, matching dash.js's
+  // ThroughputModel defaults (fast 3 s, slow 8 s).
+  EmaPredictor(double fast_half_life_s = 3.0, double slow_half_life_s = 8.0);
+
+  void Observe(const DownloadObservation& observation) override;
+  [[nodiscard]] std::vector<double> PredictHorizon(double now_s, int horizon,
+                                                   double dt_s) override;
+  void Reset() override;
+  [[nodiscard]] std::string Name() const override { return "EMA"; }
+
+ private:
+  double fast_half_life_s_;
+  double slow_half_life_s_;
+  double fast_estimate_ = 0.0;
+  double slow_estimate_ = 0.0;
+  // Total weight seen so far per EMA, used to de-bias the cold start.
+  double fast_weight_ = 0.0;
+  double slow_weight_ = 0.0;
+};
+
+}  // namespace soda::predict

@@ -1,0 +1,37 @@
+// Fixed predictor: always forecasts a configured constant. Useful for unit
+// tests, controller decision-map studies, and as a degenerate baseline.
+#pragma once
+
+#include "predict/predictor.hpp"
+#include "util/ensure.hpp"
+
+namespace soda::predict {
+
+class FixedPredictor final : public ThroughputPredictor {
+ public:
+  explicit FixedPredictor(double mbps) : mbps_(mbps) {
+    SODA_ENSURE(mbps > 0.0, "fixed prediction must be positive");
+  }
+
+  void Observe(const DownloadObservation& observation) override {
+    (void)observation;
+  }
+  [[nodiscard]] std::vector<double> PredictHorizon(double /*now_s*/,
+                                                   int horizon,
+                                                   double /*dt_s*/) override {
+    SODA_ENSURE(horizon > 0, "horizon must be positive");
+    return std::vector<double>(static_cast<std::size_t>(horizon), mbps_);
+  }
+  void Reset() override {}
+  [[nodiscard]] std::string Name() const override { return "Fixed"; }
+
+  void Set(double mbps) {
+    SODA_ENSURE(mbps > 0.0, "fixed prediction must be positive");
+    mbps_ = mbps;
+  }
+
+ private:
+  double mbps_;
+};
+
+}  // namespace soda::predict

@@ -1,0 +1,38 @@
+#include "predict/harmonic_mean.hpp"
+
+#include <vector>
+
+#include "util/ensure.hpp"
+#include "util/stats.hpp"
+
+namespace soda::predict {
+
+HarmonicMeanPredictor::HarmonicMeanPredictor(int window) : window_(window) {
+  SODA_ENSURE(window > 0, "harmonic-mean window must be positive");
+}
+
+void HarmonicMeanPredictor::Observe(const DownloadObservation& observation) {
+  const double mbps = observation.MeasuredMbps();
+  if (mbps <= 0.0) return;
+  samples_mbps_.push_back(mbps);
+  while (samples_mbps_.size() > static_cast<std::size_t>(window_)) {
+    samples_mbps_.pop_front();
+  }
+}
+
+std::vector<double> HarmonicMeanPredictor::PredictHorizon(double /*now_s*/,
+                                                          int horizon,
+                                                          double /*dt_s*/) {
+  SODA_ENSURE(horizon > 0, "horizon must be positive");
+  double value = kDefaultColdStartMbps;
+  if (!samples_mbps_.empty()) {
+    const std::vector<double> copy(samples_mbps_.begin(), samples_mbps_.end());
+    value = HarmonicMeanOf(copy);
+    if (value <= 0.0) value = kDefaultColdStartMbps;
+  }
+  return std::vector<double>(static_cast<std::size_t>(horizon), value);
+}
+
+void HarmonicMeanPredictor::Reset() { samples_mbps_.clear(); }
+
+}  // namespace soda::predict

@@ -1,0 +1,28 @@
+// Harmonic-mean predictor over the last N downloads — the throughput
+// estimator used by MPC [Yin et al. 2015]. The harmonic mean of rates is
+// the right average for back-to-back transfer times, and is robust to
+// outlier fast samples.
+#pragma once
+
+#include <deque>
+
+#include "predict/predictor.hpp"
+
+namespace soda::predict {
+
+class HarmonicMeanPredictor final : public ThroughputPredictor {
+ public:
+  explicit HarmonicMeanPredictor(int window = 5);
+
+  void Observe(const DownloadObservation& observation) override;
+  [[nodiscard]] std::vector<double> PredictHorizon(double now_s, int horizon,
+                                                   double dt_s) override;
+  void Reset() override;
+  [[nodiscard]] std::string Name() const override { return "HM"; }
+
+ private:
+  int window_;
+  std::deque<double> samples_mbps_;
+};
+
+}  // namespace soda::predict

@@ -1,0 +1,107 @@
+#include "predict/markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace soda::predict {
+
+MarkovPredictor::MarkovPredictor(MarkovPredictorConfig config)
+    : config_(config) {
+  SODA_ENSURE(config_.states >= 2, "need at least two states");
+  SODA_ENSURE(config_.min_mbps > 0.0 && config_.max_mbps > config_.min_mbps,
+              "state grid bounds invalid");
+  SODA_ENSURE(config_.smoothing > 0.0, "smoothing must be positive");
+
+  const double step = std::log(config_.max_mbps / config_.min_mbps) /
+                      static_cast<double>(config_.states - 1);
+  centers_mbps_.reserve(static_cast<std::size_t>(config_.states));
+  for (int s = 0; s < config_.states; ++s) {
+    centers_mbps_.push_back(config_.min_mbps * std::exp(step * s));
+  }
+  transitions_.assign(static_cast<std::size_t>(config_.states) *
+                          static_cast<std::size_t>(config_.states),
+                      0.0);
+}
+
+int MarkovPredictor::StateOf(double mbps) const noexcept {
+  const double clamped = std::clamp(mbps, config_.min_mbps, config_.max_mbps);
+  const double step = std::log(config_.max_mbps / config_.min_mbps) /
+                      static_cast<double>(config_.states - 1);
+  const int state = static_cast<int>(
+      std::lround(std::log(clamped / config_.min_mbps) / step));
+  return std::clamp(state, 0, config_.states - 1);
+}
+
+double MarkovPredictor::StateCenterMbps(int state) const {
+  SODA_ENSURE(state >= 0 && state < config_.states, "state out of range");
+  return centers_mbps_[static_cast<std::size_t>(state)];
+}
+
+void MarkovPredictor::Observe(const DownloadObservation& observation) {
+  const double mbps = observation.MeasuredMbps();
+  if (mbps <= 0.0) return;
+  const int state = StateOf(mbps);
+  if (last_state_ >= 0) {
+    Count(last_state_, state) += 1.0;
+  }
+  last_state_ = state;
+  has_observation_ = true;
+}
+
+std::vector<double> MarkovPredictor::PredictHorizon(double /*now_s*/,
+                                                    int horizon,
+                                                    double /*dt_s*/) {
+  SODA_ENSURE(horizon > 0, "horizon must be positive");
+  if (!has_observation_) {
+    return std::vector<double>(static_cast<std::size_t>(horizon),
+                               kDefaultColdStartMbps);
+  }
+
+  const auto n = static_cast<std::size_t>(config_.states);
+  // Start from a point mass on the current state and roll the smoothed
+  // transition matrix forward, reporting the expected throughput per step.
+  std::vector<double> distribution(n, 0.0);
+  distribution[static_cast<std::size_t>(last_state_)] = 1.0;
+
+  std::vector<double> forecast;
+  forecast.reserve(static_cast<std::size_t>(horizon));
+  std::vector<double> next(n, 0.0);
+  for (int k = 0; k < horizon; ++k) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t from = 0; from < n; ++from) {
+      if (distribution[from] == 0.0) continue;
+      // Smoothed row: counts plus `smoothing` mass on self-transition and
+      // a whisper on every state (keeps the chain irreducible).
+      double row_total = 0.0;
+      for (std::size_t to = 0; to < n; ++to) {
+        row_total += transitions_[from * n + to];
+      }
+      const double self_boost = config_.smoothing;
+      const double floor_mass = config_.smoothing / static_cast<double>(n);
+      const double denominator =
+          row_total + self_boost + config_.smoothing;
+      for (std::size_t to = 0; to < n; ++to) {
+        double p = transitions_[from * n + to] + floor_mass;
+        if (to == from) p += self_boost;
+        next[to] += distribution[from] * (p / denominator);
+      }
+    }
+    distribution.swap(next);
+    double expected = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      expected += distribution[s] * centers_mbps_[s];
+    }
+    forecast.push_back(std::max(expected, 1e-3));
+  }
+  return forecast;
+}
+
+void MarkovPredictor::Reset() {
+  std::fill(transitions_.begin(), transitions_.end(), 0.0);
+  last_state_ = -1;
+  has_observation_ = false;
+}
+
+}  // namespace soda::predict

@@ -1,0 +1,57 @@
+// Markov-chain throughput predictor (a CS2P-style state model, simplified
+// for on-device use).
+//
+// Quantizes measured throughput into log-spaced states, learns the state
+// transition counts online, and forecasts each future interval by rolling
+// the transition matrix forward from the current state (expected value per
+// step). Unlike the paper's sophisticated cross-session CS2P, this learns
+// within the session only — deliberately deployable, and a per-interval
+// (non-flat) forecast that exercises SODA's vector-prediction path.
+#pragma once
+
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace soda::predict {
+
+struct MarkovPredictorConfig {
+  // Log-spaced state grid bounds (Mb/s) and resolution.
+  double min_mbps = 0.1;
+  double max_mbps = 200.0;
+  int states = 16;
+  // Dirichlet-style smoothing added to every transition count, so early
+  // predictions interpolate between "stay put" and the observed mixing.
+  double smoothing = 0.2;
+};
+
+class MarkovPredictor final : public ThroughputPredictor {
+ public:
+  explicit MarkovPredictor(MarkovPredictorConfig config = {});
+
+  void Observe(const DownloadObservation& observation) override;
+  [[nodiscard]] std::vector<double> PredictHorizon(double now_s, int horizon,
+                                                   double dt_s) override;
+  void Reset() override;
+  [[nodiscard]] std::string Name() const override { return "Markov"; }
+
+  // Exposed for tests: the state index a throughput maps to.
+  [[nodiscard]] int StateOf(double mbps) const noexcept;
+  [[nodiscard]] double StateCenterMbps(int state) const;
+
+ private:
+  MarkovPredictorConfig config_;
+  std::vector<double> centers_mbps_;
+  // Row-major transition counts [from][to].
+  std::vector<double> transitions_;
+  int last_state_ = -1;
+  bool has_observation_ = false;
+
+  [[nodiscard]] double& Count(int from, int to) noexcept {
+    return transitions_[static_cast<std::size_t>(from) *
+                            static_cast<std::size_t>(config_.states) +
+                        static_cast<std::size_t>(to)];
+  }
+};
+
+}  // namespace soda::predict

@@ -1,0 +1,36 @@
+#include "predict/moving_average.hpp"
+
+#include "util/ensure.hpp"
+#include "util/stats.hpp"
+
+namespace soda::predict {
+
+MovingAveragePredictor::MovingAveragePredictor(int window) : window_(window) {
+  SODA_ENSURE(window > 0, "moving-average window must be positive");
+}
+
+void MovingAveragePredictor::Observe(const DownloadObservation& observation) {
+  const double mbps = observation.MeasuredMbps();
+  if (mbps <= 0.0) return;
+  samples_mbps_.push_back(mbps);
+  while (samples_mbps_.size() > static_cast<std::size_t>(window_)) {
+    samples_mbps_.pop_front();
+  }
+}
+
+std::vector<double> MovingAveragePredictor::PredictHorizon(double /*now_s*/,
+                                                           int horizon,
+                                                           double /*dt_s*/) {
+  SODA_ENSURE(horizon > 0, "horizon must be positive");
+  double value = kDefaultColdStartMbps;
+  if (!samples_mbps_.empty()) {
+    double sum = 0.0;
+    for (const double v : samples_mbps_) sum += v;
+    value = sum / static_cast<double>(samples_mbps_.size());
+  }
+  return std::vector<double>(static_cast<std::size_t>(horizon), value);
+}
+
+void MovingAveragePredictor::Reset() { samples_mbps_.clear(); }
+
+}  // namespace soda::predict

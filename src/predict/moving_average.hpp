@@ -1,0 +1,28 @@
+// Simple moving-average predictor: the mean of the last N download
+// throughputs. One of the two predictors shipped with dash.js profiled in
+// Fig. 7.
+#pragma once
+
+#include <deque>
+
+#include "predict/predictor.hpp"
+
+namespace soda::predict {
+
+class MovingAveragePredictor final : public ThroughputPredictor {
+ public:
+  // `window` is the number of most recent downloads averaged (> 0).
+  explicit MovingAveragePredictor(int window = 5);
+
+  void Observe(const DownloadObservation& observation) override;
+  [[nodiscard]] std::vector<double> PredictHorizon(double now_s, int horizon,
+                                                   double dt_s) override;
+  void Reset() override;
+  [[nodiscard]] std::string Name() const override { return "MA"; }
+
+ private:
+  int window_;
+  std::deque<double> samples_mbps_;
+};
+
+}  // namespace soda::predict

@@ -1,0 +1,43 @@
+#include "predict/oracle.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+#include "util/table.hpp"
+
+namespace soda::predict {
+
+OraclePredictor::OraclePredictor(const net::ThroughputTrace& trace,
+                                 OracleConfig config)
+    : trace_(&trace), config_(config), rng_(config.seed) {
+  SODA_ENSURE(config_.noise_rel_std >= 0.0, "noise must be non-negative");
+  SODA_ENSURE(config_.multiplier_floor > 0.0, "floor must be positive");
+}
+
+std::vector<double> OraclePredictor::PredictHorizon(double now_s, int horizon,
+                                                    double dt_s) {
+  SODA_ENSURE(horizon > 0 && dt_s > 0.0, "invalid prediction request");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  for (int k = 0; k < horizon; ++k) {
+    const double t0 = now_s + static_cast<double>(k) * dt_s;
+    double value = trace_->AverageMbps(t0, t0 + dt_s);
+    if (config_.noise_rel_std > 0.0) {
+      const double multiplier =
+          std::max(1.0 + config_.noise_rel_std * rng_.Gaussian(),
+                   config_.multiplier_floor);
+      value *= multiplier;
+    }
+    out.push_back(std::max(value, 1e-3));
+  }
+  return out;
+}
+
+void OraclePredictor::Reset() { rng_.Seed(config_.seed); }
+
+std::string OraclePredictor::Name() const {
+  if (config_.noise_rel_std == 0.0) return "Oracle";
+  return "Oracle+noise" + FormatDouble(config_.noise_rel_std * 100.0, 0) + "%";
+}
+
+}  // namespace soda::predict

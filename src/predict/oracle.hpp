@@ -1,0 +1,42 @@
+// Oracle predictor: reads the true future throughput from the trace and
+// optionally corrupts it with multiplicative white noise. This implements
+// the "perfect short-term throughput predictor" plus controlled noise
+// injection of the intrinsic-sensitivity experiment (section 6.1.4 /
+// Fig. 11), and the exact-prediction regime of Theorem 4.1.
+#pragma once
+
+#include "net/trace.hpp"
+#include "predict/predictor.hpp"
+#include "util/rng.hpp"
+
+namespace soda::predict {
+
+struct OracleConfig {
+  // Relative std-dev of multiplicative white noise applied independently to
+  // every predicted interval: w_hat = w * max(1 + noise * N(0,1), floor).
+  double noise_rel_std = 0.0;
+  // Lower clamp on the noise multiplier, keeping predictions positive.
+  double multiplier_floor = 0.05;
+  std::uint64_t seed = 1234;
+};
+
+class OraclePredictor final : public ThroughputPredictor {
+ public:
+  // The predictor does not own the trace; it must outlive the predictor.
+  OraclePredictor(const net::ThroughputTrace& trace, OracleConfig config = {});
+
+  void Observe(const DownloadObservation& observation) override {
+    (void)observation;  // The oracle needs no history.
+  }
+  [[nodiscard]] std::vector<double> PredictHorizon(double now_s, int horizon,
+                                                   double dt_s) override;
+  void Reset() override;
+  [[nodiscard]] std::string Name() const override;
+
+ private:
+  const net::ThroughputTrace* trace_;
+  OracleConfig config_;
+  Rng rng_;
+};
+
+}  // namespace soda::predict

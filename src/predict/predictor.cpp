@@ -1,0 +1,4 @@
+#include "predict/predictor.hpp"
+
+// The interface is header-only; this translation unit anchors the vtable.
+namespace soda::predict {}

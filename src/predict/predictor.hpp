@@ -1,0 +1,58 @@
+// Throughput predictor interface.
+//
+// Predictors observe completed segment downloads and produce throughput
+// forecasts for the next K fixed-duration time intervals (the time-based
+// prediction contract of section 3.2: the validity of a prediction horizon
+// is always K * dt seconds of clock time, independent of bitrate choices).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace soda::predict {
+
+// One completed download, as measured by the player.
+struct DownloadObservation {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double megabits = 0.0;
+
+  [[nodiscard]] double MeasuredMbps() const noexcept {
+    return duration_s > 0.0 ? megabits / duration_s : 0.0;
+  }
+};
+
+class ThroughputPredictor {
+ public:
+  virtual ~ThroughputPredictor() = default;
+
+  // Feed a completed download measurement.
+  virtual void Observe(const DownloadObservation& observation) = 0;
+
+  // Forecast the mean throughput of each of the next `horizon` intervals of
+  // `dt_s` seconds starting at `now_s`. Most predictors return a constant
+  // (piecewise-flat) forecast; the oracle returns per-interval values.
+  // Returns strictly positive values; before any observation, returns a
+  // conservative default.
+  [[nodiscard]] virtual std::vector<double> PredictHorizon(double now_s,
+                                                           int horizon,
+                                                           double dt_s) = 0;
+
+  // Convenience scalar forecast for the next interval.
+  [[nodiscard]] double PredictOne(double now_s, double dt_s) {
+    return PredictHorizon(now_s, 1, dt_s).front();
+  }
+
+  // Clears observation history (start of a new session).
+  virtual void Reset() = 0;
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+};
+
+using PredictorPtr = std::unique_ptr<ThroughputPredictor>;
+
+// Value returned before any observation has been made.
+inline constexpr double kDefaultColdStartMbps = 1.0;
+
+}  // namespace soda::predict

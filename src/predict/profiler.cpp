@@ -1,0 +1,81 @@
+#include "predict/profiler.hpp"
+
+#include <cmath>
+
+#include "util/ensure.hpp"
+#include "util/stats.hpp"
+
+namespace soda::predict {
+
+ProfileResult ProfilePredictor(const PredictorFactory& factory,
+                               const std::vector<net::ThroughputTrace>& traces,
+                               double dt_s, int max_horizon) {
+  SODA_ENSURE(dt_s > 0.0 && max_horizon > 0, "invalid profile parameters");
+
+  // predictions[h] / actuals[h]: all pairs for lookahead h (0-based).
+  std::vector<std::vector<double>> predictions(
+      static_cast<std::size_t>(max_horizon));
+  std::vector<std::vector<double>> actuals(
+      static_cast<std::size_t>(max_horizon));
+  std::vector<RunningStats> abs_rel_errors(
+      static_cast<std::size_t>(max_horizon));
+  std::vector<std::vector<double>> abs_rel_samples(
+      static_cast<std::size_t>(max_horizon));
+
+  std::string name;
+  for (const auto& trace : traces) {
+    const PredictorPtr predictor = factory();
+    name = predictor->Name();
+    const auto steps =
+        static_cast<int>(std::floor(trace.DurationS() / dt_s));
+    for (int t = 0; t + 1 < steps; ++t) {
+      const double t0 = static_cast<double>(t) * dt_s;
+      // Feed the just-elapsed interval as a completed download observation.
+      const double realized = trace.AverageMbps(t0, t0 + dt_s);
+      predictor->Observe({t0, dt_s, realized * dt_s});
+
+      const double now = t0 + dt_s;
+      const int horizon = std::min(max_horizon, steps - (t + 1));
+      if (horizon <= 0) continue;
+      const auto forecast = predictor->PredictHorizon(now, horizon, dt_s);
+      for (int h = 0; h < horizon; ++h) {
+        const double f0 = now + static_cast<double>(h) * dt_s;
+        const double actual = trace.AverageMbps(f0, f0 + dt_s);
+        const auto hi = static_cast<std::size_t>(h);
+        predictions[hi].push_back(forecast[static_cast<std::size_t>(h)]);
+        actuals[hi].push_back(actual);
+        if (actual > 0.0) {
+          const double rel_error =
+              std::abs(forecast[static_cast<std::size_t>(h)] - actual) /
+              actual;
+          abs_rel_errors[hi].Add(rel_error);
+          abs_rel_samples[hi].push_back(rel_error);
+        }
+      }
+    }
+  }
+
+  ProfileResult result;
+  result.predictor_name = name;
+  for (int h = 0; h < max_horizon; ++h) {
+    const auto hi = static_cast<std::size_t>(h);
+    result.horizon_s.push_back((static_cast<double>(h) + 0.5) * dt_s);
+    result.correlation.push_back(
+        PearsonCorrelation(predictions[hi], actuals[hi]));
+    result.mean_abs_rel_error.push_back(abs_rel_errors[hi].Mean());
+    result.median_abs_rel_error.push_back(
+        Percentile(abs_rel_samples[hi], 50.0));
+  }
+  return result;
+}
+
+double OneStepRelativeError(const PredictorFactory& factory,
+                            const std::vector<net::ThroughputTrace>& traces,
+                            double dt_s) {
+  const ProfileResult profile = ProfilePredictor(factory, traces, dt_s, 1);
+  return profile.median_abs_rel_error.empty()
+             ? 0.0
+             : profile.median_abs_rel_error[0];
+}
+
+}  // namespace soda::predict

@@ -1,0 +1,46 @@
+// Predictor accuracy profiler (Fig. 7).
+//
+// Walks a corpus of traces one interval at a time, feeding each predictor
+// the realized throughput of the just-elapsed interval and recording, for
+// every lookahead h, the pair (forecast for interval t+h, realized
+// throughput of interval t+h). The per-horizon Pearson correlation across
+// all pairs reproduces the paper's "mean correlation vs seconds into the
+// future" profile: high (~50%) in the immediate future, low (~15%) far out.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/trace.hpp"
+#include "predict/predictor.hpp"
+
+namespace soda::predict {
+
+struct ProfileResult {
+  std::string predictor_name;
+  std::vector<double> horizon_s;     // lookahead midpoints in seconds
+  std::vector<double> correlation;   // Pearson correlation per lookahead
+  std::vector<double> mean_abs_rel_error;    // mean |pred-actual|/actual
+  // Median |pred-actual|/actual: robust to the heavy-tailed fade outliers
+  // (the "typical" noise level of section 6.1.4).
+  std::vector<double> median_abs_rel_error;
+};
+
+using PredictorFactory = std::function<PredictorPtr()>;
+
+// Profiles a predictor over the corpus. `dt_s` is the interval length and
+// `max_horizon` the number of lookahead intervals evaluated.
+[[nodiscard]] ProfileResult ProfilePredictor(
+    const PredictorFactory& factory,
+    const std::vector<net::ThroughputTrace>& traces, double dt_s,
+    int max_horizon);
+
+// Empirical one-step relative prediction error, median across the corpus
+// (the "noise level" that section 6.1.4 compares against the EMA
+// predictor, ~30%).
+[[nodiscard]] double OneStepRelativeError(
+    const PredictorFactory& factory,
+    const std::vector<net::ThroughputTrace>& traces, double dt_s);
+
+}  // namespace soda::predict

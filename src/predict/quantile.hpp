@@ -1,0 +1,31 @@
+// Quantile predictor: forecasts a configurable percentile of the recent
+// throughput samples rather than their mean. Fugu plans against the lower
+// quantiles of its learned distribution; this is the deployable analogue —
+// a 25th-percentile forecast is "plan for a bad-but-plausible network".
+#pragma once
+
+#include <deque>
+
+#include "predict/predictor.hpp"
+
+namespace soda::predict {
+
+class QuantilePredictor final : public ThroughputPredictor {
+ public:
+  // `percentile` in (0, 100); `window` is the number of recent downloads
+  // the quantile is computed over.
+  explicit QuantilePredictor(double percentile = 25.0, int window = 12);
+
+  void Observe(const DownloadObservation& observation) override;
+  [[nodiscard]] std::vector<double> PredictHorizon(double now_s, int horizon,
+                                                   double dt_s) override;
+  void Reset() override;
+  [[nodiscard]] std::string Name() const override;
+
+ private:
+  double percentile_;
+  int window_;
+  std::deque<double> samples_mbps_;
+};
+
+}  // namespace soda::predict

@@ -1,0 +1,55 @@
+#include "predict/robust_discount.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/ensure.hpp"
+
+namespace soda::predict {
+
+RobustDiscountPredictor::RobustDiscountPredictor(PredictorPtr inner,
+                                                 int error_window)
+    : inner_(std::move(inner)), error_window_(error_window) {
+  SODA_ENSURE(inner_ != nullptr, "inner predictor required");
+  SODA_ENSURE(error_window > 0, "error window must be positive");
+}
+
+void RobustDiscountPredictor::Observe(const DownloadObservation& observation) {
+  const double actual = observation.MeasuredMbps();
+  if (has_prediction_ && actual > 0.0) {
+    const double over = std::max(0.0, (last_prediction_mbps_ - actual) / actual);
+    errors_.push_back(over);
+    while (errors_.size() > static_cast<std::size_t>(error_window_)) {
+      errors_.pop_front();
+    }
+  }
+  inner_->Observe(observation);
+}
+
+std::vector<double> RobustDiscountPredictor::PredictHorizon(double now_s,
+                                                            int horizon,
+                                                            double dt_s) {
+  std::vector<double> values = inner_->PredictHorizon(now_s, horizon, dt_s);
+  double max_error = 0.0;
+  for (const double e : errors_) max_error = std::max(max_error, e);
+  const double discount = 1.0 / (1.0 + max_error);
+  for (double& v : values) v *= discount;
+  // Remember the undiscounted next-interval forecast for error tracking: the
+  // discount itself should not be fed back into the error estimate.
+  last_prediction_mbps_ = values.empty() ? 0.0 : values.front() / discount;
+  has_prediction_ = true;
+  return values;
+}
+
+void RobustDiscountPredictor::Reset() {
+  inner_->Reset();
+  errors_.clear();
+  has_prediction_ = false;
+  last_prediction_mbps_ = 0.0;
+}
+
+std::string RobustDiscountPredictor::Name() const {
+  return "Robust(" + inner_->Name() + ")";
+}
+
+}  // namespace soda::predict

@@ -1,0 +1,33 @@
+// RobustMPC-style prediction discounting: divides the inner predictor's
+// forecast by (1 + max relative over-prediction error observed over the
+// last W downloads). This is the robustness mechanism of RobustMPC
+// [Yin et al. 2015] and is what section 6.1.4 turns *off* to expose each
+// controller's intrinsic sensitivity.
+#pragma once
+
+#include <deque>
+
+#include "predict/predictor.hpp"
+
+namespace soda::predict {
+
+class RobustDiscountPredictor final : public ThroughputPredictor {
+ public:
+  RobustDiscountPredictor(PredictorPtr inner, int error_window = 5);
+
+  void Observe(const DownloadObservation& observation) override;
+  [[nodiscard]] std::vector<double> PredictHorizon(double now_s, int horizon,
+                                                   double dt_s) override;
+  void Reset() override;
+  [[nodiscard]] std::string Name() const override;
+
+ private:
+  PredictorPtr inner_;
+  int error_window_;
+  // Relative over-prediction errors max(0, (pred - actual) / actual).
+  std::deque<double> errors_;
+  double last_prediction_mbps_ = 0.0;
+  bool has_prediction_ = false;
+};
+
+}  // namespace soda::predict

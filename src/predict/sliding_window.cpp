@@ -1,0 +1,42 @@
+#include "predict/sliding_window.hpp"
+
+#include "util/ensure.hpp"
+
+namespace soda::predict {
+
+SlidingWindowPredictor::SlidingWindowPredictor(double window_s)
+    : window_s_(window_s) {
+  SODA_ENSURE(window_s > 0.0, "window must be positive");
+}
+
+void SlidingWindowPredictor::Observe(const DownloadObservation& observation) {
+  if (observation.MeasuredMbps() <= 0.0) return;
+  observations_.push_back(observation);
+}
+
+std::vector<double> SlidingWindowPredictor::PredictHorizon(double now_s,
+                                                           int horizon,
+                                                           double /*dt_s*/) {
+  SODA_ENSURE(horizon > 0, "horizon must be positive");
+  // Evict observations that ended before the window start.
+  const double window_start = now_s - window_s_;
+  while (!observations_.empty() &&
+         observations_.front().start_s + observations_.front().duration_s <
+             window_start) {
+    observations_.pop_front();
+  }
+
+  double total_mb = 0.0;
+  double total_s = 0.0;
+  for (const auto& o : observations_) {
+    total_mb += o.megabits;
+    total_s += o.duration_s;
+  }
+  double value = kDefaultColdStartMbps;
+  if (total_s > 0.0) value = total_mb / total_s;
+  return std::vector<double>(static_cast<std::size_t>(horizon), value);
+}
+
+void SlidingWindowPredictor::Reset() { observations_.clear(); }
+
+}  // namespace soda::predict

@@ -1,0 +1,28 @@
+// Sliding-window predictor: duration-weighted mean throughput of all
+// downloads completed within the last W seconds of clock time. This is the
+// "simple sliding window-based throughput predictor" SODA used in the Prime
+// Video production deployment (section 6.3).
+#pragma once
+
+#include <deque>
+
+#include "predict/predictor.hpp"
+
+namespace soda::predict {
+
+class SlidingWindowPredictor final : public ThroughputPredictor {
+ public:
+  explicit SlidingWindowPredictor(double window_s = 10.0);
+
+  void Observe(const DownloadObservation& observation) override;
+  [[nodiscard]] std::vector<double> PredictHorizon(double now_s, int horizon,
+                                                   double dt_s) override;
+  void Reset() override;
+  [[nodiscard]] std::string Name() const override { return "SlidingWindow"; }
+
+ private:
+  double window_s_;
+  std::deque<DownloadObservation> observations_;
+};
+
+}  // namespace soda::predict

@@ -1,0 +1,48 @@
+#include "qoe/eval.hpp"
+
+#include <numeric>
+
+#include "util/ensure.hpp"
+
+namespace soda::qoe {
+
+EvalResult EvaluateControllerOn(
+    const std::vector<net::ThroughputTrace>& sessions,
+    const std::vector<std::size_t>& indices,
+    const ControllerFactory& make_controller,
+    const TracePredictorFactory& make_predictor,
+    const media::VideoModel& video, const EvalConfig& config) {
+  SODA_ENSURE(static_cast<bool>(config.utility), "utility function required");
+  SODA_ENSURE(static_cast<bool>(make_controller), "controller factory required");
+  SODA_ENSURE(static_cast<bool>(make_predictor), "predictor factory required");
+
+  EvalResult result;
+  const abr::ControllerPtr controller = make_controller();
+  result.controller_name = controller->Name();
+  result.per_session.reserve(indices.size());
+
+  for (const std::size_t i : indices) {
+    SODA_ENSURE(i < sessions.size(), "session index out of range");
+    const net::ThroughputTrace& trace = sessions[i];
+    const predict::PredictorPtr predictor = make_predictor(trace);
+    const sim::SessionLog log =
+        sim::RunSession(trace, *controller, *predictor, video, config.sim);
+    const QoeMetrics metrics = ComputeQoe(log, config.utility, config.weights);
+    result.aggregate.Add(metrics);
+    result.per_session.push_back(metrics);
+  }
+  return result;
+}
+
+EvalResult EvaluateController(const std::vector<net::ThroughputTrace>& sessions,
+                              const ControllerFactory& make_controller,
+                              const TracePredictorFactory& make_predictor,
+                              const media::VideoModel& video,
+                              const EvalConfig& config) {
+  std::vector<std::size_t> indices(sessions.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  return EvaluateControllerOn(sessions, indices, make_controller,
+                              make_predictor, video, config);
+}
+
+}  // namespace soda::qoe

@@ -1,0 +1,53 @@
+// Evaluation harness: runs a controller over a corpus of trace sessions and
+// aggregates QoE. This is the engine behind the Fig. 10/11/12 benches.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "abr/controller.hpp"
+#include "net/trace.hpp"
+#include "qoe/metrics.hpp"
+#include "sim/session.hpp"
+
+namespace soda::qoe {
+
+// Creates a fresh predictor bound to a session's trace (the oracle needs
+// the trace; history predictors ignore it).
+using TracePredictorFactory =
+    std::function<predict::PredictorPtr(const net::ThroughputTrace& trace)>;
+
+using ControllerFactory = std::function<abr::ControllerPtr()>;
+
+struct EvalConfig {
+  sim::SimConfig sim;
+  QoeWeights weights;
+  UtilityFn utility;  // required
+};
+
+struct EvalResult {
+  std::string controller_name;
+  QoeAggregate aggregate;
+  std::vector<QoeMetrics> per_session;
+};
+
+// Evaluates one controller over all sessions. The controller is constructed
+// once and Reset() between sessions (so one-time training, e.g. the RL-like
+// baseline's value iteration, is amortized); the predictor is rebuilt per
+// session.
+[[nodiscard]] EvalResult EvaluateController(
+    const std::vector<net::ThroughputTrace>& sessions,
+    const ControllerFactory& make_controller,
+    const TracePredictorFactory& make_predictor,
+    const media::VideoModel& video, const EvalConfig& config);
+
+// Evaluates a controller on a subset of sessions given by indices.
+[[nodiscard]] EvalResult EvaluateControllerOn(
+    const std::vector<net::ThroughputTrace>& sessions,
+    const std::vector<std::size_t>& indices,
+    const ControllerFactory& make_controller,
+    const TracePredictorFactory& make_predictor,
+    const media::VideoModel& video, const EvalConfig& config);
+
+}  // namespace soda::qoe

@@ -1,0 +1,49 @@
+#include "qoe/metrics.hpp"
+
+#include "util/ensure.hpp"
+
+namespace soda::qoe {
+
+QoeMetrics ComputeQoe(const sim::SessionLog& log, const UtilityFn& utility,
+                      const QoeWeights& weights) {
+  SODA_ENSURE(static_cast<bool>(utility), "utility function required");
+  QoeMetrics out;
+  out.segment_count = log.SegmentCount();
+  if (out.segment_count == 0) {
+    // An empty session is maximally bad on rebuffering.
+    out.rebuffer_ratio = 1.0;
+    out.qoe = -weights.beta;
+    return out;
+  }
+
+  double utility_sum = 0.0;
+  for (const auto& segment : log.segments) {
+    utility_sum += utility(segment.bitrate_mbps);
+  }
+  out.mean_utility = utility_sum / static_cast<double>(out.segment_count);
+
+  out.rebuffer_ratio =
+      log.session_s > 0.0 ? log.total_rebuffer_s / log.session_s : 0.0;
+
+  if (out.segment_count > 1) {
+    out.switch_rate = static_cast<double>(log.SwitchCount()) /
+                      static_cast<double>(out.segment_count - 1);
+  }
+
+  out.startup_ratio =
+      log.session_s > 0.0 ? log.startup_s / log.session_s : 0.0;
+
+  out.qoe = out.mean_utility - weights.beta * out.rebuffer_ratio -
+            weights.gamma * out.switch_rate -
+            weights.delta * out.startup_ratio;
+  return out;
+}
+
+void QoeAggregate::Add(const QoeMetrics& metrics) noexcept {
+  qoe.Add(metrics.qoe);
+  utility.Add(metrics.mean_utility);
+  rebuffer_ratio.Add(metrics.rebuffer_ratio);
+  switch_rate.Add(metrics.switch_rate);
+}
+
+}  // namespace soda::qoe

@@ -1,0 +1,58 @@
+// QoE metrics (section 6, "Performance Metrics").
+//
+// All three components are normalized to [0, 1]:
+//   mean utility    u = (1/N) sum log(r_i/r_min) / log(r_max/r_min)
+//   rebuffer ratio  rho = T_rebuf / T_session
+//   switching rate  p = N_switch / (N - 1)
+// and QoE = u - beta * rho - gamma * p with beta = 10, gamma = 1.
+// The prototype evaluation swaps the utility for normalized SSIM; any
+// utility function of bitrate can be plugged in.
+#pragma once
+
+#include <functional>
+
+#include "sim/session_log.hpp"
+#include "util/stats.hpp"
+
+namespace soda::qoe {
+
+struct QoeWeights {
+  double beta = 10.0;   // rebuffering-ratio weight
+  double gamma = 1.0;   // switching-rate weight
+  // Optional startup-delay weight (per unit startup_s / session_s). The
+  // paper's QoE omits startup (live viewers join mid-stream); other QoE
+  // definitions (e.g. Puffer's on-demand studies) include it, so it is
+  // exposed with a default of 0.
+  double delta = 0.0;
+};
+
+// Maps a segment bitrate (Mb/s) to a [0, 1] utility.
+using UtilityFn = std::function<double(double bitrate_mbps)>;
+
+struct QoeMetrics {
+  double mean_utility = 0.0;
+  double rebuffer_ratio = 0.0;
+  double switch_rate = 0.0;
+  double startup_ratio = 0.0;  // startup_s / session_s
+  double qoe = 0.0;
+  std::int64_t segment_count = 0;
+};
+
+[[nodiscard]] QoeMetrics ComputeQoe(const sim::SessionLog& log,
+                                    const UtilityFn& utility,
+                                    const QoeWeights& weights = {});
+
+// Aggregates per-session metrics with 95% confidence intervals.
+struct QoeAggregate {
+  RunningStats qoe;
+  RunningStats utility;
+  RunningStats rebuffer_ratio;
+  RunningStats switch_rate;
+
+  void Add(const QoeMetrics& metrics) noexcept;
+  [[nodiscard]] std::size_t SessionCount() const noexcept {
+    return qoe.Count();
+  }
+};
+
+}  // namespace soda::qoe

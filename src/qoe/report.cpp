@@ -1,0 +1,69 @@
+#include "qoe/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace soda::qoe {
+
+std::string PerSessionCsv(const std::vector<EvalResult>& results) {
+  CsvWriter writer;
+  writer.AddRow({"controller", "session_index", "qoe", "utility",
+                 "rebuffer_ratio", "switch_rate", "segments"});
+  for (const EvalResult& result : results) {
+    for (std::size_t i = 0; i < result.per_session.size(); ++i) {
+      const QoeMetrics& m = result.per_session[i];
+      writer.AddRow({result.controller_name, std::to_string(i),
+                     FormatDouble(m.qoe, 6), FormatDouble(m.mean_utility, 6),
+                     FormatDouble(m.rebuffer_ratio, 6),
+                     FormatDouble(m.switch_rate, 6),
+                     std::to_string(m.segment_count)});
+    }
+  }
+  return writer.Text();
+}
+
+void WritePerSessionCsv(const std::vector<EvalResult>& results,
+                        const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot write CSV file: " + path.string());
+  }
+  out << PerSessionCsv(results);
+}
+
+std::string SummaryMarkdown(const std::vector<EvalResult>& results) {
+  std::string out =
+      "| controller | QoE | utility | rebuffer ratio | switch rate | "
+      "sessions |\n|---|---|---|---|---|---|\n";
+  for (const EvalResult& result : results) {
+    const QoeAggregate& a = result.aggregate;
+    out += "| " + result.controller_name + " | " +
+           FormatWithCi(a.qoe.Mean(), a.qoe.CiHalfWidth95(), 3) + " | " +
+           FormatWithCi(a.utility.Mean(), a.utility.CiHalfWidth95(), 3) +
+           " | " +
+           FormatWithCi(a.rebuffer_ratio.Mean(),
+                        a.rebuffer_ratio.CiHalfWidth95(), 4) +
+           " | " +
+           FormatWithCi(a.switch_rate.Mean(), a.switch_rate.CiHalfWidth95(),
+                        3) +
+           " | " + std::to_string(a.SessionCount()) + " |\n";
+  }
+  return out;
+}
+
+double QoeImprovementOverBest(const EvalResult& ours,
+                              const std::vector<EvalResult>& baselines) {
+  if (baselines.empty()) return 0.0;
+  double best = -1e300;
+  for (const EvalResult& baseline : baselines) {
+    best = std::max(best, baseline.aggregate.qoe.Mean());
+  }
+  if (best <= 0.0) return 0.0;
+  return ours.aggregate.qoe.Mean() / best - 1.0;
+}
+
+}  // namespace soda::qoe

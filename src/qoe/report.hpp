@@ -1,0 +1,30 @@
+// Result export: per-session CSV (for external plotting/statistics) and
+// Markdown summaries (for EXPERIMENTS.md-style records).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "qoe/eval.hpp"
+
+namespace soda::qoe {
+
+// CSV with one row per (controller, session): columns controller,
+// session_index, qoe, utility, rebuffer_ratio, switch_rate, segments.
+[[nodiscard]] std::string PerSessionCsv(const std::vector<EvalResult>& results);
+
+// Writes PerSessionCsv to a file. Throws std::runtime_error on failure.
+void WritePerSessionCsv(const std::vector<EvalResult>& results,
+                        const std::filesystem::path& path);
+
+// Markdown table with one row per controller: mean +/- 95% CI of each QoE
+// component.
+[[nodiscard]] std::string SummaryMarkdown(const std::vector<EvalResult>& results);
+
+// Relative improvement of `ours` over the best of `baselines` in mean QoE;
+// 0 when baselines is empty or has non-positive best QoE.
+[[nodiscard]] double QoeImprovementOverBest(
+    const EvalResult& ours, const std::vector<EvalResult>& baselines);
+
+}  // namespace soda::qoe

@@ -1,0 +1,157 @@
+#include "sim/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace soda::sim {
+
+SessionLog RunSession(const net::ThroughputTrace& trace,
+                      abr::Controller& controller,
+                      predict::ThroughputPredictor& predictor,
+                      const media::VideoModel& video, const SimConfig& config) {
+  SODA_ENSURE(config.max_buffer_s > video.SegmentSeconds(),
+              "max buffer must exceed one segment");
+  SODA_ENSURE(config.rtt_s >= 0.0, "rtt must be non-negative");
+  if (config.live) {
+    SODA_ENSURE(config.live_latency_s >= video.SegmentSeconds(),
+                "live latency must cover at least one segment");
+  }
+
+  controller.Reset();
+  predictor.Reset();
+
+  SessionLog log;
+  const double seg_s = video.SegmentSeconds();
+  double now = 0.0;
+  double buffer = 0.0;
+  bool playing = false;
+  media::Rung prev_rung = -1;
+  std::int64_t index = 0;
+
+  // Drains the buffer over `elapsed` seconds of waiting, charging stalls to
+  // rebuffering when playback has started.
+  auto drain = [&](double elapsed) {
+    if (elapsed <= 0.0) return 0.0;
+    if (!playing) return 0.0;
+    const double played = std::min(buffer, elapsed);
+    buffer -= played;
+    const double stalled = elapsed - played;
+    log.total_rebuffer_s += stalled;
+    return stalled;
+  };
+
+  while (now < trace.DurationS()) {
+    if (config.max_segments >= 0 && index >= config.max_segments) break;
+
+    // 1) Wait for segment availability (live) and for buffer headroom.
+    double wait_until = now;
+    if (config.live) {
+      // Segment `index` finishes being produced at (index+1)*seg relative
+      // to broadcast start; the player joined live_latency_s behind, so in
+      // player wall-time it is available at that instant minus the latency.
+      const double available_at =
+          (static_cast<double>(index) + 1.0) * seg_s - config.live_latency_s;
+      wait_until = std::max(wait_until, available_at);
+    }
+    if (buffer + seg_s > config.max_buffer_s) {
+      // Must drain to fit the next segment; only possible when playing.
+      const double excess = buffer + seg_s - config.max_buffer_s;
+      wait_until = std::max(wait_until, now + excess);
+    }
+    double waited = 0.0;
+    double wait_rebuffer = 0.0;
+    if (wait_until > now) {
+      waited = wait_until - now;
+      wait_rebuffer = drain(waited);
+      now = wait_until;
+      if (now >= trace.DurationS()) break;
+    }
+
+    // 2) Ask the controller for a rung.
+    abr::Context context;
+    context.now_s = now;
+    context.buffer_s = buffer;
+    context.prev_rung = prev_rung;
+    context.segment_index = index;
+    context.playing = playing;
+    context.max_buffer_s = config.max_buffer_s;
+    context.video = &video;
+    context.predictor = &predictor;
+    const media::Rung rung = controller.ChooseRung(context);
+    SODA_ASSERT(video.Ladder().IsValidRung(rung));
+
+    // 3) Download, with optional mid-flight abandonment.
+    media::Rung fetched_rung = rung;
+    double size_mb = video.SegmentSizeMb(index, rung);
+    double transfer_s = trace.TimeToDownload(now, size_mb);
+    if (!std::isfinite(transfer_s)) {
+      log.starved = true;
+      break;
+    }
+    bool abandoned = false;
+    double wasted_mb = 0.0;
+    double abandon_elapsed_s = 0.0;
+    double abandon_rebuffer = 0.0;
+    if (config.allow_abandonment && rung > video.Ladder().LowestRung() &&
+        transfer_s > config.abandon_check_s) {
+      // Projected stall if the download runs to completion from the check
+      // point: remaining transfer beyond what the buffer can absorb.
+      const double remaining_s = transfer_s - config.abandon_check_s;
+      const double buffer_at_check =
+          playing ? std::max(buffer - config.abandon_check_s, 0.0) : buffer;
+      if (remaining_s > buffer_at_check + config.abandon_stall_threshold_s) {
+        abandoned = true;
+        abandon_elapsed_s = config.abandon_check_s + config.rtt_s;
+        abandon_rebuffer = drain(abandon_elapsed_s);
+        wasted_mb = trace.MegabitsBetween(now, now + config.abandon_check_s);
+        now += abandon_elapsed_s;
+        fetched_rung = video.Ladder().LowestRung();
+        size_mb = video.SegmentSizeMb(index, fetched_rung);
+        transfer_s = trace.TimeToDownload(now, size_mb);
+        if (!std::isfinite(transfer_s)) {
+          log.starved = true;
+          break;
+        }
+      }
+    }
+    const double download_s = transfer_s + config.rtt_s;
+    const double download_rebuffer = drain(download_s);
+    buffer += seg_s;
+    now += download_s;
+
+    // 4) Playback start bookkeeping.
+    if (!playing && buffer >= std::max(config.startup_buffer_s, seg_s) - 1e-9) {
+      playing = true;
+      log.startup_s = now;
+    }
+
+    // 5) Feed the predictor the realized throughput (transfer only; the
+    // RTT is request latency, not goodput).
+    predictor.Observe({now - download_s, transfer_s, size_mb});
+
+    SegmentRecord record;
+    record.index = index;
+    record.rung = fetched_rung;
+    record.bitrate_mbps = video.Ladder().BitrateMbps(fetched_rung);
+    record.size_mb = size_mb;
+    record.request_s = now - download_s - abandon_elapsed_s;
+    record.download_s = download_s + abandon_elapsed_s;
+    record.wait_s = waited;
+    record.rebuffer_s = wait_rebuffer + abandon_rebuffer + download_rebuffer;
+    record.buffer_after_s = buffer;
+    record.abandoned = abandoned;
+    record.wasted_mb = wasted_mb;
+    log.segments.push_back(record);
+    log.total_wait_s += waited;
+
+    prev_rung = fetched_rung;
+    ++index;
+  }
+
+  log.session_s = std::max(now, trace.DurationS());
+  return log;
+}
+
+}  // namespace soda::sim

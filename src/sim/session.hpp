@@ -1,0 +1,52 @@
+// The streaming session simulator.
+//
+// A Sabre-derived segment-level discrete-event loop: the controller picks a
+// rung, the download time is computed exactly from the trace's byte
+// integral (plus one RTT of request latency), the buffer drains in real
+// time during downloads, stalls are accounted as rebuffering, and live
+// sessions additionally respect segment availability at the live edge.
+// The paper validated Sabre's fidelity against dash.js (section 6.1); this
+// implementation reproduces Sabre's buffer dynamics.
+#pragma once
+
+#include <cstdint>
+
+#include "abr/controller.hpp"
+#include "net/trace.hpp"
+#include "sim/session_log.hpp"
+
+namespace soda::sim {
+
+struct SimConfig {
+  double max_buffer_s = 20.0;
+  // Per-request latency added to each download.
+  double rtt_s = 0.05;
+  // Live streaming: segments become available as they are produced and the
+  // player sits `live_latency_s` behind the live edge (which also bounds
+  // the accumulable buffer, section 6.3).
+  bool live = false;
+  double live_latency_s = 20.0;
+  // Playback begins once this much buffer is present (0 = after the first
+  // segment).
+  double startup_buffer_s = 0.0;
+  // Stop after this many segments; -1 = run until the trace ends.
+  std::int64_t max_segments = -1;
+  // Segment abandonment (dash.js AbandonRequestRule-style): while a
+  // download above the lowest rung is in flight, the player re-evaluates
+  // after `abandon_check_s` of transfer; if finishing it would stall
+  // playback by more than `abandon_stall_threshold_s`, the request is
+  // aborted (bytes wasted) and the segment re-fetched at the lowest rung.
+  bool allow_abandonment = false;
+  double abandon_check_s = 1.0;
+  double abandon_stall_threshold_s = 0.5;
+};
+
+// Runs one session of `trace`'s duration. The controller is Reset() at the
+// start; the predictor is Reset() and then fed each completed download.
+[[nodiscard]] SessionLog RunSession(const net::ThroughputTrace& trace,
+                                    abr::Controller& controller,
+                                    predict::ThroughputPredictor& predictor,
+                                    const media::VideoModel& video,
+                                    const SimConfig& config);
+
+}  // namespace soda::sim

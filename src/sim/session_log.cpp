@@ -1,0 +1,38 @@
+#include "sim/session_log.hpp"
+
+namespace soda::sim {
+
+int SessionLog::SwitchCount() const noexcept {
+  int switches = 0;
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    if (segments[i].rung != segments[i - 1].rung) ++switches;
+  }
+  return switches;
+}
+
+int SessionLog::AbandonedCount() const noexcept {
+  int count = 0;
+  for (const auto& s : segments) {
+    if (s.abandoned) ++count;
+  }
+  return count;
+}
+
+double SessionLog::WastedMb() const noexcept {
+  double total = 0.0;
+  for (const auto& s : segments) total += s.wasted_mb;
+  return total;
+}
+
+double SessionLog::PlayedSeconds(double segment_s) const noexcept {
+  return static_cast<double>(segments.size()) * segment_s;
+}
+
+double SessionLog::MeanBitrateMbps() const noexcept {
+  if (segments.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : segments) sum += s.bitrate_mbps;
+  return sum / static_cast<double>(segments.size());
+}
+
+}  // namespace soda::sim

@@ -1,0 +1,59 @@
+// Structured record of a simulated streaming session: one entry per
+// downloaded segment plus session-level totals. This is the sole input to
+// the QoE metric computation and to the figure benches that plot time
+// series (Figs. 3, 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/bitrate_ladder.hpp"
+
+namespace soda::sim {
+
+struct SegmentRecord {
+  std::int64_t index = 0;
+  media::Rung rung = 0;
+  double bitrate_mbps = 0.0;
+  double size_mb = 0.0;
+  // Wall-clock time the request was issued.
+  double request_s = 0.0;
+  double download_s = 0.0;
+  // Idle time spent before this request (buffer full / live edge).
+  double wait_s = 0.0;
+  // Rebuffering incurred while this segment downloaded (or while waiting).
+  double rebuffer_s = 0.0;
+  // Buffer level right after this segment entered the buffer.
+  double buffer_after_s = 0.0;
+  // True when a first attempt at a higher rung was abandoned mid-flight
+  // and the segment was re-fetched at the lowest rung.
+  bool abandoned = false;
+  // Megabits discarded by the abandoned attempt.
+  double wasted_mb = 0.0;
+};
+
+struct SessionLog {
+  std::vector<SegmentRecord> segments;
+  // Time from session start to first rendered frame.
+  double startup_s = 0.0;
+  // Total stall time after playback started.
+  double total_rebuffer_s = 0.0;
+  double total_wait_s = 0.0;
+  // Wall-clock duration of the session.
+  double session_s = 0.0;
+  // True when the session ended because the network could not serve any
+  // further data (defensive; does not occur with floored traces).
+  bool starved = false;
+
+  [[nodiscard]] std::int64_t SegmentCount() const noexcept {
+    return static_cast<std::int64_t>(segments.size());
+  }
+  // Number of adjacent segment pairs with different rungs.
+  [[nodiscard]] int SwitchCount() const noexcept;
+  [[nodiscard]] int AbandonedCount() const noexcept;
+  [[nodiscard]] double WastedMb() const noexcept;
+  [[nodiscard]] double PlayedSeconds(double segment_s) const noexcept;
+  [[nodiscard]] double MeanBitrateMbps() const noexcept;
+};
+
+}  // namespace soda::sim

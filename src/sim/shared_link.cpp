@@ -1,0 +1,195 @@
+#include "sim/shared_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/ensure.hpp"
+#include "util/stats.hpp"
+
+namespace soda::sim {
+namespace {
+
+enum class Phase { kDeciding, kDownloading, kWaiting };
+
+struct PlayerState {
+  Phase phase = Phase::kDeciding;
+  double buffer_s = 0.0;
+  bool playing = false;
+  media::Rung prev_rung = -1;
+  std::int64_t index = 0;
+  // Download in flight.
+  media::Rung rung = 0;
+  double remaining_mb = 0.0;
+  double size_mb = 0.0;
+  double request_s = 0.0;
+  double rebuffer_during_download_s = 0.0;
+  // Waiting (buffer cap).
+  double wait_until_s = 0.0;
+  double wait_started_s = 0.0;
+};
+
+}  // namespace
+
+double JainFairness(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+SharedLinkResult RunSharedLink(std::vector<SharedLinkPlayer> players,
+                               const media::VideoModel& video,
+                               const SharedLinkConfig& config) {
+  SODA_ENSURE(!players.empty(), "need at least one player");
+  SODA_ENSURE(config.link_capacity_mbps > 0.0, "capacity must be positive");
+  SODA_ENSURE(config.max_buffer_s > video.SegmentSeconds(),
+              "max buffer must exceed one segment");
+  SODA_ENSURE(config.session_s > 0.0, "session length must be positive");
+
+  const std::size_t n = players.size();
+  const double seg_s = video.SegmentSeconds();
+  std::vector<PlayerState> states(n);
+  SharedLinkResult result;
+  result.logs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    players[i].controller->Reset();
+    players[i].predictor->Reset();
+  }
+
+  double now = 0.0;
+  // A constant-capacity trace view handed to controllers via the predictor
+  // (predictors learn rates from completed downloads, as in real players).
+  int guard = 0;
+  const int max_events = static_cast<int>(config.session_s) * 50 *
+                         static_cast<int>(n) + 1000;
+
+  auto start_download = [&](std::size_t i) {
+    PlayerState& state = states[i];
+    abr::Context context;
+    context.now_s = now;
+    context.buffer_s = state.buffer_s;
+    context.prev_rung = state.prev_rung;
+    context.segment_index = state.index;
+    context.playing = state.playing;
+    context.max_buffer_s = config.max_buffer_s;
+    context.video = &video;
+    context.predictor = players[i].predictor.get();
+    state.rung = players[i].controller->ChooseRung(context);
+    SODA_ASSERT(video.Ladder().IsValidRung(state.rung));
+    state.size_mb = video.SegmentSizeMb(state.index, state.rung);
+    state.remaining_mb = state.size_mb;
+    state.request_s = now;
+    state.rebuffer_during_download_s = 0.0;
+    state.phase = Phase::kDownloading;
+  };
+
+  // Initial decisions.
+  for (std::size_t i = 0; i < n; ++i) start_download(i);
+
+  while (now < config.session_s && ++guard < max_events) {
+    // Per-player share of the bottleneck.
+    int active = 0;
+    for (const auto& state : states) {
+      if (state.phase == Phase::kDownloading) ++active;
+    }
+    const double share_mbps =
+        active > 0 ? config.link_capacity_mbps / active : 0.0;
+
+    // Next event time.
+    double next = config.session_s;
+    for (const auto& state : states) {
+      if (state.phase == Phase::kDownloading && share_mbps > 0.0) {
+        next = std::min(next, now + state.remaining_mb / share_mbps);
+      } else if (state.phase == Phase::kWaiting) {
+        next = std::min(next, state.wait_until_s);
+      }
+    }
+    const double dt = std::max(next - now, 1e-9);
+
+    // Advance playback and transfers.
+    for (std::size_t i = 0; i < n; ++i) {
+      PlayerState& state = states[i];
+      if (state.playing) {
+        const double played = std::min(state.buffer_s, dt);
+        state.buffer_s -= played;
+        const double stalled = dt - played;
+        result.logs[i].total_rebuffer_s += stalled;
+        if (state.phase == Phase::kDownloading) {
+          state.rebuffer_during_download_s += stalled;
+        }
+      }
+      if (state.phase == Phase::kDownloading) {
+        state.remaining_mb -= share_mbps * dt;
+      }
+    }
+    now = next;
+    if (now >= config.session_s) break;
+
+    // Handle completions and wait expirations.
+    for (std::size_t i = 0; i < n; ++i) {
+      PlayerState& state = states[i];
+      if (state.phase == Phase::kDownloading && state.remaining_mb <= 1e-9) {
+        const double download_s = now - state.request_s + config.rtt_s;
+        state.buffer_s += seg_s;
+        if (!state.playing) state.playing = true;
+        players[i].predictor->Observe(
+            {state.request_s, std::max(now - state.request_s, 1e-9),
+             state.size_mb});
+
+        SegmentRecord record;
+        record.index = state.index;
+        record.rung = state.rung;
+        record.bitrate_mbps = video.Ladder().BitrateMbps(state.rung);
+        record.size_mb = state.size_mb;
+        record.request_s = state.request_s;
+        record.download_s = download_s;
+        record.rebuffer_s = state.rebuffer_during_download_s;
+        record.buffer_after_s = state.buffer_s;
+        result.logs[i].segments.push_back(record);
+
+        state.prev_rung = state.rung;
+        ++state.index;
+
+        if (state.buffer_s + seg_s > config.max_buffer_s) {
+          state.phase = Phase::kWaiting;
+          state.wait_started_s = now;
+          state.wait_until_s =
+              now + (state.buffer_s + seg_s - config.max_buffer_s);
+        } else {
+          start_download(i);
+        }
+      } else if (state.phase == Phase::kWaiting &&
+                 now >= state.wait_until_s - 1e-9) {
+        result.logs[i].total_wait_s += now - state.wait_started_s;
+        start_download(i);
+      }
+    }
+  }
+
+  // Aggregates.
+  std::vector<double> mean_bitrates;
+  RunningStats switch_rates;
+  RunningStats rebuffers;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.logs[i].session_s = config.session_s;
+    mean_bitrates.push_back(result.logs[i].MeanBitrateMbps());
+    const auto segments = result.logs[i].SegmentCount();
+    if (segments > 1) {
+      switch_rates.Add(static_cast<double>(result.logs[i].SwitchCount()) /
+                       static_cast<double>(segments - 1));
+    }
+    rebuffers.Add(result.logs[i].total_rebuffer_s);
+  }
+  result.bitrate_fairness = JainFairness(mean_bitrates);
+  result.mean_switch_rate = switch_rates.Mean();
+  result.mean_rebuffer_s = rebuffers.Mean();
+  return result;
+}
+
+}  // namespace soda::sim

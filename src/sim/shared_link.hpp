@@ -1,0 +1,60 @@
+// Multi-client shared-bottleneck simulation.
+//
+// N players stream through one bottleneck link whose capacity is divided
+// equally among the players currently downloading (a TCP-fair
+// approximation, the standard model in the ABR-stability literature
+// [Huang et al. 2012, "Confused, timid and unstable"]). Players idle when
+// their buffer is full, freeing capacity for the others — the coupling
+// that causes rate oscillation and unfairness for greedy controllers.
+//
+// This extends the paper's single-client evaluation: smoothness-optimized
+// control should also damp the multi-client feedback loop, which
+// bench_ext_fairness quantifies.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "abr/controller.hpp"
+#include "net/trace.hpp"
+#include "sim/session_log.hpp"
+
+namespace soda::sim {
+
+struct SharedLinkConfig {
+  double max_buffer_s = 20.0;
+  double rtt_s = 0.05;
+  double session_s = 600.0;
+  // Fraction of link capacity each active downloader receives is
+  // 1/active_count; idle players consume nothing.
+  double link_capacity_mbps = 20.0;
+};
+
+struct SharedLinkPlayer {
+  abr::ControllerPtr controller;
+  predict::PredictorPtr predictor;
+};
+
+struct SharedLinkResult {
+  std::vector<SessionLog> logs;  // one per player
+  // Jain's fairness index over the players' mean bitrates (1 = perfectly
+  // fair).
+  double bitrate_fairness = 0.0;
+  // Mean per-player switch rate.
+  double mean_switch_rate = 0.0;
+  // Mean per-player rebuffer seconds.
+  double mean_rebuffer_s = 0.0;
+};
+
+// Runs `players` against one shared link until session_s elapses. All
+// players use the same `video` model. Event-driven: capacity is re-divided
+// whenever any player starts or finishes a download.
+[[nodiscard]] SharedLinkResult RunSharedLink(
+    std::vector<SharedLinkPlayer> players, const media::VideoModel& video,
+    const SharedLinkConfig& config);
+
+// Jain's fairness index of a set of non-negative values.
+[[nodiscard]] double JainFairness(const std::vector<double>& values);
+
+}  // namespace soda::sim

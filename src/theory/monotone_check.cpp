@@ -1,0 +1,58 @@
+#include "theory/monotone_check.hpp"
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "util/ensure.hpp"
+
+namespace soda::theory {
+
+MismatchSample MeasureMismatch(const media::BitrateLadder& ladder,
+                               core::CostModelConfig base, double gamma,
+                               int horizon, const MismatchConfig& config) {
+  SODA_ENSURE(config.situations > 0, "need at least one situation");
+  SODA_ENSURE(horizon > 0, "horizon must be positive");
+
+  base.weights.gamma = gamma;
+  const core::CostModel model(ladder, base);
+  const core::MonotonicSolver monotonic(model);
+  const core::BruteForceSolver brute(model);
+
+  Rng rng(config.seed);
+  const double log_lo = std::log(config.min_mbps);
+  const double log_hi = std::log(config.max_mbps);
+
+  long long mismatches = 0;
+  long long valid = 0;
+  double gap_sum = 0.0;
+  for (long long i = 0; i < config.situations; ++i) {
+    const double mbps = std::exp(rng.Uniform(log_lo, log_hi));
+    const double buffer = rng.Uniform(0.0, base.max_buffer_s);
+    const auto prev = static_cast<media::Rung>(
+        rng.UniformInt(static_cast<std::uint64_t>(ladder.Count())));
+    const std::vector<double> predictions(static_cast<std::size_t>(horizon),
+                                          mbps);
+
+    const core::PlanResult approx = monotonic.Solve(predictions, buffer, prev);
+    const core::PlanResult exact = brute.Solve(predictions, buffer, prev);
+    if (!approx.feasible || !exact.feasible) continue;
+    ++valid;
+    if (approx.first_rung != exact.first_rung) ++mismatches;
+    if (exact.objective > 1e-12) {
+      gap_sum += (approx.objective - exact.objective) / exact.objective;
+    }
+  }
+
+  MismatchSample out;
+  out.gamma = gamma;
+  out.horizon = horizon;
+  out.situations = valid;
+  if (valid > 0) {
+    out.mismatch_probability =
+        static_cast<double>(mismatches) / static_cast<double>(valid);
+    out.mean_objective_gap = gap_sum / static_cast<double>(valid);
+  }
+  return out;
+}
+
+}  // namespace soda::theory

@@ -1,0 +1,39 @@
+// Monotone-approximation validation (Theorem 4.3 / Fig. 8): the probability
+// that the monotonic solver's committed decision differs from the
+// brute-force optimum over uniformly sampled situations (throughput, buffer
+// level, previous rung), as a function of the switching weight gamma.
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "util/rng.hpp"
+
+namespace soda::theory {
+
+struct MismatchSample {
+  double gamma = 0.0;
+  int horizon = 0;
+  // P(monotonic first decision != brute-force first decision).
+  double mismatch_probability = 0.0;
+  // Mean relative objective gap of the monotonic plan vs brute force.
+  double mean_objective_gap = 0.0;
+  long long situations = 0;
+};
+
+struct MismatchConfig {
+  long long situations = 20000;
+  double min_mbps = 0.5;
+  double max_mbps = 120.0;
+  std::uint64_t seed = 42;
+};
+
+// Samples situations uniformly (log-uniform throughput, uniform buffer,
+// uniform previous rung) and compares the two solvers' first decisions.
+// `base` supplies everything except gamma, which is overridden per call.
+[[nodiscard]] MismatchSample MeasureMismatch(const media::BitrateLadder& ladder,
+                                             core::CostModelConfig base,
+                                             double gamma, int horizon,
+                                             const MismatchConfig& config);
+
+}  // namespace soda::theory

@@ -1,0 +1,41 @@
+// Offline optimal cost, cost(OPT) (section 4 / Appendix A.1).
+//
+// Computes the minimum achievable total cost of the time-based objective
+// (Equation 1) given exact knowledge of the whole bandwidth sequence, via
+// dynamic programming over a discretized buffer grid x (buffer levels) and
+// the previous rung. The discretization makes this a (tight) upper bound on
+// the true continuous optimum; the grid is fine enough that the residual
+// gap is negligible for the regret experiments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/cost_model.hpp"
+
+namespace soda::theory {
+
+struct OfflineConfig {
+  // Number of buffer grid points over [0, max_buffer].
+  int buffer_grid = 201;
+  bool hard_buffer_constraints = true;
+};
+
+struct OfflineSolution {
+  bool feasible = false;
+  double total_cost = 0.0;
+  // Optimal rung and (gridded) buffer level per interval.
+  std::vector<media::Rung> rungs;
+  std::vector<double> buffers_s;
+};
+
+// `bandwidth_mbps[n]` is the true average throughput of interval n. The
+// initial state is `initial_buffer_s` with previous rung `prev_rung`
+// (-1 = no switching charge on the first interval).
+[[nodiscard]] OfflineSolution SolveOffline(const core::CostModel& model,
+                                           std::span<const double> bandwidth_mbps,
+                                           double initial_buffer_s,
+                                           media::Rung prev_rung,
+                                           const OfflineConfig& config = {});
+
+}  // namespace soda::theory

@@ -1,0 +1,76 @@
+#include "theory/perturbation.hpp"
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "theory/rollout.hpp"
+#include "util/ensure.hpp"
+#include "util/stats.hpp"
+
+namespace soda::theory {
+
+DecayMeasurement MeasureInitialStateDecay(
+    const core::CostModel& model, std::span<const double> bandwidth_mbps,
+    double buffer_a_s, double buffer_b_s, int horizon) {
+  RolloutConfig config;
+  config.horizon = horizon;
+  const RolloutResult a =
+      RunTimeBasedRollout(model, bandwidth_mbps, buffer_a_s, -1, config);
+  const RolloutResult b =
+      RunTimeBasedRollout(model, bandwidth_mbps, buffer_b_s, -1, config);
+
+  DecayMeasurement out;
+  const auto& ladder = model.Ladder();
+  const std::size_t n = std::min(a.rungs.size(), b.rungs.size());
+  out.distances.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double du = std::abs(1.0 / ladder.BitrateMbps(a.rungs[t]) -
+                               1.0 / ladder.BitrateMbps(b.rungs[t]));
+    const double dx = std::abs(a.buffers_s[t] - b.buffers_s[t]);
+    out.distances.push_back(dx + du);
+  }
+
+  // Fit log(distance_t) = log(d0) + t * log(rho) over the positive prefix.
+  std::vector<double> ts;
+  std::vector<double> logs;
+  for (std::size_t t = 0; t < out.distances.size(); ++t) {
+    if (out.distances[t] <= 1e-12) break;
+    ts.push_back(static_cast<double>(t));
+    logs.push_back(std::log(out.distances[t]));
+  }
+  if (ts.size() >= 2) {
+    out.fitted_rho = std::exp(FitLine(ts, logs).slope);
+  }
+  return out;
+}
+
+std::vector<double> MeasurePredictionSensitivity(
+    const core::CostModel& model, double constant_mbps, double buffer_s,
+    media::Rung prev_rung, int horizon, double perturbation_mbps) {
+  SODA_ENSURE(horizon > 0, "horizon must be positive");
+  SODA_ENSURE(constant_mbps > 0.0, "throughput must be positive");
+
+  const core::MonotonicSolver solver(model);
+  const auto& ladder = model.Ladder();
+  const std::vector<double> base(static_cast<std::size_t>(horizon),
+                                 constant_mbps);
+  const core::PlanResult base_plan = solver.Solve(base, buffer_s, prev_rung);
+  const double base_u =
+      base_plan.feasible ? 1.0 / ladder.BitrateMbps(base_plan.first_rung)
+                         : 0.0;
+
+  std::vector<double> sensitivity;
+  sensitivity.reserve(static_cast<std::size_t>(horizon));
+  for (int j = 0; j < horizon; ++j) {
+    std::vector<double> perturbed = base;
+    perturbed[static_cast<std::size_t>(j)] =
+        std::max(constant_mbps + perturbation_mbps, 1e-3);
+    const core::PlanResult plan = solver.Solve(perturbed, buffer_s, prev_rung);
+    const double u =
+        plan.feasible ? 1.0 / ladder.BitrateMbps(plan.first_rung) : 0.0;
+    sensitivity.push_back(std::abs(u - base_u));
+  }
+  return sensitivity;
+}
+
+}  // namespace soda::theory

@@ -1,0 +1,37 @@
+// Empirical verification of the exponentially decaying perturbation
+// property (Definition A.1, Fig. 6): optimal trajectories of the planning
+// problem started from different initial buffer/action pairs converge
+// toward each other exponentially fast, and perturbing a far-future
+// prediction barely moves the first action.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/cost_model.hpp"
+
+namespace soda::theory {
+
+struct DecayMeasurement {
+  // Per-step distance |x_t - x'_t| + |u_t - u'_t| between the two rollouts.
+  std::vector<double> distances;
+  // Least-squares decay factor rho estimated from log-distances (only over
+  // the prefix where distances are positive).
+  double fitted_rho = 0.0;
+};
+
+// Rolls SODA out twice over the same bandwidth sequence from two different
+// initial buffers and measures per-step trajectory distance. Actions are
+// compared as inverse bitrates (the paper's u = 1/r).
+[[nodiscard]] DecayMeasurement MeasureInitialStateDecay(
+    const core::CostModel& model, std::span<const double> bandwidth_mbps,
+    double buffer_a_s, double buffer_b_s, int horizon);
+
+// Perturbs the prediction for lookahead j (one entry of the horizon) by
+// `perturbation_mbps` and reports |u_first - u'_first| per j — the
+// sensitivity of the first action to far-future prediction changes.
+[[nodiscard]] std::vector<double> MeasurePredictionSensitivity(
+    const core::CostModel& model, double constant_mbps, double buffer_s,
+    media::Rung prev_rung, int horizon, double perturbation_mbps);
+
+}  // namespace soda::theory

@@ -1,0 +1,105 @@
+#include "theory/rollout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "theory/offline_optimal.hpp"
+#include "util/ensure.hpp"
+
+namespace soda::theory {
+
+RolloutResult RunTimeBasedRollout(const core::CostModel& model,
+                                  std::span<const double> bandwidth_mbps,
+                                  double initial_buffer_s,
+                                  media::Rung prev_rung,
+                                  const RolloutConfig& config) {
+  SODA_ENSURE(!bandwidth_mbps.empty(), "need at least one interval");
+  SODA_ENSURE(config.horizon > 0, "horizon must be positive");
+  SODA_ENSURE(config.prediction_noise >= 0.0, "noise must be non-negative");
+
+  core::SolverConfig solver_config;
+  solver_config.hard_buffer_constraints = config.hard_buffer_constraints;
+  const core::MonotonicSolver monotonic(model, solver_config);
+  const core::BruteForceSolver brute(model, solver_config);
+
+  Rng rng(config.noise_seed);
+  const auto& ladder = model.Ladder();
+  const double max_buffer = model.Config().max_buffer_s;
+  const auto steps = static_cast<int>(bandwidth_mbps.size());
+
+  RolloutResult result;
+  result.rungs.reserve(static_cast<std::size_t>(steps));
+  result.buffers_s.reserve(static_cast<std::size_t>(steps));
+  result.min_buffer_s = initial_buffer_s;
+  result.max_buffer_s = initial_buffer_s;
+
+  double buffer = initial_buffer_s;
+  media::Rung prev = prev_rung;
+  for (int n = 0; n < steps; ++n) {
+    // Build the prediction window with optional multiplicative noise.
+    const int window = std::min(config.horizon, steps - n);
+    std::vector<double> predictions;
+    predictions.reserve(static_cast<std::size_t>(window));
+    for (int k = 0; k < window; ++k) {
+      double w = bandwidth_mbps[static_cast<std::size_t>(n + k)];
+      if (config.prediction_noise > 0.0) {
+        w *= std::max(1.0 + config.prediction_noise * rng.Gaussian(), 0.05);
+      }
+      predictions.push_back(std::max(w, 1e-3));
+    }
+
+    const core::PlanResult plan =
+        config.brute_force ? brute.Solve(predictions, buffer, prev)
+                           : monotonic.Solve(predictions, buffer, prev);
+    media::Rung rung;
+    if (plan.feasible) {
+      rung = plan.first_rung;
+    } else {
+      rung = ladder.HighestRungAtMost(predictions.front());
+    }
+
+    // Advance with the TRUE bandwidth.
+    const double w_true = bandwidth_mbps[static_cast<std::size_t>(n)];
+    const double bitrate = ladder.BitrateMbps(rung);
+    const double raw_next = model.NextBuffer(buffer, w_true, bitrate);
+    const double next_buffer = std::clamp(raw_next, 0.0, max_buffer);
+    const bool charge_switch = prev >= 0;
+    const double prev_bitrate =
+        charge_switch ? ladder.BitrateMbps(prev) : bitrate;
+    result.total_cost += model.IntervalCost(w_true, bitrate, prev_bitrate,
+                                            next_buffer, charge_switch);
+    if (charge_switch && prev != rung) ++result.switch_count;
+
+    buffer = next_buffer;
+    prev = rung;
+    result.rungs.push_back(rung);
+    result.buffers_s.push_back(buffer);
+    result.min_buffer_s = std::min(result.min_buffer_s, buffer);
+    result.max_buffer_s = std::max(result.max_buffer_s, buffer);
+  }
+  return result;
+}
+
+RegretReport CompareToOffline(const core::CostModel& model,
+                              std::span<const double> bandwidth_mbps,
+                              double initial_buffer_s, media::Rung prev_rung,
+                              const RolloutConfig& config) {
+  const RolloutResult rollout = RunTimeBasedRollout(
+      model, bandwidth_mbps, initial_buffer_s, prev_rung, config);
+  OfflineConfig offline_config;
+  offline_config.hard_buffer_constraints = config.hard_buffer_constraints;
+  const OfflineSolution offline =
+      SolveOffline(model, bandwidth_mbps, initial_buffer_s, prev_rung,
+                   offline_config);
+
+  RegretReport report;
+  report.algorithm_cost = rollout.total_cost;
+  report.optimal_cost = offline.feasible ? offline.total_cost : 0.0;
+  report.dynamic_regret = report.algorithm_cost - report.optimal_cost;
+  report.competitive_ratio = report.optimal_cost > 0.0
+                                 ? report.algorithm_cost / report.optimal_cost
+                                 : 1.0;
+  return report;
+}
+
+}  // namespace soda::theory

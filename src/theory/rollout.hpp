@@ -1,0 +1,60 @@
+// Time-based SODA rollout in the paper's theoretical setting (Algorithm 2):
+// at each interval n the controller receives (possibly noisy) predictions of
+// the next K interval bandwidths, plans, commits the first bitrate, and the
+// state advances with the TRUE bandwidth. Produces the realized trajectory
+// and its true cost, enabling the dynamic-regret / competitive-ratio
+// experiments of Theorems 4.1 and 4.2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/solver.hpp"
+#include "util/rng.hpp"
+
+namespace soda::theory {
+
+struct RolloutConfig {
+  int horizon = 5;
+  // Relative std of multiplicative white noise on each prediction entry;
+  // 0 = exact predictions.
+  double prediction_noise = 0.0;
+  std::uint64_t noise_seed = 7;
+  bool hard_buffer_constraints = false;
+  // Use the brute-force solver instead of the monotonic one (ablation).
+  bool brute_force = false;
+};
+
+struct RolloutResult {
+  double total_cost = 0.0;
+  std::vector<media::Rung> rungs;
+  std::vector<double> buffers_s;
+  double min_buffer_s = 0.0;
+  double max_buffer_s = 0.0;
+  int switch_count = 0;
+};
+
+// Rolls SODA out over the true bandwidth sequence from `initial_buffer_s`
+// and `prev_rung` (-1 = none).
+[[nodiscard]] RolloutResult RunTimeBasedRollout(
+    const core::CostModel& model, std::span<const double> bandwidth_mbps,
+    double initial_buffer_s, media::Rung prev_rung,
+    const RolloutConfig& config);
+
+// Dynamic regret and competitive ratio of a rollout against an offline
+// optimum computed on the same sequence.
+struct RegretReport {
+  double algorithm_cost = 0.0;
+  double optimal_cost = 0.0;
+  double dynamic_regret = 0.0;
+  double competitive_ratio = 0.0;
+};
+
+[[nodiscard]] RegretReport CompareToOffline(const core::CostModel& model,
+                                            std::span<const double> bandwidth_mbps,
+                                            double initial_buffer_s,
+                                            media::Rung prev_rung,
+                                            const RolloutConfig& config);
+
+}  // namespace soda::theory

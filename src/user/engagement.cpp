@@ -1,0 +1,42 @@
+#include "user/engagement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace soda::user {
+
+EngagementModel::EngagementModel(EngagementConfig config) : config_(config) {
+  SODA_ENSURE(config_.base_fraction > 0.0 && config_.base_fraction <= 1.0,
+              "base fraction must be in (0, 1]");
+  SODA_ENSURE(config_.switch_slope >= 0.0, "switch slope must be >= 0");
+  SODA_ENSURE(config_.rebuffer_sensitivity >= 0.0,
+              "rebuffer sensitivity must be >= 0");
+  SODA_ENSURE(config_.min_fraction >= 0.0 &&
+                  config_.min_fraction < config_.max_fraction &&
+                  config_.max_fraction <= 1.0,
+              "fraction clamp range invalid");
+}
+
+double EngagementModel::ExpectedWatchFraction(
+    const qoe::QoeMetrics& metrics) const noexcept {
+  double fraction =
+      config_.base_fraction - config_.switch_slope * metrics.switch_rate;
+  fraction *= std::exp(-config_.rebuffer_sensitivity * metrics.rebuffer_ratio);
+  return std::clamp(fraction, config_.min_fraction, config_.max_fraction);
+}
+
+double EngagementModel::SampleWatchFraction(const qoe::QoeMetrics& metrics,
+                                            Rng& rng) const noexcept {
+  const double fraction =
+      ExpectedWatchFraction(metrics) + config_.noise * rng.Gaussian();
+  return std::clamp(fraction, config_.min_fraction, config_.max_fraction);
+}
+
+double EngagementModel::ExpectedViewingSeconds(
+    const qoe::QoeMetrics& metrics, double stream_duration_s) const noexcept {
+  return ExpectedWatchFraction(metrics) * stream_duration_s;
+}
+
+}  // namespace soda::user

@@ -1,0 +1,150 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/ensure.hpp"
+#include "util/table.hpp"
+
+namespace soda {
+namespace {
+
+constexpr const char kSeriesGlyphs[] = "*o+x#@%&";
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void Expand(double v) noexcept {
+    if (!std::isfinite(v)) return;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+
+  void Finalize() noexcept {
+    if (!std::isfinite(lo)) {
+      lo = 0.0;
+      hi = 1.0;
+    }
+    if (hi <= lo) hi = lo + 1.0;
+  }
+
+  [[nodiscard]] double Normalize(double v) const noexcept {
+    return (v - lo) / (hi - lo);
+  }
+};
+
+std::string AxisFooter(const Range& xr, const Range& yr,
+                       const PlotOptions& options) {
+  std::string out;
+  out += "x: [" + FormatDouble(xr.lo, 2) + ", " + FormatDouble(xr.hi, 2) + "]";
+  if (!options.x_label.empty()) out += " " + options.x_label;
+  out += "   y: [" + FormatDouble(yr.lo, 3) + ", " + FormatDouble(yr.hi, 3) +
+         "]";
+  if (!options.y_label.empty()) out += " " + options.y_label;
+  out += "\n";
+  return out;
+}
+
+std::string RenderGrid(const std::vector<std::string>& canvas) {
+  std::string out;
+  for (const auto& row : canvas) {
+    out += "  |" + row + "\n";
+  }
+  out += "  +";
+  out.append(canvas.empty() ? 0 : canvas[0].size(), '-');
+  out += "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string RenderLinePlot(std::span<const double> x,
+                           const std::vector<std::vector<double>>& series,
+                           const std::vector<std::string>& names,
+                           const PlotOptions& options) {
+  SODA_ENSURE(options.width > 2 && options.height > 2, "plot too small");
+  Range xr;
+  Range yr;
+  for (const double v : x) xr.Expand(v);
+  for (const auto& s : series) {
+    for (const double v : s) yr.Expand(v);
+  }
+  xr.Finalize();
+  yr.Finalize();
+
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(options.height),
+      std::string(static_cast<std::size_t>(options.width), ' '));
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kSeriesGlyphs[s % (sizeof(kSeriesGlyphs) - 1)];
+    const auto& ys = series[s];
+    const std::size_t n = std::min(x.size(), ys.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(ys[i])) continue;
+      const int cx = static_cast<int>(std::round(
+          xr.Normalize(x[i]) * (options.width - 1)));
+      const int cy = static_cast<int>(std::round(
+          (1.0 - yr.Normalize(ys[i])) * (options.height - 1)));
+      if (cx >= 0 && cx < options.width && cy >= 0 && cy < options.height) {
+        canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] =
+            glyph;
+      }
+    }
+  }
+
+  std::string out = RenderGrid(canvas);
+  out += AxisFooter(xr, yr, options);
+  for (std::size_t s = 0; s < series.size() && s < names.size(); ++s) {
+    out += "  ";
+    out += kSeriesGlyphs[s % (sizeof(kSeriesGlyphs) - 1)];
+    out += " = " + names[s] + "\n";
+  }
+  return out;
+}
+
+std::string RenderScatter(std::span<const double> x, std::span<const double> y,
+                          const PlotOptions& options) {
+  std::vector<std::vector<double>> series(1);
+  series[0].assign(y.begin(), y.end());
+  return RenderLinePlot(x, series, {}, options);
+}
+
+std::string RenderHeatMap(const std::vector<std::vector<double>>& grid,
+                          const PlotOptions& options) {
+  static constexpr const char kRamp[] = ".:-=+*#%@";
+  // Highest usable glyph index (the array also holds the terminator).
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+
+  Range range;
+  for (const auto& row : grid) {
+    for (const double v : row) range.Expand(v);
+  }
+  range.Finalize();
+
+  std::string out;
+  for (const auto& row : grid) {
+    out += "  |";
+    for (const double v : row) {
+      if (!std::isfinite(v)) {
+        out += ' ';
+        continue;
+      }
+      const int level = std::clamp(
+          static_cast<int>(std::round(range.Normalize(v) * kLevels)), 0,
+          kLevels);
+      out += kRamp[static_cast<std::size_t>(level)];
+    }
+    out += "\n";
+  }
+  out += "  scale: low '" + std::string(1, kRamp[0]) + "' .. high '" +
+         std::string(1, kRamp[kLevels]) + "'";
+  if (!options.x_label.empty()) out += "   x: " + options.x_label;
+  if (!options.y_label.empty()) out += "   y: " + options.y_label;
+  out += "\n";
+  return out;
+}
+
+}  // namespace soda

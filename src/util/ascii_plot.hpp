@@ -1,0 +1,36 @@
+// ASCII rendering of figures (time series, scatter plots, heat maps) so the
+// benchmark harness can display the *shape* of each paper figure directly in
+// the terminal without a plotting dependency.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace soda {
+
+struct PlotOptions {
+  int width = 72;
+  int height = 16;
+  std::string x_label;
+  std::string y_label;
+};
+
+// Line plot of one or more series over a shared x axis. Each series is drawn
+// with a distinct glyph ('*', 'o', '+', 'x', ...).
+[[nodiscard]] std::string RenderLinePlot(
+    std::span<const double> x, const std::vector<std::vector<double>>& series,
+    const std::vector<std::string>& names, const PlotOptions& options = {});
+
+// Scatter plot of (x, y) points.
+[[nodiscard]] std::string RenderScatter(std::span<const double> x,
+                                        std::span<const double> y,
+                                        const PlotOptions& options = {});
+
+// Heat map of a row-major grid: values are mapped onto a light-to-dark glyph
+// ramp. NaN cells render blank (used for the "no download" region of the
+// Fig. 5 decision map).
+[[nodiscard]] std::string RenderHeatMap(const std::vector<std::vector<double>>& grid,
+                                        const PlotOptions& options = {});
+
+}  // namespace soda

@@ -1,0 +1,128 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace soda {
+
+int CsvTable::ColumnIndex(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+CsvTable ParseCsv(std::string_view text, bool has_header) {
+  CsvTable table;
+  std::size_t pos = 0;
+  bool header_pending = has_header;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    // Skip blank and comment lines.
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos || line[first] == '#') continue;
+    auto fields = SplitCsvLine(line);
+    if (header_pending) {
+      table.header = std::move(fields);
+      header_pending = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+CsvTable LoadCsvFile(const std::filesystem::path& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open CSV file: " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), has_header);
+}
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) noexcept {
+  return field.find_first_of(",\"\n") != std::string_view::npos;
+}
+
+}  // namespace
+
+void CsvWriter::AddRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) text_.push_back(',');
+    const std::string& field = fields[i];
+    if (NeedsQuoting(field)) {
+      text_.push_back('"');
+      for (const char c : field) {
+        if (c == '"') text_.push_back('"');
+        text_.push_back(c);
+      }
+      text_.push_back('"');
+    } else {
+      text_ += field;
+    }
+  }
+  text_.push_back('\n');
+}
+
+void CsvWriter::WriteFile(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot write CSV file: " + path.string());
+  }
+  out << text_;
+}
+
+double ParseDouble(std::string_view field, std::string_view context) {
+  double value = 0.0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  // Trim leading whitespace for tolerance of hand-edited files.
+  while (begin != end && (*begin == ' ' || *begin == '\t')) ++begin;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr == begin) {
+    throw std::runtime_error("cannot parse number '" + std::string(field) +
+                             "' in " + std::string(context));
+  }
+  return value;
+}
+
+}  // namespace soda

@@ -1,0 +1,50 @@
+// Minimal CSV reading/writing used by the trace I/O layer and by benches
+// that export figure data for external plotting.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace soda {
+
+// One parsed CSV table: an optional header row plus data rows of strings.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  // Index of a header column, or -1 when absent.
+  [[nodiscard]] int ColumnIndex(std::string_view name) const noexcept;
+};
+
+// Splits one CSV line on commas. Handles double-quoted fields containing
+// commas and escaped quotes (""), which is all the trace formats need.
+[[nodiscard]] std::vector<std::string> SplitCsvLine(std::string_view line);
+
+// Parses CSV text. When `has_header` is true the first non-empty line is
+// treated as the header. Empty lines and lines starting with '#' are skipped.
+[[nodiscard]] CsvTable ParseCsv(std::string_view text, bool has_header);
+
+// Loads and parses a CSV file. Throws std::runtime_error when the file
+// cannot be read.
+[[nodiscard]] CsvTable LoadCsvFile(const std::filesystem::path& path,
+                                   bool has_header);
+
+// Writer that escapes fields when needed.
+class CsvWriter {
+ public:
+  void AddRow(const std::vector<std::string>& fields);
+  [[nodiscard]] const std::string& Text() const noexcept { return text_; }
+  // Writes accumulated text to a file. Throws std::runtime_error on failure.
+  void WriteFile(const std::filesystem::path& path) const;
+
+ private:
+  std::string text_;
+};
+
+// Parses a double, throwing std::runtime_error with context on failure.
+[[nodiscard]] double ParseDouble(std::string_view field,
+                                 std::string_view context);
+
+}  // namespace soda

@@ -1,0 +1,33 @@
+// Precondition / invariant checking helpers.
+//
+// SODA_ENSURE is used for construction-time validation of user-supplied
+// configuration: it throws std::invalid_argument with a descriptive message.
+// SODA_ASSERT is used for internal invariants that indicate programmer error;
+// it aborts in all build types so simulator results are never silently wrong.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace soda {
+
+// Throws std::invalid_argument when `condition` is false. Use for validating
+// user-facing configuration at API boundaries.
+inline void Ensure(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+}  // namespace soda
+
+#define SODA_ENSURE(cond, msg) ::soda::Ensure((cond), (msg))
+
+#define SODA_ASSERT(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SODA_ASSERT failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)

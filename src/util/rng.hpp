@@ -1,0 +1,118 @@
+// Deterministic random number generation.
+//
+// All stochastic components (trace generators, noise injection, engagement
+// sampling) draw from a seeded Rng so that every experiment is exactly
+// reproducible. Rng wraps the xoshiro256** generator: fast, high quality,
+// and with a stable cross-platform output sequence (unlike distribution
+// objects in <random>, whose output is implementation-defined; we therefore
+// implement the distributions we need ourselves).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "util/ensure.hpp"
+
+namespace soda {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { Seed(seed); }
+
+  void Seed(std::uint64_t seed) noexcept {
+    // splitmix64 expansion of the seed into the 256-bit state, as recommended
+    // by the xoshiro authors.
+    std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL;
+    for (auto& word : state_) {
+      std::uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+    has_cached_gaussian_ = false;
+  }
+
+  // Uniform in [0, 2^64).
+  std::uint64_t NextU64() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [0, n). n must be positive.
+  std::uint64_t UniformInt(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded generation.
+    const auto wide =
+        static_cast<unsigned __int128>(NextU64()) * static_cast<unsigned __int128>(n);
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  // Standard normal via Box-Muller with caching of the second deviate.
+  double Gaussian() noexcept {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    // Avoid log(0).
+    while (u1 <= 0.0) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_gaussian_ = radius * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return radius * std::cos(theta);
+  }
+
+  double Gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * Gaussian();
+  }
+
+  // Log-normal with the given mean/stddev of the *underlying normal*.
+  double LogNormal(double mu, double sigma) noexcept {
+    return std::exp(Gaussian(mu, sigma));
+  }
+
+  // Bernoulli trial.
+  bool Chance(double probability) noexcept {
+    return NextDouble() < probability;
+  }
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate) noexcept {
+    double u = NextDouble();
+    while (u <= 0.0) u = NextDouble();
+    return -std::log(u) / rate;
+  }
+
+  // Derive an independent stream (e.g. one per session) from this generator.
+  Rng Fork() noexcept { return Rng(NextU64() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace soda

@@ -1,0 +1,72 @@
+// Streaming statistics, confidence intervals, correlation and regression.
+//
+// These helpers back every aggregate number printed by the benchmark
+// harness: mean QoE with 95% confidence intervals (Figs. 10-12), Pearson
+// correlation for the predictor profiler (Fig. 7), and least-squares fits
+// for the engagement scatter (Fig. 1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace soda {
+
+// Welford's online algorithm: numerically stable streaming mean/variance.
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+  void Merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t Count() const noexcept { return count_; }
+  [[nodiscard]] bool Empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double Mean() const noexcept;
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double Variance() const noexcept;
+  [[nodiscard]] double StdDev() const noexcept;
+  // Coefficient of variation: stddev / mean ("relative standard deviation").
+  [[nodiscard]] double RelStdDev() const noexcept;
+  [[nodiscard]] double Min() const noexcept { return min_; }
+  [[nodiscard]] double Max() const noexcept { return max_; }
+  // Half-width of the normal-approximation 95% confidence interval of the
+  // mean; 0 for fewer than two samples.
+  [[nodiscard]] double CiHalfWidth95() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Pearson correlation coefficient of two equal-length series. Returns 0 when
+// either series is constant or the series are shorter than two samples.
+[[nodiscard]] double PearsonCorrelation(std::span<const double> x,
+                                        std::span<const double> y) noexcept;
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+
+  [[nodiscard]] double At(double x) const noexcept {
+    return intercept + slope * x;
+  }
+};
+
+// Ordinary least-squares line fit. Returns a flat fit when x is constant.
+[[nodiscard]] LinearFit FitLine(std::span<const double> x,
+                                std::span<const double> y) noexcept;
+
+// The p-th percentile (0..100) via linear interpolation of the sorted data.
+// Returns 0 for empty input.
+[[nodiscard]] double Percentile(std::vector<double> values, double p) noexcept;
+
+// Arithmetic mean of a span, 0 when empty.
+[[nodiscard]] double MeanOf(std::span<const double> values) noexcept;
+
+// Harmonic mean; ignores non-positive entries; 0 when no valid entries.
+[[nodiscard]] double HarmonicMeanOf(std::span<const double> values) noexcept;
+
+}  // namespace soda

@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "util/ensure.hpp"
+
+namespace soda {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  SODA_ENSURE(!columns_.empty(), "ConsoleTable needs at least one column");
+}
+
+void ConsoleTable::AddRow(std::vector<std::string> cells) {
+  SODA_ENSURE(cells.size() == columns_.size(),
+              "row cell count must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string ConsoleTable::Render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += "| ";
+      line += cell;
+      line.append(widths[i] - cell.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  auto separator = [&]() {
+    std::string line;
+    for (const std::size_t w : widths) {
+      line += "+";
+      line.append(w + 2, '-');
+    }
+    line += "+\n";
+    return line;
+  };
+
+  std::string out = separator();
+  out += render_row(columns_);
+  out += separator();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += separator();
+    } else {
+      out += render_row(row);
+    }
+  }
+  out += separator();
+  return out;
+}
+
+void ConsoleTable::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FormatWithCi(double mean, double ci, int decimals) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f +/- %.*f", decimals, mean, decimals,
+                ci);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace soda

@@ -1,0 +1,37 @@
+// Console table rendering for the benchmark harness. Every figure/table
+// bench prints its results through this so that output is aligned and easy
+// to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soda {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  // A horizontal separator line between row groups.
+  void AddSeparator();
+
+  [[nodiscard]] std::string Render() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimal places.
+[[nodiscard]] std::string FormatDouble(double value, int decimals);
+
+// Formats "mean ± ci" with the given decimals.
+[[nodiscard]] std::string FormatWithCi(double mean, double ci, int decimals);
+
+// Formats a ratio as a signed percentage, e.g. -0.123 -> "-12.3%".
+[[nodiscard]] std::string FormatPercent(double fraction, int decimals);
+
+}  // namespace soda

@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include "abr/bola.hpp"
+#include "abr/dynamic.hpp"
+#include "abr/hyb.hpp"
+#include "abr/mpc.hpp"
+#include "abr/production_baseline.hpp"
+#include "abr/rl_like.hpp"
+#include "abr/throughput_rule.hpp"
+#include "test_helpers.hpp"
+
+namespace soda::abr {
+namespace {
+
+using soda::testing::ContextFixture;
+
+media::BitrateLadder Ladder() { return media::YoutubeHfr4kLadder(); }
+
+// --- ThroughputRule ---
+
+TEST(ThroughputRule, PicksHighestSustainable) {
+  ContextFixture fx(Ladder());
+  ThroughputRuleController controller(1.0);
+  fx.SetThroughput(8.0);
+  EXPECT_EQ(controller.ChooseRung(fx.Make(10.0, 2)), 2);  // 7.5 <= 8
+  fx.SetThroughput(70.0);
+  EXPECT_EQ(controller.ChooseRung(fx.Make(10.0, 2)), 5);
+  fx.SetThroughput(1.0);
+  EXPECT_EQ(controller.ChooseRung(fx.Make(10.0, 2)), 0);
+}
+
+TEST(ThroughputRule, SafetyDiscounts) {
+  ContextFixture fx(Ladder());
+  ThroughputRuleController controller(0.5);
+  fx.SetThroughput(8.0);  // usable 4.0
+  EXPECT_EQ(controller.ChooseRung(fx.Make(10.0, 2)), 1);
+  EXPECT_THROW(ThroughputRuleController(0.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputRuleController(1.5), std::invalid_argument);
+}
+
+// --- HYB ---
+
+TEST(Hyb, RespectsBufferBudget) {
+  ContextFixture fx(Ladder());
+  HybController controller(1.0, 0.0);
+  fx.SetThroughput(10.0);
+  // Buffer 1 s: segment at rung r costs 2*bitrate/10 s; needs <= 1 s so
+  // bitrate <= 5 -> rung 1 (4 Mb/s).
+  EXPECT_EQ(controller.ChooseRung(fx.Make(1.0, 3)), 1);
+  // Buffer 10 s: bitrate <= 50 -> rung 4 (24).
+  EXPECT_EQ(controller.ChooseRung(fx.Make(10.0, 3)), 4);
+}
+
+TEST(Hyb, MoreBufferNeverLowersChoice) {
+  ContextFixture fx(Ladder());
+  HybController controller;
+  fx.SetThroughput(15.0);
+  media::Rung prev = 0;
+  media::Rung last = 0;
+  for (double buffer = 0.5; buffer <= 20.0; buffer += 0.5) {
+    const media::Rung r = controller.ChooseRung(fx.Make(buffer, prev));
+    EXPECT_GE(r, last);
+    last = r;
+  }
+}
+
+TEST(Hyb, BeforePlaybackUsesSegmentBudget) {
+  ContextFixture fx(Ladder());
+  HybController controller(1.0, 0.0);
+  fx.SetThroughput(10.0);
+  // Not playing: budget is one segment duration (2 s) -> bitrate <= 10.
+  EXPECT_EQ(controller.ChooseRung(fx.Make(0.0, -1, 0.0, 0, false)), 2);
+}
+
+// --- BOLA ---
+
+TEST(Bola, ThresholdPlacementMatchesConfig) {
+  BolaConfig config;
+  config.buffer_low_s = 4.0;
+  config.buffer_target_s = 18.0;
+  const BolaController bola(config);
+  const auto thresholds = bola.DecisionThresholds(Ladder());
+  ASSERT_EQ(thresholds.size(), 5u);
+  EXPECT_NEAR(thresholds.front(), 4.0, 1e-9);
+  EXPECT_NEAR(thresholds.back(), 18.0, 1e-9);
+  for (std::size_t i = 1; i < thresholds.size(); ++i) {
+    EXPECT_GT(thresholds[i], thresholds[i - 1]);
+  }
+}
+
+TEST(Bola, DecisionMonotoneInBuffer) {
+  ContextFixture fx(Ladder());
+  BolaController bola({.buffer_low_s = 4.0, .buffer_target_s = 18.0});
+  media::Rung last = 0;
+  for (double buffer = 0.0; buffer <= 20.0; buffer += 0.25) {
+    const media::Rung r = bola.ChooseRung(fx.Make(buffer, 2));
+    EXPECT_GE(r, last);
+    last = r;
+  }
+  EXPECT_EQ(last, Ladder().HighestRung());
+}
+
+TEST(Bola, LowBufferPicksLowestHighBufferPicksHighest) {
+  ContextFixture fx(Ladder());
+  BolaController bola({.buffer_low_s = 4.0, .buffer_target_s = 18.0});
+  EXPECT_EQ(bola.ChooseRung(fx.Make(0.5, 3)), 0);
+  EXPECT_EQ(bola.ChooseRung(fx.Make(19.5, 0)), Ladder().HighestRung());
+}
+
+TEST(Bola, IgnoresThroughputEntirely) {
+  ContextFixture fx(Ladder());
+  BolaController bola;
+  fx.SetThroughput(0.1);
+  const media::Rung slow = bola.ChooseRung(fx.Make(10.0, 2));
+  fx.SetThroughput(100.0);
+  const media::Rung fast = bola.ChooseRung(fx.Make(10.0, 2));
+  EXPECT_EQ(slow, fast);
+}
+
+TEST(Bola, LiveBufferCompressesThresholds) {
+  // The Fig. 2 observation: a 120 s buffer spaces boundaries widely; a 20 s
+  // buffer packs them into a few seconds of each other.
+  const BolaController vod({.buffer_low_s = 10.0, .buffer_target_s = 110.0});
+  const BolaController live({.buffer_low_s = 4.0, .buffer_target_s = 18.0});
+  const auto vod_thresholds = vod.DecisionThresholds(Ladder());
+  const auto live_thresholds = live.DecisionThresholds(Ladder());
+  double vod_min_gap = 1e9;
+  double live_max_gap = 0.0;
+  for (std::size_t i = 1; i < vod_thresholds.size(); ++i) {
+    vod_min_gap =
+        std::min(vod_min_gap, vod_thresholds[i] - vod_thresholds[i - 1]);
+    live_max_gap =
+        std::max(live_max_gap, live_thresholds[i] - live_thresholds[i - 1]);
+  }
+  EXPECT_GT(vod_min_gap, live_max_gap);
+}
+
+TEST(Bola, ConfigValidation) {
+  EXPECT_THROW(BolaController({.buffer_low_s = 0.0}), std::invalid_argument);
+  EXPECT_THROW(
+      BolaController({.buffer_low_s = 10.0, .buffer_target_s = 5.0}),
+      std::invalid_argument);
+}
+
+// --- Dynamic ---
+
+TEST(Dynamic, ThroughputModeAtLowBuffer) {
+  ContextFixture fx(Ladder());
+  DynamicController dynamic;
+  fx.SetThroughput(8.0);
+  // Low buffer: throughput mode, 0.9 * 8 = 7.2 -> rung 1 (4 Mb/s); prev 1
+  // so no switch limiting applies.
+  EXPECT_EQ(dynamic.ChooseRung(fx.Make(2.0, 1)), 1);
+}
+
+TEST(Dynamic, BolaModeAtHighBuffer) {
+  ContextFixture fx(Ladder());
+  DynamicController dynamic;
+  fx.SetThroughput(100.0);
+  dynamic.Reset();
+  // High buffer engages BOLA; with buffer near max BOLA wants the top rung,
+  // and the one-step-up limit moves prev 4 -> 5.
+  EXPECT_EQ(dynamic.ChooseRung(fx.Make(19.0, 4)), 5);
+}
+
+TEST(Dynamic, UpswitchLimitedToOneRung) {
+  ContextFixture fx(Ladder());
+  DynamicController dynamic;
+  fx.SetThroughput(100.0);
+  dynamic.Reset();
+  const media::Rung r = dynamic.ChooseRung(fx.Make(19.0, 0));
+  EXPECT_EQ(r, 1);  // wants top but climbs one rung at a time
+}
+
+TEST(Dynamic, UpswitchVetoAppliesInThroughputMode) {
+  ContextFixture fx(Ladder());
+  DynamicController dynamic;
+  dynamic.Reset();
+  // Low buffer -> throughput mode. Prev rung 0; the rule wants rung 1
+  // (0.9 * 5 = 4.5 >= 4) but the sustainability veto requires
+  // 4 <= 0.85 * predicted, so at 4.2 Mb/s the step-up is vetoed.
+  fx.SetThroughput(4.2);
+  EXPECT_EQ(dynamic.ChooseRung(fx.Make(2.0, 0)), 0);
+  // With more headroom the step-up is allowed.
+  fx.SetThroughput(6.0);
+  EXPECT_EQ(dynamic.ChooseRung(fx.Make(2.0, 0)), 1);
+}
+
+TEST(Dynamic, BolaModeUpswitchNotThroughputVetoed) {
+  ContextFixture fx(Ladder());
+  DynamicController dynamic;
+  dynamic.Reset();
+  // High buffer -> BOLA mode; BOLA climbs on buffer alone (one rung at a
+  // time) even when the throughput estimate would veto it, as in dash.js.
+  fx.SetThroughput(4.2);
+  EXPECT_EQ(dynamic.ChooseRung(fx.Make(19.0, 1)), 2);
+}
+
+TEST(Dynamic, InsufficientBufferSafetyCapsChoice) {
+  ContextFixture fx(Ladder());
+  DynamicController dynamic;
+  dynamic.Reset();
+  fx.SetThroughput(3.0);
+  // Buffer 1 s while playing: download at rung r costs 2*bitrate/3 s and
+  // must fit in ~1 s -> only rung 0 (1 s) fits.
+  EXPECT_EQ(dynamic.ChooseRung(fx.Make(1.0, 0)), 0);
+}
+
+TEST(Dynamic, ModeHysteresis) {
+  ContextFixture fx(Ladder());
+  DynamicController dynamic;
+  dynamic.Reset();
+  fx.SetThroughput(8.0);
+  // Enter BOLA mode at 12 s...
+  (void)dynamic.ChooseRung(fx.Make(12.0, 2));
+  // ...stay in BOLA mode at 7 s (above half threshold)...
+  const media::Rung in_bola = dynamic.ChooseRung(fx.Make(7.0, 2));
+  // ...drop out below 5 s.
+  (void)dynamic.ChooseRung(fx.Make(4.0, 2));
+  const media::Rung in_throughput = dynamic.ChooseRung(fx.Make(7.0, 2));
+  // BOLA at 7 s with these defaults sits lower than the throughput rule's
+  // 0.9*8 -> both defined; just assert decisions are valid and the mode
+  // transition happened (BOLA at 7 s picks rung <= throughput's pick).
+  EXPECT_LE(in_bola, in_throughput);
+}
+
+// --- MPC ---
+
+TEST(Mpc, StableConditionsPickSustainableRung) {
+  ContextFixture fx(Ladder());
+  MpcController mpc;
+  fx.SetThroughput(8.0);
+  const media::Rung r = mpc.ChooseRung(fx.Make(10.0, 2));
+  // 7.5 Mb/s is sustainable; MPC may also spend buffer on 12 Mb/s within
+  // its myopic horizon (the buffer-draining greed the paper criticizes),
+  // but never rebuffers or drops quality here.
+  EXPECT_GE(r, 2);
+  EXPECT_LE(r, 3);
+}
+
+TEST(Mpc, LowBufferLowThroughputBacksOff) {
+  ContextFixture fx(Ladder());
+  MpcController mpc;
+  fx.SetThroughput(2.0);
+  const media::Rung r = mpc.ChooseRung(fx.Make(1.0, 3));
+  EXPECT_EQ(r, 0);
+}
+
+TEST(Mpc, SwitchPenaltyDampsOscillation) {
+  ContextFixture fx(Ladder());
+  MpcConfig smooth;
+  smooth.switch_penalty = 50.0;  // prohibitive
+  MpcController mpc(smooth);
+  fx.SetThroughput(8.0);
+  // Huge switch penalty: stays on the previous rung when feasible.
+  EXPECT_EQ(mpc.ChooseRung(fx.Make(10.0, 1)), 1);
+}
+
+TEST(Mpc, EvaluatesExponentiallyManySequences) {
+  ContextFixture fx(Ladder());
+  MpcConfig config;
+  config.horizon = 3;
+  config.switch_penalty = 0.0;  // disable pruning-friendly structure
+  config.rebuffer_penalty_per_s = 0.0;
+  MpcController mpc(config);
+  fx.SetThroughput(8.0);
+  (void)mpc.ChooseRung(fx.Make(10.0, 2));
+  // Without penalties every sequence ties; pruning keeps <= |R|^K leaves.
+  EXPECT_GT(mpc.LastSequencesEvaluated(), 0);
+  EXPECT_LE(mpc.LastSequencesEvaluated(), 6 * 6 * 6);
+}
+
+TEST(Mpc, PredictionScaleIsConservative) {
+  ContextFixture fx(Ladder());
+  MpcConfig conservative;
+  conservative.prediction_scale = 0.5;
+  MpcController scaled(conservative);
+  MpcController plain;
+  fx.SetThroughput(8.0);
+  EXPECT_LE(scaled.ChooseRung(fx.Make(6.0, 2)),
+            plain.ChooseRung(fx.Make(6.0, 2)));
+}
+
+TEST(Mpc, ConfigValidation) {
+  EXPECT_THROW(MpcController({.horizon = 0}), std::invalid_argument);
+  MpcConfig bad_scale;
+  bad_scale.prediction_scale = 1.5;
+  EXPECT_THROW((MpcController{bad_scale}), std::invalid_argument);
+}
+
+// --- RL-like ---
+
+TEST(RlLike, TrainsLazilyAndPicksValidRungs) {
+  ContextFixture fx(Ladder());
+  RlLikeController rl;
+  EXPECT_FALSE(rl.Trained());
+  fx.SetThroughput(8.0);
+  const media::Rung r = rl.ChooseRung(fx.Make(10.0, 2));
+  EXPECT_TRUE(rl.Trained());
+  EXPECT_TRUE(Ladder().IsValidRung(r));
+}
+
+TEST(RlLike, HigherThroughputHigherRung) {
+  ContextFixture fx(Ladder());
+  RlLikeController rl;
+  fx.SetThroughput(1.0);
+  const media::Rung slow = rl.ChooseRung(fx.Make(10.0, 2));
+  fx.SetThroughput(60.0);
+  const media::Rung fast = rl.ChooseRung(fx.Make(10.0, 2));
+  EXPECT_GT(fast, slow);
+}
+
+TEST(RlLike, EmptyBufferLowThroughputIsCautious) {
+  ContextFixture fx(Ladder());
+  RlLikeController rl;
+  fx.SetThroughput(2.0);
+  EXPECT_EQ(rl.ChooseRung(fx.Make(0.5, 3)), 0);
+}
+
+TEST(RlLike, DeterministicPolicy) {
+  ContextFixture fx(Ladder());
+  RlLikeController a;
+  RlLikeController b;
+  fx.SetThroughput(12.0);
+  for (double buffer = 1.0; buffer < 20.0; buffer += 3.0) {
+    EXPECT_EQ(a.ChooseRung(fx.Make(buffer, 2)),
+              b.ChooseRung(fx.Make(buffer, 2)));
+  }
+}
+
+TEST(RlLike, ConfigValidation) {
+  EXPECT_THROW(RlLikeController({.buffer_bins = 1}), std::invalid_argument);
+  RlLikeConfig bad_discount;
+  bad_discount.discount = 1.0;
+  EXPECT_THROW((RlLikeController{bad_discount}), std::invalid_argument);
+}
+
+// --- Production baseline ---
+
+TEST(ProductionBaseline, TracksThroughput) {
+  ContextFixture fx(media::PrimeVideoProductionLadder());
+  ProductionBaselineController controller;
+  fx.SetThroughput(6.0);
+  const media::Rung r = controller.ChooseRung(fx.Make(15.0, 7));
+  // 0.85 * 6 = 5.1 -> rung of 5.0 Mb/s (index 7).
+  EXPECT_EQ(r, 7);
+}
+
+TEST(ProductionBaseline, LowBufferDerisks) {
+  ContextFixture fx(media::PrimeVideoProductionLadder());
+  ProductionBaselineController controller;
+  fx.SetThroughput(6.0);
+  const media::Rung high_buffer = controller.ChooseRung(fx.Make(15.0, 7));
+  const media::Rung low_buffer = controller.ChooseRung(fx.Make(2.0, 7));
+  EXPECT_LT(low_buffer, high_buffer);
+}
+
+TEST(ProductionBaseline, HysteresisHoldsWithoutMargin) {
+  ContextFixture fx(media::PrimeVideoProductionLadder());
+  ProductionBaselineController controller;
+  // usable = 0.85 * 5 = 4.25. Next rung up from 1.8 (idx 4) is 2.0, needs
+  // 2.0 * 1.1 = 2.2 <= 4.25 -> climbs. From 4.0 (idx 6): 5.0*1.1 = 5.5 >
+  // 4.25 -> holds.
+  fx.SetThroughput(5.0);
+  EXPECT_EQ(controller.ChooseRung(fx.Make(15.0, 4)), 5);
+  EXPECT_EQ(controller.ChooseRung(fx.Make(15.0, 6)), 6);
+}
+
+}  // namespace
+}  // namespace soda::abr

@@ -1,0 +1,94 @@
+#include "abr/bba.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace soda::abr {
+namespace {
+
+using soda::testing::ContextFixture;
+
+media::BitrateLadder Ladder() { return media::YoutubeHfr4kLadder(); }
+
+TEST(Bba, ValidatesConfig) {
+  EXPECT_THROW(BbaController({.reservoir_s = 0.0}), std::invalid_argument);
+  EXPECT_THROW(BbaController({.reservoir_s = 5.0, .cushion_s = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Bba, MappedRateAnchors) {
+  const BbaController bba({.reservoir_s = 5.0, .cushion_s = 10.0});
+  const auto ladder = Ladder();
+  EXPECT_DOUBLE_EQ(bba.MappedRateMbps(ladder, 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(bba.MappedRateMbps(ladder, 5.0), 1.5);
+  EXPECT_DOUBLE_EQ(bba.MappedRateMbps(ladder, 15.0), 60.0);
+  EXPECT_DOUBLE_EQ(bba.MappedRateMbps(ladder, 20.0), 60.0);
+  // Midpoint of the ramp.
+  EXPECT_NEAR(bba.MappedRateMbps(ladder, 10.0), (1.5 + 60.0) / 2.0, 1e-9);
+}
+
+TEST(Bba, ReservoirPinsLowest) {
+  ContextFixture fx(Ladder());
+  BbaController bba;
+  EXPECT_EQ(bba.ChooseRung(fx.Make(2.0, 4)), 0);
+}
+
+TEST(Bba, FullCushionPinsHighest) {
+  ContextFixture fx(Ladder());
+  BbaController bba;
+  EXPECT_EQ(bba.ChooseRung(fx.Make(19.0, 0)), Ladder().HighestRung());
+}
+
+TEST(Bba, HysteresisHoldsInsideBand) {
+  ContextFixture fx(Ladder());
+  BbaController bba({.reservoir_s = 5.0, .cushion_s = 10.0});
+  // At buffer 9, f(B) = 1.5 + 0.4 * 58.5 = 24.9: between rung 4 (24) and
+  // rung 5 (60). From prev 4: f(B) < 60 so no up; f(B) >= 24 so no down.
+  EXPECT_EQ(bba.ChooseRung(fx.Make(9.0, 4)), 4);
+  // Small wiggles inside the band (f(B) still in [24, 60)) stay put.
+  EXPECT_EQ(bba.ChooseRung(fx.Make(9.2, 4)), 4);
+  EXPECT_EQ(bba.ChooseRung(fx.Make(11.0, 4)), 4);
+}
+
+TEST(Bba, CrossingBandMovesUpOrDown) {
+  ContextFixture fx(Ladder());
+  BbaController bba({.reservoir_s = 5.0, .cushion_s = 10.0});
+  // f(15) = 60 >= next rung's bitrate from prev 4 -> moves up.
+  EXPECT_EQ(bba.ChooseRung(fx.Make(15.0, 4)), 5);
+  // f(6) = 7.35 < 24 (prev's bitrate) -> drops to highest sustainable 7.35
+  // -> rung 1 (4 Mb/s)... f(6)=1.5+0.1*58.5=7.35 -> rung 2? 7.5 > 7.35, so
+  // rung 1.
+  EXPECT_EQ(bba.ChooseRung(fx.Make(6.0, 4)), 1);
+}
+
+TEST(Bba, IgnoresThroughput) {
+  ContextFixture fx(Ladder());
+  BbaController bba;
+  fx.SetThroughput(0.5);
+  const media::Rung slow = bba.ChooseRung(fx.Make(12.0, 3));
+  fx.SetThroughput(500.0);
+  const media::Rung fast = bba.ChooseRung(fx.Make(12.0, 3));
+  EXPECT_EQ(slow, fast);
+}
+
+TEST(Bba, NoPrevUsesMappedRateDirectly) {
+  ContextFixture fx(Ladder());
+  BbaController bba({.reservoir_s = 5.0, .cushion_s = 10.0});
+  EXPECT_EQ(bba.ChooseRung(fx.Make(10.0, -1)), 4);  // f=30.75 -> 24 Mb/s
+}
+
+TEST(Bba, MonotoneInBufferFromFixedPrev) {
+  ContextFixture fx(Ladder());
+  BbaController bba;
+  media::Rung last = 0;
+  for (double buffer = 0.0; buffer <= 20.0; buffer += 0.25) {
+    const media::Rung r = bba.ChooseRung(fx.Make(buffer, 2));
+    EXPECT_GE(r + 1, last);  // allow the hysteresis plateau around prev
+    last = std::max(last, r);
+  }
+  EXPECT_EQ(last, Ladder().HighestRung());
+}
+
+}  // namespace
+}  // namespace soda::abr

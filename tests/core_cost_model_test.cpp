@@ -1,0 +1,180 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace soda::core {
+namespace {
+
+media::BitrateLadder Ladder() { return media::YoutubeHfr4kLadder(); }
+
+CostModelConfig BaseConfig() {
+  CostModelConfig config;
+  config.target_buffer_s = 12.0;
+  config.max_buffer_s = 20.0;
+  config.dt_s = 2.0;
+  return config;
+}
+
+TEST(CostModel, ValidatesConfig) {
+  const auto ladder = Ladder();
+  CostModelConfig bad = BaseConfig();
+  bad.dt_s = 0.0;
+  EXPECT_THROW(CostModel(ladder, bad), std::invalid_argument);
+  bad = BaseConfig();
+  bad.target_buffer_s = 25.0;  // above max buffer
+  EXPECT_THROW(CostModel(ladder, bad), std::invalid_argument);
+  bad = BaseConfig();
+  bad.weights.epsilon = 0.0;
+  EXPECT_THROW(CostModel(ladder, bad), std::invalid_argument);
+  bad = BaseConfig();
+  bad.weights.beta = -1.0;
+  EXPECT_THROW(CostModel(ladder, bad), std::invalid_argument);
+}
+
+TEST(CostModel, BufferCostZeroAtTarget) {
+  const auto ladder = Ladder();
+  const CostModel model(ladder, BaseConfig());
+  EXPECT_DOUBLE_EQ(model.BufferCost(12.0), 0.0);
+}
+
+TEST(CostModel, BufferCostAsymmetric) {
+  const auto ladder = Ladder();
+  const CostModel model(ladder, BaseConfig());
+  // Same absolute deviation costs epsilon times less above the target.
+  const double below = model.BufferCost(12.0 - 4.0);
+  const double above = model.BufferCost(12.0 + 4.0);
+  EXPECT_NEAR(above / below, BaseConfig().weights.epsilon, 1e-12);
+  EXPECT_GT(below, 0.0);
+}
+
+TEST(CostModel, BufferCostMaxAtEmpty) {
+  const auto ladder = Ladder();
+  const CostModelConfig config = BaseConfig();
+  const CostModel model(ladder, config);
+  // Empty buffer: relative deviation 1 plus the full stall barrier.
+  const double expected =
+      1.0 + config.weights.barrier / config.weights.beta;
+  EXPECT_DOUBLE_EQ(model.BufferCost(0.0), expected);
+}
+
+TEST(CostModel, BarrierOnlyBelowSafeLevel) {
+  const auto ladder = Ladder();
+  CostModelConfig with_barrier = BaseConfig();
+  with_barrier.weights.barrier = 100.0;
+  CostModelConfig without_barrier = BaseConfig();
+  without_barrier.weights.barrier = 0.0;
+  const CostModel a(ladder, with_barrier);
+  const CostModel b(ladder, without_barrier);
+  const double safe =
+      with_barrier.weights.safe_fraction * with_barrier.target_buffer_s;
+  // Above the safe level the two cost models agree exactly.
+  for (double x = safe + 0.01; x <= 20.0; x += 0.5) {
+    EXPECT_DOUBLE_EQ(a.BufferCost(x), b.BufferCost(x)) << x;
+  }
+  // Below it the barrier adds cost.
+  for (double x = 0.0; x < safe - 0.05; x += 0.3) {
+    EXPECT_GT(a.BufferCost(x), b.BufferCost(x)) << x;
+  }
+}
+
+TEST(CostModel, BarrierValidation) {
+  const auto ladder = Ladder();
+  CostModelConfig bad = BaseConfig();
+  bad.weights.barrier = -1.0;
+  EXPECT_THROW((CostModel{ladder, bad}), std::invalid_argument);
+  bad = BaseConfig();
+  bad.weights.safe_fraction = 1.0;
+  EXPECT_THROW((CostModel{ladder, bad}), std::invalid_argument);
+}
+
+TEST(CostModel, BufferCostStrictlyDecreasesTowardTargetFromBelow) {
+  const auto ladder = Ladder();
+  const CostModel model(ladder, BaseConfig());
+  double prev = model.BufferCost(0.0);
+  for (double x = 1.0; x <= 12.0; x += 1.0) {
+    const double c = model.BufferCost(x);
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CostModel, SwitchCostSymmetricAndZeroForSame) {
+  const auto ladder = Ladder();
+  const CostModel model(ladder, BaseConfig());
+  EXPECT_DOUBLE_EQ(model.SwitchCost(4.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.SwitchCost(4.0, 12.0), model.SwitchCost(12.0, 4.0));
+  EXPECT_GT(model.SwitchCost(1.5, 60.0), model.SwitchCost(7.5, 12.0));
+}
+
+TEST(CostModel, NextBufferDynamics) {
+  const auto ladder = Ladder();
+  const CostModel model(ladder, BaseConfig());
+  // x' = x + w*dt/r - dt. With w=12, r=12: x' = x.
+  EXPECT_DOUBLE_EQ(model.NextBuffer(10.0, 12.0, 12.0), 10.0);
+  // w=24, r=12: downloads 4 s, plays 2 s -> +2.
+  EXPECT_DOUBLE_EQ(model.NextBuffer(10.0, 24.0, 12.0), 12.0);
+  // w=6, r=12: downloads 1 s, plays 2 s -> -1.
+  EXPECT_DOUBLE_EQ(model.NextBuffer(10.0, 6.0, 12.0), 9.0);
+}
+
+TEST(CostModel, VideoSecondsDownloaded) {
+  const auto ladder = Ladder();
+  const CostModel model(ladder, BaseConfig());
+  EXPECT_DOUBLE_EQ(model.VideoSecondsDownloaded(24.0, 12.0), 4.0);
+}
+
+TEST(CostModel, IntervalCostComposition) {
+  const auto ladder = Ladder();
+  CostModelConfig config = BaseConfig();
+  config.weights.alpha = 2.0;
+  config.weights.beta = 3.0;
+  config.weights.gamma = 5.0;
+  const CostModel model(ladder, config);
+  const double w = 10.0;
+  const double r = 7.5;
+  const double prev = 12.0;
+  const double x_after = 9.0;
+  const double smooth_part = 2.0 * model.DistortionAt(r) *
+                                 model.VideoSecondsDownloaded(w, r) +
+                             3.0 * model.BufferCost(x_after);
+  // Switching charges the smooth quadratic term plus the kappa count term.
+  const double expected = smooth_part + 5.0 * model.SwitchCost(r, prev) +
+                          config.weights.kappa;
+  EXPECT_NEAR(model.IntervalCost(w, r, prev, x_after, true), expected, 1e-12);
+  // Switch excluded.
+  EXPECT_NEAR(model.IntervalCost(w, r, prev, x_after, false), smooth_part,
+              1e-12);
+  // Staying on the same bitrate charges no kappa.
+  EXPECT_NEAR(model.IntervalCost(w, r, r, x_after, true), smooth_part, 1e-12);
+}
+
+TEST(CostModel, HigherBitrateLowersDistortionTerm) {
+  const auto ladder = Ladder();
+  const CostModel model(ladder, BaseConfig());
+  // At the same throughput, picking a higher bitrate both reduces v(r) and
+  // downloads less video, so the distortion term strictly decreases.
+  double prev = 1e18;
+  for (media::Rung r = 0; r < ladder.Count(); ++r) {
+    const double bitrate = ladder.BitrateMbps(r);
+    const double term =
+        model.DistortionAt(bitrate) * model.VideoSecondsDownloaded(20.0, bitrate);
+    EXPECT_LT(term, prev);
+    prev = term;
+  }
+}
+
+TEST(CostModel, DistortionModelSelectable) {
+  const auto ladder = Ladder();
+  CostModelConfig config = BaseConfig();
+  config.distortion = media::DistortionModel::kInverse;
+  const CostModel inverse(ladder, config);
+  config.distortion = media::DistortionModel::kLog;
+  const CostModel log_model(ladder, config);
+  // Both normalized to 1 at rmin, but differ in between.
+  EXPECT_DOUBLE_EQ(inverse.DistortionAt(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(log_model.DistortionAt(1.5), 1.0);
+  EXPECT_NE(inverse.DistortionAt(7.5), log_model.DistortionAt(7.5));
+}
+
+}  // namespace
+}  // namespace soda::core

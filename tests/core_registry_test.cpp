@@ -1,0 +1,85 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace soda::core {
+namespace {
+
+class ControllerRegistryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ControllerRegistryTest, CreatesWorkingController) {
+  const abr::ControllerPtr controller = MakeController(GetParam());
+  ASSERT_NE(controller, nullptr);
+  EXPECT_FALSE(controller->Name().empty());
+
+  soda::testing::ContextFixture fx(media::YoutubeHfr4kLadder());
+  fx.SetThroughput(10.0);
+  const media::Rung rung = controller->ChooseRung(fx.Make(10.0, 2));
+  EXPECT_TRUE(media::YoutubeHfr4kLadder().IsValidRung(rung));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllControllers, ControllerRegistryTest,
+                         ::testing::ValuesIn(ControllerNames()),
+                         [](const auto& param_info) {
+                           return param_info.param;
+                         });
+
+TEST(ControllerRegistry, CaseInsensitive) {
+  EXPECT_EQ(MakeController("SODA")->Name(), "SODA");
+  EXPECT_EQ(MakeController("Dynamic")->Name(), "Dynamic");
+}
+
+TEST(ControllerRegistry, UnknownNameThrowsWithSuggestions) {
+  try {
+    (void)MakeController("nope");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("soda"), std::string::npos);
+  }
+}
+
+TEST(ControllerRegistry, DistinctMpcVariants) {
+  EXPECT_EQ(MakeController("mpc")->Name(), "MPC");
+  EXPECT_EQ(MakeController("robustmpc")->Name(), "RobustMPC");
+  EXPECT_EQ(MakeController("fugu")->Name(), "Fugu");
+}
+
+class PredictorRegistryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PredictorRegistryTest, CreatesWorkingPredictor) {
+  const predict::PredictorPtr predictor = MakePredictor(GetParam());
+  ASSERT_NE(predictor, nullptr);
+  predictor->Observe({0.0, 2.0, 10.0});
+  const auto forecast = predictor->PredictHorizon(2.0, 3, 2.0);
+  ASSERT_EQ(forecast.size(), 3u);
+  for (const double v : forecast) EXPECT_GT(v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPredictors, PredictorRegistryTest,
+                         ::testing::ValuesIn(PredictorNames()),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(PredictorRegistry, UnknownNameThrows) {
+  EXPECT_THROW((void)MakePredictor("psychic"), std::invalid_argument);
+}
+
+TEST(PredictorRegistry, QuantileVariantsDiffer) {
+  const auto p10 = MakePredictor("p10");
+  const auto p50 = MakePredictor("p50");
+  for (double v : {2.0, 4.0, 6.0, 8.0, 10.0}) {
+    p10->Observe({0.0, 1.0, v});
+    p50->Observe({0.0, 1.0, v});
+  }
+  EXPECT_LT(p10->PredictOne(5.0, 1.0), p50->PredictOne(5.0, 1.0));
+}
+
+}  // namespace
+}  // namespace soda::core

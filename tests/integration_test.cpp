@@ -1,0 +1,162 @@
+// Cross-module integration tests: full controller-vs-controller evaluations
+// on emulated dataset sessions, asserting the headline *shape* properties
+// the paper reports (section 6.1.3).
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "abr/bola.hpp"
+#include "abr/dynamic.hpp"
+#include "abr/hyb.hpp"
+#include "abr/mpc.hpp"
+#include "core/soda_controller.hpp"
+#include "media/quality.hpp"
+#include "net/dataset.hpp"
+#include "predict/ema.hpp"
+#include "predict/oracle.hpp"
+#include "qoe/eval.hpp"
+
+namespace soda {
+namespace {
+
+using qoe::EvalConfig;
+using qoe::EvalResult;
+
+struct Bench {
+  std::vector<net::ThroughputTrace> sessions;
+  media::VideoModel video{media::YoutubeHfr4kLadder(), {.segment_seconds = 2.0}};
+  EvalConfig config;
+
+  explicit Bench(net::DatasetKind kind, std::size_t n) {
+    Rng rng(2024);
+    sessions = net::DatasetEmulator(kind).MakeSessions(n, rng);
+    config.utility = [u = media::NormalizedLogUtility(
+                          media::YoutubeHfr4kLadder())](double mbps) {
+      return u.At(mbps);
+    };
+    config.sim.max_buffer_s = 20.0;
+    config.sim.live = true;
+    config.sim.live_latency_s = 20.0;
+  }
+
+  EvalResult Run(const qoe::ControllerFactory& factory) {
+    return EvaluateController(
+        sessions, factory,
+        [](const net::ThroughputTrace&) {
+          return predict::PredictorPtr(std::make_unique<predict::EmaPredictor>());
+        },
+        video, config);
+  }
+};
+
+TEST(Integration, SodaSwitchesFarLessThanHyb) {
+  Bench bench(net::DatasetKind::kPuffer, 12);
+  const EvalResult soda =
+      bench.Run([] { return std::make_unique<core::SodaController>(); });
+  const EvalResult hyb =
+      bench.Run([] { return std::make_unique<abr::HybController>(); });
+  EXPECT_LT(soda.aggregate.switch_rate.Mean(),
+            hyb.aggregate.switch_rate.Mean() * 0.5);
+}
+
+TEST(Integration, SodaSwitchesLessThanDynamic) {
+  Bench bench(net::DatasetKind::kPuffer, 12);
+  const EvalResult soda =
+      bench.Run([] { return std::make_unique<core::SodaController>(); });
+  const EvalResult dynamic =
+      bench.Run([] { return std::make_unique<abr::DynamicController>(); });
+  EXPECT_LT(soda.aggregate.switch_rate.Mean(),
+            dynamic.aggregate.switch_rate.Mean());
+}
+
+TEST(Integration, SodaQoeBeatsBaselinesOnPuffer) {
+  Bench bench(net::DatasetKind::kPuffer, 12);
+  const EvalResult soda =
+      bench.Run([] { return std::make_unique<core::SodaController>(); });
+  const EvalResult bola =
+      bench.Run([] { return std::make_unique<abr::BolaController>(); });
+  const EvalResult hyb =
+      bench.Run([] { return std::make_unique<abr::HybController>(); });
+  EXPECT_GT(soda.aggregate.qoe.Mean(), bola.aggregate.qoe.Mean());
+  EXPECT_GT(soda.aggregate.qoe.Mean(), hyb.aggregate.qoe.Mean());
+}
+
+TEST(Integration, SodaKeepsRebufferingLowOn4G) {
+  Bench bench(net::DatasetKind::k4G, 10);
+  bench.video = media::VideoModel(
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2), {.segment_seconds = 2.0});
+  const EvalResult soda =
+      bench.Run([] { return std::make_unique<core::SodaController>(); });
+  EXPECT_LT(soda.aggregate.rebuffer_ratio.Mean(), 0.05);
+  EXPECT_GT(soda.aggregate.utility.Mean(), 0.3);
+}
+
+TEST(Integration, MpcDegradesMoreThanSodaUnderVolatility) {
+  Bench bench(net::DatasetKind::k5G, 10);
+  bench.video = media::VideoModel(
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2), {.segment_seconds = 2.0});
+  const EvalResult soda =
+      bench.Run([] { return std::make_unique<core::SodaController>(); });
+  const EvalResult mpc =
+      bench.Run([] { return std::make_unique<abr::MpcController>(); });
+  // MPC rebuffers more on volatile mobile conditions (section 6.1.3).
+  EXPECT_GE(mpc.aggregate.rebuffer_ratio.Mean(),
+            soda.aggregate.rebuffer_ratio.Mean());
+  EXPECT_GT(soda.aggregate.qoe.Mean(), mpc.aggregate.qoe.Mean());
+}
+
+TEST(Integration, EvaluationIsDeterministic) {
+  Bench a(net::DatasetKind::kPuffer, 5);
+  Bench b(net::DatasetKind::kPuffer, 5);
+  const EvalResult ra =
+      a.Run([] { return std::make_unique<core::SodaController>(); });
+  const EvalResult rb =
+      b.Run([] { return std::make_unique<core::SodaController>(); });
+  ASSERT_EQ(ra.per_session.size(), rb.per_session.size());
+  for (std::size_t i = 0; i < ra.per_session.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.per_session[i].qoe, rb.per_session[i].qoe);
+  }
+}
+
+TEST(Integration, OraclePredictorImprovesOrMatchesSoda) {
+  Bench bench(net::DatasetKind::k4G, 8);
+  bench.video = media::VideoModel(
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2), {.segment_seconds = 2.0});
+  const EvalResult ema =
+      bench.Run([] { return std::make_unique<core::SodaController>(); });
+
+  const EvalResult oracle = EvaluateControllerOn(
+      bench.sessions, {0, 1, 2, 3, 4, 5, 6, 7},
+      [] { return std::make_unique<core::SodaController>(); },
+      [](const net::ThroughputTrace& trace) {
+        return predict::PredictorPtr(
+            std::make_unique<predict::OraclePredictor>(trace));
+      },
+      bench.video, bench.config);
+  // Perfect predictions should not hurt.
+  EXPECT_GE(oracle.aggregate.qoe.Mean(), ema.aggregate.qoe.Mean() - 0.05);
+}
+
+TEST(Integration, AllControllersProduceSaneMetrics) {
+  Bench bench(net::DatasetKind::kPuffer, 6);
+  const std::vector<qoe::ControllerFactory> factories = {
+      [] { return abr::ControllerPtr(std::make_unique<core::SodaController>()); },
+      [] { return abr::ControllerPtr(std::make_unique<abr::HybController>()); },
+      [] { return abr::ControllerPtr(std::make_unique<abr::BolaController>()); },
+      [] { return abr::ControllerPtr(std::make_unique<abr::DynamicController>()); },
+      [] { return abr::ControllerPtr(std::make_unique<abr::MpcController>()); },
+  };
+  for (const auto& factory : factories) {
+    const EvalResult result = bench.Run(factory);
+    EXPECT_EQ(result.aggregate.SessionCount(), 6u);
+    EXPECT_GE(result.aggregate.utility.Mean(), 0.0);
+    EXPECT_LE(result.aggregate.utility.Mean(), 1.0);
+    EXPECT_GE(result.aggregate.rebuffer_ratio.Mean(), 0.0);
+    EXPECT_LE(result.aggregate.rebuffer_ratio.Mean(), 1.0);
+    EXPECT_GE(result.aggregate.switch_rate.Mean(), 0.0);
+    EXPECT_LE(result.aggregate.switch_rate.Mean(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace soda

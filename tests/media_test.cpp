@@ -1,0 +1,221 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "media/bitrate_ladder.hpp"
+#include "media/quality.hpp"
+#include "media/video_model.hpp"
+
+namespace soda::media {
+namespace {
+
+TEST(BitrateLadder, ValidatesInput) {
+  EXPECT_THROW(BitrateLadder({}), std::invalid_argument);
+  EXPECT_THROW(BitrateLadder({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(BitrateLadder({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(BitrateLadder({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(BitrateLadder, BasicAccessors) {
+  const BitrateLadder ladder({1.0, 2.0, 4.0});
+  EXPECT_EQ(ladder.Count(), 3);
+  EXPECT_DOUBLE_EQ(ladder.MinMbps(), 1.0);
+  EXPECT_DOUBLE_EQ(ladder.MaxMbps(), 4.0);
+  EXPECT_DOUBLE_EQ(ladder.BitrateMbps(1), 2.0);
+  EXPECT_TRUE(ladder.IsValidRung(0));
+  EXPECT_FALSE(ladder.IsValidRung(3));
+  EXPECT_FALSE(ladder.IsValidRung(-1));
+  EXPECT_THROW((void)ladder.BitrateMbps(5), std::invalid_argument);
+}
+
+TEST(BitrateLadder, HighestRungAtMost) {
+  const BitrateLadder ladder({1.0, 2.0, 4.0, 8.0});
+  EXPECT_EQ(ladder.HighestRungAtMost(0.5), 0);  // below min: lowest
+  EXPECT_EQ(ladder.HighestRungAtMost(1.0), 0);
+  EXPECT_EQ(ladder.HighestRungAtMost(3.9), 1);
+  EXPECT_EQ(ladder.HighestRungAtMost(100.0), 3);
+}
+
+TEST(BitrateLadder, LowestRungAtLeastIsSection51Cap) {
+  const BitrateLadder ladder({1.0, 2.0, 4.0, 8.0});
+  EXPECT_EQ(ladder.LowestRungAtLeast(0.5), 0);
+  EXPECT_EQ(ladder.LowestRungAtLeast(2.0), 1);
+  EXPECT_EQ(ladder.LowestRungAtLeast(2.1), 2);
+  EXPECT_EQ(ladder.LowestRungAtLeast(9.0), 3);  // above max: highest
+}
+
+TEST(BitrateLadder, NearestRung) {
+  const BitrateLadder ladder({1.0, 2.0, 4.0});
+  EXPECT_EQ(ladder.NearestRung(1.4), 0);
+  EXPECT_EQ(ladder.NearestRung(1.6), 1);
+  EXPECT_EQ(ladder.NearestRung(100.0), 2);
+}
+
+TEST(BitrateLadder, WithoutTopRungs) {
+  const BitrateLadder ladder = YoutubeHfr4kLadder();
+  const BitrateLadder trimmed = ladder.WithoutTopRungs(2);
+  EXPECT_EQ(trimmed.Count(), 4);
+  EXPECT_DOUBLE_EQ(trimmed.MaxMbps(), 12.0);
+  EXPECT_THROW(ladder.WithoutTopRungs(6), std::invalid_argument);
+  EXPECT_THROW(ladder.WithoutTopRungs(-1), std::invalid_argument);
+}
+
+TEST(BitrateLadder, PresetsMatchPaper) {
+  EXPECT_EQ(YoutubeHfr4kLadder().Count(), 6);
+  EXPECT_DOUBLE_EQ(YoutubeHfr4kLadder().MaxMbps(), 60.0);
+  EXPECT_EQ(PrimeVideoProductionLadder().Count(), 10);
+  EXPECT_DOUBLE_EQ(PrimeVideoProductionLadder().MinMbps(), 0.2);
+  EXPECT_DOUBLE_EQ(PrimeVideoProductionLadder().MaxMbps(), 8.0);
+  EXPECT_EQ(PufferPrototypeLadder().Count(), 5);
+  EXPECT_DOUBLE_EQ(PufferPrototypeLadder().MaxMbps(), 2.0);
+}
+
+TEST(BitrateLadder, ToStringMentionsUnits) {
+  EXPECT_NE(YoutubeHfr4kLadder().ToString().find("Mb/s"), std::string::npos);
+}
+
+TEST(NormalizedLogUtility, Endpoints) {
+  const NormalizedLogUtility u(YoutubeHfr4kLadder());
+  EXPECT_DOUBLE_EQ(u.At(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(u.At(60.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.At(0.1), 0.0);    // clamped below
+  EXPECT_DOUBLE_EQ(u.At(120.0), 1.0);  // clamped above
+}
+
+TEST(NormalizedLogUtility, MonotoneIncreasing) {
+  const NormalizedLogUtility u(1.0, 16.0);
+  double prev = -1.0;
+  for (double r = 1.0; r <= 16.0; r += 0.5) {
+    const double v = u.At(r);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(NormalizedLogUtility, LogarithmicShape) {
+  const NormalizedLogUtility u(1.0, 16.0);
+  // log2 scale: doubling bitrate adds 1/4 of the span.
+  EXPECT_NEAR(u.At(2.0), 0.25, 1e-12);
+  EXPECT_NEAR(u.At(4.0), 0.5, 1e-12);
+  EXPECT_NEAR(u.At(8.0), 0.75, 1e-12);
+}
+
+class DistortionTest : public ::testing::TestWithParam<DistortionModel> {};
+
+TEST_P(DistortionTest, NormalizedDecreasingConvex) {
+  const Distortion v(GetParam(), 1.5, 60.0);
+  EXPECT_NEAR(v.At(1.5), 1.0, 1e-12);
+  // Strictly decreasing on a grid.
+  double prev = v.At(1.5);
+  for (double r = 2.0; r <= 60.0; r += 0.5) {
+    const double current = v.At(r);
+    EXPECT_LT(current, prev);
+    prev = current;
+  }
+  // Midpoint convexity on a coarse grid.
+  for (double r = 2.0; r + 10.0 <= 60.0; r += 3.0) {
+    const double mid = v.At(r + 5.0);
+    EXPECT_LE(mid, (v.At(r) + v.At(r + 10.0)) / 2.0 + 1e-9);
+  }
+}
+
+TEST_P(DistortionTest, ClampsOutsideRange) {
+  const Distortion v(GetParam(), 1.5, 60.0);
+  EXPECT_DOUBLE_EQ(v.At(0.1), v.At(1.5));
+  EXPECT_DOUBLE_EQ(v.At(1000.0), v.At(60.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, DistortionTest,
+                         ::testing::Values(DistortionModel::kInverse,
+                                           DistortionModel::kLog));
+
+TEST(Distortion, LogHitsZeroAtMax) {
+  const Distortion v(DistortionModel::kLog, 1.5, 60.0);
+  EXPECT_NEAR(v.At(60.0), 0.0, 1e-12);
+}
+
+TEST(Distortion, InverseMatchesFormula) {
+  const Distortion v(DistortionModel::kInverse, 2.0, 8.0);
+  EXPECT_DOUBLE_EQ(v.At(4.0), 0.5);  // rmin/r
+}
+
+TEST(SsimModel, SaturatesAtMax) {
+  const SsimModel ssim(0.99, 2.0);
+  EXPECT_DOUBLE_EQ(ssim.SsimAt(2.0), 0.99);
+  EXPECT_DOUBLE_EQ(ssim.SsimAt(5.0), 0.99);
+  EXPECT_DOUBLE_EQ(ssim.NormalizedAt(2.0), 1.0);
+}
+
+TEST(SsimModel, MonotoneAndBounded) {
+  const SsimModel ssim(0.99, 2.0);
+  double prev = 0.0;
+  for (double r = 0.05; r <= 2.0; r *= 1.3) {
+    const double v = ssim.SsimAt(r);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LE(v, 0.99);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SsimModel, ValidatesConfig) {
+  EXPECT_THROW(SsimModel(0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(SsimModel(1.5, 2.0), std::invalid_argument);
+  EXPECT_THROW(SsimModel(0.9, -1.0), std::invalid_argument);
+}
+
+TEST(VideoModel, ConstantBitrateSizes) {
+  const VideoModel video(YoutubeHfr4kLadder(), {.segment_seconds = 2.0});
+  EXPECT_DOUBLE_EQ(video.SegmentSizeMb(0, 0), 3.0);   // 1.5 Mb/s * 2 s
+  EXPECT_DOUBLE_EQ(video.SegmentSizeMb(7, 5), 120.0);  // 60 * 2
+  EXPECT_DOUBLE_EQ(video.NominalSegmentSizeMb(2), 15.0);
+}
+
+TEST(VideoModel, VbrDeterministicAndBounded) {
+  VideoModelConfig config;
+  config.segment_seconds = 2.0;
+  config.vbr_amplitude = 0.2;
+  config.vbr_seed = 7;
+  const VideoModel a(YoutubeHfr4kLadder(), config);
+  const VideoModel b(YoutubeHfr4kLadder(), config);
+  bool any_differs_from_nominal = false;
+  for (std::int64_t i = 0; i < 50; ++i) {
+    const double size = a.SegmentSizeMb(i, 3);
+    EXPECT_DOUBLE_EQ(size, b.SegmentSizeMb(i, 3));  // deterministic
+    const double nominal = a.NominalSegmentSizeMb(3);
+    EXPECT_GE(size, nominal * 0.8 - 1e-9);
+    EXPECT_LE(size, nominal * 1.2 + 1e-9);
+    if (std::abs(size - nominal) > 1e-9) any_differs_from_nominal = true;
+  }
+  EXPECT_TRUE(any_differs_from_nominal);
+}
+
+TEST(VideoModel, VbrNoiseSharedAcrossRungs) {
+  VideoModelConfig config;
+  config.vbr_amplitude = 0.3;
+  const VideoModel video(YoutubeHfr4kLadder(), config);
+  // Scene complexity moves all renditions of the same segment together.
+  for (std::int64_t i = 0; i < 20; ++i) {
+    const double ratio0 =
+        video.SegmentSizeMb(i, 0) / video.NominalSegmentSizeMb(0);
+    const double ratio5 =
+        video.SegmentSizeMb(i, 5) / video.NominalSegmentSizeMb(5);
+    EXPECT_NEAR(ratio0, ratio5, 1e-12);
+  }
+}
+
+TEST(VideoModel, ValidatesConfig) {
+  EXPECT_THROW(VideoModel(YoutubeHfr4kLadder(), {.segment_seconds = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(VideoModel(YoutubeHfr4kLadder(),
+                          {.segment_seconds = 2.0, .vbr_amplitude = 0.95}),
+               std::invalid_argument);
+}
+
+TEST(VideoModel, NegativeIndexThrows) {
+  const VideoModel video(YoutubeHfr4kLadder(), {});
+  EXPECT_THROW((void)video.SegmentSizeMb(-1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soda::media

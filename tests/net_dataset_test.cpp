@@ -1,0 +1,97 @@
+#include "net/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/trace_stats.hpp"
+
+namespace soda::net {
+namespace {
+
+class DatasetCalibrationTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(DatasetCalibrationTest, SessionsAreTenMinutes) {
+  const DatasetEmulator emulator(GetParam());
+  Rng rng(1);
+  const ThroughputTrace session = emulator.MakeSession(rng);
+  EXPECT_NEAR(session.DurationS(), 600.0, 1.0);
+}
+
+TEST_P(DatasetCalibrationTest, AggregateStatsNearPaperTargets) {
+  const DatasetEmulator emulator(GetParam());
+  Rng rng(20240804);
+  const auto sessions = emulator.MakeSessions(300, rng);
+  const DatasetStats stats = ComputeDatasetStats(sessions, 1.0);
+  const DatasetProfile& profile = emulator.Profile();
+  // Within 20% of the paper's Fig. 9 means and rel-stds.
+  EXPECT_NEAR(stats.mean_mbps, profile.target_mean_mbps,
+              0.20 * profile.target_mean_mbps)
+      << DatasetName(GetParam());
+  EXPECT_NEAR(stats.mean_rel_std, profile.target_rel_std,
+              0.20 * profile.target_rel_std)
+      << DatasetName(GetParam());
+}
+
+TEST_P(DatasetCalibrationTest, ThroughputAlwaysPositive) {
+  const DatasetEmulator emulator(GetParam());
+  Rng rng(3);
+  const auto sessions = emulator.MakeSessions(10, rng);
+  for (const auto& session : sessions) {
+    for (const auto& sample : session.Samples()) {
+      EXPECT_GT(sample.mbps, 0.0);
+    }
+  }
+}
+
+TEST_P(DatasetCalibrationTest, Deterministic) {
+  const DatasetEmulator emulator(GetParam());
+  Rng rng1(42);
+  Rng rng2(42);
+  const ThroughputTrace a = emulator.MakeSession(rng1);
+  const ThroughputTrace b = emulator.MakeSession(rng2);
+  ASSERT_EQ(a.Samples().size(), b.Samples().size());
+  for (std::size_t i = 0; i < a.Samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.Samples()[i].mbps, b.Samples()[i].mbps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetCalibrationTest,
+                         ::testing::Values(DatasetKind::kPuffer,
+                                           DatasetKind::k5G,
+                                           DatasetKind::k4G),
+                         [](const auto& param_info) {
+                           return DatasetName(param_info.param);
+                         });
+
+TEST(Dataset, RelativeOrderingMatchesPaper) {
+  // Puffer is fastest and most stable; 4G slowest; 5G most volatile.
+  Rng rng(7);
+  const auto puffer =
+      DatasetEmulator(DatasetKind::kPuffer).MakeSessions(150, rng);
+  const auto fiveg = DatasetEmulator(DatasetKind::k5G).MakeSessions(150, rng);
+  const auto fourg = DatasetEmulator(DatasetKind::k4G).MakeSessions(150, rng);
+  const DatasetStats sp = ComputeDatasetStats(puffer);
+  const DatasetStats s5 = ComputeDatasetStats(fiveg);
+  const DatasetStats s4 = ComputeDatasetStats(fourg);
+  EXPECT_GT(sp.mean_mbps, s5.mean_mbps);
+  EXPECT_GT(s5.mean_mbps, s4.mean_mbps);
+  EXPECT_LT(sp.mean_rel_std, s4.mean_rel_std);
+  EXPECT_LT(s4.mean_rel_std, s5.mean_rel_std);
+}
+
+TEST(Dataset, Names) {
+  EXPECT_EQ(DatasetName(DatasetKind::kPuffer), "Puffer");
+  EXPECT_EQ(DatasetName(DatasetKind::k5G), "5G");
+  EXPECT_EQ(DatasetName(DatasetKind::k4G), "4G");
+}
+
+TEST(Dataset, ProfileTargetsMatchFig9) {
+  EXPECT_DOUBLE_EQ(ProfileFor(DatasetKind::kPuffer).target_mean_mbps, 57.1);
+  EXPECT_DOUBLE_EQ(ProfileFor(DatasetKind::k5G).target_mean_mbps, 31.3);
+  EXPECT_DOUBLE_EQ(ProfileFor(DatasetKind::k4G).target_mean_mbps, 13.0);
+  EXPECT_DOUBLE_EQ(ProfileFor(DatasetKind::kPuffer).target_rel_std, 0.472);
+  EXPECT_DOUBLE_EQ(ProfileFor(DatasetKind::k5G).target_rel_std, 1.33);
+  EXPECT_DOUBLE_EQ(ProfileFor(DatasetKind::k4G).target_rel_std, 0.806);
+}
+
+}  // namespace
+}  // namespace soda::net

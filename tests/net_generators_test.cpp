@@ -1,0 +1,112 @@
+#include "net/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/trace_stats.hpp"
+#include "util/stats.hpp"
+
+namespace soda::net {
+namespace {
+
+TEST(Generators, ConstantTrace) {
+  const ThroughputTrace t = ConstantTrace(7.5, 100.0);
+  EXPECT_DOUBLE_EQ(t.MeanMbps(), 7.5);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(50.0), 7.5);
+  EXPECT_DOUBLE_EQ(t.DurationS(), 100.0);
+}
+
+TEST(Generators, StepTrace) {
+  const ThroughputTrace t = StepTrace({1.0, 2.0, 3.0}, 10.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(15.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(25.0), 3.0);
+  EXPECT_THROW(StepTrace({}, 1.0), std::invalid_argument);
+}
+
+TEST(Generators, SquareWave) {
+  const ThroughputTrace t = SquareWaveTrace(1.0, 9.0, 10.0, 40.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(2.0), 9.0);   // first half period high
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(7.0), 1.0);   // second half low
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(12.0), 9.0);  // repeats
+  EXPECT_NEAR(t.MeanMbps(), 5.0, 1e-9);
+}
+
+TEST(Generators, RandomWalkHitsTargetMoments) {
+  RandomWalkConfig config;
+  config.mean_mbps = 20.0;
+  config.stationary_rel_std = 0.5;
+  config.reversion_rate = 0.3;  // fast mixing for a tight estimate
+  config.duration_s = 20000.0;
+  Rng rng(1234);
+  const ThroughputTrace t = RandomWalkTrace(config, rng);
+  const TraceStats stats = ComputeTraceStats(t, 1.0);
+  EXPECT_NEAR(stats.mean_mbps, 20.0, 2.0);
+  EXPECT_NEAR(stats.rel_std, 0.5, 0.08);
+}
+
+TEST(Generators, RandomWalkRespectsFloor) {
+  RandomWalkConfig config;
+  config.mean_mbps = 0.2;
+  config.stationary_rel_std = 2.0;
+  config.floor_mbps = 0.05;
+  config.duration_s = 2000.0;
+  Rng rng(5);
+  const ThroughputTrace t = RandomWalkTrace(config, rng);
+  for (const auto& s : t.Samples()) {
+    EXPECT_GE(s.mbps, 0.05);
+  }
+}
+
+TEST(Generators, RandomWalkDeterministicGivenSeed) {
+  RandomWalkConfig config;
+  Rng rng1(77);
+  Rng rng2(77);
+  const ThroughputTrace a = RandomWalkTrace(config, rng1);
+  const ThroughputTrace b = RandomWalkTrace(config, rng2);
+  ASSERT_EQ(a.Samples().size(), b.Samples().size());
+  for (std::size_t i = 0; i < a.Samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.Samples()[i].mbps, b.Samples()[i].mbps);
+  }
+}
+
+TEST(Generators, RandomWalkValidation) {
+  Rng rng(1);
+  RandomWalkConfig bad;
+  bad.mean_mbps = -1.0;
+  EXPECT_THROW(RandomWalkTrace(bad, rng), std::invalid_argument);
+}
+
+TEST(Generators, FadeMultipliersDwellFractions) {
+  FadeConfig config;
+  config.mean_good_s = 30.0;
+  config.mean_fade_s = 10.0;
+  config.fade_depth = 0.2;
+  Rng rng(9);
+  const auto m = FadeMultipliers(config, 1.0, 200000, rng);
+  double fade_fraction = 0.0;
+  for (const double v : m) {
+    EXPECT_TRUE(v == 1.0 || v == 0.2);
+    if (v == 0.2) fade_fraction += 1.0;
+  }
+  fade_fraction /= static_cast<double>(m.size());
+  EXPECT_NEAR(fade_fraction, 0.25, 0.02);  // 10 / (30 + 10)
+}
+
+TEST(Generators, FadeValidation) {
+  Rng rng(1);
+  FadeConfig bad;
+  bad.fade_depth = 0.0;
+  EXPECT_THROW(FadeMultipliers(bad, 1.0, 10, rng), std::invalid_argument);
+}
+
+TEST(Generators, PathologyTraceShape) {
+  const ThroughputTrace t = RobustMpcPathologyTrace(40.0, 10.0, 60.0, 200.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(30.0), 40.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.DurationS(), 200.0);
+  EXPECT_THROW(RobustMpcPathologyTrace(10.0, 40.0, 60.0, 200.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soda::net

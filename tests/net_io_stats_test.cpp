@@ -1,0 +1,150 @@
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "net/generators.hpp"
+#include "net/trace_io.hpp"
+#include "net/trace_stats.hpp"
+
+namespace soda::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "soda_trace_io_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(TraceIoTest, SaveLoadRoundTrip) {
+  const ThroughputTrace original = StepTrace({1.5, 3.0, 6.0}, 2.0);
+  const fs::path path = dir_ / "trace.csv";
+  SaveTraceCsv(original, path);
+  const ThroughputTrace loaded = LoadTraceCsv(path);
+  EXPECT_NEAR(loaded.ThroughputAt(1.0), 1.5, 1e-6);
+  EXPECT_NEAR(loaded.ThroughputAt(3.0), 3.0, 1e-6);
+  EXPECT_NEAR(loaded.ThroughputAt(5.0), 6.0, 1e-6);
+  // Duration is extended by the median sample spacing.
+  EXPECT_NEAR(loaded.DurationS(), 6.0, 0.1);
+}
+
+TEST_F(TraceIoTest, LoadHeaderless) {
+  const fs::path path = dir_ / "raw.csv";
+  std::ofstream(path) << "0,5\n1,6\n2,7\n";
+  const ThroughputTrace t = LoadTraceCsv(path);
+  EXPECT_NEAR(t.ThroughputAt(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(t.ThroughputAt(1.5), 6.0, 1e-9);
+}
+
+TEST_F(TraceIoTest, LoadRebasesNonZeroStart) {
+  const fs::path path = dir_ / "offset.csv";
+  std::ofstream(path) << "time_s,mbps\n100,5\n101,6\n";
+  const ThroughputTrace t = LoadTraceCsv(path);
+  EXPECT_NEAR(t.ThroughputAt(0.0), 5.0, 1e-9);
+}
+
+TEST_F(TraceIoTest, DurationHintExtends) {
+  const fs::path path = dir_ / "hint.csv";
+  std::ofstream(path) << "0,5\n1,6\n";
+  const ThroughputTrace t = LoadTraceCsv(path, 60.0);
+  EXPECT_DOUBLE_EQ(t.DurationS(), 60.0);
+}
+
+TEST_F(TraceIoTest, EmptyFileThrows) {
+  const fs::path path = dir_ / "empty.csv";
+  std::ofstream(path) << "";
+  EXPECT_THROW(LoadTraceCsv(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, HeaderOnlyThrows) {
+  const fs::path path = dir_ / "header_only.csv";
+  std::ofstream(path) << "time_s,mbps\n";
+  EXPECT_THROW(LoadTraceCsv(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, DirectoryLoadSkipsBadFiles) {
+  std::ofstream(dir_ / "a.csv") << "0,5\n1,6\n";
+  std::ofstream(dir_ / "b.csv") << "garbage\nmore garbage\n";
+  std::ofstream(dir_ / "c.csv") << "0,1\n2,3\n";
+  std::ofstream(dir_ / "ignored.txt") << "0,1\n";
+  std::vector<fs::path> skipped;
+  const auto traces = LoadTraceDirectory(dir_, &skipped);
+  EXPECT_EQ(traces.size(), 2u);
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0].filename(), "b.csv");
+}
+
+TEST_F(TraceIoTest, MissingDirectoryThrows) {
+  EXPECT_THROW(LoadTraceDirectory(dir_ / "nope"), std::invalid_argument);
+}
+
+TEST(TraceStats, ComputeTraceStats) {
+  const ThroughputTrace t = StepTrace({2.0, 4.0, 6.0}, 10.0);
+  const TraceStats stats = ComputeTraceStats(t, 1.0);
+  EXPECT_NEAR(stats.mean_mbps, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.min_mbps, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max_mbps, 6.0);
+  EXPECT_GT(stats.rel_std, 0.3);
+  EXPECT_LE(stats.p5_mbps, stats.p95_mbps);
+}
+
+TEST(TraceStats, ConstantTraceHasZeroRelStd) {
+  const ThroughputTrace t = ConstantTrace(5.0, 50.0);
+  EXPECT_DOUBLE_EQ(ComputeTraceStats(t).rel_std, 0.0);
+}
+
+TEST(TraceStats, FilterAndSplitSessions) {
+  std::vector<ThroughputTrace> raw;
+  raw.push_back(ConstantTrace(5.0, 25 * 60.0));  // 25 min -> 2 sessions
+  raw.push_back(ConstantTrace(5.0, 5 * 60.0));   // too short -> dropped
+  raw.push_back(ConstantTrace(5.0, 10 * 60.0));  // exactly one session
+  const auto sessions = FilterAndSplitSessions(raw, 600.0, 600.0);
+  EXPECT_EQ(sessions.size(), 3u);
+  for (const auto& s : sessions) {
+    EXPECT_DOUBLE_EQ(s.DurationS(), 600.0);
+  }
+}
+
+TEST(TraceStats, VolatilityQuartilesOrdering) {
+  std::vector<ThroughputTrace> sessions;
+  // Increasingly volatile square waves.
+  for (int i = 0; i < 8; ++i) {
+    const double amplitude = 1.0 + static_cast<double>(i);
+    sessions.push_back(
+        SquareWaveTrace(10.0 - amplitude, 10.0 + amplitude, 10.0, 100.0));
+  }
+  const auto quartiles = VolatilityQuartiles(sessions, 1.0);
+  std::size_t total = 0;
+  for (const auto& q : quartiles) total += q.size();
+  EXPECT_EQ(total, sessions.size());
+  ASSERT_EQ(quartiles[0].size(), 2u);
+  // Most stable sessions (low index) land in Q1; most volatile in Q4.
+  EXPECT_EQ(quartiles[0][0], 0u);
+  EXPECT_EQ(quartiles[3][1], 7u);
+}
+
+TEST(TraceStats, QuartilesCoverAllIndicesOnce) {
+  std::vector<ThroughputTrace> sessions;
+  for (int i = 0; i < 10; ++i) {
+    sessions.push_back(SquareWaveTrace(5.0, 5.0 + i, 8.0, 64.0));
+  }
+  const auto quartiles = VolatilityQuartiles(sessions);
+  std::vector<bool> seen(sessions.size(), false);
+  for (const auto& q : quartiles) {
+    for (const std::size_t i : q) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace soda::net

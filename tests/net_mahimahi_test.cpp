@@ -1,0 +1,92 @@
+#include "net/mahimahi.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "net/generators.hpp"
+
+namespace soda::net {
+namespace {
+
+constexpr double kPacketMb = kMahimahiMtuBytes * 8.0 / 1e6;  // 0.012 Mb
+
+TEST(Mahimahi, ParsesUniformSchedule) {
+  // One packet per millisecond for one second = 1000 * 12 kbit = 12 Mb/s.
+  std::string text;
+  for (int ms = 1; ms <= 1000; ++ms) {
+    text += std::to_string(ms) + "\n";
+  }
+  const ThroughputTrace trace = ParseMahimahi(text);
+  EXPECT_NEAR(trace.MeanMbps(), 1000.0 * kPacketMb, 0.2);
+}
+
+TEST(Mahimahi, BinsCaptureRateChanges) {
+  // Dense deliveries in the first second, sparse in the second.
+  std::string text;
+  for (int ms = 0; ms < 1000; ms += 2) text += std::to_string(ms) + "\n";
+  for (int ms = 1000; ms < 2000; ms += 100) text += std::to_string(ms) + "\n";
+  const ThroughputTrace trace = ParseMahimahi(text, {.bin_seconds = 1.0});
+  EXPECT_GT(trace.ThroughputAt(0.5), trace.ThroughputAt(1.5) * 10.0);
+}
+
+TEST(Mahimahi, LoopsScheduleToRequestedDuration) {
+  std::string text = "500\n1000\n";  // 2 packets per second period
+  MahimahiOptions options;
+  options.duration_s = 10.0;
+  const ThroughputTrace trace = ParseMahimahi(text, options);
+  EXPECT_NEAR(trace.DurationS(), 10.0, 1e-9);
+  // Every second delivers ~2 packets.
+  EXPECT_NEAR(trace.MeanMbps(), 2.0 * kPacketMb, kPacketMb);
+}
+
+TEST(Mahimahi, SkipsCommentsAndBlanks) {
+  const ThroughputTrace trace =
+      ParseMahimahi("# header\n\n 100 \n200\n", {.bin_seconds = 0.2});
+  EXPECT_GT(trace.MeanMbps(), 0.0);
+}
+
+TEST(Mahimahi, RejectsMalformedInput) {
+  EXPECT_THROW((void)ParseMahimahi(""), std::runtime_error);
+  EXPECT_THROW((void)ParseMahimahi("abc\n"), std::runtime_error);
+  EXPECT_THROW((void)ParseMahimahi("-5\n"), std::runtime_error);
+  EXPECT_THROW((void)ParseMahimahi("100\n50\n"), std::runtime_error);
+}
+
+TEST(Mahimahi, RoundTripPreservesMeanRate) {
+  const ThroughputTrace original = StepTrace({2.0, 6.0, 4.0}, 10.0);
+  const std::string rendered = ToMahimahi(original, 1.0);
+  MahimahiOptions options;
+  options.duration_s = original.DurationS();
+  const ThroughputTrace parsed = ParseMahimahi(rendered, options);
+  EXPECT_NEAR(parsed.MeanMbps(), original.MeanMbps(), 0.1);
+  // Per-phase rates also survive the packet quantization.
+  EXPECT_NEAR(parsed.AverageMbps(0.0, 10.0), 2.0, 0.2);
+  EXPECT_NEAR(parsed.AverageMbps(10.0, 20.0), 6.0, 0.2);
+}
+
+TEST(Mahimahi, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "soda_mahimahi_test.mahi";
+  const ThroughputTrace original = ConstantTrace(5.0, 30.0);
+  SaveMahimahiFile(original, path);
+  const ThroughputTrace loaded = LoadMahimahiFile(path);
+  EXPECT_NEAR(loaded.MeanMbps(), 5.0, 0.2);
+  std::filesystem::remove(path);
+}
+
+TEST(Mahimahi, MissingFileThrows) {
+  EXPECT_THROW((void)LoadMahimahiFile("/nonexistent/trace.mahi"),
+               std::runtime_error);
+}
+
+TEST(Mahimahi, ValidatesOptions) {
+  EXPECT_THROW((void)ParseMahimahi("1\n", {.bin_seconds = 0.0}),
+               std::invalid_argument);
+  const ThroughputTrace t = ConstantTrace(1.0, 5.0);
+  EXPECT_THROW((void)ToMahimahi(t, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soda::net

@@ -1,0 +1,150 @@
+#include "net/trace.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace soda::net {
+namespace {
+
+ThroughputTrace MakeStepTrace() {
+  // 4 Mb/s for [0,2), 1 Mb/s for [2,3), 2 Mb/s for [3,5).
+  return ThroughputTrace({{0.0, 4.0}, {2.0, 1.0}, {3.0, 2.0}}, 5.0);
+}
+
+TEST(Trace, ValidatesInput) {
+  EXPECT_THROW(ThroughputTrace({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputTrace({{1.0, 2.0}}, 5.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputTrace({{0.0, -1.0}}, 5.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputTrace({{0.0, 1.0}, {0.0, 2.0}}, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW(ThroughputTrace({{0.0, 1.0}, {3.0, 2.0}}, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Trace, ThroughputAt) {
+  const ThroughputTrace t = MakeStepTrace();
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(1.99), 4.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(4.0), 2.0);
+  // Holds the last rate beyond the end.
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(-1.0), 4.0);
+}
+
+TEST(Trace, MegabitsBetweenExact) {
+  const ThroughputTrace t = MakeStepTrace();
+  EXPECT_DOUBLE_EQ(t.MegabitsBetween(0.0, 2.0), 8.0);
+  EXPECT_DOUBLE_EQ(t.MegabitsBetween(0.0, 5.0), 8.0 + 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(t.MegabitsBetween(1.0, 2.5), 4.0 + 0.5);
+  EXPECT_DOUBLE_EQ(t.MegabitsBetween(3.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.MegabitsBetween(4.0, 7.0), 6.0);  // beyond end
+}
+
+TEST(Trace, AverageMbps) {
+  const ThroughputTrace t = MakeStepTrace();
+  EXPECT_DOUBLE_EQ(t.AverageMbps(0.0, 5.0), 13.0 / 5.0);
+  EXPECT_DOUBLE_EQ(t.AverageMbps(2.0, 3.0), 1.0);
+  // Degenerate interval returns the instantaneous value.
+  EXPECT_DOUBLE_EQ(t.AverageMbps(2.5, 2.5), 1.0);
+  EXPECT_DOUBLE_EQ(t.MeanMbps(), 13.0 / 5.0);
+}
+
+TEST(Trace, TimeToDownloadWithinSegment) {
+  const ThroughputTrace t = MakeStepTrace();
+  EXPECT_DOUBLE_EQ(t.TimeToDownload(0.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.TimeToDownload(1.0, 2.0), 0.5);
+}
+
+TEST(Trace, TimeToDownloadAcrossSegments) {
+  const ThroughputTrace t = MakeStepTrace();
+  // From t=1: 4 Mb in [1,2), then 1 Mb/s: need 5 Mb -> 1 s + 1 s = 2 s.
+  EXPECT_DOUBLE_EQ(t.TimeToDownload(1.0, 5.0), 2.0);
+  // Into the infinite tail.
+  EXPECT_DOUBLE_EQ(t.TimeToDownload(3.0, 10.0), 5.0);
+}
+
+TEST(Trace, TimeToDownloadZeroSize) {
+  const ThroughputTrace t = MakeStepTrace();
+  EXPECT_DOUBLE_EQ(t.TimeToDownload(1.0, 0.0), 0.0);
+}
+
+TEST(Trace, TimeToDownloadZeroTail) {
+  const ThroughputTrace t({{0.0, 2.0}, {1.0, 0.0}}, 2.0);
+  EXPECT_DOUBLE_EQ(t.TimeToDownload(0.0, 2.0), 1.0);
+  EXPECT_TRUE(std::isinf(t.TimeToDownload(0.0, 3.0)));
+}
+
+TEST(Trace, ZeroRateGapIsBridged) {
+  const ThroughputTrace t({{0.0, 2.0}, {1.0, 0.0}, {3.0, 2.0}}, 5.0);
+  // 2 Mb at rate 2 in [0,1), stall [1,3), rest at 2 Mb/s.
+  EXPECT_DOUBLE_EQ(t.TimeToDownload(0.0, 4.0), 4.0);
+}
+
+TEST(Trace, UniformConstruction) {
+  const ThroughputTrace t = ThroughputTrace::Uniform({1.0, 2.0, 3.0}, 0.5);
+  EXPECT_DOUBLE_EQ(t.DurationS(), 1.5);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(0.6), 2.0);
+  EXPECT_THROW(ThroughputTrace::Uniform({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputTrace::Uniform({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Trace, SliceRebasesTime) {
+  const ThroughputTrace t = MakeStepTrace();
+  const ThroughputTrace slice = t.Slice(1.0, 4.0);
+  EXPECT_DOUBLE_EQ(slice.DurationS(), 3.0);
+  EXPECT_DOUBLE_EQ(slice.ThroughputAt(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(slice.ThroughputAt(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(slice.ThroughputAt(2.5), 2.0);
+  EXPECT_DOUBLE_EQ(slice.MegabitsBetween(0.0, 3.0),
+                   t.MegabitsBetween(1.0, 4.0));
+}
+
+TEST(Trace, SliceValidation) {
+  const ThroughputTrace t = MakeStepTrace();
+  EXPECT_THROW(t.Slice(-1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(t.Slice(3.0, 3.0), std::invalid_argument);
+}
+
+TEST(Trace, SplitSessions) {
+  const ThroughputTrace t = ThroughputTrace::Uniform(
+      std::vector<double>(10, 5.0), 1.0);  // 10 s
+  const auto sessions = t.SplitSessions(3.0, 2.0);
+  // 3 full sessions of 3 s; leftover 1 s < 2 s dropped.
+  ASSERT_EQ(sessions.size(), 3u);
+  for (const auto& s : sessions) {
+    EXPECT_DOUBLE_EQ(s.DurationS(), 3.0);
+  }
+}
+
+TEST(Trace, SplitSessionsKeepsLongLeftover) {
+  const ThroughputTrace t =
+      ThroughputTrace::Uniform(std::vector<double>(10, 5.0), 1.0);
+  const auto sessions = t.SplitSessions(4.0, 1.5);
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_DOUBLE_EQ(sessions.back().DurationS(), 2.0);
+}
+
+TEST(Trace, Scaled) {
+  const ThroughputTrace t = MakeStepTrace();
+  const ThroughputTrace scaled = t.Scaled(2.0);
+  EXPECT_DOUBLE_EQ(scaled.ThroughputAt(0.0), 8.0);
+  EXPECT_DOUBLE_EQ(scaled.MeanMbps(), 2.0 * t.MeanMbps());
+  EXPECT_THROW(t.Scaled(0.0), std::invalid_argument);
+}
+
+TEST(Trace, DownloadIntegralConsistency) {
+  // TimeToDownload and MegabitsBetween are inverse operations.
+  const ThroughputTrace t = MakeStepTrace();
+  for (double start = 0.0; start < 4.5; start += 0.37) {
+    for (double mb = 0.5; mb < 12.0; mb += 1.3) {
+      const double tau = t.TimeToDownload(start, mb);
+      EXPECT_NEAR(t.MegabitsBetween(start, start + tau), mb, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soda::net

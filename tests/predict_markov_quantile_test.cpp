@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "net/generators.hpp"
+#include "predict/markov.hpp"
+#include "predict/quantile.hpp"
+
+namespace soda::predict {
+namespace {
+
+DownloadObservation Obs(double start, double duration, double mbps) {
+  return {start, duration, mbps * duration};
+}
+
+// --- Markov predictor ---
+
+TEST(Markov, ValidatesConfig) {
+  EXPECT_THROW(MarkovPredictor({.states = 1}), std::invalid_argument);
+  MarkovPredictorConfig bad;
+  bad.min_mbps = 10.0;
+  bad.max_mbps = 5.0;
+  EXPECT_THROW((MarkovPredictor{bad}), std::invalid_argument);
+}
+
+TEST(Markov, StateMappingRoundTrips) {
+  MarkovPredictor p;
+  for (int s = 0; s < 16; ++s) {
+    EXPECT_EQ(p.StateOf(p.StateCenterMbps(s)), s);
+  }
+  EXPECT_EQ(p.StateOf(0.0001), 0);
+  EXPECT_EQ(p.StateOf(1e9), 15);
+}
+
+TEST(Markov, ColdStartDefault) {
+  MarkovPredictor p;
+  EXPECT_DOUBLE_EQ(p.PredictOne(0.0, 2.0), kDefaultColdStartMbps);
+}
+
+TEST(Markov, ConstantInputPredictsNearConstant) {
+  MarkovPredictor p;
+  for (int i = 0; i < 60; ++i) p.Observe(Obs(2.0 * i, 2.0, 8.0));
+  const auto forecast = p.PredictHorizon(120.0, 5, 2.0);
+  for (const double v : forecast) {
+    // Within a state-grid quantum plus smoothing drift.
+    EXPECT_NEAR(v, 8.0, 3.0);
+  }
+}
+
+TEST(Markov, LearnsAlternation) {
+  // Strictly alternating 2 <-> 20: the one-step forecast from state(2)
+  // should be far above 2 (it learned the alternation), and the forecast
+  // from state(20) far below 20.
+  MarkovPredictor p;
+  for (int i = 0; i < 100; ++i) {
+    p.Observe(Obs(2.0 * i, 2.0, i % 2 == 0 ? 2.0 : 20.0));
+  }
+  // Last observation was 20 (i=99), so the next is predicted low.
+  const double next = p.PredictOne(200.0, 2.0);
+  EXPECT_LT(next, 10.0);
+}
+
+TEST(Markov, HorizonForecastIsPerInterval) {
+  // After an alternating pattern, consecutive horizon entries differ
+  // (non-flat forecast) — unlike the history predictors.
+  MarkovPredictor p;
+  for (int i = 0; i < 100; ++i) {
+    p.Observe(Obs(2.0 * i, 2.0, i % 2 == 0 ? 2.0 : 20.0));
+  }
+  const auto forecast = p.PredictHorizon(200.0, 4, 2.0);
+  EXPECT_GT(std::abs(forecast[1] - forecast[0]), 0.5);
+}
+
+TEST(Markov, ResetForgets) {
+  MarkovPredictor p;
+  for (int i = 0; i < 50; ++i) p.Observe(Obs(2.0 * i, 2.0, 40.0));
+  p.Reset();
+  EXPECT_DOUBLE_EQ(p.PredictOne(0.0, 2.0), kDefaultColdStartMbps);
+}
+
+TEST(Markov, ForecastConvergesTowardStationaryMean) {
+  // With lots of i.i.d.-ish data the long-horizon forecast approaches the
+  // stationary mean rather than sticking to the last state.
+  MarkovPredictor p;
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Uniform(2.0, 30.0);
+    sum += v;
+    p.Observe(Obs(2.0 * i, 2.0, v));
+  }
+  const auto forecast = p.PredictHorizon(1000.0, 40, 2.0);
+  const double long_run = forecast.back();
+  EXPECT_NEAR(long_run, sum / n, 8.0);
+}
+
+// --- Quantile predictor ---
+
+TEST(Quantile, ValidatesConfig) {
+  EXPECT_THROW(QuantilePredictor(0.0), std::invalid_argument);
+  EXPECT_THROW(QuantilePredictor(100.0), std::invalid_argument);
+  EXPECT_THROW(QuantilePredictor(25.0, 0), std::invalid_argument);
+}
+
+TEST(Quantile, LowPercentileIsConservative) {
+  QuantilePredictor p25(25.0, 100);
+  QuantilePredictor p75(75.0, 100);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.Uniform(1.0, 10.0);
+    p25.Observe(Obs(i, 1.0, v));
+    p75.Observe(Obs(i, 1.0, v));
+  }
+  EXPECT_LT(p25.PredictOne(100.0, 1.0), p75.PredictOne(100.0, 1.0));
+  EXPECT_NEAR(p25.PredictOne(100.0, 1.0), 3.25, 1.0);
+}
+
+TEST(Quantile, MedianOfKnownSamples) {
+  QuantilePredictor p(50.0, 5);
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) p.Observe(Obs(0, 1, v));
+  EXPECT_DOUBLE_EQ(p.PredictOne(5.0, 1.0), 3.0);
+}
+
+TEST(Quantile, WindowEvicts) {
+  QuantilePredictor p(50.0, 2);
+  p.Observe(Obs(0, 1, 100.0));
+  p.Observe(Obs(1, 1, 2.0));
+  p.Observe(Obs(2, 1, 4.0));
+  EXPECT_DOUBLE_EQ(p.PredictOne(3.0, 1.0), 3.0);  // median of {2, 4}
+}
+
+TEST(Quantile, NameAndReset) {
+  QuantilePredictor p(25.0);
+  EXPECT_EQ(p.Name(), "P25");
+  p.Observe(Obs(0, 1, 50.0));
+  p.Reset();
+  EXPECT_DOUBLE_EQ(p.PredictOne(0.0, 1.0), kDefaultColdStartMbps);
+}
+
+}  // namespace
+}  // namespace soda::predict

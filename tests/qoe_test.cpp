@@ -1,0 +1,160 @@
+#include "qoe/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "media/quality.hpp"
+#include "qoe/eval.hpp"
+
+#include "abr/throughput_rule.hpp"
+#include "net/generators.hpp"
+#include "predict/ema.hpp"
+
+namespace soda::qoe {
+namespace {
+
+sim::SessionLog MakeLog() {
+  sim::SessionLog log;
+  // Bitrates chosen on the {1, 2, 4} ladder.
+  log.segments.push_back({.rung = 0, .bitrate_mbps = 1.0});
+  log.segments.push_back({.rung = 1, .bitrate_mbps = 2.0});
+  log.segments.push_back({.rung = 1, .bitrate_mbps = 2.0});
+  log.segments.push_back({.rung = 2, .bitrate_mbps = 4.0});
+  log.segments.push_back({.rung = 2, .bitrate_mbps = 4.0});
+  log.total_rebuffer_s = 5.0;
+  log.session_s = 100.0;
+  return log;
+}
+
+UtilityFn LogUtility() {
+  return [u = media::NormalizedLogUtility(1.0, 4.0)](double mbps) {
+    return u.At(mbps);
+  };
+}
+
+TEST(Qoe, ComponentsComputedCorrectly) {
+  const QoeMetrics m = ComputeQoe(MakeLog(), LogUtility());
+  // Utilities: 0, 0.5, 0.5, 1, 1 -> mean 0.6.
+  EXPECT_NEAR(m.mean_utility, 0.6, 1e-12);
+  EXPECT_NEAR(m.rebuffer_ratio, 0.05, 1e-12);
+  // 2 switches over 4 adjacent pairs.
+  EXPECT_NEAR(m.switch_rate, 0.5, 1e-12);
+  // QoE = 0.6 - 10*0.05 - 1*0.5.
+  EXPECT_NEAR(m.qoe, 0.6 - 0.5 - 0.5, 1e-12);
+  EXPECT_EQ(m.segment_count, 5);
+}
+
+TEST(Qoe, StartupTermOptIn) {
+  sim::SessionLog log = MakeLog();
+  log.startup_s = 10.0;  // 10% of the 100 s session
+  const QoeMetrics without = ComputeQoe(log, LogUtility());
+  EXPECT_NEAR(without.startup_ratio, 0.1, 1e-12);
+  // Default delta = 0: startup does not change the score.
+  EXPECT_NEAR(without.qoe, 0.6 - 0.5 - 0.5, 1e-12);
+  // With delta = 2 the score drops by 2 * 0.1.
+  const QoeMetrics with_startup =
+      ComputeQoe(log, LogUtility(), {.delta = 2.0});
+  EXPECT_NEAR(with_startup.qoe, without.qoe - 0.2, 1e-12);
+}
+
+TEST(Qoe, CustomWeights) {
+  const QoeMetrics m = ComputeQoe(MakeLog(), LogUtility(), {.beta = 0.0, .gamma = 0.0});
+  EXPECT_NEAR(m.qoe, 0.6, 1e-12);
+}
+
+TEST(Qoe, EmptySessionIsWorstCase) {
+  sim::SessionLog log;
+  log.session_s = 10.0;
+  const QoeMetrics m = ComputeQoe(log, LogUtility());
+  EXPECT_DOUBLE_EQ(m.rebuffer_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(m.qoe, -10.0);
+}
+
+TEST(Qoe, SingleSegmentHasNoSwitchRate) {
+  sim::SessionLog log;
+  log.segments.push_back({.rung = 1, .bitrate_mbps = 2.0});
+  log.session_s = 10.0;
+  const QoeMetrics m = ComputeQoe(log, LogUtility());
+  EXPECT_DOUBLE_EQ(m.switch_rate, 0.0);
+}
+
+TEST(Qoe, MissingUtilityThrows) {
+  EXPECT_THROW((void)ComputeQoe(MakeLog(), UtilityFn{}), std::invalid_argument);
+}
+
+TEST(Qoe, AggregateAccumulates) {
+  QoeAggregate agg;
+  const QoeMetrics m = ComputeQoe(MakeLog(), LogUtility());
+  agg.Add(m);
+  agg.Add(m);
+  EXPECT_EQ(agg.SessionCount(), 2u);
+  EXPECT_NEAR(agg.qoe.Mean(), m.qoe, 1e-12);
+  EXPECT_NEAR(agg.utility.Mean(), 0.6, 1e-12);
+}
+
+TEST(Eval, RunsControllerOverSessions) {
+  Rng rng(3);
+  net::RandomWalkConfig walk;
+  walk.mean_mbps = 5.0;
+  walk.duration_s = 120.0;
+  std::vector<net::ThroughputTrace> sessions;
+  for (int i = 0; i < 4; ++i) sessions.push_back(net::RandomWalkTrace(walk, rng));
+
+  const media::VideoModel video(media::BitrateLadder({1.0, 2.0, 4.0}),
+                                {.segment_seconds = 2.0});
+  EvalConfig config;
+  config.utility = LogUtility();
+  config.sim.rtt_s = 0.0;
+
+  const EvalResult result = EvaluateController(
+      sessions, [] { return std::make_unique<abr::ThroughputRuleController>(); },
+      [](const net::ThroughputTrace&) {
+        return std::make_unique<predict::EmaPredictor>();
+      },
+      video, config);
+  EXPECT_EQ(result.controller_name, "Throughput");
+  EXPECT_EQ(result.aggregate.SessionCount(), 4u);
+  EXPECT_EQ(result.per_session.size(), 4u);
+}
+
+TEST(Eval, SubsetIndicesRespected) {
+  Rng rng(3);
+  net::RandomWalkConfig walk;
+  walk.duration_s = 60.0;
+  std::vector<net::ThroughputTrace> sessions;
+  for (int i = 0; i < 5; ++i) sessions.push_back(net::RandomWalkTrace(walk, rng));
+
+  const media::VideoModel video(media::BitrateLadder({1.0, 2.0, 4.0}),
+                                {.segment_seconds = 2.0});
+  EvalConfig config;
+  config.utility = LogUtility();
+
+  const EvalResult result = EvaluateControllerOn(
+      sessions, {0, 2},
+      [] { return std::make_unique<abr::ThroughputRuleController>(); },
+      [](const net::ThroughputTrace&) {
+        return std::make_unique<predict::EmaPredictor>();
+      },
+      video, config);
+  EXPECT_EQ(result.aggregate.SessionCount(), 2u);
+}
+
+TEST(Eval, InvalidIndexThrows) {
+  const std::vector<net::ThroughputTrace> sessions = {
+      net::ConstantTrace(5.0, 60.0)};
+  const media::VideoModel video(media::BitrateLadder({1.0, 2.0, 4.0}),
+                                {.segment_seconds = 2.0});
+  EvalConfig config;
+  config.utility = LogUtility();
+  EXPECT_THROW(
+      EvaluateControllerOn(
+          sessions, {7},
+          [] { return std::make_unique<abr::ThroughputRuleController>(); },
+          [](const net::ThroughputTrace&) {
+            return std::make_unique<predict::EmaPredictor>();
+          },
+          video, config),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soda::qoe

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "media/video_model.hpp"
+#include "net/generators.hpp"
+#include "predict/fixed.hpp"
+#include "sim/session.hpp"
+
+namespace soda::sim {
+namespace {
+
+// Controller that always requests the given rung.
+class PinnedController final : public abr::Controller {
+ public:
+  explicit PinnedController(media::Rung rung) : rung_(rung) {}
+  media::Rung ChooseRung(const abr::Context& context) override {
+    return std::min(rung_, context.Ladder().HighestRung());
+  }
+  std::string Name() const override { return "Pinned"; }
+
+ private:
+  media::Rung rung_;
+};
+
+media::VideoModel TestVideo() {
+  return media::VideoModel(media::BitrateLadder({1.0, 2.0, 8.0}),
+                           {.segment_seconds = 2.0});
+}
+
+SimConfig WithAbandonment() {
+  SimConfig config;
+  config.rtt_s = 0.0;
+  config.allow_abandonment = true;
+  config.abandon_check_s = 1.0;
+  config.abandon_stall_threshold_s = 0.5;
+  return config;
+}
+
+TEST(Abandonment, AbortsDoomedDownloads) {
+  // 1 Mb/s link, pinned to the 8 Mb/s rung: each 16 Mb segment would take
+  // 16 s against a <= 20 s buffer that starts empty — every download after
+  // the first projects a stall, so it is abandoned and refetched low.
+  const auto trace = net::ConstantTrace(1.0, 120.0);
+  const auto video = TestVideo();
+  PinnedController controller(2);
+  predict::FixedPredictor predictor(1.0);
+  const SessionLog log =
+      RunSession(trace, controller, predictor, video, WithAbandonment());
+  EXPECT_GT(log.AbandonedCount(), 10);
+  EXPECT_GT(log.WastedMb(), 5.0);
+  // Fetched segments are the lowest rung after abandonment.
+  for (const auto& s : log.segments) {
+    if (s.abandoned) {
+      EXPECT_EQ(s.rung, 0);
+      EXPECT_GT(s.wasted_mb, 0.0);
+    }
+  }
+}
+
+TEST(Abandonment, ReducesRebufferingVsPinnedHighRung) {
+  const auto trace = net::ConstantTrace(1.0, 120.0);
+  const auto video = TestVideo();
+  predict::FixedPredictor predictor(1.0);
+
+  PinnedController stubborn(2);
+  SimConfig plain;
+  plain.rtt_s = 0.0;
+  const SessionLog no_abandon =
+      RunSession(trace, stubborn, predictor, video, plain);
+
+  PinnedController retry(2);
+  const SessionLog with_abandon =
+      RunSession(trace, retry, predictor, video, WithAbandonment());
+
+  EXPECT_LT(with_abandon.total_rebuffer_s, no_abandon.total_rebuffer_s * 0.5);
+}
+
+TEST(Abandonment, NoEffectWhenDownloadsAreHealthy) {
+  // Fast link: downloads finish well within the check window.
+  const auto trace = net::ConstantTrace(50.0, 60.0);
+  const auto video = TestVideo();
+  PinnedController controller(2);
+  predict::FixedPredictor predictor(50.0);
+  const SessionLog log =
+      RunSession(trace, controller, predictor, video, WithAbandonment());
+  EXPECT_EQ(log.AbandonedCount(), 0);
+  EXPECT_DOUBLE_EQ(log.WastedMb(), 0.0);
+}
+
+TEST(Abandonment, LowestRungIsNeverAbandoned) {
+  const auto trace = net::ConstantTrace(0.3, 60.0);  // painfully slow
+  const auto video = TestVideo();
+  PinnedController controller(0);
+  predict::FixedPredictor predictor(0.3);
+  const SessionLog log =
+      RunSession(trace, controller, predictor, video, WithAbandonment());
+  EXPECT_EQ(log.AbandonedCount(), 0);
+}
+
+TEST(Abandonment, OffByDefault) {
+  const auto trace = net::ConstantTrace(1.0, 60.0);
+  const auto video = TestVideo();
+  PinnedController controller(2);
+  predict::FixedPredictor predictor(1.0);
+  SimConfig config;
+  config.rtt_s = 0.0;
+  const SessionLog log =
+      RunSession(trace, controller, predictor, video, config);
+  EXPECT_EQ(log.AbandonedCount(), 0);
+}
+
+}  // namespace
+}  // namespace soda::sim

@@ -1,0 +1,96 @@
+#include "theory/constants.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace soda::theory {
+namespace {
+
+SystemParameters Base() {
+  SystemParameters p;
+  p.omega_min_mbps = 5.0;
+  p.omega_max_mbps = 50.0;
+  p.r_min_mbps = 1.0;
+  p.r_max_mbps = 60.0;
+  p.x_max_s = 20.0;
+  p.epsilon = 0.2;
+  p.beta = 25.0;
+  p.gamma = 50.0;
+  return p;
+}
+
+TEST(DecayConstants, RhoInUnitInterval) {
+  const DecayConstants dc = ComputeDecayConstants(Base());
+  EXPECT_GT(dc.rho, 0.0);
+  EXPECT_LT(dc.rho, 1.0);
+  EXPECT_GT(dc.c, 0.0);
+  EXPECT_GT(dc.ell, 0.0);
+}
+
+TEST(DecayConstants, AssumptionDetection) {
+  SystemParameters p = Base();
+  // delta = 1 - 50/60 > 0 but omega_min / r_min = 5 < x_max = 20: the
+  // reachability half of Assumption A.1 fails.
+  EXPECT_FALSE(ComputeDecayConstants(p).assumption_holds);
+
+  p.omega_min_mbps = 25.0;
+  p.r_min_mbps = 1.0;
+  p.x_max_s = 20.0;  // 25 / 1 >= 20 and delta still positive
+  EXPECT_TRUE(ComputeDecayConstants(p).assumption_holds);
+
+  p.omega_max_mbps = 70.0;  // exceeds r_max: delta <= 0
+  EXPECT_FALSE(ComputeDecayConstants(p).assumption_holds);
+}
+
+TEST(DecayConstants, SteeperBufferCostFasterDecay) {
+  // Larger epsilon*beta (more strongly convex buffer cost) shrinks rho:
+  // perturbations die out faster.
+  SystemParameters weak = Base();
+  weak.beta = 5.0;
+  SystemParameters steep = Base();
+  steep.beta = 100.0;
+  EXPECT_LT(ComputeDecayConstants(steep).rho, ComputeDecayConstants(weak).rho);
+}
+
+TEST(DecayConstants, LargerSwitchingWeightSlowerDecay) {
+  // gamma enters the smoothness constant ell: stronger coupling between
+  // steps propagates perturbations further (rho grows).
+  SystemParameters small = Base();
+  small.gamma = 5.0;
+  SystemParameters large = Base();
+  large.gamma = 500.0;
+  EXPECT_GT(ComputeDecayConstants(large).rho, ComputeDecayConstants(small).rho);
+}
+
+TEST(DecayConstants, TighterBandwidthSlackFasterDecayInDelta) {
+  // Smaller delta (omega_max close to r_max) means more steps d =
+  // ceil(x_max/delta) in the exponent, pushing rho toward 1.
+  SystemParameters loose = Base();
+  loose.omega_max_mbps = 30.0;  // delta = 0.5
+  SystemParameters tight = Base();
+  tight.omega_max_mbps = 59.0;  // delta ~ 0.017
+  EXPECT_LT(ComputeDecayConstants(loose).rho, ComputeDecayConstants(tight).rho);
+}
+
+TEST(DecayConstants, MinimalHorizonFinitePositive) {
+  const DecayConstants dc = ComputeDecayConstants(Base());
+  const double k = MinimalHorizonForGuarantee(dc);
+  EXPECT_GT(k, 0.0);
+  EXPECT_TRUE(std::isfinite(k));
+}
+
+TEST(DecayConstants, ValidatesParameters) {
+  SystemParameters bad = Base();
+  bad.omega_min_mbps = 0.0;
+  EXPECT_THROW((void)ComputeDecayConstants(bad), std::invalid_argument);
+  bad = Base();
+  bad.epsilon = 0.0;
+  EXPECT_THROW((void)ComputeDecayConstants(bad), std::invalid_argument);
+  bad = Base();
+  bad.r_max_mbps = bad.r_min_mbps;
+  EXPECT_THROW((void)ComputeDecayConstants(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soda::theory

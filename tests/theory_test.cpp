@@ -1,0 +1,243 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "net/generators.hpp"
+#include "theory/monotone_check.hpp"
+#include "theory/offline_optimal.hpp"
+#include "theory/perturbation.hpp"
+#include "theory/rollout.hpp"
+#include "util/rng.hpp"
+
+namespace soda::theory {
+namespace {
+
+media::BitrateLadder Ladder() { return media::YoutubeHfr4kLadder(); }
+
+core::CostModelConfig BaseConfig() {
+  core::CostModelConfig config;
+  config.target_buffer_s = 12.0;
+  config.max_buffer_s = 20.0;
+  config.dt_s = 2.0;
+  config.weights.beta = 25.0;
+  config.weights.gamma = 50.0;
+  config.weights.kappa = 0.0;  // the pure Equation-1 objective
+  return config;
+}
+
+std::vector<double> Bandwidths(int n, std::uint64_t seed, double mean = 15.0,
+                               double rel_std = 0.5) {
+  Rng rng(seed);
+  net::RandomWalkConfig walk;
+  walk.mean_mbps = mean;
+  walk.stationary_rel_std = rel_std;
+  walk.reversion_rate = 0.15;
+  walk.dt_s = 2.0;
+  walk.duration_s = 2.0 * n;
+  const net::ThroughputTrace trace = net::RandomWalkTrace(walk, rng);
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(trace.AverageMbps(2.0 * i, 2.0 * (i + 1)));
+  }
+  return out;
+}
+
+TEST(OfflineOptimal, ConstantBandwidthStaysAtMatchedRung) {
+  const auto ladder = Ladder();
+  const core::CostModel model(ladder, BaseConfig());
+  const std::vector<double> bandwidth(50, 12.0);
+  const OfflineSolution solution = SolveOffline(model, bandwidth, 12.0, 3);
+  ASSERT_TRUE(solution.feasible);
+  // With buffer at target and w == 12, staying on rung 3 is free of buffer
+  // and switching cost; the DP must find it.
+  for (const media::Rung r : solution.rungs) {
+    EXPECT_EQ(r, 3);
+  }
+  for (const double x : solution.buffers_s) {
+    EXPECT_NEAR(x, 12.0, 0.2);
+  }
+}
+
+TEST(OfflineOptimal, CostNotWorseThanAnyFixedPlan) {
+  const auto ladder = Ladder();
+  const core::CostModel model(ladder, BaseConfig());
+  const auto bandwidth = Bandwidths(60, 9);
+  const OfflineSolution solution = SolveOffline(model, bandwidth, 10.0, 2);
+  ASSERT_TRUE(solution.feasible);
+  // Compare against every constant-rung plan (evaluated with soft
+  // constraints to stay comparable).
+  for (media::Rung r = 0; r < ladder.Count(); ++r) {
+    const std::vector<media::Rung> constant(bandwidth.size(), r);
+    const double cost =
+        core::EvaluatePlan(model, bandwidth, constant, 10.0, 2, false);
+    // Small tolerance for grid discretization.
+    EXPECT_LE(solution.total_cost, cost + 0.5) << "rung " << r;
+  }
+}
+
+TEST(OfflineOptimal, InfeasibleWhenBandwidthCannotSustainBuffer) {
+  const auto ladder = Ladder();
+  const core::CostModel model(ladder, BaseConfig());
+  // Bandwidth so low even the lowest rung drains the buffer below zero.
+  const std::vector<double> bandwidth(30, 0.05);
+  const OfflineSolution solution = SolveOffline(model, bandwidth, 1.0, 0);
+  EXPECT_FALSE(solution.feasible);
+}
+
+TEST(OfflineOptimal, FinerGridNeverWorse) {
+  const auto ladder = Ladder();
+  const core::CostModel model(ladder, BaseConfig());
+  const auto bandwidth = Bandwidths(40, 10);
+  OfflineConfig coarse;
+  coarse.buffer_grid = 51;
+  OfflineConfig fine;
+  fine.buffer_grid = 401;
+  const OfflineSolution a = SolveOffline(model, bandwidth, 10.0, 2, coarse);
+  const OfflineSolution b = SolveOffline(model, bandwidth, 10.0, 2, fine);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_LE(b.total_cost, a.total_cost + 1e-6);
+}
+
+TEST(Rollout, ExactPredictionsNearOptimal) {
+  // Theorem 4.1: with exact predictions and a reasonable horizon, SODA's
+  // cost is within a small factor of OPT.
+  const auto ladder = Ladder();
+  const core::CostModel model(ladder, BaseConfig());
+  const auto bandwidth = Bandwidths(150, 11);
+  RolloutConfig config;
+  config.horizon = 5;
+  const RegretReport report =
+      CompareToOffline(model, bandwidth, 12.0, 3, config);
+  EXPECT_GT(report.optimal_cost, 0.0);
+  EXPECT_LT(report.competitive_ratio, 1.30);
+  EXPECT_GE(report.competitive_ratio, 1.0 - 0.05);  // DP grid slack
+}
+
+TEST(Rollout, RegretDecreasesWithHorizon) {
+  // Theorem 4.1: regret decays (exponentially) in K. We assert monotone
+  // non-increase from K=1 to K=5 on average bandwidths.
+  const auto ladder = Ladder();
+  const core::CostModel model(ladder, BaseConfig());
+  const auto bandwidth = Bandwidths(150, 12);
+  double prev_regret = 1e18;
+  for (const int k : {1, 3, 5}) {
+    RolloutConfig config;
+    config.horizon = k;
+    const RegretReport report =
+        CompareToOffline(model, bandwidth, 12.0, 3, config);
+    EXPECT_LE(report.dynamic_regret, prev_regret + 1e-6) << "K=" << k;
+    prev_regret = report.dynamic_regret;
+  }
+}
+
+TEST(Rollout, NoiseIncreasesCost) {
+  const auto ladder = Ladder();
+  const core::CostModel model(ladder, BaseConfig());
+  const auto bandwidth = Bandwidths(150, 13);
+  RolloutConfig exact;
+  exact.horizon = 5;
+  RolloutConfig noisy = exact;
+  noisy.prediction_noise = 0.6;
+  const RolloutResult clean_run =
+      RunTimeBasedRollout(model, bandwidth, 12.0, 3, exact);
+  const RolloutResult noisy_run =
+      RunTimeBasedRollout(model, bandwidth, 12.0, 3, noisy);
+  EXPECT_GT(noisy_run.total_cost, clean_run.total_cost * 0.99);
+}
+
+TEST(Rollout, BufferStaysInterior) {
+  // Theorem 4.2: with moderate noise and steep buffer costs the buffer
+  // never hits the constraint boundary.
+  const auto ladder = Ladder();
+  core::CostModelConfig config = BaseConfig();
+  config.weights.beta = 50.0;
+  const core::CostModel model(ladder, config);
+  const auto bandwidth = Bandwidths(200, 14);
+  RolloutConfig rollout;
+  rollout.horizon = 5;
+  rollout.prediction_noise = 0.2;
+  const RolloutResult result =
+      RunTimeBasedRollout(model, bandwidth, 12.0, 3, rollout);
+  EXPECT_GT(result.min_buffer_s, 0.0);
+  EXPECT_LT(result.max_buffer_s, 20.0);
+}
+
+TEST(Rollout, BruteForceAblationAgreesWithMonotone) {
+  const auto ladder = Ladder();
+  const core::CostModel model(ladder, BaseConfig());
+  const auto bandwidth = Bandwidths(60, 15);
+  RolloutConfig mono;
+  mono.horizon = 4;
+  RolloutConfig brute = mono;
+  brute.brute_force = true;
+  const RolloutResult a =
+      RunTimeBasedRollout(model, bandwidth, 12.0, 3, mono);
+  const RolloutResult b =
+      RunTimeBasedRollout(model, bandwidth, 12.0, 3, brute);
+  // Decisions agree at most steps, and the realized costs are close:
+  // the monotone restriction loses little (Theorem 4.3).
+  int disagreements = 0;
+  for (std::size_t i = 0; i < a.rungs.size(); ++i) {
+    if (a.rungs[i] != b.rungs[i]) ++disagreements;
+  }
+  EXPECT_LE(disagreements, static_cast<int>(a.rungs.size() / 4));
+  EXPECT_NEAR(a.total_cost, b.total_cost, 0.10 * b.total_cost + 1e-9);
+}
+
+TEST(Perturbation, TrajectoriesConvergeExponentially) {
+  // Fig. 6: two rollouts from different initial buffers converge. A dense
+  // ladder approximates the theory's continuous action set, so the
+  // discrete attractor does not freeze a residual buffer offset.
+  std::vector<double> rungs;
+  for (int i = 0; i < 16; ++i) {
+    rungs.push_back(1.0 * std::pow(60.0, i / 15.0));
+  }
+  const media::BitrateLadder ladder(std::move(rungs));
+  const core::CostModel model(ladder, BaseConfig());
+  const std::vector<double> bandwidth(80, 15.0);
+  const DecayMeasurement decay =
+      MeasureInitialStateDecay(model, bandwidth, 4.0, 18.0, 5);
+  ASSERT_GT(decay.distances.size(), 10u);
+  EXPECT_GT(decay.distances.front(), decay.distances.back());
+  // The tail distance is small relative to the initial gap.
+  EXPECT_LT(decay.distances.back(), 0.10 * decay.distances.front() + 1e-9);
+  if (decay.fitted_rho > 0.0) {
+    EXPECT_LT(decay.fitted_rho, 1.0);
+  }
+}
+
+TEST(Perturbation, FarPredictionsMatterLess) {
+  const auto ladder = Ladder();
+  const core::CostModel model(ladder, BaseConfig());
+  const auto sensitivity =
+      MeasurePredictionSensitivity(model, 10.0, 10.0, 2, 5, 30.0);
+  ASSERT_EQ(sensitivity.size(), 5u);
+  // The first-interval prediction matters at least as much as the last.
+  EXPECT_GE(sensitivity.front(), sensitivity.back());
+}
+
+TEST(MonotoneCheck, MismatchDropsWithGamma) {
+  const auto ladder = Ladder();
+  MismatchConfig config;
+  config.situations = 3000;
+  const MismatchSample low =
+      MeasureMismatch(ladder, BaseConfig(), /*gamma=*/0.1, 4, config);
+  const MismatchSample high =
+      MeasureMismatch(ladder, BaseConfig(), /*gamma=*/200.0, 4, config);
+  EXPECT_GT(low.situations, 1000);
+  EXPECT_LE(high.mismatch_probability, low.mismatch_probability);
+  EXPECT_LT(high.mismatch_probability, 0.05);
+  EXPECT_GE(high.mean_objective_gap, -1e-9);
+}
+
+TEST(MonotoneCheck, Validation) {
+  MismatchConfig bad;
+  bad.situations = 0;
+  EXPECT_THROW(
+      (void)MeasureMismatch(Ladder(), BaseConfig(), 1.0, 3, bad),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soda::theory

@@ -1,0 +1,54 @@
+#include "tools/cli_args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace soda::tools {
+namespace {
+
+CliArgs Parse(std::vector<std::string> argv_strings,
+              const std::set<std::string>& flags,
+              const std::set<std::string>& booleans = {}) {
+  std::vector<char*> argv;
+  argv_strings.insert(argv_strings.begin(), "prog");
+  argv.reserve(argv_strings.size());
+  for (auto& s : argv_strings) argv.push_back(s.data());
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), flags, booleans);
+}
+
+TEST(CliArgs, ParsesValuesAndBooleans) {
+  const CliArgs args = Parse({"--controller", "soda", "--timeline"},
+                             {"controller"}, {"timeline"});
+  EXPECT_TRUE(args.Has("controller"));
+  EXPECT_EQ(args.Get("controller", "x"), "soda");
+  EXPECT_TRUE(args.Has("timeline"));
+  EXPECT_FALSE(args.Has("csv"));
+}
+
+TEST(CliArgs, Defaults) {
+  const CliArgs args = Parse({}, {"buffer"});
+  EXPECT_EQ(args.Get("buffer", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(args.GetDouble("buffer", 20.0), 20.0);
+  EXPECT_EQ(args.GetLong("buffer", 7), 7);
+}
+
+TEST(CliArgs, NumericConversion) {
+  const CliArgs args = Parse({"--buffer", "15.5", "--count", "12"},
+                             {"buffer", "count"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("buffer", 0.0), 15.5);
+  EXPECT_EQ(args.GetLong("count", 0), 12);
+}
+
+TEST(CliArgs, UnknownFlagThrows) {
+  EXPECT_THROW(Parse({"--bogus", "1"}, {"buffer"}), std::invalid_argument);
+}
+
+TEST(CliArgs, MissingValueThrows) {
+  EXPECT_THROW(Parse({"--buffer"}, {"buffer"}), std::invalid_argument);
+}
+
+TEST(CliArgs, NonFlagTokenThrows) {
+  EXPECT_THROW(Parse({"buffer", "5"}, {"buffer"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soda::tools

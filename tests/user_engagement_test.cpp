@@ -1,0 +1,80 @@
+#include "user/engagement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace soda::user {
+namespace {
+
+qoe::QoeMetrics Metrics(double switch_rate, double rebuffer_ratio) {
+  qoe::QoeMetrics m;
+  m.switch_rate = switch_rate;
+  m.rebuffer_ratio = rebuffer_ratio;
+  return m;
+}
+
+TEST(Engagement, Fig1AnchorsHold) {
+  const EngagementModel model;
+  // Clean session: cohort-mean watch fraction ~22%.
+  EXPECT_NEAR(model.ExpectedWatchFraction(Metrics(0.0, 0.0)), 0.22, 1e-9);
+  // At 20% switching: below 10% watched (the Fig. 1 headline).
+  EXPECT_LT(model.ExpectedWatchFraction(Metrics(0.20, 0.0)), 0.10);
+}
+
+TEST(Engagement, MonotoneDecreasingInSwitching) {
+  const EngagementModel model;
+  double prev = 1.0;
+  for (double s = 0.0; s <= 0.4; s += 0.05) {
+    const double f = model.ExpectedWatchFraction(Metrics(s, 0.0));
+    EXPECT_LE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Engagement, RebufferingCutsViewing) {
+  const EngagementModel model;
+  const double clean = model.ExpectedWatchFraction(Metrics(0.0, 0.0));
+  const double stalled = model.ExpectedWatchFraction(Metrics(0.0, 0.05));
+  EXPECT_LT(stalled, clean * 0.5);
+}
+
+TEST(Engagement, ClampedToRange) {
+  const EngagementModel model;
+  const double worst = model.ExpectedWatchFraction(Metrics(1.0, 1.0));
+  EXPECT_GE(worst, 0.005);
+  const double best = model.ExpectedWatchFraction(Metrics(0.0, 0.0));
+  EXPECT_LE(best, 0.25);
+}
+
+TEST(Engagement, SampleNoiseIsBoundedAndDeterministic) {
+  const EngagementModel model;
+  Rng rng1(5);
+  Rng rng2(5);
+  for (int i = 0; i < 100; ++i) {
+    const double a = model.SampleWatchFraction(Metrics(0.1, 0.0), rng1);
+    const double b = model.SampleWatchFraction(Metrics(0.1, 0.0), rng2);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GE(a, 0.005);
+    EXPECT_LE(a, 0.25);
+  }
+}
+
+TEST(Engagement, ViewingSecondsScaleWithStreamLength) {
+  const EngagementModel model;
+  const qoe::QoeMetrics m = Metrics(0.05, 0.0);
+  const double two_hours = model.ExpectedViewingSeconds(m, 7200.0);
+  const double one_hour = model.ExpectedViewingSeconds(m, 3600.0);
+  EXPECT_NEAR(two_hours, 2.0 * one_hour, 1e-9);
+}
+
+TEST(Engagement, ConfigValidation) {
+  EngagementConfig bad_base;
+  bad_base.base_fraction = 0.0;
+  EXPECT_THROW((EngagementModel{bad_base}), std::invalid_argument);
+  EngagementConfig bad_clamp;
+  bad_clamp.min_fraction = 0.5;
+  bad_clamp.max_fraction = 0.4;
+  EXPECT_THROW((EngagementModel{bad_clamp}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soda::user

@@ -1,0 +1,123 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace soda {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(99);
+  const std::uint64_t first = a.NextU64();
+  a.NextU64();
+  a.Seed(99);
+  EXPECT_EQ(a.NextU64(), first);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBounded) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.UniformInt(6);
+    EXPECT_LT(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all faces observed
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Gaussian());
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.StdDev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianShifted) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.Mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.StdDev(), 2.0, 0.05);
+}
+
+TEST(Rng, LogNormalMoments) {
+  // E[exp(N(mu, s^2))] = exp(mu + s^2/2).
+  Rng rng(12);
+  RunningStats stats;
+  const double mu = 1.0;
+  const double s = 0.5;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.LogNormal(mu, s));
+  EXPECT_NEAR(stats.Mean(), std::exp(mu + s * s / 2.0), 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Exponential(0.25));
+  EXPECT_NEAR(stats.Mean(), 4.0, 0.1);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsIndependent) {
+  Rng parent(15);
+  Rng child = parent.Fork();
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 20000; ++i) {
+    a.push_back(parent.Gaussian());
+    b.push_back(child.Gaussian());
+  }
+  EXPECT_LT(std::abs(PearsonCorrelation(a, b)), 0.03);
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,178 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace soda {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.CiHalfWidth95(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.5);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double v : values) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Gaussian(10.0, 3.0);
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), all.Max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 2u);
+  RunningStats target;
+  target.Merge(a);
+  EXPECT_EQ(target.Count(), 2u);
+  EXPECT_DOUBLE_EQ(target.Mean(), 1.5);
+}
+
+TEST(RunningStats, RelStdDev) {
+  RunningStats s;
+  s.Add(5.0);
+  s.Add(15.0);
+  // mean 10, sample std sqrt(50) ~ 7.071.
+  EXPECT_NEAR(s.RelStdDev(), std::sqrt(50.0) / 10.0, 1e-12);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) small.Add(rng.Gaussian(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.Add(rng.Gaussian(0.0, 1.0));
+  EXPECT_GT(small.CiHalfWidth95(), large.CiHalfWidth95());
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(Pearson, IndependentNoiseNearZero) {
+  Rng rng(17);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.Gaussian());
+    y.push_back(rng.Gaussian());
+  }
+  EXPECT_LT(std::abs(PearsonCorrelation(x, y)), 0.03);
+}
+
+TEST(FitLine, RecoversSlopeIntercept) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 - 0.5 * i);
+  }
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, -0.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.At(10.0), -2.0, 1e-12);
+}
+
+TEST(FitLine, ConstantXGivesFlatFit) {
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {1, 2, 3};
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(Percentile, Median) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  // Sorted: 0, 10 -> p25 = 2.5.
+  EXPECT_DOUBLE_EQ(Percentile({10.0, 0.0}, 25.0), 2.5);
+}
+
+TEST(Percentile, ClampsBounds) {
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0}, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0}, 150.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(Means, ArithmeticAndHarmonic) {
+  const std::vector<double> v = {1.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(MeanOf(v), 3.0);
+  EXPECT_DOUBLE_EQ(HarmonicMeanOf(v), 3.0 / 1.5);
+}
+
+TEST(Means, HarmonicIgnoresNonPositive) {
+  const std::vector<double> v = {0.0, -2.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(HarmonicMeanOf(v), 4.0);
+  EXPECT_DOUBLE_EQ(HarmonicMeanOf(std::vector<double>{}), 0.0);
+}
+
+TEST(Means, HarmonicLeqArithmetic) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v;
+    for (int i = 0; i < 10; ++i) v.push_back(rng.Uniform(0.1, 100.0));
+    EXPECT_LE(HarmonicMeanOf(v), MeanOf(v) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace soda

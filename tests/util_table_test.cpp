@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/ascii_plot.hpp"
+
+namespace soda {
+namespace {
+
+TEST(ConsoleTable, RendersAlignedColumns) {
+  ConsoleTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "12345"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| 12345"), std::string::npos);
+  // Every line has the same width.
+  std::size_t width = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t end = out.find('\n', pos);
+    const std::size_t len = end - pos;
+    if (width == std::string::npos) width = len;
+    EXPECT_EQ(len, width);
+    pos = end + 1;
+  }
+}
+
+TEST(ConsoleTable, RowCellCountMismatchThrows) {
+  ConsoleTable table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(ConsoleTable, EmptyColumnsThrows) {
+  EXPECT_THROW(ConsoleTable({}), std::invalid_argument);
+}
+
+TEST(ConsoleTable, SeparatorRenders) {
+  ConsoleTable table({"x"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.Render();
+  // 3 border separators + 1 group separator = 4 lines starting with '+'.
+  int separators = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("\n+", pos)) != std::string::npos) {
+    ++separators;
+    ++pos;
+  }
+  EXPECT_EQ(separators, 3);  // header sep + mid sep + bottom (top has no \n)
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-1.0, 0), "-1");
+}
+
+TEST(Format, WithCi) {
+  EXPECT_EQ(FormatWithCi(1.5, 0.25, 2), "1.50 +/- 0.25");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(FormatPercent(-0.123, 1), "-12.3%");
+  EXPECT_EQ(FormatPercent(0.05, 1), "+5.0%");
+}
+
+TEST(AsciiPlot, LinePlotContainsGlyphsAndLegend) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<std::vector<double>> series = {{0, 1, 2, 3}, {3, 2, 1, 0}};
+  const std::string out =
+      RenderLinePlot(x, series, {"up", "down"}, PlotOptions{.width = 20, .height = 8, .x_label = "", .y_label = ""});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("up"), std::string::npos);
+  EXPECT_NE(out.find("down"), std::string::npos);
+}
+
+TEST(AsciiPlot, HeatMapBlanksNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<std::vector<double>> grid = {{0.0, 1.0}, {nan, 0.5}};
+  const std::string out = RenderHeatMap(grid);
+  EXPECT_NE(out.find("scale"), std::string::npos);
+  // NaN cell renders as a blank inside the border.
+  EXPECT_NE(out.find("  | "), std::string::npos);
+}
+
+TEST(AsciiPlot, ScatterHandlesConstantY) {
+  const std::vector<double> x = {0, 1, 2};
+  const std::vector<double> y = {5, 5, 5};
+  const std::string out = RenderScatter(x, y, PlotOptions{.width = 10, .height = 4, .x_label = "", .y_label = ""});
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,56 @@
+// Minimal command-line flag parsing shared by the CLI tools.
+// Supports "--flag value" and boolean "--flag"; unknown flags are errors.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/ensure.hpp"
+
+namespace soda::tools {
+
+class CliArgs {
+ public:
+  // `boolean_flags` take no value. Throws std::invalid_argument on unknown
+  // flags or missing values.
+  CliArgs(int argc, char** argv, const std::set<std::string>& known_flags,
+          const std::set<std::string>& boolean_flags) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      SODA_ENSURE(flag.rfind("--", 0) == 0, "expected --flag, got: " + flag);
+      const std::string name = flag.substr(2);
+      if (boolean_flags.count(name) != 0) {
+        values_[name] = "true";
+        continue;
+      }
+      SODA_ENSURE(known_flags.count(name) != 0, "unknown flag: " + flag);
+      SODA_ENSURE(i + 1 < argc, "missing value for " + flag);
+      values_[name] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] bool Has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+  [[nodiscard]] std::string Get(const std::string& name,
+                                const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double GetDouble(const std::string& name,
+                                 double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] long GetLong(const std::string& name, long fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace soda::tools

@@ -1,0 +1,155 @@
+// soda_run — stream a session (or a corpus) through any registered
+// controller and report QoE.
+//
+// Examples:
+//   soda_run --dataset 4g --sessions 20 --controller soda
+//   soda_run --trace my_trace.csv --controller dynamic --predictor window
+//   soda_run --mahimahi Verizon-LTE.down --controller soda --timeline
+//   soda_run --dataset puffer --controller soda --csv results.csv
+//
+// Flags:
+//   --trace PATH        time_s,mbps CSV trace (one session)
+//   --mahimahi PATH     mahimahi packet-delivery trace (one session)
+//   --dataset NAME      puffer | 5g | 4g (emulated corpus)
+//   --sessions N        corpus size for --dataset (default 10)
+//   --controller NAME   soda | hyb | bola | dynamic | mpc | robustmpc |
+//                       fugu | rl | throughput | production  (default soda)
+//   --predictor NAME    ema | ma | harmonic | window | markov | p10/p25/p50
+//                       | robust-ema  (default ema)
+//   --ladder NAME       youtube | prime | puffer (default youtube)
+//   --trim N            drop the top N ladder rungs
+//   --segment S         segment seconds (default 2)
+//   --buffer S          max buffer seconds (default 20)
+//   --vod               on-demand mode (default: live, latency = buffer)
+//   --seed N            corpus seed (default 1)
+//   --timeline          print the per-segment timeline (single session)
+//   --csv PATH          write per-session metrics CSV
+#include <cstdio>
+#include <memory>
+
+#include "core/registry.hpp"
+#include "media/quality.hpp"
+#include "net/dataset.hpp"
+#include "net/mahimahi.hpp"
+#include "net/trace_io.hpp"
+#include "qoe/eval.hpp"
+#include "qoe/report.hpp"
+#include "tools/cli_args.hpp"
+#include "util/table.hpp"
+
+namespace soda {
+namespace {
+
+media::BitrateLadder LadderByName(const std::string& name, long trim) {
+  media::BitrateLadder ladder = [&] {
+    if (name == "youtube") return media::YoutubeHfr4kLadder();
+    if (name == "prime") return media::PrimeVideoProductionLadder();
+    if (name == "puffer") return media::PufferPrototypeLadder();
+    SODA_ENSURE(false, "unknown ladder '" + name +
+                           "'; valid: youtube, prime, puffer");
+    return media::YoutubeHfr4kLadder();  // unreachable
+  }();
+  if (trim > 0) ladder = ladder.WithoutTopRungs(static_cast<int>(trim));
+  return ladder;
+}
+
+int Run(int argc, char** argv) {
+  const tools::CliArgs args(
+      argc, argv,
+      {"trace", "mahimahi", "dataset", "sessions", "controller", "predictor",
+       "ladder", "trim", "segment", "buffer", "seed", "csv"},
+      {"vod", "timeline"});
+
+  // Sessions.
+  std::vector<net::ThroughputTrace> sessions;
+  if (args.Has("trace")) {
+    sessions.push_back(net::LoadTraceCsv(args.Get("trace", "")));
+  } else if (args.Has("mahimahi")) {
+    net::MahimahiOptions options;
+    options.duration_s = 600.0;
+    sessions.push_back(
+        net::LoadMahimahiFile(args.Get("mahimahi", ""), options));
+  } else {
+    const std::string name = args.Get("dataset", "puffer");
+    net::DatasetKind kind = net::DatasetKind::kPuffer;
+    if (name == "5g") kind = net::DatasetKind::k5G;
+    else if (name == "4g") kind = net::DatasetKind::k4G;
+    else SODA_ENSURE(name == "puffer",
+                     "unknown dataset '" + name + "'; valid: puffer, 5g, 4g");
+    Rng rng(static_cast<std::uint64_t>(args.GetLong("seed", 1)));
+    sessions = net::DatasetEmulator(kind).MakeSessions(
+        static_cast<std::size_t>(args.GetLong("sessions", 10)), rng);
+  }
+
+  const media::BitrateLadder ladder =
+      LadderByName(args.Get("ladder", "youtube"), args.GetLong("trim", 0));
+  const media::VideoModel video(
+      ladder, {.segment_seconds = args.GetDouble("segment", 2.0)});
+
+  qoe::EvalConfig config;
+  config.sim.max_buffer_s = args.GetDouble("buffer", 20.0);
+  config.sim.live = !args.Has("vod");
+  config.sim.live_latency_s = config.sim.max_buffer_s;
+  config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
+    return u.At(mbps);
+  };
+
+  const std::string controller_name = args.Get("controller", "soda");
+  const std::string predictor_name = args.Get("predictor", "ema");
+  const qoe::EvalResult result = qoe::EvaluateController(
+      sessions, [&] { return core::MakeController(controller_name); },
+      [&](const net::ThroughputTrace&) {
+        return core::MakePredictor(predictor_name);
+      },
+      video, config);
+
+  std::printf("controller=%s predictor=%s ladder=%s sessions=%zu buffer=%.0fs %s\n",
+              result.controller_name.c_str(), predictor_name.c_str(),
+              ladder.ToString().c_str(), sessions.size(),
+              config.sim.max_buffer_s, config.sim.live ? "live" : "vod");
+  ConsoleTable table({"metric", "mean", "95% CI"});
+  const qoe::QoeAggregate& a = result.aggregate;
+  table.AddRow({"QoE", FormatDouble(a.qoe.Mean(), 4),
+                FormatDouble(a.qoe.CiHalfWidth95(), 4)});
+  table.AddRow({"utility", FormatDouble(a.utility.Mean(), 4),
+                FormatDouble(a.utility.CiHalfWidth95(), 4)});
+  table.AddRow({"rebuffer ratio", FormatDouble(a.rebuffer_ratio.Mean(), 5),
+                FormatDouble(a.rebuffer_ratio.CiHalfWidth95(), 5)});
+  table.AddRow({"switch rate", FormatDouble(a.switch_rate.Mean(), 4),
+                FormatDouble(a.switch_rate.CiHalfWidth95(), 4)});
+  table.Print();
+
+  if (args.Has("timeline") && sessions.size() == 1) {
+    const abr::ControllerPtr controller = core::MakeController(controller_name);
+    const predict::PredictorPtr predictor = core::MakePredictor(predictor_name);
+    const sim::SessionLog log =
+        sim::RunSession(sessions[0], *controller, *predictor, video,
+                        config.sim);
+    std::printf("\ntimeline (segment, time, rung, bitrate, buffer, "
+                "rebuffer):\n");
+    for (const auto& s : log.segments) {
+      std::printf("  %4lld  t=%7.1fs  rung=%d  %5.2f Mb/s  buf=%5.2fs%s\n",
+                  static_cast<long long>(s.index), s.request_s, s.rung,
+                  s.bitrate_mbps, s.buffer_after_s,
+                  s.rebuffer_s > 1e-9 ? "  [REBUFFER]" : "");
+    }
+  }
+
+  if (args.Has("csv")) {
+    qoe::WritePerSessionCsv({result}, args.Get("csv", ""));
+    std::printf("wrote %s\n", args.Get("csv", "").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace soda
+
+int main(int argc, char** argv) {
+  try {
+    return soda::Run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "soda_run: %s\n", error.what());
+    return 1;
+  }
+}
