@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lowlatency.dir/bench_ablation_lowlatency.cpp.o"
+  "CMakeFiles/bench_ablation_lowlatency.dir/bench_ablation_lowlatency.cpp.o.d"
+  "bench_ablation_lowlatency"
+  "bench_ablation_lowlatency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lowlatency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_engagement.dir/bench_fig01_engagement.cpp.o"
+  "CMakeFiles/bench_fig01_engagement.dir/bench_fig01_engagement.cpp.o.d"
+  "bench_fig01_engagement"
+  "bench_fig01_engagement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_engagement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_bola_boundaries.dir/bench_fig02_bola_boundaries.cpp.o"
+  "CMakeFiles/bench_fig02_bola_boundaries.dir/bench_fig02_bola_boundaries.cpp.o.d"
+  "bench_fig02_bola_boundaries"
+  "bench_fig02_bola_boundaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_bola_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

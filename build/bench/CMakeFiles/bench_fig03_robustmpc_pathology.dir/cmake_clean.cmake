@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_robustmpc_pathology.dir/bench_fig03_robustmpc_pathology.cpp.o"
+  "CMakeFiles/bench_fig03_robustmpc_pathology.dir/bench_fig03_robustmpc_pathology.cpp.o.d"
+  "bench_fig03_robustmpc_pathology"
+  "bench_fig03_robustmpc_pathology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_robustmpc_pathology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_formulation.dir/bench_fig04_formulation.cpp.o"
+  "CMakeFiles/bench_fig04_formulation.dir/bench_fig04_formulation.cpp.o.d"
+  "bench_fig04_formulation"
+  "bench_fig04_formulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_formulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_solver_optimality.dir/bench_fig08_solver_optimality.cpp.o"
+  "CMakeFiles/bench_fig08_solver_optimality.dir/bench_fig08_solver_optimality.cpp.o.d"
+  "bench_fig08_solver_optimality"
+  "bench_fig08_solver_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_solver_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_production_ab.dir/bench_fig13_production_ab.cpp.o"
+  "CMakeFiles/bench_fig13_production_ab.dir/bench_fig13_production_ab.cpp.o.d"
+  "bench_fig13_production_ab"
+  "bench_fig13_production_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_production_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

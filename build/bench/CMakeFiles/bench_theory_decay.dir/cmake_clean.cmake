@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_decay.dir/bench_theory_decay.cpp.o"
+  "CMakeFiles/bench_theory_decay.dir/bench_theory_decay.cpp.o.d"
+  "bench_theory_decay"
+  "bench_theory_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

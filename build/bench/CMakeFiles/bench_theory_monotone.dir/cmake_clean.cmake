@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_monotone.dir/bench_theory_monotone.cpp.o"
+  "CMakeFiles/bench_theory_monotone.dir/bench_theory_monotone.cpp.o.d"
+  "bench_theory_monotone"
+  "bench_theory_monotone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_monotone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

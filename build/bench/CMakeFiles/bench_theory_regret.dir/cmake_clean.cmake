@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_regret.dir/bench_theory_regret.cpp.o"
+  "CMakeFiles/bench_theory_regret.dir/bench_theory_regret.cpp.o.d"
+  "bench_theory_regret"
+  "bench_theory_regret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_regret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_event.dir/live_event.cpp.o"
+  "CMakeFiles/live_event.dir/live_event.cpp.o.d"
+  "live_event"
+  "live_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

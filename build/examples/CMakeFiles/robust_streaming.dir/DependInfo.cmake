@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/robust_streaming.cpp" "examples/CMakeFiles/robust_streaming.dir/robust_streaming.cpp.o" "gcc" "examples/CMakeFiles/robust_streaming.dir/robust_streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/soda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/user/CMakeFiles/soda_user.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/soda_qoe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/soda_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/soda_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/soda_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

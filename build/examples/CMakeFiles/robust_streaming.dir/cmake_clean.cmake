@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_streaming.dir/robust_streaming.cpp.o"
+  "CMakeFiles/robust_streaming.dir/robust_streaming.cpp.o.d"
+  "robust_streaming"
+  "robust_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

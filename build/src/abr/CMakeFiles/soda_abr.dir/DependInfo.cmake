@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abr/bba.cpp" "src/abr/CMakeFiles/soda_abr.dir/bba.cpp.o" "gcc" "src/abr/CMakeFiles/soda_abr.dir/bba.cpp.o.d"
+  "/root/repo/src/abr/bola.cpp" "src/abr/CMakeFiles/soda_abr.dir/bola.cpp.o" "gcc" "src/abr/CMakeFiles/soda_abr.dir/bola.cpp.o.d"
+  "/root/repo/src/abr/controller.cpp" "src/abr/CMakeFiles/soda_abr.dir/controller.cpp.o" "gcc" "src/abr/CMakeFiles/soda_abr.dir/controller.cpp.o.d"
+  "/root/repo/src/abr/dynamic.cpp" "src/abr/CMakeFiles/soda_abr.dir/dynamic.cpp.o" "gcc" "src/abr/CMakeFiles/soda_abr.dir/dynamic.cpp.o.d"
+  "/root/repo/src/abr/hyb.cpp" "src/abr/CMakeFiles/soda_abr.dir/hyb.cpp.o" "gcc" "src/abr/CMakeFiles/soda_abr.dir/hyb.cpp.o.d"
+  "/root/repo/src/abr/mpc.cpp" "src/abr/CMakeFiles/soda_abr.dir/mpc.cpp.o" "gcc" "src/abr/CMakeFiles/soda_abr.dir/mpc.cpp.o.d"
+  "/root/repo/src/abr/production_baseline.cpp" "src/abr/CMakeFiles/soda_abr.dir/production_baseline.cpp.o" "gcc" "src/abr/CMakeFiles/soda_abr.dir/production_baseline.cpp.o.d"
+  "/root/repo/src/abr/rl_like.cpp" "src/abr/CMakeFiles/soda_abr.dir/rl_like.cpp.o" "gcc" "src/abr/CMakeFiles/soda_abr.dir/rl_like.cpp.o.d"
+  "/root/repo/src/abr/throughput_rule.cpp" "src/abr/CMakeFiles/soda_abr.dir/throughput_rule.cpp.o" "gcc" "src/abr/CMakeFiles/soda_abr.dir/throughput_rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/media/CMakeFiles/soda_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/soda_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_abr.dir/bba.cpp.o"
+  "CMakeFiles/soda_abr.dir/bba.cpp.o.d"
+  "CMakeFiles/soda_abr.dir/bola.cpp.o"
+  "CMakeFiles/soda_abr.dir/bola.cpp.o.d"
+  "CMakeFiles/soda_abr.dir/controller.cpp.o"
+  "CMakeFiles/soda_abr.dir/controller.cpp.o.d"
+  "CMakeFiles/soda_abr.dir/dynamic.cpp.o"
+  "CMakeFiles/soda_abr.dir/dynamic.cpp.o.d"
+  "CMakeFiles/soda_abr.dir/hyb.cpp.o"
+  "CMakeFiles/soda_abr.dir/hyb.cpp.o.d"
+  "CMakeFiles/soda_abr.dir/mpc.cpp.o"
+  "CMakeFiles/soda_abr.dir/mpc.cpp.o.d"
+  "CMakeFiles/soda_abr.dir/production_baseline.cpp.o"
+  "CMakeFiles/soda_abr.dir/production_baseline.cpp.o.d"
+  "CMakeFiles/soda_abr.dir/rl_like.cpp.o"
+  "CMakeFiles/soda_abr.dir/rl_like.cpp.o.d"
+  "CMakeFiles/soda_abr.dir/throughput_rule.cpp.o"
+  "CMakeFiles/soda_abr.dir/throughput_rule.cpp.o.d"
+  "libsoda_abr.a"
+  "libsoda_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/soda_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/decision_map.cpp" "src/core/CMakeFiles/soda_core.dir/decision_map.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/decision_map.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/soda_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/soda_controller.cpp" "src/core/CMakeFiles/soda_core.dir/soda_controller.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/soda_controller.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/soda_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abr/CMakeFiles/soda_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/soda_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/soda_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_core.dir/cost_model.cpp.o"
+  "CMakeFiles/soda_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/soda_core.dir/decision_map.cpp.o"
+  "CMakeFiles/soda_core.dir/decision_map.cpp.o.d"
+  "CMakeFiles/soda_core.dir/registry.cpp.o"
+  "CMakeFiles/soda_core.dir/registry.cpp.o.d"
+  "CMakeFiles/soda_core.dir/soda_controller.cpp.o"
+  "CMakeFiles/soda_core.dir/soda_controller.cpp.o.d"
+  "CMakeFiles/soda_core.dir/solver.cpp.o"
+  "CMakeFiles/soda_core.dir/solver.cpp.o.d"
+  "libsoda_core.a"
+  "libsoda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

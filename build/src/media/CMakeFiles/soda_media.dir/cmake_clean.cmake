@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_media.dir/bitrate_ladder.cpp.o"
+  "CMakeFiles/soda_media.dir/bitrate_ladder.cpp.o.d"
+  "CMakeFiles/soda_media.dir/quality.cpp.o"
+  "CMakeFiles/soda_media.dir/quality.cpp.o.d"
+  "CMakeFiles/soda_media.dir/video_model.cpp.o"
+  "CMakeFiles/soda_media.dir/video_model.cpp.o.d"
+  "libsoda_media.a"
+  "libsoda_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/dataset.cpp" "src/net/CMakeFiles/soda_net.dir/dataset.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/dataset.cpp.o.d"
+  "/root/repo/src/net/generators.cpp" "src/net/CMakeFiles/soda_net.dir/generators.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/generators.cpp.o.d"
+  "/root/repo/src/net/mahimahi.cpp" "src/net/CMakeFiles/soda_net.dir/mahimahi.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/mahimahi.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/net/CMakeFiles/soda_net.dir/trace.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/trace.cpp.o.d"
+  "/root/repo/src/net/trace_io.cpp" "src/net/CMakeFiles/soda_net.dir/trace_io.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/trace_io.cpp.o.d"
+  "/root/repo/src/net/trace_stats.cpp" "src/net/CMakeFiles/soda_net.dir/trace_stats.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_net.dir/dataset.cpp.o"
+  "CMakeFiles/soda_net.dir/dataset.cpp.o.d"
+  "CMakeFiles/soda_net.dir/generators.cpp.o"
+  "CMakeFiles/soda_net.dir/generators.cpp.o.d"
+  "CMakeFiles/soda_net.dir/mahimahi.cpp.o"
+  "CMakeFiles/soda_net.dir/mahimahi.cpp.o.d"
+  "CMakeFiles/soda_net.dir/trace.cpp.o"
+  "CMakeFiles/soda_net.dir/trace.cpp.o.d"
+  "CMakeFiles/soda_net.dir/trace_io.cpp.o"
+  "CMakeFiles/soda_net.dir/trace_io.cpp.o.d"
+  "CMakeFiles/soda_net.dir/trace_stats.cpp.o"
+  "CMakeFiles/soda_net.dir/trace_stats.cpp.o.d"
+  "libsoda_net.a"
+  "libsoda_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/ema.cpp" "src/predict/CMakeFiles/soda_predict.dir/ema.cpp.o" "gcc" "src/predict/CMakeFiles/soda_predict.dir/ema.cpp.o.d"
+  "/root/repo/src/predict/harmonic_mean.cpp" "src/predict/CMakeFiles/soda_predict.dir/harmonic_mean.cpp.o" "gcc" "src/predict/CMakeFiles/soda_predict.dir/harmonic_mean.cpp.o.d"
+  "/root/repo/src/predict/markov.cpp" "src/predict/CMakeFiles/soda_predict.dir/markov.cpp.o" "gcc" "src/predict/CMakeFiles/soda_predict.dir/markov.cpp.o.d"
+  "/root/repo/src/predict/moving_average.cpp" "src/predict/CMakeFiles/soda_predict.dir/moving_average.cpp.o" "gcc" "src/predict/CMakeFiles/soda_predict.dir/moving_average.cpp.o.d"
+  "/root/repo/src/predict/oracle.cpp" "src/predict/CMakeFiles/soda_predict.dir/oracle.cpp.o" "gcc" "src/predict/CMakeFiles/soda_predict.dir/oracle.cpp.o.d"
+  "/root/repo/src/predict/predictor.cpp" "src/predict/CMakeFiles/soda_predict.dir/predictor.cpp.o" "gcc" "src/predict/CMakeFiles/soda_predict.dir/predictor.cpp.o.d"
+  "/root/repo/src/predict/profiler.cpp" "src/predict/CMakeFiles/soda_predict.dir/profiler.cpp.o" "gcc" "src/predict/CMakeFiles/soda_predict.dir/profiler.cpp.o.d"
+  "/root/repo/src/predict/quantile.cpp" "src/predict/CMakeFiles/soda_predict.dir/quantile.cpp.o" "gcc" "src/predict/CMakeFiles/soda_predict.dir/quantile.cpp.o.d"
+  "/root/repo/src/predict/robust_discount.cpp" "src/predict/CMakeFiles/soda_predict.dir/robust_discount.cpp.o" "gcc" "src/predict/CMakeFiles/soda_predict.dir/robust_discount.cpp.o.d"
+  "/root/repo/src/predict/sliding_window.cpp" "src/predict/CMakeFiles/soda_predict.dir/sliding_window.cpp.o" "gcc" "src/predict/CMakeFiles/soda_predict.dir/sliding_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

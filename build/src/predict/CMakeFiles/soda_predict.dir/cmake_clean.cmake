@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_predict.dir/ema.cpp.o"
+  "CMakeFiles/soda_predict.dir/ema.cpp.o.d"
+  "CMakeFiles/soda_predict.dir/harmonic_mean.cpp.o"
+  "CMakeFiles/soda_predict.dir/harmonic_mean.cpp.o.d"
+  "CMakeFiles/soda_predict.dir/markov.cpp.o"
+  "CMakeFiles/soda_predict.dir/markov.cpp.o.d"
+  "CMakeFiles/soda_predict.dir/moving_average.cpp.o"
+  "CMakeFiles/soda_predict.dir/moving_average.cpp.o.d"
+  "CMakeFiles/soda_predict.dir/oracle.cpp.o"
+  "CMakeFiles/soda_predict.dir/oracle.cpp.o.d"
+  "CMakeFiles/soda_predict.dir/predictor.cpp.o"
+  "CMakeFiles/soda_predict.dir/predictor.cpp.o.d"
+  "CMakeFiles/soda_predict.dir/profiler.cpp.o"
+  "CMakeFiles/soda_predict.dir/profiler.cpp.o.d"
+  "CMakeFiles/soda_predict.dir/quantile.cpp.o"
+  "CMakeFiles/soda_predict.dir/quantile.cpp.o.d"
+  "CMakeFiles/soda_predict.dir/robust_discount.cpp.o"
+  "CMakeFiles/soda_predict.dir/robust_discount.cpp.o.d"
+  "CMakeFiles/soda_predict.dir/sliding_window.cpp.o"
+  "CMakeFiles/soda_predict.dir/sliding_window.cpp.o.d"
+  "libsoda_predict.a"
+  "libsoda_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

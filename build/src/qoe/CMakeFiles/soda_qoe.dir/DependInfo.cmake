@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qoe/eval.cpp" "src/qoe/CMakeFiles/soda_qoe.dir/eval.cpp.o" "gcc" "src/qoe/CMakeFiles/soda_qoe.dir/eval.cpp.o.d"
+  "/root/repo/src/qoe/metrics.cpp" "src/qoe/CMakeFiles/soda_qoe.dir/metrics.cpp.o" "gcc" "src/qoe/CMakeFiles/soda_qoe.dir/metrics.cpp.o.d"
+  "/root/repo/src/qoe/report.cpp" "src/qoe/CMakeFiles/soda_qoe.dir/report.cpp.o" "gcc" "src/qoe/CMakeFiles/soda_qoe.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/soda_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/soda_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/soda_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_qoe.dir/eval.cpp.o"
+  "CMakeFiles/soda_qoe.dir/eval.cpp.o.d"
+  "CMakeFiles/soda_qoe.dir/metrics.cpp.o"
+  "CMakeFiles/soda_qoe.dir/metrics.cpp.o.d"
+  "CMakeFiles/soda_qoe.dir/report.cpp.o"
+  "CMakeFiles/soda_qoe.dir/report.cpp.o.d"
+  "libsoda_qoe.a"
+  "libsoda_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

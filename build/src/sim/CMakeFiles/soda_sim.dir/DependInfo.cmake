@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/session.cpp" "src/sim/CMakeFiles/soda_sim.dir/session.cpp.o" "gcc" "src/sim/CMakeFiles/soda_sim.dir/session.cpp.o.d"
+  "/root/repo/src/sim/session_log.cpp" "src/sim/CMakeFiles/soda_sim.dir/session_log.cpp.o" "gcc" "src/sim/CMakeFiles/soda_sim.dir/session_log.cpp.o.d"
+  "/root/repo/src/sim/shared_link.cpp" "src/sim/CMakeFiles/soda_sim.dir/shared_link.cpp.o" "gcc" "src/sim/CMakeFiles/soda_sim.dir/shared_link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abr/CMakeFiles/soda_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/soda_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/soda_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_sim.dir/session.cpp.o"
+  "CMakeFiles/soda_sim.dir/session.cpp.o.d"
+  "CMakeFiles/soda_sim.dir/session_log.cpp.o"
+  "CMakeFiles/soda_sim.dir/session_log.cpp.o.d"
+  "CMakeFiles/soda_sim.dir/shared_link.cpp.o"
+  "CMakeFiles/soda_sim.dir/shared_link.cpp.o.d"
+  "libsoda_sim.a"
+  "libsoda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

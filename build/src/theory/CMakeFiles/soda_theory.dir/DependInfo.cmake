@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/theory/constants.cpp" "src/theory/CMakeFiles/soda_theory.dir/constants.cpp.o" "gcc" "src/theory/CMakeFiles/soda_theory.dir/constants.cpp.o.d"
+  "/root/repo/src/theory/monotone_check.cpp" "src/theory/CMakeFiles/soda_theory.dir/monotone_check.cpp.o" "gcc" "src/theory/CMakeFiles/soda_theory.dir/monotone_check.cpp.o.d"
+  "/root/repo/src/theory/offline_optimal.cpp" "src/theory/CMakeFiles/soda_theory.dir/offline_optimal.cpp.o" "gcc" "src/theory/CMakeFiles/soda_theory.dir/offline_optimal.cpp.o.d"
+  "/root/repo/src/theory/perturbation.cpp" "src/theory/CMakeFiles/soda_theory.dir/perturbation.cpp.o" "gcc" "src/theory/CMakeFiles/soda_theory.dir/perturbation.cpp.o.d"
+  "/root/repo/src/theory/rollout.cpp" "src/theory/CMakeFiles/soda_theory.dir/rollout.cpp.o" "gcc" "src/theory/CMakeFiles/soda_theory.dir/rollout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/soda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/soda_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/soda_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/soda_predict.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

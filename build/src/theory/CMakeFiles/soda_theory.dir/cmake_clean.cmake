@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_theory.dir/constants.cpp.o"
+  "CMakeFiles/soda_theory.dir/constants.cpp.o.d"
+  "CMakeFiles/soda_theory.dir/monotone_check.cpp.o"
+  "CMakeFiles/soda_theory.dir/monotone_check.cpp.o.d"
+  "CMakeFiles/soda_theory.dir/offline_optimal.cpp.o"
+  "CMakeFiles/soda_theory.dir/offline_optimal.cpp.o.d"
+  "CMakeFiles/soda_theory.dir/perturbation.cpp.o"
+  "CMakeFiles/soda_theory.dir/perturbation.cpp.o.d"
+  "CMakeFiles/soda_theory.dir/rollout.cpp.o"
+  "CMakeFiles/soda_theory.dir/rollout.cpp.o.d"
+  "libsoda_theory.a"
+  "libsoda_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

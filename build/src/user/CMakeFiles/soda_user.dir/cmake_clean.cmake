@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_user.dir/engagement.cpp.o"
+  "CMakeFiles/soda_user.dir/engagement.cpp.o.d"
+  "libsoda_user.a"
+  "libsoda_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

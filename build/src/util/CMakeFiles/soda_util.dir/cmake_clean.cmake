@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/soda_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/soda_util.dir/csv.cpp.o"
+  "CMakeFiles/soda_util.dir/csv.cpp.o.d"
+  "CMakeFiles/soda_util.dir/stats.cpp.o"
+  "CMakeFiles/soda_util.dir/stats.cpp.o.d"
+  "CMakeFiles/soda_util.dir/table.cpp.o"
+  "CMakeFiles/soda_util.dir/table.cpp.o.d"
+  "libsoda_util.a"
+  "libsoda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/abr_baselines_test.cpp" "tests/CMakeFiles/soda_tests.dir/abr_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/abr_baselines_test.cpp.o.d"
+  "/root/repo/tests/abr_bba_test.cpp" "tests/CMakeFiles/soda_tests.dir/abr_bba_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/abr_bba_test.cpp.o.d"
+  "/root/repo/tests/core_controller_test.cpp" "tests/CMakeFiles/soda_tests.dir/core_controller_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/core_controller_test.cpp.o.d"
+  "/root/repo/tests/core_cost_model_test.cpp" "tests/CMakeFiles/soda_tests.dir/core_cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/core_cost_model_test.cpp.o.d"
+  "/root/repo/tests/core_registry_test.cpp" "tests/CMakeFiles/soda_tests.dir/core_registry_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/core_registry_test.cpp.o.d"
+  "/root/repo/tests/core_solver_test.cpp" "tests/CMakeFiles/soda_tests.dir/core_solver_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/core_solver_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/soda_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/media_test.cpp" "tests/CMakeFiles/soda_tests.dir/media_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/media_test.cpp.o.d"
+  "/root/repo/tests/net_dataset_test.cpp" "tests/CMakeFiles/soda_tests.dir/net_dataset_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/net_dataset_test.cpp.o.d"
+  "/root/repo/tests/net_generators_test.cpp" "tests/CMakeFiles/soda_tests.dir/net_generators_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/net_generators_test.cpp.o.d"
+  "/root/repo/tests/net_io_stats_test.cpp" "tests/CMakeFiles/soda_tests.dir/net_io_stats_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/net_io_stats_test.cpp.o.d"
+  "/root/repo/tests/net_mahimahi_test.cpp" "tests/CMakeFiles/soda_tests.dir/net_mahimahi_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/net_mahimahi_test.cpp.o.d"
+  "/root/repo/tests/net_trace_test.cpp" "tests/CMakeFiles/soda_tests.dir/net_trace_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/net_trace_test.cpp.o.d"
+  "/root/repo/tests/predict_markov_quantile_test.cpp" "tests/CMakeFiles/soda_tests.dir/predict_markov_quantile_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/predict_markov_quantile_test.cpp.o.d"
+  "/root/repo/tests/predict_test.cpp" "tests/CMakeFiles/soda_tests.dir/predict_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/predict_test.cpp.o.d"
+  "/root/repo/tests/qoe_report_test.cpp" "tests/CMakeFiles/soda_tests.dir/qoe_report_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/qoe_report_test.cpp.o.d"
+  "/root/repo/tests/qoe_test.cpp" "tests/CMakeFiles/soda_tests.dir/qoe_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/qoe_test.cpp.o.d"
+  "/root/repo/tests/sim_abandonment_test.cpp" "tests/CMakeFiles/soda_tests.dir/sim_abandonment_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/sim_abandonment_test.cpp.o.d"
+  "/root/repo/tests/sim_property_test.cpp" "tests/CMakeFiles/soda_tests.dir/sim_property_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/sim_property_test.cpp.o.d"
+  "/root/repo/tests/sim_session_test.cpp" "tests/CMakeFiles/soda_tests.dir/sim_session_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/sim_session_test.cpp.o.d"
+  "/root/repo/tests/sim_shared_link_test.cpp" "tests/CMakeFiles/soda_tests.dir/sim_shared_link_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/sim_shared_link_test.cpp.o.d"
+  "/root/repo/tests/theory_constants_test.cpp" "tests/CMakeFiles/soda_tests.dir/theory_constants_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/theory_constants_test.cpp.o.d"
+  "/root/repo/tests/theory_test.cpp" "tests/CMakeFiles/soda_tests.dir/theory_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/theory_test.cpp.o.d"
+  "/root/repo/tests/tools_cli_test.cpp" "tests/CMakeFiles/soda_tests.dir/tools_cli_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/tools_cli_test.cpp.o.d"
+  "/root/repo/tests/user_engagement_test.cpp" "tests/CMakeFiles/soda_tests.dir/user_engagement_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/user_engagement_test.cpp.o.d"
+  "/root/repo/tests/util_csv_test.cpp" "tests/CMakeFiles/soda_tests.dir/util_csv_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/util_csv_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/soda_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/soda_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/soda_tests.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/soda_tests.dir/util_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/soda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/soda_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/user/CMakeFiles/soda_user.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/soda_qoe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/soda_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/soda_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/soda_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

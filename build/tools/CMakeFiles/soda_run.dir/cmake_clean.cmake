@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_run.dir/soda_run.cpp.o"
+  "CMakeFiles/soda_run.dir/soda_run.cpp.o.d"
+  "soda_run"
+  "soda_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

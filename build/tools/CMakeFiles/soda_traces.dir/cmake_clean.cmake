@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_traces.dir/soda_traces.cpp.o"
+  "CMakeFiles/soda_traces.dir/soda_traces.cpp.o.d"
+  "soda_traces"
+  "soda_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
