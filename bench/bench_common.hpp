@@ -4,6 +4,7 @@
 // seed) so runs are exactly reproducible.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -33,13 +34,40 @@ namespace soda::bench {
 
 inline constexpr std::uint64_t kDefaultSeed = 20240804;  // SIGCOMM '24 dates
 
+// Parses a positive-integer knob value. Returns `fallback` (and warns on
+// stderr) for anything else — strtol alone would silently treat garbage
+// like "abc" as 0.
+inline long ParsePositiveLong(const char* name, const char* text,
+                              long fallback) {
+  if (text == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value <= 0) {
+    std::fprintf(stderr,
+                 "warning: ignoring invalid %s='%s' (want a positive "
+                 "integer); using %ld\n",
+                 name, text, fallback);
+    return fallback;
+  }
+  return value;
+}
+
 // Session counts are scaled down from the paper's 230k+ sessions to keep
 // each bench interactive; set SODA_BENCH_SCALE=N (default 1) to multiply.
 inline std::size_t Scaled(std::size_t base) {
-  const char* scale = std::getenv("SODA_BENCH_SCALE");
-  if (scale == nullptr) return base;
-  const long factor = std::strtol(scale, nullptr, 10);
-  return factor > 0 ? base * static_cast<std::size_t>(factor) : base;
+  const long factor = ParsePositiveLong(
+      "SODA_BENCH_SCALE", std::getenv("SODA_BENCH_SCALE"), 1);
+  return base * static_cast<std::size_t>(factor);
+}
+
+// Evaluation worker count for the benches: SODA_BENCH_THREADS=N. Unset (or
+// invalid) means 0 = one worker per hardware thread; 1 forces the serial
+// path. Results are bit-identical either way — only wall clock changes.
+inline int BenchThreads() {
+  const char* text = std::getenv("SODA_BENCH_THREADS");
+  if (text == nullptr) return 0;
+  return static_cast<int>(ParsePositiveLong("SODA_BENCH_THREADS", text, 1));
 }
 
 struct NamedController {
@@ -65,13 +93,18 @@ inline qoe::TracePredictorFactory EmaFactory() {
   };
 }
 
-// Standard live-streaming evaluation config (20 s buffer, log utility).
+// Standard live-streaming evaluation config (20 s buffer, log utility,
+// SODA_BENCH_THREADS workers, per-session seeds derived from the bench
+// seed).
 inline qoe::EvalConfig LiveEvalConfig(const media::BitrateLadder& ladder,
-                                      double max_buffer_s = 20.0) {
+                                      double max_buffer_s = 20.0,
+                                      std::uint64_t base_seed = kDefaultSeed) {
   qoe::EvalConfig config;
   config.sim.max_buffer_s = max_buffer_s;
   config.sim.live = true;
   config.sim.live_latency_s = max_buffer_s;
+  config.threads = BenchThreads();
+  config.base_seed = base_seed;
   config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
     return u.At(mbps);
   };

@@ -12,9 +12,17 @@
 #include "bench_common.hpp"
 #include "core/registry.hpp"
 #include "sim/shared_link.hpp"
+#include "util/parallel.hpp"
 
 namespace soda {
 namespace {
+
+struct Scenario {
+  int player_count = 0;
+  double capacity = 0.0;
+  std::string controller;
+  std::vector<std::string> row;
+};
 
 void Run() {
   bench::PrintHeader("Extension | shared-bottleneck fairness & stability",
@@ -24,6 +32,44 @@ void Run() {
                                 {.segment_seconds = 2.0});
   std::printf("ladder %s\n", video.Ladder().ToString().c_str());
 
+  // Every (players, capacity, controller) scenario is an independent
+  // shared-link simulation; run them on the worker pool and print in the
+  // fixed scenario order afterwards.
+  std::vector<Scenario> scenarios;
+  for (const int player_count : {2, 4}) {
+    for (const double capacity : {8.0, 16.0}) {
+      for (const std::string name : {"soda", "dynamic", "throughput", "hyb"}) {
+        scenarios.push_back({player_count, capacity, name, {}});
+      }
+    }
+  }
+  util::ParallelFor(
+      scenarios.size(), bench::BenchThreads(), [&](int, std::size_t s) {
+        Scenario& scenario = scenarios[s];
+        std::vector<sim::SharedLinkPlayer> players;
+        for (int i = 0; i < scenario.player_count; ++i) {
+          sim::SharedLinkPlayer player;
+          player.controller = core::MakeController(scenario.controller);
+          player.predictor = core::MakePredictor("ema");
+          players.push_back(std::move(player));
+        }
+        sim::SharedLinkConfig config;
+        config.link_capacity_mbps = scenario.capacity;
+        config.session_s = 600.0;
+        const sim::SharedLinkResult result =
+            sim::RunSharedLink(std::move(players), video, config);
+        RunningStats bitrates;
+        for (const auto& log : result.logs) {
+          bitrates.Add(log.MeanBitrateMbps());
+        }
+        scenario.row = {core::MakeController(scenario.controller)->Name(),
+                        FormatDouble(result.bitrate_fairness, 4),
+                        FormatDouble(result.mean_switch_rate, 3),
+                        FormatDouble(result.mean_rebuffer_s, 2),
+                        FormatDouble(bitrates.Mean(), 2)};
+      });
+
+  std::size_t next_row = 0;
   for (const int player_count : {2, 4}) {
     for (const double capacity : {8.0, 16.0}) {
       std::printf("\n--- %d players on a %.0f Mb/s link (fair share %.1f "
@@ -32,29 +78,7 @@ void Run() {
                   capacity / player_count);
       ConsoleTable table({"controller", "Jain fairness", "mean switch rate",
                           "mean rebuffer (s)", "mean bitrate (Mb/s)"});
-      for (const std::string name : {"soda", "dynamic", "throughput", "hyb"}) {
-        std::vector<sim::SharedLinkPlayer> players;
-        for (int i = 0; i < player_count; ++i) {
-          sim::SharedLinkPlayer player;
-          player.controller = core::MakeController(name);
-          player.predictor = core::MakePredictor("ema");
-          players.push_back(std::move(player));
-        }
-        sim::SharedLinkConfig config;
-        config.link_capacity_mbps = capacity;
-        config.session_s = 600.0;
-        const sim::SharedLinkResult result =
-            sim::RunSharedLink(std::move(players), video, config);
-        RunningStats bitrates;
-        for (const auto& log : result.logs) {
-          bitrates.Add(log.MeanBitrateMbps());
-        }
-        table.AddRow({core::MakeController(name)->Name(),
-                      FormatDouble(result.bitrate_fairness, 4),
-                      FormatDouble(result.mean_switch_rate, 3),
-                      FormatDouble(result.mean_rebuffer_s, 2),
-                      FormatDouble(bitrates.Mean(), 2)});
-      }
+      for (int c = 0; c < 4; ++c) table.AddRow(scenarios[next_row++].row);
       table.Print();
     }
   }

@@ -44,13 +44,16 @@ void Run() {
   for (const double noise : noise_levels) {
     std::vector<std::string> row = {FormatPercent(noise, 0).substr(1)};
     for (std::size_t c = 0; c < roster.size(); ++c) {
-      std::uint64_t session_counter = 0;
+      // Each session draws an independent noise stream from its
+      // (base_seed, index)-derived seed — stable under parallel evaluation,
+      // unlike the call-order counter this replaces.
       const qoe::EvalResult result = qoe::EvaluateController(
           sessions, roster[c].factory,
-          [&](const net::ThroughputTrace& trace) {
+          [noise](const net::ThroughputTrace& trace,
+                  std::uint64_t session_seed) {
             predict::OracleConfig oracle;
             oracle.noise_rel_std = noise;
-            oracle.seed = seed + 1000 * ++session_counter;
+            oracle.seed = session_seed;
             return predict::PredictorPtr(
                 std::make_unique<predict::OraclePredictor>(trace, oracle));
           },

@@ -38,6 +38,8 @@ void Run() {
   config.sim.max_buffer_s = 15.0;  // Puffer's cap
   config.sim.live = true;
   config.sim.live_latency_s = 15.0;
+  config.threads = bench::BenchThreads();
+  config.base_seed = seed;
   config.utility = [&ssim](double mbps) { return ssim.NormalizedAt(mbps); };
 
   std::printf("ladder: %s, 15 s buffer, normalized SSIM utility\n",
@@ -66,21 +68,24 @@ void Run() {
   double fugu_qoe = 0.0;
   double best_predictive = -1e18;
   std::string best_predictive_name;
-  std::uint64_t fugu_counter = 0;
   for (const auto& entry : roster) {
-    // Fugu gets its stochastic learned predictor (low-error oracle); all
-    // others use the dash.js EMA.
-    qoe::TracePredictorFactory predictor_factory;
+    // Fugu gets its stochastic learned predictor (low-error oracle) with an
+    // independent per-session noise stream; all others use the dash.js EMA.
+    qoe::SeededPredictorFactory predictor_factory;
     if (entry.name == "Fugu") {
-      predictor_factory = [&](const net::ThroughputTrace& trace) {
+      predictor_factory = [](const net::ThroughputTrace& trace,
+                             std::uint64_t session_seed) {
         predict::OracleConfig oracle;
         oracle.noise_rel_std = 0.10;
-        oracle.seed = seed + 31 * ++fugu_counter;
+        oracle.seed = session_seed;
         return predict::PredictorPtr(
             std::make_unique<predict::OraclePredictor>(trace, oracle));
       };
     } else {
-      predictor_factory = bench::EmaFactory();
+      predictor_factory = [](const net::ThroughputTrace&, std::uint64_t) {
+        return predict::PredictorPtr(
+            std::make_unique<predict::EmaPredictor>());
+      };
     }
     const qoe::EvalResult result = qoe::EvaluateController(
         sessions, entry.factory, predictor_factory, video, config);

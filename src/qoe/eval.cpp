@@ -1,10 +1,106 @@
 #include "qoe/eval.hpp"
 
 #include <numeric>
+#include <utility>
 
 #include "util/ensure.hpp"
+#include "util/parallel.hpp"
 
 namespace soda::qoe {
+namespace {
+
+QoeMetrics RunOneSession(const net::ThroughputTrace& trace,
+                         abr::Controller& controller,
+                         const SeededPredictorFactory& make_predictor,
+                         std::uint64_t session_seed,
+                         const media::VideoModel& video,
+                         const EvalConfig& config) {
+  const predict::PredictorPtr predictor = make_predictor(trace, session_seed);
+  const sim::SessionLog log =
+      sim::RunSession(trace, controller, *predictor, video, config.sim);
+  return ComputeQoe(log, config.utility, config.weights);
+}
+
+EvalResult Evaluate(const std::vector<net::ThroughputTrace>& sessions,
+                    const std::vector<std::size_t>& indices,
+                    const ControllerFactory& make_controller,
+                    const SeededPredictorFactory& make_predictor,
+                    const media::VideoModel& video, const EvalConfig& config) {
+  SODA_ENSURE(static_cast<bool>(config.utility), "utility function required");
+  SODA_ENSURE(static_cast<bool>(make_controller), "controller factory required");
+  SODA_ENSURE(static_cast<bool>(make_predictor), "predictor factory required");
+  for (const std::size_t i : indices) {
+    SODA_ENSURE(i < sessions.size(), "session index out of range");
+  }
+
+  EvalResult result;
+  result.per_session.resize(indices.size());
+
+  const int threads =
+      util::EffectiveThreads(config.threads, indices.size());
+  if (threads <= 1) {
+    // The historical serial path: one controller, Reset() between sessions
+    // (inside RunSession).
+    const abr::ControllerPtr controller = make_controller();
+    result.controller_name = controller->Name();
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const std::size_t i = indices[k];
+      result.per_session[k] =
+          RunOneSession(sessions[i], *controller, make_predictor,
+                        SessionSeed(config.base_seed, i), video, config);
+    }
+  } else {
+    // One controller clone per worker, constructed serially up front (so
+    // the controller factory itself never races), each amortizing one-time
+    // training across the sessions its worker happens to run. Sessions are
+    // Reset()-independent, so results do not depend on which worker runs
+    // which session; slots are written by session position, so the merge
+    // order is fixed.
+    std::vector<abr::ControllerPtr> controllers;
+    controllers.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) controllers.push_back(make_controller());
+    result.controller_name = controllers.front()->Name();
+    util::ParallelFor(
+        indices.size(), threads, [&](int worker, std::size_t k) {
+          const std::size_t i = indices[k];
+          result.per_session[k] = RunOneSession(
+              sessions[i], *controllers[static_cast<std::size_t>(worker)],
+              make_predictor, SessionSeed(config.base_seed, i), video, config);
+        });
+  }
+
+  // Accumulate in session-position order — the same order the serial loop
+  // used to Add() in, so aggregates are bit-identical at any thread count.
+  for (const QoeMetrics& metrics : result.per_session) {
+    result.aggregate.Add(metrics);
+  }
+  return result;
+}
+
+SeededPredictorFactory IgnoreSeed(const TracePredictorFactory& make_predictor) {
+  return [&make_predictor](const net::ThroughputTrace& trace, std::uint64_t) {
+    return make_predictor(trace);
+  };
+}
+
+std::vector<std::size_t> AllIndices(std::size_t count) {
+  std::vector<std::size_t> indices(count);
+  std::iota(indices.begin(), indices.end(), 0);
+  return indices;
+}
+
+}  // namespace
+
+std::uint64_t SessionSeed(std::uint64_t base_seed,
+                          std::size_t session_index) noexcept {
+  // splitmix64 finalizer over the combined value: adjacent indices map to
+  // decorrelated seeds, and the mapping is stable across platforms.
+  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL *
+                                    (static_cast<std::uint64_t>(session_index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
 EvalResult EvaluateControllerOn(
     const std::vector<net::ThroughputTrace>& sessions,
@@ -12,26 +108,19 @@ EvalResult EvaluateControllerOn(
     const ControllerFactory& make_controller,
     const TracePredictorFactory& make_predictor,
     const media::VideoModel& video, const EvalConfig& config) {
-  SODA_ENSURE(static_cast<bool>(config.utility), "utility function required");
-  SODA_ENSURE(static_cast<bool>(make_controller), "controller factory required");
   SODA_ENSURE(static_cast<bool>(make_predictor), "predictor factory required");
+  return Evaluate(sessions, indices, make_controller, IgnoreSeed(make_predictor),
+                  video, config);
+}
 
-  EvalResult result;
-  const abr::ControllerPtr controller = make_controller();
-  result.controller_name = controller->Name();
-  result.per_session.reserve(indices.size());
-
-  for (const std::size_t i : indices) {
-    SODA_ENSURE(i < sessions.size(), "session index out of range");
-    const net::ThroughputTrace& trace = sessions[i];
-    const predict::PredictorPtr predictor = make_predictor(trace);
-    const sim::SessionLog log =
-        sim::RunSession(trace, *controller, *predictor, video, config.sim);
-    const QoeMetrics metrics = ComputeQoe(log, config.utility, config.weights);
-    result.aggregate.Add(metrics);
-    result.per_session.push_back(metrics);
-  }
-  return result;
+EvalResult EvaluateControllerOn(
+    const std::vector<net::ThroughputTrace>& sessions,
+    const std::vector<std::size_t>& indices,
+    const ControllerFactory& make_controller,
+    const SeededPredictorFactory& make_predictor,
+    const media::VideoModel& video, const EvalConfig& config) {
+  return Evaluate(sessions, indices, make_controller, make_predictor, video,
+                  config);
 }
 
 EvalResult EvaluateController(const std::vector<net::ThroughputTrace>& sessions,
@@ -39,10 +128,17 @@ EvalResult EvaluateController(const std::vector<net::ThroughputTrace>& sessions,
                               const TracePredictorFactory& make_predictor,
                               const media::VideoModel& video,
                               const EvalConfig& config) {
-  std::vector<std::size_t> indices(sessions.size());
-  std::iota(indices.begin(), indices.end(), 0);
-  return EvaluateControllerOn(sessions, indices, make_controller,
-                              make_predictor, video, config);
+  return EvaluateControllerOn(sessions, AllIndices(sessions.size()),
+                              make_controller, make_predictor, video, config);
+}
+
+EvalResult EvaluateController(const std::vector<net::ThroughputTrace>& sessions,
+                              const ControllerFactory& make_controller,
+                              const SeededPredictorFactory& make_predictor,
+                              const media::VideoModel& video,
+                              const EvalConfig& config) {
+  return EvaluateControllerOn(sessions, AllIndices(sessions.size()),
+                              make_controller, make_predictor, video, config);
 }
 
 }  // namespace soda::qoe

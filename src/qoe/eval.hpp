@@ -1,7 +1,17 @@
 // Evaluation harness: runs a controller over a corpus of trace sessions and
 // aggregates QoE. This is the engine behind the Fig. 10/11/12 benches.
+//
+// Determinism contract: the result is a pure function of (sessions, indices,
+// factories, video, config) — in particular it is bit-identical for every
+// `config.threads` value. Sessions are independent of one another: the
+// controller is Reset() before each session (RunSession does this), the
+// predictor is rebuilt per session, and any stochastic predictor must draw
+// its seed from the per-session `session_seed` argument rather than from
+// shared mutable state (a call-order counter in a factory would silently
+// break under parallel evaluation).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -18,28 +28,58 @@ namespace soda::qoe {
 using TracePredictorFactory =
     std::function<predict::PredictorPtr(const net::ThroughputTrace& trace)>;
 
+// Seed-aware variant: additionally receives
+// SessionSeed(config.base_seed, session index), which depends only on the
+// session's index in the corpus — never on thread count, execution order or
+// which other sessions are being evaluated. Use this for stochastic
+// predictors (e.g. the noisy oracle) so every session gets an independent
+// but reproducible noise stream.
+using SeededPredictorFactory = std::function<predict::PredictorPtr(
+    const net::ThroughputTrace& trace, std::uint64_t session_seed)>;
+
 using ControllerFactory = std::function<abr::ControllerPtr()>;
 
 struct EvalConfig {
   sim::SimConfig sim;
   QoeWeights weights;
   UtilityFn utility;  // required
+  // Worker count: 1 runs the historical serial loop on the calling thread;
+  // 0 (the default) uses the hardware concurrency; N > 1 uses N workers.
+  // Results are bit-identical regardless.
+  int threads = 0;
+  // Base for the per-session seeds handed to a SeededPredictorFactory.
+  std::uint64_t base_seed = 0;
 };
 
 struct EvalResult {
   std::string controller_name;
   QoeAggregate aggregate;
-  std::vector<QoeMetrics> per_session;
+  std::vector<QoeMetrics> per_session;  // in `indices` order
 };
 
-// Evaluates one controller over all sessions. The controller is constructed
-// once and Reset() between sessions (so one-time training, e.g. the RL-like
-// baseline's value iteration, is amortized); the predictor is rebuilt per
-// session.
+// The seed handed to a SeededPredictorFactory for session `session_index`:
+// a splitmix64-style mix of (base_seed, session_index), so neighbouring
+// indices get decorrelated streams.
+[[nodiscard]] std::uint64_t SessionSeed(std::uint64_t base_seed,
+                                        std::size_t session_index) noexcept;
+
+// Evaluates one controller over all sessions. Each worker constructs its
+// own controller once and relies on Reset() between sessions (so one-time
+// training, e.g. the RL-like baseline's value iteration, is amortized per
+// worker); the predictor is rebuilt per session. `per_session` and the
+// aggregate are assembled in session-index order, so the output is
+// bit-identical for any thread count. Factories may be invoked from worker
+// threads and must be thread-safe (pure factories capturing by value are).
 [[nodiscard]] EvalResult EvaluateController(
     const std::vector<net::ThroughputTrace>& sessions,
     const ControllerFactory& make_controller,
     const TracePredictorFactory& make_predictor,
+    const media::VideoModel& video, const EvalConfig& config);
+
+[[nodiscard]] EvalResult EvaluateController(
+    const std::vector<net::ThroughputTrace>& sessions,
+    const ControllerFactory& make_controller,
+    const SeededPredictorFactory& make_predictor,
     const media::VideoModel& video, const EvalConfig& config);
 
 // Evaluates a controller on a subset of sessions given by indices.
@@ -48,6 +88,13 @@ struct EvalResult {
     const std::vector<std::size_t>& indices,
     const ControllerFactory& make_controller,
     const TracePredictorFactory& make_predictor,
+    const media::VideoModel& video, const EvalConfig& config);
+
+[[nodiscard]] EvalResult EvaluateControllerOn(
+    const std::vector<net::ThroughputTrace>& sessions,
+    const std::vector<std::size_t>& indices,
+    const ControllerFactory& make_controller,
+    const SeededPredictorFactory& make_predictor,
     const media::VideoModel& video, const EvalConfig& config);
 
 }  // namespace soda::qoe

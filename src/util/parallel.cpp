@@ -1,0 +1,62 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace soda::util {
+
+int EffectiveThreads(int requested, std::size_t work_items) noexcept {
+  if (work_items <= 1) return 1;
+  long threads = requested;
+  if (threads <= 0) {
+    threads = static_cast<long>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;  // hardware_concurrency may report 0
+  }
+  return static_cast<int>(
+      std::min<long>(threads, static_cast<long>(work_items)));
+}
+
+void ParallelFor(std::size_t n, int num_threads,
+                 const std::function<void(int worker, std::size_t index)>& fn) {
+  if (n == 0) return;
+  num_threads = EffectiveThreads(num_threads, n);
+  if (num_threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto work = [&](int worker) {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        fn(worker, i);
+      } catch (...) {
+        abort.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int w = 1; w < num_threads; ++w) {
+    pool.emplace_back(work, w);
+  }
+  work(0);
+  for (std::thread& thread : pool) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace soda::util

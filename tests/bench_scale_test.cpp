@@ -1,0 +1,53 @@
+// The SODA_BENCH_SCALE / SODA_BENCH_THREADS knob parsing: strtol used to
+// treat garbage ("abc") as 0 and silently fall back; the parser must reject
+// junk (with a warning) and only accept positive integers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench/bench_common.hpp"
+
+namespace soda::bench {
+namespace {
+
+TEST(BenchKnobs, ParsePositiveLongAcceptsPositiveIntegers) {
+  EXPECT_EQ(ParsePositiveLong("X", "1", 9), 1);
+  EXPECT_EQ(ParsePositiveLong("X", "4", 9), 4);
+  EXPECT_EQ(ParsePositiveLong("X", "250", 9), 250);
+}
+
+TEST(BenchKnobs, ParsePositiveLongFallsBackOnGarbage) {
+  EXPECT_EQ(ParsePositiveLong("X", nullptr, 9), 9);    // unset
+  EXPECT_EQ(ParsePositiveLong("X", "", 9), 9);         // empty
+  EXPECT_EQ(ParsePositiveLong("X", "abc", 9), 9);      // non-numeric
+  EXPECT_EQ(ParsePositiveLong("X", "4x", 9), 9);       // trailing junk
+  EXPECT_EQ(ParsePositiveLong("X", "x4", 9), 9);       // leading junk
+  EXPECT_EQ(ParsePositiveLong("X", "0", 9), 9);        // zero not positive
+  EXPECT_EQ(ParsePositiveLong("X", "-3", 9), 9);       // negative
+  EXPECT_EQ(ParsePositiveLong("X", "1e3", 9), 9);      // float syntax
+  EXPECT_EQ(ParsePositiveLong("X", "99999999999999999999", 9), 9);  // ERANGE
+}
+
+TEST(BenchKnobs, ScaledMultipliesOnlyOnValidEnv) {
+  ASSERT_EQ(setenv("SODA_BENCH_SCALE", "3", 1), 0);
+  EXPECT_EQ(Scaled(50), 150u);
+  ASSERT_EQ(setenv("SODA_BENCH_SCALE", "abc", 1), 0);
+  EXPECT_EQ(Scaled(50), 50u);
+  ASSERT_EQ(unsetenv("SODA_BENCH_SCALE"), 0);
+  EXPECT_EQ(Scaled(50), 50u);
+}
+
+TEST(BenchKnobs, BenchThreadsDefaultsToAutoAndForcesSerial) {
+  ASSERT_EQ(unsetenv("SODA_BENCH_THREADS"), 0);
+  EXPECT_EQ(BenchThreads(), 0);  // 0 = hardware concurrency
+  ASSERT_EQ(setenv("SODA_BENCH_THREADS", "1", 1), 0);
+  EXPECT_EQ(BenchThreads(), 1);
+  ASSERT_EQ(setenv("SODA_BENCH_THREADS", "8", 1), 0);
+  EXPECT_EQ(BenchThreads(), 8);
+  ASSERT_EQ(setenv("SODA_BENCH_THREADS", "lots", 1), 0);
+  EXPECT_EQ(BenchThreads(), 1);  // invalid -> warned, serial fallback
+  ASSERT_EQ(unsetenv("SODA_BENCH_THREADS"), 0);
+}
+
+}  // namespace
+}  // namespace soda::bench

@@ -1,0 +1,85 @@
+// Golden regression numbers for the headline evaluation pipeline.
+//
+// A small fixed-seed Puffer-like corpus is run through the Fig. 10 setup
+// (YouTube HFR-4K ladder, dash.js EMA predictor, 20 s live buffer, log
+// utility, beta=10 / gamma=1) and each roster controller's aggregate QoE
+// components are pinned to hard-coded values. Any solver / simulator /
+// predictor edit that silently shifts the paper numbers fails here as a
+// tier-1 test instead of only showing up in bench output. The tolerance is
+// tight enough to catch third-decimal drift but loose enough to survive
+// compiler/flag differences in floating-point contraction (the exact
+// thread-count-invariance guarantee is covered separately, bit-exact, in
+// qoe_parallel_test.cpp).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "net/dataset.hpp"
+#include "qoe/eval.hpp"
+#include "util/rng.hpp"
+
+namespace soda::qoe {
+namespace {
+
+constexpr double kTolerance = 1e-6;
+
+struct Golden {
+  std::string name;
+  double utility;
+  double rebuffer_ratio;
+  double switch_rate;
+  double qoe;
+};
+
+TEST(QoeGolden, RosterAggregatesMatchPinnedValues) {
+  Rng rng(bench::kDefaultSeed);
+  const auto sessions =
+      net::DatasetEmulator(net::DatasetKind::kPuffer).MakeSessions(6, rng);
+
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  EvalConfig config;
+  config.sim.max_buffer_s = 20.0;
+  config.sim.live = true;
+  config.sim.live_latency_s = 20.0;
+  config.threads = 0;  // thread count must not affect the numbers
+  config.base_seed = bench::kDefaultSeed;
+  config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
+    return u.At(mbps);
+  };
+
+  // Pinned on the seed corpus (seed 20240804, 6 × 600 s Puffer sessions).
+  // The paper-shaped ordering these encode: SODA has the best QoE with the
+  // lowest switching among predictive controllers; BOLA/Dynamic switch an
+  // order of magnitude more; HYB pays for throughput-chasing in rebuffering.
+  const std::vector<Golden> golden = {
+      {"SODA", 0.903366555103907, 0.0, 0.043043795111564, 0.860322759992343},
+      {"HYB", 0.919021928799462, 0.005218039928713, 0.173839478524162,
+       0.693002050988164},
+      {"BOLA", 0.800840166342248, 0.0, 0.406032756602789, 0.394807409739458},
+      {"Dynamic", 0.802974091595262, 0.0, 0.409824160638493,
+       0.393149930956769},
+      {"MPC", 0.917036726035438, 0.001254328591015, 0.062249940150840,
+       0.842243499974451},
+  };
+
+  const auto roster = bench::SimulationRoster();
+  ASSERT_EQ(roster.size(), golden.size());
+  for (std::size_t c = 0; c < roster.size(); ++c) {
+    SCOPED_TRACE(golden[c].name);
+    ASSERT_EQ(roster[c].name, golden[c].name);
+    const EvalResult result = EvaluateController(
+        sessions, roster[c].factory, bench::EmaFactory(), video, config);
+    EXPECT_EQ(result.aggregate.SessionCount(), sessions.size());
+    EXPECT_NEAR(result.aggregate.utility.Mean(), golden[c].utility, kTolerance);
+    EXPECT_NEAR(result.aggregate.rebuffer_ratio.Mean(),
+                golden[c].rebuffer_ratio, kTolerance);
+    EXPECT_NEAR(result.aggregate.switch_rate.Mean(), golden[c].switch_rate,
+                kTolerance);
+    EXPECT_NEAR(result.aggregate.qoe.Mean(), golden[c].qoe, kTolerance);
+  }
+}
+
+}  // namespace
+}  // namespace soda::qoe

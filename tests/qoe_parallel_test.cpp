@@ -1,0 +1,180 @@
+// Determinism proof for the parallel evaluation engine: the full
+// simulation roster (plus the RL-like baseline, whose one-time value
+// iteration exercises the per-worker amortized-training path) must produce
+// bit-identical per-session metrics and aggregates at every thread count.
+#include "qoe/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "abr/rl_like.hpp"
+#include "bench/bench_common.hpp"
+#include "media/quality.hpp"
+#include "net/generators.hpp"
+#include "predict/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace soda::qoe {
+namespace {
+
+std::vector<net::ThroughputTrace> MakeCorpus(std::size_t count) {
+  Rng rng(91);
+  std::vector<net::ThroughputTrace> sessions;
+  for (std::size_t i = 0; i < count; ++i) {
+    net::RandomWalkConfig walk;
+    walk.mean_mbps = rng.Uniform(1.0, 30.0);
+    walk.stationary_rel_std = rng.Uniform(0.2, 0.9);
+    walk.duration_s = 180.0;
+    sessions.push_back(net::RandomWalkTrace(walk, rng));
+  }
+  return sessions;
+}
+
+EvalConfig MakeConfig(const media::BitrateLadder& ladder, int threads) {
+  EvalConfig config;
+  config.sim.max_buffer_s = 20.0;
+  config.sim.live = true;
+  config.sim.live_latency_s = 20.0;
+  config.threads = threads;
+  config.base_seed = 7;
+  config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
+    return u.At(mbps);
+  };
+  return config;
+}
+
+// Bit-exact equality: == on doubles, deliberately not EXPECT_NEAR.
+void ExpectBitIdentical(const EvalResult& reference, const EvalResult& other,
+                        const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(reference.controller_name, other.controller_name);
+  ASSERT_EQ(reference.per_session.size(), other.per_session.size());
+  for (std::size_t k = 0; k < reference.per_session.size(); ++k) {
+    const QoeMetrics& a = reference.per_session[k];
+    const QoeMetrics& b = other.per_session[k];
+    SCOPED_TRACE("session " + std::to_string(k));
+    EXPECT_EQ(a.mean_utility, b.mean_utility);
+    EXPECT_EQ(a.rebuffer_ratio, b.rebuffer_ratio);
+    EXPECT_EQ(a.switch_rate, b.switch_rate);
+    EXPECT_EQ(a.startup_ratio, b.startup_ratio);
+    EXPECT_EQ(a.qoe, b.qoe);
+    EXPECT_EQ(a.segment_count, b.segment_count);
+  }
+  const auto expect_stats_equal = [](const RunningStats& x,
+                                     const RunningStats& y) {
+    EXPECT_EQ(x.Count(), y.Count());
+    EXPECT_EQ(x.Mean(), y.Mean());
+    EXPECT_EQ(x.Variance(), y.Variance());
+    EXPECT_EQ(x.Min(), y.Min());
+    EXPECT_EQ(x.Max(), y.Max());
+    EXPECT_EQ(x.CiHalfWidth95(), y.CiHalfWidth95());
+  };
+  expect_stats_equal(reference.aggregate.qoe, other.aggregate.qoe);
+  expect_stats_equal(reference.aggregate.utility, other.aggregate.utility);
+  expect_stats_equal(reference.aggregate.rebuffer_ratio,
+                     other.aggregate.rebuffer_ratio);
+  expect_stats_equal(reference.aggregate.switch_rate,
+                     other.aggregate.switch_rate);
+}
+
+TEST(QoeParallel, RosterBitIdenticalAcrossThreadCounts) {
+  const auto sessions = MakeCorpus(10);
+  const media::BitrateLadder ladder =
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2);
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+
+  // The section 6.1.2 roster (includes MPC) plus the RL-like baseline: both
+  // train/lazily build per-worker state that must not change results.
+  std::vector<bench::NamedController> roster = bench::SimulationRoster();
+  roster.push_back({"CausalSimRL", [] {
+                      return abr::ControllerPtr(
+                          std::make_unique<abr::RlLikeController>());
+                    }});
+
+  for (const auto& entry : roster) {
+    const EvalResult serial = EvaluateController(
+        sessions, entry.factory, bench::EmaFactory(), video,
+        MakeConfig(ladder, 1));
+    EXPECT_EQ(serial.aggregate.SessionCount(), sessions.size());
+    for (const int threads : {2, 8}) {
+      const EvalResult parallel = EvaluateController(
+          sessions, entry.factory, bench::EmaFactory(), video,
+          MakeConfig(ladder, threads));
+      ExpectBitIdentical(serial, parallel,
+                         entry.name + " @" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(QoeParallel, SeededPredictorStreamsAreThreadCountInvariant) {
+  const auto sessions = MakeCorpus(8);
+  const media::BitrateLadder ladder =
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2);
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+
+  // A stochastic predictor seeded per session: the noise stream must depend
+  // only on (base_seed, session index), so any thread count reproduces it.
+  const SeededPredictorFactory noisy_oracle =
+      [](const net::ThroughputTrace& trace, std::uint64_t session_seed) {
+        predict::OracleConfig oracle;
+        oracle.noise_rel_std = 0.3;
+        oracle.seed = session_seed;
+        return predict::PredictorPtr(
+            std::make_unique<predict::OraclePredictor>(trace, oracle));
+      };
+
+  const auto make_soda = bench::SimulationRoster().front().factory;
+  const EvalResult serial = EvaluateController(
+      sessions, make_soda, noisy_oracle, video, MakeConfig(ladder, 1));
+  for (const int threads : {2, 8}) {
+    const EvalResult parallel = EvaluateController(
+        sessions, make_soda, noisy_oracle, video, MakeConfig(ladder, threads));
+    ExpectBitIdentical(serial, parallel,
+                       "noisy oracle @" + std::to_string(threads));
+  }
+}
+
+TEST(QoeParallel, SubsetIndicesKeepOrderUnderParallelism) {
+  const auto sessions = MakeCorpus(9);
+  const media::BitrateLadder ladder =
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2);
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const std::vector<std::size_t> indices = {6, 1, 4, 0, 8};
+
+  const auto make_soda = bench::SimulationRoster().front().factory;
+  const EvalResult serial =
+      EvaluateControllerOn(sessions, indices, make_soda, bench::EmaFactory(),
+                           video, MakeConfig(ladder, 1));
+  const EvalResult parallel =
+      EvaluateControllerOn(sessions, indices, make_soda, bench::EmaFactory(),
+                           video, MakeConfig(ladder, 8));
+  ASSERT_EQ(serial.per_session.size(), indices.size());
+  ExpectBitIdentical(serial, parallel, "subset order");
+}
+
+TEST(QoeParallel, SessionSeedIsIndexStableAndDecorrelated) {
+  // Depends only on (base_seed, index) …
+  EXPECT_EQ(SessionSeed(1, 0), SessionSeed(1, 0));
+  EXPECT_EQ(SessionSeed(42, 1000), SessionSeed(42, 1000));
+  // … and differs across neighbouring indices and bases.
+  EXPECT_NE(SessionSeed(1, 0), SessionSeed(1, 1));
+  EXPECT_NE(SessionSeed(1, 5), SessionSeed(2, 5));
+}
+
+TEST(QoeParallel, InvalidIndexThrowsAtAnyThreadCount) {
+  const auto sessions = MakeCorpus(2);
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const auto make_soda = bench::SimulationRoster().front().factory;
+  for (const int threads : {1, 4}) {
+    EXPECT_THROW(EvaluateControllerOn(sessions, {0, 5}, make_soda,
+                                      bench::EmaFactory(), video,
+                                      MakeConfig(ladder, threads)),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace soda::qoe

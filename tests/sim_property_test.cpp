@@ -4,26 +4,33 @@
 #include <gtest/gtest.h>
 
 #include "core/solver.hpp"
+#include "media/quality.hpp"
 #include "media/video_model.hpp"
 #include "net/generators.hpp"
 #include "predict/ema.hpp"
+#include "qoe/eval.hpp"
 #include "sim/session.hpp"
 #include "util/rng.hpp"
 
 namespace soda {
 namespace {
 
-// Picks uniformly random rungs each call.
+// Picks uniformly random rungs each call. Reset() reseeds, so every session
+// replays the same decision stream — the determinism contract the parallel
+// evaluator relies on (a controller whose Reset() leaked RNG state across
+// sessions would legitimately diverge between serial and parallel runs).
 class RandomController final : public abr::Controller {
  public:
-  explicit RandomController(std::uint64_t seed) : rng_(seed) {}
+  explicit RandomController(std::uint64_t seed) : seed_(seed), rng_(seed) {}
   media::Rung ChooseRung(const abr::Context& context) override {
     return static_cast<media::Rung>(
         rng_.UniformInt(static_cast<std::uint64_t>(context.Ladder().Count())));
   }
+  void Reset() override { rng_.Seed(seed_); }
   std::string Name() const override { return "Random"; }
 
  private:
+  std::uint64_t seed_;
   Rng rng_;
 };
 
@@ -44,10 +51,16 @@ TEST_P(SimFuzzTest, InvariantsHoldUnderRandomControl) {
       media::YoutubeHfr4kLadder(),
       {.segment_seconds = 2.0, .vbr_amplitude = 0.3, .vbr_seed = seed});
 
+  // Sweep the live-edge and abandonment configuration space, not just the
+  // defaults: latency, startup buffering and the abandonment thresholds all
+  // shift the event interleaving the invariants must survive.
   sim::SimConfig config;
   config.live = (seed % 2 == 0);
-  config.live_latency_s = 20.0;
+  config.live_latency_s = rng.Uniform(8.0, 30.0);
+  config.startup_buffer_s = rng.Chance(0.5) ? rng.Uniform(0.0, 4.0) : 0.0;
   config.allow_abandonment = (seed % 3 == 0);
+  config.abandon_check_s = rng.Uniform(0.3, 2.0);
+  config.abandon_stall_threshold_s = rng.Uniform(0.1, 1.0);
   RandomController controller(seed * 7 + 1);
   predict::EmaPredictor predictor;
   const sim::SessionLog log =
@@ -83,7 +96,71 @@ TEST_P(SimFuzzTest, InvariantsHoldUnderRandomControl) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzzTest, ::testing::Range(1, 13));
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzzTest, ::testing::Range(1, 25));
+
+// Differential fuzz: the serial and parallel evaluators must produce
+// identical per-session results for the same random controller and corpus
+// — every field compared with ==, never EXPECT_NEAR.
+class SerialParallelDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerialParallelDifferentialTest, EvaluatorsAgreeBitExactly) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+
+  std::vector<net::ThroughputTrace> sessions;
+  for (int i = 0; i < 6; ++i) {
+    net::RandomWalkConfig walk;
+    walk.mean_mbps = rng.Uniform(0.5, 40.0);
+    walk.stationary_rel_std = rng.Uniform(0.2, 1.2);
+    walk.duration_s = 180.0;
+    sessions.push_back(net::RandomWalkTrace(walk, rng));
+  }
+
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(
+      ladder, {.segment_seconds = 2.0, .vbr_amplitude = 0.3, .vbr_seed = seed});
+
+  qoe::EvalConfig config;
+  config.sim.live = (seed % 2 == 0);
+  config.sim.live_latency_s = 20.0;
+  config.sim.allow_abandonment = (seed % 3 == 0);
+  config.base_seed = seed;
+  config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
+    return u.At(mbps);
+  };
+
+  const auto make_controller = [seed] {
+    return abr::ControllerPtr(std::make_unique<RandomController>(seed * 7 + 1));
+  };
+  const auto make_predictor = [](const net::ThroughputTrace&) {
+    return predict::PredictorPtr(std::make_unique<predict::EmaPredictor>());
+  };
+
+  config.threads = 1;
+  const qoe::EvalResult serial = qoe::EvaluateController(
+      sessions, make_controller, make_predictor, video, config);
+  config.threads = 4;
+  const qoe::EvalResult parallel = qoe::EvaluateController(
+      sessions, make_controller, make_predictor, video, config);
+
+  ASSERT_EQ(serial.per_session.size(), parallel.per_session.size());
+  for (std::size_t k = 0; k < serial.per_session.size(); ++k) {
+    const qoe::QoeMetrics& a = serial.per_session[k];
+    const qoe::QoeMetrics& b = parallel.per_session[k];
+    EXPECT_EQ(a.segment_count, b.segment_count) << "session " << k;
+    EXPECT_EQ(a.mean_utility, b.mean_utility) << "session " << k;
+    EXPECT_EQ(a.rebuffer_ratio, b.rebuffer_ratio) << "session " << k;
+    EXPECT_EQ(a.switch_rate, b.switch_rate) << "session " << k;
+    EXPECT_EQ(a.startup_ratio, b.startup_ratio) << "session " << k;
+    EXPECT_EQ(a.qoe, b.qoe) << "session " << k;
+  }
+  EXPECT_EQ(serial.aggregate.qoe.Mean(), parallel.aggregate.qoe.Mean());
+  EXPECT_EQ(serial.aggregate.qoe.CiHalfWidth95(),
+            parallel.aggregate.qoe.CiHalfWidth95());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialParallelDifferentialTest,
+                         ::testing::Range(1, 9));
 
 class SolverFuzzTest : public ::testing::TestWithParam<int> {};
 
@@ -102,7 +179,7 @@ TEST_P(SolverFuzzTest, SolverObjectiveMatchesEvaluatorAndBeatsRandomPlans) {
   const core::CostModel model(ladder, model_config);
   const core::MonotonicSolver solver(model);
 
-  const int horizon = 1 + static_cast<int>(rng.UniformInt(5));
+  const int horizon = 1 + static_cast<int>(rng.UniformInt(8));
   std::vector<double> predictions;
   for (int k = 0; k < horizon; ++k) {
     predictions.push_back(rng.Uniform(0.5, 80.0));
@@ -138,7 +215,7 @@ TEST_P(SolverFuzzTest, SolverObjectiveMatchesEvaluatorAndBeatsRandomPlans) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzzTest, ::testing::Range(1, 21));
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzzTest, ::testing::Range(1, 31));
 
 }  // namespace
 }  // namespace soda

@@ -1,0 +1,86 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace soda::util {
+namespace {
+
+TEST(EffectiveThreads, ClampsToWorkAndHardware) {
+  EXPECT_EQ(EffectiveThreads(4, 0), 1);
+  EXPECT_EQ(EffectiveThreads(4, 1), 1);
+  EXPECT_EQ(EffectiveThreads(4, 2), 2);
+  EXPECT_EQ(EffectiveThreads(4, 100), 4);
+  EXPECT_EQ(EffectiveThreads(1, 100), 1);
+  // 0 / negative = hardware concurrency, still at least 1 and at most n.
+  EXPECT_GE(EffectiveThreads(0, 100), 1);
+  EXPECT_LE(EffectiveThreads(0, 100), 100);
+  EXPECT_GE(EffectiveThreads(-3, 2), 1);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 7}) {
+    const std::size_t n = 153;
+    std::vector<std::atomic<int>> visits(n);
+    ParallelFor(n, threads, [&](int worker, std::size_t i) {
+      EXPECT_GE(worker, 0);
+      EXPECT_LT(worker, threads);
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroItemsIsANoop) {
+  bool called = false;
+  ParallelFor(0, 8, [&](int, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SerialFallbackRunsOnCallingWorkerInOrder) {
+  std::vector<std::size_t> order;
+  ParallelFor(5, 1, [&](int worker, std::size_t i) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesFirstExceptionAndStops) {
+  for (const int threads : {1, 4}) {
+    std::atomic<int> ran{0};
+    try {
+      ParallelFor(1000, threads, [&](int, std::size_t i) {
+        if (i == 3) throw std::runtime_error("boom");
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+      FAIL() << "expected the worker exception to propagate";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "boom");
+    }
+    // The abort flag keeps the pool from draining all remaining work.
+    EXPECT_LT(ran.load(), 1000);
+  }
+}
+
+TEST(ParallelFor, PerWorkerStateIsExclusive) {
+  const int threads = 4;
+  const std::size_t n = 400;
+  // One non-atomic counter per worker: TSan (and the sum check) verify the
+  // worker id really partitions the state.
+  std::vector<long> per_worker(static_cast<std::size_t>(threads), 0);
+  ParallelFor(n, threads, [&](int worker, std::size_t) {
+    per_worker[static_cast<std::size_t>(worker)]++;
+  });
+  long total = 0;
+  for (const long count : per_worker) total += count;
+  EXPECT_EQ(total, static_cast<long>(n));
+}
+
+}  // namespace
+}  // namespace soda::util

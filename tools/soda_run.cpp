@@ -22,6 +22,8 @@
 //   --buffer S          max buffer seconds (default 20)
 //   --vod               on-demand mode (default: live, latency = buffer)
 //   --seed N            corpus seed (default 1)
+//   --threads N         evaluation workers; 0 = all cores (default), 1 =
+//                       serial. Results are bit-identical for any value.
 //   --timeline          print the per-segment timeline (single session)
 //   --csv PATH          write per-session metrics CSV
 #include <cstdio>
@@ -35,6 +37,7 @@
 #include "qoe/eval.hpp"
 #include "qoe/report.hpp"
 #include "tools/cli_args.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace soda {
@@ -57,7 +60,7 @@ int Run(int argc, char** argv) {
   const tools::CliArgs args(
       argc, argv,
       {"trace", "mahimahi", "dataset", "sessions", "controller", "predictor",
-       "ladder", "trim", "segment", "buffer", "seed", "csv"},
+       "ladder", "trim", "segment", "buffer", "seed", "threads", "csv"},
       {"vod", "timeline"});
 
   // Sessions.
@@ -90,6 +93,8 @@ int Run(int argc, char** argv) {
   config.sim.max_buffer_s = args.GetDouble("buffer", 20.0);
   config.sim.live = !args.Has("vod");
   config.sim.live_latency_s = config.sim.max_buffer_s;
+  config.threads = static_cast<int>(args.GetLong("threads", 0));
+  config.base_seed = static_cast<std::uint64_t>(args.GetLong("seed", 1));
   config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
     return u.At(mbps);
   };
@@ -103,10 +108,12 @@ int Run(int argc, char** argv) {
       },
       video, config);
 
-  std::printf("controller=%s predictor=%s ladder=%s sessions=%zu buffer=%.0fs %s\n",
+  std::printf("controller=%s predictor=%s ladder=%s sessions=%zu buffer=%.0fs "
+              "%s threads=%d\n",
               result.controller_name.c_str(), predictor_name.c_str(),
               ladder.ToString().c_str(), sessions.size(),
-              config.sim.max_buffer_s, config.sim.live ? "live" : "vod");
+              config.sim.max_buffer_s, config.sim.live ? "live" : "vod",
+              util::EffectiveThreads(config.threads, sessions.size()));
   ConsoleTable table({"metric", "mean", "95% CI"});
   const qoe::QoeAggregate& a = result.aggregate;
   table.AddRow({"QoE", FormatDouble(a.qoe.Mean(), 4),
