@@ -1,0 +1,136 @@
+// Fault-injection sweep: how much QoE each controller loses — and how much
+// rebuffering/waste it picks up — when the network and transport misbehave.
+// Sweeps the built-in fault profiles (clean baseline, flaky transport,
+// periodic outages, CDN degradation with failover) across the full
+// controller roster on the Fig. 9 synthetic datasets, via the same parallel
+// qoe::Eval path as the figure benches, so every number is bit-identical at
+// any SODA_BENCH_THREADS. Fault randomness is seeded per session from the
+// bench seed (see qoe::FaultSessionSeed), never from wall clock.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/registry.hpp"
+#include "fault/profile.hpp"
+
+namespace soda {
+namespace {
+
+struct RosterEntry {
+  std::string label;
+  std::string controller;  // core::MakeController name
+  std::string predictor;   // core::MakePredictor name
+};
+
+// Full roster (section 6.1.2 baselines plus the extended ones): RobustMPC
+// gets the robust-ema predictor it is designed around; everyone else uses
+// the dash.js EMA default.
+std::vector<RosterEntry> FullRoster() {
+  return {
+      {"SODA", "soda", "ema"},           {"HYB", "hyb", "ema"},
+      {"BOLA", "bola", "ema"},           {"Dynamic", "dynamic", "ema"},
+      {"MPC", "mpc", "ema"},             {"RobustMPC", "robustmpc", "robust-ema"},
+      {"Fugu", "fugu", "ema"},           {"RL", "rl", "ema"},
+  };
+}
+
+struct Bucket {
+  std::string name;
+  std::vector<net::ThroughputTrace> sessions;
+  media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+};
+
+struct Baseline {
+  double qoe = 0.0;
+  double rebuffer = 0.0;
+};
+
+void Run() {
+  const std::uint64_t seed = bench::kDefaultSeed;
+  bench::PrintHeader("Ext | Fault-injection sweep across the controller roster",
+                     seed);
+
+  // The profile sweep: the clean baseline first (deltas are measured
+  // against it), then the built-in impairment/transport profiles.
+  const std::vector<std::string> profiles = {
+      "none", "flaky-transport", "periodic-outage", "cdn-degrade-failover"};
+
+  std::vector<Bucket> buckets;
+  {
+    Rng rng(seed);
+    Bucket bucket;
+    bucket.name = "Puffer";
+    bucket.ladder = media::YoutubeHfr4kLadder();
+    bucket.sessions = net::DatasetEmulator(net::DatasetKind::kPuffer)
+                          .MakeSessions(bench::Scaled(60), rng);
+    buckets.push_back(std::move(bucket));
+  }
+  {
+    Rng rng(seed + 2);
+    Bucket bucket;
+    bucket.name = "4G";
+    bucket.ladder = media::YoutubeHfr4kLadder().WithoutTopRungs(2);
+    bucket.sessions = net::DatasetEmulator(net::DatasetKind::k4G)
+                          .MakeSessions(bench::Scaled(40), rng);
+    buckets.push_back(std::move(bucket));
+  }
+
+  const auto roster = FullRoster();
+  for (const auto& bucket : buckets) {
+    const media::VideoModel video(bucket.ladder, {.segment_seconds = 2.0});
+    std::printf("\n=== dataset %s (%zu sessions, ladder %s)\n",
+                bucket.name.c_str(), bucket.sessions.size(),
+                bucket.ladder.ToString().c_str());
+
+    // Per-controller clean-profile baselines for the delta columns.
+    std::map<std::string, Baseline> baselines;
+
+    for (const std::string& profile_name : profiles) {
+      qoe::EvalConfig config = bench::LiveEvalConfig(bucket.ladder);
+      config.fault = fault::BuiltinProfile(profile_name);
+
+      std::printf("\n--- profile %s\n", profile_name.c_str());
+      ConsoleTable table({"controller", "QoE", "dQoE", "rebuf ratio", "drebuf",
+                          "waste Mb", "retries", "failovers"});
+      for (const auto& entry : roster) {
+        const qoe::EvalResult result = qoe::EvaluateController(
+            bucket.sessions,
+            [&] { return core::MakeController(entry.controller); },
+            [&](const net::ThroughputTrace&) {
+              return core::MakePredictor(entry.predictor);
+            },
+            video, config);
+        const auto& a = result.aggregate;
+        int failovers = 0;
+        for (const auto& m : result.per_session) failovers += m.failovers;
+        if (profile_name == "none") {
+          baselines[entry.label] = {a.qoe.Mean(), a.rebuffer_ratio.Mean()};
+        }
+        const Baseline& base = baselines[entry.label];
+        table.AddRow({entry.label, bench::Cell(a.qoe, 3),
+                      FormatDouble(a.qoe.Mean() - base.qoe, 3),
+                      bench::Cell(a.rebuffer_ratio, 4),
+                      FormatDouble(a.rebuffer_ratio.Mean() - base.rebuffer, 4),
+                      FormatDouble(a.wasted_mb.Mean(), 2),
+                      FormatDouble(a.retries.Mean(), 2),
+                      std::to_string(failovers)});
+      }
+      table.Print();
+    }
+  }
+
+  std::printf("\nreading: dQoE/drebuf are deltas vs the clean 'none' profile\n"
+              "for the same controller and dataset. Waste counts abandoned-\n"
+              "plus failed-attempt megabits; retries is the mean number of\n"
+              "failed transport attempts per session.\n");
+}
+
+}  // namespace
+}  // namespace soda
+
+int main() {
+  soda::Run();
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "fault/impairment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace soda::fault {
+namespace {
+
+constexpr double kZeroRateEps = 1e-9;
+
+// Transforms the base rate at time t through the plan's events in their
+// fixed application order: scales, then CDN switches, then outages.
+double TransformedRate(const ImpairmentPlan& plan, double rate, double t) {
+  for (const Scale& s : plan.scales) {
+    if (t >= s.from_s && t < s.to_s) rate *= s.factor;
+  }
+  for (const CdnSwitch& c : plan.switches) {
+    if (t >= c.at_s && t < c.at_s + c.blackout_s) {
+      rate = 0.0;
+    } else if (t >= c.at_s + c.blackout_s) {
+      rate *= c.factor;
+    }
+  }
+  for (const Outage& o : plan.outages) {
+    if (o.period_s > 0.0) {
+      if (t >= o.start_s) {
+        const double phase =
+            std::fmod(t - o.start_s, o.period_s);
+        if (phase < o.duration_s) rate = std::min(rate, o.floor_mbps);
+      }
+    } else if (t >= o.start_s && t < o.start_s + o.duration_s) {
+      rate = std::min(rate, o.floor_mbps);
+    }
+  }
+  return rate;
+}
+
+void AddBoundary(std::vector<double>& boundaries, double t, double duration) {
+  if (t > 0.0 && t < duration && std::isfinite(t)) boundaries.push_back(t);
+}
+
+}  // namespace
+
+bool ImpairmentPlan::IsNoop() const noexcept {
+  return TraceIsUnchanged() && rtt_windows.empty();
+}
+
+bool ImpairmentPlan::TraceIsUnchanged() const noexcept {
+  return outages.empty() && scales.empty() && switches.empty();
+}
+
+ImpairmentPlan& ImpairmentPlan::Compose(const ImpairmentPlan& other) {
+  outages.insert(outages.end(), other.outages.begin(), other.outages.end());
+  scales.insert(scales.end(), other.scales.begin(), other.scales.end());
+  switches.insert(switches.end(), other.switches.begin(),
+                  other.switches.end());
+  rtt_windows.insert(rtt_windows.end(), other.rtt_windows.begin(),
+                     other.rtt_windows.end());
+  return *this;
+}
+
+void ImpairmentPlan::Validate() const {
+  for (const Outage& o : outages) {
+    SODA_ENSURE(o.start_s >= 0.0, "outage start must be non-negative");
+    SODA_ENSURE(o.duration_s > 0.0, "outage duration must be positive");
+    SODA_ENSURE(o.period_s == 0.0 || o.period_s >= 1e-3,
+                "outage period must be 0 (one-shot) or >= 1 ms");
+    SODA_ENSURE(o.period_s == 0.0 || o.period_s > o.duration_s,
+                "outage period must exceed the outage duration");
+    SODA_ENSURE(o.floor_mbps >= 0.0, "outage floor must be non-negative");
+  }
+  for (const Scale& s : scales) {
+    // A zero factor would be an outage in disguise; use an Outage event.
+    SODA_ENSURE(s.factor > 0.0 && std::isfinite(s.factor),
+                "scale factor must be finite and positive");
+    SODA_ENSURE(s.from_s >= 0.0 && s.to_s > s.from_s,
+                "scale window must be non-empty and start at >= 0");
+  }
+  for (const CdnSwitch& c : switches) {
+    SODA_ENSURE(c.at_s >= 0.0, "cdn switch time must be non-negative");
+    SODA_ENSURE(c.blackout_s >= 0.0, "cdn blackout must be non-negative");
+    SODA_ENSURE(c.factor >= 0.0 && std::isfinite(c.factor),
+                "cdn capacity factor must be finite and non-negative");
+  }
+  for (const RttWindow& w : rtt_windows) {
+    SODA_ENSURE(w.from_s >= 0.0 && w.to_s > w.from_s,
+                "rtt window must be non-empty and start at >= 0");
+    SODA_ENSURE(w.extra_s >= 0.0 && std::isfinite(w.extra_s),
+                "extra rtt must be finite and non-negative");
+  }
+}
+
+net::ThroughputTrace ImpairmentPlan::ApplyToTrace(
+    const net::ThroughputTrace& trace) const {
+  Validate();
+  if (TraceIsUnchanged()) return trace;
+
+  const double duration = trace.DurationS();
+  std::vector<double> boundaries;
+  boundaries.push_back(0.0);
+  for (const net::TraceSample& s : trace.Samples()) {
+    AddBoundary(boundaries, s.time_s, duration);
+  }
+  for (const Scale& s : scales) {
+    AddBoundary(boundaries, s.from_s, duration);
+    AddBoundary(boundaries, s.to_s, duration);
+  }
+  for (const CdnSwitch& c : switches) {
+    AddBoundary(boundaries, c.at_s, duration);
+    AddBoundary(boundaries, c.at_s + c.blackout_s, duration);
+  }
+  for (const Outage& o : outages) {
+    if (o.period_s > 0.0) {
+      for (double t = o.start_s; t < duration; t += o.period_s) {
+        AddBoundary(boundaries, t, duration);
+        AddBoundary(boundaries, t + o.duration_s, duration);
+      }
+    } else {
+      AddBoundary(boundaries, o.start_s, duration);
+      AddBoundary(boundaries, o.start_s + o.duration_s, duration);
+    }
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+
+  std::vector<net::TraceSample> samples;
+  samples.reserve(boundaries.size());
+  for (const double t : boundaries) {
+    samples.push_back({t, TransformedRate(*this, trace.ThroughputAt(t), t)});
+  }
+  return net::ThroughputTrace(std::move(samples), duration);
+}
+
+double ImpairmentPlan::ExtraRttAt(double t) const noexcept {
+  double extra = 0.0;
+  for (const RttWindow& w : rtt_windows) {
+    if (t >= w.from_s && t < w.to_s) extra += w.extra_s;
+  }
+  return extra;
+}
+
+double OutageSeconds(const net::ThroughputTrace& trace, double t0,
+                     double t1) noexcept {
+  if (t1 <= t0) return 0.0;
+  const auto& samples = trace.Samples();
+  double total = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double begin = samples[i].time_s;
+    // The final sample's rate extends to t1 (the last rate holds forever).
+    const double end =
+        i + 1 < samples.size() ? samples[i + 1].time_s : std::max(t1, begin);
+    const double lo = std::max(begin, t0);
+    const double hi = std::min(end, t1);
+    if (hi > lo && samples[i].mbps <= kZeroRateEps) total += hi - lo;
+  }
+  return total;
+}
+
+}  // namespace soda::fault

@@ -1,0 +1,96 @@
+// Trace impairments: pure, deterministic transforms over a
+// net::ThroughputTrace.
+//
+// Production streaming is dominated by events the steady-state trace
+// corpora do not contain: CDN outages, capacity step changes, congestion
+// episodes and mid-session CDN switches. An ImpairmentPlan describes such
+// events declaratively — outage windows (optionally periodic), throughput
+// scaling over a time window, CDN switches (a blackout followed by a
+// capacity change), and extra-RTT windows — and applies them exactly under
+// the piecewise-constant trace model: the impaired trace is again
+// piecewise-constant, with breakpoints at every original sample and every
+// impairment boundary, so byte integrals stay exact.
+//
+// Plans compose (Compose appends another plan's events) and round-trip
+// through the small line-based config format in fault/profile.hpp. They
+// contain no randomness at all; stochastic behaviour lives in the
+// transport-fault half (fault/transport.hpp).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "net/trace.hpp"
+
+namespace soda::fault {
+
+inline constexpr double kInfSeconds = std::numeric_limits<double>::infinity();
+
+// Throughput clamped down to `floor_mbps` during [start, start+duration),
+// repeating every `period_s` (0 = a single window) until the trace ends.
+struct Outage {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double period_s = 0.0;
+  double floor_mbps = 0.0;
+};
+
+// Throughput multiplied by `factor` during [from_s, to_s).
+struct Scale {
+  double factor = 1.0;
+  double from_s = 0.0;
+  double to_s = kInfSeconds;
+};
+
+// A CDN switch at `at_s`: `blackout_s` of zero throughput (connection
+// re-establishment) followed by a permanent capacity change of `factor`.
+struct CdnSwitch {
+  double at_s = 0.0;
+  double blackout_s = 0.0;
+  double factor = 1.0;
+};
+
+// Extra per-request latency during [from_s, to_s); overlapping windows add.
+struct RttWindow {
+  double from_s = 0.0;
+  double to_s = kInfSeconds;
+  double extra_s = 0.0;
+};
+
+struct ImpairmentPlan {
+  std::vector<Outage> outages;
+  std::vector<Scale> scales;
+  std::vector<CdnSwitch> switches;
+  std::vector<RttWindow> rtt_windows;
+
+  // True when the plan changes nothing at all.
+  [[nodiscard]] bool IsNoop() const noexcept;
+  // True when the plan leaves the trace unchanged (RTT windows do not
+  // transform the trace; they are applied per request by the simulator).
+  [[nodiscard]] bool TraceIsUnchanged() const noexcept;
+
+  // Appends `other`'s events after this plan's (scales multiply, outages
+  // and switches clamp, RTT windows add — so composition is order-stable).
+  ImpairmentPlan& Compose(const ImpairmentPlan& other);
+
+  // The impaired trace: scales apply first, then CDN switches, then
+  // outages (which clamp the rate down to their floor). Duration is
+  // preserved. Throws std::invalid_argument on invalid event parameters.
+  [[nodiscard]] net::ThroughputTrace ApplyToTrace(
+      const net::ThroughputTrace& trace) const;
+
+  // Sum of extra RTT from all windows covering time t.
+  [[nodiscard]] double ExtraRttAt(double t) const noexcept;
+
+  // Throws std::invalid_argument when any event has invalid parameters
+  // (negative durations, non-positive factors, inverted windows, ...).
+  void Validate() const;
+};
+
+// Seconds in [t0, t1] during which the trace delivers (essentially) zero
+// throughput — the time-in-outage metric. The last rate extends beyond the
+// trace end, matching ThroughputTrace semantics. Requires t1 >= t0 >= 0.
+[[nodiscard]] double OutageSeconds(const net::ThroughputTrace& trace,
+                                   double t0, double t1) noexcept;
+
+}  // namespace soda::fault

@@ -1,0 +1,285 @@
+#include "fault/profile.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/ensure.hpp"
+
+namespace soda::fault {
+namespace {
+
+std::string FormatValue(double value) {
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // Shortest form that parses back to exactly `value`, so Serialize/Parse
+  // round-trips bit-for-bit while config files stay readable.
+  for (const int precision : {6, 15, 17}) {
+    std::ostringstream out;
+    out << std::setprecision(precision) << value;
+    if (std::stod(out.str()) == value) return out.str();
+  }
+  return std::to_string(value);  // unreachable: 17 digits always round-trip
+}
+
+struct KeyValue {
+  std::string key;
+  double value = 0.0;
+  bool numeric = false;
+  std::string raw;
+};
+
+// Splits "key=value" tokens after the section word; values parse as
+// doubles ("inf" included), the raw text is kept for string-valued keys.
+std::vector<KeyValue> ParseTokens(const std::string& line,
+                                  std::string* section) {
+  std::istringstream in(line);
+  SODA_ENSURE(static_cast<bool>(in >> *section),
+              "fault profile: empty section line");
+  std::vector<KeyValue> out;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    SODA_ENSURE(eq != std::string::npos && eq > 0,
+                "fault profile: expected key=value, got '" + token + "'");
+    KeyValue kv;
+    kv.key = token.substr(0, eq);
+    kv.raw = token.substr(eq + 1);
+    SODA_ENSURE(!kv.raw.empty(),
+                "fault profile: empty value for '" + kv.key + "'");
+    try {
+      std::size_t used = 0;
+      kv.value = std::stod(kv.raw, &used);
+      kv.numeric = used == kv.raw.size();
+    } catch (const std::exception&) {
+      kv.numeric = false;  // string-valued keys (profile name) land here
+    }
+    out.push_back(std::move(kv));
+  }
+  return out;
+}
+
+double Need(const std::vector<KeyValue>& kvs, const std::string& key,
+            const std::string& section) {
+  for (const KeyValue& kv : kvs) {
+    if (kv.key == key) {
+      SODA_ENSURE(kv.numeric, "fault profile: " + section + " " + key +
+                                  "= wants a number, got '" + kv.raw + "'");
+      return kv.value;
+    }
+  }
+  SODA_ENSURE(false, "fault profile: " + section + " needs " + key + "=");
+  return 0.0;  // unreachable
+}
+
+double Opt(const std::vector<KeyValue>& kvs, const std::string& key,
+           double fallback) {
+  for (const KeyValue& kv : kvs) {
+    if (kv.key == key) {
+      SODA_ENSURE(kv.numeric, "fault profile: " + key +
+                                  "= wants a number, got '" + kv.raw + "'");
+      return kv.value;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+std::string FaultProfile::Serialize() const {
+  std::ostringstream out;
+  out << "profile name=" << name << "\n";
+  for (const Outage& o : plan.outages) {
+    out << "outage start=" << FormatValue(o.start_s)
+        << " dur=" << FormatValue(o.duration_s)
+        << " period=" << FormatValue(o.period_s)
+        << " floor=" << FormatValue(o.floor_mbps) << "\n";
+  }
+  for (const Scale& s : plan.scales) {
+    out << "scale factor=" << FormatValue(s.factor)
+        << " from=" << FormatValue(s.from_s) << " to=" << FormatValue(s.to_s)
+        << "\n";
+  }
+  for (const CdnSwitch& c : plan.switches) {
+    out << "cdn_switch at=" << FormatValue(c.at_s)
+        << " blackout=" << FormatValue(c.blackout_s)
+        << " factor=" << FormatValue(c.factor) << "\n";
+  }
+  for (const RttWindow& w : plan.rtt_windows) {
+    out << "rtt from=" << FormatValue(w.from_s)
+        << " to=" << FormatValue(w.to_s)
+        << " extra=" << FormatValue(w.extra_s) << "\n";
+  }
+  out << "transport fail=" << FormatValue(transport.fail_prob)
+      << " timeout=" << FormatValue(transport.timeout_prob)
+      << " timeout_s=" << FormatValue(transport.timeout_s)
+      << " frac_lo=" << FormatValue(transport.fail_frac_lo)
+      << " frac_hi=" << FormatValue(transport.fail_frac_hi) << "\n";
+  out << "retry max=" << transport.max_retries
+      << " backoff=" << FormatValue(transport.backoff_base_s)
+      << " mult=" << FormatValue(transport.backoff_mult)
+      << " cap=" << FormatValue(transport.max_backoff_s)
+      << " budget=" << transport.retry_budget << "\n";
+  out << "failover enabled=" << (transport.failover ? 1 : 0)
+      << " after=" << transport.failover_after
+      << " scale=" << FormatValue(transport.secondary_scale) << "\n";
+  return out.str();
+}
+
+FaultProfile FaultProfile::Parse(const std::string& text) {
+  FaultProfile profile;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::string section;
+    const std::vector<KeyValue> kvs = ParseTokens(line, &section);
+    if (section == "profile") {
+      for (const KeyValue& kv : kvs) {
+        SODA_ENSURE(kv.key == "name",
+                    "fault profile: unknown profile key '" + kv.key + "'");
+        profile.name = kv.raw;
+      }
+    } else if (section == "outage") {
+      profile.plan.outages.push_back({Need(kvs, "start", section),
+                                      Need(kvs, "dur", section),
+                                      Opt(kvs, "period", 0.0),
+                                      Opt(kvs, "floor", 0.0)});
+    } else if (section == "scale") {
+      profile.plan.scales.push_back({Need(kvs, "factor", section),
+                                     Opt(kvs, "from", 0.0),
+                                     Opt(kvs, "to", kInfSeconds)});
+    } else if (section == "cdn_switch") {
+      profile.plan.switches.push_back({Need(kvs, "at", section),
+                                       Opt(kvs, "blackout", 0.0),
+                                       Opt(kvs, "factor", 1.0)});
+    } else if (section == "rtt") {
+      profile.plan.rtt_windows.push_back({Opt(kvs, "from", 0.0),
+                                          Opt(kvs, "to", kInfSeconds),
+                                          Need(kvs, "extra", section)});
+    } else if (section == "transport") {
+      profile.transport.fail_prob = Opt(kvs, "fail", 0.0);
+      profile.transport.timeout_prob = Opt(kvs, "timeout", 0.0);
+      profile.transport.timeout_s = Opt(kvs, "timeout_s", 4.0);
+      profile.transport.fail_frac_lo = Opt(kvs, "frac_lo", 0.1);
+      profile.transport.fail_frac_hi = Opt(kvs, "frac_hi", 0.9);
+    } else if (section == "retry") {
+      profile.transport.max_retries =
+          static_cast<int>(Opt(kvs, "max", 3.0));
+      profile.transport.backoff_base_s = Opt(kvs, "backoff", 0.2);
+      profile.transport.backoff_mult = Opt(kvs, "mult", 2.0);
+      profile.transport.max_backoff_s = Opt(kvs, "cap", 5.0);
+      profile.transport.retry_budget =
+          static_cast<int>(Opt(kvs, "budget", -1.0));
+    } else if (section == "failover") {
+      profile.transport.failover = Opt(kvs, "enabled", 0.0) != 0.0;
+      profile.transport.failover_after =
+          static_cast<int>(Opt(kvs, "after", 2.0));
+      profile.transport.secondary_scale = Opt(kvs, "scale", 0.7);
+    } else {
+      SODA_ENSURE(false, "fault profile: unknown section '" + section + "'");
+    }
+  }
+  profile.plan.Validate();
+  profile.transport.Validate();
+  return profile;
+}
+
+std::vector<std::string> BuiltinProfileNames() {
+  return {"none", "flaky-transport", "periodic-outage", "cdn-degrade-failover",
+          "lossy-cellular"};
+}
+
+FaultProfile BuiltinProfile(const std::string& name) {
+  FaultProfile profile;
+  profile.name = name;
+  if (name == "none") {
+    return profile;
+  }
+  if (name == "flaky-transport") {
+    // Request-level flakiness only: drops and hangs with standard
+    // exponential-backoff retries, no network-side impairment.
+    profile.transport.fail_prob = 0.04;
+    profile.transport.timeout_prob = 0.01;
+    profile.transport.timeout_s = 4.0;
+    profile.transport.max_retries = 3;
+    profile.transport.backoff_base_s = 0.2;
+    profile.transport.backoff_mult = 2.0;
+    return profile;
+  }
+  if (name == "periodic-outage") {
+    // A hard 4 s outage every 90 s — the CDN-edge blip pattern.
+    profile.plan.outages.push_back(
+        {.start_s = 45.0, .duration_s = 4.0, .period_s = 90.0,
+         .floor_mbps = 0.0});
+    return profile;
+  }
+  if (name == "cdn-degrade-failover") {
+    // The primary CDN degrades to 35% capacity at t=60s and turns flaky;
+    // after 2 consecutive failed attempts the player fails over to a
+    // healthy secondary at 80% of the original capacity.
+    profile.plan.scales.push_back(
+        {.factor = 0.35, .from_s = 60.0, .to_s = kInfSeconds});
+    profile.transport.fail_prob = 0.06;
+    profile.transport.max_retries = 3;
+    profile.transport.failover = true;
+    profile.transport.failover_after = 2;
+    profile.transport.secondary_scale = 0.8;
+    return profile;
+  }
+  if (name == "lossy-cellular") {
+    // Elevated latency plus drops and hangs — a congested cellular path.
+    profile.plan.rtt_windows.push_back(
+        {.from_s = 0.0, .to_s = kInfSeconds, .extra_s = 0.15});
+    profile.transport.fail_prob = 0.05;
+    profile.transport.timeout_prob = 0.02;
+    profile.transport.timeout_s = 3.0;
+    profile.transport.max_retries = 4;
+    profile.transport.backoff_base_s = 0.1;
+    profile.transport.backoff_mult = 2.0;
+    return profile;
+  }
+  std::string valid;
+  for (const std::string& n : BuiltinProfileNames()) {
+    valid += (valid.empty() ? "" : ", ") + n;
+  }
+  SODA_ENSURE(false, "unknown fault profile '" + name + "'; valid: " + valid);
+  return profile;  // unreachable
+}
+
+FaultProfile LoadProfile(const std::string& name_or_path) {
+  for (const std::string& n : BuiltinProfileNames()) {
+    if (name_or_path == n) return BuiltinProfile(n);
+  }
+  std::ifstream file(name_or_path);
+  SODA_ENSURE(file.good(), "fault profile '" + name_or_path +
+                               "' is neither a built-in name nor a readable "
+                               "file");
+  std::ostringstream text;
+  text << file.rdbuf();
+  FaultProfile profile = FaultProfile::Parse(text.str());
+  if (profile.name == "none") profile.name = name_or_path;
+  return profile;
+}
+
+SessionFaults MakeSessionFaults(const FaultProfile& profile,
+                                const net::ThroughputTrace& raw_primary,
+                                std::uint64_t session_seed) {
+  profile.plan.Validate();
+  profile.transport.Validate();
+  SessionFaults faults;
+  faults.transport = profile.transport;
+  faults.rtt_windows = profile.plan.rtt_windows;
+  faults.seed = session_seed;
+  faults.measure_outage = !profile.plan.TraceIsUnchanged();
+  if (profile.transport.failover) {
+    faults.secondary = raw_primary.Scaled(profile.transport.secondary_scale);
+  }
+  return faults;
+}
+
+}  // namespace soda::fault

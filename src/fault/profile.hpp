@@ -1,0 +1,67 @@
+// Fault profiles: a named bundle of the two fault halves — an
+// ImpairmentPlan (trace transforms) and TransportFaults (per-request
+// failure/timeout/retry/failover semantics) — with a small line-based
+// config format that round-trips, a library of built-in profiles for the
+// benches, and the per-session assembly helper the evaluator uses.
+//
+// Config format: one event per line, `#` comments and blank lines ignored.
+//
+//   profile name=cdn-degrade-failover
+//   outage start=45 dur=4 period=90 floor=0
+//   scale factor=0.35 from=60 to=inf
+//   cdn_switch at=120 blackout=2 factor=0.6
+//   rtt from=0 to=inf extra=0.08
+//   transport fail=0.04 timeout=0.01 timeout_s=4 frac_lo=0.1 frac_hi=0.9
+//   retry max=3 backoff=0.2 mult=2 cap=5 budget=-1
+//   failover enabled=1 after=2 scale=0.7
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/impairment.hpp"
+#include "fault/transport.hpp"
+
+namespace soda::fault {
+
+struct FaultProfile {
+  std::string name = "none";
+  ImpairmentPlan plan;
+  TransportFaults transport;
+
+  // True when evaluation under this profile is the plain simulator.
+  [[nodiscard]] bool IsNoop() const noexcept {
+    return plan.IsNoop() && !transport.Enabled();
+  }
+
+  // Renders the profile in the config format above; Parse(Serialize())
+  // reproduces every field.
+  [[nodiscard]] std::string Serialize() const;
+
+  // Parses the config format. Throws std::invalid_argument on unknown
+  // sections/keys, malformed values or out-of-range parameters.
+  [[nodiscard]] static FaultProfile Parse(const std::string& text);
+};
+
+// Built-in profile names, in fixed (bench table) order. "none" is first.
+[[nodiscard]] std::vector<std::string> BuiltinProfileNames();
+
+// A built-in profile by name. Throws std::invalid_argument for unknown
+// names (the message lists the valid ones).
+[[nodiscard]] FaultProfile BuiltinProfile(const std::string& name);
+
+// Resolves a built-in name, else treats the argument as a config-file path
+// (read + Parse). Throws when neither resolves.
+[[nodiscard]] FaultProfile LoadProfile(const std::string& name_or_path);
+
+// Assembles the per-session fault state for `profile`: copies the
+// transport faults and RTT windows, seeds the per-request streams with
+// `session_seed`, flags outage measurement when the plan impairs the
+// trace, and builds the failover target from the *unimpaired* primary
+// (secondary CDNs do not share the primary's outages).
+[[nodiscard]] SessionFaults MakeSessionFaults(
+    const FaultProfile& profile, const net::ThroughputTrace& raw_primary,
+    std::uint64_t session_seed);
+
+}  // namespace soda::fault

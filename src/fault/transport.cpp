@@ -1,0 +1,33 @@
+#include "fault/transport.hpp"
+
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace soda::fault {
+
+void TransportFaults::Validate() const {
+  SODA_ENSURE(fail_prob >= 0.0 && fail_prob <= 1.0,
+              "fail probability must be in [0, 1]");
+  SODA_ENSURE(timeout_prob >= 0.0 && timeout_prob <= 1.0,
+              "timeout probability must be in [0, 1]");
+  SODA_ENSURE(fail_prob + timeout_prob <= 1.0,
+              "fail + timeout probability must not exceed 1");
+  SODA_ENSURE(fail_frac_lo >= 0.0 && fail_frac_hi <= 1.0 &&
+                  fail_frac_lo <= fail_frac_hi,
+              "failure fraction range must satisfy 0 <= lo <= hi <= 1");
+  SODA_ENSURE(timeout_s > 0.0 || timeout_prob == 0.0,
+              "timeout duration must be positive when timeouts can fire");
+  SODA_ENSURE(max_retries >= 0, "max retries must be non-negative");
+  SODA_ENSURE(backoff_base_s >= 0.0 && std::isfinite(backoff_base_s),
+              "backoff base must be finite and non-negative");
+  SODA_ENSURE(backoff_mult >= 1.0 && std::isfinite(backoff_mult),
+              "backoff multiplier must be >= 1");
+  SODA_ENSURE(max_backoff_s >= 0.0, "max backoff must be non-negative");
+  SODA_ENSURE(retry_budget >= -1, "retry budget must be >= -1");
+  SODA_ENSURE(failover_after >= 1, "failover threshold must be >= 1");
+  SODA_ENSURE(secondary_scale > 0.0 && std::isfinite(secondary_scale),
+              "secondary CDN scale must be finite and positive");
+}
+
+}  // namespace soda::fault

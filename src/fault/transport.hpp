@@ -1,0 +1,100 @@
+// Transport faults: per-request failure and stochastic-timeout models with
+// retry, exponential backoff, a retry budget and optional failover to a
+// secondary trace (a secondary CDN).
+//
+// Determinism contract: every random decision for a request attempt is
+// drawn from a counter-based stream — Rng(MixSeed(session seed, attempt
+// counter)) — so the fault sequence is a pure function of the per-session
+// seed and the attempt index. No state is shared across sessions, which is
+// what keeps the parallel evaluation engine bit-identical at any thread
+// count (see qoe/eval.hpp's determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/impairment.hpp"
+#include "net/trace.hpp"
+
+namespace soda::fault {
+
+// Mixes a seed and a counter into an independent stream seed (splitmix64
+// finalizer, the same construction as qoe::SessionSeed): adjacent counters
+// yield decorrelated streams, stable across platforms.
+[[nodiscard]] constexpr std::uint64_t MixSeed(std::uint64_t seed,
+                                              std::uint64_t counter) noexcept {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (counter + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+struct TransportFaults {
+  // Per-attempt probability that the connection drops mid-transfer: the
+  // attempt wastes a uniform [fail_frac_lo, fail_frac_hi) fraction of the
+  // full transfer time (and the bytes delivered in it), then fails.
+  double fail_prob = 0.0;
+  double fail_frac_lo = 0.1;
+  double fail_frac_hi = 0.9;
+  // Per-attempt probability that the request hangs: no bytes flow for
+  // timeout_s, then the player gives up on the attempt.
+  double timeout_prob = 0.0;
+  double timeout_s = 4.0;
+  // Retry policy: at most max_retries faulty attempts per request (the
+  // next attempt then succeeds, so sessions always terminate), waiting
+  // backoff_base_s * backoff_mult^attempt (capped at max_backoff_s)
+  // between attempts.
+  int max_retries = 3;
+  double backoff_base_s = 0.2;
+  double backoff_mult = 2.0;
+  double max_backoff_s = 5.0;
+  // Session-wide cap on faulty attempts; -1 = unlimited. Once spent, the
+  // transport behaves cleanly for the rest of the session.
+  int retry_budget = -1;
+  // Failover: after failover_after consecutive faulty attempts on one
+  // request, switch (once per session) to the secondary trace for all
+  // remaining downloads. The secondary is the unimpaired primary scaled by
+  // secondary_scale (a healthy but typically lower-capacity CDN).
+  bool failover = false;
+  int failover_after = 2;
+  double secondary_scale = 0.7;
+
+  // True when any fault can fire.
+  [[nodiscard]] bool Enabled() const noexcept {
+    return fail_prob > 0.0 || timeout_prob > 0.0;
+  }
+
+  // Throws std::invalid_argument on out-of-range parameters.
+  void Validate() const;
+};
+
+// Everything the simulator needs to impair one session's transport. Built
+// per session (fault::MakeSessionFaults) so the secondary trace and the
+// seed are session-local.
+struct SessionFaults {
+  TransportFaults transport;
+  // Deterministic extra request latency (from the impairment plan).
+  std::vector<RttWindow> rtt_windows;
+  // Failover target; unset disables failover even when transport.failover.
+  std::optional<net::ThroughputTrace> secondary;
+  // Per-session stream seed (derive from (base_seed, session_index)).
+  std::uint64_t seed = 0;
+  // When set, the simulator records SessionLog::outage_s from the trace's
+  // zero-throughput time (set when the plan actually impaired the trace).
+  bool measure_outage = false;
+
+  [[nodiscard]] bool IsNoop() const noexcept {
+    return !transport.Enabled() && rtt_windows.empty() && !measure_outage;
+  }
+
+  [[nodiscard]] double ExtraRttAt(double t) const noexcept {
+    double extra = 0.0;
+    for (const RttWindow& w : rtt_windows) {
+      if (t >= w.from_s && t < w.to_s) extra += w.extra_s;
+    }
+    return extra;
+  }
+};
+
+}  // namespace soda::fault

@@ -1,6 +1,7 @@
 #include "net/trace_io.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/csv.hpp"
@@ -11,33 +12,35 @@ namespace soda::net {
 
 ThroughputTrace LoadTraceCsv(const std::filesystem::path& path,
                              double duration_hint_s) {
-  // Detect a header: if the first row's first field does not parse as a
-  // number, treat it as a header row.
   CsvTable raw = LoadCsvFile(path, /*has_header=*/false);
   if (raw.rows.empty()) {
     throw std::runtime_error("trace CSV is empty: " + path.string());
   }
-  std::size_t first_row = 0;
-  try {
-    (void)ParseDouble(raw.rows[0][0], "header probe");
-  } catch (const std::runtime_error&) {
-    first_row = 1;
-  }
-  if (raw.rows.size() <= first_row) {
-    throw std::runtime_error("trace CSV has no data rows: " + path.string());
-  }
 
+  // Real-world trace exports are messy: header rows, stray comments,
+  // truncated lines, duplicated or out-of-order timestamps. Skip any row
+  // that does not yield a valid strictly-later sample instead of aborting
+  // the whole file (and with it the corpus load); only a file with zero
+  // usable rows is an error. A header row is just another skipped row.
   std::vector<TraceSample> samples;
-  samples.reserve(raw.rows.size() - first_row);
-  for (std::size_t i = first_row; i < raw.rows.size(); ++i) {
-    const auto& row = raw.rows[i];
-    if (row.size() < 2) {
-      throw std::runtime_error("trace CSV row needs 2 columns: " +
-                               path.string());
+  samples.reserve(raw.rows.size());
+  for (const auto& row : raw.rows) {
+    if (row.size() < 2) continue;
+    double t = 0.0;
+    double mbps = 0.0;
+    try {
+      t = ParseDouble(row[0], path.string());
+      mbps = ParseDouble(row[1], path.string());
+    } catch (const std::runtime_error&) {
+      continue;
     }
-    const double t = ParseDouble(row[0], path.string());
-    const double mbps = ParseDouble(row[1], path.string());
+    if (!std::isfinite(t) || !std::isfinite(mbps) || mbps < 0.0) continue;
+    if (!samples.empty() && t <= samples.back().time_s) continue;
     samples.push_back({t, mbps});
+  }
+  if (samples.empty()) {
+    throw std::runtime_error("trace CSV has no valid data rows: " +
+                             path.string());
   }
   // Re-base to time zero for tolerance of sliced exports.
   const double t0 = samples.front().time_s;

@@ -13,11 +13,28 @@ QoeMetrics RunOneSession(const net::ThroughputTrace& trace,
                          abr::Controller& controller,
                          const SeededPredictorFactory& make_predictor,
                          std::uint64_t session_seed,
+                         std::uint64_t fault_seed,
                          const media::VideoModel& video,
                          const EvalConfig& config) {
-  const predict::PredictorPtr predictor = make_predictor(trace, session_seed);
-  const sim::SessionLog log =
-      sim::RunSession(trace, controller, *predictor, video, config.sim);
+  if (config.fault.IsNoop()) {
+    const predict::PredictorPtr predictor = make_predictor(trace, session_seed);
+    const sim::SessionLog log =
+        sim::RunSession(trace, controller, *predictor, video, config.sim);
+    return ComputeQoe(log, config.utility, config.weights);
+  }
+  // Impair the trace, then run the fault-aware transport. The predictor is
+  // built against the impaired trace (that is the network it must track);
+  // the failover secondary is derived from the unimpaired primary.
+  const net::ThroughputTrace impaired =
+      config.fault.plan.TraceIsUnchanged()
+          ? trace
+          : config.fault.plan.ApplyToTrace(trace);
+  const fault::SessionFaults faults =
+      fault::MakeSessionFaults(config.fault, trace, fault_seed);
+  const predict::PredictorPtr predictor =
+      make_predictor(impaired, session_seed);
+  const sim::SessionLog log = sim::RunSession(impaired, controller, *predictor,
+                                              video, config.sim, faults);
   return ComputeQoe(log, config.utility, config.weights);
 }
 
@@ -29,6 +46,9 @@ EvalResult Evaluate(const std::vector<net::ThroughputTrace>& sessions,
   SODA_ENSURE(static_cast<bool>(config.utility), "utility function required");
   SODA_ENSURE(static_cast<bool>(make_controller), "controller factory required");
   SODA_ENSURE(static_cast<bool>(make_predictor), "predictor factory required");
+  // Fail fast (and on the calling thread) on an invalid fault profile.
+  config.fault.plan.Validate();
+  config.fault.transport.Validate();
   for (const std::size_t i : indices) {
     SODA_ENSURE(i < sessions.size(), "session index out of range");
   }
@@ -47,7 +67,8 @@ EvalResult Evaluate(const std::vector<net::ThroughputTrace>& sessions,
       const std::size_t i = indices[k];
       result.per_session[k] =
           RunOneSession(sessions[i], *controller, make_predictor,
-                        SessionSeed(config.base_seed, i), video, config);
+                        SessionSeed(config.base_seed, i),
+                        FaultSessionSeed(config.base_seed, i), video, config);
     }
   } else {
     // One controller clone per worker, constructed serially up front (so
@@ -65,7 +86,8 @@ EvalResult Evaluate(const std::vector<net::ThroughputTrace>& sessions,
           const std::size_t i = indices[k];
           result.per_session[k] = RunOneSession(
               sessions[i], *controllers[static_cast<std::size_t>(worker)],
-              make_predictor, SessionSeed(config.base_seed, i), video, config);
+              make_predictor, SessionSeed(config.base_seed, i),
+              FaultSessionSeed(config.base_seed, i), video, config);
         });
   }
 
@@ -100,6 +122,13 @@ std::uint64_t SessionSeed(std::uint64_t base_seed,
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+std::uint64_t FaultSessionSeed(std::uint64_t base_seed,
+                               std::size_t session_index) noexcept {
+  // Salt the base so the fault streams never collide with the predictor
+  // streams for the same session.
+  return SessionSeed(base_seed ^ 0xFA17C0DE5EEDULL, session_index);
 }
 
 EvalResult EvaluateControllerOn(

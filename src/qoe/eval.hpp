@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "abr/controller.hpp"
+#include "fault/profile.hpp"
 #include "net/trace.hpp"
 #include "qoe/metrics.hpp"
 #include "sim/session.hpp"
@@ -49,6 +50,14 @@ struct EvalConfig {
   int threads = 0;
   // Base for the per-session seeds handed to a SeededPredictorFactory.
   std::uint64_t base_seed = 0;
+  // Fault injection: each session's trace is impaired by `fault.plan` and
+  // its transport runs under `fault.transport` (see src/fault/). Each
+  // session's fault stream is seeded with FaultSessionSeed(base_seed,
+  // session index) — decorrelated from the predictor's SessionSeed stream
+  // and independent of thread count, so the determinism contract above
+  // holds under fault injection too. The default profile is a no-op and
+  // reproduces the plain evaluation bit-for-bit.
+  fault::FaultProfile fault;
 };
 
 struct EvalResult {
@@ -62,6 +71,13 @@ struct EvalResult {
 // indices get decorrelated streams.
 [[nodiscard]] std::uint64_t SessionSeed(std::uint64_t base_seed,
                                         std::size_t session_index) noexcept;
+
+// The seed for session `session_index`'s transport-fault streams: the same
+// construction as SessionSeed over a salted base, so fault randomness is
+// decorrelated from predictor randomness while staying a pure function of
+// (base_seed, session_index).
+[[nodiscard]] std::uint64_t FaultSessionSeed(std::uint64_t base_seed,
+                                             std::size_t session_index) noexcept;
 
 // Evaluates one controller over all sessions. Each worker constructs its
 // own controller once and relies on Reset() between sessions (so one-time

@@ -9,6 +9,10 @@ QoeMetrics ComputeQoe(const sim::SessionLog& log, const UtilityFn& utility,
   SODA_ENSURE(static_cast<bool>(utility), "utility function required");
   QoeMetrics out;
   out.segment_count = log.SegmentCount();
+  out.wasted_mb = log.TotalWastedMb();
+  out.retries = log.failed_attempts;
+  out.failovers = log.failover_count;
+  out.outage_ratio = log.session_s > 0.0 ? log.outage_s / log.session_s : 0.0;
   if (out.segment_count == 0) {
     // An empty session is maximally bad on rebuffering.
     out.rebuffer_ratio = 1.0;
@@ -44,6 +48,9 @@ void QoeAggregate::Add(const QoeMetrics& metrics) noexcept {
   utility.Add(metrics.mean_utility);
   rebuffer_ratio.Add(metrics.rebuffer_ratio);
   switch_rate.Add(metrics.switch_rate);
+  wasted_mb.Add(metrics.wasted_mb);
+  outage_ratio.Add(metrics.outage_ratio);
+  retries.Add(static_cast<double>(metrics.retries));
 }
 
 }  // namespace soda::qoe

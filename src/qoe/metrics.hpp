@@ -36,6 +36,13 @@ struct QoeMetrics {
   double startup_ratio = 0.0;  // startup_s / session_s
   double qoe = 0.0;
   std::int64_t segment_count = 0;
+  // Waste and fault accounting carried through from the SessionLog (all
+  // zero without abandonment or fault injection); these do not enter the
+  // QoE score but power the fault benches' waste/retry deltas.
+  double wasted_mb = 0.0;       // abandonment + failed-attempt megabits
+  double outage_ratio = 0.0;    // outage_s / session_s
+  std::int64_t retries = 0;     // failed transport attempts
+  int failovers = 0;            // CDN failover events
 };
 
 [[nodiscard]] QoeMetrics ComputeQoe(const sim::SessionLog& log,
@@ -48,6 +55,9 @@ struct QoeAggregate {
   RunningStats utility;
   RunningStats rebuffer_ratio;
   RunningStats switch_rate;
+  RunningStats wasted_mb;
+  RunningStats outage_ratio;
+  RunningStats retries;
 
   void Add(const QoeMetrics& metrics) noexcept;
   [[nodiscard]] std::size_t SessionCount() const noexcept {

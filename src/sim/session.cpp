@@ -3,20 +3,46 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/impairment.hpp"
 #include "util/ensure.hpp"
+#include "util/rng.hpp"
 
 namespace soda::sim {
+namespace {
 
-SessionLog RunSession(const net::ThroughputTrace& trace,
-                      abr::Controller& controller,
-                      predict::ThroughputPredictor& predictor,
-                      const media::VideoModel& video, const SimConfig& config) {
+// The shared simulator loop. `faults` == nullptr runs the plain transport
+// (exactly one successful request per segment after one RTT). Every fault
+// injection point is guarded so that a null (or no-op) `faults` leaves the
+// arithmetic — and therefore the SessionLog — bit-identical to the plain
+// path; the golden identity test in tests/fault_session_test.cpp holds the
+// guards to that contract.
+SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
+                          abr::Controller& controller,
+                          predict::ThroughputPredictor& predictor,
+                          const media::VideoModel& video,
+                          const SimConfig& config,
+                          const fault::SessionFaults* faults) {
+  SODA_ENSURE(config.max_buffer_s > 0.0, "max buffer must be positive");
   SODA_ENSURE(config.max_buffer_s > video.SegmentSeconds(),
               "max buffer must exceed one segment");
   SODA_ENSURE(config.rtt_s >= 0.0, "rtt must be non-negative");
+  SODA_ENSURE(config.startup_buffer_s >= 0.0,
+              "startup buffer must be non-negative");
+  SODA_ENSURE(config.abandon_check_s > 0.0,
+              "abandon check interval must be positive");
+  SODA_ENSURE(config.abandon_stall_threshold_s >= 0.0,
+              "abandon stall threshold must be non-negative");
   if (config.live) {
     SODA_ENSURE(config.live_latency_s >= video.SegmentSeconds(),
                 "live latency must cover at least one segment");
+  }
+  if (faults != nullptr) {
+    faults->transport.Validate();
+    for (const fault::RttWindow& w : faults->rtt_windows) {
+      SODA_ENSURE(w.from_s >= 0.0 && w.to_s > w.from_s,
+                  "rtt window must be non-empty and start at >= 0");
+      SODA_ENSURE(w.extra_s >= 0.0, "extra rtt must be non-negative");
+    }
   }
 
   controller.Reset();
@@ -29,6 +55,19 @@ SessionLog RunSession(const net::ThroughputTrace& trace,
   bool playing = false;
   media::Rung prev_rung = -1;
   std::int64_t index = 0;
+
+  // Transport-fault state: the active trace switches to the secondary CDN
+  // on failover; attempt streams are counter-based off the session seed.
+  const net::ThroughputTrace* active = &trace;
+  const bool transport_on = faults != nullptr && faults->transport.Enabled();
+  bool failed_over = false;
+  std::uint64_t attempt_counter = 0;
+
+  // Extra request latency from the impairment plan's RTT windows.
+  const auto request_rtt = [&](double t) {
+    if (faults == nullptr || faults->rtt_windows.empty()) return config.rtt_s;
+    return config.rtt_s + faults->ExtraRttAt(t);
+  };
 
   // Drains the buffer over `elapsed` seconds of waiting, charging stalls to
   // rebuffering when playback has started.
@@ -82,10 +121,84 @@ SessionLog RunSession(const net::ThroughputTrace& trace,
     const media::Rung rung = controller.ChooseRung(context);
     SODA_ASSERT(video.Ladder().IsValidRung(rung));
 
-    // 3) Download, with optional mid-flight abandonment.
     media::Rung fetched_rung = rung;
     double size_mb = video.SegmentSizeMb(index, rung);
-    double transfer_s = trace.TimeToDownload(now, size_mb);
+
+    // 3) Transport faults: failed attempts burn time and bytes before the
+    // download that succeeds.
+    int attempts = 1;
+    double fault_elapsed_s = 0.0;
+    double fault_rebuffer = 0.0;
+    double seg_fault_waste_mb = 0.0;
+    bool failed_over_here = false;
+    bool starved_in_faults = false;
+    if (transport_on) {
+      const fault::TransportFaults& tf = faults->transport;
+      for (int attempt = 0; attempt < tf.max_retries; ++attempt) {
+        if (tf.retry_budget >= 0 &&
+            log.failed_attempts >= tf.retry_budget) {
+          break;  // session retry budget spent: clean transport from here
+        }
+        Rng stream(fault::MixSeed(faults->seed, attempt_counter));
+        ++attempt_counter;
+        const double u = stream.NextDouble();
+        double lost_s = 0.0;
+        double waste_mb = 0.0;
+        if (u < tf.timeout_prob) {
+          // The request hangs: no bytes flow until the timeout fires.
+          lost_s = tf.timeout_s;
+          ++log.timeout_count;
+        } else if (u < tf.timeout_prob + tf.fail_prob) {
+          // The connection drops partway through the transfer.
+          const double full_s = active->TimeToDownload(now, size_mb);
+          if (!std::isfinite(full_s)) {
+            starved_in_faults = true;
+            break;
+          }
+          const double frac =
+              stream.Uniform(tf.fail_frac_lo, tf.fail_frac_hi);
+          lost_s = request_rtt(now) + frac * full_s;
+          waste_mb = active->MegabitsBetween(now, now + lost_s);
+        } else {
+          break;  // this attempt succeeds
+        }
+        ++attempts;
+        ++log.failed_attempts;
+        fault_rebuffer += drain(lost_s);
+        now += lost_s;
+        fault_elapsed_s += lost_s;
+        seg_fault_waste_mb += waste_mb;
+        log.fault_wasted_mb += waste_mb;
+        log.fault_delay_s += lost_s;
+        // Exponential backoff before the retry.
+        const double backoff =
+            std::min(tf.backoff_base_s * std::pow(tf.backoff_mult, attempt),
+                     tf.max_backoff_s);
+        if (backoff > 0.0) {
+          fault_rebuffer += drain(backoff);
+          now += backoff;
+          fault_elapsed_s += backoff;
+          log.fault_delay_s += backoff;
+        }
+        // Failover to the secondary CDN after enough consecutive failures
+        // on this request (once per session).
+        if (tf.failover && !failed_over && faults->secondary.has_value() &&
+            attempts - 1 >= tf.failover_after) {
+          active = &*faults->secondary;
+          failed_over = true;
+          failed_over_here = true;
+          ++log.failover_count;
+        }
+      }
+    }
+    if (starved_in_faults) {
+      log.starved = true;
+      break;
+    }
+
+    // 4) Download, with optional mid-flight abandonment.
+    const double rtt_s = request_rtt(now);
+    double transfer_s = active->TimeToDownload(now, size_mb);
     if (!std::isfinite(transfer_s)) {
       log.starved = true;
       break;
@@ -103,31 +216,31 @@ SessionLog RunSession(const net::ThroughputTrace& trace,
           playing ? std::max(buffer - config.abandon_check_s, 0.0) : buffer;
       if (remaining_s > buffer_at_check + config.abandon_stall_threshold_s) {
         abandoned = true;
-        abandon_elapsed_s = config.abandon_check_s + config.rtt_s;
+        abandon_elapsed_s = config.abandon_check_s + rtt_s;
         abandon_rebuffer = drain(abandon_elapsed_s);
-        wasted_mb = trace.MegabitsBetween(now, now + config.abandon_check_s);
+        wasted_mb = active->MegabitsBetween(now, now + config.abandon_check_s);
         now += abandon_elapsed_s;
         fetched_rung = video.Ladder().LowestRung();
         size_mb = video.SegmentSizeMb(index, fetched_rung);
-        transfer_s = trace.TimeToDownload(now, size_mb);
+        transfer_s = active->TimeToDownload(now, size_mb);
         if (!std::isfinite(transfer_s)) {
           log.starved = true;
           break;
         }
       }
     }
-    const double download_s = transfer_s + config.rtt_s;
+    const double download_s = transfer_s + rtt_s;
     const double download_rebuffer = drain(download_s);
     buffer += seg_s;
     now += download_s;
 
-    // 4) Playback start bookkeeping.
+    // 5) Playback start bookkeeping.
     if (!playing && buffer >= std::max(config.startup_buffer_s, seg_s) - 1e-9) {
       playing = true;
       log.startup_s = now;
     }
 
-    // 5) Feed the predictor the realized throughput (transfer only; the
+    // 6) Feed the predictor the realized throughput (transfer only; the
     // RTT is request latency, not goodput).
     predictor.Observe({now - download_s, transfer_s, size_mb});
 
@@ -136,13 +249,18 @@ SessionLog RunSession(const net::ThroughputTrace& trace,
     record.rung = fetched_rung;
     record.bitrate_mbps = video.Ladder().BitrateMbps(fetched_rung);
     record.size_mb = size_mb;
-    record.request_s = now - download_s - abandon_elapsed_s;
-    record.download_s = download_s + abandon_elapsed_s;
+    record.request_s =
+        now - download_s - abandon_elapsed_s - fault_elapsed_s;
+    record.download_s = download_s + abandon_elapsed_s + fault_elapsed_s;
     record.wait_s = waited;
-    record.rebuffer_s = wait_rebuffer + abandon_rebuffer + download_rebuffer;
+    record.rebuffer_s = wait_rebuffer + abandon_rebuffer + download_rebuffer +
+                        fault_rebuffer;
     record.buffer_after_s = buffer;
     record.abandoned = abandoned;
     record.wasted_mb = wasted_mb;
+    record.attempts = attempts;
+    record.fault_wasted_mb = seg_fault_waste_mb;
+    record.failed_over = failed_over_here;
     log.segments.push_back(record);
     log.total_wait_s += waited;
 
@@ -151,7 +269,27 @@ SessionLog RunSession(const net::ThroughputTrace& trace,
   }
 
   log.session_s = std::max(now, trace.DurationS());
+  if (faults != nullptr && faults->measure_outage) {
+    log.outage_s = fault::OutageSeconds(trace, 0.0, log.session_s);
+  }
   return log;
+}
+
+}  // namespace
+
+SessionLog RunSession(const net::ThroughputTrace& trace,
+                      abr::Controller& controller,
+                      predict::ThroughputPredictor& predictor,
+                      const media::VideoModel& video, const SimConfig& config) {
+  return RunSessionImpl(trace, controller, predictor, video, config, nullptr);
+}
+
+SessionLog RunSession(const net::ThroughputTrace& trace,
+                      abr::Controller& controller,
+                      predict::ThroughputPredictor& predictor,
+                      const media::VideoModel& video, const SimConfig& config,
+                      const fault::SessionFaults& faults) {
+  return RunSessionImpl(trace, controller, predictor, video, config, &faults);
 }
 
 }  // namespace soda::sim

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "abr/controller.hpp"
+#include "fault/transport.hpp"
 #include "net/trace.hpp"
 #include "sim/session_log.hpp"
 
@@ -48,5 +49,21 @@ struct SimConfig {
                                     predict::ThroughputPredictor& predictor,
                                     const media::VideoModel& video,
                                     const SimConfig& config);
+
+// Fault-injected variant: before the successful download of each segment,
+// transport faults (drops, stochastic timeouts) may burn time and bytes,
+// with exponential-backoff retries, a per-request retry cap, a per-session
+// retry budget, and optional one-shot failover to `faults.secondary` (a
+// secondary CDN) for the rest of the session. Extra per-request RTT comes
+// from `faults.rtt_windows`. All randomness is drawn from counter-based
+// streams keyed by `faults.seed` — the log is a pure function of the
+// arguments. A default-constructed (no-op) SessionFaults reproduces the
+// plain RunSession bit-for-bit.
+[[nodiscard]] SessionLog RunSession(const net::ThroughputTrace& trace,
+                                    abr::Controller& controller,
+                                    predict::ThroughputPredictor& predictor,
+                                    const media::VideoModel& video,
+                                    const SimConfig& config,
+                                    const fault::SessionFaults& faults);
 
 }  // namespace soda::sim

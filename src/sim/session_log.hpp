@@ -30,6 +30,13 @@ struct SegmentRecord {
   bool abandoned = false;
   // Megabits discarded by the abandoned attempt.
   double wasted_mb = 0.0;
+  // Download attempts for this segment (1 = clean; each transport fault
+  // adds one).
+  int attempts = 1;
+  // Megabits discarded by failed transport attempts for this segment.
+  double fault_wasted_mb = 0.0;
+  // True when a CDN failover was triggered while fetching this segment.
+  bool failed_over = false;
 };
 
 struct SessionLog {
@@ -44,6 +51,16 @@ struct SessionLog {
   // True when the session ended because the network could not serve any
   // further data (defensive; does not occur with floored traces).
   bool starved = false;
+  // Transport-fault accounting (all zero without fault injection).
+  std::int64_t failed_attempts = 0;  // faulty attempts across all segments
+  std::int64_t timeout_count = 0;    // the subset that were timeouts
+  int failover_count = 0;            // CDN failover events (0 or 1)
+  double fault_wasted_mb = 0.0;      // megabits burned by failed attempts
+  double fault_delay_s = 0.0;        // time lost to failed attempts + backoff
+  // Seconds of the session spent inside zero-throughput (outage) windows
+  // of the trace; recorded only under fault injection with an impaired
+  // trace (SessionFaults::measure_outage).
+  double outage_s = 0.0;
 
   [[nodiscard]] std::int64_t SegmentCount() const noexcept {
     return static_cast<std::int64_t>(segments.size());
@@ -51,7 +68,12 @@ struct SessionLog {
   // Number of adjacent segment pairs with different rungs.
   [[nodiscard]] int SwitchCount() const noexcept;
   [[nodiscard]] int AbandonedCount() const noexcept;
+  // Megabits wasted by segment abandonment (see TotalWastedMb for the
+  // fault-inclusive total).
   [[nodiscard]] double WastedMb() const noexcept;
+  [[nodiscard]] double TotalWastedMb() const noexcept {
+    return WastedMb() + fault_wasted_mb;
+  }
   [[nodiscard]] double PlayedSeconds(double segment_s) const noexcept;
   [[nodiscard]] double MeanBitrateMbps() const noexcept;
 };

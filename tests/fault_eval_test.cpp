@@ -1,0 +1,175 @@
+// Fault injection through the parallel evaluation engine: fault-injected
+// corpus evaluation must stay bit-identical at every thread count, and a
+// zero-effect profile must reproduce the plain evaluation exactly (the
+// eval-level golden identity).
+#include "qoe/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "fault/profile.hpp"
+#include "media/quality.hpp"
+#include "net/generators.hpp"
+#include "util/rng.hpp"
+
+namespace soda::qoe {
+namespace {
+
+std::vector<net::ThroughputTrace> MakeCorpus(std::size_t count) {
+  Rng rng(131);
+  std::vector<net::ThroughputTrace> sessions;
+  for (std::size_t i = 0; i < count; ++i) {
+    net::RandomWalkConfig walk;
+    walk.mean_mbps = rng.Uniform(2.0, 25.0);
+    walk.stationary_rel_std = rng.Uniform(0.3, 0.8);
+    walk.duration_s = 180.0;
+    sessions.push_back(net::RandomWalkTrace(walk, rng));
+  }
+  return sessions;
+}
+
+EvalConfig MakeConfig(const media::BitrateLadder& ladder, int threads) {
+  EvalConfig config;
+  config.sim.max_buffer_s = 20.0;
+  config.sim.live = true;
+  config.sim.live_latency_s = 20.0;
+  config.threads = threads;
+  config.base_seed = 11;
+  config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
+    return u.At(mbps);
+  };
+  return config;
+}
+
+// Bit-exact equality including the fault-accounting metrics.
+void ExpectBitIdentical(const EvalResult& reference, const EvalResult& other,
+                        const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(reference.controller_name, other.controller_name);
+  ASSERT_EQ(reference.per_session.size(), other.per_session.size());
+  for (std::size_t k = 0; k < reference.per_session.size(); ++k) {
+    const QoeMetrics& a = reference.per_session[k];
+    const QoeMetrics& b = other.per_session[k];
+    SCOPED_TRACE("session " + std::to_string(k));
+    EXPECT_EQ(a.qoe, b.qoe);
+    EXPECT_EQ(a.mean_utility, b.mean_utility);
+    EXPECT_EQ(a.rebuffer_ratio, b.rebuffer_ratio);
+    EXPECT_EQ(a.switch_rate, b.switch_rate);
+    EXPECT_EQ(a.startup_ratio, b.startup_ratio);
+    EXPECT_EQ(a.segment_count, b.segment_count);
+    EXPECT_EQ(a.wasted_mb, b.wasted_mb);
+    EXPECT_EQ(a.outage_ratio, b.outage_ratio);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.failovers, b.failovers);
+  }
+  const auto expect_stats_equal = [](const RunningStats& x,
+                                     const RunningStats& y) {
+    EXPECT_EQ(x.Count(), y.Count());
+    EXPECT_EQ(x.Mean(), y.Mean());
+    EXPECT_EQ(x.Variance(), y.Variance());
+  };
+  expect_stats_equal(reference.aggregate.qoe, other.aggregate.qoe);
+  expect_stats_equal(reference.aggregate.rebuffer_ratio,
+                     other.aggregate.rebuffer_ratio);
+  expect_stats_equal(reference.aggregate.wasted_mb, other.aggregate.wasted_mb);
+  expect_stats_equal(reference.aggregate.outage_ratio,
+                     other.aggregate.outage_ratio);
+  expect_stats_equal(reference.aggregate.retries, other.aggregate.retries);
+}
+
+TEST(FaultEval, BuiltinProfilesBitIdenticalAcrossThreadCounts) {
+  const auto sessions = MakeCorpus(8);
+  const media::BitrateLadder ladder =
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2);
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const auto make_soda = bench::SimulationRoster().front().factory;
+
+  for (const std::string& profile_name : fault::BuiltinProfileNames()) {
+    EvalConfig serial_config = MakeConfig(ladder, 1);
+    serial_config.fault = fault::BuiltinProfile(profile_name);
+    const EvalResult serial = EvaluateController(
+        sessions, make_soda, bench::EmaFactory(), video, serial_config);
+    for (const int threads : {2, 8}) {
+      EvalConfig parallel_config = MakeConfig(ladder, threads);
+      parallel_config.fault = fault::BuiltinProfile(profile_name);
+      const EvalResult parallel = EvaluateController(
+          sessions, make_soda, bench::EmaFactory(), video, parallel_config);
+      ExpectBitIdentical(serial, parallel,
+                         profile_name + " @" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(FaultEval, FaultyProfilesActuallyInjectFaults) {
+  const auto sessions = MakeCorpus(4);
+  const media::BitrateLadder ladder =
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2);
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const auto make_soda = bench::SimulationRoster().front().factory;
+
+  EvalConfig config = MakeConfig(ladder, 1);
+  config.fault = fault::BuiltinProfile("flaky-transport");
+  const EvalResult flaky = EvaluateController(sessions, make_soda,
+                                              bench::EmaFactory(), video,
+                                              config);
+  EXPECT_GT(flaky.aggregate.retries.Mean(), 0.0);
+  EXPECT_GT(flaky.aggregate.wasted_mb.Mean(), 0.0);
+
+  config.fault = fault::BuiltinProfile("periodic-outage");
+  const EvalResult outage = EvaluateController(sessions, make_soda,
+                                               bench::EmaFactory(), video,
+                                               config);
+  EXPECT_GT(outage.aggregate.outage_ratio.Mean(), 0.0);
+}
+
+TEST(FaultEval, ZeroEffectProfileReproducesPlainEvalExactly) {
+  // A profile that takes the fault-aware code path (rtt window present, so
+  // IsNoop() is false) but whose every effect is exactly zero: the guards
+  // at each injection point must make the arithmetic identical, not just
+  // close.
+  const auto sessions = MakeCorpus(5);
+  const media::BitrateLadder ladder =
+      media::YoutubeHfr4kLadder().WithoutTopRungs(2);
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const auto make_soda = bench::SimulationRoster().front().factory;
+
+  const EvalResult plain = EvaluateController(
+      sessions, make_soda, bench::EmaFactory(), video, MakeConfig(ladder, 1));
+
+  EvalConfig zero_config = MakeConfig(ladder, 1);
+  zero_config.fault.name = "zero-effect";
+  zero_config.fault.plan.rtt_windows.push_back(
+      {.from_s = 0.0, .to_s = fault::kInfSeconds, .extra_s = 0.0});
+  ASSERT_FALSE(zero_config.fault.IsNoop());
+  const EvalResult zero = EvaluateController(
+      sessions, make_soda, bench::EmaFactory(), video, zero_config);
+  ExpectBitIdentical(plain, zero, "zero-effect profile");
+}
+
+TEST(FaultEval, FaultSessionSeedDecorrelatedFromPredictorSeed) {
+  EXPECT_EQ(FaultSessionSeed(1, 0), FaultSessionSeed(1, 0));
+  EXPECT_NE(FaultSessionSeed(1, 0), FaultSessionSeed(1, 1));
+  EXPECT_NE(FaultSessionSeed(1, 0), SessionSeed(1, 0));
+  EXPECT_NE(FaultSessionSeed(7, 3), SessionSeed(7, 3));
+}
+
+TEST(FaultEval, InvalidProfileRejectedOnTheCallingThread) {
+  const auto sessions = MakeCorpus(2);
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  const auto make_soda = bench::SimulationRoster().front().factory;
+  for (const int threads : {1, 4}) {
+    EvalConfig config = MakeConfig(ladder, threads);
+    config.fault.transport.fail_prob = 1.5;
+    EXPECT_THROW((void)EvaluateController(sessions, make_soda,
+                                          bench::EmaFactory(), video, config),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace soda::qoe

@@ -1,0 +1,284 @@
+// Transport-fault half of the fault subsystem at the simulator level:
+// retry/backoff/budget/failover semantics and their SessionLog accounting,
+// the golden no-op identity (a no-op SessionFaults reproduces the plain
+// simulator bit-for-bit across the full controller roster), and the new
+// SimConfig validation.
+#include "sim/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/registry.hpp"
+#include "fault/profile.hpp"
+#include "fault/transport.hpp"
+#include "media/quality.hpp"
+#include "net/generators.hpp"
+#include "util/rng.hpp"
+
+namespace soda::sim {
+namespace {
+
+media::VideoModel TestVideo() {
+  return media::VideoModel(media::YoutubeHfr4kLadder().WithoutTopRungs(2),
+                           {.segment_seconds = 2.0});
+}
+
+SimConfig LiveConfig() {
+  SimConfig config;
+  config.max_buffer_s = 20.0;
+  config.live = true;
+  config.live_latency_s = 20.0;
+  return config;
+}
+
+SessionLog RunWithFaults(const net::ThroughputTrace& trace,
+                         const fault::SessionFaults& faults,
+                         const SimConfig& config = LiveConfig(),
+                         const std::string& controller_name = "throughput") {
+  const abr::ControllerPtr controller = core::MakeController(controller_name);
+  const predict::PredictorPtr predictor = core::MakePredictor("ema");
+  return RunSession(trace, *controller, *predictor, TestVideo(), config,
+                    faults);
+}
+
+// Bit-exact equality on every SessionLog field, == on doubles on purpose.
+void ExpectLogsBitIdentical(const SessionLog& a, const SessionLog& b) {
+  EXPECT_EQ(a.startup_s, b.startup_s);
+  EXPECT_EQ(a.total_rebuffer_s, b.total_rebuffer_s);
+  EXPECT_EQ(a.total_wait_s, b.total_wait_s);
+  EXPECT_EQ(a.session_s, b.session_s);
+  EXPECT_EQ(a.starved, b.starved);
+  EXPECT_EQ(a.failed_attempts, b.failed_attempts);
+  EXPECT_EQ(a.timeout_count, b.timeout_count);
+  EXPECT_EQ(a.failover_count, b.failover_count);
+  EXPECT_EQ(a.fault_wasted_mb, b.fault_wasted_mb);
+  EXPECT_EQ(a.fault_delay_s, b.fault_delay_s);
+  EXPECT_EQ(a.outage_s, b.outage_s);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    SCOPED_TRACE("segment " + std::to_string(i));
+    const SegmentRecord& x = a.segments[i];
+    const SegmentRecord& y = b.segments[i];
+    EXPECT_EQ(x.index, y.index);
+    EXPECT_EQ(x.rung, y.rung);
+    EXPECT_EQ(x.bitrate_mbps, y.bitrate_mbps);
+    EXPECT_EQ(x.size_mb, y.size_mb);
+    EXPECT_EQ(x.request_s, y.request_s);
+    EXPECT_EQ(x.download_s, y.download_s);
+    EXPECT_EQ(x.wait_s, y.wait_s);
+    EXPECT_EQ(x.rebuffer_s, y.rebuffer_s);
+    EXPECT_EQ(x.buffer_after_s, y.buffer_after_s);
+    EXPECT_EQ(x.abandoned, y.abandoned);
+    EXPECT_EQ(x.wasted_mb, y.wasted_mb);
+    EXPECT_EQ(x.attempts, y.attempts);
+    EXPECT_EQ(x.fault_wasted_mb, y.fault_wasted_mb);
+    EXPECT_EQ(x.failed_over, y.failed_over);
+  }
+}
+
+TEST(FaultSession, NoopFaultsBitIdenticalAcrossFullRoster) {
+  // The load-bearing golden test for the fault refactor: routing every
+  // controller through the fault-aware code path with a no-op SessionFaults
+  // must reproduce the plain simulator exactly — every guard at every
+  // injection point, not just the aggregate numbers.
+  Rng rng(17);
+  std::vector<net::ThroughputTrace> traces;
+  for (int i = 0; i < 2; ++i) {
+    net::RandomWalkConfig walk;
+    walk.mean_mbps = rng.Uniform(2.0, 20.0);
+    walk.stationary_rel_std = 0.6;
+    walk.duration_s = 180.0;
+    traces.push_back(net::RandomWalkTrace(walk, rng));
+  }
+  SimConfig abandon_config = LiveConfig();
+  abandon_config.allow_abandonment = true;
+
+  for (const std::string& name : core::ControllerNames()) {
+    for (const net::ThroughputTrace& trace : traces) {
+      for (const SimConfig& config : {LiveConfig(), abandon_config}) {
+        SCOPED_TRACE(name);
+        const abr::ControllerPtr plain_ctrl = core::MakeController(name);
+        const predict::PredictorPtr plain_pred = core::MakePredictor("ema");
+        const SessionLog plain = RunSession(trace, *plain_ctrl, *plain_pred,
+                                            TestVideo(), config);
+
+        fault::SessionFaults noop;
+        noop.seed = 12345;  // seed alone must not perturb anything
+        const SessionLog faulty =
+            RunWithFaults(trace, noop, config, name);
+        ExpectLogsBitIdentical(plain, faulty);
+        EXPECT_EQ(faulty.failed_attempts, 0);
+        EXPECT_EQ(faulty.fault_wasted_mb, 0.0);
+        EXPECT_EQ(faulty.outage_s, 0.0);
+      }
+    }
+  }
+}
+
+TEST(FaultSession, CertainFailureSpendsMaxRetriesThenSucceeds) {
+  const net::ThroughputTrace trace = net::ConstantTrace(10.0, 60.0);
+  fault::SessionFaults faults;
+  faults.transport.fail_prob = 1.0;
+  faults.transport.max_retries = 2;
+  faults.seed = 7;
+  const SessionLog log = RunWithFaults(trace, faults);
+  ASSERT_GT(log.SegmentCount(), 0);
+  for (const SegmentRecord& s : log.segments) {
+    EXPECT_EQ(s.attempts, 3);  // max_retries faulty attempts + 1 success
+    EXPECT_GT(s.fault_wasted_mb, 0.0);
+  }
+  EXPECT_EQ(log.failed_attempts, 2 * log.SegmentCount());
+  EXPECT_EQ(log.timeout_count, 0);
+  EXPECT_GT(log.fault_wasted_mb, 0.0);
+  EXPECT_GT(log.fault_delay_s, 0.0);
+  EXPECT_DOUBLE_EQ(log.TotalWastedMb(), log.WastedMb() + log.fault_wasted_mb);
+
+  const SessionLog clean = RunWithFaults(trace, fault::SessionFaults{});
+  EXPECT_LT(log.SegmentCount(), clean.SegmentCount())
+      << "faulty attempts + backoff must consume session time";
+}
+
+TEST(FaultSession, TimeoutsBurnTimeButNoBytes) {
+  const net::ThroughputTrace trace = net::ConstantTrace(10.0, 60.0);
+  fault::SessionFaults faults;
+  faults.transport.timeout_prob = 1.0;
+  faults.transport.timeout_s = 1.5;
+  faults.transport.max_retries = 1;
+  faults.seed = 7;
+  const SessionLog log = RunWithFaults(trace, faults);
+  ASSERT_GT(log.SegmentCount(), 0);
+  EXPECT_EQ(log.timeout_count, log.failed_attempts);
+  EXPECT_EQ(log.timeout_count, log.SegmentCount());
+  EXPECT_EQ(log.fault_wasted_mb, 0.0);
+  EXPECT_GT(log.fault_delay_s,
+            1.5 * static_cast<double>(log.SegmentCount()) - 1e-9);
+}
+
+TEST(FaultSession, RetryBudgetCapsSessionWideFaults) {
+  const net::ThroughputTrace trace = net::ConstantTrace(10.0, 120.0);
+  fault::SessionFaults faults;
+  faults.transport.fail_prob = 1.0;
+  faults.transport.max_retries = 3;
+  faults.transport.retry_budget = 5;
+  faults.seed = 7;
+  const SessionLog log = RunWithFaults(trace, faults);
+  EXPECT_EQ(log.failed_attempts, 5);
+  // Once the budget is spent the transport is clean.
+  int faulty_segments = 0;
+  for (const SegmentRecord& s : log.segments) {
+    if (s.attempts > 1) ++faulty_segments;
+  }
+  EXPECT_EQ(faulty_segments, 2);  // 3 + 2 faulty attempts
+}
+
+TEST(FaultSession, FailoverSwitchesOncePerSession) {
+  const net::ThroughputTrace trace = net::ConstantTrace(10.0, 60.0);
+  fault::SessionFaults faults;
+  faults.transport.fail_prob = 1.0;
+  faults.transport.max_retries = 3;
+  faults.transport.failover = true;
+  faults.transport.failover_after = 2;
+  faults.secondary = net::ConstantTrace(5.0, 60.0);
+  faults.seed = 7;
+  const SessionLog log = RunWithFaults(trace, faults);
+  EXPECT_EQ(log.failover_count, 1);
+  ASSERT_FALSE(log.segments.empty());
+  EXPECT_TRUE(log.segments.front().failed_over)
+      << "certain failure must fail over during the first request";
+  int flagged = 0;
+  for (const SegmentRecord& s : log.segments) flagged += s.failed_over ? 1 : 0;
+  EXPECT_EQ(flagged, 1);
+}
+
+TEST(FaultSession, FailoverNeedsASecondaryTrace) {
+  const net::ThroughputTrace trace = net::ConstantTrace(10.0, 60.0);
+  fault::SessionFaults faults;
+  faults.transport.fail_prob = 1.0;
+  faults.transport.failover = true;
+  faults.transport.failover_after = 1;
+  faults.seed = 7;  // no faults.secondary
+  const SessionLog log = RunWithFaults(trace, faults);
+  EXPECT_EQ(log.failover_count, 0);
+}
+
+TEST(FaultSession, FaultStreamIsAPureFunctionOfTheSeed) {
+  const net::ThroughputTrace trace = net::ConstantTrace(8.0, 90.0);
+  fault::SessionFaults faults;
+  faults.transport.fail_prob = 0.5;
+  faults.seed = 42;
+  const SessionLog a = RunWithFaults(trace, faults);
+  const SessionLog b = RunWithFaults(trace, faults);
+  ExpectLogsBitIdentical(a, b);
+
+  faults.seed = 43;
+  const SessionLog c = RunWithFaults(trace, faults);
+  EXPECT_NE(a.fault_wasted_mb, c.fault_wasted_mb)
+      << "different seeds must produce different fault patterns";
+}
+
+TEST(FaultSession, RttWindowsDelayEveryRequest) {
+  const net::ThroughputTrace trace = net::ConstantTrace(10.0, 60.0);
+  fault::SessionFaults faults;
+  // Large enough that the per-segment slowdown cannot be absorbed by
+  // live-edge idle waiting.
+  faults.rtt_windows.push_back(
+      {.from_s = 0.0, .to_s = fault::kInfSeconds, .extra_s = 2.0});
+  const SessionLog slowed = RunWithFaults(trace, faults);
+  const SessionLog clean = RunWithFaults(trace, fault::SessionFaults{});
+  ASSERT_GT(clean.SegmentCount(), 0);
+  EXPECT_LT(slowed.SegmentCount(), clean.SegmentCount());
+  EXPECT_GT(slowed.segments.front().download_s,
+            clean.segments.front().download_s);
+}
+
+TEST(FaultSession, MeasuresOutageTimeWhenAsked) {
+  // 10s of outage inside a 60s session window.
+  const net::ThroughputTrace trace = net::StepTrace({8.0, 0.0, 8.0}, 20.0);
+  fault::SessionFaults faults;
+  faults.measure_outage = true;
+  const SessionLog log = RunWithFaults(trace, faults);
+  EXPECT_GT(log.outage_s, 0.0);
+  EXPECT_LE(log.outage_s, 20.0 + 1e-9);
+}
+
+TEST(FaultSession, SimConfigValidationRejectsBadFields) {
+  const net::ThroughputTrace trace = net::ConstantTrace(5.0, 30.0);
+  const auto expect_invalid = [&](SimConfig config) {
+    const abr::ControllerPtr controller = core::MakeController("throughput");
+    const predict::PredictorPtr predictor = core::MakePredictor("ema");
+    EXPECT_THROW((void)RunSession(trace, *controller, *predictor, TestVideo(),
+                                  config),
+                 std::invalid_argument);
+  };
+  SimConfig config = LiveConfig();
+  config.max_buffer_s = 0.0;
+  expect_invalid(config);
+  config = LiveConfig();
+  config.max_buffer_s = -5.0;
+  expect_invalid(config);
+  config = LiveConfig();
+  config.startup_buffer_s = -1.0;
+  expect_invalid(config);
+  config = LiveConfig();
+  config.abandon_check_s = 0.0;
+  expect_invalid(config);
+  config = LiveConfig();
+  config.abandon_stall_threshold_s = -0.5;
+  expect_invalid(config);
+}
+
+TEST(FaultSession, InvalidTransportFaultsRejectedAtEntry) {
+  const net::ThroughputTrace trace = net::ConstantTrace(5.0, 30.0);
+  fault::SessionFaults faults;
+  faults.transport.fail_prob = 2.0;
+  EXPECT_THROW((void)RunWithFaults(trace, faults), std::invalid_argument);
+  faults = {};
+  faults.rtt_windows.push_back(
+      {.from_s = 10.0, .to_s = 5.0, .extra_s = 0.1});
+  EXPECT_THROW((void)RunWithFaults(trace, faults), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soda::sim

@@ -85,6 +85,54 @@ TEST_F(TraceIoTest, MissingDirectoryThrows) {
   EXPECT_THROW(LoadTraceDirectory(dir_ / "nope"), std::invalid_argument);
 }
 
+TEST_F(TraceIoTest, SkipsMalformedLinesInsteadOfAborting) {
+  // Real-world exports interleave comments, truncated rows and garbage;
+  // the loader must keep every valid sample and drop the rest.
+  const fs::path path = dir_ / "messy.csv";
+  std::ofstream(path) << "time_s,mbps\n"
+                      << "0,5\n"
+                      << "oops\n"
+                      << "1\n"          // truncated row
+                      << "1,abc\n"      // unparsable rate
+                      << "2,7\n"
+                      << "3,nan\n"      // non-finite rate
+                      << "4,-2\n"       // negative rate
+                      << "5,9\n";
+  const ThroughputTrace t = LoadTraceCsv(path);
+  EXPECT_NEAR(t.ThroughputAt(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(t.ThroughputAt(2.5), 7.0, 1e-9);
+  EXPECT_NEAR(t.ThroughputAt(5.0), 9.0, 1e-9);
+  // The skipped t=1,3,4 rows leave their intervals on the prior rate.
+  EXPECT_NEAR(t.ThroughputAt(1.5), 5.0, 1e-9);
+  EXPECT_NEAR(t.ThroughputAt(4.5), 7.0, 1e-9);
+}
+
+TEST_F(TraceIoTest, SkipsNonIncreasingTimestamps) {
+  const fs::path path = dir_ / "unordered.csv";
+  std::ofstream(path) << "0,5\n2,6\n1,99\n2,98\n3,7\n";
+  const ThroughputTrace t = LoadTraceCsv(path);
+  // The out-of-order and duplicate rows are dropped, not reordered.
+  EXPECT_NEAR(t.ThroughputAt(2.5), 6.0, 1e-9);
+  EXPECT_NEAR(t.ThroughputAt(3.0), 7.0, 1e-9);
+}
+
+TEST_F(TraceIoTest, AllMalformedRowsStillThrows) {
+  const fs::path path = dir_ / "hopeless.csv";
+  std::ofstream(path) << "garbage\nworse,garbage\n";
+  EXPECT_THROW(LoadTraceCsv(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, DirectoryLoadKeepsPartiallyMalformedFiles) {
+  std::ofstream(dir_ / "good.csv") << "0,5\n1,6\n";
+  std::ofstream(dir_ / "partial.csv") << "header,row\n0,5\njunk line\n1,6\n";
+  std::ofstream(dir_ / "bad.csv") << "no\nnumbers\nhere\n";
+  std::vector<fs::path> skipped;
+  const auto traces = LoadTraceDirectory(dir_, &skipped);
+  EXPECT_EQ(traces.size(), 2u);  // partial.csv survives its junk line
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0].filename(), "bad.csv");
+}
+
 TEST(TraceStats, ComputeTraceStats) {
   const ThroughputTrace t = StepTrace({2.0, 4.0, 6.0}, 10.0);
   const TraceStats stats = ComputeTraceStats(t, 1.0);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "net/generators.hpp"
+#include "net/trace_io.hpp"
 
 namespace soda::net {
 namespace {
@@ -74,6 +75,45 @@ TEST(Mahimahi, FileRoundTrip) {
   const ThroughputTrace loaded = LoadMahimahiFile(path);
   EXPECT_NEAR(loaded.MeanMbps(), 5.0, 0.2);
   std::filesystem::remove(path);
+}
+
+TEST(Mahimahi, RoundTripConservesBytes) {
+  // Packet schedules quantize rate but must conserve delivered bytes: the
+  // round-tripped trace carries the same megabits to within one packet per
+  // bin.
+  const ThroughputTrace original = StepTrace({3.0, 9.0, 1.5}, 8.0);
+  const double bin_s = 0.5;
+  const std::string rendered = ToMahimahi(original, bin_s);
+  MahimahiOptions options;
+  options.duration_s = original.DurationS();
+  options.bin_seconds = bin_s;
+  const ThroughputTrace parsed = ParseMahimahi(rendered, options);
+  const double total_bins = original.DurationS() / bin_s;
+  EXPECT_NEAR(parsed.MegabitsBetween(0.0, original.DurationS()),
+              original.MegabitsBetween(0.0, original.DurationS()),
+              total_bins * kPacketMb);
+}
+
+TEST(Mahimahi, CsvAndMahimahiAgreeOnTheSameTrace) {
+  // The two persistence formats must describe the same network: save a
+  // trace both ways, load both back, compare per-window averages.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto csv_path = dir / "soda_roundtrip_agree.csv";
+  const auto mahi_path = dir / "soda_roundtrip_agree.mahi";
+  const ThroughputTrace original = StepTrace({2.0, 6.0, 4.0}, 10.0);
+  SaveTraceCsv(original, csv_path);
+  SaveMahimahiFile(original, mahi_path);
+  const ThroughputTrace from_csv = LoadTraceCsv(csv_path);
+  MahimahiOptions options;
+  options.duration_s = original.DurationS();
+  const ThroughputTrace from_mahi = LoadMahimahiFile(mahi_path, options);
+  for (double t0 = 0.0; t0 < 30.0; t0 += 10.0) {
+    EXPECT_NEAR(from_csv.AverageMbps(t0, t0 + 10.0),
+                from_mahi.AverageMbps(t0, t0 + 10.0), 0.25)
+        << "window at " << t0;
+  }
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(mahi_path);
 }
 
 TEST(Mahimahi, MissingFileThrows) {

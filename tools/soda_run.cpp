@@ -24,12 +24,17 @@
 //   --seed N            corpus seed (default 1)
 //   --threads N         evaluation workers; 0 = all cores (default), 1 =
 //                       serial. Results are bit-identical for any value.
+//   --fault-profile X   impair the network/transport: a built-in profile
+//                       (none | flaky-transport | periodic-outage |
+//                       cdn-degrade-failover | lossy-cellular) or a path
+//                       to a fault-profile config file (see src/fault/)
 //   --timeline          print the per-segment timeline (single session)
 //   --csv PATH          write per-session metrics CSV
 #include <cstdio>
 #include <memory>
 
 #include "core/registry.hpp"
+#include "fault/profile.hpp"
 #include "media/quality.hpp"
 #include "net/dataset.hpp"
 #include "net/mahimahi.hpp"
@@ -60,7 +65,8 @@ int Run(int argc, char** argv) {
   const tools::CliArgs args(
       argc, argv,
       {"trace", "mahimahi", "dataset", "sessions", "controller", "predictor",
-       "ladder", "trim", "segment", "buffer", "seed", "threads", "csv"},
+       "ladder", "trim", "segment", "buffer", "seed", "threads", "csv",
+       "fault-profile"},
       {"vod", "timeline"});
 
   // Sessions.
@@ -98,6 +104,9 @@ int Run(int argc, char** argv) {
   config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
     return u.At(mbps);
   };
+  if (args.Has("fault-profile")) {
+    config.fault = fault::LoadProfile(args.Get("fault-profile", "none"));
+  }
 
   const std::string controller_name = args.Get("controller", "soda");
   const std::string predictor_name = args.Get("predictor", "ema");
@@ -109,11 +118,12 @@ int Run(int argc, char** argv) {
       video, config);
 
   std::printf("controller=%s predictor=%s ladder=%s sessions=%zu buffer=%.0fs "
-              "%s threads=%d\n",
+              "%s threads=%d fault=%s\n",
               result.controller_name.c_str(), predictor_name.c_str(),
               ladder.ToString().c_str(), sessions.size(),
               config.sim.max_buffer_s, config.sim.live ? "live" : "vod",
-              util::EffectiveThreads(config.threads, sessions.size()));
+              util::EffectiveThreads(config.threads, sessions.size()),
+              config.fault.name.c_str());
   ConsoleTable table({"metric", "mean", "95% CI"});
   const qoe::QoeAggregate& a = result.aggregate;
   table.AddRow({"QoE", FormatDouble(a.qoe.Mean(), 4),
@@ -124,21 +134,45 @@ int Run(int argc, char** argv) {
                 FormatDouble(a.rebuffer_ratio.CiHalfWidth95(), 5)});
   table.AddRow({"switch rate", FormatDouble(a.switch_rate.Mean(), 4),
                 FormatDouble(a.switch_rate.CiHalfWidth95(), 4)});
+  if (!config.fault.IsNoop()) {
+    table.AddRow({"wasted Mb", FormatDouble(a.wasted_mb.Mean(), 3),
+                  FormatDouble(a.wasted_mb.CiHalfWidth95(), 3)});
+    table.AddRow({"retries", FormatDouble(a.retries.Mean(), 3),
+                  FormatDouble(a.retries.CiHalfWidth95(), 3)});
+    table.AddRow({"outage ratio", FormatDouble(a.outage_ratio.Mean(), 5),
+                  FormatDouble(a.outage_ratio.CiHalfWidth95(), 5)});
+  }
   table.Print();
 
   if (args.Has("timeline") && sessions.size() == 1) {
     const abr::ControllerPtr controller = core::MakeController(controller_name);
     const predict::PredictorPtr predictor = core::MakePredictor(predictor_name);
-    const sim::SessionLog log =
-        sim::RunSession(sessions[0], *controller, *predictor, video,
-                        config.sim);
+    const sim::SessionLog log = [&] {
+      if (config.fault.IsNoop()) {
+        return sim::RunSession(sessions[0], *controller, *predictor, video,
+                               config.sim);
+      }
+      // Mirror the evaluator's fault path: impaired primary, faults seeded
+      // from the session's position in the corpus (index 0 here).
+      const net::ThroughputTrace impaired =
+          config.fault.plan.TraceIsUnchanged()
+              ? sessions[0]
+              : config.fault.plan.ApplyToTrace(sessions[0]);
+      const fault::SessionFaults faults = fault::MakeSessionFaults(
+          config.fault, sessions[0],
+          qoe::FaultSessionSeed(config.base_seed, 0));
+      return sim::RunSession(impaired, *controller, *predictor, video,
+                             config.sim, faults);
+    }();
     std::printf("\ntimeline (segment, time, rung, bitrate, buffer, "
                 "rebuffer):\n");
     for (const auto& s : log.segments) {
-      std::printf("  %4lld  t=%7.1fs  rung=%d  %5.2f Mb/s  buf=%5.2fs%s\n",
+      std::printf("  %4lld  t=%7.1fs  rung=%d  %5.2f Mb/s  buf=%5.2fs%s%s%s\n",
                   static_cast<long long>(s.index), s.request_s, s.rung,
                   s.bitrate_mbps, s.buffer_after_s,
-                  s.rebuffer_s > 1e-9 ? "  [REBUFFER]" : "");
+                  s.rebuffer_s > 1e-9 ? "  [REBUFFER]" : "",
+                  s.attempts > 1 ? "  [RETRY]" : "",
+                  s.failed_over ? "  [FAILOVER]" : "");
     }
   }
 
