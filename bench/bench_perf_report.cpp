@@ -1,0 +1,322 @@
+// Machine-readable perf report for the decision hot path.
+//
+// Runs the solver micro comparisons (pruned vs unpruned branch-and-bound,
+// warm vs cold controller decisions, cached vs exact serving) and the
+// Fig. 10-style corpus sweep (sessions/sec at 1 and N evaluation threads,
+// cached-vs-exact QoE delta), then writes two JSON files:
+//
+//   BENCH_solver.json  per-solver ns/solve + sequences evaluated,
+//                      per-controller ns/decision, pruning reductions and
+//                      the cached-vs-exact speedup
+//   BENCH_eval.json    corpus throughput (sessions/sec) at 1/N threads and
+//                      aggregate QoE per controller, with the soda-cached
+//                      vs soda QoE delta
+//
+// Usage: bench_perf_report [--out-dir DIR] [--quick]
+//   --out-dir DIR  directory the JSON files are written to (default ".")
+//   --quick        smaller corpus / fewer timing repetitions (CI smoke)
+//
+// The numbers (ns, sessions/sec) are machine-dependent; the structural
+// fields (sequences evaluated, QoE, deltas) are deterministic for a given
+// seed. tools/perf_report.sh wraps this binary for the documented
+// one-command reproduction.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/cached_controller.hpp"
+#include "core/registry.hpp"
+#include "media/video_model.hpp"
+#include "predict/fixed.hpp"
+#include "util/json_writer.hpp"
+#include "util/parallel.hpp"
+
+namespace soda {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedNs(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::nano>(end - start).count();
+}
+
+std::vector<double> ShapedPredictions(const std::string& shape, int k) {
+  std::vector<double> predictions;
+  for (int i = 0; i < k; ++i) {
+    if (shape == "constant") {
+      predictions.push_back(10.0);
+    } else if (shape == "ramping") {
+      predictions.push_back(6.0 + 2.0 * i);
+    } else {  // noisy
+      predictions.push_back(10.0 * (1.0 + 0.35 * std::sin(2.7 * i + 0.4)));
+    }
+  }
+  return predictions;
+}
+
+struct SolverTiming {
+  double ns_per_solve = 0.0;
+  long long sequences = 0;
+};
+
+template <typename SolverT>
+SolverTiming TimeSolver(const SolverT& solver,
+                        const std::vector<double>& predictions,
+                        long long iterations) {
+  // Warm-up solve, also the sequences sample (deterministic per config).
+  SolverTiming timing;
+  timing.sequences = solver.Solve(predictions, 10.0, 2).sequences_evaluated;
+  const auto start = Clock::now();
+  media::Rung sink = 0;
+  for (long long i = 0; i < iterations; ++i) {
+    sink ^= solver.Solve(predictions, 10.0, 2).first_rung;
+  }
+  const auto end = Clock::now();
+  if (sink == -12345) std::printf("unreachable\n");  // keep `sink` live
+  timing.ns_per_solve = ElapsedNs(start, end) / static_cast<double>(iterations);
+  return timing;
+}
+
+// The deterministic mini-session from bench_solver_micro: buffer and
+// predicted throughput wander across decisions so warm starts and cache
+// lookups face realistic consecutive contexts.
+struct DecisionTrace {
+  std::vector<double> buffers;
+  std::vector<double> throughputs;
+};
+
+DecisionTrace MakeDecisionTrace(int n) {
+  DecisionTrace trace;
+  for (int i = 0; i < n; ++i) {
+    trace.buffers.push_back(6.0 + 5.0 * std::sin(0.7 * i));
+    trace.throughputs.push_back(10.0 * (1.0 + 0.4 * std::sin(1.3 * i + 0.9)));
+  }
+  return trace;
+}
+
+double TimeController(abr::Controller& controller, long long iterations) {
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  predict::FixedPredictor predictor(10.0);
+  const DecisionTrace trace = MakeDecisionTrace(64);
+
+  abr::Context context;
+  context.max_buffer_s = 20.0;
+  context.video = &video;
+  context.predictor = &predictor;
+  context.buffer_s = trace.buffers.front();
+  media::Rung prev = controller.ChooseRung(context);  // lazy state build
+
+  std::size_t slot = 0;
+  const auto start = Clock::now();
+  for (long long i = 0; i < iterations; ++i) {
+    context.now_s += 2.0;
+    ++context.segment_index;
+    context.buffer_s = trace.buffers[slot];
+    predictor.Set(trace.throughputs[slot]);
+    context.prev_rung = prev;
+    prev = controller.ChooseRung(context);
+    slot = (slot + 1) % trace.buffers.size();
+  }
+  const auto end = Clock::now();
+  return ElapsedNs(start, end) / static_cast<double>(iterations);
+}
+
+void WriteSolverReport(const std::string& path, bool quick) {
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  core::CostModelConfig model_config;
+  model_config.target_buffer_s = 12.0;
+  model_config.max_buffer_s = 20.0;
+  model_config.dt_s = 2.0;
+  const core::CostModel model(ladder, model_config);
+
+  const long long solver_iters = quick ? 2000 : 20000;
+  const long long decision_iters = quick ? 2000 : 20000;
+  const long long cached_iters = quick ? 50000 : 500000;
+  const int horizon = 5;
+
+  std::ofstream out(path);
+  SODA_ENSURE(out.good(), "cannot open " + path + " for writing");
+  util::JsonWriter json(out);
+  json.BeginObject();
+  json.Key("report").String("solver_micro");
+  json.Key("seed").Int(static_cast<std::int64_t>(bench::kDefaultSeed));
+  json.Key("quick").Bool(quick);
+  json.Key("ladder").String(ladder.ToString());
+  json.Key("horizon").Int(horizon);
+
+  json.Key("solvers").BeginArray();
+  double worst_reduction = 1.0;
+  for (const char* solver_name : {"monotonic", "brute"}) {
+    for (const char* shape : {"constant", "ramping", "noisy"}) {
+      const auto predictions = ShapedPredictions(shape, horizon);
+      SolverTiming pruned;
+      SolverTiming unpruned;
+      core::SolverConfig config;
+      if (std::strcmp(solver_name, "monotonic") == 0) {
+        config.enable_pruning = true;
+        const core::MonotonicSolver on(model, config);
+        config.enable_pruning = false;
+        const core::MonotonicSolver off(model, config);
+        pruned = TimeSolver(on, predictions, solver_iters);
+        unpruned = TimeSolver(off, predictions, solver_iters);
+      } else {
+        config.enable_pruning = true;
+        const core::BruteForceSolver on(model, config);
+        config.enable_pruning = false;
+        const core::BruteForceSolver off(model, config);
+        pruned = TimeSolver(on, predictions, solver_iters);
+        unpruned = TimeSolver(off, predictions, solver_iters);
+      }
+      const double reduction =
+          1.0 - static_cast<double>(pruned.sequences) /
+                    static_cast<double>(unpruned.sequences);
+      worst_reduction = std::min(worst_reduction, reduction);
+      json.BeginObject();
+      json.Key("solver").String(solver_name);
+      json.Key("shape").String(shape);
+      json.Key("ns_per_solve_pruned").Number(pruned.ns_per_solve);
+      json.Key("ns_per_solve_unpruned").Number(unpruned.ns_per_solve);
+      json.Key("sequences_pruned").Int(pruned.sequences);
+      json.Key("sequences_unpruned").Int(unpruned.sequences);
+      json.Key("sequences_reduction").Number(reduction);
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.Key("min_sequences_reduction").Number(worst_reduction);
+
+  json.Key("controllers").BeginArray();
+  double exact_ns = 0.0;
+  double cached_ns = 0.0;
+  {
+    core::SodaConfig cold_config;
+    cold_config.warm_start = false;
+    core::SodaController cold(cold_config);
+    core::SodaController warm;  // warm_start defaults on
+    const double cold_ns = TimeController(cold, decision_iters);
+    exact_ns = TimeController(warm, decision_iters);
+    json.BeginObject();
+    json.Key("controller").String("soda");
+    json.Key("ns_per_decision").Number(exact_ns);
+    json.Key("ns_per_decision_cold").Number(cold_ns);
+    json.EndObject();
+  }
+  for (const bool bilinear : {false, true}) {
+    core::CachedControllerConfig config;
+    config.lookup = bilinear ? core::CachedControllerConfig::Lookup::kBilinear
+                             : core::CachedControllerConfig::Lookup::kNearest;
+    core::CachedDecisionController cached(config);
+    const double ns = TimeController(cached, cached_iters);
+    if (!bilinear) cached_ns = ns;
+    json.BeginObject();
+    json.Key("controller").String(bilinear ? "soda-cached-bilinear"
+                                           : "soda-cached");
+    json.Key("ns_per_decision").Number(ns);
+    json.Key("table_builds").Int(cached.GetStats().table_builds);
+    json.Key("lookups").Int(cached.GetStats().lookups);
+    json.Key("fallbacks").Int(cached.GetStats().fallbacks);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("cached_speedup_vs_exact").Number(exact_ns / cached_ns);
+  json.EndObject();
+  out << '\n';
+  std::printf("wrote %s (min pruning reduction %.1f%%, cached speedup %.0fx)\n",
+              path.c_str(), 100.0 * worst_reduction, exact_ns / cached_ns);
+}
+
+void WriteEvalReport(const std::string& path, bool quick) {
+  const std::uint64_t seed = bench::kDefaultSeed;
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+
+  Rng rng(seed);
+  const net::DatasetEmulator emulator(net::DatasetKind::kPuffer);
+  const auto sessions =
+      emulator.MakeSessions(bench::Scaled(quick ? 24 : 120), rng);
+
+  const int max_threads = util::EffectiveThreads(0, sessions.size());
+
+  std::ofstream out(path);
+  SODA_ENSURE(out.good(), "cannot open " + path + " for writing");
+  util::JsonWriter json(out);
+  json.BeginObject();
+  json.Key("report").String("corpus_eval");
+  json.Key("seed").Int(static_cast<std::int64_t>(seed));
+  json.Key("quick").Bool(quick);
+  json.Key("dataset").String("puffer");
+  json.Key("sessions").Int(static_cast<std::int64_t>(sessions.size()));
+  json.Key("max_threads").Int(max_threads);
+
+  json.Key("controllers").BeginArray();
+  double soda_qoe = 0.0;
+  double cached_qoe = 0.0;
+  for (const char* name : {"soda", "soda-cached"}) {
+    qoe::EvalConfig config = bench::LiveEvalConfig(ladder);
+    const qoe::ControllerFactory factory = [name] {
+      return core::MakeController(name);
+    };
+    json.BeginObject();
+    json.Key("controller").String(name);
+    json.Key("throughput").BeginArray();
+    qoe::EvalResult result;
+    for (const int threads : {1, max_threads}) {
+      config.threads = threads;
+      const auto start = Clock::now();
+      result = qoe::EvaluateController(sessions, factory, bench::EmaFactory(),
+                                       video, config);
+      const auto end = Clock::now();
+      const double seconds = ElapsedNs(start, end) * 1e-9;
+      json.BeginObject();
+      json.Key("threads").Int(threads);
+      json.Key("sessions_per_sec")
+          .Number(static_cast<double>(sessions.size()) / seconds);
+      json.EndObject();
+      if (threads == max_threads) break;  // max_threads can be 1
+    }
+    json.EndArray();
+    json.Key("qoe").Number(result.aggregate.qoe.Mean());
+    json.Key("utility").Number(result.aggregate.utility.Mean());
+    json.Key("rebuffer_ratio").Number(result.aggregate.rebuffer_ratio.Mean());
+    json.Key("switch_rate").Number(result.aggregate.switch_rate.Mean());
+    if (std::strcmp(name, "soda") == 0) {
+      soda_qoe = result.aggregate.qoe.Mean();
+    } else {
+      cached_qoe = result.aggregate.qoe.Mean();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("cached_qoe_delta").Number(cached_qoe - soda_qoe);
+  json.EndObject();
+  out << '\n';
+  std::printf("wrote %s (soda QoE %.4f, cached QoE %.4f, delta %+.4f)\n",
+              path.c_str(), soda_qoe, cached_qoe, cached_qoe - soda_qoe);
+}
+
+}  // namespace
+}  // namespace soda
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out-dir DIR] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  soda::bench::PrintHeader("Perf report | decision hot path",
+                           soda::bench::kDefaultSeed);
+  soda::WriteSolverReport(out_dir + "/BENCH_solver.json", quick);
+  soda::WriteEvalReport(out_dir + "/BENCH_eval.json", quick);
+  return 0;
+}

@@ -18,12 +18,22 @@ MpcController::MpcController(MpcConfig config) : config_(std::move(config)) {
               "prediction scale must be in (0, 1]");
 }
 
+void MpcController::EnsureUtilities(const media::BitrateLadder& ladder) {
+  if (cached_ladder_ == &ladder) return;
+  const media::NormalizedLogUtility utility(ladder);
+  rung_utility_.clear();
+  rung_utility_.reserve(ladder.Size());
+  for (media::Rung r = ladder.LowestRung(); r <= ladder.HighestRung(); ++r) {
+    rung_utility_.push_back(utility.At(ladder.BitrateMbps(r)));
+  }
+  cached_ladder_ = &ladder;
+}
+
 media::Rung MpcController::ChooseRung(const Context& context) {
-  const media::NormalizedLogUtility utility(context.Ladder());
+  EnsureUtilities(context.Ladder());
 
   SearchState state;
   state.context = &context;
-  state.utility = &utility;
   state.predicted_mbps =
       std::max(config_.prediction_scale * context.PredictMbps(), 1e-3);
   state.best_reward = -std::numeric_limits<double>::infinity();
@@ -74,11 +84,12 @@ void MpcController::Search(SearchState& state, int depth, double buffer_s,
     const double next_buffer = std::min(
         std::max(buffer_s - download_s, 0.0) + seg_s, context.max_buffer_s);
 
-    double step_reward = state.utility->At(ladder.BitrateMbps(r));
+    const double utility_r = rung_utility_[static_cast<std::size_t>(r)];
+    double step_reward = utility_r;
     step_reward -= config_.rebuffer_penalty_per_s * rebuffer_s;
     step_reward -= config_.switch_penalty *
-                   std::abs(state.utility->At(ladder.BitrateMbps(r)) -
-                            state.utility->At(ladder.BitrateMbps(prev_rung)));
+                   std::abs(utility_r -
+                            rung_utility_[static_cast<std::size_t>(prev_rung)]);
 
     Search(state, depth + 1, next_buffer, r,
            depth == 0 ? r : first_rung, reward + step_reward);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "abr/controller.hpp"
 #include "media/quality.hpp"
@@ -39,6 +40,7 @@ class MpcController final : public Controller {
   explicit MpcController(MpcConfig config = {});
 
   [[nodiscard]] media::Rung ChooseRung(const Context& context) override;
+  void Reset() override { cached_ladder_ = nullptr; }
   [[nodiscard]] std::string Name() const override { return config_.name; }
 
   // Number of rate sequences evaluated by the last ChooseRung call (before
@@ -51,12 +53,17 @@ class MpcController final : public Controller {
  private:
   struct SearchState {
     const Context* context = nullptr;
-    const media::NormalizedLogUtility* utility = nullptr;
     double predicted_mbps = 0.0;
     double best_reward = 0.0;
     media::Rung best_first = 0;
     bool has_best = false;
   };
+
+  // Rebuilds the per-rung utility table when the ladder changes. The
+  // utility of a rung is fixed by the ladder alone, so hoisting the
+  // media::NormalizedLogUtility construction (and its per-call At() log
+  // evaluations) out of ChooseRung leaves every decision unchanged.
+  void EnsureUtilities(const media::BitrateLadder& ladder);
 
   // Depth-first enumeration with optimistic-bound pruning.
   void Search(SearchState& state, int depth, double buffer_s,
@@ -64,6 +71,8 @@ class MpcController final : public Controller {
 
   MpcConfig config_;
   long long sequences_evaluated_ = 0;
+  const media::BitrateLadder* cached_ladder_ = nullptr;
+  std::vector<double> rung_utility_;
 };
 
 }  // namespace soda::abr

@@ -1,0 +1,156 @@
+#include "core/cached_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace soda::core {
+
+CachedDecisionController::CachedDecisionController(
+    CachedControllerConfig config)
+    : config_(config) {
+  SODA_ENSURE(config_.buffer_points >= 2 && config_.throughput_points >= 2,
+              "decision table needs at least a 2x2 grid");
+  SODA_ENSURE(config_.max_mbps > config_.min_mbps && config_.min_mbps > 0.0,
+              "invalid throughput range");
+  SODA_ENSURE(config_.constant_prediction_tolerance >= 0.0,
+              "constant-prediction tolerance must be non-negative");
+  // Delegate SodaConfig validation to the exact controller's constructor.
+  (void)SodaController(config_.base);
+}
+
+void CachedDecisionController::EnsureTable(const abr::Context& context) {
+  CostModelConfig mc;
+  mc.weights = config_.base.weights;
+  mc.dt_s = context.SegmentSeconds();
+  mc.max_buffer_s = context.max_buffer_s;
+  mc.target_buffer_s = config_.base.target_buffer_s.value_or(
+      config_.base.target_fraction * context.max_buffer_s);
+  mc.distortion = config_.base.distortion;
+
+  const bool needs_rebuild =
+      !model_.has_value() ||
+      model_->Config().dt_s != mc.dt_s ||
+      model_->Config().max_buffer_s != mc.max_buffer_s ||
+      model_->Config().target_buffer_s != mc.target_buffer_s ||
+      &model_->Ladder() != &context.Ladder();
+  if (!needs_rebuild) return;
+
+  model_.emplace(context.Ladder(), mc);
+  SolverConfig sc;
+  sc.hard_buffer_constraints = config_.base.hard_buffer_constraints;
+  sc.tail_intervals = config_.base.tail_intervals;
+  solver_.emplace(*model_, sc);
+  ++stats_.table_builds;
+
+  buffer_axis_.clear();
+  buffer_axis_.reserve(static_cast<std::size_t>(config_.buffer_points));
+  for (int b = 0; b < config_.buffer_points; ++b) {
+    buffer_axis_.push_back(mc.max_buffer_s * static_cast<double>(b) /
+                           (config_.buffer_points - 1));
+  }
+  throughput_axis_.clear();
+  throughput_axis_.reserve(static_cast<std::size_t>(config_.throughput_points));
+  const double log_step = std::log(config_.max_mbps / config_.min_mbps) /
+                          (config_.throughput_points - 1);
+  for (int t = 0; t < config_.throughput_points; ++t) {
+    throughput_axis_.push_back(config_.min_mbps * std::exp(log_step * t));
+  }
+  log_min_mbps_ = std::log(config_.min_mbps);
+  inv_log_step_ = 1.0 / log_step;
+
+  const int rungs = model_->RungCount();
+  const int horizon = ClampedSodaHorizon(config_.base, mc.dt_s);
+  table_.assign(static_cast<std::size_t>(rungs + 1) *
+                    throughput_axis_.size() * buffer_axis_.size(),
+                0);
+  std::vector<double> predictions(static_cast<std::size_t>(horizon));
+  for (media::Rung prev = -1; prev < rungs; ++prev) {
+    for (int t = 0; t < config_.throughput_points; ++t) {
+      predictions.assign(static_cast<std::size_t>(horizon),
+                         throughput_axis_[static_cast<std::size_t>(t)]);
+      for (int b = 0; b < config_.buffer_points; ++b) {
+        const media::Rung rung = DecideSoda(
+            *model_, *solver_, config_.base, predictions,
+            buffer_axis_[static_cast<std::size_t>(b)], prev, {});
+        table_[CellIndex(prev, t, b)] = static_cast<std::int16_t>(rung);
+      }
+    }
+  }
+}
+
+media::Rung CachedDecisionController::TableRung(media::Rung prev_rung, int t,
+                                                int b) const {
+  SODA_ENSURE(!table_.empty(), "decision table not built yet");
+  SODA_ENSURE(prev_rung >= -1 && prev_rung < model_->RungCount(),
+              "prev rung out of range");
+  SODA_ENSURE(t >= 0 && t < static_cast<int>(throughput_axis_.size()) &&
+                  b >= 0 && b < static_cast<int>(buffer_axis_.size()),
+              "table index out of range");
+  return static_cast<media::Rung>(table_[CellIndex(prev_rung, t, b)]);
+}
+
+media::Rung CachedDecisionController::LookupRung(double buffer_s, double mbps,
+                                                 media::Rung prev_rung) const {
+  // Fractional grid coordinates.
+  const double fb = buffer_s / model_->Config().max_buffer_s *
+                    (static_cast<double>(buffer_axis_.size()) - 1.0);
+  const double ft = (std::log(mbps) - log_min_mbps_) * inv_log_step_;
+
+  if (config_.lookup == CachedControllerConfig::Lookup::kNearest) {
+    const int b = std::clamp(static_cast<int>(std::lround(fb)), 0,
+                             static_cast<int>(buffer_axis_.size()) - 1);
+    const int t = std::clamp(static_cast<int>(std::lround(ft)), 0,
+                             static_cast<int>(throughput_axis_.size()) - 1);
+    return static_cast<media::Rung>(table_[CellIndex(prev_rung, t, b)]);
+  }
+
+  // Bilinear: interpolate the four surrounding cells' rung indices and
+  // round to the nearest rung.
+  const int b0 = std::clamp(static_cast<int>(std::floor(fb)), 0,
+                            static_cast<int>(buffer_axis_.size()) - 2);
+  const int t0 = std::clamp(static_cast<int>(std::floor(ft)), 0,
+                            static_cast<int>(throughput_axis_.size()) - 2);
+  const double wb = std::clamp(fb - b0, 0.0, 1.0);
+  const double wt = std::clamp(ft - t0, 0.0, 1.0);
+  const double r00 = table_[CellIndex(prev_rung, t0, b0)];
+  const double r01 = table_[CellIndex(prev_rung, t0, b0 + 1)];
+  const double r10 = table_[CellIndex(prev_rung, t0 + 1, b0)];
+  const double r11 = table_[CellIndex(prev_rung, t0 + 1, b0 + 1)];
+  const double blended = (1.0 - wt) * ((1.0 - wb) * r00 + wb * r01) +
+                         wt * ((1.0 - wb) * r10 + wb * r11);
+  const int rung = static_cast<int>(std::lround(blended));
+  return std::clamp(rung, 0, model_->RungCount() - 1);
+}
+
+media::Rung CachedDecisionController::ChooseRung(const abr::Context& context) {
+  EnsureTable(context);
+  const double dt = context.SegmentSeconds();
+  const int horizon = ClampedSodaHorizon(config_.base, dt);
+  const std::vector<double> predictions =
+      context.predictor->PredictHorizon(context.now_s, horizon, dt);
+
+  const double w = predictions.front();
+  bool servable = w >= config_.min_mbps && w <= config_.max_mbps &&
+                  context.buffer_s >= 0.0 &&
+                  context.buffer_s <= model_->Config().max_buffer_s;
+  if (servable) {
+    for (std::size_t i = 1; i < predictions.size(); ++i) {
+      if (std::abs(predictions[i] - w) >
+          config_.constant_prediction_tolerance * w) {
+        servable = false;
+        break;
+      }
+    }
+  }
+  if (!servable) {
+    ++stats_.fallbacks;
+    return DecideSoda(*model_, *solver_, config_.base, predictions,
+                      context.buffer_s, context.prev_rung, {});
+  }
+  ++stats_.lookups;
+  return LookupRung(context.buffer_s, w, context.prev_rung);
+}
+
+}  // namespace soda::core

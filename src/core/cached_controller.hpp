@@ -1,0 +1,113 @@
+// Table-driven serving-time SODA (the BOLA trick applied to SODA's
+// planner).
+//
+// The Fig. 5 decision map shows that under constant throughput predictions
+// SODA's committed rung is a function of (buffer level, predicted
+// throughput, previous rung) alone. CachedDecisionController precomputes
+// that function once per stream geometry — one exact DecideSoda call per
+// grid cell over a (buffer x log-throughput x prev-rung) grid — and serves
+// subsequent decisions as O(1) table lookups (nearest cell, or bilinear
+// rung interpolation), orders of magnitude faster than running the solver
+// per segment.
+//
+// The table is exact at grid points by construction. Off-grid inputs are
+// approximated by the configured lookup; inputs the table cannot speak for
+// fall back to the exact solver automatically:
+//  - predicted throughput outside the grid's range,
+//  - buffer outside [0, max buffer],
+//  - per-interval predictions that deviate from constant by more than
+//    `constant_prediction_tolerance` (the table is built from constant
+//    forecasts, so e.g. an oracle predictor seeing a cliff bypasses it).
+// The fallback path runs the same DecideSoda routine as SodaController, so
+// it is bit-identical to the exact controller.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/soda_controller.hpp"
+
+namespace soda::core {
+
+struct CachedControllerConfig {
+  // Configuration of the exact controller the table is built from (and
+  // that fallback decisions run through).
+  SodaConfig base;
+  // Grid resolution: buffer axis is linear over [0, max buffer],
+  // throughput axis log-spaced over [min_mbps, max_mbps].
+  int buffer_points = 48;
+  int throughput_points = 64;
+  double min_mbps = 0.2;
+  double max_mbps = 150.0;
+  enum class Lookup {
+    kNearest,   // serve the nearest grid cell
+    kBilinear,  // interpolate the four surrounding cells' rungs, round
+  };
+  Lookup lookup = Lookup::kNearest;
+  // Maximum relative deviation of predictions[i] from predictions[0] for
+  // the forecast to still count as "constant" and be served from the
+  // table.
+  double constant_prediction_tolerance = 0.05;
+};
+
+class CachedDecisionController final : public abr::Controller {
+ public:
+  // Throws std::invalid_argument on invalid configuration.
+  explicit CachedDecisionController(CachedControllerConfig config = {});
+
+  [[nodiscard]] media::Rung ChooseRung(const abr::Context& context) override;
+  [[nodiscard]] std::string Name() const override { return "SODA-cached"; }
+
+  struct Stats {
+    long long table_builds = 0;  // geometry changes seen
+    long long lookups = 0;       // decisions served from the table
+    long long fallbacks = 0;     // decisions routed to the exact solver
+  };
+  [[nodiscard]] const Stats& GetStats() const noexcept { return stats_; }
+
+  [[nodiscard]] const CachedControllerConfig& Config() const noexcept {
+    return config_;
+  }
+
+  // Grid introspection for tests/benches. Only valid after the first
+  // ChooseRung (the table is built lazily from the stream geometry).
+  [[nodiscard]] const std::vector<double>& BufferAxis() const noexcept {
+    return buffer_axis_;
+  }
+  [[nodiscard]] const std::vector<double>& ThroughputAxis() const noexcept {
+    return throughput_axis_;
+  }
+  // Table cell for (prev_rung in [-1, rungs), throughput index, buffer
+  // index).
+  [[nodiscard]] media::Rung TableRung(media::Rung prev_rung, int t,
+                                      int b) const;
+
+ private:
+  // (Re)builds the model/solver/table when the stream geometry (ladder,
+  // segment length, buffer size, target) changes.
+  void EnsureTable(const abr::Context& context);
+  [[nodiscard]] media::Rung LookupRung(double buffer_s, double mbps,
+                                       media::Rung prev_rung) const;
+  [[nodiscard]] std::size_t CellIndex(media::Rung prev_rung, int t,
+                                      int b) const noexcept {
+    return (static_cast<std::size_t>(prev_rung + 1) *
+                static_cast<std::size_t>(throughput_axis_.size()) +
+            static_cast<std::size_t>(t)) *
+               static_cast<std::size_t>(buffer_axis_.size()) +
+           static_cast<std::size_t>(b);
+  }
+
+  CachedControllerConfig config_;
+  std::optional<CostModel> model_;
+  std::optional<MonotonicSolver> solver_;
+  std::vector<double> buffer_axis_;
+  std::vector<double> throughput_axis_;
+  // Flattened [prev + 1][throughput][buffer] decision table.
+  std::vector<std::int16_t> table_;
+  double log_min_mbps_ = 0.0;
+  double inv_log_step_ = 0.0;
+  Stats stats_;
+};
+
+}  // namespace soda::core

@@ -1,5 +1,8 @@
 #include "core/cost_model.hpp"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "util/ensure.hpp"
 
 namespace soda::core {
@@ -23,6 +26,30 @@ CostModel::CostModel(const media::BitrateLadder& ladder, CostModelConfig config)
   SODA_ENSURE(config_.target_buffer_s > 0.0 &&
                   config_.target_buffer_s < config_.max_buffer_s,
               "target buffer must be inside (0, max buffer)");
+
+  const std::size_t count = ladder.Size();
+  rung_bitrate_.reserve(count);
+  rung_distortion_.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    const double bitrate = ladder.BitrateMbps(static_cast<media::Rung>(r));
+    rung_bitrate_.push_back(bitrate);
+    rung_distortion_.push_back(distortion_.At(bitrate));
+  }
+  rung_switch_.reserve(count * count);
+  for (std::size_t r = 0; r < count; ++r) {
+    for (std::size_t p = 0; p < count; ++p) {
+      rung_switch_.push_back(SwitchCost(rung_bitrate_[r], rung_bitrate_[p]));
+    }
+  }
+  min_distortion_term_per_mbps_ =
+      config_.weights.alpha * rung_distortion_[0] * config_.dt_s /
+      rung_bitrate_[0];
+  for (std::size_t r = 1; r < count; ++r) {
+    min_distortion_term_per_mbps_ =
+        std::min(min_distortion_term_per_mbps_,
+                 config_.weights.alpha * rung_distortion_[r] * config_.dt_s /
+                     rung_bitrate_[r]);
+  }
 }
 
 double CostModel::BufferCost(double buffer_s) const noexcept {
@@ -67,6 +94,21 @@ double CostModel::NextBuffer(double buffer_s, double predicted_mbps,
                              double bitrate_mbps) const noexcept {
   return buffer_s + VideoSecondsDownloaded(predicted_mbps, bitrate_mbps) -
          config_.dt_s;
+}
+
+double CostModel::RungIntervalCost(double predicted_mbps, media::Rung rung,
+                                   media::Rung prev_rung,
+                                   double buffer_after_s) const noexcept {
+  // Mirrors IntervalCost term by term so rung-based evaluation is
+  // bit-identical to the bitrate-based path.
+  double cost = config_.weights.alpha * RungDistortion(rung) *
+                VideoSecondsDownloaded(predicted_mbps, RungBitrate(rung));
+  cost += config_.weights.beta * BufferCost(buffer_after_s);
+  if (prev_rung >= 0) {
+    cost += config_.weights.gamma * RungSwitchCost(rung, prev_rung);
+    if (rung != prev_rung) cost += config_.weights.kappa;
+  }
+  return cost;
 }
 
 double CostModel::IntervalCost(double predicted_mbps, double bitrate_mbps,

@@ -13,6 +13,8 @@
 // default beta/gamma transfer across bitrate ladders and buffer sizes.
 #pragma once
 
+#include <vector>
+
 #include "media/bitrate_ladder.hpp"
 #include "media/quality.hpp"
 
@@ -101,10 +103,64 @@ class CostModel {
   [[nodiscard]] double NextBuffer(double buffer_s, double predicted_mbps,
                                   double bitrate_mbps) const noexcept;
 
+  // ---- Per-rung tables (precomputed at construction) -------------------
+  //
+  // The solvers' inner loops index these instead of re-deriving bitrate,
+  // normalized distortion and pairwise switch costs per node. The table
+  // entries are computed with exactly the arithmetic of the bitrate-based
+  // accessors above, so rung-based and bitrate-based evaluation agree
+  // bit-for-bit.
+
+  [[nodiscard]] int RungCount() const noexcept {
+    return static_cast<int>(rung_bitrate_.size());
+  }
+  [[nodiscard]] double RungBitrate(media::Rung rung) const noexcept {
+    return rung_bitrate_[static_cast<std::size_t>(rung)];
+  }
+  // v(r) for the rung's bitrate.
+  [[nodiscard]] double RungDistortion(media::Rung rung) const noexcept {
+    return rung_distortion_[static_cast<std::size_t>(rung)];
+  }
+  // Smooth switch cost (v(r) - v(prev))^2, tabulated pairwise.
+  [[nodiscard]] double RungSwitchCost(media::Rung rung,
+                                      media::Rung prev_rung) const noexcept {
+    return rung_switch_[static_cast<std::size_t>(rung) * rung_bitrate_.size() +
+                        static_cast<std::size_t>(prev_rung)];
+  }
+  // alpha * v(r) * (w * dt / r) via the tables; equals
+  // DistortionTermCost(w, RungBitrate(rung)) bit-for-bit.
+  [[nodiscard]] double RungDistortionTermCost(double predicted_mbps,
+                                              media::Rung rung) const noexcept {
+    return config_.weights.alpha * RungDistortion(rung) *
+           VideoSecondsDownloaded(predicted_mbps, RungBitrate(rung));
+  }
+  // Full one-interval cost by rung. `prev_rung` < 0 drops the switching
+  // terms (first decision of a session). Identical arithmetic to
+  // IntervalCost on the corresponding bitrates.
+  [[nodiscard]] double RungIntervalCost(double predicted_mbps,
+                                        media::Rung rung, media::Rung prev_rung,
+                                        double buffer_after_s) const noexcept;
+
+  // Admissible per-interval lower bound used by the solvers' branch-and-
+  // bound pruning: for every rung r and throughput w,
+  //   RungDistortionTermCost(w, r) >= w * MinDistortionTermPerMbps()
+  // up to floating-point rounding (the solvers prune with a tolerance).
+  // The buffer and switching terms are bounded below by zero (the buffer
+  // cost vanishes at the target and a plan may hold its rung), so this is
+  // the whole per-interval bound.
+  [[nodiscard]] double MinDistortionTermPerMbps() const noexcept {
+    return min_distortion_term_per_mbps_;
+  }
+
  private:
   const media::BitrateLadder* ladder_;
   CostModelConfig config_;
   media::Distortion distortion_;
+  // Per-rung tables; rung_switch_ is row-major [rung][prev_rung].
+  std::vector<double> rung_bitrate_;
+  std::vector<double> rung_distortion_;
+  std::vector<double> rung_switch_;
+  double min_distortion_term_per_mbps_ = 0.0;
 };
 
 }  // namespace soda::core

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/ensure.hpp"
+#include "util/parallel.hpp"
 
 namespace soda::core {
 
@@ -37,10 +38,22 @@ DecisionMap ComputeDecisionMap(const CostModel& model,
   map.grid.assign(static_cast<std::size_t>(config.throughput_points),
                   std::vector<double>(
                       static_cast<std::size_t>(config.buffer_points), 0.0));
-  for (int t = 0; t < config.throughput_points; ++t) {
-    const std::vector<double> predictions(
-        static_cast<std::size_t>(config.horizon),
-        map.throughput_axis_mbps[static_cast<std::size_t>(t)]);
+  // Rows are independent and each writes only its own grid[t], so the fill
+  // parallelizes over throughput rows with bit-identical output for any
+  // thread count. Each worker reuses one predictions buffer across its rows
+  // instead of allocating a fresh vector per row.
+  const int threads = util::EffectiveThreads(
+      config.threads, static_cast<std::size_t>(config.throughput_points));
+  std::vector<std::vector<double>> scratch(
+      static_cast<std::size_t>(threads),
+      std::vector<double>(static_cast<std::size_t>(config.horizon)));
+  util::ParallelFor(static_cast<std::size_t>(config.throughput_points),
+                    threads, [&](int worker, std::size_t row) {
+    const int t = static_cast<int>(row);
+    std::vector<double>& predictions =
+        scratch[static_cast<std::size_t>(worker)];
+    predictions.assign(static_cast<std::size_t>(config.horizon),
+                       map.throughput_axis_mbps[row]);
     for (int b = 0; b < config.buffer_points; ++b) {
       const double buffer = map.buffer_axis_s[static_cast<std::size_t>(b)];
       const PlanResult plan =
@@ -74,7 +87,7 @@ DecisionMap ComputeDecisionMap(const CostModel& model,
       }
       cell = static_cast<double>(rung);
     }
-  }
+  });
   return map;
 }
 

@@ -17,6 +17,9 @@ struct DecisionMapConfig {
   double max_mbps = 120.0;
   int horizon = 5;
   media::Rung prev_rung = -1;   // previous bitrate fed to the solver
+  // Worker threads for the grid fill (<= 0: hardware concurrency). Rows are
+  // independent, so the result is bit-identical for any thread count.
+  int threads = 1;
 };
 
 struct DecisionMap {

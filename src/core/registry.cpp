@@ -11,6 +11,7 @@
 #include "abr/production_baseline.hpp"
 #include "abr/rl_like.hpp"
 #include "abr/throughput_rule.hpp"
+#include "core/cached_controller.hpp"
 #include "core/soda_controller.hpp"
 #include "predict/ema.hpp"
 #include "predict/harmonic_mean.hpp"
@@ -42,13 +43,17 @@ std::string JoinNames(const std::vector<std::string>& names) {
 }  // namespace
 
 std::vector<std::string> ControllerNames() {
-  return {"soda",      "hyb",  "bola", "bba",        "dynamic",    "mpc",
-          "robustmpc", "fugu", "rl",   "throughput", "production"};
+  return {"soda", "soda-cached", "hyb", "bola",       "bba",
+          "dynamic",    "mpc",  "robustmpc", "fugu", "rl",
+          "throughput", "production"};
 }
 
 abr::ControllerPtr MakeController(const std::string& raw_name) {
   const std::string name = ToLower(raw_name);
   if (name == "soda") return std::make_unique<SodaController>();
+  if (name == "soda-cached") {
+    return std::make_unique<CachedDecisionController>();
+  }
   if (name == "hyb") return std::make_unique<abr::HybController>();
   if (name == "bola") return std::make_unique<abr::BolaController>();
   if (name == "bba") return std::make_unique<abr::BbaController>();

@@ -14,8 +14,8 @@
 
 namespace soda::core {
 
-// All registered controller names (lower-case): soda, hyb, bola, dynamic,
-// mpc, robustmpc*, fugu, rl, throughput, production.
+// All registered controller names (lower-case): soda, soda-cached, hyb,
+// bola, dynamic, mpc, robustmpc*, fugu, rl, throughput, production.
 // (*robustmpc additionally needs its predictor wrapped in
 // predict::RobustDiscountPredictor; MakePredictor("robust-ema") does that.)
 [[nodiscard]] std::vector<std::string> ControllerNames();

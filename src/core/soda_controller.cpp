@@ -2,10 +2,51 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/ensure.hpp"
 
 namespace soda::core {
+
+int ClampedSodaHorizon(const SodaConfig& config, double dt_s) {
+  // Horizon limited to max_horizon_s of clock time (section 5.2).
+  const int max_by_time = std::max(
+      1, static_cast<int>(std::floor(config.max_horizon_s / dt_s + 1e-9)));
+  return std::clamp(config.horizon, 1, max_by_time);
+}
+
+media::Rung DecideSoda(const CostModel& model, const MonotonicSolver& solver,
+                       const SodaConfig& config,
+                       std::span<const double> predictions, double buffer_s,
+                       media::Rung prev_rung,
+                       std::span<const media::Rung> warm_plan,
+                       PlanResult* out_plan) {
+  PlanResult plan = solver.Solve(predictions, buffer_s, prev_rung, warm_plan);
+
+  media::Rung choice;
+  if (plan.feasible) {
+    choice = plan.first_rung;
+  } else {
+    // No feasible plan under hard constraints (possible when even the
+    // lowest bitrate overflows or the highest cannot keep the buffer
+    // non-negative). Fall back to the throughput-matched rung.
+    choice = model.Ladder().HighestRungAtMost(predictions.front());
+  }
+
+  if (config.throughput_cap &&
+      buffer_s < config.cap_fraction * model.Config().target_buffer_s) {
+    // Section 5.1: never commit to a bitrate above
+    // min{r in R : r >= w_hat}, which bounds how long one segment download
+    // can overrun its interval. Overrunning is only risky when the buffer
+    // is short, so the cap engages below the target level; with an ample
+    // buffer the planner's own buffer cost governs.
+    const media::Rung cap =
+        model.Ladder().LowestRungAtLeast(predictions.front());
+    choice = std::min(choice, cap);
+  }
+  if (out_plan != nullptr) *out_plan = std::move(plan);
+  return choice;
+}
 
 SodaController::SodaController(SodaConfig config) : config_(config) {
   SODA_ENSURE(config_.horizon > 0, "horizon must be positive");
@@ -36,45 +77,37 @@ void SodaController::EnsureModel(const abr::Context& context) {
   sc.hard_buffer_constraints = config_.hard_buffer_constraints;
   sc.tail_intervals = config_.tail_intervals;
   solver_.emplace(*model_, sc);
+  // A stale plan from another geometry must not warm-start this one.
+  last_plan_.clear();
 }
 
 media::Rung SodaController::ChooseRung(const abr::Context& context) {
   EnsureModel(context);
-  const auto& ladder = context.Ladder();
   const double dt = context.SegmentSeconds();
-
-  // Horizon limited to max_horizon_s of clock time (section 5.2).
-  const int max_by_time = std::max(
-      1, static_cast<int>(std::floor(config_.max_horizon_s / dt + 1e-9)));
-  const int horizon = std::clamp(config_.horizon, 1, max_by_time);
+  const int horizon = ClampedSodaHorizon(config_, dt);
 
   const std::vector<double> predictions =
       context.predictor->PredictHorizon(context.now_s, horizon, dt);
 
-  const PlanResult plan =
-      solver_->Solve(predictions, context.buffer_s, context.prev_rung);
-  last_sequences_ = plan.sequences_evaluated;
-
-  media::Rung choice;
-  if (plan.feasible) {
-    choice = plan.first_rung;
-  } else {
-    // No feasible plan under hard constraints (possible when even the
-    // lowest bitrate overflows or the highest cannot keep the buffer
-    // non-negative). Fall back to the throughput-matched rung.
-    choice = ladder.HighestRungAtMost(predictions.front());
+  std::span<const media::Rung> warm;
+  if (config_.warm_start && !last_plan_.empty()) {
+    // The previous plan advanced by one interval, holding its final rung
+    // for the newly exposed slot.
+    warm_scratch_.assign(last_plan_.begin() + 1, last_plan_.end());
+    warm_scratch_.resize(static_cast<std::size_t>(horizon),
+                         last_plan_.back());
+    warm = warm_scratch_;
   }
 
-  if (config_.throughput_cap &&
-      context.buffer_s <
-          config_.cap_fraction * model_->Config().target_buffer_s) {
-    // Section 5.1: never commit to a bitrate above
-    // min{r in R : r >= w_hat}, which bounds how long one segment download
-    // can overrun its interval. Overrunning is only risky when the buffer
-    // is short, so the cap engages below the target level; with an ample
-    // buffer the planner's own buffer cost governs.
-    const media::Rung cap = ladder.LowestRungAtLeast(predictions.front());
-    choice = std::min(choice, cap);
+  PlanResult plan;
+  const media::Rung choice =
+      DecideSoda(*model_, *solver_, config_, predictions, context.buffer_s,
+                 context.prev_rung, warm, &plan);
+  last_sequences_ = plan.sequences_evaluated;
+  if (plan.feasible) {
+    last_plan_ = std::move(plan.plan);
+  } else {
+    last_plan_.clear();
   }
   return choice;
 }

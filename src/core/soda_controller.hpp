@@ -8,9 +8,18 @@
 //    (section 5.1) so a download never commits far beyond one interval;
 //  - the prediction horizon is limited to at most ~10 s of clock time
 //    (section 5.2), since predictor accuracy degrades beyond that.
+//
+// Decision hot path: consecutive decisions warm-start the solver's
+// branch-and-bound with the previous plan shifted by one interval,
+// re-evaluated under the new predictions. The warm plan only seeds the
+// pruning incumbent (see core/solver.hpp), so decisions are identical to
+// cold solves — the solver just reaches them after evaluating far fewer
+// sequences.
 #pragma once
 
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "abr/controller.hpp"
 #include "core/cost_model.hpp"
@@ -38,13 +47,36 @@ struct SodaConfig {
   bool hard_buffer_constraints = false;
   // Terminal distortion tail (see core::SolverConfig::tail_intervals).
   double tail_intervals = 8.0;
+  // Seed each solve's branch-and-bound incumbent with the previous plan
+  // shifted by one interval (decision-identical; see the file comment).
+  bool warm_start = true;
 };
+
+// The planning horizon in intervals for interval length `dt_s`, clamped to
+// the section 5.2 clock-time limit.
+[[nodiscard]] int ClampedSodaHorizon(const SodaConfig& config, double dt_s);
+
+// One deployable SODA decision from explicit planner inputs: solve (with an
+// optional warm-start plan seeding the pruning incumbent), fall back to the
+// throughput-matched rung when no feasible plan exists, then apply the
+// section 5.1 throughput cap. This is the single decision routine shared by
+// SodaController and CachedDecisionController, whose table cells and
+// fallback path must match the exact controller bit for bit. `out_plan`
+// (optional) receives the raw solver result.
+[[nodiscard]] media::Rung DecideSoda(const CostModel& model,
+                                     const MonotonicSolver& solver,
+                                     const SodaConfig& config,
+                                     std::span<const double> predictions,
+                                     double buffer_s, media::Rung prev_rung,
+                                     std::span<const media::Rung> warm_plan,
+                                     PlanResult* out_plan = nullptr);
 
 class SodaController final : public abr::Controller {
  public:
   explicit SodaController(SodaConfig config = {});
 
   [[nodiscard]] media::Rung ChooseRung(const abr::Context& context) override;
+  void Reset() override { last_plan_.clear(); }
   [[nodiscard]] std::string Name() const override { return "SODA"; }
 
   // Solver work done by the last decision (for the efficiency bench).
@@ -63,6 +95,10 @@ class SodaController final : public abr::Controller {
   std::optional<CostModel> model_;
   std::optional<MonotonicSolver> solver_;
   long long last_sequences_ = 0;
+  // Previous decision's full plan (warm-start source) and the scratch the
+  // shifted copy is assembled in (reused across decisions).
+  std::vector<media::Rung> last_plan_;
+  std::vector<media::Rung> warm_scratch_;
 };
 
 }  // namespace soda::core

@@ -12,6 +12,16 @@ namespace {
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 constexpr double kFeasibilityTolerance = 1e-9;
 
+// Pruning margin: a subtree is cut only when its admissible lower bound
+// exceeds the incumbent by more than this. The slack absorbs the few ulps
+// by which the factored bound arithmetic can differ from the exact
+// per-step arithmetic, so pruning can never drop a strictly-better (or
+// tying) sequence and the search stays plan-identical to the exhaustive
+// enumeration.
+double PruneMargin(double bound) {
+  return 1e-9 + 1e-12 * std::abs(bound);
+}
+
 struct StepOutcome {
   double next_buffer = 0.0;
   double cost = 0.0;
@@ -22,8 +32,7 @@ StepOutcome EvaluateStep(const CostModel& model, double predicted_mbps,
                          media::Rung rung, media::Rung prev_rung,
                          double buffer_s, bool charge_switch,
                          bool hard_constraints) {
-  const auto& ladder = model.Ladder();
-  const double bitrate = ladder.BitrateMbps(rung);
+  const double bitrate = model.RungBitrate(rung);
   const double raw_next = model.NextBuffer(buffer_s, predicted_mbps, bitrate);
   const double max_buffer = model.Config().max_buffer_s;
 
@@ -33,10 +42,9 @@ StepOutcome EvaluateStep(const CostModel& model, double predicted_mbps,
     out.feasible = raw_next >= -kFeasibilityTolerance &&
                    raw_next <= max_buffer + kFeasibilityTolerance;
   }
-  const double prev_bitrate =
-      prev_rung >= 0 ? ladder.BitrateMbps(prev_rung) : bitrate;
-  out.cost = model.IntervalCost(predicted_mbps, bitrate, prev_bitrate,
-                                out.next_buffer, charge_switch);
+  out.cost = model.RungIntervalCost(predicted_mbps, rung,
+                                    charge_switch ? prev_rung : -1,
+                                    out.next_buffer);
   return out;
 }
 
@@ -54,15 +62,94 @@ media::Rung AnchorRung(const CostModel& model, double predicted_mbps) {
 double TailCost(const CostModel& model, double tail_intervals,
                 double predicted_mbps, media::Rung rung, double buffer_s) {
   if (tail_intervals <= 0.0) return 0.0;
-  const double bitrate = model.Ladder().BitrateMbps(rung);
+  const double bitrate = model.RungBitrate(rung);
   const double drift_per_interval =
       model.NextBuffer(buffer_s, predicted_mbps, bitrate) - buffer_s;
   const double mid_buffer =
       std::clamp(buffer_s + 0.5 * tail_intervals * drift_per_interval, 0.0,
                  model.Config().max_buffer_s);
   return tail_intervals *
-         (model.DistortionTermCost(predicted_mbps, bitrate) +
+         (model.RungDistortionTermCost(predicted_mbps, rung) +
           model.Config().weights.beta * model.BufferCost(mid_buffer));
+}
+
+// Fills `lb_suffix[d]` with an admissible lower bound on the cost of
+// completing a plan from interval d (including the terminal tail), for
+// d in [0, K]. Computed once per Solve.
+void FillLowerBoundSuffix(const CostModel& model, const SolverConfig& config,
+                          std::span<const double> predicted_mbps,
+                          double* lb_suffix) {
+  const double min_term = model.MinDistortionTermPerMbps();
+  const std::size_t horizon = predicted_mbps.size();
+  lb_suffix[horizon] = config.tail_intervals > 0.0
+                           ? config.tail_intervals *
+                                 (predicted_mbps.back() * min_term)
+                           : 0.0;
+  for (std::size_t d = horizon; d > 0; --d) {
+    lb_suffix[d - 1] = lb_suffix[d] + predicted_mbps[d - 1] * min_term;
+  }
+}
+
+// The exact leaf total the search would compute for `plan` — the same
+// left-to-right accumulation and tail cost — or infinity when the plan is
+// infeasible. Used to seed the warm-start incumbent; because the
+// accumulation mirrors the DFS arithmetic operation for operation, the
+// returned value can never undercut the objective the search itself would
+// assign to the same sequence.
+double ExactPlanTotal(const CostModel& model, const SolverConfig& config,
+                      std::span<const double> predicted_mbps,
+                      std::span<const media::Rung> plan, double buffer_s,
+                      media::Rung anchor, bool has_prev) {
+  double accumulated = 0.0;
+  double buffer = buffer_s;
+  media::Rung prev = anchor;
+  bool charge_switch = has_prev;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const StepOutcome step =
+        EvaluateStep(model, predicted_mbps[i], plan[i],
+                     charge_switch ? prev : -1, buffer, charge_switch,
+                     config.hard_buffer_constraints);
+    if (!step.feasible) return kInfinity;
+    accumulated = accumulated + step.cost;
+    buffer = step.next_buffer;
+    prev = plan[i];
+    charge_switch = true;
+  }
+  return accumulated + TailCost(model, config.tail_intervals,
+                                predicted_mbps.back(), plan.back(), buffer);
+}
+
+bool PlanRungsValid(const CostModel& model,
+                    std::span<const media::Rung> plan) {
+  for (const media::Rung r : plan) {
+    if (r < 0 || r >= model.RungCount()) return false;
+  }
+  return true;
+}
+
+// True when [anchor, plan...] is non-decreasing or non-increasing — i.e.
+// the plan lies inside MonotonicSolver's search space, which guarantees
+// its cost is an upper bound on the monotone optimum.
+bool PlanIsMonotone(std::span<const media::Rung> plan, media::Rung anchor) {
+  bool non_decreasing = true;
+  bool non_increasing = true;
+  media::Rung prev = anchor;
+  for (const media::Rung r : plan) {
+    if (r < prev) non_decreasing = false;
+    if (r > prev) non_increasing = false;
+    prev = r;
+  }
+  return non_decreasing || non_increasing;
+}
+
+void ValidatePredictions(std::span<const double> predicted_mbps) {
+  SODA_ENSURE(!predicted_mbps.empty(), "need at least one prediction");
+  SODA_ENSURE(predicted_mbps.size() <=
+                  static_cast<std::size_t>(kMaxSolverHorizon),
+              "planning horizon exceeds kMaxSolverHorizon");
+  for (const double w : predicted_mbps) {
+    SODA_ENSURE(w > 0.0, "predicted throughput must be positive");
+  }
 }
 
 }  // namespace
@@ -74,27 +161,38 @@ void MonotonicSolver::SearchMonotone(std::span<const double> predicted_mbps,
                                      int depth, double buffer_s,
                                      media::Rung prev, bool charge_switch,
                                      int direction, double accumulated,
-                                     std::vector<media::Rung>& stack,
-                                     Branch& best) const {
+                                     media::Rung* stack, Branch& best,
+                                     const double* lb_suffix,
+                                     double& bound) const {
   const int horizon = static_cast<int>(predicted_mbps.size());
   if (depth == horizon) {
     const double total =
         accumulated + TailCost(*model_, config_.tail_intervals,
-                               predicted_mbps.back(), stack.back(), buffer_s);
+                               predicted_mbps.back(), stack[horizon - 1],
+                               buffer_s);
     ++best.sequences;
     if (!best.found || total < best.objective) {
       best.found = true;
       best.objective = total;
-      best.first = stack.front();
-      best.plan = stack;
+      best.first = stack[0];
+      std::copy_n(stack, horizon, best.plan);
     }
+    if (total < bound) bound = total;
     return;
   }
 
-  const auto& ladder = model_->Ladder();
+  // Branch-and-bound: even a zero-switch, target-buffer completion costs at
+  // least lb_suffix[depth]; cut the subtree when that cannot beat the
+  // incumbent (within the float-safety margin that keeps results
+  // plan-identical to the exhaustive search).
+  if (lb_suffix != nullptr &&
+      accumulated + lb_suffix[depth] >= bound + PruneMargin(bound)) {
+    return;
+  }
+
   const media::Rung begin = prev;
-  const media::Rung end =
-      direction > 0 ? ladder.HighestRung() : ladder.LowestRung();
+  const media::Rung end = direction > 0 ? model_->Ladder().HighestRung()
+                                        : model_->Ladder().LowestRung();
   const double w = predicted_mbps[static_cast<std::size_t>(depth)];
 
   for (media::Rung r = begin;; r += direction) {
@@ -102,11 +200,10 @@ void MonotonicSolver::SearchMonotone(std::span<const double> predicted_mbps,
         EvaluateStep(*model_, w, r, charge_switch ? prev : -1, buffer_s,
                      charge_switch, config_.hard_buffer_constraints);
     if (step.feasible) {
-      stack.push_back(r);
+      stack[depth] = r;
       SearchMonotone(predicted_mbps, depth + 1, step.next_buffer, r,
                      /*charge_switch=*/true, direction,
-                     accumulated + step.cost, stack, best);
-      stack.pop_back();
+                     accumulated + step.cost, stack, best, lb_suffix, bound);
     }
     if (r == end) break;
   }
@@ -115,23 +212,47 @@ void MonotonicSolver::SearchMonotone(std::span<const double> predicted_mbps,
 PlanResult MonotonicSolver::Solve(std::span<const double> predicted_mbps,
                                   double buffer_s,
                                   media::Rung prev_rung) const {
-  SODA_ENSURE(!predicted_mbps.empty(), "need at least one prediction");
-  for (const double w : predicted_mbps) {
-    SODA_ENSURE(w > 0.0, "predicted throughput must be positive");
-  }
+  return Solve(predicted_mbps, buffer_s, prev_rung, {});
+}
+
+PlanResult MonotonicSolver::Solve(std::span<const double> predicted_mbps,
+                                  double buffer_s, media::Rung prev_rung,
+                                  std::span<const media::Rung> warm_plan) const {
+  ValidatePredictions(predicted_mbps);
 
   const bool has_prev = prev_rung >= 0;
   const media::Rung anchor =
       has_prev ? prev_rung : AnchorRung(*model_, predicted_mbps.front());
 
+  // Solve-scoped arena: partial-sequence stack and bound table live on the
+  // stack; the recursion allocates nothing.
+  media::Rung stack[kMaxSolverHorizon];
+  double lb_storage[kMaxSolverHorizon + 1];
+  const double* lb_suffix = nullptr;
+  if (config_.enable_pruning) {
+    FillLowerBoundSuffix(*model_, config_, predicted_mbps, lb_storage);
+    lb_suffix = lb_storage;
+  }
+
+  // Incumbent objective shared by both directions (and seeded by the warm
+  // plan when one is usable). Used purely for pruning: the bound can only
+  // ever hold the cost of a plan inside the search space, so the optimum
+  // always survives and the chosen result matches the cold exhaustive
+  // search exactly.
+  double bound = kInfinity;
+  if (config_.enable_pruning && warm_plan.size() == predicted_mbps.size() &&
+      PlanRungsValid(*model_, warm_plan) &&
+      PlanIsMonotone(warm_plan, anchor)) {
+    bound = ExactPlanTotal(*model_, config_, predicted_mbps, warm_plan,
+                           buffer_s, anchor, has_prev);
+  }
+
   Branch up;
   Branch down;
-  std::vector<media::Rung> stack;
-  stack.reserve(predicted_mbps.size());
   SearchMonotone(predicted_mbps, 0, buffer_s, anchor, has_prev,
-                 /*direction=*/+1, 0.0, stack, up);
+                 /*direction=*/+1, 0.0, stack, up, lb_suffix, bound);
   SearchMonotone(predicted_mbps, 0, buffer_s, anchor, has_prev,
-                 /*direction=*/-1, 0.0, stack, down);
+                 /*direction=*/-1, 0.0, stack, down, lb_suffix, bound);
 
   PlanResult result;
   result.sequences_evaluated = up.sequences + down.sequences;
@@ -145,7 +266,7 @@ PlanResult MonotonicSolver::Solve(std::span<const double> predicted_mbps,
     result.feasible = true;
     result.first_rung = chosen->first;
     result.objective = chosen->objective;
-    result.plan = chosen->plan;
+    result.plan.assign(chosen->plan, chosen->plan + predicted_mbps.size());
   }
   return result;
 }
@@ -156,20 +277,28 @@ BruteForceSolver::BruteForceSolver(const CostModel& model, SolverConfig config)
 void BruteForceSolver::SearchAll(std::span<const double> predicted_mbps,
                                  int depth, double buffer_s, media::Rung prev,
                                  bool charge_switch, double accumulated,
-                                 std::vector<media::Rung>& stack,
-                                 PlanResult& best) const {
+                                 media::Rung* stack, PlanResult& best,
+                                 media::Rung* best_plan,
+                                 const double* lb_suffix,
+                                 double& bound) const {
   const int horizon = static_cast<int>(predicted_mbps.size());
   if (depth == horizon) {
     const double total =
         accumulated + TailCost(*model_, config_.tail_intervals,
-                               predicted_mbps.back(), stack.back(), buffer_s);
+                               predicted_mbps.back(), stack[horizon - 1],
+                               buffer_s);
     ++best.sequences_evaluated;
     if (!best.feasible || total < best.objective) {
       best.feasible = true;
       best.objective = total;
-      best.first_rung = stack.front();
-      best.plan = stack;
+      best.first_rung = stack[0];
+      std::copy_n(stack, horizon, best_plan);
     }
+    if (total < bound) bound = total;
+    return;
+  }
+  if (lb_suffix != nullptr &&
+      accumulated + lb_suffix[depth] >= bound + PruneMargin(bound)) {
     return;
   }
   const auto& ladder = model_->Ladder();
@@ -179,17 +308,23 @@ void BruteForceSolver::SearchAll(std::span<const double> predicted_mbps,
         EvaluateStep(*model_, w, r, charge_switch ? prev : -1, buffer_s,
                      charge_switch, config_.hard_buffer_constraints);
     if (!step.feasible) continue;
-    stack.push_back(r);
+    stack[depth] = r;
     SearchAll(predicted_mbps, depth + 1, step.next_buffer, r,
-              /*charge_switch=*/true, accumulated + step.cost, stack, best);
-    stack.pop_back();
+              /*charge_switch=*/true, accumulated + step.cost, stack, best,
+              best_plan, lb_suffix, bound);
   }
 }
 
 PlanResult BruteForceSolver::Solve(std::span<const double> predicted_mbps,
                                    double buffer_s,
                                    media::Rung prev_rung) const {
-  SODA_ENSURE(!predicted_mbps.empty(), "need at least one prediction");
+  return Solve(predicted_mbps, buffer_s, prev_rung, {});
+}
+
+PlanResult BruteForceSolver::Solve(std::span<const double> predicted_mbps,
+                                   double buffer_s, media::Rung prev_rung,
+                                   std::span<const media::Rung> warm_plan) const {
+  ValidatePredictions(predicted_mbps);
   const double combos =
       std::pow(static_cast<double>(model_->Ladder().Count()),
                static_cast<double>(predicted_mbps.size()));
@@ -199,10 +334,30 @@ PlanResult BruteForceSolver::Solve(std::span<const double> predicted_mbps,
   const media::Rung anchor =
       has_prev ? prev_rung : AnchorRung(*model_, predicted_mbps.front());
 
+  media::Rung stack[kMaxSolverHorizon];
+  media::Rung best_plan[kMaxSolverHorizon];
+  double lb_storage[kMaxSolverHorizon + 1];
+  const double* lb_suffix = nullptr;
+  if (config_.enable_pruning) {
+    FillLowerBoundSuffix(*model_, config_, predicted_mbps, lb_storage);
+    lb_suffix = lb_storage;
+  }
+
+  double bound = kInfinity;
+  if (config_.enable_pruning && warm_plan.size() == predicted_mbps.size() &&
+      PlanRungsValid(*model_, warm_plan)) {
+    // The brute-force space contains every rung sequence, so any feasible
+    // plan's exact total is a valid incumbent.
+    bound = ExactPlanTotal(*model_, config_, predicted_mbps, warm_plan,
+                           buffer_s, anchor, has_prev);
+  }
+
   PlanResult best;
-  std::vector<media::Rung> stack;
-  stack.reserve(predicted_mbps.size());
-  SearchAll(predicted_mbps, 0, buffer_s, anchor, has_prev, 0.0, stack, best);
+  SearchAll(predicted_mbps, 0, buffer_s, anchor, has_prev, 0.0, stack, best,
+            best_plan, lb_suffix, bound);
+  if (best.feasible) {
+    best.plan.assign(best_plan, best_plan + predicted_mbps.size());
+  }
   return best;
 }
 
@@ -212,6 +367,7 @@ double EvaluatePlan(const CostModel& model,
                     media::Rung prev_rung, bool hard_buffer_constraints) {
   SODA_ENSURE(plan.size() == predicted_mbps.size(),
               "plan and prediction lengths must match");
+  SODA_ENSURE(PlanRungsValid(model, plan), "plan rung out of range");
   double total = 0.0;
   double buffer = buffer_s;
   media::Rung prev = prev_rung;

@@ -13,6 +13,19 @@
 // [0, x_max] (the paper's optimization-phase constraint); in soft mode the
 // trajectory is clamped and the boundary cost charged, which is what the
 // deployable controller uses so a plan always exists.
+//
+// Branch-and-bound: with `enable_pruning` (the default) both solvers cut
+// subtrees whose accumulated cost plus an admissible remaining-cost lower
+// bound (per-interval minimum distortion; the buffer and switching terms
+// are bounded by zero) cannot beat the incumbent. Pruning is
+// plan-identical: the returned feasibility, first rung, objective and full
+// plan are exactly those of the exhaustive search — only
+// `sequences_evaluated` shrinks. The Solve overload taking `warm_plan`
+// additionally seeds the incumbent bound with the cost of a known-good
+// plan (e.g. the previous decision's plan shifted by one interval) so
+// pruning engages from the first node; the warm plan is used purely as a
+// bound, never returned, which keeps warm-started results identical to
+// cold ones.
 #pragma once
 
 #include <span>
@@ -21,6 +34,11 @@
 #include "core/cost_model.hpp"
 
 namespace soda::core {
+
+// Hard cap on the planning horizon; lets the solvers keep their search
+// stack and bound tables in fixed-size, allocation-free scratch space.
+// Far above any practical horizon (the paper uses K <= 10 s / dt).
+inline constexpr int kMaxSolverHorizon = 64;
 
 struct SolverConfig {
   bool hard_buffer_constraints = false;
@@ -31,6 +49,9 @@ struct SolverConfig {
   // intervals (K-step lookahead alone undervalues climbing back after a
   // dip). 0 recovers the pure Equation-2 objective used by the theory.
   double tail_intervals = 0.0;
+  // Branch-and-bound pruning (see the file comment). Off reproduces the
+  // original exhaustive enumeration; the property tests compare the two.
+  bool enable_pruning = true;
 };
 
 struct PlanResult {
@@ -39,7 +60,8 @@ struct PlanResult {
   double objective = 0.0;
   // Full planned rung sequence (length = horizon).
   std::vector<media::Rung> plan;
-  // Number of complete bitrate sequences whose objective was evaluated.
+  // Number of complete bitrate sequences whose objective was evaluated
+  // (pruned subtrees are not counted).
   long long sequences_evaluated = 0;
 };
 
@@ -54,21 +76,33 @@ class MonotonicSolver {
   [[nodiscard]] PlanResult Solve(std::span<const double> predicted_mbps,
                                  double buffer_s, media::Rung prev_rung) const;
 
+  // Warm-started variant: `warm_plan` (same length as the horizon) seeds
+  // the pruning incumbent with its exactly-evaluated objective when it is
+  // a feasible monotone plan; otherwise it is ignored. The result is
+  // always identical to the cold Solve.
+  [[nodiscard]] PlanResult Solve(std::span<const double> predicted_mbps,
+                                 double buffer_s, media::Rung prev_rung,
+                                 std::span<const media::Rung> warm_plan) const;
+
  private:
   struct Branch {
     double objective = 0.0;
     media::Rung first = -1;
-    std::vector<media::Rung> plan;
+    media::Rung plan[kMaxSolverHorizon];
     bool found = false;
     long long sequences = 0;
   };
 
   // Depth-first search over monotone sequences. `direction` is +1 for
-  // SearchUp (non-decreasing rungs) and -1 for SearchDown.
+  // SearchUp (non-decreasing rungs) and -1 for SearchDown. `stack` is the
+  // solve-scoped arena slot for the current partial sequence; `lb_suffix`
+  // (null = pruning off) holds the remaining-cost lower bounds and `bound`
+  // the shared incumbent objective across directions.
   void SearchMonotone(std::span<const double> predicted_mbps, int depth,
                       double buffer_s, media::Rung prev, bool charge_switch,
-                      int direction, double accumulated,
-                      std::vector<media::Rung>& stack, Branch& best) const;
+                      int direction, double accumulated, media::Rung* stack,
+                      Branch& best, const double* lb_suffix,
+                      double& bound) const;
 
   const CostModel* model_;
   SolverConfig config_;
@@ -81,11 +115,19 @@ class BruteForceSolver {
   [[nodiscard]] PlanResult Solve(std::span<const double> predicted_mbps,
                                  double buffer_s, media::Rung prev_rung) const;
 
+  // Warm-started variant (bound-only, identical results; see
+  // MonotonicSolver). Any feasible rung sequence may seed the bound here —
+  // the brute-force search space has no monotonicity requirement.
+  [[nodiscard]] PlanResult Solve(std::span<const double> predicted_mbps,
+                                 double buffer_s, media::Rung prev_rung,
+                                 std::span<const media::Rung> warm_plan) const;
+
  private:
   void SearchAll(std::span<const double> predicted_mbps, int depth,
                  double buffer_s, media::Rung prev, bool charge_switch,
-                 double accumulated, std::vector<media::Rung>& stack,
-                 PlanResult& best) const;
+                 double accumulated, media::Rung* stack, PlanResult& best,
+                 media::Rung* best_plan, const double* lb_suffix,
+                 double& bound) const;
 
   const CostModel* model_;
   SolverConfig config_;

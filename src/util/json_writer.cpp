@@ -1,0 +1,134 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace soda::util {
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent) {}
+
+void JsonWriter::NewlineIndent() {
+  if (indent_ <= 0) return;
+  out_ << '\n';
+  const std::size_t depth = counts_.size();
+  for (std::size_t i = 0; i < depth * static_cast<std::size_t>(indent_); ++i) {
+    out_ << ' ';
+  }
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    // Key() already wrote the separator and the key.
+    pending_key_ = false;
+    return;
+  }
+  if (counts_.empty()) return;  // top-level value
+  if (counts_.back() > 0) out_ << ',';
+  ++counts_.back();
+  NewlineIndent();
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!counts_.empty()) {
+    if (counts_.back() > 0) out_ << ',';
+    ++counts_.back();
+  }
+  NewlineIndent();
+  WriteEscaped(key);
+  out_ << (indent_ > 0 ? ": " : ":");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ << '{';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  const bool had_items = !counts_.empty() && counts_.back() > 0;
+  if (!counts_.empty()) counts_.pop_back();
+  if (had_items) NewlineIndent();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ << '[';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  const bool had_items = !counts_.empty() && counts_.back() > 0;
+  if (!counts_.empty()) counts_.pop_back();
+  if (had_items) NewlineIndent();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  WriteEscaped(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ << "null";
+    return *this;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out_ << buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ << "null";
+  return *this;
+}
+
+void JsonWriter::WriteEscaped(std::string_view value) {
+  out_ << '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ << buffer;
+        } else {
+          out_ << c;
+        }
+        break;
+    }
+  }
+  out_ << '"';
+}
+
+}  // namespace soda::util

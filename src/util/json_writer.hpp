@@ -1,0 +1,61 @@
+// A small streaming JSON writer for machine-readable reports
+// (BENCH_*.json). Values are emitted as they are written — no DOM, no
+// allocation proportional to the document. Doubles round-trip (printed with
+// %.17g, with NaN/inf mapped to null, which JSON cannot represent).
+//
+//   util::JsonWriter json(stream);
+//   json.BeginObject();
+//   json.Key("name").String("solver_micro");
+//   json.Key("runs").BeginArray();
+//   json.BeginObject();
+//   json.Key("ns_per_decision").Number(812.5);
+//   json.EndObject();
+//   json.EndArray();
+//   json.EndObject();
+//
+// The writer tracks nesting to place commas and indentation; it does not
+// validate that keys are only used inside objects — callers own document
+// well-formedness beyond separators.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace soda::util {
+
+class JsonWriter {
+ public:
+  // Writes to `out` (not owned; must outlive the writer). `indent` spaces
+  // per nesting level; 0 emits compact single-line JSON.
+  explicit JsonWriter(std::ostream& out, int indent = 2);
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Writes the key for the next value (objects only).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+ private:
+  void BeforeValue();
+  void NewlineIndent();
+  void WriteEscaped(std::string_view value);
+
+  std::ostream& out_;
+  int indent_;
+  // One entry per open container: the number of items written so far.
+  std::vector<std::size_t> counts_;
+  bool pending_key_ = false;
+};
+
+}  // namespace soda::util

@@ -1,0 +1,207 @@
+// CachedDecisionController: exactness at grid points, fallback routing,
+// and the corpus-level QoE accuracy bound documented in EXPERIMENTS.md.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/cached_controller.hpp"
+#include "core/registry.hpp"
+#include "core/soda_controller.hpp"
+#include "media/quality.hpp"
+#include "net/dataset.hpp"
+#include "predict/ema.hpp"
+#include "qoe/eval.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace soda::core {
+namespace {
+
+// A predictor whose horizon ramps: predictions[i] = base * (1 + slope*i).
+// Non-constant beyond any reasonable tolerance, so the cached controller
+// must route it to the exact solver.
+class RampPredictor final : public predict::ThroughputPredictor {
+ public:
+  explicit RampPredictor(double base, double slope)
+      : base_(base), slope_(slope) {}
+  void Observe(const predict::DownloadObservation&) override {}
+  [[nodiscard]] std::vector<double> PredictHorizon(double, int horizon,
+                                                   double) override {
+    std::vector<double> out;
+    for (int i = 0; i < horizon; ++i) {
+      out.push_back(base_ * (1.0 + slope_ * i));
+    }
+    return out;
+  }
+  void Reset() override {}
+  [[nodiscard]] std::string Name() const override { return "Ramp"; }
+
+ private:
+  double base_;
+  double slope_;
+};
+
+TEST(CachedController, MatchesExactSodaOnGridPoints) {
+  CachedDecisionController cached;
+  SodaController exact(cached.Config().base);
+  soda::testing::ContextFixture fx(media::YoutubeHfr4kLadder());
+
+  // Build the table.
+  fx.SetThroughput(10.0);
+  (void)cached.ChooseRung(fx.Make(10.0, 2));
+  ASSERT_EQ(cached.GetStats().table_builds, 1);
+
+  const auto& buffers = cached.BufferAxis();
+  const auto& throughputs = cached.ThroughputAxis();
+  ASSERT_EQ(static_cast<int>(buffers.size()), cached.Config().buffer_points);
+  ASSERT_EQ(static_cast<int>(throughputs.size()),
+            cached.Config().throughput_points);
+
+  // Sample the grid (the full grid is ~40k exact solves; a strided sample
+  // keeps the test fast while covering all prev rungs and both axes).
+  const int rungs = static_cast<int>(media::YoutubeHfr4kLadder().Size());
+  int checked = 0;
+  for (media::Rung prev = -1; prev < rungs; prev += 3) {
+    for (std::size_t t = 0; t < throughputs.size(); t += 7) {
+      for (std::size_t b = 0; b < buffers.size(); b += 5) {
+        fx.SetThroughput(throughputs[t]);
+        const abr::Context context = fx.Make(buffers[b], prev);
+        // Reset so the exact controller cannot warm-start (warm starts are
+        // decision-identical anyway, but keep the comparison airtight) and
+        // the cached controller serves this exact grid point.
+        exact.Reset();
+        const media::Rung want = exact.ChooseRung(context);
+        const media::Rung from_table =
+            cached.TableRung(prev, static_cast<int>(t), static_cast<int>(b));
+        const media::Rung served = cached.ChooseRung(context);
+        EXPECT_EQ(from_table, want)
+            << "prev=" << prev << " t=" << t << " b=" << b;
+        EXPECT_EQ(served, want)
+            << "prev=" << prev << " t=" << t << " b=" << b;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100);
+  EXPECT_EQ(cached.GetStats().fallbacks, 0);
+  EXPECT_EQ(cached.GetStats().table_builds, 1);  // no spurious rebuilds
+}
+
+TEST(CachedController, OutOfRangeThroughputFallsBackToExact) {
+  CachedDecisionController cached;
+  SodaController exact(cached.Config().base);
+  soda::testing::ContextFixture fx(media::YoutubeHfr4kLadder());
+
+  // Predicted throughput above the grid ceiling must be solved exactly.
+  const double mbps = cached.Config().max_mbps * 2.0;
+  fx.SetThroughput(mbps);
+  const abr::Context context = fx.Make(10.0, 2);
+  const media::Rung served = cached.ChooseRung(context);
+  EXPECT_EQ(served, exact.ChooseRung(context));
+  EXPECT_EQ(cached.GetStats().fallbacks, 1);
+  EXPECT_EQ(cached.GetStats().lookups, 0);
+
+  // Below the floor likewise.
+  fx.SetThroughput(cached.Config().min_mbps * 0.5);
+  const abr::Context low = fx.Make(3.0, 0);
+  exact.Reset();
+  EXPECT_EQ(cached.ChooseRung(low), exact.ChooseRung(low));
+  EXPECT_EQ(cached.GetStats().fallbacks, 2);
+}
+
+TEST(CachedController, NonConstantPredictionsFallBackToExact) {
+  CachedDecisionController cached;
+  SodaController exact(cached.Config().base);
+
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  RampPredictor ramp(8.0, 0.5);  // 8, 12, 16, ... — far from constant
+
+  abr::Context context;
+  context.now_s = 100.0;
+  context.buffer_s = 10.0;
+  context.prev_rung = 2;
+  context.segment_index = 50;
+  context.playing = true;
+  context.max_buffer_s = 20.0;
+  context.video = &video;
+  context.predictor = &ramp;
+
+  EXPECT_EQ(cached.ChooseRung(context), exact.ChooseRung(context));
+  EXPECT_EQ(cached.GetStats().fallbacks, 1);
+  EXPECT_EQ(cached.GetStats().lookups, 0);
+
+  // Within tolerance (0.5% deviation vs the 5% default) the table serves.
+  RampPredictor nearly_constant(8.0, 0.005);
+  context.predictor = &nearly_constant;
+  (void)cached.ChooseRung(context);
+  EXPECT_EQ(cached.GetStats().lookups, 1);
+}
+
+TEST(CachedController, RegistryBuildsIt) {
+  const abr::ControllerPtr controller = MakeController("soda-cached");
+  ASSERT_NE(controller, nullptr);
+  EXPECT_EQ(controller->Name(), "SODA-cached");
+}
+
+TEST(CachedController, ValidatesConfig) {
+  CachedControllerConfig config;
+  config.buffer_points = 1;
+  EXPECT_THROW((CachedDecisionController(config)), std::invalid_argument);
+  config = {};
+  config.min_mbps = 10.0;
+  config.max_mbps = 5.0;
+  EXPECT_THROW((CachedDecisionController(config)), std::invalid_argument);
+  config = {};
+  config.constant_prediction_tolerance = -0.1;
+  EXPECT_THROW((CachedDecisionController(config)), std::invalid_argument);
+}
+
+// Corpus-level accuracy: on a Puffer-like corpus with the dash.js EMA
+// predictor, serving from the table instead of solving exactly moves the
+// aggregate QoE by less than 0.01 (the measured delta is ~+0.002; the
+// bound here is deliberately loose so it holds across corpus sizes —
+// EXPERIMENTS.md documents the measured trade-off).
+TEST(CachedController, CorpusQoeCloseToExactSoda) {
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+
+  Rng rng(20240804);
+  const net::DatasetEmulator emulator(net::DatasetKind::kPuffer);
+  const auto sessions = emulator.MakeSessions(24, rng);
+
+  qoe::EvalConfig config;
+  config.sim.max_buffer_s = 20.0;
+  config.sim.live = true;
+  config.sim.live_latency_s = 20.0;
+  config.threads = 1;
+  config.base_seed = 20240804;
+  config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
+    return u.At(mbps);
+  };
+  const qoe::TracePredictorFactory predictor_factory =
+      [](const net::ThroughputTrace&) {
+        return predict::PredictorPtr(std::make_unique<predict::EmaPredictor>());
+      };
+
+  const qoe::EvalResult exact = qoe::EvaluateController(
+      sessions, [] { return MakeController("soda"); }, predictor_factory,
+      video, config);
+  const qoe::EvalResult cached = qoe::EvaluateController(
+      sessions, [] { return MakeController("soda-cached"); },
+      predictor_factory, video, config);
+
+  const double delta =
+      cached.aggregate.qoe.Mean() - exact.aggregate.qoe.Mean();
+  EXPECT_LT(std::abs(delta), 0.01)
+      << "cached QoE " << cached.aggregate.qoe.Mean() << " vs exact "
+      << exact.aggregate.qoe.Mean();
+  // The cache must not buy its speed with stalls: rebuffering stays
+  // essentially at the exact controller's level.
+  EXPECT_NEAR(cached.aggregate.rebuffer_ratio.Mean(),
+              exact.aggregate.rebuffer_ratio.Mean(), 1e-3);
+}
+
+}  // namespace
+}  // namespace soda::core

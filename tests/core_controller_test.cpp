@@ -214,11 +214,44 @@ TEST(DecisionMap, ShapeMatchesFig5) {
   EXPECT_TRUE(any_nan);
 }
 
+TEST(DecisionMap, ParallelFillIsBitIdentical) {
+  CostModelConfig mc;
+  mc.target_buffer_s = 12.0;
+  mc.max_buffer_s = 20.0;
+  mc.dt_s = 2.0;
+  // CostModel stores a pointer to the ladder: it must outlive the model
+  // (passing the Ladder() temporary directly would dangle).
+  const auto ladder = Ladder();
+  const CostModel model(ladder, mc);
+  DecisionMapConfig config;
+  config.buffer_points = 16;
+  config.throughput_points = 18;
+  config.threads = 1;
+  const DecisionMap serial = ComputeDecisionMap(model, config);
+  for (const int threads : {2, 4, 0}) {
+    config.threads = threads;
+    const DecisionMap parallel = ComputeDecisionMap(model, config);
+    ASSERT_EQ(parallel.grid.size(), serial.grid.size());
+    for (std::size_t t = 0; t < serial.grid.size(); ++t) {
+      for (std::size_t b = 0; b < serial.grid[t].size(); ++b) {
+        const double want = serial.grid[t][b];
+        const double got = parallel.grid[t][b];
+        if (std::isnan(want)) {
+          EXPECT_TRUE(std::isnan(got)) << "t=" << t << " b=" << b;
+        } else {
+          EXPECT_EQ(got, want) << "t=" << t << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
 TEST(DecisionMap, ValidatesConfig) {
   CostModelConfig mc;
   mc.target_buffer_s = 12.0;
   mc.max_buffer_s = 20.0;
-  const CostModel model(Ladder(), mc);
+  const auto ladder = Ladder();
+  const CostModel model(ladder, mc);
   DecisionMapConfig bad;
   bad.buffer_points = 1;
   EXPECT_THROW((void)ComputeDecisionMap(model, bad), std::invalid_argument);

@@ -23,7 +23,11 @@ TEST_P(ControllerRegistryTest, CreatesWorkingController) {
 INSTANTIATE_TEST_SUITE_P(AllControllers, ControllerRegistryTest,
                          ::testing::ValuesIn(ControllerNames()),
                          [](const auto& param_info) {
-                           return param_info.param;
+                           std::string name = param_info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
                          });
 
 TEST(ControllerRegistry, CaseInsensitive) {

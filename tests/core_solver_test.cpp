@@ -128,8 +128,12 @@ TEST(MonotonicSolver, MatchesBruteForceOnExhaustiveGrid) {
 TEST(MonotonicSolver, PolynomialSequenceCount) {
   const auto ladder = Ladder();
   const CostModel model(ladder, BaseConfig());
-  const MonotonicSolver monotonic(model);
-  const BruteForceSolver brute(model);
+  // The paper's enumeration claim is about the raw monotone search space, so
+  // measure it with branch-and-bound pruning disabled.
+  SolverConfig unpruned;
+  unpruned.enable_pruning = false;
+  const MonotonicSolver monotonic(model, unpruned);
+  const BruteForceSolver brute(model, unpruned);
   const auto predictions = Constant(10.0, 5);
   const PlanResult a = monotonic.Solve(predictions, 10.0, 2);
   const PlanResult b = brute.Solve(predictions, 10.0, 2);
@@ -138,6 +142,16 @@ TEST(MonotonicSolver, PolynomialSequenceCount) {
   EXPECT_GT(a.sequences_evaluated, 10);
   EXPECT_GT(b.sequences_evaluated, 1000);
   EXPECT_LT(a.sequences_evaluated, b.sequences_evaluated / 4);
+
+  // Pruning (the default) keeps the same plan while evaluating strictly
+  // fewer sequences on this instance.
+  const MonotonicSolver pruned(model);
+  const PlanResult p = pruned.Solve(predictions, 10.0, 2);
+  ASSERT_TRUE(p.feasible);
+  EXPECT_EQ(p.first_rung, a.first_rung);
+  EXPECT_EQ(p.objective, a.objective);
+  EXPECT_EQ(p.plan, a.plan);
+  EXPECT_LT(p.sequences_evaluated, a.sequences_evaluated);
 }
 
 TEST(MonotonicSolver, HardConstraintsRejectOverflow) {
@@ -208,7 +222,9 @@ TEST(BruteForce, FindsGlobalOptimumOnTinyInstance) {
   config.max_buffer_s = 10.0;
   config.dt_s = 2.0;
   const CostModel model(ladder, config);
-  const BruteForceSolver solver(model);
+  SolverConfig unpruned;
+  unpruned.enable_pruning = false;
+  const BruteForceSolver solver(model, unpruned);
   const auto predictions = Constant(3.0, 2);
   const PlanResult plan = solver.Solve(predictions, 6.0, 0);
   ASSERT_TRUE(plan.feasible);

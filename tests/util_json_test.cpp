@@ -1,0 +1,75 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace soda::util {
+namespace {
+
+TEST(JsonWriter, CompactDocument) {
+  std::ostringstream out;
+  JsonWriter json(out, /*indent=*/0);
+  json.BeginObject();
+  json.Key("name").String("report");
+  json.Key("count").Int(3);
+  json.Key("ok").Bool(true);
+  json.Key("items").BeginArray();
+  json.Number(1.5);
+  json.Null();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(out.str(),
+            R"({"name":"report","count":3,"ok":true,"items":[1.5,null]})");
+}
+
+TEST(JsonWriter, IndentedNesting) {
+  std::ostringstream out;
+  JsonWriter json(out, /*indent=*/2);
+  json.BeginObject();
+  json.Key("a").BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(out.str(), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream out;
+  JsonWriter json(out, 2);
+  json.BeginObject();
+  json.Key("empty_obj").BeginObject().EndObject();
+  json.Key("empty_arr").BeginArray().EndArray();
+  json.EndObject();
+  EXPECT_EQ(out.str(), "{\n  \"empty_obj\": {},\n  \"empty_arr\": []\n}");
+}
+
+TEST(JsonWriter, DoublesRoundTripAndNonFiniteMapToNull) {
+  std::ostringstream out;
+  JsonWriter json(out, 0);
+  json.BeginArray();
+  json.Number(0.1);
+  json.Number(1.0 / 3.0);
+  json.Number(std::nan(""));
+  json.Number(HUGE_VAL);
+  json.EndArray();
+  const std::string text = out.str();
+  // %.17g prints enough digits for an exact double round-trip.
+  EXPECT_NE(text.find("0.10000000000000001"), std::string::npos);
+  EXPECT_NE(text.find("0.33333333333333331"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+  EXPECT_NE(text.find("null,null"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::ostringstream out;
+  JsonWriter json(out, 0);
+  json.String("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(out.str(), R"("a\"b\\c\nd\te\u0001")");
+}
+
+}  // namespace
+}  // namespace soda::util

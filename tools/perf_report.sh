@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in BENCH_solver.json / BENCH_eval.json perf
+# reports from a clean Release build. Run from anywhere:
+#
+#   tools/perf_report.sh [--quick]
+#
+# --quick (also used by CI's perf-smoke job) shrinks the corpus and timing
+# repetitions. Timing fields (ns/decision, sessions/sec) are
+# machine-dependent; structural fields (sequences evaluated, QoE, deltas)
+# are deterministic for the built-in seed.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-perf"
+
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build" --target bench_perf_report -j "$(nproc)"
+"$build/bench/bench_perf_report" --out-dir "$repo" "$@"

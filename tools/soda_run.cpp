@@ -12,8 +12,9 @@
 //   --mahimahi PATH     mahimahi packet-delivery trace (one session)
 //   --dataset NAME      puffer | 5g | 4g (emulated corpus)
 //   --sessions N        corpus size for --dataset (default 10)
-//   --controller NAME   soda | hyb | bola | dynamic | mpc | robustmpc |
-//                       fugu | rl | throughput | production  (default soda)
+//   --controller NAME   soda | soda-cached | hyb | bola | dynamic | mpc |
+//                       robustmpc | fugu | rl | throughput | production
+//                       (default soda)
 //   --predictor NAME    ema | ma | harmonic | window | markov | p10/p25/p50
 //                       | robust-ema  (default ema)
 //   --ladder NAME       youtube | prime | puffer (default youtube)
