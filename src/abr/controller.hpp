@@ -40,6 +40,19 @@ struct Context {
   }
 };
 
+// How much work the most recent ChooseRung did, for observability (trace
+// events, run-level metrics). Purely descriptive: nothing in the simulator
+// or the controllers branches on these values. Controllers without an inner
+// solver leave every field at its default.
+struct DecisionStats {
+  long long sequences_evaluated = 0;
+  long long nodes_expanded = 0;
+  long long nodes_pruned = 0;
+  bool warm_start_used = false;   // warm plan seeded the solver's incumbent
+  bool from_table = false;        // served from a precomputed decision table
+  bool solver_fallback = false;   // table miss fell back to the exact solver
+};
+
 class Controller {
  public:
   virtual ~Controller() = default;
@@ -52,6 +65,10 @@ class Controller {
   virtual void Reset() {}
 
   [[nodiscard]] virtual std::string Name() const = 0;
+
+  // Work stats for the last ChooseRung on this instance (defaults when the
+  // controller does not track any).
+  [[nodiscard]] virtual DecisionStats LastDecisionStats() const { return {}; }
 };
 
 using ControllerPtr = std::unique_ptr<Controller>;

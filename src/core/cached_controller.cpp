@@ -9,7 +9,13 @@ namespace soda::core {
 
 CachedDecisionController::CachedDecisionController(
     CachedControllerConfig config)
-    : config_(config) {
+    : config_(config),
+      lookups_counter_(
+          obs::MetricsRegistry::Global().GetCounter("core.cached.lookups")),
+      fallbacks_counter_(
+          obs::MetricsRegistry::Global().GetCounter("core.cached.fallbacks")),
+      table_builds_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "core.cached.table_builds")) {
   SODA_ENSURE(config_.buffer_points >= 2 && config_.throughput_points >= 2,
               "decision table needs at least a 2x2 grid");
   SODA_ENSURE(config_.max_mbps > config_.min_mbps && config_.min_mbps > 0.0,
@@ -43,6 +49,7 @@ void CachedDecisionController::EnsureTable(const abr::Context& context) {
   sc.tail_intervals = config_.base.tail_intervals;
   solver_.emplace(*model_, sc);
   ++stats_.table_builds;
+  table_builds_counter_.Add();
 
   buffer_axis_.clear();
   buffer_axis_.reserve(static_cast<std::size_t>(config_.buffer_points));
@@ -146,10 +153,22 @@ media::Rung CachedDecisionController::ChooseRung(const abr::Context& context) {
   }
   if (!servable) {
     ++stats_.fallbacks;
-    return DecideSoda(*model_, *solver_, config_.base, predictions,
-                      context.buffer_s, context.prev_rung, {});
+    fallbacks_counter_.Add();
+    PlanResult plan;
+    const media::Rung choice =
+        DecideSoda(*model_, *solver_, config_.base, predictions,
+                   context.buffer_s, context.prev_rung, {}, &plan);
+    last_stats_ = abr::DecisionStats{};
+    last_stats_.solver_fallback = true;
+    last_stats_.sequences_evaluated = plan.sequences_evaluated;
+    last_stats_.nodes_expanded = plan.nodes_expanded;
+    last_stats_.nodes_pruned = plan.nodes_pruned;
+    return choice;
   }
   ++stats_.lookups;
+  lookups_counter_.Add();
+  last_stats_ = abr::DecisionStats{};
+  last_stats_.from_table = true;
   return LookupRung(context.buffer_s, w, context.prev_rung);
 }
 

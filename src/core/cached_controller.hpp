@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/soda_controller.hpp"
+#include "obs/metrics.hpp"
 
 namespace soda::core {
 
@@ -65,6 +66,10 @@ class CachedDecisionController final : public abr::Controller {
     long long fallbacks = 0;     // decisions routed to the exact solver
   };
   [[nodiscard]] const Stats& GetStats() const noexcept { return stats_; }
+
+  [[nodiscard]] abr::DecisionStats LastDecisionStats() const override {
+    return last_stats_;
+  }
 
   [[nodiscard]] const CachedControllerConfig& Config() const noexcept {
     return config_;
@@ -108,6 +113,12 @@ class CachedDecisionController final : public abr::Controller {
   double log_min_mbps_ = 0.0;
   double inv_log_step_ = 0.0;
   Stats stats_;
+  abr::DecisionStats last_stats_;
+  // Process-wide grid-hit/fallback counters (aggregated across instances,
+  // e.g. the per-worker clones of a parallel evaluation).
+  obs::Counter lookups_counter_;
+  obs::Counter fallbacks_counter_;
+  obs::Counter table_builds_counter_;
 };
 
 }  // namespace soda::core

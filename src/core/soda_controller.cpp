@@ -103,7 +103,11 @@ media::Rung SodaController::ChooseRung(const abr::Context& context) {
   const media::Rung choice =
       DecideSoda(*model_, *solver_, config_, predictions, context.buffer_s,
                  context.prev_rung, warm, &plan);
-  last_sequences_ = plan.sequences_evaluated;
+  last_stats_ = abr::DecisionStats{};
+  last_stats_.sequences_evaluated = plan.sequences_evaluated;
+  last_stats_.nodes_expanded = plan.nodes_expanded;
+  last_stats_.nodes_pruned = plan.nodes_pruned;
+  last_stats_.warm_start_used = plan.warm_start_used;
   if (plan.feasible) {
     last_plan_ = std::move(plan.plan);
   } else {

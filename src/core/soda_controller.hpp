@@ -76,12 +76,19 @@ class SodaController final : public abr::Controller {
   explicit SodaController(SodaConfig config = {});
 
   [[nodiscard]] media::Rung ChooseRung(const abr::Context& context) override;
-  void Reset() override { last_plan_.clear(); }
+  void Reset() override {
+    last_plan_.clear();
+    last_stats_ = abr::DecisionStats{};
+  }
   [[nodiscard]] std::string Name() const override { return "SODA"; }
 
   // Solver work done by the last decision (for the efficiency bench).
   [[nodiscard]] long long LastSequencesEvaluated() const noexcept {
-    return last_sequences_;
+    return last_stats_.sequences_evaluated;
+  }
+
+  [[nodiscard]] abr::DecisionStats LastDecisionStats() const override {
+    return last_stats_;
   }
 
   [[nodiscard]] const SodaConfig& Config() const noexcept { return config_; }
@@ -94,7 +101,7 @@ class SodaController final : public abr::Controller {
   SodaConfig config_;
   std::optional<CostModel> model_;
   std::optional<MonotonicSolver> solver_;
-  long long last_sequences_ = 0;
+  abr::DecisionStats last_stats_;
   // Previous decision's full plan (warm-start source) and the scratch the
   // shifted copy is assembled in (reused across decisions).
   std::vector<media::Rung> last_plan_;

@@ -165,6 +165,7 @@ void MonotonicSolver::SearchMonotone(std::span<const double> predicted_mbps,
                                      const double* lb_suffix,
                                      double& bound) const {
   const int horizon = static_cast<int>(predicted_mbps.size());
+  ++best.expanded;
   if (depth == horizon) {
     const double total =
         accumulated + TailCost(*model_, config_.tail_intervals,
@@ -187,6 +188,7 @@ void MonotonicSolver::SearchMonotone(std::span<const double> predicted_mbps,
   // plan-identical to the exhaustive search).
   if (lb_suffix != nullptr &&
       accumulated + lb_suffix[depth] >= bound + PruneMargin(bound)) {
+    ++best.pruned;
     return;
   }
 
@@ -246,6 +248,7 @@ PlanResult MonotonicSolver::Solve(std::span<const double> predicted_mbps,
     bound = ExactPlanTotal(*model_, config_, predicted_mbps, warm_plan,
                            buffer_s, anchor, has_prev);
   }
+  const bool warm_start_used = bound < kInfinity;
 
   Branch up;
   Branch down;
@@ -256,6 +259,9 @@ PlanResult MonotonicSolver::Solve(std::span<const double> predicted_mbps,
 
   PlanResult result;
   result.sequences_evaluated = up.sequences + down.sequences;
+  result.nodes_expanded = up.expanded + down.expanded;
+  result.nodes_pruned = up.pruned + down.pruned;
+  result.warm_start_used = warm_start_used;
   const Branch* chosen = nullptr;
   if (up.found && (!down.found || up.objective < down.objective)) {
     chosen = &up;
@@ -282,6 +288,7 @@ void BruteForceSolver::SearchAll(std::span<const double> predicted_mbps,
                                  const double* lb_suffix,
                                  double& bound) const {
   const int horizon = static_cast<int>(predicted_mbps.size());
+  ++best.nodes_expanded;
   if (depth == horizon) {
     const double total =
         accumulated + TailCost(*model_, config_.tail_intervals,
@@ -299,6 +306,7 @@ void BruteForceSolver::SearchAll(std::span<const double> predicted_mbps,
   }
   if (lb_suffix != nullptr &&
       accumulated + lb_suffix[depth] >= bound + PruneMargin(bound)) {
+    ++best.nodes_pruned;
     return;
   }
   const auto& ladder = model_->Ladder();
@@ -353,6 +361,7 @@ PlanResult BruteForceSolver::Solve(std::span<const double> predicted_mbps,
   }
 
   PlanResult best;
+  best.warm_start_used = bound < kInfinity;
   SearchAll(predicted_mbps, 0, buffer_s, anchor, has_prev, 0.0, stack, best,
             best_plan, lb_suffix, bound);
   if (best.feasible) {

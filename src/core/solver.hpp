@@ -63,6 +63,14 @@ struct PlanResult {
   // Number of complete bitrate sequences whose objective was evaluated
   // (pruned subtrees are not counted).
   long long sequences_evaluated = 0;
+  // Search-work counters for observability; they never influence the
+  // decision. `nodes_expanded` counts search-tree nodes entered (interior
+  // and leaf), `nodes_pruned` counts subtrees cut by the branch-and-bound
+  // bound, and `warm_start_used` reports whether a warm plan successfully
+  // seeded the incumbent for this solve.
+  long long nodes_expanded = 0;
+  long long nodes_pruned = 0;
+  bool warm_start_used = false;
 };
 
 class MonotonicSolver {
@@ -91,6 +99,8 @@ class MonotonicSolver {
     media::Rung plan[kMaxSolverHorizon];
     bool found = false;
     long long sequences = 0;
+    long long expanded = 0;
+    long long pruned = 0;
   };
 
   // Depth-first search over monotone sequences. `direction` is +1 for

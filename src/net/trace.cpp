@@ -62,6 +62,11 @@ double ThroughputTrace::ThroughputAt(double t) const noexcept {
 }
 
 double ThroughputTrace::MegabitsBetween(double t0, double t1) const noexcept {
+  // The trace is undefined before t = 0: clamp both endpoints to [0, inf)
+  // so a negative t0 cannot contribute "negative area" extrapolated at
+  // samples_[0].mbps (which would inflate the integral).
+  t0 = std::max(t0, 0.0);
+  t1 = std::max(t1, 0.0);
   if (t1 <= t0) return 0.0;
   auto cumulative_at = [this](double t) {
     const std::size_t i = IndexAt(t);
@@ -71,6 +76,8 @@ double ThroughputTrace::MegabitsBetween(double t0, double t1) const noexcept {
 }
 
 double ThroughputTrace::AverageMbps(double t0, double t1) const noexcept {
+  t0 = std::max(t0, 0.0);
+  t1 = std::max(t1, 0.0);
   if (t1 <= t0) return ThroughputAt(t0);
   return MegabitsBetween(t0, t1) / (t1 - t0);
 }

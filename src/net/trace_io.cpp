@@ -4,11 +4,25 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 #include "util/ensure.hpp"
 #include "util/table.hpp"
 
 namespace soda::net {
+namespace {
+
+// Tolerant loading must not let corrupt datasets quietly shrink the
+// corpus: every skipped row and skipped file is counted in the global
+// MetricsRegistry so callers (soda_run) can surface a warning.
+void CountSkippedRows(std::uint64_t count) {
+  if (count == 0) return;
+  static const obs::Counter skipped =
+      obs::MetricsRegistry::Global().GetCounter("net.trace_csv.rows_skipped");
+  skipped.Add(count);
+}
+
+}  // namespace
 
 ThroughputTrace LoadTraceCsv(const std::filesystem::path& path,
                              double duration_hint_s) {
@@ -22,22 +36,35 @@ ThroughputTrace LoadTraceCsv(const std::filesystem::path& path,
   // that does not yield a valid strictly-later sample instead of aborting
   // the whole file (and with it the corpus load); only a file with zero
   // usable rows is an error. A header row is just another skipped row.
+  // Skips are tallied in the "net.trace_csv.rows_skipped" counter.
   std::vector<TraceSample> samples;
   samples.reserve(raw.rows.size());
+  std::uint64_t rows_skipped = 0;
   for (const auto& row : raw.rows) {
-    if (row.size() < 2) continue;
+    if (row.size() < 2) {
+      ++rows_skipped;
+      continue;
+    }
     double t = 0.0;
     double mbps = 0.0;
     try {
       t = ParseDouble(row[0], path.string());
       mbps = ParseDouble(row[1], path.string());
     } catch (const std::runtime_error&) {
+      ++rows_skipped;
       continue;
     }
-    if (!std::isfinite(t) || !std::isfinite(mbps) || mbps < 0.0) continue;
-    if (!samples.empty() && t <= samples.back().time_s) continue;
+    if (!std::isfinite(t) || !std::isfinite(mbps) || mbps < 0.0) {
+      ++rows_skipped;
+      continue;
+    }
+    if (!samples.empty() && t <= samples.back().time_s) {
+      ++rows_skipped;
+      continue;
+    }
     samples.push_back({t, mbps});
   }
+  CountSkippedRows(rows_skipped);
   if (samples.empty()) {
     throw std::runtime_error("trace CSV has no valid data rows: " +
                              path.string());
@@ -83,11 +110,14 @@ std::vector<ThroughputTrace> LoadTraceDirectory(
 
   std::vector<ThroughputTrace> traces;
   traces.reserve(files.size());
+  static const obs::Counter files_skipped =
+      obs::MetricsRegistry::Global().GetCounter("net.trace_csv.files_skipped");
   for (const auto& file : files) {
     try {
       traces.push_back(LoadTraceCsv(file));
     } catch (const std::exception&) {
       if (skipped != nullptr) skipped->push_back(file);
+      files_skipped.Add();
     }
   }
   return traces;

@@ -1,0 +1,232 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/ensure.hpp"
+#include "util/json_writer.hpp"
+
+namespace soda::obs {
+namespace {
+
+std::uint64_t NextInstanceId() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t HistogramSnapshot::TotalCount() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  return total;
+}
+
+MetricsRegistry::MetricsRegistry() : instance_id_(NextInstanceId()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+const MetricsRegistry::MetricDef* MetricsRegistry::FindDef(
+    std::string_view name) const {
+  for (const MetricDef& def : defs_) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+Counter MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const MetricDef* def = FindDef(name)) {
+    SODA_ENSURE(def->kind == Kind::kCounter,
+                "metric '" + std::string(name) + "' is not a counter");
+    return Counter(this, def->slot);
+  }
+  SODA_ENSURE(next_slot_ < kShardSlots, "metrics registry slot space exhausted");
+  MetricDef def;
+  def.name = std::string(name);
+  def.kind = Kind::kCounter;
+  def.slot = next_slot_++;
+  defs_.push_back(def);
+  return Counter(this, def.slot);
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const MetricDef* def = FindDef(name)) {
+    SODA_ENSURE(def->kind == Kind::kGauge,
+                "metric '" + std::string(name) + "' is not a gauge");
+    return Gauge(this, def->slot);
+  }
+  MetricDef def;
+  def.name = std::string(name);
+  def.kind = Kind::kGauge;
+  def.slot = static_cast<std::uint32_t>(gauge_values_.size());
+  defs_.push_back(def);
+  gauge_values_.push_back(0.0);
+  return Gauge(this, def.slot);
+}
+
+Histogram MetricsRegistry::GetHistogram(std::string_view name,
+                                        std::vector<double> upper_bounds) {
+  SODA_ENSURE(!upper_bounds.empty(), "histogram needs at least one bound");
+  SODA_ENSURE(std::is_sorted(upper_bounds.begin(), upper_bounds.end()),
+              "histogram bounds must be ascending");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const MetricDef* def = FindDef(name)) {
+    SODA_ENSURE(def->kind == Kind::kHistogram,
+                "metric '" + std::string(name) + "' is not a histogram");
+    SODA_ENSURE(*def->bounds == upper_bounds,
+                "histogram '" + std::string(name) +
+                    "' re-registered with different bounds");
+    return Histogram(this, def->slot, def->bounds);
+  }
+  const std::size_t buckets = upper_bounds.size() + 1;  // + overflow
+  SODA_ENSURE(next_slot_ + buckets <= kShardSlots,
+              "metrics registry slot space exhausted");
+  MetricDef def;
+  def.name = std::string(name);
+  def.kind = Kind::kHistogram;
+  def.slot = next_slot_;
+  def.bounds =
+      std::make_shared<const std::vector<double>>(std::move(upper_bounds));
+  next_slot_ += static_cast<std::uint32_t>(buckets);
+  defs_.push_back(def);
+  return Histogram(this, def.slot, def.bounds);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() noexcept {
+  // Keyed by the registry's unique instance id (not its address, which the
+  // allocator may reuse), so entries for dead registries can never alias a
+  // live one. Shards are owned by the registry and outlive their thread.
+  thread_local std::unordered_map<std::uint64_t, Shard*> tls;
+  const auto it = tls.find(instance_id_);
+  if (it != tls.end()) return *it->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  tls.emplace(instance_id_, shard);
+  return *shard;
+}
+
+void MetricsRegistry::AddToSlot(std::uint32_t slot,
+                                std::uint64_t delta) noexcept {
+  LocalShard().slots[slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::SetGauge(std::uint32_t index, double value) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauge_values_[index] = value;
+}
+
+void Counter::Add(std::uint64_t delta) const noexcept {
+#ifdef SODA_OBS_DISABLED
+  (void)delta;
+#else
+  if (registry_ == nullptr || !registry_->Enabled()) return;
+  registry_->AddToSlot(slot_, delta);
+#endif
+}
+
+void Gauge::Set(double value) const noexcept {
+#ifdef SODA_OBS_DISABLED
+  (void)value;
+#else
+  if (registry_ == nullptr || !registry_->Enabled()) return;
+  registry_->SetGauge(index_, value);
+#endif
+}
+
+void Histogram::Record(double value) const noexcept {
+#ifdef SODA_OBS_DISABLED
+  (void)value;
+#else
+  if (registry_ == nullptr || !registry_->Enabled()) return;
+  const std::vector<double>& bounds = *bounds_;
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  const auto bucket =
+      static_cast<std::uint32_t>(std::distance(bounds.begin(), it));
+  registry_->AddToSlot(base_slot_ + bucket, 1);
+#endif
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  const auto sum_slot = [this](std::uint32_t slot) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->slots[slot].load(std::memory_order_relaxed);
+    }
+    return total;
+  };
+  for (const MetricDef& def : defs_) {
+    switch (def.kind) {
+      case Kind::kCounter:
+        snapshot.counters[def.name] = sum_slot(def.slot);
+        break;
+      case Kind::kGauge:
+        snapshot.gauges[def.name] = gauge_values_[def.slot];
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot hist;
+        hist.bounds = *def.bounds;
+        hist.counts.resize(def.bounds->size() + 1);
+        for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+          hist.counts[b] = sum_slot(def.slot + static_cast<std::uint32_t>(b));
+        }
+        snapshot.histograms[def.name] = std::move(hist);
+        break;
+      }
+    }
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
+  }
+  std::fill(gauge_values_.begin(), gauge_values_.end(), 0.0);
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out, int indent) const {
+  const MetricsSnapshot snapshot = Snapshot();
+  util::JsonWriter json(out, indent);
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.Key(name).Int(static_cast<std::int64_t>(value));
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json.Key(name).Number(value);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    json.Key(name).BeginObject();
+    json.Key("bounds").BeginArray();
+    for (const double b : hist.bounds) json.Number(b);
+    json.EndArray();
+    json.Key("counts").BeginArray();
+    for (const std::uint64_t c : hist.counts) {
+      json.Int(static_cast<std::int64_t>(c));
+    }
+    json.EndArray();
+    json.Key("total").Int(static_cast<std::int64_t>(hist.TotalCount()));
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  out << '\n';
+}
+
+}  // namespace soda::obs

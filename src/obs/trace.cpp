@@ -1,0 +1,134 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "util/json_writer.hpp"
+
+namespace soda::obs {
+
+const char* EventTypeName(EventType type) noexcept {
+  switch (type) {
+    case EventType::kSessionStart:
+      return "session_start";
+    case EventType::kDecision:
+      return "decision";
+    case EventType::kDownloadStart:
+      return "download_start";
+    case EventType::kDownloadEnd:
+      return "download_end";
+    case EventType::kWait:
+      return "wait";
+    case EventType::kStartup:
+      return "startup";
+    case EventType::kRebufferStart:
+      return "rebuffer_start";
+    case EventType::kRebufferEnd:
+      return "rebuffer_end";
+    case EventType::kAbandon:
+      return "abandon";
+    case EventType::kRetry:
+      return "retry";
+    case EventType::kFailover:
+      return "failover";
+    case EventType::kSessionEnd:
+      return "session_end";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void WriteEvent(util::JsonWriter& json, const TraceEvent& e) {
+  json.BeginObject();
+  json.Key("t").Number(e.t_s);
+  json.Key("type").String(EventTypeName(e.type));
+  if (e.segment >= 0) json.Key("segment").Int(e.segment);
+  if (e.rung >= 0) json.Key("rung").Int(e.rung);
+  if (e.prev_rung >= 0) json.Key("prev_rung").Int(e.prev_rung);
+  switch (e.type) {
+    case EventType::kSessionStart:
+    case EventType::kWait:
+    case EventType::kRebufferEnd:
+      json.Key("duration_s").Number(e.duration_s);
+      break;
+    case EventType::kDecision:
+      json.Key("buffer_s").Number(e.buffer_s);
+      if (e.from_table || e.solver_fallback) {
+        json.Key("from_table").Bool(e.from_table);
+        json.Key("solver_fallback").Bool(e.solver_fallback);
+      }
+      if (e.sequences_evaluated > 0 || e.nodes_expanded > 0) {
+        json.Key("sequences_evaluated").Int(e.sequences_evaluated);
+        json.Key("nodes_expanded").Int(e.nodes_expanded);
+        json.Key("nodes_pruned").Int(e.nodes_pruned);
+        json.Key("warm_start_hit").Bool(e.warm_start_hit);
+      }
+      break;
+    case EventType::kDownloadStart:
+      json.Key("buffer_s").Number(e.buffer_s);
+      json.Key("mb").Number(e.value_mb);
+      break;
+    case EventType::kDownloadEnd:
+      json.Key("buffer_s").Number(e.buffer_s);
+      json.Key("mb").Number(e.value_mb);
+      json.Key("duration_s").Number(e.duration_s);
+      break;
+    case EventType::kStartup:
+    case EventType::kRebufferStart:
+      json.Key("buffer_s").Number(e.buffer_s);
+      break;
+    case EventType::kAbandon:
+      json.Key("buffer_s").Number(e.buffer_s);
+      json.Key("wasted_mb").Number(e.value_mb);
+      json.Key("duration_s").Number(e.duration_s);
+      break;
+    case EventType::kRetry:
+      json.Key("attempt").Int(e.attempt);
+      json.Key("wasted_mb").Number(e.value_mb);
+      json.Key("duration_s").Number(e.duration_s);
+      break;
+    case EventType::kFailover:
+      json.Key("attempt").Int(e.attempt);
+      break;
+    case EventType::kSessionEnd:
+      json.Key("buffer_s").Number(e.buffer_s);
+      break;
+  }
+  json.EndObject();
+}
+
+}  // namespace
+
+void WriteTraceJson(std::ostream& out, const SessionTrace& trace, int indent) {
+  util::JsonWriter json(out, indent);
+  json.BeginObject();
+  json.Key("controller").String(trace.controller);
+  json.Key("predictor").String(trace.predictor);
+  json.Key("session_index").Int(static_cast<std::int64_t>(trace.session_index));
+  // Session seeds use the full uint64 range; emit as a decimal string so
+  // the value survives JSON parsers that coerce numbers to double.
+  json.Key("seed").String(std::to_string(trace.seed));
+  json.Key("event_count").Int(static_cast<std::int64_t>(trace.events.size()));
+  json.Key("events").BeginArray();
+  for (const TraceEvent& e : trace.events) WriteEvent(json, e);
+  json.EndArray();
+  json.EndObject();
+  out << '\n';
+}
+
+std::vector<std::pair<std::string, std::size_t>> CountByType(
+    const std::vector<TraceEvent>& events) {
+  constexpr int kTypes = static_cast<int>(EventType::kSessionEnd) + 1;
+  std::size_t counts[kTypes] = {};
+  for (const TraceEvent& e : events) ++counts[static_cast<int>(e.type)];
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (int i = 0; i < kTypes; ++i) {
+    if (counts[i] > 0) {
+      out.emplace_back(EventTypeName(static_cast<EventType>(i)), counts[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace soda::obs

@@ -1,0 +1,125 @@
+// Per-session event tracing.
+//
+// An EventTracer records the typed timeline of one simulated streaming
+// session — decisions (with solver work stats), download start/end,
+// rebuffer start/end, waits, abandonments, transport retries/failovers —
+// each stamped with simulated time. Tracing is observation-only by
+// contract: the simulator's arithmetic never branches on the tracer, so a
+// SessionLog (and everything computed from it) is bit-identical with
+// tracing on or off; obs_trace_test holds the code to that. A null or
+// disabled tracer costs one predictable branch per instrumentation point
+// and allocates nothing.
+//
+// TraceEvent is a flat struct rather than a variant: every event type uses
+// the subset of fields that applies to it (see the per-field comments), the
+// rest stay at their defaults. That keeps recording a single push_back with
+// no allocation beyond the event vector's amortized growth.
+//
+// WriteTraceJson serializes a SessionTrace through util::JsonWriter; the
+// output is a pure function of the trace, so goldens can pin it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace soda::obs {
+
+enum class EventType : std::uint8_t {
+  kSessionStart,    // t=0; duration_s = trace duration
+  kDecision,        // rung/prev_rung/buffer_s + solver stats
+  kDownloadStart,   // rung, value_mb = requested size, buffer_s
+  kDownloadEnd,     // rung, duration_s, value_mb = size, buffer_s after
+  kWait,            // duration_s = idle wait (buffer full / live edge)
+  kStartup,         // playback began; buffer_s at start
+  kRebufferStart,   // buffer ran dry
+  kRebufferEnd,     // duration_s = stall length
+  kAbandon,         // prev_rung = abandoned rung, rung = refetch rung,
+                    // value_mb = megabits wasted, duration_s = time spent
+  kRetry,           // attempt (1-based), duration_s = time lost,
+                    // value_mb = megabits wasted by the failed attempt
+  kFailover,        // switched to the secondary CDN
+  kSessionEnd,      // t = session_s
+};
+
+// Stable lowercase name for serialization ("decision", "download_start", ...).
+[[nodiscard]] const char* EventTypeName(EventType type) noexcept;
+
+struct TraceEvent {
+  EventType type = EventType::kSessionStart;
+  double t_s = 0.0;            // simulated time of the event
+  std::int64_t segment = -1;   // segment index; -1 = session-level event
+  int rung = -1;               // -1 = not applicable
+  int prev_rung = -1;
+  double buffer_s = 0.0;
+  double value_mb = 0.0;       // megabits moved or wasted (see EventType)
+  double duration_s = 0.0;
+  int attempt = 0;             // kRetry: 1-based failed-attempt index
+  // Solver work behind a kDecision (zeros for controllers without stats).
+  long long sequences_evaluated = 0;
+  long long nodes_expanded = 0;
+  long long nodes_pruned = 0;
+  bool warm_start_hit = false;   // warm plan seeded the pruning incumbent
+  bool from_table = false;       // served from a precomputed decision table
+  bool solver_fallback = false;  // cached controller ran the exact solver
+};
+
+// One session's full trace plus identifying metadata.
+struct SessionTrace {
+  std::string controller;
+  std::string predictor;
+  std::uint64_t session_index = 0;
+  std::uint64_t seed = 0;
+  std::vector<TraceEvent> events;
+};
+
+class EventTracer {
+ public:
+  // Default-constructed tracers are disabled: Record is a branch and
+  // nothing is ever allocated.
+  EventTracer() = default;
+  explicit EventTracer(bool enabled) : enabled_(enabled) {
+    if (enabled_) events_.reserve(kInitialCapacity);
+  }
+
+  [[nodiscard]] bool Enabled() const noexcept {
+#ifdef SODA_OBS_DISABLED
+    return false;
+#else
+    return enabled_;
+#endif
+  }
+
+  void Record(const TraceEvent& event) {
+    if (Enabled()) events_.push_back(event);
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& Events() const noexcept {
+    return events_;
+  }
+  // Moves the recorded events out (the tracer is left empty but usable).
+  [[nodiscard]] std::vector<TraceEvent> TakeEvents() noexcept {
+    return std::move(events_);
+  }
+  void Clear() noexcept { events_.clear(); }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 256;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+// Serializes one session trace as a JSON object: metadata keys plus an
+// "events" array. Only fields meaningful for each event type are emitted
+// (t and type always; segment/rung/... when set), keeping traces compact
+// and diffs readable.
+void WriteTraceJson(std::ostream& out, const SessionTrace& trace,
+                    int indent = 2);
+
+// Event-count summary used by run-level reporting: events of each type.
+[[nodiscard]] std::vector<std::pair<std::string, std::size_t>> CountByType(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace soda::obs

@@ -1,5 +1,7 @@
 #include "predict/sliding_window.hpp"
 
+#include <algorithm>
+
 #include "util/ensure.hpp"
 
 namespace soda::predict {
@@ -9,9 +11,21 @@ SlidingWindowPredictor::SlidingWindowPredictor(double window_s)
   SODA_ENSURE(window_s > 0.0, "window must be positive");
 }
 
+void SlidingWindowPredictor::EvictBefore(double window_start) {
+  while (!observations_.empty() &&
+         observations_.front().start_s + observations_.front().duration_s <
+             window_start) {
+    observations_.pop_front();
+  }
+}
+
 void SlidingWindowPredictor::Observe(const DownloadObservation& observation) {
   if (observation.MeasuredMbps() <= 0.0) return;
   observations_.push_back(observation);
+  // Also evict here, keyed to this observation's end time, so the deque
+  // stays bounded even when PredictHorizon is never called (e.g.
+  // profiling-only runs that just feed the predictor).
+  EvictBefore(observation.start_s + observation.duration_s - window_s_);
 }
 
 std::vector<double> SlidingWindowPredictor::PredictHorizon(double now_s,
@@ -20,17 +34,24 @@ std::vector<double> SlidingWindowPredictor::PredictHorizon(double now_s,
   SODA_ENSURE(horizon > 0, "horizon must be positive");
   // Evict observations that ended before the window start.
   const double window_start = now_s - window_s_;
-  while (!observations_.empty() &&
-         observations_.front().start_s + observations_.front().duration_s <
-             window_start) {
-    observations_.pop_front();
-  }
+  EvictBefore(window_start);
 
   double total_mb = 0.0;
   double total_s = 0.0;
   for (const auto& o : observations_) {
-    total_mb += o.megabits;
-    total_s += o.duration_s;
+    double mb = o.megabits;
+    double s = o.duration_s;
+    if (o.start_s < window_start && o.duration_s > 0.0) {
+      // The observation straddles the window start: count only the portion
+      // inside the window, assuming the transfer progressed uniformly (the
+      // best estimate available from a (start, duration, bytes) record).
+      const double frac = std::clamp(
+          (o.start_s + o.duration_s - window_start) / o.duration_s, 0.0, 1.0);
+      mb *= frac;
+      s *= frac;
+    }
+    total_mb += mb;
+    total_s += s;
   }
   double value = kDefaultColdStartMbps;
   if (total_s > 0.0) value = total_mb / total_s;

@@ -21,6 +21,9 @@ class SlidingWindowPredictor final : public ThroughputPredictor {
   [[nodiscard]] std::string Name() const override { return "SlidingWindow"; }
 
  private:
+  // Drops observations that ended before `window_start`.
+  void EvictBefore(double window_start);
+
   double window_s_;
   std::deque<DownloadObservation> observations_;
 };

@@ -3,39 +3,59 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/ensure.hpp"
 #include "util/parallel.hpp"
 
 namespace soda::qoe {
 namespace {
 
+// `trace_out` (optional) receives the session's event timeline plus
+// identifying metadata. Tracing is observation-only — the SessionLog, and
+// therefore the returned metrics, are bit-identical with or without it.
 QoeMetrics RunOneSession(const net::ThroughputTrace& trace,
                          abr::Controller& controller,
                          const SeededPredictorFactory& make_predictor,
                          std::uint64_t session_seed,
                          std::uint64_t fault_seed,
                          const media::VideoModel& video,
-                         const EvalConfig& config) {
+                         const EvalConfig& config,
+                         obs::SessionTrace* trace_out) {
+  obs::EventTracer tracer(trace_out != nullptr);
+  obs::EventTracer* tracer_ptr = trace_out != nullptr ? &tracer : nullptr;
+  QoeMetrics metrics;
+  std::string predictor_name;
   if (config.fault.IsNoop()) {
     const predict::PredictorPtr predictor = make_predictor(trace, session_seed);
+    const sim::SessionLog log = sim::RunSession(trace, controller, *predictor,
+                                                video, config.sim, tracer_ptr);
+    if (trace_out != nullptr) predictor_name = predictor->Name();
+    metrics = ComputeQoe(log, config.utility, config.weights);
+  } else {
+    // Impair the trace, then run the fault-aware transport. The predictor is
+    // built against the impaired trace (that is the network it must track);
+    // the failover secondary is derived from the unimpaired primary.
+    const net::ThroughputTrace impaired =
+        config.fault.plan.TraceIsUnchanged()
+            ? trace
+            : config.fault.plan.ApplyToTrace(trace);
+    const fault::SessionFaults faults =
+        fault::MakeSessionFaults(config.fault, trace, fault_seed);
+    const predict::PredictorPtr predictor =
+        make_predictor(impaired, session_seed);
     const sim::SessionLog log =
-        sim::RunSession(trace, controller, *predictor, video, config.sim);
-    return ComputeQoe(log, config.utility, config.weights);
+        sim::RunSession(impaired, controller, *predictor, video, config.sim,
+                        faults, tracer_ptr);
+    if (trace_out != nullptr) predictor_name = predictor->Name();
+    metrics = ComputeQoe(log, config.utility, config.weights);
   }
-  // Impair the trace, then run the fault-aware transport. The predictor is
-  // built against the impaired trace (that is the network it must track);
-  // the failover secondary is derived from the unimpaired primary.
-  const net::ThroughputTrace impaired =
-      config.fault.plan.TraceIsUnchanged()
-          ? trace
-          : config.fault.plan.ApplyToTrace(trace);
-  const fault::SessionFaults faults =
-      fault::MakeSessionFaults(config.fault, trace, fault_seed);
-  const predict::PredictorPtr predictor =
-      make_predictor(impaired, session_seed);
-  const sim::SessionLog log = sim::RunSession(impaired, controller, *predictor,
-                                              video, config.sim, faults);
-  return ComputeQoe(log, config.utility, config.weights);
+  if (trace_out != nullptr) {
+    trace_out->controller = controller.Name();
+    trace_out->predictor = std::move(predictor_name);
+    trace_out->seed = session_seed;
+    trace_out->events = tracer.TakeEvents();
+  }
+  return metrics;
 }
 
 EvalResult Evaluate(const std::vector<net::ThroughputTrace>& sessions,
@@ -55,6 +75,18 @@ EvalResult Evaluate(const std::vector<net::ThroughputTrace>& sessions,
 
   EvalResult result;
   result.per_session.resize(indices.size());
+  if (config.collect_traces) {
+    // Slots are written by session position (like per_session), so the
+    // assembled traces are identical at any thread count.
+    result.traces.resize(indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      result.traces[k].session_index =
+          static_cast<std::uint64_t>(indices[k]);
+    }
+  }
+  const auto trace_slot = [&](std::size_t k) {
+    return config.collect_traces ? &result.traces[k] : nullptr;
+  };
 
   const int threads =
       util::EffectiveThreads(config.threads, indices.size());
@@ -68,7 +100,8 @@ EvalResult Evaluate(const std::vector<net::ThroughputTrace>& sessions,
       result.per_session[k] =
           RunOneSession(sessions[i], *controller, make_predictor,
                         SessionSeed(config.base_seed, i),
-                        FaultSessionSeed(config.base_seed, i), video, config);
+                        FaultSessionSeed(config.base_seed, i), video, config,
+                        trace_slot(k));
     }
   } else {
     // One controller clone per worker, constructed serially up front (so
@@ -87,7 +120,8 @@ EvalResult Evaluate(const std::vector<net::ThroughputTrace>& sessions,
           result.per_session[k] = RunOneSession(
               sessions[i], *controllers[static_cast<std::size_t>(worker)],
               make_predictor, SessionSeed(config.base_seed, i),
-              FaultSessionSeed(config.base_seed, i), video, config);
+              FaultSessionSeed(config.base_seed, i), video, config,
+              trace_slot(k));
         });
   }
 
@@ -95,6 +129,22 @@ EvalResult Evaluate(const std::vector<net::ThroughputTrace>& sessions,
   // used to Add() in, so aggregates are bit-identical at any thread count.
   for (const QoeMetrics& metrics : result.per_session) {
     result.aggregate.Add(metrics);
+  }
+
+  // Run-level metrics (sharded counters: exact integer merge, so the
+  // snapshot too is independent of thread count).
+  static const obs::Counter evaluations =
+      obs::MetricsRegistry::Global().GetCounter("qoe.evaluations");
+  static const obs::Counter sessions_evaluated =
+      obs::MetricsRegistry::Global().GetCounter("qoe.sessions_evaluated");
+  static const obs::Histogram rebuffer_ratio_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "qoe.rebuffer_ratio",
+          {0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5});
+  evaluations.Add();
+  sessions_evaluated.Add(result.per_session.size());
+  for (const QoeMetrics& metrics : result.per_session) {
+    rebuffer_ratio_hist.Record(metrics.rebuffer_ratio);
   }
   return result;
 }

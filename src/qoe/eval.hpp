@@ -19,6 +19,7 @@
 #include "abr/controller.hpp"
 #include "fault/profile.hpp"
 #include "net/trace.hpp"
+#include "obs/trace.hpp"
 #include "qoe/metrics.hpp"
 #include "sim/session.hpp"
 
@@ -58,12 +59,21 @@ struct EvalConfig {
   // holds under fault injection too. The default profile is a no-op and
   // reproduces the plain evaluation bit-for-bit.
   fault::FaultProfile fault;
+  // Collect a per-session event trace (EvalResult::traces, in `indices`
+  // order). Tracing is observation-only: metrics and aggregates are
+  // bit-identical with this on or off, at any thread count. Off (the
+  // default) keeps the session hot path allocation-free.
+  bool collect_traces = false;
 };
 
 struct EvalResult {
   std::string controller_name;
   QoeAggregate aggregate;
   std::vector<QoeMetrics> per_session;  // in `indices` order
+  // One SessionTrace per evaluated session, in `indices` order (assembled
+  // by session position, so the content never depends on thread count).
+  // Empty unless config.collect_traces.
+  std::vector<obs::SessionTrace> traces;
 };
 
 // The seed handed to a SeededPredictorFactory for session `session_index`:

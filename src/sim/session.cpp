@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "fault/impairment.hpp"
 #include "util/ensure.hpp"
@@ -16,12 +17,17 @@ namespace {
 // arithmetic — and therefore the SessionLog — bit-identical to the plain
 // path; the golden identity test in tests/fault_session_test.cpp holds the
 // guards to that contract.
+//
+// `tracer` is observation-only: every Record call sits outside the
+// simulated arithmetic, so a null/disabled tracer and an enabled one
+// produce bit-identical SessionLogs (obs_trace_test pins this).
 SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
                           abr::Controller& controller,
                           predict::ThroughputPredictor& predictor,
                           const media::VideoModel& video,
                           const SimConfig& config,
-                          const fault::SessionFaults* faults) {
+                          const fault::SessionFaults* faults,
+                          obs::EventTracer* tracer) {
   SODA_ENSURE(config.max_buffer_s > 0.0, "max buffer must be positive");
   SODA_ENSURE(config.max_buffer_s > video.SegmentSeconds(),
               "max buffer must exceed one segment");
@@ -56,6 +62,14 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
   media::Rung prev_rung = -1;
   std::int64_t index = 0;
 
+  const bool tracing = tracer != nullptr && tracer->Enabled();
+  if (tracing) {
+    obs::TraceEvent start;
+    start.type = obs::EventType::kSessionStart;
+    start.duration_s = trace.DurationS();
+    tracer->Record(start);
+  }
+
   // Transport-fault state: the active trace switches to the secondary CDN
   // on failover; attempt streams are counter-based off the session seed.
   const net::ThroughputTrace* active = &trace;
@@ -70,7 +84,8 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
   };
 
   // Drains the buffer over `elapsed` seconds of waiting, charging stalls to
-  // rebuffering when playback has started.
+  // rebuffering when playback has started. Call sites invoke this before
+  // advancing `now`, so the stall interval is [now + played, now + elapsed].
   auto drain = [&](double elapsed) {
     if (elapsed <= 0.0) return 0.0;
     if (!playing) return 0.0;
@@ -78,6 +93,20 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
     buffer -= played;
     const double stalled = elapsed - played;
     log.total_rebuffer_s += stalled;
+    if (tracing && stalled > 0.0) {
+      obs::TraceEvent start;
+      start.type = obs::EventType::kRebufferStart;
+      start.t_s = now + played;
+      start.segment = index;
+      start.buffer_s = buffer;
+      tracer->Record(start);
+      obs::TraceEvent end;
+      end.type = obs::EventType::kRebufferEnd;
+      end.t_s = now + elapsed;
+      end.segment = index;
+      end.duration_s = stalled;
+      tracer->Record(end);
+    }
     return stalled;
   };
 
@@ -105,6 +134,14 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
       waited = wait_until - now;
       wait_rebuffer = drain(waited);
       now = wait_until;
+      if (tracing) {
+        obs::TraceEvent wait;
+        wait.type = obs::EventType::kWait;
+        wait.t_s = now;
+        wait.segment = index;
+        wait.duration_s = waited;
+        tracer->Record(wait);
+      }
       if (now >= trace.DurationS()) break;
     }
 
@@ -120,6 +157,23 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
     context.predictor = &predictor;
     const media::Rung rung = controller.ChooseRung(context);
     SODA_ASSERT(video.Ladder().IsValidRung(rung));
+    if (tracing) {
+      const abr::DecisionStats stats = controller.LastDecisionStats();
+      obs::TraceEvent decision;
+      decision.type = obs::EventType::kDecision;
+      decision.t_s = now;
+      decision.segment = index;
+      decision.rung = rung;
+      decision.prev_rung = prev_rung;
+      decision.buffer_s = buffer;
+      decision.sequences_evaluated = stats.sequences_evaluated;
+      decision.nodes_expanded = stats.nodes_expanded;
+      decision.nodes_pruned = stats.nodes_pruned;
+      decision.warm_start_hit = stats.warm_start_used;
+      decision.from_table = stats.from_table;
+      decision.solver_fallback = stats.solver_fallback;
+      tracer->Record(decision);
+    }
 
     media::Rung fetched_rung = rung;
     double size_mb = video.SegmentSizeMb(index, rung);
@@ -180,6 +234,16 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
           fault_elapsed_s += backoff;
           log.fault_delay_s += backoff;
         }
+        if (tracing) {
+          obs::TraceEvent retry;
+          retry.type = obs::EventType::kRetry;
+          retry.t_s = now;
+          retry.segment = index;
+          retry.attempt = attempts - 1;
+          retry.value_mb = waste_mb;
+          retry.duration_s = lost_s + backoff;
+          tracer->Record(retry);
+        }
         // Failover to the secondary CDN after enough consecutive failures
         // on this request (once per session).
         if (tf.failover && !failed_over && faults->secondary.has_value() &&
@@ -188,6 +252,14 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
           failed_over = true;
           failed_over_here = true;
           ++log.failover_count;
+          if (tracing) {
+            obs::TraceEvent failover;
+            failover.type = obs::EventType::kFailover;
+            failover.t_s = now;
+            failover.segment = index;
+            failover.attempt = attempts - 1;
+            tracer->Record(failover);
+          }
         }
       }
     }
@@ -203,41 +275,107 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
       log.starved = true;
       break;
     }
+    if (tracing) {
+      obs::TraceEvent dl;
+      dl.type = obs::EventType::kDownloadStart;
+      dl.t_s = now;
+      dl.segment = index;
+      dl.rung = rung;
+      dl.value_mb = size_mb;
+      dl.buffer_s = buffer;
+      tracer->Record(dl);
+    }
     bool abandoned = false;
     double wasted_mb = 0.0;
     double abandon_elapsed_s = 0.0;
     double abandon_rebuffer = 0.0;
-    if (config.allow_abandonment && rung > video.Ladder().LowestRung() &&
-        transfer_s > config.abandon_check_s) {
-      // Projected stall if the download runs to completion from the check
-      // point: remaining transfer beyond what the buffer can absorb.
-      const double remaining_s = transfer_s - config.abandon_check_s;
-      const double buffer_at_check =
-          playing ? std::max(buffer - config.abandon_check_s, 0.0) : buffer;
-      if (remaining_s > buffer_at_check + config.abandon_stall_threshold_s) {
-        abandoned = true;
-        abandon_elapsed_s = config.abandon_check_s + rtt_s;
-        abandon_rebuffer = drain(abandon_elapsed_s);
-        wasted_mb = active->MegabitsBetween(now, now + config.abandon_check_s);
-        now += abandon_elapsed_s;
-        fetched_rung = video.Ladder().LowestRung();
-        size_mb = video.SegmentSizeMb(index, fetched_rung);
-        transfer_s = active->TimeToDownload(now, size_mb);
-        if (!std::isfinite(transfer_s)) {
-          log.starved = true;
+    if (config.allow_abandonment && rung > video.Ladder().LowestRung()) {
+      // Player-side re-evaluation every abandon_check_s of transfer (dash.js
+      // AbandonRequestRule): estimate the remaining transfer time from the
+      // throughput observed so far on this request — the player cannot see
+      // the future trace — and abandon when finishing would stall playback
+      // beyond the threshold. On a constant-rate link the first check
+      // reproduces the exact single-check projection; the later checks
+      // catch downloads whose throughput collapses after a healthy start,
+      // which a single check at abandon_check_s never abandons.
+      for (double checked_s = config.abandon_check_s; checked_s < transfer_s;
+           checked_s += config.abandon_check_s) {
+        const double delivered_mb =
+            active->MegabitsBetween(now, now + checked_s);
+        const double est_remaining_s =
+            delivered_mb > 0.0
+                ? (size_mb - delivered_mb) * checked_s / delivered_mb
+                : std::numeric_limits<double>::infinity();
+        const double buffer_at_check =
+            playing ? std::max(buffer - checked_s, 0.0) : buffer;
+        if (est_remaining_s >
+            buffer_at_check + config.abandon_stall_threshold_s) {
+          abandoned = true;
+          abandon_elapsed_s = checked_s + rtt_s;
+          abandon_rebuffer = drain(abandon_elapsed_s);
+          wasted_mb = delivered_mb;
+          now += abandon_elapsed_s;
+          fetched_rung = video.Ladder().LowestRung();
+          size_mb = video.SegmentSizeMb(index, fetched_rung);
+          transfer_s = active->TimeToDownload(now, size_mb);
+          if (tracing) {
+            obs::TraceEvent abandon;
+            abandon.type = obs::EventType::kAbandon;
+            abandon.t_s = now;
+            abandon.segment = index;
+            abandon.prev_rung = rung;
+            abandon.rung = fetched_rung;
+            abandon.buffer_s = buffer;
+            abandon.value_mb = wasted_mb;
+            abandon.duration_s = abandon_elapsed_s;
+            tracer->Record(abandon);
+          }
           break;
         }
+      }
+      if (abandoned && !std::isfinite(transfer_s)) {
+        log.starved = true;
+        break;
+      }
+      if (abandoned && tracing) {
+        obs::TraceEvent dl;
+        dl.type = obs::EventType::kDownloadStart;
+        dl.t_s = now;
+        dl.segment = index;
+        dl.rung = fetched_rung;
+        dl.value_mb = size_mb;
+        dl.buffer_s = buffer;
+        tracer->Record(dl);
       }
     }
     const double download_s = transfer_s + rtt_s;
     const double download_rebuffer = drain(download_s);
     buffer += seg_s;
     now += download_s;
+    if (tracing) {
+      obs::TraceEvent dl;
+      dl.type = obs::EventType::kDownloadEnd;
+      dl.t_s = now;
+      dl.segment = index;
+      dl.rung = fetched_rung;
+      dl.value_mb = size_mb;
+      dl.duration_s = download_s;
+      dl.buffer_s = buffer;
+      tracer->Record(dl);
+    }
 
     // 5) Playback start bookkeeping.
     if (!playing && buffer >= std::max(config.startup_buffer_s, seg_s) - 1e-9) {
       playing = true;
       log.startup_s = now;
+      if (tracing) {
+        obs::TraceEvent startup;
+        startup.type = obs::EventType::kStartup;
+        startup.t_s = now;
+        startup.segment = index;
+        startup.buffer_s = buffer;
+        tracer->Record(startup);
+      }
     }
 
     // 6) Feed the predictor the realized throughput (transfer only; the
@@ -272,6 +410,13 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
   if (faults != nullptr && faults->measure_outage) {
     log.outage_s = fault::OutageSeconds(trace, 0.0, log.session_s);
   }
+  if (tracing) {
+    obs::TraceEvent end;
+    end.type = obs::EventType::kSessionEnd;
+    end.t_s = log.session_s;
+    end.buffer_s = buffer;
+    tracer->Record(end);
+  }
   return log;
 }
 
@@ -280,16 +425,20 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
 SessionLog RunSession(const net::ThroughputTrace& trace,
                       abr::Controller& controller,
                       predict::ThroughputPredictor& predictor,
-                      const media::VideoModel& video, const SimConfig& config) {
-  return RunSessionImpl(trace, controller, predictor, video, config, nullptr);
+                      const media::VideoModel& video, const SimConfig& config,
+                      obs::EventTracer* tracer) {
+  return RunSessionImpl(trace, controller, predictor, video, config, nullptr,
+                        tracer);
 }
 
 SessionLog RunSession(const net::ThroughputTrace& trace,
                       abr::Controller& controller,
                       predict::ThroughputPredictor& predictor,
                       const media::VideoModel& video, const SimConfig& config,
-                      const fault::SessionFaults& faults) {
-  return RunSessionImpl(trace, controller, predictor, video, config, &faults);
+                      const fault::SessionFaults& faults,
+                      obs::EventTracer* tracer) {
+  return RunSessionImpl(trace, controller, predictor, video, config, &faults,
+                        tracer);
 }
 
 }  // namespace soda::sim

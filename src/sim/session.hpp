@@ -14,6 +14,7 @@
 #include "abr/controller.hpp"
 #include "fault/transport.hpp"
 #include "net/trace.hpp"
+#include "obs/trace.hpp"
 #include "sim/session_log.hpp"
 
 namespace soda::sim {
@@ -44,11 +45,18 @@ struct SimConfig {
 
 // Runs one session of `trace`'s duration. The controller is Reset() at the
 // start; the predictor is Reset() and then fed each completed download.
+//
+// `tracer` (optional) receives the session's typed event timeline —
+// decisions, download start/end, waits, rebuffer intervals, abandonments
+// and transport retries/failovers. Tracing is observation-only: the
+// simulated arithmetic never depends on the tracer, so the SessionLog is
+// bit-identical with tracing on, off, or absent.
 [[nodiscard]] SessionLog RunSession(const net::ThroughputTrace& trace,
                                     abr::Controller& controller,
                                     predict::ThroughputPredictor& predictor,
                                     const media::VideoModel& video,
-                                    const SimConfig& config);
+                                    const SimConfig& config,
+                                    obs::EventTracer* tracer = nullptr);
 
 // Fault-injected variant: before the successful download of each segment,
 // transport faults (drops, stochastic timeouts) may burn time and bytes,
@@ -64,6 +72,7 @@ struct SimConfig {
                                     predict::ThroughputPredictor& predictor,
                                     const media::VideoModel& video,
                                     const SimConfig& config,
-                                    const fault::SessionFaults& faults);
+                                    const fault::SessionFaults& faults,
+                                    obs::EventTracer* tracer = nullptr);
 
 }  // namespace soda::sim

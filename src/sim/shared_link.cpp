@@ -27,6 +27,9 @@ struct PlayerState {
   // Waiting (buffer cap).
   double wait_until_s = 0.0;
   double wait_started_s = 0.0;
+  // Tracer-only stall bookkeeping (never read by the simulation itself).
+  bool in_stall = false;
+  double stall_started_s = 0.0;
 };
 
 }  // namespace
@@ -69,6 +72,10 @@ SharedLinkResult RunSharedLink(std::vector<SharedLinkPlayer> players,
   const int max_events = static_cast<int>(config.session_s) * 50 *
                          static_cast<int>(n) + 1000;
 
+  const auto trace_on = [&](std::size_t i) {
+    return players[i].tracer != nullptr && players[i].tracer->Enabled();
+  };
+
   auto start_download = [&](std::size_t i) {
     PlayerState& state = states[i];
     abr::Context context;
@@ -87,7 +94,42 @@ SharedLinkResult RunSharedLink(std::vector<SharedLinkPlayer> players,
     state.request_s = now;
     state.rebuffer_during_download_s = 0.0;
     state.phase = Phase::kDownloading;
+    if (trace_on(i)) {
+      const abr::DecisionStats stats =
+          players[i].controller->LastDecisionStats();
+      obs::TraceEvent decision;
+      decision.type = obs::EventType::kDecision;
+      decision.t_s = now;
+      decision.segment = state.index;
+      decision.rung = state.rung;
+      decision.prev_rung = state.prev_rung;
+      decision.buffer_s = state.buffer_s;
+      decision.sequences_evaluated = stats.sequences_evaluated;
+      decision.nodes_expanded = stats.nodes_expanded;
+      decision.nodes_pruned = stats.nodes_pruned;
+      decision.warm_start_hit = stats.warm_start_used;
+      decision.from_table = stats.from_table;
+      decision.solver_fallback = stats.solver_fallback;
+      players[i].tracer->Record(decision);
+      obs::TraceEvent dl;
+      dl.type = obs::EventType::kDownloadStart;
+      dl.t_s = now;
+      dl.segment = state.index;
+      dl.rung = state.rung;
+      dl.value_mb = state.size_mb;
+      dl.buffer_s = state.buffer_s;
+      players[i].tracer->Record(dl);
+    }
   };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (trace_on(i)) {
+      obs::TraceEvent start;
+      start.type = obs::EventType::kSessionStart;
+      start.duration_s = config.session_s;
+      players[i].tracer->Record(start);
+    }
+  }
 
   // Initial decisions.
   for (std::size_t i = 0; i < n; ++i) start_download(i);
@@ -123,6 +165,16 @@ SharedLinkResult RunSharedLink(std::vector<SharedLinkPlayer> players,
         if (state.phase == Phase::kDownloading) {
           state.rebuffer_during_download_s += stalled;
         }
+        if (trace_on(i) && stalled > 0.0 && !state.in_stall) {
+          state.in_stall = true;
+          state.stall_started_s = now + played;
+          obs::TraceEvent stall;
+          stall.type = obs::EventType::kRebufferStart;
+          stall.t_s = state.stall_started_s;
+          stall.segment = state.index;
+          stall.buffer_s = state.buffer_s;
+          players[i].tracer->Record(stall);
+        }
       }
       if (state.phase == Phase::kDownloading) {
         state.remaining_mb -= share_mbps * dt;
@@ -137,7 +189,36 @@ SharedLinkResult RunSharedLink(std::vector<SharedLinkPlayer> players,
       if (state.phase == Phase::kDownloading && state.remaining_mb <= 1e-9) {
         const double download_s = now - state.request_s + config.rtt_s;
         state.buffer_s += seg_s;
+        const bool started_playing = !state.playing;
         if (!state.playing) state.playing = true;
+        if (trace_on(i)) {
+          if (state.in_stall) {
+            state.in_stall = false;
+            obs::TraceEvent stall;
+            stall.type = obs::EventType::kRebufferEnd;
+            stall.t_s = now;
+            stall.segment = state.index;
+            stall.duration_s = now - state.stall_started_s;
+            players[i].tracer->Record(stall);
+          }
+          obs::TraceEvent dl;
+          dl.type = obs::EventType::kDownloadEnd;
+          dl.t_s = now;
+          dl.segment = state.index;
+          dl.rung = state.rung;
+          dl.value_mb = state.size_mb;
+          dl.duration_s = download_s;
+          dl.buffer_s = state.buffer_s;
+          players[i].tracer->Record(dl);
+          if (started_playing) {
+            obs::TraceEvent startup;
+            startup.type = obs::EventType::kStartup;
+            startup.t_s = now;
+            startup.segment = state.index;
+            startup.buffer_s = state.buffer_s;
+            players[i].tracer->Record(startup);
+          }
+        }
         players[i].predictor->Observe(
             {state.request_s, std::max(now - state.request_s, 1e-9),
              state.size_mb});
@@ -167,6 +248,14 @@ SharedLinkResult RunSharedLink(std::vector<SharedLinkPlayer> players,
       } else if (state.phase == Phase::kWaiting &&
                  now >= state.wait_until_s - 1e-9) {
         result.logs[i].total_wait_s += now - state.wait_started_s;
+        if (trace_on(i)) {
+          obs::TraceEvent wait;
+          wait.type = obs::EventType::kWait;
+          wait.t_s = now;
+          wait.segment = state.index;
+          wait.duration_s = now - state.wait_started_s;
+          players[i].tracer->Record(wait);
+        }
         start_download(i);
       }
     }
@@ -178,6 +267,13 @@ SharedLinkResult RunSharedLink(std::vector<SharedLinkPlayer> players,
   RunningStats rebuffers;
   for (std::size_t i = 0; i < n; ++i) {
     result.logs[i].session_s = config.session_s;
+    if (trace_on(i)) {
+      obs::TraceEvent end;
+      end.type = obs::EventType::kSessionEnd;
+      end.t_s = config.session_s;
+      end.buffer_s = states[i].buffer_s;
+      players[i].tracer->Record(end);
+    }
     mean_bitrates.push_back(result.logs[i].MeanBitrateMbps());
     const auto segments = result.logs[i].SegmentCount();
     if (segments > 1) {

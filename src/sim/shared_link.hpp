@@ -18,6 +18,7 @@
 
 #include "abr/controller.hpp"
 #include "net/trace.hpp"
+#include "obs/trace.hpp"
 #include "sim/session_log.hpp"
 
 namespace soda::sim {
@@ -34,6 +35,10 @@ struct SharedLinkConfig {
 struct SharedLinkPlayer {
   abr::ControllerPtr controller;
   predict::PredictorPtr predictor;
+  // Optional per-player event tracer (not owned). Observation-only: the
+  // shared-link arithmetic never depends on it, so results are identical
+  // with tracing on or off.
+  obs::EventTracer* tracer = nullptr;
 };
 
 struct SharedLinkResult {

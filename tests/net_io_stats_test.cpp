@@ -6,6 +6,7 @@
 #include "net/generators.hpp"
 #include "net/trace_io.hpp"
 #include "net/trace_stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace soda::net {
 namespace {
@@ -114,6 +115,24 @@ TEST_F(TraceIoTest, SkipsNonIncreasingTimestamps) {
   // The out-of-order and duplicate rows are dropped, not reordered.
   EXPECT_NEAR(t.ThroughputAt(2.5), 6.0, 1e-9);
   EXPECT_NEAR(t.ThroughputAt(3.0), 7.0, 1e-9);
+}
+
+TEST_F(TraceIoTest, SkippedRowsAreCountedInMetrics) {
+  // Tolerant loading must leave an audit trail: every dropped row ticks
+  // the global "net.trace_csv.rows_skipped" counter (soda_run surfaces a
+  // warning from it). Delta-based because the registry is process-wide.
+  const fs::path path = dir_ / "counted.csv";
+  std::ofstream(path) << "time_s,mbps\n0,5\njunk\n1,6\n";
+  const auto count = [](const obs::MetricsSnapshot& s) -> std::uint64_t {
+    const auto it = s.counters.find("net.trace_csv.rows_skipped");
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  const std::uint64_t before =
+      count(obs::MetricsRegistry::Global().Snapshot());
+  (void)LoadTraceCsv(path);
+  const std::uint64_t after =
+      count(obs::MetricsRegistry::Global().Snapshot());
+  EXPECT_EQ(after - before, 2u);  // the header row and the junk row
 }
 
 TEST_F(TraceIoTest, AllMalformedRowsStillThrows) {

@@ -52,6 +52,24 @@ TEST(Trace, AverageMbps) {
   EXPECT_DOUBLE_EQ(t.MeanMbps(), 13.0 / 5.0);
 }
 
+TEST(Trace, MegabitsBetweenClampsNegativeTimes) {
+  // Regression: a negative endpoint used to extrapolate samples_[0].mbps
+  // backwards in time, adding phantom area to the integral. The trace is
+  // undefined before t = 0, so both endpoints clamp to [0, inf).
+  const ThroughputTrace t = MakeStepTrace();
+  EXPECT_DOUBLE_EQ(t.MegabitsBetween(-2.0, 2.0), 8.0);   // == [0, 2)
+  EXPECT_DOUBLE_EQ(t.MegabitsBetween(-5.0, -1.0), 0.0);  // fully before 0
+  EXPECT_DOUBLE_EQ(t.MegabitsBetween(-1.0, 0.0), 0.0);
+}
+
+TEST(Trace, AverageMbpsClampsNegativeTimes) {
+  const ThroughputTrace t = MakeStepTrace();
+  // An interval entirely before the trace degenerates to the clamped
+  // instant t = 0; a straddling interval averages the clamped part only.
+  EXPECT_DOUBLE_EQ(t.AverageMbps(-3.0, -1.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.AverageMbps(-2.0, 2.0), 4.0);
+}
+
 TEST(Trace, TimeToDownloadWithinSegment) {
   const ThroughputTrace t = MakeStepTrace();
   EXPECT_DOUBLE_EQ(t.TimeToDownload(0.0, 4.0), 1.0);

@@ -1,0 +1,161 @@
+// MetricsRegistry: registration semantics, recording, and the determinism
+// contract — a snapshot merged from per-thread shards is bit-identical for
+// any worker count because merging is exact integer summation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace soda::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterAddsAndSnapshots) {
+  MetricsRegistry registry;
+  const Counter c = registry.GetCounter("test.counter");
+  c.Add();
+  c.Add(41);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.count("test.counter"), 1u);
+  EXPECT_EQ(snapshot.counters.at("test.counter"), 42u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  const Counter a = registry.GetCounter("same.name");
+  const Counter b = registry.GetCounter("same.name");
+  a.Add(1);
+  b.Add(2);
+  EXPECT_EQ(registry.Snapshot().counters.at("same.name"), 3u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  (void)registry.GetCounter("metric.x");
+  EXPECT_THROW((void)registry.GetGauge("metric.x"), std::exception);
+  EXPECT_THROW((void)registry.GetHistogram("metric.x", {1.0}), std::exception);
+}
+
+TEST(MetricsRegistry, HistogramBoundsMismatchThrows) {
+  MetricsRegistry registry;
+  (void)registry.GetHistogram("hist", {1.0, 2.0});
+  EXPECT_NO_THROW((void)registry.GetHistogram("hist", {1.0, 2.0}));
+  EXPECT_THROW((void)registry.GetHistogram("hist", {1.0, 3.0}),
+               std::exception);
+}
+
+TEST(MetricsRegistry, HistogramBucketAssignment) {
+  MetricsRegistry registry;
+  const Histogram h = registry.GetHistogram("h", {1.0, 2.0, 4.0});
+  h.Record(0.5);   // bucket 0 (<= 1.0)
+  h.Record(1.0);   // bucket 0 (inclusive upper bound)
+  h.Record(1.5);   // bucket 1
+  h.Record(4.0);   // bucket 2
+  h.Record(99.0);  // overflow bucket
+  const HistogramSnapshot snapshot = registry.Snapshot().histograms.at("h");
+  ASSERT_EQ(snapshot.counts.size(), 4u);
+  EXPECT_EQ(snapshot.counts[0], 2u);
+  EXPECT_EQ(snapshot.counts[1], 1u);
+  EXPECT_EQ(snapshot.counts[2], 1u);
+  EXPECT_EQ(snapshot.counts[3], 1u);
+  EXPECT_EQ(snapshot.TotalCount(), 5u);
+}
+
+TEST(MetricsRegistry, GaugeIsLastWriteWins) {
+  MetricsRegistry registry;
+  const Gauge g = registry.GetGauge("gauge");
+  g.Set(1.0);
+  g.Set(2.5);
+  EXPECT_EQ(registry.Snapshot().gauges.at("gauge"), 2.5);
+}
+
+TEST(MetricsRegistry, DisabledRecordingIsANoOp) {
+  MetricsRegistry registry;
+  const Counter c = registry.GetCounter("c");
+  registry.SetEnabled(false);
+  c.Add(100);
+  EXPECT_EQ(registry.Snapshot().counters.at("c"), 0u);
+  registry.SetEnabled(true);
+  c.Add(1);
+  EXPECT_EQ(registry.Snapshot().counters.at("c"), 1u);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  const Counter c = registry.GetCounter("c");
+  const Histogram h = registry.GetHistogram("h", {1.0});
+  c.Add(7);
+  h.Record(0.5);
+  registry.Reset();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("c"), 0u);
+  EXPECT_EQ(snapshot.histograms.at("h").TotalCount(), 0u);
+  c.Add(1);
+  EXPECT_EQ(registry.Snapshot().counters.at("c"), 1u);
+}
+
+TEST(MetricsRegistry, DefaultConstructedHandlesAreNoOps) {
+  const Counter c;
+  const Gauge g;
+  const Histogram h;
+  c.Add();       // must not crash
+  g.Set(1.0);    // must not crash
+  h.Record(1.0); // must not crash
+}
+
+// The determinism contract: the same logical workload recorded under 1, 2,
+// 4 and 7 workers must merge to the identical snapshot — shard merging is
+// exact integer summation, so interleaving and thread count cannot leak
+// into the result.
+TEST(MetricsRegistry, SnapshotIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kItems = 1000;
+  MetricsSnapshot baseline;
+  for (const int threads : {1, 2, 4, 7}) {
+    MetricsRegistry registry;
+    const Counter counter = registry.GetCounter("work.items");
+    const Histogram histogram =
+        registry.GetHistogram("work.values", {100.0, 300.0, 700.0});
+    util::ParallelFor(kItems, threads, [&](int /*worker*/, std::size_t i) {
+      counter.Add(i % 3 + 1);
+      histogram.Record(static_cast<double>(i));
+    });
+    const MetricsSnapshot snapshot = registry.Snapshot();
+    if (threads == 1) {
+      baseline = snapshot;
+      // Sanity-check the serial reference itself.
+      EXPECT_EQ(snapshot.counters.at("work.items"), 1999u);
+      EXPECT_EQ(snapshot.histograms.at("work.values").TotalCount(), kItems);
+      continue;
+    }
+    EXPECT_EQ(snapshot.counters, baseline.counters) << threads << " threads";
+    ASSERT_EQ(snapshot.histograms.size(), baseline.histograms.size());
+    for (const auto& [name, hist] : baseline.histograms) {
+      EXPECT_EQ(snapshot.histograms.at(name).counts, hist.counts)
+          << name << " @ " << threads << " threads";
+    }
+  }
+}
+
+// WriteJson output is serialized from name-ordered maps: byte-identical
+// runs regardless of registration or recording order.
+TEST(MetricsRegistry, WriteJsonIsDeterministic) {
+  auto run = [](bool reversed) {
+    MetricsRegistry registry;
+    const Counter a = registry.GetCounter(reversed ? "z.last" : "a.first");
+    const Counter b = registry.GetCounter(reversed ? "a.first" : "z.last");
+    (reversed ? b : a).Add(1);
+    (reversed ? a : b).Add(2);
+    std::ostringstream out;
+    registry.WriteJson(out);
+    return out.str();
+  };
+  const std::string forward = run(false);
+  EXPECT_EQ(forward, run(true));
+  EXPECT_NE(forward.find("\"a.first\": 1"), std::string::npos) << forward;
+  EXPECT_NE(forward.find("\"z.last\": 2"), std::string::npos) << forward;
+}
+
+}  // namespace
+}  // namespace soda::obs

@@ -1,0 +1,347 @@
+// EventTracer + session traces: structural golden checks on a pinned-seed
+// corpus, a byte-exact golden for the JSON serialization, and — the load-
+// bearing guarantee — evaluation output bit-identical with tracing on or
+// off at any thread count (tracing is observation-only).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "bench/bench_common.hpp"
+#include "core/registry.hpp"
+#include "media/quality.hpp"
+#include "net/dataset.hpp"
+#include "net/generators.hpp"
+#include "obs/trace.hpp"
+#include "predict/fixed.hpp"
+#include "qoe/eval.hpp"
+#include "sim/session.hpp"
+#include "util/rng.hpp"
+
+namespace soda {
+namespace {
+
+media::VideoModel TestVideo() {
+  return media::VideoModel(media::BitrateLadder({1.0, 2.0, 8.0}),
+                           {.segment_seconds = 2.0});
+}
+
+// Controller that always requests the given rung (mirrors the abandonment
+// test fixture so the traced timeline is easy to reason about).
+class PinnedController final : public abr::Controller {
+ public:
+  explicit PinnedController(media::Rung rung) : rung_(rung) {}
+  media::Rung ChooseRung(const abr::Context& context) override {
+    return std::min(rung_, context.Ladder().HighestRung());
+  }
+  std::string Name() const override { return "Pinned"; }
+
+ private:
+  media::Rung rung_;
+};
+
+void ExpectLogsBitIdentical(const sim::SessionLog& a,
+                            const sim::SessionLog& b) {
+  EXPECT_EQ(a.startup_s, b.startup_s);
+  EXPECT_EQ(a.total_rebuffer_s, b.total_rebuffer_s);
+  EXPECT_EQ(a.total_wait_s, b.total_wait_s);
+  EXPECT_EQ(a.session_s, b.session_s);
+  EXPECT_EQ(a.starved, b.starved);
+  EXPECT_EQ(a.failed_attempts, b.failed_attempts);
+  EXPECT_EQ(a.fault_wasted_mb, b.fault_wasted_mb);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    const sim::SegmentRecord& x = a.segments[i];
+    const sim::SegmentRecord& y = b.segments[i];
+    EXPECT_EQ(x.rung, y.rung) << "segment " << i;
+    EXPECT_EQ(x.request_s, y.request_s) << "segment " << i;
+    EXPECT_EQ(x.download_s, y.download_s) << "segment " << i;
+    EXPECT_EQ(x.rebuffer_s, y.rebuffer_s) << "segment " << i;
+    EXPECT_EQ(x.buffer_after_s, y.buffer_after_s) << "segment " << i;
+    EXPECT_EQ(x.abandoned, y.abandoned) << "segment " << i;
+    EXPECT_EQ(x.wasted_mb, y.wasted_mb) << "segment " << i;
+  }
+}
+
+// Tracing must never perturb the simulation: the SessionLog is bit-exact
+// whether the tracer is absent, enabled, or constructed-but-disabled.
+TEST(ObsTrace, SessionLogBitIdenticalWithTracingOnOff) {
+  const auto trace = net::SquareWaveTrace(1.0, 12.0, 15.0, 120.0);
+  const auto video = TestVideo();
+  sim::SimConfig config;
+  config.allow_abandonment = true;  // exercise the abandonment path too
+
+  auto run = [&](obs::EventTracer* tracer) {
+    PinnedController controller(2);
+    predict::FixedPredictor predictor(5.0);
+    return sim::RunSession(trace, controller, predictor, video, config,
+                           tracer);
+  };
+  const sim::SessionLog baseline = run(nullptr);
+  obs::EventTracer enabled(true);
+  const sim::SessionLog traced = run(&enabled);
+  obs::EventTracer disabled(false);
+  const sim::SessionLog untraced = run(&disabled);
+
+  ExpectLogsBitIdentical(baseline, traced);
+  ExpectLogsBitIdentical(baseline, untraced);
+  EXPECT_FALSE(enabled.Events().empty());
+  EXPECT_TRUE(disabled.Events().empty());
+}
+
+// Structural golden on a pinned-seed corpus session: the traced timeline
+// must be well-formed and consistent with the SessionLog it narrates.
+TEST(ObsTrace, GoldenCorpusTraceStructure) {
+  Rng rng(bench::kDefaultSeed);
+  const auto sessions =
+      net::DatasetEmulator(net::DatasetKind::kPuffer).MakeSessions(2, rng);
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+
+  qoe::EvalConfig config;
+  config.sim.max_buffer_s = 20.0;
+  config.sim.live = true;
+  config.sim.live_latency_s = 20.0;
+  config.threads = 1;
+  config.base_seed = bench::kDefaultSeed;
+  config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
+    return u.At(mbps);
+  };
+  config.collect_traces = true;
+
+  const qoe::EvalResult result = qoe::EvaluateController(
+      sessions, [] { return core::MakeController("soda"); },
+      bench::EmaFactory(), video, config);
+
+  ASSERT_EQ(result.traces.size(), sessions.size());
+  for (std::size_t k = 0; k < result.traces.size(); ++k) {
+    SCOPED_TRACE(k);
+    const obs::SessionTrace& trace = result.traces[k];
+    EXPECT_EQ(trace.session_index, k);
+    EXPECT_EQ(trace.controller, "SODA");
+    EXPECT_EQ(trace.predictor, "EMA");
+    EXPECT_EQ(trace.seed, qoe::SessionSeed(config.base_seed, k));
+    const auto& events = trace.events;
+    ASSERT_GE(events.size(), 4u);
+    EXPECT_EQ(events.front().type, obs::EventType::kSessionStart);
+    EXPECT_EQ(events.back().type, obs::EventType::kSessionEnd);
+    // Timestamps are non-decreasing simulated time.
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_LE(events[i - 1].t_s, events[i].t_s) << "event " << i;
+    }
+    // Decisions, download starts and download ends all agree with the
+    // per-segment log (no abandonment in this configuration).
+    std::size_t decisions = 0;
+    std::size_t starts = 0;
+    std::size_t ends = 0;
+    std::size_t startups = 0;
+    for (const obs::TraceEvent& e : events) {
+      switch (e.type) {
+        case obs::EventType::kDecision:
+          ++decisions;
+          EXPECT_GT(e.sequences_evaluated, 0);
+          EXPECT_GT(e.nodes_expanded, 0);
+          break;
+        case obs::EventType::kDownloadStart: ++starts; break;
+        case obs::EventType::kDownloadEnd: ++ends; break;
+        case obs::EventType::kStartup: ++startups; break;
+        default: break;
+      }
+    }
+    const std::size_t segments =
+        static_cast<std::size_t>(result.per_session[k].segment_count);
+    EXPECT_EQ(decisions, segments);
+    EXPECT_EQ(starts, segments);
+    EXPECT_EQ(ends, segments);
+    EXPECT_EQ(startups, 1u);
+  }
+}
+
+// The acceptance guarantee: per-session metrics are bit-identical with
+// trace collection on or off, serial or parallel.
+TEST(ObsTrace, EvaluationBitIdenticalWithTraceCollectionAtAnyThreadCount) {
+  Rng rng(bench::kDefaultSeed);
+  const auto sessions =
+      net::DatasetEmulator(net::DatasetKind::kPuffer).MakeSessions(5, rng);
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+
+  qoe::EvalConfig config;
+  config.sim.max_buffer_s = 20.0;
+  config.sim.live = true;
+  config.sim.live_latency_s = 20.0;
+  config.base_seed = bench::kDefaultSeed;
+  config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
+    return u.At(mbps);
+  };
+
+  auto evaluate = [&](bool collect, int threads) {
+    qoe::EvalConfig c = config;
+    c.collect_traces = collect;
+    c.threads = threads;
+    return qoe::EvaluateController(
+        sessions, [] { return core::MakeController("soda-cached"); },
+        bench::EmaFactory(), video, c);
+  };
+
+  const qoe::EvalResult baseline = evaluate(false, 1);
+  EXPECT_TRUE(baseline.traces.empty());
+  for (const bool collect : {false, true}) {
+    for (const int threads : {1, 2, 4}) {
+      SCOPED_TRACE(testing::Message()
+                   << "collect=" << collect << " threads=" << threads);
+      const qoe::EvalResult result = evaluate(collect, threads);
+      ASSERT_EQ(result.per_session.size(), baseline.per_session.size());
+      for (std::size_t k = 0; k < baseline.per_session.size(); ++k) {
+        EXPECT_EQ(result.per_session[k].qoe, baseline.per_session[k].qoe);
+        EXPECT_EQ(result.per_session[k].mean_utility,
+                  baseline.per_session[k].mean_utility);
+        EXPECT_EQ(result.per_session[k].rebuffer_ratio,
+                  baseline.per_session[k].rebuffer_ratio);
+        EXPECT_EQ(result.per_session[k].switch_rate,
+                  baseline.per_session[k].switch_rate);
+        EXPECT_EQ(result.per_session[k].segment_count,
+                  baseline.per_session[k].segment_count);
+      }
+      if (collect) {
+        ASSERT_EQ(result.traces.size(), sessions.size());
+      }
+    }
+  }
+
+  // Collected traces themselves are thread-count invariant.
+  const qoe::EvalResult serial = evaluate(true, 1);
+  const qoe::EvalResult parallel = evaluate(true, 4);
+  ASSERT_EQ(serial.traces.size(), parallel.traces.size());
+  for (std::size_t k = 0; k < serial.traces.size(); ++k) {
+    const auto& a = serial.traces[k].events;
+    const auto& b = parallel.traces[k].events;
+    ASSERT_EQ(a.size(), b.size()) << "session " << k;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].type, b[i].type) << "session " << k << " event " << i;
+      EXPECT_EQ(a[i].t_s, b[i].t_s) << "session " << k << " event " << i;
+      EXPECT_EQ(a[i].segment, b[i].segment)
+          << "session " << k << " event " << i;
+      EXPECT_EQ(a[i].rung, b[i].rung) << "session " << k << " event " << i;
+    }
+  }
+}
+
+// Abandonment emits a typed event whose accounting matches the log.
+TEST(ObsTrace, AbandonmentEmitsEvent) {
+  const auto trace = net::ConstantTrace(1.0, 60.0);
+  const auto video = TestVideo();
+  PinnedController controller(2);
+  predict::FixedPredictor predictor(1.0);
+  sim::SimConfig config;
+  config.rtt_s = 0.0;
+  config.allow_abandonment = true;
+  config.abandon_check_s = 1.0;
+  config.abandon_stall_threshold_s = 0.5;
+
+  obs::EventTracer tracer(true);
+  const sim::SessionLog log =
+      sim::RunSession(trace, controller, predictor, video, config, &tracer);
+  ASSERT_GT(log.AbandonedCount(), 0);
+
+  double traced_waste = 0.0;
+  int abandon_events = 0;
+  for (const obs::TraceEvent& e : tracer.Events()) {
+    if (e.type == obs::EventType::kAbandon) {
+      ++abandon_events;
+      traced_waste += e.value_mb;
+      EXPECT_EQ(e.rung, 0);          // refetched at the lowest rung
+      EXPECT_GT(e.prev_rung, 0);     // the abandoned attempt was higher
+      EXPECT_GT(e.duration_s, 0.0);  // time burned before aborting
+    }
+  }
+  EXPECT_EQ(abandon_events, log.AbandonedCount());
+  EXPECT_EQ(traced_waste, log.WastedMb());
+}
+
+// Byte-exact golden for the JSON serialization of a hand-built trace.
+TEST(ObsTrace, WriteTraceJsonGolden) {
+  obs::SessionTrace trace;
+  trace.controller = "SODA";
+  trace.predictor = "EMA";
+  trace.session_index = 3;
+  trace.seed = 12345678901234567890ull;  // > INT64_MAX: emitted as a string
+
+  obs::TraceEvent start;
+  start.type = obs::EventType::kSessionStart;
+  start.t_s = 0.0;
+  start.duration_s = 60.0;
+  trace.events.push_back(start);
+
+  obs::TraceEvent decision;
+  decision.type = obs::EventType::kDecision;
+  decision.t_s = 0.5;
+  decision.segment = 0;
+  decision.rung = 2;
+  decision.buffer_s = 4.0;
+  decision.sequences_evaluated = 10;
+  decision.nodes_expanded = 12;
+  decision.nodes_pruned = 3;
+  decision.warm_start_hit = true;
+  trace.events.push_back(decision);
+
+  obs::TraceEvent end;
+  end.type = obs::EventType::kSessionEnd;
+  end.t_s = 60.0;
+  end.buffer_s = 1.5;
+  trace.events.push_back(end);
+
+  std::ostringstream out;
+  obs::WriteTraceJson(out, trace);
+  const std::string expected = R"({
+  "controller": "SODA",
+  "predictor": "EMA",
+  "session_index": 3,
+  "seed": "12345678901234567890",
+  "event_count": 3,
+  "events": [
+    {
+      "t": 0,
+      "type": "session_start",
+      "duration_s": 60
+    },
+    {
+      "t": 0.5,
+      "type": "decision",
+      "segment": 0,
+      "rung": 2,
+      "buffer_s": 4,
+      "sequences_evaluated": 10,
+      "nodes_expanded": 12,
+      "nodes_pruned": 3,
+      "warm_start_hit": true
+    },
+    {
+      "t": 60,
+      "type": "session_end",
+      "buffer_s": 1.5
+    }
+  ]
+}
+)";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(ObsTrace, CountByTypeSummarizes) {
+  obs::EventTracer tracer(true);
+  obs::TraceEvent e;
+  e.type = obs::EventType::kDecision;
+  tracer.Record(e);
+  tracer.Record(e);
+  e.type = obs::EventType::kAbandon;
+  tracer.Record(e);
+  const auto counts = obs::CountByType(tracer.Events());
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "decision");
+  EXPECT_EQ(counts[0].second, 2u);
+  EXPECT_EQ(counts[1].first, "abandon");
+  EXPECT_EQ(counts[1].second, 1u);
+}
+
+}  // namespace
+}  // namespace soda

@@ -152,6 +152,30 @@ TEST(SlidingWindow, WeightsByDuration) {
   EXPECT_NEAR(p.PredictOne(10.0, 2.0), 2.0, 1e-9);
 }
 
+TEST(SlidingWindow, ObserveEvictsRelativeToNewestObservation) {
+  // Regression: eviction used to run only in PredictHorizon, so a
+  // profiling-style run that only feeds Observe grew the deque without
+  // bound. Observe now evicts against the newest download's end time —
+  // even a prediction at an earlier clock cannot resurrect the dropped
+  // observation.
+  SlidingWindowPredictor p(10.0);
+  p.Observe(Obs(0.0, 2.0, 100.0));
+  p.Observe(Obs(20.0, 2.0, 4.0));  // pushes the window past the first obs
+  EXPECT_NEAR(p.PredictOne(5.0, 2.0), 4.0, 1e-9);
+}
+
+TEST(SlidingWindow, ProRatesObservationStraddlingWindowStart) {
+  // Regression: an observation straddling the window start used to count
+  // in full, over-weighting stale throughput. Only the in-window fraction
+  // (assuming uniform transfer progress) may contribute.
+  SlidingWindowPredictor p(10.0);
+  p.Observe(Obs(0.0, 4.0, 2.0));   // 8 Mb over [0, 4]
+  p.Observe(Obs(10.0, 2.0, 8.0));  // 16 Mb over [10, 12]
+  // Window at now = 12 starts at 2: half of the first transfer (2 s, 4 Mb)
+  // is inside. Pro-rated mean: (4 + 16) Mb / (2 + 2) s = 5 Mb/s.
+  EXPECT_NEAR(p.PredictOne(12.0, 2.0), 5.0, 1e-9);
+}
+
 TEST(Oracle, PerfectMatchesTraceAverages) {
   const net::ThroughputTrace trace = net::StepTrace({4.0, 1.0, 2.0}, 2.0);
   OraclePredictor oracle(trace);

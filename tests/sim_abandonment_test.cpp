@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "media/video_model.hpp"
 #include "net/generators.hpp"
 #include "predict/fixed.hpp"
@@ -94,6 +96,32 @@ TEST(Abandonment, LowestRungIsNeverAbandoned) {
   const SessionLog log =
       RunSession(trace, controller, predictor, video, WithAbandonment());
   EXPECT_EQ(log.AbandonedCount(), 0);
+}
+
+TEST(Abandonment, ReCheckCatchesMidFlightCollapse) {
+  // Regression: abandonment used to be a single projection at the first
+  // check. 40 Mb/s for the first 1.1 s, then 0.4 Mb/s: the third segment
+  // (16 Mb) starts inside the fast phase, so at its first 1 s check the
+  // observed throughput still projects a timely finish — only the later
+  // re-checks see the collapse. Without re-checking, the download would
+  // stall playback for ~10 s.
+  const net::ThroughputTrace trace({{0.0, 40.0}, {1.1, 0.4}}, 200.0);
+  const auto video = TestVideo();
+  PinnedController controller(2);
+  predict::FixedPredictor predictor(1.0);
+  const SessionLog log =
+      RunSession(trace, controller, predictor, video, WithAbandonment());
+  ASSERT_GE(log.AbandonedCount(), 1);
+  const auto first = std::find_if(log.segments.begin(), log.segments.end(),
+                                  [](const SegmentRecord& s) {
+                                    return s.abandoned;
+                                  });
+  ASSERT_NE(first, log.segments.end());
+  EXPECT_EQ(first->index, 2);
+  // Aborted at the fourth 1 s check: the wasted megabits are exactly what
+  // the trace delivered by then, 0.3 s * 40 + 3.7 s * 0.4 = 13.48 Mb.
+  EXPECT_NEAR(first->wasted_mb, 13.48, 1e-9);
+  EXPECT_EQ(first->rung, 0);  // refetched at the lowest rung
 }
 
 TEST(Abandonment, OffByDefault) {

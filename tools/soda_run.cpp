@@ -31,7 +31,13 @@
 //                       to a fault-profile config file (see src/fault/)
 //   --timeline          print the per-segment timeline (single session)
 //   --csv PATH          write per-session metrics CSV
+//   --trace-out DIR     write one per-session event-trace JSON into DIR
+//                       (observability only: results are bit-identical
+//                       with or without tracing)
+//   --metrics-out PATH  write the run-level metrics snapshot JSON
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "core/registry.hpp"
@@ -40,6 +46,8 @@
 #include "net/dataset.hpp"
 #include "net/mahimahi.hpp"
 #include "net/trace_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qoe/eval.hpp"
 #include "qoe/report.hpp"
 #include "tools/cli_args.hpp"
@@ -67,7 +75,7 @@ int Run(int argc, char** argv) {
       argc, argv,
       {"trace", "mahimahi", "dataset", "sessions", "controller", "predictor",
        "ladder", "trim", "segment", "buffer", "seed", "threads", "csv",
-       "fault-profile"},
+       "fault-profile", "trace-out", "metrics-out"},
       {"vod", "timeline"});
 
   // Sessions.
@@ -91,6 +99,20 @@ int Run(int argc, char** argv) {
         static_cast<std::size_t>(args.GetLong("sessions", 10)), rng);
   }
 
+  // Tolerant CSV loading counts (not silently drops) malformed rows; warn
+  // when the corpus came in with skips so shrinkage is visible.
+  {
+    const obs::MetricsSnapshot loaded =
+        obs::MetricsRegistry::Global().Snapshot();
+    const auto skipped = loaded.counters.find("net.trace_csv.rows_skipped");
+    if (skipped != loaded.counters.end() && skipped->second > 0) {
+      std::fprintf(stderr,
+                   "soda_run: warning: skipped %llu malformed trace CSV "
+                   "row(s) while loading (see net.trace_csv.* metrics)\n",
+                   static_cast<unsigned long long>(skipped->second));
+    }
+  }
+
   const media::BitrateLadder ladder =
       LadderByName(args.Get("ladder", "youtube"), args.GetLong("trim", 0));
   const media::VideoModel video(
@@ -108,6 +130,7 @@ int Run(int argc, char** argv) {
   if (args.Has("fault-profile")) {
     config.fault = fault::LoadProfile(args.Get("fault-profile", "none"));
   }
+  config.collect_traces = args.Has("trace-out");
 
   const std::string controller_name = args.Get("controller", "soda");
   const std::string predictor_name = args.Get("predictor", "ema");
@@ -180,6 +203,32 @@ int Run(int argc, char** argv) {
   if (args.Has("csv")) {
     qoe::WritePerSessionCsv({result}, args.Get("csv", ""));
     std::printf("wrote %s\n", args.Get("csv", "").c_str());
+  }
+
+  if (args.Has("trace-out")) {
+    const std::filesystem::path dir = args.Get("trace-out", "");
+    std::filesystem::create_directories(dir);
+    for (const obs::SessionTrace& trace : result.traces) {
+      const std::filesystem::path file =
+          dir / ("trace_session_" + std::to_string(trace.session_index) +
+                 ".json");
+      std::ofstream out(file);
+      SODA_ENSURE(out.good(), "cannot open " + file.string());
+      obs::WriteTraceJson(out, trace);
+    }
+    std::printf("wrote %zu session trace(s) to %s\n", result.traces.size(),
+                dir.string().c_str());
+  }
+
+  if (args.Has("metrics-out")) {
+    const std::filesystem::path file = args.Get("metrics-out", "");
+    if (file.has_parent_path()) {
+      std::filesystem::create_directories(file.parent_path());
+    }
+    std::ofstream out(file);
+    SODA_ENSURE(out.good(), "cannot open " + file.string());
+    obs::MetricsRegistry::Global().WriteJson(out);
+    std::printf("wrote metrics snapshot to %s\n", file.string().c_str());
   }
   return 0;
 }
