@@ -10,7 +10,9 @@
 //                      the cached-vs-exact speedup
 //   BENCH_eval.json    corpus throughput (sessions/sec) at 1/N threads and
 //                      aggregate QoE per controller, with the soda-cached
-//                      vs soda QoE delta
+//                      vs soda QoE delta, plus a shared-link scaling sweep
+//                      (reference vs incremental engine per-event cost at
+//                      n up to 400 players, with an identical-output check)
 //
 // Usage: bench_perf_report [--out-dir DIR] [--quick]
 //   --out-dir DIR  directory the JSON files are written to (default ".")
@@ -30,7 +32,9 @@
 #include "core/cached_controller.hpp"
 #include "core/registry.hpp"
 #include "media/video_model.hpp"
+#include "predict/ema.hpp"
 #include "predict/fixed.hpp"
+#include "sim/shared_link.hpp"
 #include "util/json_writer.hpp"
 #include "util/parallel.hpp"
 
@@ -243,6 +247,133 @@ void WriteSolverReport(const std::string& path, bool quick) {
               path.c_str(), 100.0 * worst_reduction, exact_ns / cached_ns);
 }
 
+std::vector<sim::SharedLinkPlayer> MakeSharedLinkRoster(std::size_t n) {
+  // Cheap per-decision controllers so the timing isolates the event loop
+  // itself (controller cost is covered by the corpus sweep above). Every
+  // rate-rule player gets its own fixed predicted rate, so rung choices —
+  // and therefore segment sizes and completion times — differ per player.
+  // Identical players would complete in lockstep batches, letting a full
+  // scan amortize over the whole batch and hiding the per-event cost this
+  // sweep is measuring; real multi-client populations are heterogeneous.
+  std::vector<sim::SharedLinkPlayer> players;
+  players.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::SharedLinkPlayer player;
+    if (i % 4 == 0) {
+      player.controller = core::MakeController("bba");
+      player.predictor = std::make_unique<predict::EmaPredictor>();
+    } else {
+      player.controller = core::MakeController("throughput");
+      player.predictor = std::make_unique<predict::FixedPredictor>(
+          0.3 + 0.015 * static_cast<double>(i % 256));
+    }
+    players.push_back(std::move(player));
+  }
+  return players;
+}
+
+bool SharedLinkResultsIdentical(const sim::SharedLinkResult& a,
+                                const sim::SharedLinkResult& b) {
+  if (a.bitrate_fairness != b.bitrate_fairness ||
+      a.mean_switch_rate != b.mean_switch_rate ||
+      a.mean_rebuffer_s != b.mean_rebuffer_s ||
+      a.logs.size() != b.logs.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.logs.size(); ++i) {
+    const sim::SessionLog& x = a.logs[i];
+    const sim::SessionLog& y = b.logs[i];
+    if (x.total_rebuffer_s != y.total_rebuffer_s ||
+        x.total_wait_s != y.total_wait_s || x.startup_s != y.startup_s ||
+        x.segments.size() != y.segments.size()) {
+      return false;
+    }
+    for (std::size_t s = 0; s < x.segments.size(); ++s) {
+      if (x.segments[s].rung != y.segments[s].rung ||
+          x.segments[s].download_s != y.segments[s].download_s ||
+          x.segments[s].buffer_after_s != y.segments[s].buffer_after_s) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Sweeps the player count and times the reference (scan-everything) loop
+// against the incremental engine. The link is undersized (0.7 Mbps per
+// player) so players download nearly continuously. Event count is
+// recovered from the logs (one completion per downloaded segment, one
+// wait-expiry per waited segment); ns/event is what must NOT grow
+// linearly with n. Two effects keep it flat for both engines: rung
+// quantization leaves subpopulations in lockstep, so completions arrive
+// in batches that amortize the reference loop's O(n) scans, and the
+// per-event playback/decrement pass (O(n), pinned by the bit-identity
+// contract) is shared by both engines. The incremental engine's O(log n)
+// heap discovery wins or ties at the small rosters the repo actually
+// simulates and is structurally independent of n; the reference loop
+// stays competitive at large n precisely because of the batching — both
+// facts are visible in the emitted rows. Each engine runs `reps` times
+// and the minimum wall time is kept (standard noise suppression; outputs
+// are deterministic and identical across reps).
+void WriteSharedLinkScaling(util::JsonWriter& json, bool quick) {
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+
+  json.Key("shared_link_scaling").BeginArray();
+  const std::vector<std::size_t> counts =
+      quick ? std::vector<std::size_t>{4, 16, 40}
+            : std::vector<std::size_t>{4, 16, 48, 100, 400};
+  const int reps = quick ? 1 : 3;
+  for (const std::size_t n : counts) {
+    sim::SharedLinkConfig config;
+    config.session_s = quick ? 60.0 : 240.0;
+    config.link_capacity_mbps = 0.7 * static_cast<double>(n);
+
+    double ref_ns = 0.0;
+    double inc_ns = 0.0;
+    sim::SharedLinkResult reference;
+    sim::SharedLinkResult incremental;
+    for (int rep = 0; rep < reps; ++rep) {
+      config.engine = sim::SharedLinkEngine::kReference;
+      const auto ref_start = Clock::now();
+      reference = sim::RunSharedLink(MakeSharedLinkRoster(n), video, config);
+      const auto ref_end = Clock::now();
+
+      config.engine = sim::SharedLinkEngine::kIncremental;
+      const auto inc_start = Clock::now();
+      incremental = sim::RunSharedLink(MakeSharedLinkRoster(n), video, config);
+      const auto inc_end = Clock::now();
+
+      const double ref_rep = ElapsedNs(ref_start, ref_end);
+      const double inc_rep = ElapsedNs(inc_start, inc_end);
+      if (rep == 0 || ref_rep < ref_ns) ref_ns = ref_rep;
+      if (rep == 0 || inc_rep < inc_ns) inc_ns = inc_rep;
+    }
+
+    long long events = 0;
+    for (const sim::SessionLog& log : incremental.logs) {
+      events += static_cast<long long>(log.segments.size());
+      for (const sim::SegmentRecord& segment : log.segments) {
+        if (segment.wait_s > 0.0) ++events;
+      }
+    }
+    json.BeginObject();
+    json.Key("players").Int(static_cast<std::int64_t>(n));
+    json.Key("events").Int(events);
+    json.Key("reference_ms").Number(ref_ns * 1e-6);
+    json.Key("incremental_ms").Number(inc_ns * 1e-6);
+    json.Key("ns_per_event_reference")
+        .Number(ref_ns / static_cast<double>(events));
+    json.Key("ns_per_event_incremental")
+        .Number(inc_ns / static_cast<double>(events));
+    json.Key("speedup").Number(ref_ns / inc_ns);
+    json.Key("identical_output")
+        .Bool(SharedLinkResultsIdentical(reference, incremental));
+    json.EndObject();
+  }
+  json.EndArray();
+}
+
 void WriteEvalReport(const std::string& path, bool quick) {
   const std::uint64_t seed = bench::kDefaultSeed;
   const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
@@ -306,6 +437,7 @@ void WriteEvalReport(const std::string& path, bool quick) {
   }
   json.EndArray();
   json.Key("cached_qoe_delta").Number(cached_qoe - soda_qoe);
+  WriteSharedLinkScaling(json, quick);
   json.EndObject();
   out << '\n';
   std::printf("wrote %s (soda QoE %.4f, cached QoE %.4f, delta %+.4f)\n",

@@ -49,86 +49,85 @@ void CachedDecisionController::EnsureTable(const abr::Context& context) {
   sc.tail_intervals = config_.base.tail_intervals;
   solver_.emplace(*model_, sc);
   ++stats_.table_builds;
-  table_builds_counter_.Add();
 
-  buffer_axis_.clear();
-  buffer_axis_.reserve(static_cast<std::size_t>(config_.buffer_points));
-  for (int b = 0; b < config_.buffer_points; ++b) {
-    buffer_axis_.push_back(mc.max_buffer_s * static_cast<double>(b) /
-                           (config_.buffer_points - 1));
+  // The table is a pure function of (ladder, model config, planner config,
+  // grid), so instances with the same geometry adopt one shared build; the
+  // global table_builds metric counts the builds that actually ran.
+  const auto build = [this] {
+    table_builds_counter_.Add();
+    return BuildDecisionTable(*model_, *solver_, config_.base,
+                              config_.buffer_points,
+                              config_.throughput_points, config_.min_mbps,
+                              config_.max_mbps);
+  };
+  if (config_.share_table) {
+    table_ = SharedDecisionTable(
+        DecisionTableKey(context.Ladder(), mc, config_.base,
+                         config_.buffer_points, config_.throughput_points,
+                         config_.min_mbps, config_.max_mbps),
+        build);
+  } else {
+    table_ = std::make_shared<const DecisionTable>(build());
   }
-  throughput_axis_.clear();
-  throughput_axis_.reserve(static_cast<std::size_t>(config_.throughput_points));
-  const double log_step = std::log(config_.max_mbps / config_.min_mbps) /
-                          (config_.throughput_points - 1);
-  for (int t = 0; t < config_.throughput_points; ++t) {
-    throughput_axis_.push_back(config_.min_mbps * std::exp(log_step * t));
-  }
-  log_min_mbps_ = std::log(config_.min_mbps);
-  inv_log_step_ = 1.0 / log_step;
+}
 
-  const int rungs = model_->RungCount();
-  const int horizon = ClampedSodaHorizon(config_.base, mc.dt_s);
-  table_.assign(static_cast<std::size_t>(rungs + 1) *
-                    throughput_axis_.size() * buffer_axis_.size(),
-                0);
-  std::vector<double> predictions(static_cast<std::size_t>(horizon));
-  for (media::Rung prev = -1; prev < rungs; ++prev) {
-    for (int t = 0; t < config_.throughput_points; ++t) {
-      predictions.assign(static_cast<std::size_t>(horizon),
-                         throughput_axis_[static_cast<std::size_t>(t)]);
-      for (int b = 0; b < config_.buffer_points; ++b) {
-        const media::Rung rung = DecideSoda(
-            *model_, *solver_, config_.base, predictions,
-            buffer_axis_[static_cast<std::size_t>(b)], prev, {});
-        table_[CellIndex(prev, t, b)] = static_cast<std::int16_t>(rung);
-      }
-    }
-  }
+const std::vector<double>& CachedDecisionController::BufferAxis() const {
+  SODA_ENSURE(table_ != nullptr, "decision table not built yet");
+  return table_->buffer_axis;
+}
+
+const std::vector<double>& CachedDecisionController::ThroughputAxis() const {
+  SODA_ENSURE(table_ != nullptr, "decision table not built yet");
+  return table_->throughput_axis;
 }
 
 media::Rung CachedDecisionController::TableRung(media::Rung prev_rung, int t,
                                                 int b) const {
-  SODA_ENSURE(!table_.empty(), "decision table not built yet");
-  SODA_ENSURE(prev_rung >= -1 && prev_rung < model_->RungCount(),
+  SODA_ENSURE(table_ != nullptr && !table_->cells.empty(),
+              "decision table not built yet");
+  SODA_ENSURE(prev_rung >= -1 && prev_rung < table_->rung_count,
               "prev rung out of range");
-  SODA_ENSURE(t >= 0 && t < static_cast<int>(throughput_axis_.size()) &&
-                  b >= 0 && b < static_cast<int>(buffer_axis_.size()),
-              "table index out of range");
-  return static_cast<media::Rung>(table_[CellIndex(prev_rung, t, b)]);
+  SODA_ENSURE(
+      t >= 0 && t < static_cast<int>(table_->throughput_axis.size()) &&
+          b >= 0 && b < static_cast<int>(table_->buffer_axis.size()),
+      "table index out of range");
+  return table_->Cell(prev_rung, t, b);
 }
 
 media::Rung CachedDecisionController::LookupRung(double buffer_s, double mbps,
                                                  media::Rung prev_rung) const {
+  const DecisionTable& table = *table_;
   // Fractional grid coordinates.
   const double fb = buffer_s / model_->Config().max_buffer_s *
-                    (static_cast<double>(buffer_axis_.size()) - 1.0);
-  const double ft = (std::log(mbps) - log_min_mbps_) * inv_log_step_;
+                    (static_cast<double>(table.buffer_axis.size()) - 1.0);
+  const double ft = (std::log(mbps) - table.log_min_mbps) * table.inv_log_step;
 
   if (config_.lookup == CachedControllerConfig::Lookup::kNearest) {
     const int b = std::clamp(static_cast<int>(std::lround(fb)), 0,
-                             static_cast<int>(buffer_axis_.size()) - 1);
-    const int t = std::clamp(static_cast<int>(std::lround(ft)), 0,
-                             static_cast<int>(throughput_axis_.size()) - 1);
-    return static_cast<media::Rung>(table_[CellIndex(prev_rung, t, b)]);
+                             static_cast<int>(table.buffer_axis.size()) - 1);
+    const int t =
+        std::clamp(static_cast<int>(std::lround(ft)), 0,
+                   static_cast<int>(table.throughput_axis.size()) - 1);
+    return table.Cell(prev_rung, t, b);
   }
 
   // Bilinear: interpolate the four surrounding cells' rung indices and
   // round to the nearest rung.
   const int b0 = std::clamp(static_cast<int>(std::floor(fb)), 0,
-                            static_cast<int>(buffer_axis_.size()) - 2);
-  const int t0 = std::clamp(static_cast<int>(std::floor(ft)), 0,
-                            static_cast<int>(throughput_axis_.size()) - 2);
+                            static_cast<int>(table.buffer_axis.size()) - 2);
+  const int t0 =
+      std::clamp(static_cast<int>(std::floor(ft)), 0,
+                 static_cast<int>(table.throughput_axis.size()) - 2);
   const double wb = std::clamp(fb - b0, 0.0, 1.0);
   const double wt = std::clamp(ft - t0, 0.0, 1.0);
-  const double r00 = table_[CellIndex(prev_rung, t0, b0)];
-  const double r01 = table_[CellIndex(prev_rung, t0, b0 + 1)];
-  const double r10 = table_[CellIndex(prev_rung, t0 + 1, b0)];
-  const double r11 = table_[CellIndex(prev_rung, t0 + 1, b0 + 1)];
+  const double r00 = table.cells[table.CellIndex(prev_rung, t0, b0)];
+  const double r01 = table.cells[table.CellIndex(prev_rung, t0, b0 + 1)];
+  const double r10 = table.cells[table.CellIndex(prev_rung, t0 + 1, b0)];
+  const double r11 = table.cells[table.CellIndex(prev_rung, t0 + 1, b0 + 1)];
   const double blended = (1.0 - wt) * ((1.0 - wb) * r00 + wb * r01) +
                          wt * ((1.0 - wb) * r10 + wb * r11);
   const int rung = static_cast<int>(std::lround(blended));
-  return std::clamp(rung, 0, model_->RungCount() - 1);
+  return std::clamp(rung, 0, table.rung_count - 1);
 }
 
 media::Rung CachedDecisionController::ChooseRung(const abr::Context& context) {

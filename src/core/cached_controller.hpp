@@ -8,7 +8,9 @@
 // grid cell over a (buffer x log-throughput x prev-rung) grid — and serves
 // subsequent decisions as O(1) table lookups (nearest cell, or bilinear
 // rung interpolation), orders of magnitude faster than running the solver
-// per segment.
+// per segment. The table itself is immutable and, by default, comes from
+// the process-wide keyed cache in core/decision_table.hpp, so all sessions
+// and worker threads with the same geometry share one build.
 //
 // The table is exact at grid points by construction. Off-grid inputs are
 // approximated by the configured lookup; inputs the table cannot speak for
@@ -26,6 +28,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/decision_table.hpp"
 #include "core/soda_controller.hpp"
 #include "obs/metrics.hpp"
 
@@ -50,6 +53,13 @@ struct CachedControllerConfig {
   // the forecast to still count as "constant" and be served from the
   // table.
   double constant_prediction_tolerance = 0.05;
+  // Adopt tables from the process-wide keyed cache (core/decision_table.hpp)
+  // instead of building privately. Sharing is decision-identical — the
+  // cache key covers every build input bit for bit — and turns the
+  // per-instance build (tens of milliseconds) into a one-time cost per
+  // stream geometry per process, shared across sessions and worker
+  // threads. Disable only to measure the private-build path.
+  bool share_table = true;
 };
 
 class CachedDecisionController final : public abr::Controller {
@@ -61,9 +71,12 @@ class CachedDecisionController final : public abr::Controller {
   [[nodiscard]] std::string Name() const override { return "SODA-cached"; }
 
   struct Stats {
-    long long table_builds = 0;  // geometry changes seen
-    long long lookups = 0;       // decisions served from the table
-    long long fallbacks = 0;     // decisions routed to the exact solver
+    // Geometry changes seen by this instance (each one builds a table or
+    // adopts it from the shared cache; the "core.cached.table_builds"
+    // metric counts the actual builds process-wide).
+    long long table_builds = 0;
+    long long lookups = 0;    // decisions served from the table
+    long long fallbacks = 0;  // decisions routed to the exact solver
   };
   [[nodiscard]] const Stats& GetStats() const noexcept { return stats_; }
 
@@ -77,16 +90,18 @@ class CachedDecisionController final : public abr::Controller {
 
   // Grid introspection for tests/benches. Only valid after the first
   // ChooseRung (the table is built lazily from the stream geometry).
-  [[nodiscard]] const std::vector<double>& BufferAxis() const noexcept {
-    return buffer_axis_;
-  }
-  [[nodiscard]] const std::vector<double>& ThroughputAxis() const noexcept {
-    return throughput_axis_;
-  }
+  [[nodiscard]] const std::vector<double>& BufferAxis() const;
+  [[nodiscard]] const std::vector<double>& ThroughputAxis() const;
   // Table cell for (prev_rung in [-1, rungs), throughput index, buffer
   // index).
   [[nodiscard]] media::Rung TableRung(media::Rung prev_rung, int t,
                                       int b) const;
+  // The immutable table currently served (null before the first
+  // ChooseRung). Two instances sharing a geometry return the same pointer
+  // when share_table is on.
+  [[nodiscard]] const DecisionTablePtr& Table() const noexcept {
+    return table_;
+  }
 
  private:
   // (Re)builds the model/solver/table when the stream geometry (ladder,
@@ -94,24 +109,14 @@ class CachedDecisionController final : public abr::Controller {
   void EnsureTable(const abr::Context& context);
   [[nodiscard]] media::Rung LookupRung(double buffer_s, double mbps,
                                        media::Rung prev_rung) const;
-  [[nodiscard]] std::size_t CellIndex(media::Rung prev_rung, int t,
-                                      int b) const noexcept {
-    return (static_cast<std::size_t>(prev_rung + 1) *
-                static_cast<std::size_t>(throughput_axis_.size()) +
-            static_cast<std::size_t>(t)) *
-               static_cast<std::size_t>(buffer_axis_.size()) +
-           static_cast<std::size_t>(b);
-  }
 
   CachedControllerConfig config_;
+  // Model and solver stay per-instance: CostModel holds a non-owning
+  // ladder pointer and the solver's scratch is not thread-safe, so only
+  // the plain-data table is shared. The fallback path runs on these.
   std::optional<CostModel> model_;
   std::optional<MonotonicSolver> solver_;
-  std::vector<double> buffer_axis_;
-  std::vector<double> throughput_axis_;
-  // Flattened [prev + 1][throughput][buffer] decision table.
-  std::vector<std::int16_t> table_;
-  double log_min_mbps_ = 0.0;
-  double inv_log_step_ = 0.0;
+  DecisionTablePtr table_;
   Stats stats_;
   abr::DecisionStats last_stats_;
   // Process-wide grid-hit/fallback counters (aggregated across instances,

@@ -1,0 +1,149 @@
+#include "core/decision_table.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace soda::core {
+namespace {
+
+void AppendDouble(std::string& out, double v) {
+  // Exact bit pattern: configurations share a table only when every double
+  // matches bitwise (0.1 + 0.2 != 0.3 must produce distinct keys).
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  out.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+void AppendInt(std::string& out, std::int64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+struct TableCache {
+  std::mutex mu;
+  std::unordered_map<std::string, DecisionTablePtr> tables;
+};
+
+TableCache& Cache() {
+  // Leaked intentionally: controllers may outlive static destruction order.
+  static TableCache* cache = new TableCache();
+  return *cache;
+}
+
+}  // namespace
+
+DecisionTable BuildDecisionTable(const CostModel& model,
+                                 const MonotonicSolver& solver,
+                                 const SodaConfig& base, int buffer_points,
+                                 int throughput_points, double min_mbps,
+                                 double max_mbps) {
+  const CostModelConfig& mc = model.Config();
+  DecisionTable table;
+  table.rung_count = model.RungCount();
+
+  table.buffer_axis.reserve(static_cast<std::size_t>(buffer_points));
+  for (int b = 0; b < buffer_points; ++b) {
+    table.buffer_axis.push_back(mc.max_buffer_s * static_cast<double>(b) /
+                                (buffer_points - 1));
+  }
+  table.throughput_axis.reserve(static_cast<std::size_t>(throughput_points));
+  const double log_step =
+      std::log(max_mbps / min_mbps) / (throughput_points - 1);
+  for (int t = 0; t < throughput_points; ++t) {
+    table.throughput_axis.push_back(min_mbps * std::exp(log_step * t));
+  }
+  table.log_min_mbps = std::log(min_mbps);
+  table.inv_log_step = 1.0 / log_step;
+
+  const int rungs = table.rung_count;
+  const int horizon = ClampedSodaHorizon(base, mc.dt_s);
+  table.cells.assign(static_cast<std::size_t>(rungs + 1) *
+                         table.throughput_axis.size() *
+                         table.buffer_axis.size(),
+                     0);
+  std::vector<double> predictions(static_cast<std::size_t>(horizon));
+  for (media::Rung prev = -1; prev < rungs; ++prev) {
+    for (int t = 0; t < throughput_points; ++t) {
+      predictions.assign(static_cast<std::size_t>(horizon),
+                         table.throughput_axis[static_cast<std::size_t>(t)]);
+      for (int b = 0; b < buffer_points; ++b) {
+        const media::Rung rung = DecideSoda(
+            model, solver, base, predictions,
+            table.buffer_axis[static_cast<std::size_t>(b)], prev, {});
+        table.cells[table.CellIndex(prev, t, b)] =
+            static_cast<std::int16_t>(rung);
+      }
+    }
+  }
+  return table;
+}
+
+std::string DecisionTableKey(const media::BitrateLadder& ladder,
+                             const CostModelConfig& model_config,
+                             const SodaConfig& base, int buffer_points,
+                             int throughput_points, double min_mbps,
+                             double max_mbps) {
+  std::string key;
+  key.reserve(256);
+
+  const auto bitrates = ladder.Bitrates();
+  AppendInt(key, static_cast<std::int64_t>(bitrates.size()));
+  for (const double bitrate : bitrates) AppendDouble(key, bitrate);
+
+  AppendDouble(key, model_config.weights.alpha);
+  AppendDouble(key, model_config.weights.beta);
+  AppendDouble(key, model_config.weights.gamma);
+  AppendDouble(key, model_config.weights.kappa);
+  AppendDouble(key, model_config.weights.epsilon);
+  AppendDouble(key, model_config.weights.barrier);
+  AppendDouble(key, model_config.weights.safe_fraction);
+  AppendDouble(key, model_config.target_buffer_s);
+  AppendDouble(key, model_config.max_buffer_s);
+  AppendDouble(key, model_config.dt_s);
+  AppendInt(key, static_cast<std::int64_t>(model_config.distortion));
+
+  AppendInt(key, base.horizon);
+  AppendDouble(key, base.max_horizon_s);
+  AppendInt(key, base.throughput_cap ? 1 : 0);
+  AppendDouble(key, base.cap_fraction);
+  AppendInt(key, base.hard_buffer_constraints ? 1 : 0);
+  AppendDouble(key, base.tail_intervals);
+
+  AppendInt(key, buffer_points);
+  AppendInt(key, throughput_points);
+  AppendDouble(key, min_mbps);
+  AppendDouble(key, max_mbps);
+  return key;
+}
+
+DecisionTablePtr SharedDecisionTable(
+    const std::string& key, const std::function<DecisionTable()>& build) {
+  TableCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  const auto it = cache.tables.find(key);
+  if (it != cache.tables.end()) return it->second;
+  // Built under the cache mutex: concurrent first-users of the same
+  // geometry wait and then adopt, so the build runs exactly once. Builds
+  // for *different* keys also serialize, which is acceptable — a build
+  // happens once per geometry per process, not per session.
+  DecisionTablePtr table = std::make_shared<const DecisionTable>(build());
+  cache.tables.emplace(key, table);
+  return table;
+}
+
+void ClearDecisionTableCacheForTesting() {
+  TableCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.tables.clear();
+}
+
+std::size_t DecisionTableCacheSize() {
+  TableCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.tables.size();
+}
+
+}  // namespace soda::core

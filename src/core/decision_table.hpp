@@ -1,0 +1,94 @@
+// Immutable, shareable SODA decision tables.
+//
+// A DecisionTable is the precomputed (buffer x log-throughput x prev-rung)
+// decision grid served by CachedDecisionController. Building one costs a
+// full DecideSoda sweep (tens of milliseconds — comparable to simulating
+// several whole sessions), so rebuilding it per controller instance made
+// `soda-cached` *slower* end-to-end than the exact controller in short
+// corpus runs, and N-worker parallel evaluation paid the build N times.
+//
+// The fix is a process-wide keyed cache: tables are immutable after
+// construction and handed out as shared_ptr<const DecisionTable>, so every
+// session — and every worker thread — serving the same stream geometry and
+// controller configuration shares one table. The cache key covers, byte for
+// byte, every input the table contents depend on (ladder bitrates, cost
+// model, planner config, grid shape); doubles are keyed by their exact bit
+// patterns, so two configurations share a table only when the build would
+// be bit-identical. The cache mutex is held only on the build/adopt path
+// (once per controller per geometry), never per decision.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/soda_controller.hpp"
+
+namespace soda::core {
+
+struct DecisionTable {
+  // Buffer axis: linear over [0, max buffer]. Throughput axis: log-spaced
+  // over [min_mbps, max_mbps].
+  std::vector<double> buffer_axis;
+  std::vector<double> throughput_axis;
+  // Flattened [prev + 1][throughput][buffer] rung choices.
+  std::vector<std::int16_t> cells;
+  double log_min_mbps = 0.0;
+  double inv_log_step = 0.0;
+  int rung_count = 0;
+
+  [[nodiscard]] std::size_t CellIndex(media::Rung prev_rung, int t,
+                                      int b) const noexcept {
+    return (static_cast<std::size_t>(prev_rung + 1) *
+                throughput_axis.size() +
+            static_cast<std::size_t>(t)) *
+               buffer_axis.size() +
+           static_cast<std::size_t>(b);
+  }
+  [[nodiscard]] media::Rung Cell(media::Rung prev_rung, int t,
+                                 int b) const noexcept {
+    return static_cast<media::Rung>(cells[CellIndex(prev_rung, t, b)]);
+  }
+};
+
+using DecisionTablePtr = std::shared_ptr<const DecisionTable>;
+
+// Builds the decision grid with one exact DecideSoda call per cell under
+// constant throughput predictions. Deterministic: the result is a pure
+// function of the model/solver configuration and the grid parameters.
+[[nodiscard]] DecisionTable BuildDecisionTable(const CostModel& model,
+                                               const MonotonicSolver& solver,
+                                               const SodaConfig& base,
+                                               int buffer_points,
+                                               int throughput_points,
+                                               double min_mbps,
+                                               double max_mbps);
+
+// Cache key covering every input BuildDecisionTable's output depends on:
+// the ladder's exact bitrates, the cost-model configuration (weights,
+// buffers, dt, distortion), the planner fields DecideSoda reads (horizon
+// clamp, throughput cap, solver constraints), and the grid shape. Fields
+// that cannot affect table contents (warm_start — builds pass no warm plan;
+// target_fraction — already resolved into target_buffer_s) are excluded.
+[[nodiscard]] std::string DecisionTableKey(const media::BitrateLadder& ladder,
+                                           const CostModelConfig& model_config,
+                                           const SodaConfig& base,
+                                           int buffer_points,
+                                           int throughput_points,
+                                           double min_mbps, double max_mbps);
+
+// Returns the process-wide table for `key`, invoking `build` under the
+// cache mutex if no table exists yet. The builder runs at most once per key
+// per process; the returned table is immutable and safe to share across
+// threads.
+[[nodiscard]] DecisionTablePtr SharedDecisionTable(
+    const std::string& key, const std::function<DecisionTable()>& build);
+
+// Test hooks: the cache is process-global, so differential tests reset it
+// to measure build counts from a clean slate.
+void ClearDecisionTableCacheForTesting();
+[[nodiscard]] std::size_t DecisionTableCacheSize();
+
+}  // namespace soda::core

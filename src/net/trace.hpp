@@ -67,6 +67,11 @@ class ThroughputTrace {
   // Index of the sample active at time t.
   [[nodiscard]] std::size_t IndexAt(double t) const noexcept;
 
+  // TraceCursor replays the exact arithmetic of MegabitsBetween /
+  // TimeToDownload with hint-based index lookup, so it reads
+  // cumulative_mb_ directly.
+  friend class TraceCursor;
+
   std::vector<TraceSample> samples_;
   // cumulative_mb_[i]: megabits delivered from time 0 to samples_[i].time_s.
   std::vector<double> cumulative_mb_;

@@ -1,0 +1,69 @@
+#include "net/trace_cursor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace soda::net {
+
+std::size_t TraceCursor::Seek(double t, std::size_t hint) const noexcept {
+  const auto& samples = trace_->samples_;
+  // Backward first: a query earlier than the hint's sample must not land on
+  // a later sample. samples[0].time_s == 0, so hint 0 is correct for t < 0.
+  while (hint > 0 && samples[hint].time_s > t) --hint;
+  while (hint + 1 < samples.size() && samples[hint + 1].time_s <= t) ++hint;
+  return hint;
+}
+
+double TraceCursor::ThroughputAt(double t) noexcept {
+  if (t <= 0.0) return trace_->samples_.front().mbps;
+  start_hint_ = Seek(t, start_hint_);
+  return trace_->samples_[start_hint_].mbps;
+}
+
+double TraceCursor::MegabitsBetween(double t0, double t1) noexcept {
+  t0 = std::max(t0, 0.0);
+  t1 = std::max(t1, 0.0);
+  if (t1 <= t0) return 0.0;
+  start_hint_ = Seek(t0, start_hint_);
+  // The end hint never trails the start: t1 > t0 here.
+  end_hint_ = Seek(t1, std::max(end_hint_, start_hint_));
+  const auto& samples = trace_->samples_;
+  const auto& cumulative = trace_->cumulative_mb_;
+  const double at_t1 =
+      cumulative[end_hint_] +
+      samples[end_hint_].mbps * (t1 - samples[end_hint_].time_s);
+  const double at_t0 =
+      cumulative[start_hint_] +
+      samples[start_hint_].mbps * (t0 - samples[start_hint_].time_s);
+  return at_t1 - at_t0;
+}
+
+double TraceCursor::TimeToDownload(double start_s, double megabits) noexcept {
+  if (megabits <= 0.0) return 0.0;
+  start_hint_ = Seek(start_s, start_hint_);
+  const auto& samples = trace_->samples_;
+  double remaining = megabits;
+  std::size_t i = start_hint_;
+  double t = std::max(start_s, 0.0);
+  while (true) {
+    const double rate = samples[i].mbps;
+    const bool last = (i + 1 == samples.size());
+    const double segment_end =
+        last ? std::numeric_limits<double>::infinity() : samples[i + 1].time_s;
+    const double span = segment_end - t;
+    const double deliverable = rate * span;  // inf*0 avoided: span>0 here.
+    if (rate > 0.0 && (last || deliverable >= remaining)) {
+      const double needed = remaining / rate;
+      if (last || needed <= span) return (t - start_s) + needed;
+    }
+    if (last) {
+      // Tail rate is zero and demand remains: never completes.
+      return std::numeric_limits<double>::infinity();
+    }
+    remaining -= rate * span;
+    t = segment_end;
+    ++i;
+  }
+}
+
+}  // namespace soda::net

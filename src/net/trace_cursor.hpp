@@ -1,0 +1,69 @@
+// Stateful cursor over a ThroughputTrace.
+//
+// The simulator's clock only moves forward, but every ThroughputTrace query
+// is stateless: MegabitsBetween and TimeToDownload restart an upper_bound
+// over all samples on each call. A TraceCursor remembers the sample index of
+// the last query and relocates by scanning from that hint, so a monotone (or
+// near-monotone) sequence of queries costs amortized O(1) per call instead
+// of O(log n) — and the long TimeToDownload walks start at the right sample
+// instead of re-walking from the front.
+//
+// Bit-identity contract: every query returns the exact same double the
+// stateless ThroughputTrace method returns, for any query sequence — the
+// hint only changes how the active sample index is *found* (the index itself
+// is identical by definition: last sample with time_s <= t), while all
+// arithmetic expressions are replicated verbatim from trace.cpp.
+// net_trace_cursor_test fuzzes this equivalence with exact == on doubles.
+//
+// Queries may go backward in time; the cursor scans backward from the hint,
+// which is only slow if the jump is large. Rebind() switches the cursor to
+// another trace (e.g. on CDN failover) and resets the hints.
+#pragma once
+
+#include <cstddef>
+
+#include "net/trace.hpp"
+
+namespace soda::net {
+
+class TraceCursor {
+ public:
+  explicit TraceCursor(const ThroughputTrace& trace) : trace_(&trace) {}
+
+  // Points the cursor at a different trace and forgets the hints.
+  void Rebind(const ThroughputTrace& trace) noexcept {
+    trace_ = &trace;
+    start_hint_ = 0;
+    end_hint_ = 0;
+  }
+
+  [[nodiscard]] const ThroughputTrace& Trace() const noexcept {
+    return *trace_;
+  }
+
+  // Moves the primary hint to the sample active at time t. Optional: every
+  // query relocates itself; Advance just pre-pays the scan.
+  void Advance(double t) noexcept { start_hint_ = Seek(t, start_hint_); }
+
+  // The three queries below return bit-identical results to the
+  // corresponding ThroughputTrace methods (see the header comment).
+  [[nodiscard]] double ThroughputAt(double t) noexcept;
+  [[nodiscard]] double MegabitsBetween(double t0, double t1) noexcept;
+  [[nodiscard]] double TimeToDownload(double start_s, double megabits) noexcept;
+
+ private:
+  // Index of the sample active at time t (last sample with time_s <= t),
+  // found by scanning from `hint`. Matches ThroughputTrace::IndexAt for
+  // every t, including t < 0 (clamps to 0).
+  [[nodiscard]] std::size_t Seek(double t, std::size_t hint) const noexcept;
+
+  const ThroughputTrace* trace_;
+  // Hints for interval queries: start_hint_ tracks the (monotone) query
+  // start time, end_hint_ the interval end, which may run ahead of the
+  // start (e.g. abandonment probes at now + k*dt) without dragging the
+  // start hint forward.
+  std::size_t start_hint_ = 0;
+  std::size_t end_hint_ = 0;
+};
+
+}  // namespace soda::net

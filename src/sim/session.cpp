@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "fault/impairment.hpp"
+#include "net/trace_cursor.hpp"
 #include "util/ensure.hpp"
 #include "util/rng.hpp"
 
@@ -56,6 +57,15 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
 
   SessionLog log;
   const double seg_s = video.SegmentSeconds();
+  {
+    // Reserve the expected segment count up front; corpus evaluation runs
+    // thousands of sessions and the push_back growth shows up in profiles.
+    double expected = trace.DurationS() / seg_s + 1.0;
+    if (config.max_segments >= 0) {
+      expected = std::min(expected, static_cast<double>(config.max_segments));
+    }
+    log.segments.reserve(static_cast<std::size_t>(std::min(expected, 1.0e6)));
+  }
   double now = 0.0;
   double buffer = 0.0;
   bool playing = false;
@@ -73,6 +83,10 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
   // Transport-fault state: the active trace switches to the secondary CDN
   // on failover; attempt streams are counter-based off the session seed.
   const net::ThroughputTrace* active = &trace;
+  // All download/wait timing goes through a cursor: session time only moves
+  // forward, so the hint-based lookups are amortized O(1) while returning
+  // bit-identical values to the stateless trace queries.
+  net::TraceCursor cursor(*active);
   const bool transport_on = faults != nullptr && faults->transport.Enabled();
   bool failed_over = false;
   std::uint64_t attempt_counter = 0;
@@ -204,7 +218,7 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
           ++log.timeout_count;
         } else if (u < tf.timeout_prob + tf.fail_prob) {
           // The connection drops partway through the transfer.
-          const double full_s = active->TimeToDownload(now, size_mb);
+          const double full_s = cursor.TimeToDownload(now, size_mb);
           if (!std::isfinite(full_s)) {
             starved_in_faults = true;
             break;
@@ -212,7 +226,7 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
           const double frac =
               stream.Uniform(tf.fail_frac_lo, tf.fail_frac_hi);
           lost_s = request_rtt(now) + frac * full_s;
-          waste_mb = active->MegabitsBetween(now, now + lost_s);
+          waste_mb = cursor.MegabitsBetween(now, now + lost_s);
         } else {
           break;  // this attempt succeeds
         }
@@ -249,6 +263,7 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
         if (tf.failover && !failed_over && faults->secondary.has_value() &&
             attempts - 1 >= tf.failover_after) {
           active = &*faults->secondary;
+          cursor.Rebind(*active);
           failed_over = true;
           failed_over_here = true;
           ++log.failover_count;
@@ -270,7 +285,7 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
 
     // 4) Download, with optional mid-flight abandonment.
     const double rtt_s = request_rtt(now);
-    double transfer_s = active->TimeToDownload(now, size_mb);
+    double transfer_s = cursor.TimeToDownload(now, size_mb);
     if (!std::isfinite(transfer_s)) {
       log.starved = true;
       break;
@@ -301,7 +316,7 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
       for (double checked_s = config.abandon_check_s; checked_s < transfer_s;
            checked_s += config.abandon_check_s) {
         const double delivered_mb =
-            active->MegabitsBetween(now, now + checked_s);
+            cursor.MegabitsBetween(now, now + checked_s);
         const double est_remaining_s =
             delivered_mb > 0.0
                 ? (size_mb - delivered_mb) * checked_s / delivered_mb
@@ -317,7 +332,7 @@ SessionLog RunSessionImpl(const net::ThroughputTrace& trace,
           now += abandon_elapsed_s;
           fetched_rung = video.Ladder().LowestRung();
           size_mb = video.SegmentSizeMb(index, fetched_rung);
-          transfer_s = active->TimeToDownload(now, size_mb);
+          transfer_s = cursor.TimeToDownload(now, size_mb);
           if (tracing) {
             obs::TraceEvent abandon;
             abandon.type = obs::EventType::kAbandon;

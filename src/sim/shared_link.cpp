@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "util/ensure.hpp"
+#include "util/indexed_heap.hpp"
 #include "util/stats.hpp"
 
 namespace soda::sim {
@@ -32,6 +34,386 @@ struct PlayerState {
   double stall_started_s = 0.0;
 };
 
+// Event budget guard: generous multiple of the expected event count
+// (roughly one completion plus one wait per segment per player). Computed
+// in double and clamped so long sessions with hundreds of players cannot
+// overflow (the old `static_cast<int>(session_s) * 50 * n` wrapped int and
+// truncated fractional sessions).
+std::int64_t MaxSharedLinkEvents(double session_s, std::size_t n) {
+  const double cap =
+      std::ceil(session_s) * 50.0 * static_cast<double>(n) + 1000.0;
+  if (cap >= 9.0e18) return std::numeric_limits<std::int64_t>::max();
+  return static_cast<std::int64_t>(cap);
+}
+
+// State and per-event handlers shared by both event-loop engines. The
+// engines differ only in event *discovery* (when is the next event, which
+// players it touches); everything that mutates player state — the playback
+// advance, completion handling, wait release, decision/download start —
+// lives here so the two loops execute byte-for-byte the same arithmetic.
+class LinkEngine {
+ public:
+  LinkEngine(std::vector<SharedLinkPlayer>& players,
+             const media::VideoModel& video, const SharedLinkConfig& config)
+      : players_(players),
+        video_(video),
+        config_(config),
+        n_(players.size()),
+        seg_s_(video.SegmentSeconds()),
+        states_(n_) {
+    result_.logs.resize(n_);
+    const double expected = config_.session_s / seg_s_ + 1.0;
+    for (auto& log : result_.logs) {
+      log.segments.reserve(
+          static_cast<std::size_t>(std::min(expected, 1.0e6)));
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      players_[i].controller->Reset();
+      players_[i].predictor->Reset();
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (TraceOn(i)) {
+        obs::TraceEvent start;
+        start.type = obs::EventType::kSessionStart;
+        start.duration_s = config_.session_s;
+        players_[i].tracer->Record(start);
+      }
+    }
+  }
+
+  [[nodiscard]] bool TraceOn(std::size_t i) const {
+    return players_[i].tracer != nullptr && players_[i].tracer->Enabled();
+  }
+
+  void StartDownload(std::size_t i) {
+    PlayerState& state = states_[i];
+    abr::Context context;
+    context.now_s = now_;
+    context.buffer_s = state.buffer_s;
+    context.prev_rung = state.prev_rung;
+    context.segment_index = state.index;
+    context.playing = state.playing;
+    context.max_buffer_s = config_.max_buffer_s;
+    context.video = &video_;
+    context.predictor = players_[i].predictor.get();
+    state.rung = players_[i].controller->ChooseRung(context);
+    SODA_ASSERT(video_.Ladder().IsValidRung(state.rung));
+    state.size_mb = video_.SegmentSizeMb(state.index, state.rung);
+    state.remaining_mb = state.size_mb;
+    state.request_s = now_;
+    state.rebuffer_during_download_s = 0.0;
+    state.phase = Phase::kDownloading;
+    if (TraceOn(i)) {
+      const abr::DecisionStats stats =
+          players_[i].controller->LastDecisionStats();
+      obs::TraceEvent decision;
+      decision.type = obs::EventType::kDecision;
+      decision.t_s = now_;
+      decision.segment = state.index;
+      decision.rung = state.rung;
+      decision.prev_rung = state.prev_rung;
+      decision.buffer_s = state.buffer_s;
+      decision.sequences_evaluated = stats.sequences_evaluated;
+      decision.nodes_expanded = stats.nodes_expanded;
+      decision.nodes_pruned = stats.nodes_pruned;
+      decision.warm_start_hit = stats.warm_start_used;
+      decision.from_table = stats.from_table;
+      decision.solver_fallback = stats.solver_fallback;
+      players_[i].tracer->Record(decision);
+      obs::TraceEvent dl;
+      dl.type = obs::EventType::kDownloadStart;
+      dl.t_s = now_;
+      dl.segment = state.index;
+      dl.rung = state.rung;
+      dl.value_mb = state.size_mb;
+      dl.buffer_s = state.buffer_s;
+      players_[i].tracer->Record(dl);
+    }
+  }
+
+  // One event step of playback drain and transfer progress for every
+  // player. This pass is inherently O(active players): the buffer drains
+  // and remaining-byte decrements are sequential floating-point updates
+  // whose values (and therefore rounding) are pinned by the bit-identity
+  // contract, so they cannot be batched or reassociated across events.
+  void AdvancePlayback(double share_mbps, double dt) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      PlayerState& state = states_[i];
+      if (state.playing) {
+        const double played = std::min(state.buffer_s, dt);
+        state.buffer_s -= played;
+        const double stalled = dt - played;
+        result_.logs[i].total_rebuffer_s += stalled;
+        if (state.phase == Phase::kDownloading) {
+          state.rebuffer_during_download_s += stalled;
+        }
+        if (TraceOn(i) && stalled > 0.0 && !state.in_stall) {
+          state.in_stall = true;
+          state.stall_started_s = now_ + played;
+          obs::TraceEvent stall;
+          stall.type = obs::EventType::kRebufferStart;
+          stall.t_s = state.stall_started_s;
+          stall.segment = state.index;
+          stall.buffer_s = state.buffer_s;
+          players_[i].tracer->Record(stall);
+        }
+      }
+      if (state.phase == Phase::kDownloading) {
+        state.remaining_mb -= share_mbps * dt;
+      }
+    }
+  }
+
+  // Finishes player i's in-flight download: logs the segment, feeds the
+  // predictor, and either starts the next download or parks the player in
+  // kWaiting when the buffer cannot fit another segment. Returns true in
+  // the waiting case so the caller can track the player's next event.
+  bool HandleCompletion(std::size_t i) {
+    PlayerState& state = states_[i];
+    const double download_s = now_ - state.request_s + config_.rtt_s;
+    state.buffer_s += seg_s_;
+    const bool started_playing = !state.playing;
+    if (!state.playing) state.playing = true;
+    if (TraceOn(i)) {
+      if (state.in_stall) {
+        state.in_stall = false;
+        obs::TraceEvent stall;
+        stall.type = obs::EventType::kRebufferEnd;
+        stall.t_s = now_;
+        stall.segment = state.index;
+        stall.duration_s = now_ - state.stall_started_s;
+        players_[i].tracer->Record(stall);
+      }
+      obs::TraceEvent dl;
+      dl.type = obs::EventType::kDownloadEnd;
+      dl.t_s = now_;
+      dl.segment = state.index;
+      dl.rung = state.rung;
+      dl.value_mb = state.size_mb;
+      dl.duration_s = download_s;
+      dl.buffer_s = state.buffer_s;
+      players_[i].tracer->Record(dl);
+      if (started_playing) {
+        obs::TraceEvent startup;
+        startup.type = obs::EventType::kStartup;
+        startup.t_s = now_;
+        startup.segment = state.index;
+        startup.buffer_s = state.buffer_s;
+        players_[i].tracer->Record(startup);
+      }
+    }
+    players_[i].predictor->Observe(
+        {state.request_s, std::max(now_ - state.request_s, 1e-9),
+         state.size_mb});
+
+    SegmentRecord record;
+    record.index = state.index;
+    record.rung = state.rung;
+    record.bitrate_mbps = video_.Ladder().BitrateMbps(state.rung);
+    record.size_mb = state.size_mb;
+    record.request_s = state.request_s;
+    record.download_s = download_s;
+    record.rebuffer_s = state.rebuffer_during_download_s;
+    record.buffer_after_s = state.buffer_s;
+    result_.logs[i].segments.push_back(record);
+
+    state.prev_rung = state.rung;
+    ++state.index;
+
+    if (state.buffer_s + seg_s_ > config_.max_buffer_s) {
+      state.phase = Phase::kWaiting;
+      state.wait_started_s = now_;
+      state.wait_until_s =
+          now_ + (state.buffer_s + seg_s_ - config_.max_buffer_s);
+      return true;
+    }
+    StartDownload(i);
+    return false;
+  }
+
+  void HandleWaitExpiry(std::size_t i) {
+    PlayerState& state = states_[i];
+    result_.logs[i].total_wait_s += now_ - state.wait_started_s;
+    if (TraceOn(i)) {
+      obs::TraceEvent wait;
+      wait.type = obs::EventType::kWait;
+      wait.t_s = now_;
+      wait.segment = state.index;
+      wait.duration_s = now_ - state.wait_started_s;
+      players_[i].tracer->Record(wait);
+    }
+    StartDownload(i);
+  }
+
+  SharedLinkResult Finalize() {
+    std::vector<double> mean_bitrates;
+    RunningStats switch_rates;
+    RunningStats rebuffers;
+    for (std::size_t i = 0; i < n_; ++i) {
+      result_.logs[i].session_s = config_.session_s;
+      if (TraceOn(i)) {
+        obs::TraceEvent end;
+        end.type = obs::EventType::kSessionEnd;
+        end.t_s = config_.session_s;
+        end.buffer_s = states_[i].buffer_s;
+        players_[i].tracer->Record(end);
+      }
+      mean_bitrates.push_back(result_.logs[i].MeanBitrateMbps());
+      const auto segments = result_.logs[i].SegmentCount();
+      if (segments > 1) {
+        switch_rates.Add(static_cast<double>(result_.logs[i].SwitchCount()) /
+                         static_cast<double>(segments - 1));
+      }
+      rebuffers.Add(result_.logs[i].total_rebuffer_s);
+    }
+    result_.bitrate_fairness = JainFairness(mean_bitrates);
+    result_.mean_switch_rate = switch_rates.Mean();
+    result_.mean_rebuffer_s = rebuffers.Mean();
+    return std::move(result_);
+  }
+
+  // The original event loop: every iteration scans all players four times
+  // (count actives, find the next event, advance state, detect completions
+  // and expirations). Kept verbatim as the differential oracle for the
+  // incremental engine.
+  void RunReference() {
+    std::int64_t guard = 0;
+    const std::int64_t max_events =
+        MaxSharedLinkEvents(config_.session_s, n_);
+
+    for (std::size_t i = 0; i < n_; ++i) StartDownload(i);
+
+    while (now_ < config_.session_s && ++guard < max_events) {
+      // Per-player share of the bottleneck.
+      int active = 0;
+      for (const auto& state : states_) {
+        if (state.phase == Phase::kDownloading) ++active;
+      }
+      const double share_mbps =
+          active > 0 ? config_.link_capacity_mbps / active : 0.0;
+
+      // Next event time.
+      double next = config_.session_s;
+      for (const auto& state : states_) {
+        if (state.phase == Phase::kDownloading && share_mbps > 0.0) {
+          next = std::min(next, now_ + state.remaining_mb / share_mbps);
+        } else if (state.phase == Phase::kWaiting) {
+          next = std::min(next, state.wait_until_s);
+        }
+      }
+      const double dt = std::max(next - now_, 1e-9);
+
+      AdvancePlayback(share_mbps, dt);
+      now_ = next;
+      if (now_ >= config_.session_s) break;
+
+      // Handle completions and wait expirations.
+      for (std::size_t i = 0; i < n_; ++i) {
+        PlayerState& state = states_[i];
+        if (state.phase == Phase::kDownloading &&
+            state.remaining_mb <= 1e-9) {
+          HandleCompletion(i);
+        } else if (state.phase == Phase::kWaiting &&
+                   now_ >= state.wait_until_s - 1e-9) {
+          HandleWaitExpiry(i);
+        }
+      }
+    }
+  }
+
+  // Incremental event loop. Event discovery is O(log n) per event:
+  //  - the active-download count is the size of the `downloads` heap;
+  //  - the next completion comes from a min-heap over remaining_mb. Every
+  //    in-flight transfer loses the same share * dt per event, and a
+  //    uniform decrement preserves pairwise floating-point order, so the
+  //    heap stays valid without per-event rebuilds (see indexed_heap.hpp);
+  //  - the next wait release comes from a min-heap over wait_until_s.
+  // The per-event state advance (AdvancePlayback) remains O(active): its
+  // sequential FP updates are pinned by the bit-identity contract.
+  //
+  // Equivalence with RunReference: both process, at each event time, the
+  // same completion set {downloading, remaining <= 1e-9} and the same
+  // release set {waiting since before this event, now >= wait_until - 1e-9}.
+  // The reference visits players in index order with one branch per player
+  // per pass, so a completion that re-enters kWaiting is never released in
+  // the same pass; here the release loop runs *before* the completion loop
+  // so freshly parked players likewise wait for the next event. Processing
+  // order among distinct players is output-invariant — every handler
+  // touches only player i's state, log, controller, predictor, and tracer.
+  void RunIncremental() {
+    std::int64_t guard = 0;
+    const std::int64_t max_events =
+        MaxSharedLinkEvents(config_.session_s, n_);
+
+    const auto remaining_key = [this](std::size_t i) {
+      return states_[i].remaining_mb;
+    };
+    const auto wait_key = [this](std::size_t i) {
+      return states_[i].wait_until_s;
+    };
+    util::IndexedMinHeap<decltype(remaining_key)> downloads(remaining_key,
+                                                            n_);
+    util::IndexedMinHeap<decltype(wait_key)> waits(wait_key, n_);
+
+    for (std::size_t i = 0; i < n_; ++i) {
+      StartDownload(i);
+      downloads.Push(i);
+    }
+
+    while (now_ < config_.session_s && ++guard < max_events) {
+      const int active = static_cast<int>(downloads.Size());
+      const double share_mbps =
+          active > 0 ? config_.link_capacity_mbps / active : 0.0;
+
+      // The earliest completion is the smallest remaining_mb (the shared
+      // rate makes time-to-finish monotone in bytes left); the earliest
+      // release is the smallest wait_until_s.
+      double next = config_.session_s;
+      if (active > 0 && share_mbps > 0.0) {
+        next = std::min(
+            next, now_ + states_[downloads.Top()].remaining_mb / share_mbps);
+      }
+      if (!waits.Empty()) {
+        next = std::min(next, states_[waits.Top()].wait_until_s);
+      }
+      const double dt = std::max(next - now_, 1e-9);
+
+      AdvancePlayback(share_mbps, dt);
+      now_ = next;
+      if (now_ >= config_.session_s) break;
+
+      while (!waits.Empty() &&
+             now_ >= states_[waits.Top()].wait_until_s - 1e-9) {
+        const std::size_t i = waits.PopTop();
+        HandleWaitExpiry(i);
+        downloads.Push(i);
+      }
+      while (!downloads.Empty() &&
+             states_[downloads.Top()].remaining_mb <= 1e-9) {
+        const std::size_t i = downloads.Top();
+        if (HandleCompletion(i)) {
+          downloads.PopTop();
+          waits.Push(i);
+        } else {
+          // The player went straight into its next download: its key was
+          // reassigned in place, so one re-sift replaces the pop + push.
+          downloads.ResiftTop();
+        }
+      }
+    }
+  }
+
+ private:
+  std::vector<SharedLinkPlayer>& players_;
+  const media::VideoModel& video_;
+  const SharedLinkConfig& config_;
+  const std::size_t n_;
+  const double seg_s_;
+  std::vector<PlayerState> states_;
+  SharedLinkResult result_;
+  double now_ = 0.0;
+};
+
 }  // namespace
 
 double JainFairness(const std::vector<double>& values) {
@@ -55,237 +437,13 @@ SharedLinkResult RunSharedLink(std::vector<SharedLinkPlayer> players,
               "max buffer must exceed one segment");
   SODA_ENSURE(config.session_s > 0.0, "session length must be positive");
 
-  const std::size_t n = players.size();
-  const double seg_s = video.SegmentSeconds();
-  std::vector<PlayerState> states(n);
-  SharedLinkResult result;
-  result.logs.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    players[i].controller->Reset();
-    players[i].predictor->Reset();
+  LinkEngine engine(players, video, config);
+  if (config.engine == SharedLinkEngine::kReference) {
+    engine.RunReference();
+  } else {
+    engine.RunIncremental();
   }
-
-  double now = 0.0;
-  // A constant-capacity trace view handed to controllers via the predictor
-  // (predictors learn rates from completed downloads, as in real players).
-  int guard = 0;
-  const int max_events = static_cast<int>(config.session_s) * 50 *
-                         static_cast<int>(n) + 1000;
-
-  const auto trace_on = [&](std::size_t i) {
-    return players[i].tracer != nullptr && players[i].tracer->Enabled();
-  };
-
-  auto start_download = [&](std::size_t i) {
-    PlayerState& state = states[i];
-    abr::Context context;
-    context.now_s = now;
-    context.buffer_s = state.buffer_s;
-    context.prev_rung = state.prev_rung;
-    context.segment_index = state.index;
-    context.playing = state.playing;
-    context.max_buffer_s = config.max_buffer_s;
-    context.video = &video;
-    context.predictor = players[i].predictor.get();
-    state.rung = players[i].controller->ChooseRung(context);
-    SODA_ASSERT(video.Ladder().IsValidRung(state.rung));
-    state.size_mb = video.SegmentSizeMb(state.index, state.rung);
-    state.remaining_mb = state.size_mb;
-    state.request_s = now;
-    state.rebuffer_during_download_s = 0.0;
-    state.phase = Phase::kDownloading;
-    if (trace_on(i)) {
-      const abr::DecisionStats stats =
-          players[i].controller->LastDecisionStats();
-      obs::TraceEvent decision;
-      decision.type = obs::EventType::kDecision;
-      decision.t_s = now;
-      decision.segment = state.index;
-      decision.rung = state.rung;
-      decision.prev_rung = state.prev_rung;
-      decision.buffer_s = state.buffer_s;
-      decision.sequences_evaluated = stats.sequences_evaluated;
-      decision.nodes_expanded = stats.nodes_expanded;
-      decision.nodes_pruned = stats.nodes_pruned;
-      decision.warm_start_hit = stats.warm_start_used;
-      decision.from_table = stats.from_table;
-      decision.solver_fallback = stats.solver_fallback;
-      players[i].tracer->Record(decision);
-      obs::TraceEvent dl;
-      dl.type = obs::EventType::kDownloadStart;
-      dl.t_s = now;
-      dl.segment = state.index;
-      dl.rung = state.rung;
-      dl.value_mb = state.size_mb;
-      dl.buffer_s = state.buffer_s;
-      players[i].tracer->Record(dl);
-    }
-  };
-
-  for (std::size_t i = 0; i < n; ++i) {
-    if (trace_on(i)) {
-      obs::TraceEvent start;
-      start.type = obs::EventType::kSessionStart;
-      start.duration_s = config.session_s;
-      players[i].tracer->Record(start);
-    }
-  }
-
-  // Initial decisions.
-  for (std::size_t i = 0; i < n; ++i) start_download(i);
-
-  while (now < config.session_s && ++guard < max_events) {
-    // Per-player share of the bottleneck.
-    int active = 0;
-    for (const auto& state : states) {
-      if (state.phase == Phase::kDownloading) ++active;
-    }
-    const double share_mbps =
-        active > 0 ? config.link_capacity_mbps / active : 0.0;
-
-    // Next event time.
-    double next = config.session_s;
-    for (const auto& state : states) {
-      if (state.phase == Phase::kDownloading && share_mbps > 0.0) {
-        next = std::min(next, now + state.remaining_mb / share_mbps);
-      } else if (state.phase == Phase::kWaiting) {
-        next = std::min(next, state.wait_until_s);
-      }
-    }
-    const double dt = std::max(next - now, 1e-9);
-
-    // Advance playback and transfers.
-    for (std::size_t i = 0; i < n; ++i) {
-      PlayerState& state = states[i];
-      if (state.playing) {
-        const double played = std::min(state.buffer_s, dt);
-        state.buffer_s -= played;
-        const double stalled = dt - played;
-        result.logs[i].total_rebuffer_s += stalled;
-        if (state.phase == Phase::kDownloading) {
-          state.rebuffer_during_download_s += stalled;
-        }
-        if (trace_on(i) && stalled > 0.0 && !state.in_stall) {
-          state.in_stall = true;
-          state.stall_started_s = now + played;
-          obs::TraceEvent stall;
-          stall.type = obs::EventType::kRebufferStart;
-          stall.t_s = state.stall_started_s;
-          stall.segment = state.index;
-          stall.buffer_s = state.buffer_s;
-          players[i].tracer->Record(stall);
-        }
-      }
-      if (state.phase == Phase::kDownloading) {
-        state.remaining_mb -= share_mbps * dt;
-      }
-    }
-    now = next;
-    if (now >= config.session_s) break;
-
-    // Handle completions and wait expirations.
-    for (std::size_t i = 0; i < n; ++i) {
-      PlayerState& state = states[i];
-      if (state.phase == Phase::kDownloading && state.remaining_mb <= 1e-9) {
-        const double download_s = now - state.request_s + config.rtt_s;
-        state.buffer_s += seg_s;
-        const bool started_playing = !state.playing;
-        if (!state.playing) state.playing = true;
-        if (trace_on(i)) {
-          if (state.in_stall) {
-            state.in_stall = false;
-            obs::TraceEvent stall;
-            stall.type = obs::EventType::kRebufferEnd;
-            stall.t_s = now;
-            stall.segment = state.index;
-            stall.duration_s = now - state.stall_started_s;
-            players[i].tracer->Record(stall);
-          }
-          obs::TraceEvent dl;
-          dl.type = obs::EventType::kDownloadEnd;
-          dl.t_s = now;
-          dl.segment = state.index;
-          dl.rung = state.rung;
-          dl.value_mb = state.size_mb;
-          dl.duration_s = download_s;
-          dl.buffer_s = state.buffer_s;
-          players[i].tracer->Record(dl);
-          if (started_playing) {
-            obs::TraceEvent startup;
-            startup.type = obs::EventType::kStartup;
-            startup.t_s = now;
-            startup.segment = state.index;
-            startup.buffer_s = state.buffer_s;
-            players[i].tracer->Record(startup);
-          }
-        }
-        players[i].predictor->Observe(
-            {state.request_s, std::max(now - state.request_s, 1e-9),
-             state.size_mb});
-
-        SegmentRecord record;
-        record.index = state.index;
-        record.rung = state.rung;
-        record.bitrate_mbps = video.Ladder().BitrateMbps(state.rung);
-        record.size_mb = state.size_mb;
-        record.request_s = state.request_s;
-        record.download_s = download_s;
-        record.rebuffer_s = state.rebuffer_during_download_s;
-        record.buffer_after_s = state.buffer_s;
-        result.logs[i].segments.push_back(record);
-
-        state.prev_rung = state.rung;
-        ++state.index;
-
-        if (state.buffer_s + seg_s > config.max_buffer_s) {
-          state.phase = Phase::kWaiting;
-          state.wait_started_s = now;
-          state.wait_until_s =
-              now + (state.buffer_s + seg_s - config.max_buffer_s);
-        } else {
-          start_download(i);
-        }
-      } else if (state.phase == Phase::kWaiting &&
-                 now >= state.wait_until_s - 1e-9) {
-        result.logs[i].total_wait_s += now - state.wait_started_s;
-        if (trace_on(i)) {
-          obs::TraceEvent wait;
-          wait.type = obs::EventType::kWait;
-          wait.t_s = now;
-          wait.segment = state.index;
-          wait.duration_s = now - state.wait_started_s;
-          players[i].tracer->Record(wait);
-        }
-        start_download(i);
-      }
-    }
-  }
-
-  // Aggregates.
-  std::vector<double> mean_bitrates;
-  RunningStats switch_rates;
-  RunningStats rebuffers;
-  for (std::size_t i = 0; i < n; ++i) {
-    result.logs[i].session_s = config.session_s;
-    if (trace_on(i)) {
-      obs::TraceEvent end;
-      end.type = obs::EventType::kSessionEnd;
-      end.t_s = config.session_s;
-      end.buffer_s = states[i].buffer_s;
-      players[i].tracer->Record(end);
-    }
-    mean_bitrates.push_back(result.logs[i].MeanBitrateMbps());
-    const auto segments = result.logs[i].SegmentCount();
-    if (segments > 1) {
-      switch_rates.Add(static_cast<double>(result.logs[i].SwitchCount()) /
-                       static_cast<double>(segments - 1));
-    }
-    rebuffers.Add(result.logs[i].total_rebuffer_s);
-  }
-  result.bitrate_fairness = JainFairness(mean_bitrates);
-  result.mean_switch_rate = switch_rates.Mean();
-  result.mean_rebuffer_s = rebuffers.Mean();
-  return result;
+  return engine.Finalize();
 }
 
 }  // namespace soda::sim

@@ -23,6 +23,14 @@
 
 namespace soda::sim {
 
+// Event-loop engine selector. kIncremental discovers events with a
+// maintained active-download count and indexed min-heaps over completion
+// and wait-expiry times (O(log n) per event instead of full scans of all
+// players); kReference is the original scan-everything loop, kept as the
+// differential oracle. Both engines produce bit-identical SessionLogs,
+// trace events, and aggregates (sim_shared_link_engine_test pins this).
+enum class SharedLinkEngine { kIncremental, kReference };
+
 struct SharedLinkConfig {
   double max_buffer_s = 20.0;
   double rtt_s = 0.05;
@@ -30,6 +38,7 @@ struct SharedLinkConfig {
   // Fraction of link capacity each active downloader receives is
   // 1/active_count; idle players consume nothing.
   double link_capacity_mbps = 20.0;
+  SharedLinkEngine engine = SharedLinkEngine::kIncremental;
 };
 
 struct SharedLinkPlayer {
@@ -37,7 +46,9 @@ struct SharedLinkPlayer {
   predict::PredictorPtr predictor;
   // Optional per-player event tracer (not owned). Observation-only: the
   // shared-link arithmetic never depends on it, so results are identical
-  // with tracing on or off.
+  // with tracing on or off. Each player needs its own tracer — sharing one
+  // instance across players would interleave events in engine-dependent
+  // order among simultaneous per-player events.
   obs::EventTracer* tracer = nullptr;
 };
 

@@ -1,0 +1,98 @@
+// Binary min-heap of integer handles ordered by a live key functor.
+//
+// The heap stores small handles (player indices, slot ids); ordering comes
+// from `key(handle)` evaluated at comparison time, not from a key copied at
+// push time. That makes one mutation pattern safe that std::priority_queue
+// cannot express: *uniform decay*, where every member's key changes by the
+// same amount between heap operations. Pairwise order is preserved under a
+// common shift (floating-point rounding is monotone: a <= b implies
+// fl(a - c) <= fl(b - c)), so the heap invariant survives without resifting.
+// The shared-link engine relies on this — all in-flight downloads lose the
+// same share * dt megabits per event, so their completion order never
+// changes between events.
+//
+// Mutating a member's key non-uniformly while it is in the heap is NOT
+// supported; pop it first (keys assigned before a Push are fine).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace soda::util {
+
+template <typename KeyFn>
+class IndexedMinHeap {
+ public:
+  explicit IndexedMinHeap(KeyFn key, std::size_t capacity = 0)
+      : key_(std::move(key)) {
+    heap_.reserve(capacity);
+  }
+
+  [[nodiscard]] bool Empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t Size() const noexcept { return heap_.size(); }
+
+  // Handle with the minimum key. Ties break arbitrarily.
+  [[nodiscard]] std::size_t Top() const noexcept { return heap_.front(); }
+
+  void Push(std::size_t handle) {
+    heap_.push_back(handle);
+    SiftUp(heap_.size() - 1);
+  }
+
+  std::size_t PopTop() {
+    const std::size_t top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+    return top;
+  }
+
+  // Re-establishes the heap property after the TOP handle's key was
+  // reassigned (typically increased). Equivalent to PopTop() + Push(top)
+  // of the same handle, at the cost of one sift instead of two.
+  void ResiftTop() {
+    if (!heap_.empty()) SiftDown(0);
+  }
+
+  void Clear() noexcept { heap_.clear(); }
+
+  // The member handles in heap order (front() is the minimum; the rest is
+  // unspecified). Exposed for iterating the member set without popping.
+  [[nodiscard]] const std::vector<std::size_t>& Handles() const noexcept {
+    return heap_;
+  }
+
+ private:
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(key_(heap_[i]) < key_(heap_[parent]))) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    const std::size_t size = heap_.size();
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (left < size && key_(heap_[left]) < key_(heap_[smallest])) {
+        smallest = left;
+      }
+      if (right < size && key_(heap_[right]) < key_(heap_[smallest])) {
+        smallest = right;
+      }
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<std::size_t> heap_;
+  KeyFn key_;
+};
+
+}  // namespace soda::util

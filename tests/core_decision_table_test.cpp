@@ -1,0 +1,180 @@
+// Shared decision-table cache: instances with the same geometry adopt one
+// immutable table; sharing is bit-identical to private per-instance builds
+// (same cells, same decisions, same session logs, any thread count).
+#include "core/decision_table.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cached_controller.hpp"
+#include "media/quality.hpp"
+#include "media/video_model.hpp"
+#include "net/generators.hpp"
+#include "predict/ema.hpp"
+#include "qoe/eval.hpp"
+#include "sim/session.hpp"
+#include "tests/test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace soda::core {
+namespace {
+
+media::BitrateLadder TestLadder() {
+  return media::BitrateLadder({1.0, 2.5, 5.0, 8.0});
+}
+
+TEST(DecisionTableCache, InstancesWithSameGeometryShareOneTable) {
+  ClearDecisionTableCacheForTesting();
+  soda::testing::ContextFixture fixture(TestLadder());
+  CachedDecisionController a;
+  CachedDecisionController b;
+  (void)a.ChooseRung(fixture.Make(8.0, 1));
+  (void)b.ChooseRung(fixture.Make(4.0, 2));
+  ASSERT_NE(a.Table(), nullptr);
+  EXPECT_EQ(a.Table().get(), b.Table().get());
+  EXPECT_EQ(DecisionTableCacheSize(), 1u);
+  // Each instance saw one geometry (one adoption), even though only one
+  // build ran process-wide.
+  EXPECT_EQ(a.GetStats().table_builds, 1);
+  EXPECT_EQ(b.GetStats().table_builds, 1);
+}
+
+TEST(DecisionTableCache, PrivateBuildMatchesSharedBitwise) {
+  ClearDecisionTableCacheForTesting();
+  soda::testing::ContextFixture fixture(TestLadder());
+  CachedControllerConfig private_config;
+  private_config.share_table = false;
+  CachedDecisionController shared;
+  CachedDecisionController priv(private_config);
+  (void)shared.ChooseRung(fixture.Make(8.0, 1));
+  (void)priv.ChooseRung(fixture.Make(8.0, 1));
+
+  ASSERT_NE(shared.Table(), nullptr);
+  ASSERT_NE(priv.Table(), nullptr);
+  EXPECT_NE(shared.Table().get(), priv.Table().get());
+  const DecisionTable& s = *shared.Table();
+  const DecisionTable& p = *priv.Table();
+  ASSERT_EQ(s.buffer_axis.size(), p.buffer_axis.size());
+  ASSERT_EQ(s.throughput_axis.size(), p.throughput_axis.size());
+  for (std::size_t i = 0; i < s.buffer_axis.size(); ++i) {
+    EXPECT_EQ(s.buffer_axis[i], p.buffer_axis[i]);
+  }
+  for (std::size_t i = 0; i < s.throughput_axis.size(); ++i) {
+    EXPECT_EQ(s.throughput_axis[i], p.throughput_axis[i]);
+  }
+  EXPECT_EQ(s.log_min_mbps, p.log_min_mbps);
+  EXPECT_EQ(s.inv_log_step, p.inv_log_step);
+  EXPECT_EQ(s.rung_count, p.rung_count);
+  ASSERT_EQ(s.cells.size(), p.cells.size());
+  EXPECT_EQ(s.cells, p.cells);
+}
+
+TEST(DecisionTableCache, DistinctConfigurationsGetDistinctTables) {
+  ClearDecisionTableCacheForTesting();
+  soda::testing::ContextFixture fixture(TestLadder());
+  CachedControllerConfig wide;
+  wide.max_mbps = 200.0;
+  CachedDecisionController a;
+  CachedDecisionController b(wide);
+  (void)a.ChooseRung(fixture.Make(8.0, 1));
+  (void)b.ChooseRung(fixture.Make(8.0, 1));
+  EXPECT_NE(a.Table().get(), b.Table().get());
+  EXPECT_EQ(DecisionTableCacheSize(), 2u);
+}
+
+TEST(DecisionTableCache, KeyCoversLadderAndGrid) {
+  const media::BitrateLadder ladder_a = TestLadder();
+  const media::BitrateLadder ladder_b({1.0, 2.5, 5.0, 8.5});
+  CostModelConfig mc;
+  SodaConfig base;
+  const std::string key =
+      DecisionTableKey(ladder_a, mc, base, 48, 64, 0.2, 150.0);
+  EXPECT_EQ(key, DecisionTableKey(ladder_a, mc, base, 48, 64, 0.2, 150.0));
+  EXPECT_NE(key, DecisionTableKey(ladder_b, mc, base, 48, 64, 0.2, 150.0));
+  EXPECT_NE(key, DecisionTableKey(ladder_a, mc, base, 48, 64, 0.2, 151.0));
+  EXPECT_NE(key, DecisionTableKey(ladder_a, mc, base, 47, 64, 0.2, 150.0));
+  CostModelConfig mc_shifted = mc;
+  mc_shifted.target_buffer_s += 1e-12;
+  EXPECT_NE(key,
+            DecisionTableKey(ladder_a, mc_shifted, base, 48, 64, 0.2, 150.0));
+}
+
+TEST(DecisionTableCache, SessionsIdenticalSharedVsPrivate) {
+  ClearDecisionTableCacheForTesting();
+  const media::VideoModel video(TestLadder(), {.segment_seconds = 2.0});
+  CachedControllerConfig private_config;
+  private_config.share_table = false;
+  CachedDecisionController shared;
+  CachedDecisionController priv(private_config);
+
+  Rng rng(42);
+  net::RandomWalkConfig walk;
+  walk.duration_s = 300.0;
+  for (int i = 0; i < 4; ++i) {
+    const net::ThroughputTrace trace = net::RandomWalkTrace(walk, rng);
+    sim::SimConfig config;
+    predict::EmaPredictor predictor_a;
+    predict::EmaPredictor predictor_b;
+    const sim::SessionLog log_a =
+        sim::RunSession(trace, shared, predictor_a, video, config);
+    const sim::SessionLog log_b =
+        sim::RunSession(trace, priv, predictor_b, video, config);
+    ASSERT_EQ(log_a.segments.size(), log_b.segments.size());
+    for (std::size_t s = 0; s < log_a.segments.size(); ++s) {
+      EXPECT_EQ(log_a.segments[s].rung, log_b.segments[s].rung);
+      EXPECT_EQ(log_a.segments[s].download_s, log_b.segments[s].download_s);
+      EXPECT_EQ(log_a.segments[s].buffer_after_s,
+                log_b.segments[s].buffer_after_s);
+    }
+    EXPECT_EQ(log_a.total_rebuffer_s, log_b.total_rebuffer_s);
+    EXPECT_EQ(log_a.total_wait_s, log_b.total_wait_s);
+    EXPECT_EQ(log_a.startup_s, log_b.startup_s);
+  }
+}
+
+TEST(DecisionTableCache, EvalBitIdenticalAtAnyThreadCount) {
+  ClearDecisionTableCacheForTesting();
+  const media::BitrateLadder ladder = TestLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+  Rng rng(7);
+  net::RandomWalkConfig walk;
+  walk.duration_s = 240.0;
+  std::vector<net::ThroughputTrace> sessions;
+  for (int i = 0; i < 6; ++i) sessions.push_back(net::RandomWalkTrace(walk, rng));
+
+  qoe::EvalConfig config;
+  config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
+    return u.At(mbps);
+  };
+  const auto make_controller = [] {
+    return std::make_unique<CachedDecisionController>();
+  };
+  const auto make_predictor = [](const net::ThroughputTrace&) {
+    return std::make_unique<predict::EmaPredictor>();
+  };
+
+  config.threads = 1;
+  const qoe::EvalResult serial = qoe::EvaluateController(
+      sessions, make_controller, make_predictor, video, config);
+  config.threads = 3;
+  const qoe::EvalResult parallel = qoe::EvaluateController(
+      sessions, make_controller, make_predictor, video, config);
+
+  ASSERT_EQ(serial.per_session.size(), parallel.per_session.size());
+  for (std::size_t i = 0; i < serial.per_session.size(); ++i) {
+    EXPECT_EQ(serial.per_session[i].qoe, parallel.per_session[i].qoe);
+    EXPECT_EQ(serial.per_session[i].mean_utility,
+              parallel.per_session[i].mean_utility);
+    EXPECT_EQ(serial.per_session[i].rebuffer_ratio,
+              parallel.per_session[i].rebuffer_ratio);
+    EXPECT_EQ(serial.per_session[i].switch_rate,
+              parallel.per_session[i].switch_rate);
+  }
+  EXPECT_EQ(serial.aggregate.qoe.Mean(), parallel.aggregate.qoe.Mean());
+}
+
+}  // namespace
+}  // namespace soda::core

@@ -1,0 +1,123 @@
+// Differential fuzz: TraceCursor must return bit-identical doubles to the
+// stateless ThroughputTrace queries for any query sequence — monotone
+// forward (the simulator's pattern), probes running ahead of the start
+// time (abandonment checks), and occasional backward jumps. Exact == on
+// every comparison; no tolerances.
+#include "net/trace_cursor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/generators.hpp"
+#include "net/trace.hpp"
+#include "util/rng.hpp"
+
+namespace soda::net {
+namespace {
+
+std::vector<ThroughputTrace> FuzzTraces() {
+  std::vector<ThroughputTrace> traces;
+  traces.push_back(ConstantTrace(5.0, 120.0));
+  traces.push_back(StepTrace({8.0, 2.0, 0.5, 12.0, 3.0}, 7.5));
+  traces.push_back(SquareWaveTrace(0.8, 9.0, 13.0, 400.0));
+  Rng rng(20240805);
+  RandomWalkConfig walk;
+  walk.duration_s = 600.0;
+  walk.dt_s = 0.5;
+  traces.push_back(RandomWalkTrace(walk, rng));
+  walk.mean_mbps = 1.5;
+  walk.stationary_rel_std = 1.0;
+  traces.push_back(RandomWalkTrace(walk, rng));
+  // Zero-rate tail: TimeToDownload must return +inf once demand outlives
+  // the deliverable bytes.
+  traces.push_back(
+      ThroughputTrace({{0.0, 6.0}, {10.0, 0.0}}, 50.0));
+  // Zero-rate hole in the middle.
+  traces.push_back(
+      ThroughputTrace({{0.0, 4.0}, {5.0, 0.0}, {20.0, 4.0}}, 60.0));
+  return traces;
+}
+
+TEST(TraceCursor, MatchesStatelessQueriesUnderFuzz) {
+  for (const ThroughputTrace& trace : FuzzTraces()) {
+    SCOPED_TRACE("trace duration " + std::to_string(trace.DurationS()));
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      Rng rng(seed * 977);
+      TraceCursor cursor(trace);
+      // Start occasionally below zero: the clamp must match.
+      double now = seed % 3 == 0 ? -1.5 : 0.0;
+      for (int step = 0; step < 400; ++step) {
+        const double op = rng.NextDouble();
+        if (op < 0.3) {
+          const double size = rng.Uniform(0.0, 40.0);
+          EXPECT_EQ(cursor.TimeToDownload(now, size),
+                    trace.TimeToDownload(now, size));
+        } else if (op < 0.55) {
+          const double span = rng.Uniform(0.0, 30.0);
+          EXPECT_EQ(cursor.MegabitsBetween(now, now + span),
+                    trace.MegabitsBetween(now, now + span));
+        } else if (op < 0.65) {
+          // Degenerate/backward interval.
+          EXPECT_EQ(cursor.MegabitsBetween(now, now - 2.0),
+                    trace.MegabitsBetween(now, now - 2.0));
+        } else if (op < 0.75) {
+          EXPECT_EQ(cursor.ThroughputAt(now), trace.ThroughputAt(now));
+        } else if (op < 0.85) {
+          // Probe far ahead without advancing the clock (abandonment-style
+          // checks at now + k * dt).
+          const double k = rng.Uniform(1.0, 12.0);
+          EXPECT_EQ(cursor.MegabitsBetween(now, now + k),
+                    trace.MegabitsBetween(now, now + k));
+        } else if (op < 0.95) {
+          now += rng.Uniform(0.0, trace.DurationS() / 40.0);
+          cursor.Advance(now);
+        } else {
+          // Backward jump: slower for the cursor, still exact.
+          now = std::max(now - rng.Uniform(0.0, trace.DurationS() / 8.0),
+                         -1.0);
+        }
+      }
+      // Past the trace end the tail rate holds forever.
+      now = trace.DurationS() + 5.0;
+      EXPECT_EQ(cursor.ThroughputAt(now), trace.ThroughputAt(now));
+      EXPECT_EQ(cursor.TimeToDownload(now, 3.0),
+                trace.TimeToDownload(now, 3.0));
+      EXPECT_EQ(cursor.MegabitsBetween(now - 10.0, now + 10.0),
+                trace.MegabitsBetween(now - 10.0, now + 10.0));
+    }
+  }
+}
+
+TEST(TraceCursor, InfiniteDownloadOnZeroTail) {
+  const ThroughputTrace trace({{0.0, 6.0}, {10.0, 0.0}}, 50.0);
+  TraceCursor cursor(trace);
+  EXPECT_EQ(cursor.TimeToDownload(0.0, 59.9), trace.TimeToDownload(0.0, 59.9));
+  EXPECT_TRUE(std::isinf(cursor.TimeToDownload(0.0, 60.1)));
+  EXPECT_EQ(cursor.TimeToDownload(0.0, 60.1), trace.TimeToDownload(0.0, 60.1));
+  EXPECT_EQ(cursor.TimeToDownload(12.0, 0.1), trace.TimeToDownload(12.0, 0.1));
+}
+
+TEST(TraceCursor, RebindResetsToNewTrace) {
+  const ThroughputTrace primary = SquareWaveTrace(1.0, 10.0, 9.0, 300.0);
+  const ThroughputTrace secondary = StepTrace({2.0, 6.0, 1.0}, 40.0);
+  TraceCursor cursor(primary);
+  // Walk deep into the primary, then fail over.
+  cursor.Advance(250.0);
+  EXPECT_EQ(cursor.TimeToDownload(250.0, 4.0),
+            primary.TimeToDownload(250.0, 4.0));
+  cursor.Rebind(secondary);
+  EXPECT_EQ(&cursor.Trace(), &secondary);
+  for (double t = 37.0; t < 130.0; t += 11.5) {
+    EXPECT_EQ(cursor.TimeToDownload(t, 3.0), secondary.TimeToDownload(t, 3.0));
+    EXPECT_EQ(cursor.MegabitsBetween(t, t + 7.0),
+              secondary.MegabitsBetween(t, t + 7.0));
+  }
+}
+
+}  // namespace
+}  // namespace soda::net

@@ -1,0 +1,174 @@
+// Differential golden: the incremental shared-link engine must reproduce
+// the reference (original full-scan) loop bitwise — every SessionLog field,
+// every SegmentRecord, every trace event, and the aggregates — for mixed
+// controller rosters and player counts. Exact == on every double.
+#include "sim/shared_link.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cached_controller.hpp"
+#include "core/soda_controller.hpp"
+#include "media/video_model.hpp"
+#include "obs/trace.hpp"
+#include "predict/ema.hpp"
+#include "predict/fixed.hpp"
+
+namespace soda::sim {
+namespace {
+
+class PinnedController final : public abr::Controller {
+ public:
+  explicit PinnedController(media::Rung rung) : rung_(rung) {}
+  media::Rung ChooseRung(const abr::Context& context) override {
+    return std::min(rung_, context.Ladder().HighestRung());
+  }
+  std::string Name() const override { return "Pinned"; }
+
+ private:
+  media::Rung rung_;
+};
+
+media::VideoModel TestVideo() {
+  return media::VideoModel(media::BitrateLadder({1.0, 2.0, 4.0}),
+                           {.segment_seconds = 2.0});
+}
+
+// Mixed roster: planner-driven players (SODA exact and cached) coupled
+// with pinned players that idle (freeing capacity) or overload the link.
+std::vector<SharedLinkPlayer> MakeRoster(
+    std::size_t n, std::vector<obs::EventTracer>* tracers) {
+  std::vector<SharedLinkPlayer> players;
+  players.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SharedLinkPlayer player;
+    switch (i % 4) {
+      case 0:
+        player.controller = std::make_unique<core::SodaController>();
+        player.predictor = std::make_unique<predict::EmaPredictor>();
+        break;
+      case 1:
+        player.controller = std::make_unique<PinnedController>(
+            static_cast<media::Rung>(i % 3));
+        player.predictor = std::make_unique<predict::FixedPredictor>(4.0);
+        break;
+      case 2:
+        player.controller = std::make_unique<core::CachedDecisionController>();
+        player.predictor = std::make_unique<predict::EmaPredictor>();
+        break;
+      default:
+        player.controller = std::make_unique<PinnedController>(0);
+        player.predictor = std::make_unique<predict::FixedPredictor>(1.0);
+        break;
+    }
+    if (tracers != nullptr) player.tracer = &(*tracers)[i];
+    players.push_back(std::move(player));
+  }
+  return players;
+}
+
+void ExpectLogsBitwiseEqual(const SessionLog& a, const SessionLog& b) {
+  EXPECT_EQ(a.startup_s, b.startup_s);
+  EXPECT_EQ(a.total_rebuffer_s, b.total_rebuffer_s);
+  EXPECT_EQ(a.total_wait_s, b.total_wait_s);
+  EXPECT_EQ(a.session_s, b.session_s);
+  EXPECT_EQ(a.starved, b.starved);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t s = 0; s < a.segments.size(); ++s) {
+    const SegmentRecord& x = a.segments[s];
+    const SegmentRecord& y = b.segments[s];
+    EXPECT_EQ(x.index, y.index);
+    EXPECT_EQ(x.rung, y.rung);
+    EXPECT_EQ(x.bitrate_mbps, y.bitrate_mbps);
+    EXPECT_EQ(x.size_mb, y.size_mb);
+    EXPECT_EQ(x.request_s, y.request_s);
+    EXPECT_EQ(x.download_s, y.download_s);
+    EXPECT_EQ(x.wait_s, y.wait_s);
+    EXPECT_EQ(x.rebuffer_s, y.rebuffer_s);
+    EXPECT_EQ(x.buffer_after_s, y.buffer_after_s);
+    EXPECT_EQ(x.abandoned, y.abandoned);
+    EXPECT_EQ(x.wasted_mb, y.wasted_mb);
+    EXPECT_EQ(x.attempts, y.attempts);
+  }
+}
+
+void ExpectTracesBitwiseEqual(const std::vector<obs::TraceEvent>& a,
+                              const std::vector<obs::TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    SCOPED_TRACE("event " + std::to_string(e));
+    EXPECT_EQ(a[e].type, b[e].type);
+    EXPECT_EQ(a[e].t_s, b[e].t_s);
+    EXPECT_EQ(a[e].segment, b[e].segment);
+    EXPECT_EQ(a[e].rung, b[e].rung);
+    EXPECT_EQ(a[e].prev_rung, b[e].prev_rung);
+    EXPECT_EQ(a[e].buffer_s, b[e].buffer_s);
+    EXPECT_EQ(a[e].value_mb, b[e].value_mb);
+    EXPECT_EQ(a[e].duration_s, b[e].duration_s);
+    EXPECT_EQ(a[e].attempt, b[e].attempt);
+    EXPECT_EQ(a[e].sequences_evaluated, b[e].sequences_evaluated);
+    EXPECT_EQ(a[e].nodes_expanded, b[e].nodes_expanded);
+    EXPECT_EQ(a[e].nodes_pruned, b[e].nodes_pruned);
+    EXPECT_EQ(a[e].warm_start_hit, b[e].warm_start_hit);
+    EXPECT_EQ(a[e].from_table, b[e].from_table);
+    EXPECT_EQ(a[e].solver_fallback, b[e].solver_fallback);
+  }
+}
+
+void RunDifferential(std::size_t n, double capacity_per_player_mbps) {
+  SCOPED_TRACE("n=" + std::to_string(n));
+  SharedLinkConfig config;
+  config.link_capacity_mbps =
+      capacity_per_player_mbps * static_cast<double>(n);
+  config.session_s = 240.0;
+
+  std::vector<obs::EventTracer> ref_tracers(n, obs::EventTracer(true));
+  config.engine = SharedLinkEngine::kReference;
+  const SharedLinkResult reference =
+      RunSharedLink(MakeRoster(n, &ref_tracers), TestVideo(), config);
+
+  std::vector<obs::EventTracer> inc_tracers(n, obs::EventTracer(true));
+  config.engine = SharedLinkEngine::kIncremental;
+  const SharedLinkResult incremental =
+      RunSharedLink(MakeRoster(n, &inc_tracers), TestVideo(), config);
+
+  ASSERT_EQ(reference.logs.size(), incremental.logs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    SCOPED_TRACE("player " + std::to_string(i));
+    ExpectLogsBitwiseEqual(reference.logs[i], incremental.logs[i]);
+    ExpectTracesBitwiseEqual(ref_tracers[i].Events(),
+                             inc_tracers[i].Events());
+  }
+  EXPECT_EQ(reference.bitrate_fairness, incremental.bitrate_fairness);
+  EXPECT_EQ(reference.mean_switch_rate, incremental.mean_switch_rate);
+  EXPECT_EQ(reference.mean_rebuffer_s, incremental.mean_rebuffer_s);
+}
+
+TEST(SharedLinkEngines, BitwiseIdenticalSinglePlayer) {
+  RunDifferential(1, 3.0);
+}
+
+TEST(SharedLinkEngines, BitwiseIdenticalThreePlayers) {
+  RunDifferential(3, 2.5);
+}
+
+TEST(SharedLinkEngines, BitwiseIdenticalEightPlayers) {
+  RunDifferential(8, 2.0);
+}
+
+TEST(SharedLinkEngines, BitwiseIdenticalUnderContention) {
+  // Undersized link: stalls and near-simultaneous completions stress the
+  // 1e-9 epsilon paths (wait releases a hair after completions, dt floors).
+  RunDifferential(6, 0.9);
+}
+
+TEST(SharedLinkEngines, BitwiseIdenticalManyPlayers) {
+  RunDifferential(32, 1.7);
+}
+
+}  // namespace
+}  // namespace soda::sim

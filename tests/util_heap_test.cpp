@@ -1,0 +1,101 @@
+#include "util/indexed_heap.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace soda::util {
+namespace {
+
+TEST(IndexedMinHeap, PopsHandlesInKeyOrder) {
+  const std::vector<double> keys = {5.0, 1.0, 4.0, 2.0, 3.0};
+  const auto key = [&](std::size_t i) { return keys[i]; };
+  IndexedMinHeap<decltype(key)> heap(key, keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) heap.Push(i);
+  std::vector<std::size_t> order;
+  while (!heap.Empty()) order.push_back(heap.PopTop());
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 4, 2, 0}));
+}
+
+TEST(IndexedMinHeap, SurvivesUniformDecay) {
+  // All members' keys shift by the same amount between heap operations —
+  // the shared-link engine's usage pattern (every in-flight download loses
+  // share * dt per event). The heap must keep serving the minimum.
+  std::vector<double> keys = {0.9, 0.3, 0.7, 0.5};
+  const auto key = [&](std::size_t i) { return keys[i]; };
+  IndexedMinHeap<decltype(key)> heap(key, keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) heap.Push(i);
+
+  for (double& k : keys) k -= 0.2999;
+  EXPECT_EQ(heap.Top(), 1u);
+  EXPECT_EQ(heap.PopTop(), 1u);
+
+  // Reinsert with a fresh key (a new download), decay again, drain.
+  keys[1] = 2.0;
+  heap.Push(1);
+  for (double& k : keys) k -= 0.1;
+  EXPECT_EQ(heap.PopTop(), 3u);
+  EXPECT_EQ(heap.PopTop(), 2u);
+  EXPECT_EQ(heap.PopTop(), 0u);
+  EXPECT_EQ(heap.PopTop(), 1u);
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(IndexedMinHeap, FuzzAgainstLinearScan) {
+  Rng rng(0xD0DA);
+  constexpr std::size_t kSlots = 48;
+  std::vector<double> keys(kSlots, 0.0);
+  std::vector<bool> in_heap(kSlots, false);
+  const auto key = [&](std::size_t i) { return keys[i]; };
+  IndexedMinHeap<decltype(key)> heap(key, kSlots);
+
+  for (int step = 0; step < 5000; ++step) {
+    const double op = rng.NextDouble();
+    if (op < 0.45) {
+      // Push a random free slot with a fresh key.
+      std::size_t slot = rng.UniformInt(kSlots);
+      for (std::size_t probe = 0; probe < kSlots && in_heap[slot]; ++probe) {
+        slot = (slot + 1) % kSlots;
+      }
+      if (in_heap[slot]) continue;
+      keys[slot] = rng.Uniform(0.0, 100.0);
+      in_heap[slot] = true;
+      heap.Push(slot);
+    } else if (op < 0.7) {
+      // Uniform decay of every member.
+      const double decay = rng.Uniform(0.0, 5.0);
+      for (std::size_t i = 0; i < kSlots; ++i) {
+        if (in_heap[i]) keys[i] -= decay;
+      }
+    } else if (op < 0.78) {
+      // Reassign the top's key in place (the engine's completion →
+      // next-download fusion) and re-sift.
+      if (!heap.Empty()) {
+        keys[heap.Top()] = rng.Uniform(0.0, 100.0);
+        heap.ResiftTop();
+      }
+    } else if (!heap.Empty()) {
+      // Pop and compare against a linear scan for the minimum key.
+      double min_key = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < kSlots; ++i) {
+        if (in_heap[i] && keys[i] < min_key) min_key = keys[i];
+      }
+      EXPECT_EQ(keys[heap.Top()], min_key);
+      const std::size_t popped = heap.PopTop();
+      EXPECT_TRUE(in_heap[popped]);
+      EXPECT_EQ(keys[popped], min_key);
+      in_heap[popped] = false;
+    }
+    EXPECT_EQ(heap.Size(),
+              static_cast<std::size_t>(
+                  std::count(in_heap.begin(), in_heap.end(), true)));
+  }
+}
+
+}  // namespace
+}  // namespace soda::util

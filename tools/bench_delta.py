@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Report-only comparison of two BENCH_eval.json perf reports.
+
+Usage: tools/bench_delta.py BASELINE CANDIDATE
+
+Prints the sessions/sec delta per controller and thread count, the QoE
+deltas, and the candidate's shared-link scaling table (if present). Always
+exits 0: timing on shared CI runners is too noisy to gate on, so this is
+an eyeballing aid, not a check. Structural fields (QoE) should match the
+baseline bit-for-bit when the corpus seed is unchanged; timing fields are
+machine-dependent.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as error:
+        print(f"bench_delta: cannot read {path}: {error}")
+        return None
+
+
+def throughput_map(report):
+    """controller -> {threads: sessions_per_sec}"""
+    out = {}
+    for entry in report.get("controllers", []):
+        out[entry["controller"]] = {
+            point["threads"]: point["sessions_per_sec"]
+            for point in entry.get("throughput", [])
+        }
+    return out
+
+
+def qoe_map(report):
+    return {
+        entry["controller"]: entry.get("qoe")
+        for entry in report.get("controllers", [])
+    }
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip())
+        return 0
+    baseline = load(sys.argv[1])
+    candidate = load(sys.argv[2])
+    if baseline is None or candidate is None:
+        return 0
+
+    print(f"baseline:  {sys.argv[1]} "
+          f"(sessions={baseline.get('sessions')}, quick={baseline.get('quick')})")
+    print(f"candidate: {sys.argv[2]} "
+          f"(sessions={candidate.get('sessions')}, quick={candidate.get('quick')})")
+    if baseline.get("quick") != candidate.get("quick") or \
+            baseline.get("sessions") != candidate.get("sessions"):
+        print("note: corpus sizes differ; sessions/sec deltas are not "
+              "like-for-like")
+
+    base_tp = throughput_map(baseline)
+    cand_tp = throughput_map(candidate)
+    print("\nsessions/sec (candidate vs baseline):")
+    for controller, points in cand_tp.items():
+        for threads, rate in sorted(points.items()):
+            base_rate = base_tp.get(controller, {}).get(threads)
+            if base_rate:
+                delta = 100.0 * (rate / base_rate - 1.0)
+                print(f"  {controller:14s} threads={threads:<3d} "
+                      f"{rate:10.1f}  vs {base_rate:10.1f}  ({delta:+6.1f}%)")
+            else:
+                print(f"  {controller:14s} threads={threads:<3d} "
+                      f"{rate:10.1f}  (no baseline point)")
+
+    base_qoe = qoe_map(baseline)
+    print("\nQoE (should be bit-identical for an unchanged seed/corpus):")
+    for controller, qoe in qoe_map(candidate).items():
+        base = base_qoe.get(controller)
+        marker = "" if base == qoe else "  *** DIFFERS ***"
+        print(f"  {controller:14s} {qoe:.6f}  baseline "
+              f"{'n/a' if base is None else f'{base:.6f}'}{marker}")
+
+    scaling = candidate.get("shared_link_scaling")
+    if scaling:
+        print("\nshared-link scaling (candidate):")
+        print("  players   events   ref ns/event   inc ns/event   speedup  "
+              "identical")
+        for row in scaling:
+            print(f"  {row['players']:7d}  {row['events']:7d}  "
+                  f"{row['ns_per_event_reference']:13.0f}  "
+                  f"{row['ns_per_event_incremental']:13.0f}  "
+                  f"{row['speedup']:7.2f}  {row['identical_output']}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

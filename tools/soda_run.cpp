@@ -35,6 +35,7 @@
 //                       (observability only: results are bit-identical
 //                       with or without tracing)
 //   --metrics-out PATH  write the run-level metrics snapshot JSON
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -134,12 +135,17 @@ int Run(int argc, char** argv) {
 
   const std::string controller_name = args.Get("controller", "soda");
   const std::string predictor_name = args.Get("predictor", "ema");
+  const auto eval_start = std::chrono::steady_clock::now();
   const qoe::EvalResult result = qoe::EvaluateController(
       sessions, [&] { return core::MakeController(controller_name); },
       [&](const net::ThroughputTrace&) {
         return core::MakePredictor(predictor_name);
       },
       video, config);
+  const double eval_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    eval_start)
+          .count();
 
   std::printf("controller=%s predictor=%s ladder=%s sessions=%zu buffer=%.0fs "
               "%s threads=%d fault=%s\n",
@@ -167,6 +173,27 @@ int Run(int argc, char** argv) {
                   FormatDouble(a.outage_ratio.CiHalfWidth95(), 5)});
   }
   table.Print();
+
+  // Evaluation throughput, plus how many decision tables were actually
+  // built process-wide: with the shared table cache, N sessions (and N
+  // workers) on one stream geometry report 1 build. Goes to stderr —
+  // timing is machine-dependent, and stdout stays byte-identical across
+  // runs and thread counts (the documented determinism check).
+  {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+    const auto builds = snapshot.counters.find("core.cached.table_builds");
+    std::fprintf(stderr, "eval: %.0f sessions/sec (%zu sessions in %.3fs)",
+                 eval_seconds > 0.0
+                     ? static_cast<double>(sessions.size()) / eval_seconds
+                     : 0.0,
+                 sessions.size(), eval_seconds);
+    if (builds != snapshot.counters.end()) {
+      std::fprintf(stderr, "  decision-table builds: %llu",
+                   static_cast<unsigned long long>(builds->second));
+    }
+    std::fprintf(stderr, "\n");
+  }
 
   if (args.Has("timeline") && sessions.size() == 1) {
     const abr::ControllerPtr controller = core::MakeController(controller_name);
