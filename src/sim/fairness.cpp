@@ -1,0 +1,151 @@
+#include "sim/fairness.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "util/ensure.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace soda::sim {
+namespace {
+
+// Snap down to the cohort grid. floor is exact for the finite inputs the
+// config validation admits, so snapped schedules are identical no matter
+// which worker drew them.
+double SnapToGrid(double t, double grid) {
+  if (grid <= 0.0) return t;
+  return std::floor(t / grid) * grid;
+}
+
+void ValidateConfig(const FairnessWorkloadConfig& config) {
+  SODA_ENSURE(config.players > 0, "fairness workload needs players > 0");
+  SODA_ENSURE(std::isfinite(config.session_s) && config.session_s > 0.0,
+              "fairness session_s must be positive and finite");
+  SODA_ENSURE(std::isfinite(config.capacity_per_player_mbps) &&
+                  config.capacity_per_player_mbps > 0.0,
+              "fairness capacity_per_player_mbps must be positive");
+  SODA_ENSURE(std::isfinite(config.join_window_s) &&
+                  config.join_window_s >= 0.0 &&
+                  config.join_window_s <= config.session_s,
+              "fairness join_window_s must lie within [0, session_s]");
+  SODA_ENSURE(config.leave_fraction >= 0.0 && config.leave_fraction <= 1.0,
+              "fairness leave_fraction must lie within [0, 1]");
+  SODA_ENSURE(std::isfinite(config.schedule_grid_s) &&
+                  config.schedule_grid_s >= 0.0,
+              "fairness schedule_grid_s must be non-negative");
+}
+
+}  // namespace
+
+std::vector<SharedLinkPlayer> BuildFairnessRoster(
+    const FairnessWorkloadConfig& config, int threads) {
+  ValidateConfig(config);
+  // Validate the names once up front so a bad config throws here instead
+  // of inside a worker.
+  (void)core::MakeController(config.controller);
+  (void)core::MakePredictor(config.predictor);
+
+  std::vector<SharedLinkPlayer> players(config.players);
+  util::ParallelFor(
+      config.players, threads, [&](int, std::size_t i) {
+        // Private per-player stream: seeding depends only on (base_seed, i),
+        // never on which worker runs the index or in what order.
+        Rng rng(config.base_seed +
+                kFairnessSeedStride * static_cast<std::uint64_t>(i + 1));
+        SharedLinkPlayer& player = players[i];
+        player.controller = core::MakeController(config.controller);
+        player.predictor = core::MakePredictor(config.predictor);
+        if (config.join_window_s > 0.0) {
+          player.join_s =
+              SnapToGrid(rng.Uniform(0.0, config.join_window_s),
+                         config.schedule_grid_s);
+        }
+        if (rng.Chance(config.leave_fraction)) {
+          double leave = SnapToGrid(
+              rng.Uniform(config.join_window_s, config.session_s),
+              config.schedule_grid_s);
+          // A snapped leave can collide with a late join; keep the window
+          // non-empty so the player participates.
+          if (leave <= player.join_s) {
+            leave = player.join_s + (config.schedule_grid_s > 0.0
+                                         ? config.schedule_grid_s
+                                         : 1.0);
+          }
+          player.leave_s = leave;
+        }
+      });
+  return players;
+}
+
+FairnessSummary RunFairnessWorkload(const FairnessWorkloadConfig& config,
+                                    const media::VideoModel& video,
+                                    int threads) {
+  std::vector<SharedLinkPlayer> roster = BuildFairnessRoster(config, threads);
+
+  std::size_t early_leavers = 0;
+  for (const SharedLinkPlayer& player : roster) {
+    if (player.leave_s < config.session_s) ++early_leavers;
+  }
+
+  SharedLinkConfig link_config;
+  link_config.session_s = config.session_s;
+  link_config.link_capacity_mbps =
+      config.capacity_per_player_mbps * static_cast<double>(config.players);
+  link_config.engine = config.engine;
+  link_config.hybrid_scan_max_players = config.hybrid_scan_max_players;
+  link_config.impairment = config.impairment;
+
+  FairnessSummary summary;
+  summary.link = RunSharedLink(std::move(roster), video, link_config);
+  summary.players = config.players;
+  summary.early_leavers = early_leavers;
+  summary.events = summary.link.events;
+  summary.mean_rebuffer_s = summary.link.mean_rebuffer_s;
+
+  // Jain indices over players that actually held a session. jain_bitrate
+  // scores what quality each player saw; jain_bytes scores how the link's
+  // capacity itself was split (megabits fetched per second of presence).
+  std::vector<double> bitrates;
+  std::vector<double> byte_rates;
+  bitrates.reserve(summary.link.logs.size());
+  byte_rates.reserve(summary.link.logs.size());
+  double bitrate_sum = 0.0;
+  for (const SessionLog& log : summary.link.logs) {
+    if (log.session_s <= 0.0) continue;
+    const double bitrate = log.MeanBitrateMbps();
+    bitrates.push_back(bitrate);
+    bitrate_sum += bitrate;
+    double mb = 0.0;
+    for (const SegmentRecord& segment : log.segments) mb += segment.size_mb;
+    byte_rates.push_back(mb / log.session_s);
+  }
+  summary.jain_bitrate = JainFairness(bitrates);
+  summary.jain_bytes = JainFairness(byte_rates);
+  summary.mean_bitrate_mbps =
+      bitrates.empty() ? 0.0
+                       : bitrate_sum / static_cast<double>(bitrates.size());
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("sim.fairness.runs").Increment();
+  metrics.GetCounter("sim.fairness.players").Add(summary.players);
+  metrics.GetCounter("sim.fairness.events")
+      .Add(static_cast<std::uint64_t>(summary.events));
+  metrics.GetGauge("sim.fairness.jain_bitrate").Set(summary.jain_bitrate);
+  metrics.GetGauge("sim.fairness.jain_bytes").Set(summary.jain_bytes);
+  obs::Histogram rebuffer = metrics.GetHistogram(
+      "sim.fairness.rebuffer_s", {0.0, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0});
+  obs::Histogram bitrate_hist = metrics.GetHistogram(
+      "sim.fairness.bitrate_mbps", {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  for (const SessionLog& log : summary.link.logs) {
+    if (log.session_s <= 0.0) continue;
+    rebuffer.Record(log.total_rebuffer_s);
+    bitrate_hist.Record(log.MeanBitrateMbps());
+  }
+  return summary;
+}
+
+}  // namespace soda::sim

@@ -1,0 +1,96 @@
+// Large-scale shared-bottleneck fairness workload.
+//
+// Builds rosters of 1k-10k players on one bottleneck link with staggered
+// joins and leaves, runs them through sim/shared_link, and summarizes
+// per-player outcomes as Jain fairness indices (bitrate fairness and
+// byte-share fairness), rebuffering, and event counts. This extends the
+// paper's fairness study (a handful of players) to the contention-heavy
+// regime the incremental engine exists for.
+//
+// Determinism contract: every stochastic choice for player i is drawn from
+// a private stream seeded as base_seed + kFairnessSeedStride * (i + 1),
+// independent of roster build order. Rosters — and therefore simulation
+// results — are bit-identical for any `threads` value passed to
+// BuildFairnessRoster / RunFairnessWorkload (sim_fairness_test pins this).
+//
+// Join/leave times are snapped down to a coarse schedule grid. That is a
+// workload design choice, not just aesthetics: co-scheduled cohorts make
+// same-time event batches, which is both the adversarial case for the
+// engines' equal-key handling and the realistic shape of flash-crowd
+// arrivals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "media/video_model.hpp"
+#include "sim/shared_link.hpp"
+
+namespace soda::sim {
+
+// Stride between per-player seed streams (the splitmix64/golden-gamma
+// constant, odd, so player seeds never collide for distinct indices).
+inline constexpr std::uint64_t kFairnessSeedStride = 0x9E3779B97F4A7C15ULL;
+
+struct FairnessWorkloadConfig {
+  std::size_t players = 1000;
+  std::uint64_t base_seed = 7;
+  double session_s = 120.0;
+  // Link capacity scales with the roster: players * capacity_per_player.
+  double capacity_per_player_mbps = 0.7;
+  // Joins are drawn uniformly in [0, join_window_s) then snapped to the
+  // schedule grid; 0 starts everyone at t = 0.
+  double join_window_s = 30.0;
+  // Fraction of players (in expectation) that leave before session end;
+  // leave times are drawn in [join_window_s, session_s) and snapped.
+  double leave_fraction = 0.1;
+  // Cohort grid for join/leave snapping (0 disables snapping).
+  double schedule_grid_s = 0.25;
+  // core::MakeController / core::MakePredictor names. The default cached
+  // controller shares one decision table process-wide, so per-player
+  // construction stays cheap at 10k players.
+  std::string controller = "soda-cached";
+  std::string predictor = "ema";
+  SharedLinkEngine engine = SharedLinkEngine::kIncremental;
+  std::size_t hybrid_scan_max_players = kSharedLinkScanCrossover;
+  // Optional link impairment (not owned), e.g. a PR-2 fault profile's
+  // plan; forwarded to SharedLinkConfig::impairment.
+  const fault::ImpairmentPlan* impairment = nullptr;
+};
+
+// Builds the roster (controllers, predictors, join/leave windows) across
+// `threads` workers. Bit-identical for any thread count. Throws
+// std::invalid_argument on nonsensical configs (no players, non-positive
+// session, windows outside the session).
+[[nodiscard]] std::vector<SharedLinkPlayer> BuildFairnessRoster(
+    const FairnessWorkloadConfig& config, int threads = 1);
+
+struct FairnessSummary {
+  // Full shared-link result (per-player SessionLogs and aggregates).
+  SharedLinkResult link;
+  // Jain index over joined players' mean bitrates (1 = perfectly fair).
+  double jain_bitrate = 0.0;
+  // Jain index over joined players' download rates (megabits fetched per
+  // second of presence) — how fairly the link's *bytes* were shared,
+  // independent of what rungs those bytes bought.
+  double jain_bytes = 0.0;
+  double mean_rebuffer_s = 0.0;
+  double mean_bitrate_mbps = 0.0;
+  std::size_t players = 0;
+  // Players whose leave_s fell inside the session.
+  std::size_t early_leavers = 0;
+  std::int64_t events = 0;
+};
+
+// BuildFairnessRoster + RunSharedLink + summary. Also publishes the
+// summary through obs::MetricsRegistry::Global(): counters
+// sim.fairness.{runs,players,events}, gauges
+// sim.fairness.{jain_bitrate,jain_bytes}, histograms
+// sim.fairness.{rebuffer_s,bitrate_mbps}.
+[[nodiscard]] FairnessSummary RunFairnessWorkload(
+    const FairnessWorkloadConfig& config, const media::VideoModel& video,
+    int threads = 1);
+
+}  // namespace soda::sim

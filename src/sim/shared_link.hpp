@@ -7,12 +7,17 @@
 // their buffer is full, freeing capacity for the others — the coupling
 // that causes rate oscillation and unfairness for greedy controllers.
 //
-// This extends the paper's single-client evaluation: smoothness-optimized
-// control should also damp the multi-client feedback loop, which
+// Players may join and leave mid-session (join_s / leave_s), and the link
+// capacity may vary over time under a fault::ImpairmentPlan (outages,
+// scales, CDN switches applied to the nominal capacity as a
+// piecewise-constant profile). Both extend the paper's single-client
+// evaluation toward the large-scale fairness workload that
 // bench_ext_fairness quantifies.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -21,15 +26,34 @@
 #include "obs/trace.hpp"
 #include "sim/session_log.hpp"
 
+namespace soda::fault {
+struct ImpairmentPlan;
+}  // namespace soda::fault
+
 namespace soda::sim {
 
-// Event-loop engine selector. kIncremental discovers events with a
-// maintained active-download count and indexed min-heaps over completion
-// and wait-expiry times (O(log n) per event instead of full scans of all
-// players); kReference is the original scan-everything loop, kept as the
-// differential oracle. Both engines produce bit-identical SessionLogs,
-// trace events, and aggregates (sim_shared_link_engine_test pins this).
+// Event-loop engine selector. kIncremental (the default) is a hybrid
+// dispatch over two discovery strategies, picked per event round by live
+// player count: below the crossover (SharedLinkConfig::
+// hybrid_scan_max_players) it runs a fused single-pass scan (one pass
+// computes the active count and both event-key minima — strictly cheaper
+// than the reference's separate passes); above it, indexed min-heaps over
+// completion and wait-expiry keys discover events in O(log n + k) per
+// round of k same-time events via crown batch-pops (util/indexed_heap.hpp),
+// rebuilt in O(live) whenever heap mode is re-entered. kReference is the
+// original scan-everything loop, kept as the differential oracle. Both
+// engines produce bit-identical SessionLogs, trace events, and aggregates:
+// the per-event handlers are shared, event *times* are mins over identical
+// candidate sets, and processing order among distinct players never
+// affects any output (sim_shared_link_engine_test pins this).
 enum class SharedLinkEngine { kIncremental, kReference };
+
+// Measured scan/heap crossover for the hybrid dispatch: a linear scan over
+// few live players beats heap maintenance (sequential, branch-predictable
+// loads; no sift work), and lockstep completion batches let it amortize
+// further. Measured with bench_perf_report's shared_link_scaling sweep
+// (see DESIGN.md).
+inline constexpr std::size_t kSharedLinkScanCrossover = 48;
 
 struct SharedLinkConfig {
   double max_buffer_s = 20.0;
@@ -39,6 +63,19 @@ struct SharedLinkConfig {
   // 1/active_count; idle players consume nothing.
   double link_capacity_mbps = 20.0;
   SharedLinkEngine engine = SharedLinkEngine::kIncremental;
+  // The hybrid dispatch inside kIncremental uses the fused scan while the
+  // live player count is at or below this bound, and the heaps above it.
+  // 0 forces heaps everywhere; SIZE_MAX forces the scan everywhere (the
+  // dispatch-boundary tests pin bitwise identity across the switch).
+  std::size_t hybrid_scan_max_players = kSharedLinkScanCrossover;
+  // Optional link impairment (not owned; may be null). The plan's trace
+  // transforms (outages, scales, CDN switches) are applied to the nominal
+  // link capacity, producing a piecewise-constant capacity profile whose
+  // breakpoints become simulation events. RTT windows are per-request
+  // transport effects and are NOT applied here (documented limitation;
+  // they do not transform the capacity profile). A plan that leaves the
+  // trace unchanged is bypassed entirely, preserving bitwise outputs.
+  const fault::ImpairmentPlan* impairment = nullptr;
 };
 
 struct SharedLinkPlayer {
@@ -50,6 +87,12 @@ struct SharedLinkPlayer {
   // instance across players would interleave events in engine-dependent
   // order among simultaneous per-player events.
   obs::EventTracer* tracer = nullptr;
+  // Session window within [0, session_s]. The player joins at join_s
+  // (clamped to >= 0) and leaves at leave_s (clamped to <= session_s).
+  // A player whose window is empty never participates and finalizes with
+  // session_s == 0. Defaults reproduce the always-on roster.
+  double join_s = 0.0;
+  double leave_s = std::numeric_limits<double>::infinity();
 };
 
 struct SharedLinkResult {
@@ -61,11 +104,15 @@ struct SharedLinkResult {
   double mean_switch_rate = 0.0;
   // Mean per-player rebuffer seconds.
   double mean_rebuffer_s = 0.0;
+  // Handler invocations processed by the event loop: completions, wait
+  // releases, joins, and leaves (identical across engines).
+  std::int64_t events = 0;
 };
 
 // Runs `players` against one shared link until session_s elapses. All
 // players use the same `video` model. Event-driven: capacity is re-divided
-// whenever any player starts or finishes a download.
+// whenever any player starts or finishes a download, joins, or leaves,
+// and whenever the impaired capacity profile steps.
 [[nodiscard]] SharedLinkResult RunSharedLink(
     std::vector<SharedLinkPlayer> players, const media::VideoModel& video,
     const SharedLinkConfig& config);

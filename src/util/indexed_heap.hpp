@@ -12,7 +12,22 @@
 // changes between events.
 //
 // Mutating a member's key non-uniformly while it is in the heap is NOT
-// supported; pop it first (keys assigned before a Push are fine).
+// supported by the plain operations; pop it first, use Update(handle), or
+// reassign it inside a ProcessMatching visit (keys assigned before a Push
+// are always fine).
+//
+// Batch operations. Rung quantization makes completion keys collide: whole
+// subpopulations finish at the same quantized instant, so the next event
+// pops not one minimum but a *batch* of equal (or near-equal) keys. In a
+// min-heap every such batch is an upward-closed "crown": if a node matches
+// a downward-closed predicate (pred(b) and a <= b imply pred(a)), its
+// parent matches too, so the matching set is a connected subtree containing
+// the root. ProcessMatching exploits that shape: it collects the crown in
+// one O(k) breadth-first walk, visits every member, then restores the heap
+// with one sift-down per crown position — O(k log(n/k) + k) for a batch of
+// k, instead of k root-to-leaf pops at O(k log n). For lockstep batches
+// (k ~ n) the restore degenerates to a partial Floyd heapify and the whole
+// round is O(n), matching what a linear scan pays.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +42,7 @@ class IndexedMinHeap {
   explicit IndexedMinHeap(KeyFn key, std::size_t capacity = 0)
       : key_(std::move(key)) {
     heap_.reserve(capacity);
+    scratch_.reserve(capacity);
   }
 
   [[nodiscard]] bool Empty() const noexcept { return heap_.empty(); }
@@ -53,6 +69,120 @@ class IndexedMinHeap {
   // of the same handle, at the cost of one sift instead of two.
   void ResiftTop() {
     if (!heap_.empty()) SiftDown(0);
+  }
+
+  // Replaces the member set with [first, last) and heapifies bottom-up
+  // (Floyd): O(n) regardless of key order. The handles' keys are read live,
+  // so keys may be assigned right before the call.
+  template <typename InputIt>
+  void Assign(InputIt first, InputIt last) {
+    heap_.assign(first, last);
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
+  }
+
+  // Batch-processes the crown of members whose key satisfies `pred`.
+  //
+  // Requirements on `pred`: downward-closed in key order (pred(b) and
+  // a <= b imply pred(a)) — e.g. "key <= bound" or "now >= key - eps".
+  // `visit(handle)` is called once per matching member, in heap-position
+  // order; it returns true to KEEP the handle (its key may have been
+  // reassigned in place, but only to a value no smaller than the old one)
+  // and false to REMOVE it. visit must not touch this heap through any
+  // other member function. Returns the number of members visited.
+  //
+  // Restore cost: one sift-down per crown position, started at the
+  // position itself rather than the root — the deeper the crown (the
+  // larger the batch), the shorter each sift.
+  template <typename Pred, typename Visit>
+  std::size_t ProcessMatching(Pred pred, Visit visit) {
+    if (heap_.empty() || !pred(key_(heap_[0]))) return 0;
+    // Collect the crown breadth-first. Parents are appended before their
+    // children and children in position order, so `scratch_` ends sorted
+    // ascending by position.
+    scratch_.clear();
+    scratch_.push_back(0);
+    const std::size_t size = heap_.size();
+    for (std::size_t q = 0; q < scratch_.size(); ++q) {
+      const std::size_t left = 2 * scratch_[q] + 1;
+      if (left < size && pred(key_(heap_[left]))) scratch_.push_back(left);
+      const std::size_t right = left + 1;
+      if (right < size && pred(key_(heap_[right]))) scratch_.push_back(right);
+    }
+    const std::size_t count = scratch_.size();
+    // Visit phase (heap untouched, positions stay valid); pack the keep
+    // decision into the low bit of the stored position.
+    for (std::size_t q = 0; q < count; ++q) {
+      const std::size_t p = scratch_[q];
+      const bool keep = visit(heap_[p]);
+      scratch_[q] = (p << 1) | static_cast<std::size_t>(keep);
+    }
+    // Restore bottom-up (descending position). Each processed position's
+    // descendants are already valid heaps, and every crown ancestor still
+    // holds a pred-matching (hence minimal) key, so a single sift-down per
+    // position suffices: kept keys only grew, removals are replaced by a
+    // non-matching (hence >= any matching) tail element, and pop_back can
+    // never evict an unprocessed crown position (all of which sit at
+    // positions below the current one).
+    for (std::size_t q = count; q-- > 0;) {
+      const std::size_t p = scratch_[q] >> 1;
+      if ((scratch_[q] & 1u) != 0) {
+        SiftDown(p);
+        continue;
+      }
+      const std::size_t last = heap_.size() - 1;
+      if (p != last) {
+        heap_[p] = heap_[last];
+        heap_.pop_back();
+        SiftDown(p);
+      } else {
+        heap_.pop_back();
+      }
+    }
+    return count;
+  }
+
+  // Removes every member whose key satisfies `pred` (same downward-closed
+  // requirement as ProcessMatching), appending the removed handles to
+  // `out` in heap-position order. Returns the number removed.
+  template <typename Pred>
+  std::size_t DrainMatching(Pred pred, std::vector<std::size_t>& out) {
+    return ProcessMatching(pred, [&out](std::size_t handle) {
+      out.push_back(handle);
+      return false;
+    });
+  }
+
+  // Removes `handle` wherever it sits. O(size) search plus one sift in
+  // each direction; meant for rare events (a player leaving mid-download),
+  // not the hot path. Returns false when the handle is not a member.
+  bool Remove(std::size_t handle) {
+    for (std::size_t p = 0; p < heap_.size(); ++p) {
+      if (heap_[p] != handle) continue;
+      const std::size_t last = heap_.size() - 1;
+      if (p != last) {
+        heap_[p] = heap_[last];
+        heap_.pop_back();
+        SiftDown(p);
+        SiftUp(p);
+      } else {
+        heap_.pop_back();
+      }
+      return true;
+    }
+    return false;
+  }
+
+  // Restores the heap after `handle`'s key was reassigned in place to an
+  // arbitrary value (up or down). O(size) search plus one sift. Returns
+  // false when the handle is not a member.
+  bool Update(std::size_t handle) {
+    for (std::size_t p = 0; p < heap_.size(); ++p) {
+      if (heap_[p] != handle) continue;
+      SiftDown(p);
+      SiftUp(p);
+      return true;
+    }
+    return false;
   }
 
   void Clear() noexcept { heap_.clear(); }
@@ -92,6 +222,7 @@ class IndexedMinHeap {
   }
 
   std::vector<std::size_t> heap_;
+  std::vector<std::size_t> scratch_;  // crown positions during batch ops
   KeyFn key_;
 };
 

@@ -1,0 +1,234 @@
+// Tests for the large-scale fairness workload (sim/fairness.hpp): the
+// deterministic per-player seeding contract (bit-identical rosters and
+// results at any thread count), the engine differential at fairness scale
+// (up to 10k players), composition with PR-2 fault profiles, the
+// published obs metrics, and config validation.
+#include "sim/fairness.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/profile.hpp"
+#include "media/video_model.hpp"
+#include "obs/metrics.hpp"
+
+namespace soda::sim {
+namespace {
+
+media::VideoModel FairnessVideo() {
+  return media::VideoModel(media::PrimeVideoProductionLadder(),
+                           {.segment_seconds = 2.0});
+}
+
+FairnessWorkloadConfig SmallConfig(std::size_t players) {
+  FairnessWorkloadConfig config;
+  config.players = players;
+  config.base_seed = 0xFA17;
+  config.session_s = 60.0;
+  config.join_window_s = 20.0;
+  return config;
+}
+
+void ExpectLogsBitwiseEqual(const SessionLog& a, const SessionLog& b) {
+  EXPECT_EQ(a.startup_s, b.startup_s);
+  EXPECT_EQ(a.total_rebuffer_s, b.total_rebuffer_s);
+  EXPECT_EQ(a.total_wait_s, b.total_wait_s);
+  EXPECT_EQ(a.session_s, b.session_s);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t s = 0; s < a.segments.size(); ++s) {
+    const SegmentRecord& x = a.segments[s];
+    const SegmentRecord& y = b.segments[s];
+    EXPECT_EQ(x.rung, y.rung);
+    EXPECT_EQ(x.size_mb, y.size_mb);
+    EXPECT_EQ(x.request_s, y.request_s);
+    EXPECT_EQ(x.download_s, y.download_s);
+    EXPECT_EQ(x.wait_s, y.wait_s);
+    EXPECT_EQ(x.rebuffer_s, y.rebuffer_s);
+    EXPECT_EQ(x.buffer_after_s, y.buffer_after_s);
+  }
+}
+
+void ExpectSummariesBitwiseEqual(const FairnessSummary& a,
+                                 const FairnessSummary& b) {
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.jain_bitrate, b.jain_bitrate);
+  EXPECT_EQ(a.jain_bytes, b.jain_bytes);
+  EXPECT_EQ(a.mean_rebuffer_s, b.mean_rebuffer_s);
+  EXPECT_EQ(a.mean_bitrate_mbps, b.mean_bitrate_mbps);
+  EXPECT_EQ(a.early_leavers, b.early_leavers);
+  ASSERT_EQ(a.link.logs.size(), b.link.logs.size());
+  for (std::size_t i = 0; i < a.link.logs.size(); ++i) {
+    SCOPED_TRACE("player " + std::to_string(i));
+    ExpectLogsBitwiseEqual(a.link.logs[i], b.link.logs[i]);
+  }
+}
+
+TEST(FairnessRoster, BitIdenticalAtAnyThreadCount) {
+  const FairnessWorkloadConfig config = SmallConfig(500);
+  const auto serial = BuildFairnessRoster(config, 1);
+  const auto parallel = BuildFairnessRoster(config, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].join_s, parallel[i].join_s) << "player " << i;
+    EXPECT_EQ(serial[i].leave_s, parallel[i].leave_s) << "player " << i;
+    EXPECT_NE(serial[i].controller, nullptr);
+    EXPECT_NE(serial[i].predictor, nullptr);
+  }
+}
+
+TEST(FairnessRoster, SchedulesSnapToGridAndStayInWindow) {
+  FairnessWorkloadConfig config = SmallConfig(400);
+  config.schedule_grid_s = 0.5;
+  config.leave_fraction = 0.5;
+  const auto roster = BuildFairnessRoster(config, 2);
+  std::size_t leavers = 0;
+  for (const SharedLinkPlayer& player : roster) {
+    EXPECT_GE(player.join_s, 0.0);
+    EXPECT_LT(player.join_s, config.join_window_s);
+    EXPECT_EQ(player.join_s, 0.5 * std::floor(player.join_s / 0.5));
+    EXPECT_GT(player.leave_s, player.join_s);
+    if (player.leave_s < config.session_s) ++leavers;
+  }
+  // ~50% leave in expectation; the seed is fixed so the count is exact and
+  // just needs to be plausibly central.
+  EXPECT_GT(leavers, roster.size() / 4);
+  EXPECT_LT(leavers, 3 * roster.size() / 4);
+}
+
+TEST(FairnessRoster, SeedChangesSchedules) {
+  FairnessWorkloadConfig config = SmallConfig(64);
+  const auto a = BuildFairnessRoster(config, 1);
+  config.base_seed ^= 0x1;
+  const auto b = BuildFairnessRoster(config, 1);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_difference |= a[i].join_s != b[i].join_s;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FairnessWorkload, ThreadCountAndEngineInvariant) {
+  // 600 players keeps the live set above the scan/heap crossover, so heap
+  // discovery actually runs; reference and both thread counts must agree
+  // bitwise on everything.
+  const FairnessWorkloadConfig config = SmallConfig(600);
+  const media::VideoModel video = FairnessVideo();
+
+  const FairnessSummary serial = RunFairnessWorkload(config, video, 1);
+  const FairnessSummary threaded = RunFairnessWorkload(config, video, 4);
+  ExpectSummariesBitwiseEqual(serial, threaded);
+
+  FairnessWorkloadConfig reference_config = config;
+  reference_config.engine = SharedLinkEngine::kReference;
+  const FairnessSummary reference =
+      RunFairnessWorkload(reference_config, video, 2);
+  ExpectSummariesBitwiseEqual(serial, reference);
+
+  EXPECT_GT(serial.jain_bitrate, 0.8);
+  EXPECT_LE(serial.jain_bitrate, 1.0);
+  EXPECT_GT(serial.jain_bytes, 0.8);
+  EXPECT_GT(serial.events, 0);
+}
+
+TEST(FairnessWorkload, TenThousandPlayersDifferential) {
+  // The headline scale: 10k players on one bottleneck. Short session keeps
+  // the reference engine's O(n)-per-event scans affordable in a test.
+  FairnessWorkloadConfig config = SmallConfig(10000);
+  config.session_s = 30.0;
+  config.join_window_s = 10.0;
+  const media::VideoModel video = FairnessVideo();
+
+  const FairnessSummary incremental = RunFairnessWorkload(config, video, 4);
+  config.engine = SharedLinkEngine::kReference;
+  const FairnessSummary reference = RunFairnessWorkload(config, video, 4);
+  ExpectSummariesBitwiseEqual(incremental, reference);
+  EXPECT_EQ(incremental.players, 10000u);
+  EXPECT_GT(incremental.events, 10000);
+}
+
+TEST(FairnessWorkload, FaultProfileCompositionStaysBitIdentical) {
+  // A PR-2 style impairment (mid-run outage + degraded recovery) composed
+  // with the fairness workload: both engines and both thread counts must
+  // agree bitwise while capacity breakpoints interleave with cohort
+  // joins/leaves.
+  const fault::FaultProfile profile = fault::FaultProfile::Parse(
+      "profile name=fairness-outage\n"
+      "outage start=20 dur=3 period=0 floor=0\n"
+      "scale factor=0.6 from=30 to=50\n");
+  FairnessWorkloadConfig config = SmallConfig(300);
+  config.impairment = &profile.plan;
+  const media::VideoModel video = FairnessVideo();
+
+  const FairnessSummary incremental = RunFairnessWorkload(config, video, 1);
+  const FairnessSummary threaded = RunFairnessWorkload(config, video, 4);
+  ExpectSummariesBitwiseEqual(incremental, threaded);
+
+  config.engine = SharedLinkEngine::kReference;
+  const FairnessSummary reference = RunFairnessWorkload(config, video, 2);
+  ExpectSummariesBitwiseEqual(incremental, reference);
+}
+
+TEST(FairnessWorkload, PublishesObsMetrics) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const auto before = registry.Snapshot();
+  const auto counter_before = [&](const std::string& name) {
+    const auto it = before.counters.find(name);
+    return it == before.counters.end() ? std::uint64_t{0} : it->second;
+  };
+
+  const FairnessSummary summary =
+      RunFairnessWorkload(SmallConfig(128), FairnessVideo(), 2);
+  const auto after = registry.Snapshot();
+
+  EXPECT_EQ(after.counters.at("sim.fairness.runs"),
+            counter_before("sim.fairness.runs") + 1);
+  EXPECT_EQ(after.counters.at("sim.fairness.players"),
+            counter_before("sim.fairness.players") + 128);
+  EXPECT_EQ(after.counters.at("sim.fairness.events"),
+            counter_before("sim.fairness.events") +
+                static_cast<std::uint64_t>(summary.events));
+  EXPECT_EQ(after.gauges.at("sim.fairness.jain_bitrate"),
+            summary.jain_bitrate);
+  EXPECT_EQ(after.gauges.at("sim.fairness.jain_bytes"), summary.jain_bytes);
+  // Every participating player lands in exactly one rebuffer bucket.
+  const auto& rebuffer = after.histograms.at("sim.fairness.rebuffer_s");
+  EXPECT_GE(rebuffer.TotalCount(), 128u);
+}
+
+TEST(FairnessConfig, RejectsNonsense) {
+  const media::VideoModel video = FairnessVideo();
+  {
+    FairnessWorkloadConfig config = SmallConfig(0);
+    EXPECT_THROW((void)BuildFairnessRoster(config, 1), std::invalid_argument);
+  }
+  {
+    FairnessWorkloadConfig config = SmallConfig(4);
+    config.join_window_s = config.session_s + 1.0;
+    EXPECT_THROW((void)BuildFairnessRoster(config, 1), std::invalid_argument);
+  }
+  {
+    FairnessWorkloadConfig config = SmallConfig(4);
+    config.leave_fraction = 1.5;
+    EXPECT_THROW((void)BuildFairnessRoster(config, 1), std::invalid_argument);
+  }
+  {
+    FairnessWorkloadConfig config = SmallConfig(4);
+    config.controller = "no-such-controller";
+    EXPECT_THROW((void)BuildFairnessRoster(config, 1), std::invalid_argument);
+  }
+  {
+    FairnessWorkloadConfig config = SmallConfig(4);
+    config.capacity_per_player_mbps = -1.0;
+    EXPECT_THROW((void)RunFairnessWorkload(config, video, 1),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace soda::sim

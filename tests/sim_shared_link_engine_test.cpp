@@ -13,6 +13,7 @@
 
 #include "core/cached_controller.hpp"
 #include "core/soda_controller.hpp"
+#include "fault/impairment.hpp"
 #include "media/video_model.hpp"
 #include "obs/trace.hpp"
 #include "predict/ema.hpp"
@@ -168,6 +169,170 @@ TEST(SharedLinkEngines, BitwiseIdenticalUnderContention) {
 
 TEST(SharedLinkEngines, BitwiseIdenticalManyPlayers) {
   RunDifferential(32, 1.7);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial schedules: equal-key storms, joins/leaves, dispatch boundary,
+// fault-impaired capacity. Each scenario runs the reference oracle once and
+// the incremental engine across forced dispatch modes, expecting bitwise
+// equality everywhere.
+
+struct EngineRun {
+  SharedLinkResult result;
+  std::vector<std::vector<obs::TraceEvent>> traces;
+};
+
+template <typename RosterFn>
+EngineRun RunWith(const RosterFn& make_roster, SharedLinkConfig config,
+                  SharedLinkEngine engine, std::size_t scan_max) {
+  config.engine = engine;
+  config.hybrid_scan_max_players = scan_max;
+  std::vector<SharedLinkPlayer> players = make_roster();
+  std::vector<obs::EventTracer> tracers(players.size(),
+                                        obs::EventTracer(true));
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    players[i].tracer = &tracers[i];
+  }
+  EngineRun run;
+  run.result = RunSharedLink(std::move(players), TestVideo(), config);
+  run.traces.reserve(tracers.size());
+  for (const obs::EventTracer& tracer : tracers) {
+    run.traces.push_back(tracer.Events());
+  }
+  return run;
+}
+
+void ExpectRunsBitwiseEqual(const EngineRun& a, const EngineRun& b) {
+  ASSERT_EQ(a.result.logs.size(), b.result.logs.size());
+  for (std::size_t i = 0; i < a.result.logs.size(); ++i) {
+    SCOPED_TRACE("player " + std::to_string(i));
+    ExpectLogsBitwiseEqual(a.result.logs[i], b.result.logs[i]);
+    ExpectTracesBitwiseEqual(a.traces[i], b.traces[i]);
+  }
+  EXPECT_EQ(a.result.bitrate_fairness, b.result.bitrate_fairness);
+  EXPECT_EQ(a.result.mean_switch_rate, b.result.mean_switch_rate);
+  EXPECT_EQ(a.result.mean_rebuffer_s, b.result.mean_rebuffer_s);
+  EXPECT_EQ(a.result.events, b.result.events);
+}
+
+// Runs the reference oracle plus the incremental engine at every forced
+// dispatch point in `scan_maxes`, expecting all runs bitwise equal.
+template <typename RosterFn>
+void ExpectAllDispatchesMatchReference(
+    const RosterFn& make_roster, const SharedLinkConfig& config,
+    const std::vector<std::size_t>& scan_maxes) {
+  const EngineRun reference = RunWith(make_roster, config,
+                                      SharedLinkEngine::kReference, 0);
+  for (const std::size_t scan_max : scan_maxes) {
+    SCOPED_TRACE("hybrid_scan_max_players=" + std::to_string(scan_max));
+    const EngineRun incremental = RunWith(
+        make_roster, config, SharedLinkEngine::kIncremental, scan_max);
+    ExpectRunsBitwiseEqual(reference, incremental);
+  }
+}
+
+constexpr std::size_t kForceHeaps = 0;
+constexpr std::size_t kForceScan = static_cast<std::size_t>(-1);
+
+TEST(SharedLinkEngines, EqualKeyStormLockstepRoster) {
+  // 64 identical players joining together: every completion and every
+  // wait-expiry arrives as one 64-wide equal-key batch, the adversarial
+  // case for the heaps' crown batch-pop (and, with generous capacity,
+  // whole-population park/release storms on the wait heap).
+  const auto make_roster = [] {
+    std::vector<SharedLinkPlayer> players(64);
+    for (SharedLinkPlayer& player : players) {
+      player.controller = std::make_unique<PinnedController>(1);
+      player.predictor = std::make_unique<predict::FixedPredictor>(2.0);
+    }
+    return players;
+  };
+  SharedLinkConfig config;
+  config.session_s = 240.0;
+  config.link_capacity_mbps = 2.0 * 64.0;  // oversized: wait storms too
+  ExpectAllDispatchesMatchReference(make_roster, config,
+                                    {kForceHeaps, kForceScan, 32});
+}
+
+TEST(SharedLinkEngines, MassJoinLeaveSchedules) {
+  // Cohort joins (16 players every 20 s) and a mid-session mass leave: the
+  // live set grows 16 -> 64 and collapses to 24, crossing any crossover in
+  // both directions and exercising heap rebuilds plus mid-download
+  // Remove() for leavers.
+  const auto make_roster = [] {
+    std::vector<SharedLinkPlayer> players(64);
+    for (std::size_t i = 0; i < players.size(); ++i) {
+      players[i].controller = std::make_unique<PinnedController>(
+          static_cast<media::Rung>(i % 3));
+      players[i].predictor = std::make_unique<predict::FixedPredictor>(1.5);
+      players[i].join_s = 20.0 * static_cast<double>(i / 16);
+      if (i % 8 == 5) players[i].leave_s = 130.0;  // mass leave cohort
+      if (i % 16 == 7) players[i].leave_s = 90.0 + static_cast<double>(i);
+    }
+    return players;
+  };
+  SharedLinkConfig config;
+  config.session_s = 240.0;
+  config.link_capacity_mbps = 1.1 * 64.0;
+  ExpectAllDispatchesMatchReference(make_roster, config,
+                                    {kForceHeaps, kForceScan, 24, 40});
+}
+
+TEST(SharedLinkEngines, HybridDispatchBoundary) {
+  // Pin the crossover exactly at the live count (n), one below (n-1), and
+  // one above (n+1) for a roster whose live count crosses those values
+  // mid-run (24 players at start, 12 more join at t=60): every placement
+  // of the boundary must leave the outputs bitwise unchanged, including
+  // the rounds where the engine switches scan -> heaps on the join wave.
+  constexpr std::size_t kStart = 24;
+  constexpr std::size_t kTotal = 36;
+  const auto make_roster = [] {
+    std::vector<SharedLinkPlayer> players(kTotal);
+    for (std::size_t i = 0; i < players.size(); ++i) {
+      players[i].controller = std::make_unique<PinnedController>(
+          static_cast<media::Rung>(i % 3));
+      players[i].predictor = std::make_unique<predict::FixedPredictor>(1.5);
+      if (i >= kStart) players[i].join_s = 60.0;
+    }
+    return players;
+  };
+  SharedLinkConfig config;
+  config.session_s = 180.0;
+  config.link_capacity_mbps = 1.2 * static_cast<double>(kTotal);
+  ExpectAllDispatchesMatchReference(
+      make_roster, config,
+      {kStart - 1, kStart, kStart + 1, kTotal - 1, kTotal, kTotal + 1,
+       kForceHeaps, kForceScan});
+}
+
+TEST(SharedLinkEngines, FaultImpairedCapacityDifferential) {
+  // PR-2 style impairment: a mid-run outage to zero, a recovery at half
+  // capacity, and a CDN switch blackout. Capacity breakpoints interleave
+  // with joins/leaves; during the outage the completion key set is empty
+  // while waits and scheduled events still fire.
+  fault::ImpairmentPlan plan;
+  plan.outages.push_back({.start_s = 60.0, .duration_s = 5.0,
+                          .period_s = 0.0, .floor_mbps = 0.0});
+  plan.scales.push_back({.factor = 0.5, .from_s = 100.0, .to_s = 150.0});
+  plan.switches.push_back({.at_s = 170.0, .blackout_s = 2.0, .factor = 0.8});
+
+  const auto make_roster = [] {
+    std::vector<SharedLinkPlayer> players(40);
+    for (std::size_t i = 0; i < players.size(); ++i) {
+      players[i].controller = std::make_unique<PinnedController>(
+          static_cast<media::Rung>(i % 3));
+      players[i].predictor = std::make_unique<predict::FixedPredictor>(1.5);
+      players[i].join_s = 1.5 * static_cast<double>(i % 8);
+      if (i % 10 == 9) players[i].leave_s = 140.0;
+    }
+    return players;
+  };
+  SharedLinkConfig config;
+  config.session_s = 240.0;
+  config.link_capacity_mbps = 1.4 * 40.0;
+  config.impairment = &plan;
+  ExpectAllDispatchesMatchReference(make_roster, config,
+                                    {kForceHeaps, kForceScan, 20});
 }
 
 }  // namespace

@@ -4,7 +4,8 @@
 Usage: tools/bench_delta.py BASELINE CANDIDATE
 
 Prints the sessions/sec delta per controller and thread count, the QoE
-deltas, and the candidate's shared-link scaling table (if present). Always
+deltas, and the candidate's shared-link scaling and fairness-workload
+tables (if present). Always
 exits 0: timing on shared CI runners is too noisy to gate on, so this is
 an eyeballing aid, not a check. Structural fields (QoE) should match the
 baseline bit-for-bit when the corpus seed is unchanged; timing fields are
@@ -92,6 +93,30 @@ def main():
                   f"{row['ns_per_event_reference']:13.0f}  "
                   f"{row['ns_per_event_incremental']:13.0f}  "
                   f"{row['speedup']:7.2f}  {row['identical_output']}")
+
+    fairness = candidate.get("fairness_scaling")
+    if fairness:
+        base_rows = {
+            row["players"]: row
+            for row in (baseline.get("fairness_scaling") or [])
+        }
+        print("\nfairness workload (candidate; Jain columns should match the "
+              "baseline bit-for-bit):")
+        print("  players  leavers  jain_bitrate  jain_bytes  rebuffer_s  "
+              "sessions/sec  speedup  identical")
+        for row in fairness:
+            base = base_rows.get(row["players"])
+            jain_marker = ""
+            if base is not None and (base.get("jain_bitrate") !=
+                                     row["jain_bitrate"] or
+                                     base.get("jain_bytes") !=
+                                     row["jain_bytes"]):
+                jain_marker = "  *** JAIN DIFFERS ***"
+            print(f"  {row['players']:7d}  {row['early_leavers']:7d}  "
+                  f"{row['jain_bitrate']:12.6f}  {row['jain_bytes']:10.6f}  "
+                  f"{row['mean_rebuffer_s']:10.4f}  "
+                  f"{row['sessions_per_sec']:12.1f}  {row['speedup']:7.2f}  "
+                  f"{row['identical_output']}{jain_marker}")
     return 0
 
 
