@@ -9,8 +9,13 @@
 //                      per-controller ns/decision, pruning reductions and
 //                      the cached-vs-exact speedup
 //   BENCH_eval.json    corpus throughput (sessions/sec) at 1/N threads and
-//                      aggregate QoE per controller, with the soda-cached
-//                      vs soda QoE delta, plus a shared-link scaling sweep
+//                      aggregate QoE per controller (incl. soda-cached-q,
+//                      the quantized-table server), the soda-cached vs soda
+//                      and quantized-vs-cached QoE deltas, a
+//                      serving_throughput block (DecisionService batch
+//                      replay: decisions/sec, batch latency p50/p99, the
+//                      quantized table memory cut, shadow-check counters),
+//                      plus a shared-link scaling sweep
 //                      (reference vs incremental engine per-event cost at
 //                      n up to 400 players, with an identical-output check)
 //                      and a fairness_scaling block (1k/10k-player fairness
@@ -35,7 +40,9 @@
 #include "core/cached_controller.hpp"
 #include "core/registry.hpp"
 #include "media/video_model.hpp"
+#include "obs/metrics.hpp"
 #include "predict/fixed.hpp"
+#include "serve/decision_service.hpp"
 #include "sim/fairness.hpp"
 #include "sim/shared_link.hpp"
 #include "util/json_writer.hpp"
@@ -455,6 +462,113 @@ void WriteFairnessScaling(util::JsonWriter& json, bool quick, int threads) {
   json.EndArray();
 }
 
+// Serving-throughput block: a DecisionService replay in serve_loadgen's
+// shape — one tenant, a warm session corpus, repeated single-threaded
+// DecideBatch calls — reporting decisions/sec, batch-latency quantiles
+// from the serve.* histograms, the quantized table's memory cut, and the
+// shadow-check mismatch rate. Single-threaded on purpose: per-decision
+// cost is the quantity under test (tests/serve_throughput_perf_test.cpp
+// pins >= 1M/s in Release; tools/bench_delta.py compares reports).
+void WriteServingThroughput(util::JsonWriter& json, bool quick) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+
+  serve::DecisionService service({.base_seed = bench::kDefaultSeed});
+  serve::TenantConfig tenant_config{media::YoutubeHfr4kLadder()};
+  const serve::TenantId tenant = service.RegisterTenant(tenant_config);
+
+  const int n_sessions = quick ? 24 : 120;
+  std::vector<std::string> ids;
+  ids.reserve(static_cast<std::size_t>(n_sessions));
+  for (int s = 0; s < n_sessions; ++s) {
+    ids.push_back("bench-session-" + std::to_string(s));
+  }
+  for (int s = 0; s < n_sessions; ++s) {
+    service.Ingest({.type = serve::EventType::kStartup,
+                    .tenant = tenant,
+                    .session_id = ids[static_cast<std::size_t>(s)],
+                    .now_s = 0.0,
+                    .duration_s = 0.4});
+    for (const double at_s : {1.0, 3.0}) {
+      service.Ingest({.type = serve::EventType::kThroughputSample,
+                      .tenant = tenant,
+                      .session_id = ids[static_cast<std::size_t>(s)],
+                      .now_s = at_s,
+                      .duration_s = 2.0,
+                      .mbps = 4.0 + at_s + 0.1 * (s % 40)});
+    }
+  }
+
+  std::vector<serve::DecisionRequest> requests(
+      static_cast<std::size_t>(n_sessions));
+  std::vector<serve::Decision> decisions(static_cast<std::size_t>(n_sessions));
+  for (int s = 0; s < n_sessions; ++s) {
+    requests[static_cast<std::size_t>(s)] = {
+        .tenant = tenant,
+        .session_id = ids[static_cast<std::size_t>(s)],
+        .buffer_s = 0.1 * ((7 * s) % 200)};
+  }
+  service.DecideBatch(requests, decisions, /*threads=*/1);  // warm-up
+  registry.Reset();  // drop warm-up from the histograms
+
+  const long long batches = quick ? 400 : 4000;
+  const auto start = Clock::now();
+  for (long long b = 0; b < batches; ++b) {
+    service.DecideBatch(requests, decisions, /*threads=*/1);
+  }
+  const double seconds = ElapsedNs(start, Clock::now()) * 1e-9;
+  const long long total_decisions = batches * n_sessions;
+  const double per_sec =
+      seconds > 0.0 ? static_cast<double>(total_decisions) / seconds : 0.0;
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const auto counter = [&](const char* name) -> std::int64_t {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end()
+               ? 0
+               : static_cast<std::int64_t>(it->second);
+  };
+  const std::int64_t shadow_checks = counter("serve.shadow_checks");
+  const std::int64_t shadow_mismatches = counter("serve.shadow_mismatches");
+  const serve::DecisionService::TenantTables tables = service.Tables(tenant);
+  const auto exact_bytes =
+      static_cast<std::int64_t>(core::DecisionTableMemoryBytes(*tables.exact));
+  const auto quantized_bytes =
+      static_cast<std::int64_t>(tables.quantized->MemoryBytes());
+
+  json.Key("serving_throughput").BeginObject();
+  json.Key("sessions").Int(n_sessions);
+  json.Key("batches").Int(batches);
+  json.Key("threads").Int(1);
+  json.Key("decisions").Int(total_decisions);
+  json.Key("decisions_per_sec").Number(per_sec);
+  const auto batch_us = snapshot.histograms.find("serve.batch_us");
+  if (batch_us != snapshot.histograms.end()) {
+    json.Key("batch_us_p50").Number(batch_us->second.Quantile(0.50));
+    json.Key("batch_us_p99").Number(batch_us->second.Quantile(0.99));
+  }
+  const auto per_decision = snapshot.histograms.find("serve.ns_per_decision");
+  if (per_decision != snapshot.histograms.end()) {
+    json.Key("ns_per_decision_p50").Number(per_decision->second.Quantile(0.50));
+    json.Key("ns_per_decision_p99").Number(per_decision->second.Quantile(0.99));
+  }
+  json.Key("table_hits").Int(counter("serve.table_hits"));
+  json.Key("fallbacks").Int(counter("serve.fallbacks"));
+  json.Key("shadow_checks").Int(shadow_checks);
+  json.Key("shadow_mismatches").Int(shadow_mismatches);
+  json.Key("table_bytes_exact").Int(exact_bytes);
+  json.Key("table_bytes_quantized").Int(quantized_bytes);
+  json.Key("table_memory_ratio")
+      .Number(static_cast<double>(exact_bytes) /
+              static_cast<double>(quantized_bytes));
+  json.EndObject();
+  registry.Reset();
+  std::printf("  serving throughput %.3g decisions/sec (%d sessions, x%.1f memory cut)\n",
+              per_sec, n_sessions,
+              static_cast<double>(exact_bytes) /
+                  static_cast<double>(quantized_bytes));
+}
+
 void WriteEvalReport(const std::string& path, bool quick) {
   const std::uint64_t seed = bench::kDefaultSeed;
   const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
@@ -481,7 +595,8 @@ void WriteEvalReport(const std::string& path, bool quick) {
   json.Key("controllers").BeginArray();
   double soda_qoe = 0.0;
   double cached_qoe = 0.0;
-  for (const char* name : {"soda", "soda-cached"}) {
+  double quantized_qoe = 0.0;
+  for (const char* name : {"soda", "soda-cached", "soda-cached-q"}) {
     qoe::EvalConfig config = bench::LiveEvalConfig(ladder);
     const qoe::ControllerFactory factory = [name] {
       return core::MakeController(name);
@@ -511,13 +626,20 @@ void WriteEvalReport(const std::string& path, bool quick) {
     json.Key("switch_rate").Number(result.aggregate.switch_rate.Mean());
     if (std::strcmp(name, "soda") == 0) {
       soda_qoe = result.aggregate.qoe.Mean();
-    } else {
+    } else if (std::strcmp(name, "soda-cached") == 0) {
       cached_qoe = result.aggregate.qoe.Mean();
+    } else {
+      quantized_qoe = result.aggregate.qoe.Mean();
     }
     json.EndObject();
   }
   json.EndArray();
   json.Key("cached_qoe_delta").Number(cached_qoe - soda_qoe);
+  // The quantized-serving equivalence bound from ISSUE acceptance: the
+  // corpus QoE moved by serving the quantized table instead of the exact
+  // one (tests pin |delta| <= 0.005; bench_delta.py re-checks the report).
+  json.Key("quantized_qoe_delta").Number(quantized_qoe - cached_qoe);
+  WriteServingThroughput(json, quick);
   WriteSharedLinkScaling(json, quick);
   WriteFairnessScaling(json, quick, max_threads);
   json.EndObject();

@@ -61,13 +61,23 @@ void CachedDecisionController::EnsureTable(const abr::Context& context) {
                               config_.max_mbps);
   };
   if (config_.share_table) {
-    table_ = SharedDecisionTable(
+    const std::string key =
         DecisionTableKey(context.Ladder(), mc, config_.base,
                          config_.buffer_points, config_.throughput_points,
-                         config_.min_mbps, config_.max_mbps),
-        build);
+                         config_.min_mbps, config_.max_mbps);
+    table_ = SharedDecisionTable(key, build);
+    if (config_.quantize) {
+      // Quantization is a pure function of the exact table, so the exact
+      // table's key identifies the quantized build too.
+      quantized_ = SharedQuantizedTable(
+          key, [this] { return QuantizeDecisionTable(*table_); });
+    }
   } else {
     table_ = std::make_shared<const DecisionTable>(build());
+    if (config_.quantize) {
+      quantized_ = std::make_shared<const QuantizedDecisionTable>(
+          QuantizeDecisionTable(*table_));
+    }
   }
 }
 
@@ -96,38 +106,12 @@ media::Rung CachedDecisionController::TableRung(media::Rung prev_rung, int t,
 
 media::Rung CachedDecisionController::LookupRung(double buffer_s, double mbps,
                                                  media::Rung prev_rung) const {
-  const DecisionTable& table = *table_;
-  // Fractional grid coordinates.
-  const double fb = buffer_s / model_->Config().max_buffer_s *
-                    (static_cast<double>(table.buffer_axis.size()) - 1.0);
-  const double ft = (std::log(mbps) - table.log_min_mbps) * table.inv_log_step;
-
-  if (config_.lookup == CachedControllerConfig::Lookup::kNearest) {
-    const int b = std::clamp(static_cast<int>(std::lround(fb)), 0,
-                             static_cast<int>(table.buffer_axis.size()) - 1);
-    const int t =
-        std::clamp(static_cast<int>(std::lround(ft)), 0,
-                   static_cast<int>(table.throughput_axis.size()) - 1);
-    return table.Cell(prev_rung, t, b);
+  if (config_.quantize) {
+    return LookupDecision(*quantized_, config_.lookup, buffer_s, mbps,
+                          prev_rung);
   }
-
-  // Bilinear: interpolate the four surrounding cells' rung indices and
-  // round to the nearest rung.
-  const int b0 = std::clamp(static_cast<int>(std::floor(fb)), 0,
-                            static_cast<int>(table.buffer_axis.size()) - 2);
-  const int t0 =
-      std::clamp(static_cast<int>(std::floor(ft)), 0,
-                 static_cast<int>(table.throughput_axis.size()) - 2);
-  const double wb = std::clamp(fb - b0, 0.0, 1.0);
-  const double wt = std::clamp(ft - t0, 0.0, 1.0);
-  const double r00 = table.cells[table.CellIndex(prev_rung, t0, b0)];
-  const double r01 = table.cells[table.CellIndex(prev_rung, t0, b0 + 1)];
-  const double r10 = table.cells[table.CellIndex(prev_rung, t0 + 1, b0)];
-  const double r11 = table.cells[table.CellIndex(prev_rung, t0 + 1, b0 + 1)];
-  const double blended = (1.0 - wt) * ((1.0 - wb) * r00 + wb * r01) +
-                         wt * ((1.0 - wb) * r10 + wb * r11);
-  const int rung = static_cast<int>(std::lround(blended));
-  return std::clamp(rung, 0, table.rung_count - 1);
+  return LookupDecision(*table_, config_.lookup, buffer_s,
+                        model_->Config().max_buffer_s, mbps, prev_rung);
 }
 
 media::Rung CachedDecisionController::ChooseRung(const abr::Context& context) {

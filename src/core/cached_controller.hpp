@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/decision_table.hpp"
+#include "core/quantized_table.hpp"
 #include "core/soda_controller.hpp"
 #include "obs/metrics.hpp"
 
@@ -44,10 +45,9 @@ struct CachedControllerConfig {
   int throughput_points = 64;
   double min_mbps = 0.2;
   double max_mbps = 150.0;
-  enum class Lookup {
-    kNearest,   // serve the nearest grid cell
-    kBilinear,  // interpolate the four surrounding cells' rungs, round
-  };
+  // Off-grid resolution (shared with every other table-serving path; see
+  // core::TableLookup): nearest grid cell, or bilinear rung interpolation.
+  using Lookup = TableLookup;
   Lookup lookup = Lookup::kNearest;
   // Maximum relative deviation of predictions[i] from predictions[0] for
   // the forecast to still count as "constant" and be served from the
@@ -60,6 +60,14 @@ struct CachedControllerConfig {
   // stream geometry per process, shared across sessions and worker
   // threads. Disable only to measure the private-build path.
   bool share_table = true;
+  // Serve lookups from the compact QuantizedDecisionTable (bit-packed
+  // cells + fp32 axis parameters; see core/quantized_table.hpp) instead of
+  // the exact table. Cell contents are identical bitwise; only queries that
+  // straddle a cell boundary can resolve differently (fp32 coordinate
+  // rounding), bounded end to end by the corpus QoE-delta test. The exact
+  // table is still built (it is the quantization source and the fallback
+  // solver's geometry reference).
+  bool quantize = false;
 };
 
 class CachedDecisionController final : public abr::Controller {
@@ -68,7 +76,9 @@ class CachedDecisionController final : public abr::Controller {
   explicit CachedDecisionController(CachedControllerConfig config = {});
 
   [[nodiscard]] media::Rung ChooseRung(const abr::Context& context) override;
-  [[nodiscard]] std::string Name() const override { return "SODA-cached"; }
+  [[nodiscard]] std::string Name() const override {
+    return config_.quantize ? "SODA-cached-q" : "SODA-cached";
+  }
 
   struct Stats {
     // Geometry changes seen by this instance (each one builds a table or
@@ -102,6 +112,11 @@ class CachedDecisionController final : public abr::Controller {
   [[nodiscard]] const DecisionTablePtr& Table() const noexcept {
     return table_;
   }
+  // The quantized variant (null unless config.quantize; same sharing
+  // semantics as Table()).
+  [[nodiscard]] const QuantizedTablePtr& QuantizedTable() const noexcept {
+    return quantized_;
+  }
 
  private:
   // (Re)builds the model/solver/table when the stream geometry (ladder,
@@ -117,6 +132,7 @@ class CachedDecisionController final : public abr::Controller {
   std::optional<CostModel> model_;
   std::optional<MonotonicSolver> solver_;
   DecisionTablePtr table_;
+  QuantizedTablePtr quantized_;
   Stats stats_;
   abr::DecisionStats last_stats_;
   // Process-wide grid-hit/fallback counters (aggregated across instances,

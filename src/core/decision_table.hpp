@@ -18,6 +18,8 @@
 // (once per controller per geometry), never per decision.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -54,6 +56,66 @@ struct DecisionTable {
 };
 
 using DecisionTablePtr = std::shared_ptr<const DecisionTable>;
+
+// How off-grid query points resolve to cells: nearest grid cell, or
+// rung-index bilinear interpolation over the four surrounding cells.
+enum class TableLookup {
+  kNearest,
+  kBilinear,
+};
+
+namespace detail {
+
+// The one lookup routine every table-serving path shares
+// (CachedDecisionController and the serve::DecisionService daemon): given
+// fractional grid coordinates (fb, ft) it resolves a cell via `cell(t, b)`.
+// Centralizing it keeps the controller and the daemon decision-identical by
+// construction.
+template <typename CellFn>
+[[nodiscard]] media::Rung LookupCells(TableLookup lookup, double fb, double ft,
+                                      int nb, int nt, int rungs,
+                                      const CellFn& cell) noexcept {
+  if (lookup == TableLookup::kNearest) {
+    const int b = std::clamp(static_cast<int>(std::lround(fb)), 0, nb - 1);
+    const int t = std::clamp(static_cast<int>(std::lround(ft)), 0, nt - 1);
+    return cell(t, b);
+  }
+  // Bilinear: interpolate the four surrounding cells' rung indices and
+  // round to the nearest rung.
+  const int b0 = std::clamp(static_cast<int>(std::floor(fb)), 0, nb - 2);
+  const int t0 = std::clamp(static_cast<int>(std::floor(ft)), 0, nt - 2);
+  const double wb = std::clamp(fb - b0, 0.0, 1.0);
+  const double wt = std::clamp(ft - t0, 0.0, 1.0);
+  const double r00 = cell(t0, b0);
+  const double r01 = cell(t0, b0 + 1);
+  const double r10 = cell(t0 + 1, b0);
+  const double r11 = cell(t0 + 1, b0 + 1);
+  const double blended = (1.0 - wt) * ((1.0 - wb) * r00 + wb * r01) +
+                         wt * ((1.0 - wb) * r10 + wb * r11);
+  const int rung = static_cast<int>(std::lround(blended));
+  return std::clamp(rung, 0, rungs - 1);
+}
+
+}  // namespace detail
+
+// Serves one decision from the exact table. `max_buffer_s` is the cost
+// model's buffer capacity (passed explicitly rather than read from the
+// buffer axis so the arithmetic stays bit-identical to the historical
+// controller path). The caller owns the servable-range check.
+[[nodiscard]] inline media::Rung LookupDecision(const DecisionTable& table,
+                                                TableLookup lookup,
+                                                double buffer_s,
+                                                double max_buffer_s,
+                                                double mbps,
+                                                media::Rung prev_rung) noexcept {
+  const int nb = static_cast<int>(table.buffer_axis.size());
+  const int nt = static_cast<int>(table.throughput_axis.size());
+  const double fb = buffer_s / max_buffer_s * (nb - 1.0);
+  const double ft = (std::log(mbps) - table.log_min_mbps) * table.inv_log_step;
+  return detail::LookupCells(
+      lookup, fb, ft, nb, nt, table.rung_count,
+      [&](int t, int b) -> media::Rung { return table.Cell(prev_rung, t, b); });
+}
 
 // Builds the decision grid with one exact DecideSoda call per cell under
 // constant throughput predictions. Deterministic: the result is a pure

@@ -1,0 +1,215 @@
+#include "core/quantized_table.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/ensure.hpp"
+
+namespace soda::core {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'Q', 'D', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t size) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+template <typename T>
+void AppendPod(std::string& out, T value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+// Reads a POD from `data` at `offset`, advancing it. Throws on truncation.
+template <typename T>
+T ReadPod(std::string_view data, std::size_t& offset) {
+  SODA_ENSURE(offset + sizeof(T) <= data.size(),
+              "quantized table: truncated input");
+  T value;
+  std::memcpy(&value, data.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+struct QuantCache {
+  std::mutex mu;
+  std::unordered_map<std::string, QuantizedTablePtr> tables;
+};
+
+QuantCache& Cache() {
+  // Leaked intentionally, like the exact-table cache: adopters may outlive
+  // static destruction order.
+  static QuantCache* cache = new QuantCache();
+  return *cache;
+}
+
+}  // namespace
+
+std::size_t DecisionTableMemoryBytes(const DecisionTable& table) {
+  return sizeof(table) + table.buffer_axis.capacity() * sizeof(double) +
+         table.throughput_axis.capacity() * sizeof(double) +
+         table.cells.capacity() * sizeof(std::int16_t);
+}
+
+int QuantizedBitsPerCell(int rung_count) noexcept {
+  if (rung_count <= 4) return 2;
+  if (rung_count <= 16) return 4;
+  if (rung_count <= 256) return 8;
+  return 16;
+}
+
+QuantizedDecisionTable QuantizeDecisionTable(const DecisionTable& exact) {
+  SODA_ENSURE(exact.rung_count > 0 && !exact.cells.empty() &&
+                  exact.buffer_axis.size() >= 2 &&
+                  exact.throughput_axis.size() >= 2,
+              "cannot quantize an empty decision table");
+  QuantizedDecisionTable q;
+  q.max_buffer_s = static_cast<float>(exact.buffer_axis.back());
+  q.log_min_mbps = static_cast<float>(exact.log_min_mbps);
+  q.inv_log_step = static_cast<float>(exact.inv_log_step);
+  q.min_mbps = static_cast<float>(exact.throughput_axis.front());
+  q.max_mbps = static_cast<float>(exact.throughput_axis.back());
+  q.buffer_points = static_cast<std::uint32_t>(exact.buffer_axis.size());
+  q.throughput_points =
+      static_cast<std::uint32_t>(exact.throughput_axis.size());
+  q.rung_count = static_cast<std::uint16_t>(exact.rung_count);
+  q.bits_per_cell =
+      static_cast<std::uint8_t>(QuantizedBitsPerCell(exact.rung_count));
+
+  const std::size_t cells = exact.cells.size();
+  const std::size_t bytes =
+      q.bits_per_cell == 16 ? cells * 2
+                            : (cells * q.bits_per_cell + 7) / 8;
+  q.words.assign(bytes, 0);
+  for (std::size_t i = 0; i < cells; ++i) {
+    const std::int16_t cell = exact.cells[i];
+    SODA_ENSURE(cell >= 0 && cell < exact.rung_count,
+                "decision table cell out of rung range");
+    if (q.bits_per_cell == 16) {
+      q.words[i * 2] = static_cast<std::uint8_t>(cell & 0xff);
+      q.words[i * 2 + 1] = static_cast<std::uint8_t>((cell >> 8) & 0xff);
+    } else {
+      const unsigned per_byte = 8u / q.bits_per_cell;
+      const unsigned shift =
+          static_cast<unsigned>(i % per_byte) * q.bits_per_cell;
+      q.words[i / per_byte] |=
+          static_cast<std::uint8_t>(static_cast<unsigned>(cell) << shift);
+    }
+  }
+  // The contract the serving layer leans on: packing is lossless.
+  SODA_ENSURE(CountCellMismatches(q, exact) == 0,
+              "quantized cells must match the exact table bitwise");
+  return q;
+}
+
+std::size_t CountCellMismatches(const QuantizedDecisionTable& quantized,
+                                const DecisionTable& exact) {
+  if (quantized.CellCount() != exact.cells.size()) return exact.cells.size();
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < exact.cells.size(); ++i) {
+    if (quantized.DecodeCell(i) != static_cast<media::Rung>(exact.cells[i])) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+std::string SerializeQuantizedTable(const QuantizedDecisionTable& table) {
+  std::string out;
+  out.reserve(64 + table.words.size());
+  out.append(kMagic, sizeof(kMagic));
+  AppendPod(out, kVersion);
+  AppendPod(out, table.buffer_points);
+  AppendPod(out, table.throughput_points);
+  AppendPod(out, static_cast<std::uint32_t>(table.rung_count));
+  AppendPod(out, static_cast<std::uint32_t>(table.bits_per_cell));
+  AppendPod(out, table.max_buffer_s);
+  AppendPod(out, table.log_min_mbps);
+  AppendPod(out, table.inv_log_step);
+  AppendPod(out, table.min_mbps);
+  AppendPod(out, table.max_mbps);
+  AppendPod(out, static_cast<std::uint64_t>(table.words.size()));
+  out.append(reinterpret_cast<const char*>(table.words.data()),
+             table.words.size());
+  AppendPod(out, Fnv1a(table.words.data(), table.words.size()));
+  return out;
+}
+
+QuantizedDecisionTable ParseQuantizedTable(std::string_view data) {
+  std::size_t offset = 0;
+  SODA_ENSURE(data.size() >= sizeof(kMagic) &&
+                  std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0,
+              "quantized table: bad magic");
+  offset += sizeof(kMagic);
+  const auto version = ReadPod<std::uint32_t>(data, offset);
+  SODA_ENSURE(version == kVersion, "quantized table: unsupported version");
+
+  QuantizedDecisionTable table;
+  table.buffer_points = ReadPod<std::uint32_t>(data, offset);
+  table.throughput_points = ReadPod<std::uint32_t>(data, offset);
+  const auto rung_count = ReadPod<std::uint32_t>(data, offset);
+  const auto bits = ReadPod<std::uint32_t>(data, offset);
+  SODA_ENSURE(rung_count > 0 && rung_count <= 0xffff,
+              "quantized table: rung count out of range");
+  SODA_ENSURE(bits == 2 || bits == 4 || bits == 8 || bits == 16,
+              "quantized table: unsupported cell width");
+  table.rung_count = static_cast<std::uint16_t>(rung_count);
+  table.bits_per_cell = static_cast<std::uint8_t>(bits);
+  table.max_buffer_s = ReadPod<float>(data, offset);
+  table.log_min_mbps = ReadPod<float>(data, offset);
+  table.inv_log_step = ReadPod<float>(data, offset);
+  table.min_mbps = ReadPod<float>(data, offset);
+  table.max_mbps = ReadPod<float>(data, offset);
+  const auto word_count = ReadPod<std::uint64_t>(data, offset);
+
+  const std::size_t cells = table.CellCount();
+  const std::size_t expected_bytes =
+      bits == 16 ? cells * 2 : (cells * bits + 7) / 8;
+  SODA_ENSURE(word_count == expected_bytes,
+              "quantized table: cell storage size mismatch");
+  SODA_ENSURE(offset + word_count + sizeof(std::uint64_t) <= data.size(),
+              "quantized table: truncated input");
+  table.words.assign(
+      reinterpret_cast<const std::uint8_t*>(data.data()) + offset,
+      reinterpret_cast<const std::uint8_t*>(data.data()) + offset +
+          word_count);
+  offset += word_count;
+  const auto checksum = ReadPod<std::uint64_t>(data, offset);
+  SODA_ENSURE(checksum == Fnv1a(table.words.data(), table.words.size()),
+              "quantized table: checksum mismatch");
+  return table;
+}
+
+QuantizedTablePtr SharedQuantizedTable(
+    const std::string& key,
+    const std::function<QuantizedDecisionTable()>& build) {
+  QuantCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  const auto it = cache.tables.find(key);
+  if (it != cache.tables.end()) return it->second;
+  QuantizedTablePtr table =
+      std::make_shared<const QuantizedDecisionTable>(build());
+  cache.tables.emplace(key, table);
+  return table;
+}
+
+void ClearQuantizedTableCacheForTesting() {
+  QuantCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.tables.clear();
+}
+
+std::size_t QuantizedTableCacheSize() {
+  QuantCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.tables.size();
+}
+
+}  // namespace soda::core

@@ -1,0 +1,154 @@
+// Quantized SODA decision tables: the compact serving-time variant.
+//
+// A DecisionTable keeps int16 cells and double axes — ~50 KB for a 7-rung
+// ladder at the default 48x64 grid. One table is nothing, but a serving
+// daemon holding thousands of stream geometries hot (one per tenant ladder
+// x planner configuration) wants every table to stay cache-resident, and
+// 50 KB per geometry does not.
+//
+// QuantizedDecisionTable stores the same decision grid with
+//  - cells bit-packed at the narrowest width that holds the rung count
+//    (2 bits for <= 4 rungs, 4 for <= 16, 8 for <= 256, 16 beyond), and
+//  - the axis *parameters* in fp32 instead of the axis *arrays* in fp64:
+//    both axes are analytically defined (buffer linear over [0, max],
+//    throughput log-spaced over [min, max]), so lookups only ever need
+//    max_buffer_s, log(min_mbps) and 1/log_step — never the arrays.
+// Together that cuts per-geometry memory ~4x for typical ladders (<= 16
+// rungs) and up to ~8x for small ladders, so thousands of geometries fit in
+// a few megabytes.
+//
+// Equivalence contract (pinned by tests and by the serving daemon's shadow
+// checks): quantization is LOSSLESS for cell contents — every decoded cell
+// equals the exact table's cell bitwise (rung indices are small integers;
+// the packing only narrows storage). Lookups may still differ from the
+// exact table's, but only for query points that straddle a cell boundary,
+// because the fp32 axis parameters round grid coordinates slightly
+// differently; end to end that is bounded by the corpus QoE-delta test
+// (|delta| <= 0.005 vs exact-table serving).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/decision_table.hpp"
+
+namespace soda::core {
+
+struct QuantizedDecisionTable {
+  // Axis parameters, fp32 (see file comment). Widened to double for lookup
+  // arithmetic; the rounding vs the exact table's doubles is the only lossy
+  // part of quantization.
+  float max_buffer_s = 0.0f;
+  float log_min_mbps = 0.0f;
+  float inv_log_step = 0.0f;
+  // Grid throughput range, for the caller's servable-range check.
+  float min_mbps = 0.0f;
+  float max_mbps = 0.0f;
+  std::uint32_t buffer_points = 0;
+  std::uint32_t throughput_points = 0;
+  std::uint16_t rung_count = 0;
+  // Bits per cell: 2, 4, 8 or 16 (16-bit cells are stored little-endian).
+  std::uint8_t bits_per_cell = 8;
+  // Packed [prev + 1][throughput][buffer] rung choices, same layout as
+  // DecisionTable::cells. Cell i lives at bit (i * bits_per_cell).
+  std::vector<std::uint8_t> words;
+
+  [[nodiscard]] std::size_t CellIndex(media::Rung prev_rung, int t,
+                                      int b) const noexcept {
+    return (static_cast<std::size_t>(prev_rung + 1) * throughput_points +
+            static_cast<std::size_t>(t)) *
+               buffer_points +
+           static_cast<std::size_t>(b);
+  }
+
+  [[nodiscard]] media::Rung Cell(media::Rung prev_rung, int t,
+                                 int b) const noexcept {
+    return DecodeCell(CellIndex(prev_rung, t, b));
+  }
+
+  [[nodiscard]] media::Rung DecodeCell(std::size_t index) const noexcept {
+    if (bits_per_cell == 16) {
+      const std::size_t byte = index * 2;
+      return static_cast<media::Rung>(
+          static_cast<unsigned>(words[byte]) |
+          (static_cast<unsigned>(words[byte + 1]) << 8));
+    }
+    const unsigned per_byte = 8u / bits_per_cell;
+    const unsigned shift =
+        static_cast<unsigned>(index % per_byte) * bits_per_cell;
+    const unsigned mask = (1u << bits_per_cell) - 1u;
+    return static_cast<media::Rung>((words[index / per_byte] >> shift) & mask);
+  }
+
+  [[nodiscard]] std::size_t CellCount() const noexcept {
+    return static_cast<std::size_t>(rung_count + 1) * throughput_points *
+           buffer_points;
+  }
+
+  // Bytes this table keeps resident (header + packed cells).
+  [[nodiscard]] std::size_t MemoryBytes() const noexcept {
+    return sizeof(*this) + words.capacity();
+  }
+};
+
+using QuantizedTablePtr = std::shared_ptr<const QuantizedDecisionTable>;
+
+// Serves one decision from a quantized table — same routine as the exact
+// overload in decision_table.hpp, with grid parameters widened from fp32.
+// That widening is the sole source of quantized-vs-exact lookup
+// differences; cell contents are bitwise identical.
+[[nodiscard]] inline media::Rung LookupDecision(
+    const QuantizedDecisionTable& table, TableLookup lookup, double buffer_s,
+    double mbps, media::Rung prev_rung) noexcept {
+  const int nb = static_cast<int>(table.buffer_points);
+  const int nt = static_cast<int>(table.throughput_points);
+  const double fb =
+      buffer_s / static_cast<double>(table.max_buffer_s) * (nb - 1.0);
+  const double ft = (std::log(mbps) - static_cast<double>(table.log_min_mbps)) *
+                    static_cast<double>(table.inv_log_step);
+  return detail::LookupCells(
+      lookup, fb, ft, nb, nt, table.rung_count,
+      [&](int t, int b) -> media::Rung { return table.Cell(prev_rung, t, b); });
+}
+
+// Resident bytes of the exact table, for memory-ratio reporting against
+// QuantizedDecisionTable::MemoryBytes().
+[[nodiscard]] std::size_t DecisionTableMemoryBytes(const DecisionTable& table);
+
+// The narrowest supported cell width holding rung indices in
+// [0, rung_count): 2, 4, 8 or 16 bits.
+[[nodiscard]] int QuantizedBitsPerCell(int rung_count) noexcept;
+
+// Quantizes an exact table. Cell contents are preserved bitwise (checked);
+// axis parameters are rounded to fp32. Deterministic.
+[[nodiscard]] QuantizedDecisionTable QuantizeDecisionTable(
+    const DecisionTable& exact);
+
+// Number of cells whose decoded value differs from the exact table's —
+// always 0 for a table produced by QuantizeDecisionTable (the equivalence
+// contract); exposed so tests and the serving daemon can enforce it on
+// deserialized tables too.
+[[nodiscard]] std::size_t CountCellMismatches(
+    const QuantizedDecisionTable& quantized, const DecisionTable& exact);
+
+// Compact binary serialization (magic + version + header + packed cells +
+// FNV-1a checksum), for shipping tables to edge processes or persisting a
+// warmed cache. ParseQuantizedTable throws std::invalid_argument on
+// truncated, corrupt or version-mismatched input. Round-trips bitwise.
+[[nodiscard]] std::string SerializeQuantizedTable(
+    const QuantizedDecisionTable& table);
+[[nodiscard]] QuantizedDecisionTable ParseQuantizedTable(std::string_view data);
+
+// Process-wide keyed cache, mirroring SharedDecisionTable: tenants that
+// share a geometry share one quantized build. Key by the exact table's
+// DecisionTableKey — quantization is a pure function of the exact table.
+[[nodiscard]] QuantizedTablePtr SharedQuantizedTable(
+    const std::string& key,
+    const std::function<QuantizedDecisionTable()>& build);
+
+void ClearQuantizedTableCacheForTesting();
+[[nodiscard]] std::size_t QuantizedTableCacheSize();
+
+}  // namespace soda::core

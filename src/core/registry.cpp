@@ -43,7 +43,7 @@ std::string JoinNames(const std::vector<std::string>& names) {
 }  // namespace
 
 std::vector<std::string> ControllerNames() {
-  return {"soda", "soda-cached", "hyb", "bola",       "bba",
+  return {"soda", "soda-cached", "soda-cached-q", "hyb", "bola", "bba",
           "dynamic",    "mpc",  "robustmpc", "fugu", "rl",
           "throughput", "production"};
 }
@@ -53,6 +53,14 @@ abr::ControllerPtr MakeController(const std::string& raw_name) {
   if (name == "soda") return std::make_unique<SodaController>();
   if (name == "soda-cached") {
     return std::make_unique<CachedDecisionController>();
+  }
+  if (name == "soda-cached-q") {
+    // Serves from the compact quantized table (the decision-serving
+    // daemon's default); lookups differ from soda-cached only at cell
+    // boundaries (fp32 coordinate rounding).
+    CachedControllerConfig config;
+    config.quantize = true;
+    return std::make_unique<CachedDecisionController>(config);
   }
   if (name == "hyb") return std::make_unique<abr::HybController>();
   if (name == "bola") return std::make_unique<abr::BolaController>();

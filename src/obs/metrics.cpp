@@ -23,6 +23,30 @@ std::uint64_t HistogramSnapshot::TotalCount() const noexcept {
   return total;
 }
 
+double HistogramSnapshot::Quantile(double q) const noexcept {
+  const std::uint64_t total = TotalCount();
+  if (total == 0 || bounds.empty() || counts.size() != bounds.size() + 1) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank within the sorted samples (1-based, so q=0 resolves inside
+  // the first non-empty bucket rather than below every observation).
+  const double rank = std::max(q * static_cast<double>(total), 1.0);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double count = static_cast<double>(counts[i]);
+    if (count == 0.0 || cumulative + count < rank) {
+      cumulative += count;
+      continue;
+    }
+    if (i == bounds.size()) break;  // overflow bucket: saturate below
+    const double upper = bounds[i];
+    const double lower = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+    return lower + (upper - lower) * (rank - cumulative) / count;
+  }
+  return bounds.back();
+}
+
 MetricsRegistry::MetricsRegistry() : instance_id_(NextInstanceId()) {}
 
 MetricsRegistry::~MetricsRegistry() = default;

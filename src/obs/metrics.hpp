@@ -89,6 +89,19 @@ struct HistogramSnapshot {
   std::vector<double> bounds;          // ascending upper bounds
   std::vector<std::uint64_t> counts;   // bounds.size() + 1 entries (overflow last)
   [[nodiscard]] std::uint64_t TotalCount() const noexcept;
+
+  // The q-quantile (q in [0, 1], clamped) estimated by linear interpolation
+  // within the fixed buckets, so p50/p99 latency can be reported straight
+  // from a snapshot without post-processing. Bucket i spans
+  // (bounds[i-1], bounds[i]]; the first bucket's lower edge is taken as
+  // min(0, bounds[0]) (observations are assumed non-negative when the first
+  // bound is positive, the Prometheus histogram_quantile convention), and a
+  // quantile landing in the unbounded overflow bucket reports bounds.back()
+  // — the estimate saturates at the last finite edge. Returns 0 when the
+  // histogram is empty. The estimate is exact whenever the underlying
+  // samples are uniform within each bucket; the error is otherwise bounded
+  // by the bucket width.
+  [[nodiscard]] double Quantile(double q) const noexcept;
 };
 
 // Merged view of every metric; maps are keyed (and therefore ordered) by

@@ -1,0 +1,464 @@
+#include "serve/decision_service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "core/soda_controller.hpp"
+#include "predict/predictor.hpp"
+#include "util/ensure.hpp"
+#include "util/parallel.hpp"
+
+namespace soda::serve {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+std::uint64_t Fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: a cheap, well-mixed bijection on 64-bit words.
+std::uint64_t Mix64(std::uint64_t x) noexcept {
+  x += kGolden;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Heterogeneous map hashing so lookups by string_view never allocate.
+struct IdHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return static_cast<std::size_t>(Fnv1a(s));
+  }
+};
+struct IdEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
+}  // namespace
+
+// Compact per-session state: the dual-EMA throughput model (bit-identical
+// arithmetic to predict::EmaPredictor) plus the previously committed rung.
+struct DecisionService::SessionState {
+  std::uint64_t seed = 0;     // pure function of (service seed, tenant, id)
+  std::uint64_t version = 0;  // events folded in so far
+  media::Rung prev_rung = -1;
+  double fast_estimate = 0.0;
+  double slow_estimate = 0.0;
+  double fast_weight = 0.0;
+  double slow_weight = 0.0;
+  double rebuffer_s = 0.0;
+};
+
+struct DecisionService::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<std::string, SessionState, IdHash, IdEq> sessions;
+};
+
+struct DecisionService::Metrics {
+  obs::Counter events;
+  obs::Counter sessions_created;
+  obs::Counter startups;
+  obs::Counter rebuffers;
+  obs::Counter decisions;
+  obs::Counter batches;
+  obs::Counter table_hits;
+  obs::Counter fallbacks;
+  obs::Counter shadow_checks;
+  obs::Counter shadow_mismatches;
+  obs::Counter table_builds;
+  obs::Histogram batch_us;
+  obs::Histogram ns_per_decision;
+  obs::Histogram startup_ms;
+};
+
+struct DecisionService::TenantState {
+  explicit TenantState(const TenantConfig& c) : config(c) {}
+
+  TenantConfig config;
+  core::CostModelConfig model_config;
+  core::SolverConfig solver_config;
+  int horizon = 1;
+  core::DecisionTablePtr exact;
+  core::QuantizedTablePtr quantized;
+  std::vector<std::unique_ptr<Shard>> shards;
+
+  // The exact-solver fallback needs a CostModel/MonotonicSolver pair, whose
+  // scratch is not thread-safe; contexts are pooled so concurrent fallbacks
+  // never share one and the (rare) path never rebuilds the model.
+  struct FallbackCtx {
+    FallbackCtx(const media::BitrateLadder& ladder,
+                const core::CostModelConfig& mc, const core::SolverConfig& sc)
+        : model(ladder, mc), solver(model, sc) {}
+    core::CostModel model;
+    core::MonotonicSolver solver;
+    std::vector<double> predictions;
+  };
+  std::mutex fallback_mu;
+  std::vector<std::unique_ptr<FallbackCtx>> fallback_pool;
+
+  [[nodiscard]] std::unique_ptr<FallbackCtx> AcquireFallback() {
+    {
+      std::lock_guard<std::mutex> lock(fallback_mu);
+      if (!fallback_pool.empty()) {
+        auto ctx = std::move(fallback_pool.back());
+        fallback_pool.pop_back();
+        return ctx;
+      }
+    }
+    return std::make_unique<FallbackCtx>(config.ladder, model_config,
+                                         solver_config);
+  }
+  void ReleaseFallback(std::unique_ptr<FallbackCtx> ctx) {
+    std::lock_guard<std::mutex> lock(fallback_mu);
+    fallback_pool.push_back(std::move(ctx));
+  }
+};
+
+DecisionService::DecisionService(ServeConfig config) : config_(config) {
+  SODA_ENSURE(config_.session_shards >= 1, "need at least one session shard");
+  SODA_ENSURE(config_.ema_fast_half_life_s > 0.0 &&
+                  config_.ema_slow_half_life_s > config_.ema_fast_half_life_s,
+              "EMA half-lives must satisfy 0 < fast < slow");
+  SODA_ENSURE(config_.shadow_check_fraction >= 0.0 &&
+                  config_.shadow_check_fraction <= 1.0,
+              "shadow fraction must be in [0, 1]");
+  shard_count_ = static_cast<int>(
+      std::bit_ceil(static_cast<unsigned>(config_.session_shards)));
+  // Shadow sampling compares the top 32 bits of a mixed hash against this
+  // threshold; fraction 1.0 maps to 2^32, which every hash is below.
+  shadow_threshold_ = static_cast<std::uint64_t>(
+      std::llround(config_.shadow_check_fraction * 4294967296.0));
+
+  auto& reg = obs::MetricsRegistry::Global();
+  metrics_ = std::make_unique<Metrics>();
+  metrics_->events = reg.GetCounter("serve.events");
+  metrics_->sessions_created = reg.GetCounter("serve.sessions_created");
+  metrics_->startups = reg.GetCounter("serve.startup_events");
+  metrics_->rebuffers = reg.GetCounter("serve.rebuffer_events");
+  metrics_->decisions = reg.GetCounter("serve.decisions");
+  metrics_->batches = reg.GetCounter("serve.batches");
+  metrics_->table_hits = reg.GetCounter("serve.table_hits");
+  metrics_->fallbacks = reg.GetCounter("serve.fallbacks");
+  metrics_->shadow_checks = reg.GetCounter("serve.shadow_checks");
+  metrics_->shadow_mismatches = reg.GetCounter("serve.shadow_mismatches");
+  metrics_->table_builds = reg.GetCounter("serve.table_builds");
+  metrics_->batch_us = reg.GetHistogram(
+      "serve.batch_us", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+                         10000, 20000, 50000, 100000});
+  metrics_->ns_per_decision = reg.GetHistogram(
+      "serve.ns_per_decision",
+      {25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 102400});
+  metrics_->startup_ms = reg.GetHistogram(
+      "serve.startup_ms", {50, 100, 200, 500, 1000, 2000, 5000, 10000});
+}
+
+DecisionService::~DecisionService() = default;
+
+TenantId DecisionService::RegisterTenant(const TenantConfig& config) {
+  SODA_ENSURE(config.segment_seconds > 0.0, "segment length must be positive");
+  SODA_ENSURE(config.max_buffer_s > 0.0, "max buffer must be positive");
+  const auto& cc = config.controller;
+  SODA_ENSURE(cc.buffer_points >= 2 && cc.throughput_points >= 2,
+              "decision table needs at least a 2x2 grid");
+  SODA_ENSURE(cc.max_mbps > cc.min_mbps && cc.min_mbps > 0.0,
+              "invalid throughput range");
+  // Delegate SodaConfig validation to the exact controller's constructor.
+  (void)core::SodaController(cc.base);
+
+  auto tenant = std::make_unique<TenantState>(config);
+  // The same model-config derivation CachedDecisionController::EnsureTable
+  // performs — a tenant and a simulated controller with equal geometry must
+  // produce the same table key and adopt the same shared build.
+  core::CostModelConfig mc;
+  mc.weights = cc.base.weights;
+  mc.dt_s = config.segment_seconds;
+  mc.max_buffer_s = config.max_buffer_s;
+  mc.target_buffer_s = cc.base.target_buffer_s.value_or(
+      cc.base.target_fraction * config.max_buffer_s);
+  mc.distortion = cc.base.distortion;
+  tenant->model_config = mc;
+  tenant->solver_config.hard_buffer_constraints = cc.base.hard_buffer_constraints;
+  tenant->solver_config.tail_intervals = cc.base.tail_intervals;
+  tenant->horizon = core::ClampedSodaHorizon(cc.base, mc.dt_s);
+
+  const auto build = [&] {
+    metrics_->table_builds.Add();
+    core::CostModel model(tenant->config.ladder, mc);
+    core::MonotonicSolver solver(model, tenant->solver_config);
+    return core::BuildDecisionTable(model, solver, cc.base, cc.buffer_points,
+                                    cc.throughput_points, cc.min_mbps,
+                                    cc.max_mbps);
+  };
+  if (cc.share_table) {
+    const std::string key = core::DecisionTableKey(
+        tenant->config.ladder, mc, cc.base, cc.buffer_points,
+        cc.throughput_points, cc.min_mbps, cc.max_mbps);
+    tenant->exact = core::SharedDecisionTable(key, build);
+    if (config.quantized) {
+      tenant->quantized = core::SharedQuantizedTable(key, [&] {
+        return core::QuantizeDecisionTable(*tenant->exact);
+      });
+    }
+  } else {
+    tenant->exact = std::make_shared<const core::DecisionTable>(build());
+    if (config.quantized) {
+      tenant->quantized = std::make_shared<const core::QuantizedDecisionTable>(
+          core::QuantizeDecisionTable(*tenant->exact));
+    }
+  }
+
+  tenant->shards.reserve(static_cast<std::size_t>(shard_count_));
+  for (int i = 0; i < shard_count_; ++i) {
+    tenant->shards.push_back(std::make_unique<Shard>());
+  }
+
+  std::unique_lock lock(tenants_mu_);
+  tenants_.push_back(std::move(tenant));
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+DecisionService::TenantState& DecisionService::Tenant(TenantId id) const {
+  // Callers hold tenants_mu_ (shared suffices: the vector only grows and
+  // TenantState is heap-pinned).
+  SODA_ENSURE(static_cast<std::size_t>(id) < tenants_.size(),
+              "unknown tenant id");
+  return *tenants_[id];
+}
+
+void DecisionService::Ingest(const SessionEvent& event) {
+  std::shared_lock tenants_lock(tenants_mu_);
+  TenantState& tenant = Tenant(event.tenant);
+  const std::uint64_t id_hash = Fnv1a(event.session_id);
+  Shard& shard = *tenant.shards[static_cast<std::size_t>(
+      Mix64(id_hash) & static_cast<std::uint64_t>(shard_count_ - 1))];
+
+  const auto observe = [&](SessionState& s, double duration_s, double mbps) {
+    if (mbps <= 0.0 || duration_s <= 0.0) return;
+    const auto update = [&](double half_life, double& estimate,
+                            double& weight) {
+      const double alpha = std::pow(0.5, duration_s / half_life);
+      estimate = alpha * estimate + (1.0 - alpha) * mbps;
+      weight = alpha * weight + (1.0 - alpha);
+    };
+    update(config_.ema_fast_half_life_s, s.fast_estimate, s.fast_weight);
+    update(config_.ema_slow_half_life_s, s.slow_estimate, s.slow_weight);
+  };
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(event.session_id);
+  if (it == shard.sessions.end()) {
+    SessionState fresh;
+    fresh.seed = Mix64(config_.base_seed ^ Mix64(id_hash) ^
+                       (static_cast<std::uint64_t>(event.tenant) * kGolden));
+    it = shard.sessions.emplace(std::string(event.session_id), fresh).first;
+    metrics_->sessions_created.Add();
+  }
+  SessionState& s = it->second;
+  ++s.version;
+  switch (event.type) {
+    case EventType::kStartup:
+      // A (re)start keeps the EMA — network knowledge outlives playback —
+      // but clears the committed rung: the next decision has no previous
+      // rung to charge switching cost against.
+      s.prev_rung = -1;
+      metrics_->startups.Add();
+      if (event.duration_s > 0.0) {
+        metrics_->startup_ms.Record(event.duration_s * 1000.0);
+      }
+      break;
+    case EventType::kSegmentDownloaded: {
+      const double mbps =
+          event.duration_s > 0.0 ? event.megabits / event.duration_s : 0.0;
+      observe(s, event.duration_s, mbps);
+      if (event.rung >= 0 && event.rung < tenant.config.ladder.Count()) {
+        s.prev_rung = event.rung;
+      }
+      break;
+    }
+    case EventType::kRebuffer:
+      s.rebuffer_s += event.duration_s;
+      metrics_->rebuffers.Add();
+      break;
+    case EventType::kThroughputSample:
+      observe(s, event.duration_s, event.mbps);
+      break;
+  }
+  metrics_->events.Add();
+}
+
+void DecisionService::IngestBatch(std::span<const SessionEvent> events) {
+  // Serial on purpose: same-session events must fold in delivery order.
+  for (const SessionEvent& event : events) Ingest(event);
+}
+
+Decision DecisionService::Decide(TenantState& tenant,
+                                 const DecisionRequest& request) {
+  // Snapshot the session under the shard lock; the decision itself runs
+  // lock-free on the copy. An unknown session is served from cold-start
+  // state without being created — decisions never mutate the session map.
+  SessionState s;
+  {
+    const std::uint64_t id_hash = Fnv1a(request.session_id);
+    Shard& shard = *tenant.shards[static_cast<std::size_t>(
+        Mix64(id_hash) & static_cast<std::uint64_t>(shard_count_ - 1))];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.sessions.find(request.session_id);
+    if (it != shard.sessions.end()) {
+      s = it->second;
+    } else {
+      s.seed = Mix64(config_.base_seed ^ Mix64(id_hash) ^
+                     (static_cast<std::uint64_t>(request.tenant) * kGolden));
+    }
+  }
+
+  // The dual-EMA forecast, bit-identical to EmaPredictor::PredictHorizon.
+  double w = predict::kDefaultColdStartMbps;
+  if (s.fast_weight > 0.0 && s.slow_weight > 0.0) {
+    const double fast = s.fast_estimate / s.fast_weight;
+    const double slow = s.slow_estimate / s.slow_weight;
+    w = std::max(std::min(fast, slow), 1e-3);
+  }
+
+  Decision d;
+  d.predicted_mbps = static_cast<float>(w);
+  const auto& cc = tenant.config.controller;
+  // The same servable-range check as CachedDecisionController (the EMA
+  // forecast is constant, so the constant-prediction tolerance always
+  // passes and does not need re-checking here).
+  const bool servable = w >= cc.min_mbps && w <= cc.max_mbps &&
+                        request.buffer_s >= 0.0 &&
+                        request.buffer_s <= tenant.model_config.max_buffer_s;
+  if (!servable) {
+    d.solver_fallback = true;
+    auto ctx = tenant.AcquireFallback();
+    ctx->predictions.assign(static_cast<std::size_t>(tenant.horizon), w);
+    d.rung = core::DecideSoda(ctx->model, ctx->solver, cc.base,
+                              ctx->predictions, request.buffer_s, s.prev_rung,
+                              {});
+    tenant.ReleaseFallback(std::move(ctx));
+    metrics_->fallbacks.Add();
+    return d;
+  }
+
+  d.from_table = true;
+  if (tenant.quantized) {
+    d.rung = LookupDecision(*tenant.quantized, cc.lookup, request.buffer_s, w,
+                            s.prev_rung);
+    // Deterministic shadow sampling: a pure function of (session seed,
+    // state version), so the same decisions are checked regardless of batch
+    // partitioning or thread count.
+    if (shadow_threshold_ != 0 &&
+        (Mix64(s.seed ^ (s.version * kGolden)) >> 32) < shadow_threshold_) {
+      d.shadow_checked = true;
+      metrics_->shadow_checks.Add();
+      const media::Rung exact =
+          LookupDecision(*tenant.exact, cc.lookup, request.buffer_s,
+                         tenant.model_config.max_buffer_s, w, s.prev_rung);
+      if (exact != d.rung) {
+        d.shadow_mismatch = true;
+        metrics_->shadow_mismatches.Add();
+      }
+    }
+  } else {
+    d.rung = LookupDecision(*tenant.exact, cc.lookup, request.buffer_s,
+                            tenant.model_config.max_buffer_s, w, s.prev_rung);
+  }
+  metrics_->table_hits.Add();
+  return d;
+}
+
+void DecisionService::DecideBatch(std::span<const DecisionRequest> requests,
+                                  std::span<Decision> out, int threads) {
+  SODA_ENSURE(out.size() >= requests.size(),
+              "output span smaller than request batch");
+  using Clock = std::chrono::steady_clock;
+  const bool timed = obs::MetricsRegistry::Global().Enabled();
+  const Clock::time_point start = timed ? Clock::now() : Clock::time_point{};
+  {
+    std::shared_lock tenants_lock(tenants_mu_);
+    // Fan out over contiguous chunks, not single requests: one decision is
+    // ~100 ns, so per-item scheduling (an atomic bump plus a std::function
+    // call) would cost as much as the work. Chunking amortizes it 256x;
+    // out[i] depends only on requests[i], so partitioning cannot change
+    // results.
+    constexpr std::size_t kChunk = 256;
+    const std::size_t n = requests.size();
+    const std::size_t chunks = (n + kChunk - 1) / kChunk;
+    util::ParallelFor(chunks, threads, [&](int /*worker*/, std::size_t c) {
+      const std::size_t end = std::min((c + 1) * kChunk, n);
+      for (std::size_t i = c * kChunk; i < end; ++i) {
+        out[i] = Decide(Tenant(requests[i].tenant), requests[i]);
+      }
+    });
+  }
+  metrics_->batches.Add();
+  metrics_->decisions.Add(requests.size());
+  if (timed && !requests.empty()) {
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+    metrics_->batch_us.Record(ns / 1000.0);
+    metrics_->ns_per_decision.Record(ns / static_cast<double>(requests.size()));
+  }
+}
+
+Decision DecisionService::DecideOne(const DecisionRequest& request) {
+  std::shared_lock tenants_lock(tenants_mu_);
+  Decision d = Decide(Tenant(request.tenant), request);
+  metrics_->decisions.Add();
+  return d;
+}
+
+bool DecisionService::RemoveSession(TenantId tenant_id,
+                                    std::string_view session_id) {
+  std::shared_lock tenants_lock(tenants_mu_);
+  TenantState& tenant = Tenant(tenant_id);
+  Shard& shard = *tenant.shards[static_cast<std::size_t>(
+      Mix64(Fnv1a(session_id)) & static_cast<std::uint64_t>(shard_count_ - 1))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) return false;
+  shard.sessions.erase(it);
+  return true;
+}
+
+std::size_t DecisionService::ActiveSessions() const {
+  std::shared_lock tenants_lock(tenants_mu_);
+  std::size_t total = 0;
+  for (const auto& tenant : tenants_) {
+    for (const auto& shard : tenant->shards) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->sessions.size();
+    }
+  }
+  return total;
+}
+
+std::size_t DecisionService::TenantCount() const {
+  std::shared_lock tenants_lock(tenants_mu_);
+  return tenants_.size();
+}
+
+DecisionService::TenantTables DecisionService::Tables(TenantId tenant) const {
+  std::shared_lock tenants_lock(tenants_mu_);
+  const TenantState& t = Tenant(tenant);
+  return TenantTables{t.exact, t.quantized};
+}
+
+}  // namespace soda::serve

@@ -1,0 +1,192 @@
+// A batched, multi-tenant decision-serving daemon.
+//
+// The simulator drives one controller per session; a deployment serves
+// *decisions as a service*: many tenants (stream geometries — ladder,
+// segment length, buffer size, planner configuration), each with thousands
+// of concurrent client sessions, all asking "which rung next?" at segment
+// cadence. DecisionService is that long-lived, in-process daemon:
+//
+//  - Ingest: client feedback events (startup, segment-downloaded, rebuffer,
+//    raw throughput samples) fold into compact per-session state — a dash.js
+//    dual-EMA throughput estimate (bit-identical to predict::EmaPredictor)
+//    plus the previously committed rung — keyed by (tenant, session id).
+//  - Decide: batched requests resolve in one call. Each decision is a pure
+//    read of session state (state changes only at ingest), served from the
+//    tenant's shared decision table — by default the compact
+//    QuantizedDecisionTable (core/quantized_table.hpp) — with the exact
+//    DecideSoda solver as the automatic fallback for inputs outside the
+//    table's range, exactly like CachedDecisionController. Batches amortize
+//    over util::ParallelFor.
+//  - Determinism: because decisions are pure reads and every session's seed
+//    is a pure function of (service seed, tenant, session-id bytes) — never
+//    of arrival order — per-session results are bit-identical for any batch
+//    partitioning and any thread count. The seed drives the deterministic
+//    shadow sampler: a configurable fraction of table-served decisions also
+//    run the exact-table lookup and compare, a production guardrail on the
+//    quantized path ("serve.shadow_mismatches" stays 0 away from cell
+//    boundaries).
+//
+// Tables come from the process-wide keyed caches (SharedDecisionTable /
+// SharedQuantizedTable), so tenants sharing a geometry share one build with
+// each other and with any in-process simulation workers.
+//
+// Instrumented under "serve.*": event/decision/fallback/shadow counters and
+// fixed-bucket latency histograms (p50/p99 via HistogramSnapshot::Quantile).
+//
+// Thread safety: everything is safe to call concurrently. Sessions are
+// sharded per tenant; a shard mutex guards state reads/writes. Events for
+// the SAME session must be delivered in order by the caller (they mutate
+// one EMA); events for different sessions commute.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cached_controller.hpp"
+#include "core/quantized_table.hpp"
+#include "media/bitrate_ladder.hpp"
+#include "obs/metrics.hpp"
+
+namespace soda::serve {
+
+using TenantId = std::uint32_t;
+
+// One tenant's stream geometry and planner configuration. The controller
+// config's grid/lookup/base fields define the decision table, exactly as
+// they do for CachedDecisionController — a tenant and a simulated
+// controller with the same geometry share one table and decide
+// identically.
+struct TenantConfig {
+  explicit TenantConfig(media::BitrateLadder l) : ladder(std::move(l)) {}
+
+  media::BitrateLadder ladder;
+  double segment_seconds = 2.0;
+  double max_buffer_s = 20.0;
+  core::CachedControllerConfig controller;
+  // Serve from the quantized table (the exact table is always built: it is
+  // the quantization source, the shadow-check reference and the fallback
+  // geometry). Off serves the exact table directly.
+  bool quantized = true;
+};
+
+struct ServeConfig {
+  // Mixed into every session's deterministic seed.
+  std::uint64_t base_seed = 0;
+  // Session shards per tenant (rounded up to a power of two, min 1). Each
+  // decision snapshots its session under the shard mutex, so shards should
+  // comfortably outnumber worker threads; a shard is just a mutex and a
+  // hash map, so the default is sized for contention, not memory.
+  int session_shards = 256;
+  // EMA half-lives, matching predict::EmaPredictor's defaults.
+  double ema_fast_half_life_s = 3.0;
+  double ema_slow_half_life_s = 8.0;
+  // Deterministic fraction of quantized table-served decisions that also
+  // run the exact-table lookup and compare (sampled per decision from the
+  // session seed and state version — reproducible across runs, batch sizes
+  // and thread counts). 0 disables shadow checking.
+  double shadow_check_fraction = 1.0 / 64.0;
+};
+
+enum class EventType : std::uint8_t {
+  kStartup,            // playback (re)started; duration_s = startup delay
+  kSegmentDownloaded,  // rung/duration_s/megabits describe the download
+  kRebuffer,           // duration_s = stall length
+  kThroughputSample,   // out-of-band sample: mbps over duration_s
+};
+
+// Client feedback. `session_id` may be arbitrary bytes; it is copied on
+// first touch and only hashed afterwards.
+struct SessionEvent {
+  EventType type = EventType::kThroughputSample;
+  TenantId tenant = 0;
+  std::string_view session_id;
+  double now_s = 0.0;
+  media::Rung rung = -1;    // kSegmentDownloaded: the rung that was fetched
+  double duration_s = 0.0;  // download / stall / sample duration
+  double megabits = 0.0;    // kSegmentDownloaded: payload size
+  double mbps = 0.0;        // kThroughputSample: measured rate
+};
+
+struct DecisionRequest {
+  TenantId tenant = 0;
+  std::string_view session_id;
+  double buffer_s = 0.0;
+};
+
+struct Decision {
+  media::Rung rung = 0;
+  // The dual-EMA throughput estimate the decision was served under.
+  float predicted_mbps = 0.0f;
+  bool from_table = false;       // served by a table lookup
+  bool solver_fallback = false;  // routed to the exact DecideSoda solver
+  bool shadow_checked = false;   // this decision ran the exact shadow lookup
+  bool shadow_mismatch = false;  // ... and the quantized lookup disagreed
+};
+
+class DecisionService {
+ public:
+  explicit DecisionService(ServeConfig config = {});
+  ~DecisionService();
+  DecisionService(const DecisionService&) = delete;
+  DecisionService& operator=(const DecisionService&) = delete;
+
+  // Registers a tenant and builds (or adopts from the process-wide caches)
+  // its decision tables. Returns the id to put in events and requests.
+  // Throws std::invalid_argument on invalid configuration.
+  [[nodiscard]] TenantId RegisterTenant(const TenantConfig& config);
+
+  // Folds one event into its session's state, creating the session on
+  // first touch. Events for the same session must arrive in order.
+  void Ingest(const SessionEvent& event);
+  void IngestBatch(std::span<const SessionEvent> events);
+
+  // Resolves `requests` into `out` (out.size() >= requests.size()), fanning
+  // out over `threads` workers (<= 0 means hardware concurrency). Decisions
+  // are pure reads of session state: out[i] depends only on the service
+  // seed, the tenant configuration and the events ingested for
+  // requests[i]'s session — never on batch boundaries, request order or
+  // thread count.
+  void DecideBatch(std::span<const DecisionRequest> requests,
+                   std::span<Decision> out, int threads = 1);
+  [[nodiscard]] Decision DecideOne(const DecisionRequest& request);
+
+  // Drops a session's state (client departed). Returns whether it existed.
+  bool RemoveSession(TenantId tenant, std::string_view session_id);
+
+  [[nodiscard]] std::size_t ActiveSessions() const;
+  [[nodiscard]] std::size_t TenantCount() const;
+
+  // The tenant's resident tables, for memory-ratio reporting.
+  struct TenantTables {
+    core::DecisionTablePtr exact;
+    core::QuantizedTablePtr quantized;  // null unless TenantConfig::quantized
+  };
+  [[nodiscard]] TenantTables Tables(TenantId tenant) const;
+
+ private:
+  struct SessionState;
+  struct Shard;
+  struct TenantState;
+  struct Metrics;
+
+  [[nodiscard]] TenantState& Tenant(TenantId id) const;
+  [[nodiscard]] Decision Decide(TenantState& tenant,
+                                const DecisionRequest& request);
+
+  ServeConfig config_;
+  int shard_count_ = 1;  // power of two
+  // shadow_check_fraction scaled to 2^32 (0 disables shadow checks).
+  std::uint64_t shadow_threshold_ = 0;
+  std::unique_ptr<Metrics> metrics_;
+  mutable std::shared_mutex tenants_mu_;
+  std::vector<std::unique_ptr<TenantState>> tenants_;
+};
+
+}  // namespace soda::serve

@@ -108,25 +108,83 @@ JsonWriter& JsonWriter::Null() {
 }
 
 void JsonWriter::WriteEscaped(std::string_view value) {
+  // Emits pure-ASCII JSON for ANY byte string: printable ASCII passes
+  // through, control characters use the standard escapes, valid UTF-8
+  // sequences become \uXXXX (surrogate pairs past the BMP), and bytes that
+  // are not part of a valid UTF-8 sequence are escaped individually as
+  // \u00XX so the output is always parseable — serving metrics export
+  // session ids that may contain arbitrary bytes, which previously leaked
+  // through verbatim and produced invalid (non-UTF-8) JSON.
   out_ << '"';
-  for (const char c : value) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(value.data());
+  const std::size_t n = value.size();
+  char buffer[8];
+  const auto emit_u16 = [&](unsigned code_unit) {
+    std::snprintf(buffer, sizeof(buffer), "\\u%04x", code_unit);
+    out_ << buffer;
+  };
+  for (std::size_t i = 0; i < n;) {
+    const unsigned char c = bytes[i];
     switch (c) {
-      case '"': out_ << "\\\""; break;
-      case '\\': out_ << "\\\\"; break;
-      case '\n': out_ << "\\n"; break;
-      case '\r': out_ << "\\r"; break;
-      case '\t': out_ << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out_ << buffer;
-        } else {
-          out_ << c;
-        }
-        break;
+      case '"': out_ << "\\\""; ++i; continue;
+      case '\\': out_ << "\\\\"; ++i; continue;
+      case '\n': out_ << "\\n"; ++i; continue;
+      case '\r': out_ << "\\r"; ++i; continue;
+      case '\t': out_ << "\\t"; ++i; continue;
+      default: break;
     }
+    if (c >= 0x20 && c < 0x7f) {
+      out_ << static_cast<char>(c);
+      ++i;
+      continue;
+    }
+    if (c < 0x20 || c == 0x7f) {  // remaining control characters + DEL
+      emit_u16(c);
+      ++i;
+      continue;
+    }
+    // c >= 0x80: decode one UTF-8 sequence.
+    unsigned cp = 0;
+    std::size_t len = 0;
+    if ((c & 0xE0) == 0xC0) {
+      cp = c & 0x1Fu;
+      len = 2;
+    } else if ((c & 0xF0) == 0xE0) {
+      cp = c & 0x0Fu;
+      len = 3;
+    } else if ((c & 0xF8) == 0xF0) {
+      cp = c & 0x07u;
+      len = 4;
+    }
+    bool valid = len != 0 && i + len <= n;
+    for (std::size_t k = 1; valid && k < len; ++k) {
+      if ((bytes[i + k] & 0xC0) != 0x80) {
+        valid = false;
+      } else {
+        cp = (cp << 6) | (bytes[i + k] & 0x3Fu);
+      }
+    }
+    if (valid) {
+      // Reject overlong encodings, UTF-16 surrogates and out-of-range
+      // code points — their bytes get the invalid-byte treatment.
+      const unsigned min_cp = len == 2 ? 0x80u : len == 3 ? 0x800u : 0x10000u;
+      if (cp < min_cp || cp > 0x10FFFFu || (cp >= 0xD800u && cp <= 0xDFFFu)) {
+        valid = false;
+      }
+    }
+    if (!valid) {  // stray byte: escape it alone, resynchronize at the next
+      emit_u16(c);
+      ++i;
+      continue;
+    }
+    if (cp < 0x10000u) {
+      emit_u16(cp);
+    } else {
+      cp -= 0x10000u;
+      emit_u16(0xD800u + (cp >> 10));
+      emit_u16(0xDC00u + (cp & 0x3FFu));
+    }
+    i += len;
   }
   out_ << '"';
 }

@@ -2,6 +2,11 @@
 // (BENCH_*.json). Values are emitted as they are written — no DOM, no
 // allocation proportional to the document. Doubles round-trip (printed with
 // %.17g, with NaN/inf mapped to null, which JSON cannot represent).
+// Strings are emitted as pure ASCII and accept arbitrary bytes: control
+// characters and non-ASCII content are \u-escaped (valid UTF-8 as its code
+// points, with surrogate pairs past the BMP; bytes that do not form valid
+// UTF-8 individually as \u00XX), so documents stay parseable even when keys
+// or values carry raw binary session ids.
 //
 //   util::JsonWriter json(stream);
 //   json.BeginObject();

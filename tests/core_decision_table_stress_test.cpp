@@ -1,0 +1,108 @@
+// Concurrent adoption of shared decision tables: many threads racing on
+// the process-wide caches must build each geometry exactly once and all
+// adopt the same immutable table. Run under -DSODA_SANITIZE=thread (or
+// address) to make the locking claims machine-checked.
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cached_controller.hpp"
+#include "core/quantized_table.hpp"
+#include "media/bitrate_ladder.hpp"
+#include "test_helpers.hpp"
+
+namespace soda::core {
+namespace {
+
+constexpr int kThreads = 8;
+
+TEST(DecisionTableStress, SameKeyBuildsOnceAcrossThreads) {
+  ClearDecisionTableCacheForTesting();
+  std::vector<DecisionTablePtr> adopted(kThreads);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Every thread drives its own controller instance at the same
+      // geometry; the shared cache must hand all of them one table.
+      CachedDecisionController controller;
+      soda::testing::ContextFixture fx(media::YoutubeHfr4kLadder());
+      fx.SetThroughput(10.0);
+      (void)controller.ChooseRung(fx.Make(10.0, 2));
+      adopted[t] = controller.Table();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(adopted[t].get(), adopted[0].get()) << "thread " << t;
+  }
+  EXPECT_EQ(DecisionTableCacheSize(), 1u);
+}
+
+TEST(DecisionTableStress, RawCacheApiPinsBuildOncePerKey) {
+  ClearDecisionTableCacheForTesting();
+  ClearQuantizedTableCacheForTesting();
+
+  // One real build per key is required; this test hammers the cache with
+  // raw keys and trivial builders so the build-once pin is exact (the
+  // builder count is the assertion, not a timing side effect).
+  CachedDecisionController reference;
+  soda::testing::ContextFixture fx(media::YoutubeHfr4kLadder());
+  fx.SetThroughput(10.0);
+  (void)reference.ChooseRung(fx.Make(10.0, 2));
+  const DecisionTable table = *reference.Table();
+  ClearDecisionTableCacheForTesting();
+  ClearQuantizedTableCacheForTesting();
+
+  constexpr int kKeys = 6;
+  constexpr int kItersPerThread = 200;
+  std::atomic<int> exact_builds{0};
+  std::atomic<int> quant_builds{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        // Interleave same-key and different-key adoptions across threads.
+        const std::string key =
+            "stress-key-" + std::to_string((i + t) % kKeys);
+        const DecisionTablePtr exact = SharedDecisionTable(key, [&] {
+          exact_builds.fetch_add(1, std::memory_order_relaxed);
+          return table;
+        });
+        ASSERT_NE(exact, nullptr);
+        const QuantizedTablePtr quantized = SharedQuantizedTable(key, [&] {
+          quant_builds.fetch_add(1, std::memory_order_relaxed);
+          return QuantizeDecisionTable(*exact);
+        });
+        ASSERT_NE(quantized, nullptr);
+        ASSERT_EQ(CountCellMismatches(*quantized, *exact), 0u);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Build-once-per-key, exactly: kThreads x kIters adoptions, kKeys builds.
+  EXPECT_EQ(exact_builds.load(), kKeys);
+  EXPECT_EQ(quant_builds.load(), kKeys);
+  EXPECT_EQ(DecisionTableCacheSize(), static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(QuantizedTableCacheSize(), static_cast<std::size_t>(kKeys));
+
+  // And every later adoption of a key returns the pinned pointer.
+  std::set<const DecisionTable*> distinct;
+  for (int k = 0; k < kKeys; ++k) {
+    const std::string key = "stress-key-" + std::to_string(k);
+    distinct.insert(SharedDecisionTable(key, [&] { return table; }).get());
+  }
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(exact_builds.load(), kKeys);  // no rebuilds
+}
+
+}  // namespace
+}  // namespace soda::core

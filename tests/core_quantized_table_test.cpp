@@ -1,0 +1,197 @@
+// QuantizedDecisionTable: the lossless-cell equivalence contract, the
+// memory cut, serialization, the shared cache, and the corpus-level QoE
+// delta bound for serving from the quantized table ("soda-cached-q").
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/cached_controller.hpp"
+#include "core/quantized_table.hpp"
+#include "core/registry.hpp"
+#include "media/quality.hpp"
+#include "net/dataset.hpp"
+#include "predict/ema.hpp"
+#include "qoe/eval.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace soda::core {
+namespace {
+
+// Builds the default-geometry exact table once via a cached controller.
+class QuantizedTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_.SetThroughput(10.0);
+    (void)controller_.ChooseRung(fx_.Make(10.0, 2));
+    ASSERT_NE(controller_.Table(), nullptr);
+  }
+
+  soda::testing::ContextFixture fx_{media::YoutubeHfr4kLadder()};
+  CachedDecisionController controller_;
+};
+
+TEST_F(QuantizedTableTest, CellsAreBitwiseIdentical) {
+  const DecisionTable& exact = *controller_.Table();
+  const QuantizedDecisionTable q = QuantizeDecisionTable(exact);
+  EXPECT_EQ(CountCellMismatches(q, exact), 0u);
+  EXPECT_EQ(q.rung_count, exact.rung_count);
+  EXPECT_EQ(q.buffer_points, exact.buffer_axis.size());
+  EXPECT_EQ(q.throughput_points, exact.throughput_axis.size());
+  // 7 rungs (YouTube HFR 4k has 6, plus nothing — rung_count covers the
+  // ladder) pack into 4-bit cells.
+  EXPECT_EQ(QuantizedBitsPerCell(exact.rung_count), 4);
+  EXPECT_EQ(q.bits_per_cell, 4);
+}
+
+TEST(QuantizedBits, WidthsCoverTheRungRange) {
+  EXPECT_EQ(QuantizedBitsPerCell(2), 2);
+  EXPECT_EQ(QuantizedBitsPerCell(4), 2);
+  EXPECT_EQ(QuantizedBitsPerCell(5), 4);
+  EXPECT_EQ(QuantizedBitsPerCell(16), 4);
+  EXPECT_EQ(QuantizedBitsPerCell(17), 8);
+  EXPECT_EQ(QuantizedBitsPerCell(256), 8);
+  EXPECT_EQ(QuantizedBitsPerCell(257), 16);
+}
+
+TEST_F(QuantizedTableTest, MemoryCutIsAtLeast4x) {
+  const DecisionTable& exact = *controller_.Table();
+  const QuantizedDecisionTable q = QuantizeDecisionTable(exact);
+  const double ratio = static_cast<double>(DecisionTableMemoryBytes(exact)) /
+                       static_cast<double>(q.MemoryBytes());
+  EXPECT_GE(ratio, 4.0) << "exact " << DecisionTableMemoryBytes(exact)
+                        << " B vs quantized " << q.MemoryBytes() << " B";
+}
+
+TEST_F(QuantizedTableTest, LookupsMatchExactTableOnAndOffGrid) {
+  const DecisionTable& exact = *controller_.Table();
+  const QuantizedDecisionTable q = QuantizeDecisionTable(exact);
+  const double max_buffer = exact.buffer_axis.back();
+
+  for (const auto lookup : {TableLookup::kNearest, TableLookup::kBilinear}) {
+    // Exactly at grid points the fp32 parameter rounding is far too small
+    // to move the resolved cell: bitwise-equal decisions.
+    for (media::Rung prev = -1; prev < exact.rung_count; ++prev) {
+      for (const double b : exact.buffer_axis) {
+        for (const double w : exact.throughput_axis) {
+          ASSERT_EQ(LookupDecision(q, lookup, b, w, prev),
+                    LookupDecision(exact, lookup, b, max_buffer, w, prev))
+              << "lookup=" << static_cast<int>(lookup) << " b=" << b
+              << " w=" << w << " prev=" << prev;
+        }
+      }
+    }
+    // Off-grid, differences are possible only within fp32 rounding of a
+    // cell boundary; random points essentially never land there.
+    Rng rng(20240804);
+    int mismatches = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) {
+      const double b = rng.NextDouble() * max_buffer;
+      const double w = 0.2 * std::pow(150.0 / 0.2, rng.NextDouble());
+      const media::Rung prev =
+          static_cast<media::Rung>(rng.UniformInt(
+              static_cast<std::uint64_t>(exact.rung_count + 1))) -
+          1;
+      if (LookupDecision(q, lookup, b, w, prev) !=
+          LookupDecision(exact, lookup, b, max_buffer, w, prev)) {
+        ++mismatches;
+      }
+    }
+    EXPECT_LE(mismatches, kSamples / 1000);
+  }
+}
+
+TEST_F(QuantizedTableTest, SerializationRoundTripsBitwise) {
+  const QuantizedDecisionTable q = QuantizeDecisionTable(*controller_.Table());
+  const std::string blob = SerializeQuantizedTable(q);
+  const QuantizedDecisionTable parsed = ParseQuantizedTable(blob);
+  EXPECT_EQ(parsed.words, q.words);
+  EXPECT_EQ(parsed.bits_per_cell, q.bits_per_cell);
+  EXPECT_EQ(parsed.rung_count, q.rung_count);
+  EXPECT_EQ(parsed.buffer_points, q.buffer_points);
+  EXPECT_EQ(parsed.throughput_points, q.throughput_points);
+  EXPECT_EQ(parsed.max_buffer_s, q.max_buffer_s);
+  EXPECT_EQ(parsed.log_min_mbps, q.log_min_mbps);
+  EXPECT_EQ(parsed.inv_log_step, q.inv_log_step);
+  EXPECT_EQ(parsed.min_mbps, q.min_mbps);
+  EXPECT_EQ(parsed.max_mbps, q.max_mbps);
+  EXPECT_EQ(CountCellMismatches(parsed, *controller_.Table()), 0u);
+}
+
+TEST_F(QuantizedTableTest, ParseRejectsCorruptInput) {
+  const std::string blob =
+      SerializeQuantizedTable(QuantizeDecisionTable(*controller_.Table()));
+  EXPECT_THROW((void)ParseQuantizedTable(""), std::invalid_argument);
+  EXPECT_THROW((void)ParseQuantizedTable(blob.substr(0, blob.size() / 2)),
+               std::invalid_argument);
+  std::string magic = blob;
+  magic[0] ^= 0x01;
+  EXPECT_THROW((void)ParseQuantizedTable(magic), std::invalid_argument);
+  std::string flipped = blob;
+  flipped[blob.size() / 2] ^= 0x40;  // payload bit flip -> checksum mismatch
+  EXPECT_THROW((void)ParseQuantizedTable(flipped), std::invalid_argument);
+}
+
+TEST(QuantizedTableCache, BuildsOncePerKeyAndShares) {
+  ClearDecisionTableCacheForTesting();
+  ClearQuantizedTableCacheForTesting();
+  CachedControllerConfig config;
+  config.quantize = true;
+  CachedDecisionController a(config);
+  CachedDecisionController b(config);
+  soda::testing::ContextFixture fx(media::YoutubeHfr4kLadder());
+  fx.SetThroughput(10.0);
+  (void)a.ChooseRung(fx.Make(10.0, 2));
+  (void)b.ChooseRung(fx.Make(10.0, 2));
+  ASSERT_NE(a.QuantizedTable(), nullptr);
+  EXPECT_EQ(a.QuantizedTable().get(), b.QuantizedTable().get());
+  EXPECT_EQ(QuantizedTableCacheSize(), 1u);
+}
+
+// The end-to-end equivalence bound (the acceptance contract): serving the
+// whole evaluation corpus from the quantized table moves aggregate QoE by
+// no more than 0.005 vs serving the exact table — the fp32 cell-boundary
+// rounding is QoE-invisible at corpus level.
+TEST(QuantizedTableCorpus, QoeDeltaVsExactTableWithinBound) {
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const media::VideoModel video(ladder, {.segment_seconds = 2.0});
+
+  Rng rng(20240804);
+  const net::DatasetEmulator emulator(net::DatasetKind::kPuffer);
+  const auto sessions = emulator.MakeSessions(24, rng);
+
+  qoe::EvalConfig config;
+  config.sim.max_buffer_s = 20.0;
+  config.sim.live = true;
+  config.sim.live_latency_s = 20.0;
+  config.threads = 1;
+  config.base_seed = 20240804;
+  config.utility = [u = media::NormalizedLogUtility(ladder)](double mbps) {
+    return u.At(mbps);
+  };
+  const qoe::TracePredictorFactory predictor_factory =
+      [](const net::ThroughputTrace&) {
+        return predict::PredictorPtr(std::make_unique<predict::EmaPredictor>());
+      };
+
+  const qoe::EvalResult exact = qoe::EvaluateController(
+      sessions, [] { return MakeController("soda-cached"); },
+      predictor_factory, video, config);
+  const qoe::EvalResult quantized = qoe::EvaluateController(
+      sessions, [] { return MakeController("soda-cached-q"); },
+      predictor_factory, video, config);
+
+  const double delta =
+      quantized.aggregate.qoe.Mean() - exact.aggregate.qoe.Mean();
+  EXPECT_LE(std::abs(delta), 0.005)
+      << "quantized QoE " << quantized.aggregate.qoe.Mean() << " vs exact "
+      << exact.aggregate.qoe.Mean();
+  EXPECT_NEAR(quantized.aggregate.rebuffer_ratio.Mean(),
+              exact.aggregate.rebuffer_ratio.Mean(), 1e-3);
+}
+
+}  // namespace
+}  // namespace soda::core

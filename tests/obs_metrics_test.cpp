@@ -138,6 +138,78 @@ TEST(MetricsRegistry, SnapshotIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  HistogramSnapshot hist;
+  hist.bounds = {10.0, 20.0};
+  hist.counts = {0, 0, 0};
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.99), 0.0);
+}
+
+// Closed-form checks of the interpolation: 10 samples in (0, 10], 20 in
+// (10, 20], 10 in (20, 40], overflow empty.
+TEST(HistogramQuantile, InterpolatesWithinBuckets) {
+  HistogramSnapshot hist;
+  hist.bounds = {10.0, 20.0, 40.0};
+  hist.counts = {10, 20, 10, 0};
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.25), 10.0);  // rank 10 = first bucket top
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 15.0);   // rank 20, mid second bucket
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.99), 39.2);  // rank 39.6 in third bucket
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 40.0);
+  // q below one sample's mass resolves inside the first non-empty bucket.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 1.0);  // rank clamps to 1
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(hist.Quantile(-0.5), hist.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(hist.Quantile(2.0), hist.Quantile(1.0));
+}
+
+TEST(HistogramQuantile, OverflowBucketSaturatesAtLastBound) {
+  HistogramSnapshot hist;
+  hist.bounds = {1.0, 2.0};
+  hist.counts = {1, 0, 9};  // 9 of 10 samples beyond the last bound
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.99), 2.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.05), 1.0);
+}
+
+TEST(HistogramQuantile, NegativeFirstBoundExtendsTheFirstBucketDown) {
+  HistogramSnapshot hist;
+  hist.bounds = {-10.0, 10.0};
+  hist.counts = {10, 0, 0};
+  // First bucket spans (min(0, -10) .. -10] — degenerate width, so every
+  // quantile pins to the bound.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), -10.0);
+}
+
+// Against exact sample quantiles: uniform samples recorded through a real
+// registry histogram; the linear-interpolation estimate must agree with
+// the exact empirical quantile to within one bucket width.
+TEST(HistogramQuantile, TracksExactQuantilesOfUniformSamples) {
+  MetricsRegistry registry;
+  std::vector<double> bounds;
+  for (int b = 1; b <= 10; ++b) bounds.push_back(static_cast<double>(b));
+  const Histogram histogram = registry.GetHistogram("u.values", bounds);
+  std::vector<double> samples;
+  constexpr int kSamples = 1000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = 10.0 * (static_cast<double>(i) + 0.5) / kSamples;
+    samples.push_back(v);
+    histogram.Record(v);
+  }
+  const HistogramSnapshot hist =
+      registry.Snapshot().histograms.at("u.values");
+  ASSERT_EQ(hist.TotalCount(), static_cast<std::uint64_t>(kSamples));
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const auto rank = static_cast<std::size_t>(q * kSamples);
+    const double exact =
+        samples[std::min(rank, samples.size() - 1)];
+    EXPECT_NEAR(hist.Quantile(q), exact, 1.0)
+        << "q=" << q;  // 1.0 = one bucket width
+  }
+  // The estimate is exactly the bucket-uniform value at bucket-aligned
+  // ranks: p50 of 1000 uniform samples over (0, 10] is 5.
+  EXPECT_NEAR(hist.Quantile(0.5), 5.0, 0.05);
+}
+
 // WriteJson output is serialized from name-ordered maps: byte-identical
 // runs regardless of registration or recording order.
 TEST(MetricsRegistry, WriteJsonIsDeterministic) {

@@ -1,0 +1,102 @@
+// Serving-throughput regression pin. The functional half (decisions are
+// valid, table-served, and deterministic across repeats) runs in every
+// build; the >= 1M decisions/sec assertion is compiled in only for Release
+// (SODA_PERF_ASSERT) so debug/sanitizer builds don't flake. Run via
+// `ctest -L perf -C Release` (see EXPERIMENTS.md). The pin is
+// single-threaded on purpose: it must hold on a one-core box, and
+// per-decision cost — not fan-out — is what the pin protects.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "media/bitrate_ladder.hpp"
+#include "serve/decision_service.hpp"
+
+namespace soda::serve {
+namespace {
+
+TEST(ServeThroughputPerf, QuantizedBatchPathSustainsOneMillionPerSecond) {
+  DecisionService service({.base_seed = 20240804});
+  TenantConfig tenant_config{media::YoutubeHfr4kLadder()};
+  const TenantId tenant = service.RegisterTenant(tenant_config);
+
+  constexpr int kSessions = 120;
+  std::vector<std::string> ids;
+  ids.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    ids.push_back("perf-session-" + std::to_string(s));
+  }
+  for (int s = 0; s < kSessions; ++s) {
+    service.Ingest({.type = EventType::kStartup,
+                    .tenant = tenant,
+                    .session_id = ids[s],
+                    .now_s = 0.0,
+                    .duration_s = 0.4});
+    // Two samples warm the dual EMA so decisions take the table path.
+    service.Ingest({.type = EventType::kThroughputSample,
+                    .tenant = tenant,
+                    .session_id = ids[s],
+                    .now_s = 1.0,
+                    .duration_s = 2.0,
+                    .mbps = 4.0 + 0.1 * (s % 40)});
+    service.Ingest({.type = EventType::kThroughputSample,
+                    .tenant = tenant,
+                    .session_id = ids[s],
+                    .now_s = 3.0,
+                    .duration_s = 2.0,
+                    .mbps = 6.0 + 0.1 * (s % 40)});
+  }
+
+  std::vector<DecisionRequest> requests(kSessions);
+  std::vector<Decision> out(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    requests[s] = {.tenant = tenant,
+                   .session_id = ids[s],
+                   .buffer_s = 0.1 * ((7 * s) % 200)};
+  }
+
+  // Warm up (table adoption, first-touch faults), then measure.
+  service.DecideBatch(requests, out, /*threads=*/1);
+  for (const Decision& d : out) {
+    EXPECT_GE(d.rung, 0);
+    EXPECT_LT(d.rung, static_cast<media::Rung>(tenant_config.ladder.Size()));
+    EXPECT_TRUE(d.from_table);
+  }
+  const std::vector<Decision> first(out.begin(), out.end());
+
+  constexpr int kBatches = 2000;  // 240k decisions per repetition
+  double best_per_sec = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int b = 0; b < kBatches; ++b) {
+      service.DecideBatch(requests, out, /*threads=*/1);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best_per_sec = std::max(
+        best_per_sec,
+        static_cast<double>(kBatches) * kSessions / elapsed.count());
+  }
+  RecordProperty("decisions_per_sec", std::to_string(best_per_sec));
+
+  // Decisions are pure reads: the measured repetitions must reproduce the
+  // warm-up batch bit-for-bit.
+  for (int s = 0; s < kSessions; ++s) {
+    ASSERT_EQ(out[s].rung, first[s].rung) << s;
+    ASSERT_EQ(out[s].predicted_mbps, first[s].predicted_mbps) << s;
+  }
+
+#ifdef SODA_PERF_ASSERT
+  EXPECT_GE(best_per_sec, 1.0e6)
+      << "serving throughput regressed: " << best_per_sec
+      << " decisions/sec (pin is 1M/s single-threaded)";
+#else
+  GTEST_LOG_(INFO) << "throughput (unpinned build): " << best_per_sec
+                   << " decisions/sec";
+#endif
+}
+
+}  // namespace
+}  // namespace soda::serve

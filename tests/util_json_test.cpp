@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -69,6 +72,133 @@ TEST(JsonWriter, EscapesStrings) {
   JsonWriter json(out, 0);
   json.String("a\"b\\c\nd\te\x01");
   EXPECT_EQ(out.str(), R"("a\"b\\c\nd\te\u0001")");
+}
+
+
+std::string WriteString(std::string_view value) {
+  std::ostringstream out;
+  JsonWriter json(out, 0);
+  json.String(value);
+  return out.str();
+}
+
+// Minimal JSON string decoder for the round-trip tests: returns the code
+// points a conforming JSON parser would see (surrogate pairs combined).
+std::vector<unsigned> DecodeJsonString(std::string_view json) {
+  EXPECT_GE(json.size(), 2u);
+  EXPECT_EQ(json.front(), '"');
+  EXPECT_EQ(json.back(), '"');
+  json = json.substr(1, json.size() - 2);
+  std::vector<unsigned> points;
+  const auto hex4 = [&](std::size_t at) {
+    return static_cast<unsigned>(
+        std::stoul(std::string(json.substr(at, 4)), nullptr, 16));
+  };
+  for (std::size_t i = 0; i < json.size();) {
+    const auto c = static_cast<unsigned char>(json[i]);
+    // The writer's contract: pure-ASCII output, no raw control characters.
+    EXPECT_GE(c, 0x20u);
+    EXPECT_LT(c, 0x7fu);
+    if (c != '\\') {
+      points.push_back(c);
+      ++i;
+      continue;
+    }
+    const char kind = json[i + 1];
+    if (kind == 'u') {
+      unsigned cp = hex4(i + 2);
+      i += 6;
+      if (cp >= 0xD800u && cp <= 0xDBFFu) {  // high surrogate: pair required
+        EXPECT_EQ(json.substr(i, 2), "\\u") << "unpaired surrogate";
+        const unsigned low = hex4(i + 2);
+        EXPECT_GE(low, 0xDC00u);
+        EXPECT_LE(low, 0xDFFFu);
+        i += 6;
+        cp = 0x10000u + ((cp - 0xD800u) << 10) + (low - 0xDC00u);
+      }
+      points.push_back(cp);
+      continue;
+    }
+    switch (kind) {
+      case 'n': points.push_back(0x0Au); break;
+      case 'r': points.push_back(0x0Du); break;
+      case 't': points.push_back(0x09u); break;
+      case '"': points.push_back('"'); break;
+      case '\\': points.push_back('\\'); break;
+      default: ADD_FAILURE() << "unexpected escape " << kind;
+    }
+    i += 2;
+  }
+  return points;
+}
+
+std::string EncodeUtf8(const std::vector<unsigned>& points) {
+  std::string out;
+  for (const unsigned cp : points) {
+    if (cp < 0x80u) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800u) {
+      out.push_back(static_cast<char>(0xC0u | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80u | (cp & 0x3Fu)));
+    } else if (cp < 0x10000u) {
+      out.push_back(static_cast<char>(0xE0u | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80u | ((cp >> 6) & 0x3Fu)));
+      out.push_back(static_cast<char>(0x80u | (cp & 0x3Fu)));
+    } else {
+      out.push_back(static_cast<char>(0xF0u | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80u | ((cp >> 12) & 0x3Fu)));
+      out.push_back(static_cast<char>(0x80u | ((cp >> 6) & 0x3Fu)));
+      out.push_back(static_cast<char>(0x80u | (cp & 0x3Fu)));
+    }
+  }
+  return out;
+}
+
+TEST(JsonWriterEscaping, ControlCharactersAndDelEscapeAsU00xx) {
+  EXPECT_EQ(WriteString(std::string_view("\x00\x1f\x7f", 3)),
+            R"("\u0000\u001f\u007f")");
+}
+
+TEST(JsonWriterEscaping, ValidUtf8BecomesPureAsciiEscapes) {
+  // U+00E9, U+4E16, and U+1F600 (past the BMP: surrogate pair).
+  EXPECT_EQ(WriteString("h\xC3\xA9llo"), R"("h\u00e9llo")");
+  EXPECT_EQ(WriteString("\xE4\xB8\x96"), R"("\u4e16")");
+  EXPECT_EQ(WriteString("\xF0\x9F\x98\x80"), R"("\ud83d\ude00")");
+}
+
+TEST(JsonWriterEscaping, InvalidBytesEscapeIndividually) {
+  // Lone continuation byte, truncated 2-byte lead, 0xFF (never valid UTF-8).
+  EXPECT_EQ(WriteString("\x80"), R"("\u0080")");
+  EXPECT_EQ(WriteString("\xC3"), R"("\u00c3")");
+  EXPECT_EQ(WriteString("a\xFF" "b"), R"("a\u00ffb")");
+  // Overlong encoding, UTF-16 surrogate, out-of-range code point: each is
+  // rejected as a sequence and its bytes escape one at a time.
+  EXPECT_EQ(WriteString("\xC0\xAF"), R"("\u00c0\u00af")");
+  EXPECT_EQ(WriteString("\xED\xA0\x80"), R"("\u00ed\u00a0\u0080")");
+  EXPECT_EQ(WriteString("\xF4\x90\x80\x80"), R"("\u00f4\u0090\u0080\u0080")");
+  // A stray byte resynchronizes: the valid sequence after it still decodes.
+  EXPECT_EQ(WriteString("\xFF\xC3\xA9"), R"("\u00ff\u00e9")");
+}
+
+// Round trip: decoding the writer's output with a conforming JSON string
+// parser recovers the original text byte-for-byte when the input is valid
+// UTF-8 (incl. escapes, multi-byte sequences and surrogate pairs).
+TEST(JsonWriterEscaping, ValidUtf8RoundTripsByteForByte) {
+  const std::string original =
+      "mix: h\xC3\xA9llo \xE4\xB8\x96 \xF0\x9F\x98\x80 \"q\"\\\n\t \x02 end";
+  EXPECT_EQ(EncodeUtf8(DecodeJsonString(WriteString(original))), original);
+}
+
+// Round trip for arbitrary binary input: every byte that is not part of a
+// valid UTF-8 sequence surfaces as the code point equal to its byte value,
+// so the original bytes are recoverable from the decoded code points.
+TEST(JsonWriterEscaping, EveryPossibleByteRoundTripsToItsValue) {
+  for (int b = 0; b < 256; ++b) {
+    const std::string one(1, static_cast<char>(b));
+    const std::vector<unsigned> points = DecodeJsonString(WriteString(one));
+    ASSERT_EQ(points.size(), 1u) << "byte " << b;
+    EXPECT_EQ(points[0], static_cast<unsigned>(b)) << "byte " << b;
+  }
 }
 
 }  // namespace

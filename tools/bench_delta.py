@@ -4,8 +4,9 @@
 Usage: tools/bench_delta.py BASELINE CANDIDATE
 
 Prints the sessions/sec delta per controller and thread count, the QoE
-deltas, and the candidate's shared-link scaling and fairness-workload
-tables (if present). Always
+deltas, the serving-throughput block (DecisionService decisions/sec,
+batch latency, quantized memory cut and QoE delta), and the candidate's
+shared-link scaling and fairness-workload tables (if present). Always
 exits 0: timing on shared CI runners is too noisy to gate on, so this is
 an eyeballing aid, not a check. Structural fields (QoE) should match the
 baseline bit-for-bit when the corpus seed is unchanged; timing fields are
@@ -82,6 +83,32 @@ def main():
         marker = "" if base == qoe else "  *** DIFFERS ***"
         print(f"  {controller:14s} {qoe:.6f}  baseline "
               f"{'n/a' if base is None else f'{base:.6f}'}{marker}")
+
+    serving = candidate.get("serving_throughput")
+    if serving:
+        base_serving = baseline.get("serving_throughput") or {}
+
+        def serving_line(report, block, label):
+            if not block:
+                print(f"  {label}: n/a")
+                return
+            print(f"  {label}: {block['decisions_per_sec']:12.0f} dec/s  "
+                  f"batch p50/p99 {block.get('batch_us_p50', 0.0):.1f}/"
+                  f"{block.get('batch_us_p99', 0.0):.1f} us  "
+                  f"memory cut x{block.get('table_memory_ratio', 0.0):.1f}  "
+                  f"shadow {block.get('shadow_mismatches', 0)}/"
+                  f"{block.get('shadow_checks', 0)} mismatches  "
+                  f"qdelta {report.get('quantized_qoe_delta', 0.0):+.6f}")
+
+        print("\nserving throughput (DecisionService batch replay; "
+              "quantized_qoe_delta should stay within ±0.005 and shadow "
+              "mismatches at ~0):")
+        serving_line(candidate, serving, "candidate")
+        serving_line(baseline, base_serving, "baseline ")
+        if base_serving.get("decisions_per_sec"):
+            delta = 100.0 * (serving["decisions_per_sec"] /
+                             base_serving["decisions_per_sec"] - 1.0)
+            print(f"  decisions/sec delta: {delta:+.1f}%")
 
     scaling = candidate.get("shared_link_scaling")
     if scaling:

@@ -1,0 +1,224 @@
+// Load generator for the decision-serving daemon.
+//
+// Replays the evaluation corpus (synthetic Puffer sessions; see
+// net/dataset.hpp) as a concurrent request stream against
+// serve::DecisionService: every replay step ingests each session's feedback
+// events (startup, segment-downloaded, rebuffer) and then resolves one
+// decision batch across all sessions, with per-session buffer dynamics
+// driven by the decided rung and the session's trace throughput. The decide
+// path — the daemon's hot path — is timed separately from event ingest, and
+// the tool reports decisions/sec, p50/p99 batch latency (via
+// obs::HistogramSnapshot::Quantile) and the shadow-check mismatch rate.
+//
+//   serve_loadgen [--sessions N] [--steps N] [--threads N] [--seed S]
+//                 [--shadow F] [--exact] [--json PATH] [--metrics PATH]
+//
+// --exact serves the exact table instead of the quantized one (for A/B).
+// --json writes a machine-readable summary; --metrics dumps the full
+// "serve.*" metrics registry snapshot (the CI artifact).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "media/bitrate_ladder.hpp"
+#include "net/dataset.hpp"
+#include "net/trace.hpp"
+#include "obs/metrics.hpp"
+#include "serve/decision_service.hpp"
+#include "tools/cli_args.hpp"
+#include "util/ensure.hpp"
+#include "util/json_writer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace soda;
+
+struct Replay {
+  explicit Replay(net::ThroughputTrace t) : trace(std::move(t)) {}
+  net::ThroughputTrace trace;
+  std::string id;
+  double clock_s = 0.0;
+  double buffer_s = 0.0;
+  media::Rung rung = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::CliArgs args(
+      argc, argv,
+      {"sessions", "steps", "threads", "seed", "shadow", "json", "metrics"},
+      {"exact"});
+
+  const std::size_t sessions =
+      static_cast<std::size_t>(args.GetLong("sessions", 120));
+  const int steps = static_cast<int>(args.GetLong("steps", 300));
+  const int threads = static_cast<int>(args.GetLong("threads", 0));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetLong("seed", 20240804));
+  const double shadow = args.GetDouble("shadow", 1.0 / 64.0);
+  const bool quantized = !args.Has("exact");
+
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  const double segment_s = 2.0;
+  const double max_buffer_s = 20.0;
+
+  serve::ServeConfig service_config;
+  service_config.base_seed = seed;
+  service_config.shadow_check_fraction = shadow;
+  serve::DecisionService service(service_config);
+
+  serve::TenantConfig tenant_config(ladder);
+  tenant_config.segment_seconds = segment_s;
+  tenant_config.max_buffer_s = max_buffer_s;
+  tenant_config.quantized = quantized;
+  const serve::TenantId tenant = service.RegisterTenant(tenant_config);
+
+  // The corpus: one emulated Puffer session per client.
+  soda::Rng rng(seed);
+  const net::DatasetEmulator emulator(net::DatasetKind::kPuffer);
+  std::vector<Replay> replays;
+  replays.reserve(sessions);
+  {
+    std::vector<net::ThroughputTrace> traces =
+        emulator.MakeSessions(sessions, rng);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      Replay r(std::move(traces[i]));
+      r.id = "sess-" + std::to_string(i);
+      replays.push_back(std::move(r));
+    }
+  }
+  for (const Replay& r : replays) {
+    serve::SessionEvent start;
+    start.type = serve::EventType::kStartup;
+    start.tenant = tenant;
+    start.session_id = r.id;
+    service.Ingest(start);
+  }
+
+  std::vector<serve::DecisionRequest> requests(replays.size());
+  std::vector<serve::Decision> decisions(replays.size());
+  std::vector<serve::SessionEvent> events;
+  events.reserve(replays.size() * 2);
+
+  std::uint64_t total_decisions = 0;
+  double decide_seconds = 0.0;
+  using Clock = std::chrono::steady_clock;
+
+  for (int step = 0; step < steps; ++step) {
+    // Decide one rung per session, timing only the daemon's hot path.
+    for (std::size_t i = 0; i < replays.size(); ++i) {
+      requests[i].tenant = tenant;
+      requests[i].session_id = replays[i].id;
+      requests[i].buffer_s = replays[i].buffer_s;
+    }
+    const Clock::time_point t0 = Clock::now();
+    service.DecideBatch(requests, decisions, threads);
+    decide_seconds += std::chrono::duration<double>(Clock::now() - t0).count();
+    total_decisions += requests.size();
+
+    // Advance each session's playback and fold the feedback back in.
+    events.clear();
+    for (std::size_t i = 0; i < replays.size(); ++i) {
+      Replay& r = replays[i];
+      r.rung = decisions[i].rung;
+      const double megabits = ladder.BitrateMbps(r.rung) * segment_s;
+      const double mbps = r.trace.ThroughputAt(r.clock_s);
+      const double download_s = mbps > 0.0 ? megabits / mbps : segment_s * 4.0;
+
+      serve::SessionEvent down;
+      down.type = serve::EventType::kSegmentDownloaded;
+      down.tenant = tenant;
+      down.session_id = r.id;
+      down.rung = r.rung;
+      down.duration_s = download_s;
+      down.megabits = megabits;
+      events.push_back(down);
+
+      const double stall = download_s > r.buffer_s ? download_s - r.buffer_s : 0.0;
+      if (stall > 0.0) {
+        serve::SessionEvent rebuffer;
+        rebuffer.type = serve::EventType::kRebuffer;
+        rebuffer.tenant = tenant;
+        rebuffer.session_id = r.id;
+        rebuffer.duration_s = stall;
+        events.push_back(rebuffer);
+      }
+      r.buffer_s = std::max(r.buffer_s - download_s, 0.0) + segment_s;
+      if (r.buffer_s > max_buffer_s) r.buffer_s = max_buffer_s;
+      r.clock_s += download_s + stall;
+      if (r.clock_s > r.trace.DurationS()) r.clock_s = 0.0;  // loop the trace
+    }
+    service.IngestBatch(events);
+  }
+
+  const double decisions_per_sec =
+      decide_seconds > 0.0 ? static_cast<double>(total_decisions) / decide_seconds
+                           : 0.0;
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.decisions_per_sec")
+      .Set(decisions_per_sec);
+
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+  };
+  const std::uint64_t shadow_checks = counter("serve.shadow_checks");
+  const std::uint64_t shadow_mismatches = counter("serve.shadow_mismatches");
+  const double mismatch_rate =
+      shadow_checks > 0
+          ? static_cast<double>(shadow_mismatches) / static_cast<double>(shadow_checks)
+          : 0.0;
+  double batch_p50 = 0.0, batch_p99 = 0.0;
+  if (const auto it = snapshot.histograms.find("serve.batch_us");
+      it != snapshot.histograms.end()) {
+    batch_p50 = it->second.Quantile(0.50);
+    batch_p99 = it->second.Quantile(0.99);
+  }
+
+  std::printf("serve_loadgen: table=%s sessions=%zu steps=%d threads=%d\n",
+              quantized ? "quantized" : "exact", replays.size(), steps, threads);
+  std::printf("  decisions            %llu\n",
+              static_cast<unsigned long long>(total_decisions));
+  std::printf("  decisions/sec        %.3g\n", decisions_per_sec);
+  std::printf("  batch latency p50    %.1f us\n", batch_p50);
+  std::printf("  batch latency p99    %.1f us\n", batch_p99);
+  std::printf("  table hits           %llu\n",
+              static_cast<unsigned long long>(counter("serve.table_hits")));
+  std::printf("  solver fallbacks     %llu\n",
+              static_cast<unsigned long long>(counter("serve.fallbacks")));
+  std::printf("  shadow checks        %llu (mismatch rate %.2g)\n",
+              static_cast<unsigned long long>(shadow_checks), mismatch_rate);
+
+  if (args.Has("json")) {
+    std::ofstream out(args.Get("json", ""));
+    SODA_ENSURE(out.good(), "cannot open --json output file");
+    util::JsonWriter json(out);
+    json.BeginObject();
+    json.Key("table").String(quantized ? "quantized" : "exact");
+    json.Key("sessions").Int(static_cast<std::int64_t>(replays.size()));
+    json.Key("steps").Int(steps);
+    json.Key("threads").Int(threads);
+    json.Key("decisions").Int(static_cast<std::int64_t>(total_decisions));
+    json.Key("decisions_per_sec").Number(decisions_per_sec);
+    json.Key("batch_us_p50").Number(batch_p50);
+    json.Key("batch_us_p99").Number(batch_p99);
+    json.Key("table_hits").Int(static_cast<std::int64_t>(counter("serve.table_hits")));
+    json.Key("fallbacks").Int(static_cast<std::int64_t>(counter("serve.fallbacks")));
+    json.Key("shadow_checks").Int(static_cast<std::int64_t>(shadow_checks));
+    json.Key("shadow_mismatches").Int(static_cast<std::int64_t>(shadow_mismatches));
+    json.Key("shadow_mismatch_rate").Number(mismatch_rate);
+    json.EndObject();
+    out << '\n';
+  }
+  if (args.Has("metrics")) {
+    std::ofstream out(args.Get("metrics", ""));
+    SODA_ENSURE(out.good(), "cannot open --metrics output file");
+    obs::MetricsRegistry::Global().WriteJson(out);
+  }
+  return 0;
+}
