@@ -34,10 +34,12 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/cached_controller.hpp"
+#include "fleet/fleet.hpp"
 #include "core/registry.hpp"
 #include "media/video_model.hpp"
 #include "obs/metrics.hpp"
@@ -462,6 +464,67 @@ void WriteFairnessScaling(util::JsonWriter& json, bool quick, int threads) {
   json.EndArray();
 }
 
+// Fleet-scaling block: the open-loop population simulator (fleet::RunFleet)
+// at a fixed configuration, swept over thread counts. Reports steady-state
+// decision throughput, peak concurrency and whether every run's summary is
+// bitwise identical to the single-thread run (the fleet determinism
+// contract). `hardware_threads` records the machine's concurrency so a
+// reader can tell real scaling headroom from a flat line measured on a
+// box with fewer cores than the sweep requests (ParallelFor still spawns
+// the requested workers either way, so the identity check is always
+// meaningful).
+void WriteFleetScaling(util::JsonWriter& json, bool quick) {
+  fleet::FleetConfig config;
+  config.base_seed = bench::kDefaultSeed;
+  config.users = quick ? 8000 : 120000;
+  config.arrival.horizon_s = quick ? 300.0 : 600.0;
+  config.shards = 128;
+
+  json.Key("fleet_scaling").BeginObject();
+  json.Key("users").Int(static_cast<std::int64_t>(config.users));
+  json.Key("horizon_s").Number(config.arrival.horizon_s);
+  json.Key("shards").Int(config.shards);
+  json.Key("hardware_threads")
+      .Int(static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+
+  // Reference run (also warms the shared decision-table caches so the
+  // timed sweep measures the hot loop, not the one-time build).
+  const fleet::FleetSummary reference = fleet::RunFleet(config, 1);
+
+  json.Key("ticks").Int(reference.ticks);
+  json.Key("peak_live").Int(static_cast<std::int64_t>(reference.peak_live));
+  json.Key("sessions_started")
+      .Int(static_cast<std::int64_t>(reference.sessions_started));
+  json.Key("decisions").Int(static_cast<std::int64_t>(reference.decisions));
+  json.Key("qoe_mean").Number(reference.MeanQoe());
+  json.Key("rebuffer_slo_violation_fraction")
+      .Number(reference.SloViolationFraction());
+  json.Key("session_checksum")
+      .String(std::to_string(reference.session_checksum));
+
+  json.Key("threads").BeginArray();
+  for (const int threads : {1, 4, 8}) {
+    const int reps = quick ? 1 : 2;
+    double best_ns = 0.0;
+    fleet::FleetSummary summary;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto start = Clock::now();
+      summary = fleet::RunFleet(config, threads);
+      const double ns = ElapsedNs(start, Clock::now());
+      if (rep == 0 || ns < best_ns) best_ns = ns;
+    }
+    json.BeginObject();
+    json.Key("threads").Int(threads);
+    json.Key("wall_ms").Number(best_ns * 1e-6);
+    json.Key("decisions_per_sec")
+        .Number(static_cast<double>(summary.decisions) / (best_ns * 1e-9));
+    json.Key("identical_output").Bool(summary == reference);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
 // Serving-throughput block: a DecisionService replay in serve_loadgen's
 // shape — one tenant, a warm session corpus, repeated single-threaded
 // DecideBatch calls — reporting decisions/sec, batch-latency quantiles
@@ -642,6 +705,7 @@ void WriteEvalReport(const std::string& path, bool quick) {
   WriteServingThroughput(json, quick);
   WriteSharedLinkScaling(json, quick);
   WriteFairnessScaling(json, quick, max_threads);
+  WriteFleetScaling(json, quick);
   json.EndObject();
   out << '\n';
   std::printf("wrote %s (soda QoE %.4f, cached QoE %.4f, delta %+.4f)\n",

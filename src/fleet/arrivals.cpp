@@ -1,0 +1,34 @@
+#include "fleet/arrivals.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/ensure.hpp"
+
+namespace soda::fleet {
+
+double ArrivalIntensity(const ArrivalConfig& config, double t_s) noexcept {
+  const double a = config.diurnal_amplitude;
+  if (a <= 0.0) return 1.0;
+  const double phase = 2.0 * std::numbers::pi *
+                       (t_s + config.diurnal_phase_s) / config.diurnal_period_s;
+  return (1.0 + a * std::sin(phase)) / (1.0 + a);
+}
+
+double SampleArrivalTime(const ArrivalConfig& config, Rng& rng) {
+  SODA_ENSURE(config.horizon_s > 0.0, "arrival horizon must be positive");
+  SODA_ENSURE(config.diurnal_amplitude >= 0.0 && config.diurnal_amplitude < 1.0,
+              "diurnal amplitude must be in [0, 1)");
+  SODA_ENSURE(config.diurnal_period_s > 0.0,
+              "diurnal period must be positive");
+  // Thinning against the flat envelope lambda_max: acceptance probability
+  // is the relative intensity, so accepted times follow lambda(t). The
+  // worst-case acceptance rate is (1 - a) / (1 + a); amplitudes below 1
+  // keep the expected number of draws small and finite.
+  for (;;) {
+    const double t = rng.Uniform(0.0, config.horizon_s);
+    if (rng.Chance(ArrivalIntensity(config, t))) return t;
+  }
+}
+
+}  // namespace soda::fleet

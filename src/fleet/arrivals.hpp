@@ -1,0 +1,35 @@
+// Open-loop session arrivals: Poisson process with diurnal modulation.
+//
+// The fleet conditions on the total user count (FleetConfig::users) and
+// gives each user an i.i.d. arrival time drawn from the normalized
+// intensity — exactly the order-statistics characterization of an
+// inhomogeneous Poisson process conditioned on its count. Sampling is
+// per-user thinning against the intensity envelope, driven entirely by the
+// user's private Rng, so user u's arrival time is a pure function of
+// (base_seed, u): independent of shard count, thread count, and every
+// other user. That per-user purity is what lets the fleet shard arrivals
+// without a global event queue.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace soda::fleet {
+
+struct ArrivalConfig {
+  // Virtual time span over which users arrive (seconds).
+  double horizon_s = 600.0;
+  // Intensity lambda(t) proportional to 1 + amplitude * sin(2*pi * (t +
+  // phase_s) / period_s); amplitude 0 is a homogeneous Poisson process.
+  double diurnal_amplitude = 0.6;
+  double diurnal_period_s = 86400.0;
+  double diurnal_phase_s = 0.0;
+};
+
+// Relative intensity in (0, 1]: lambda(t) / lambda_max.
+[[nodiscard]] double ArrivalIntensity(const ArrivalConfig& config,
+                                      double t_s) noexcept;
+
+// One arrival time in [0, horizon_s), sampled by thinning from `rng`.
+[[nodiscard]] double SampleArrivalTime(const ArrivalConfig& config, Rng& rng);
+
+}  // namespace soda::fleet

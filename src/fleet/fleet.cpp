@@ -1,0 +1,584 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+#include "core/decision_table.hpp"
+#include "core/quantized_table.hpp"
+#include "core/soda_controller.hpp"
+#include "fleet/session_arena.hpp"
+#include "media/quality.hpp"
+#include "obs/metrics.hpp"
+#include "predict/predictor.hpp"
+#include "qoe/metrics.hpp"
+#include "util/ensure.hpp"
+#include "util/parallel.hpp"
+
+namespace soda::fleet {
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+// Domain-separation salts so the arrival stream and the session streams of
+// one user never alias.
+constexpr std::uint64_t kArrivalSalt = 0xF1EE7A44C0FFEE00ULL;
+constexpr std::uint64_t kSessionSalt = 0x5E5510Eul;
+
+// splitmix64 finalizer (the same mixing the serve daemon uses for session
+// seeds): a cheap, well-mixed bijection on 64-bit words.
+std::uint64_t Mix64(std::uint64_t x) noexcept {
+  x += kGolden;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Pure functions of (base_seed, user, incarnation) — the determinism
+// anchor: nothing about a session's randomness depends on arrival order,
+// shard assignment or thread interleaving.
+std::uint64_t ArrivalSeed(std::uint64_t base, std::uint64_t user) noexcept {
+  return Mix64(base ^ kArrivalSalt ^ Mix64(user * kGolden));
+}
+std::uint64_t SessionSeed(std::uint64_t base, std::uint64_t user,
+                          std::uint32_t incarnation) noexcept {
+  return Mix64(base ^ kSessionSalt ^ Mix64(user * kGolden) ^
+               Mix64(static_cast<std::uint64_t>(incarnation) + 1));
+}
+
+std::int64_t ToFixedPoint(double value) noexcept {
+  return std::llround(std::clamp(value, -1e6, 1e6) * kFixedPointScale);
+}
+
+std::size_t QoeBucket(double qoe) noexcept {
+  const double idx = std::floor((qoe + 1.5) / 0.1);
+  if (idx < 0.0) return 0;
+  if (idx >= static_cast<double>(kQoeHistBuckets)) return kQoeHistBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+// A user chain session waiting to start (initial arrival or re-join).
+struct PendingStart {
+  std::int64_t tick = 0;
+  std::uint64_t user = 0;
+  std::uint32_t incarnation = 0;
+  [[nodiscard]] bool operator>(const PendingStart& other) const noexcept {
+    return std::tie(tick, user, incarnation) >
+           std::tie(other.tick, other.user, other.incarnation);
+  }
+};
+
+// Integer-only per-shard accumulators; merging is summation, which is
+// order-independent, so the merged totals cannot depend on shard count.
+struct ShardAccum {
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_abandoned = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t clamped_lookups = 0;
+  std::uint64_t live_at_end = 0;
+  std::uint64_t slo_violations = 0;
+  std::uint64_t arena_bytes = 0;
+  std::array<std::uint64_t, kQoeHistBuckets> qoe_hist{};
+  std::int64_t qoe_fp = 0;
+  std::int64_t utility_fp = 0;
+  std::int64_t rebuffer_ratio_fp = 0;
+  std::int64_t switch_rate_fp = 0;
+  std::int64_t watch_s_fp = 0;
+  std::uint64_t session_checksum = 0;
+  std::vector<std::uint64_t> live_samples;
+};
+
+// Everything shards share, all of it immutable during the run.
+struct FleetContext {
+  explicit FleetContext(const FleetConfig& c) : config(c) {}
+
+  const FleetConfig& config;
+  std::int64_t ticks = 0;
+  core::DecisionTablePtr exact;
+  core::QuantizedTablePtr quantized;
+  std::vector<double> rung_utility;   // NormalizedLogUtility per rung
+  std::vector<double> rung_megabits;  // segment payload per rung
+  double grid_min_mbps = 0.0;
+  double grid_max_mbps = 0.0;
+  obs::Histogram qoe_histogram;       // fleet.qoe, recorded at session end
+};
+
+class ShardRunner {
+ public:
+  ShardRunner(const FleetContext& ctx, int shard_index)
+      : ctx_(ctx), shard_index_(shard_index) {}
+
+  void Run() {
+    const FleetConfig& cfg = ctx_.config;
+    BuildArrivals();
+    const auto shard_users = static_cast<std::size_t>(pending_.size());
+    // Steady-state live count per shard is bounded by its user count;
+    // reserving a fraction of it avoids regrowth without overcommitting
+    // memory when engagement keeps concurrency low.
+    arena_.Reserve(shard_users / 2 + 16);
+    active_.reserve(shard_users / 2 + 16);
+
+    const int sample_every = std::max(cfg.live_sample_every_ticks, 1);
+    for (std::int64_t tick = 0; tick < ctx_.ticks; ++tick) {
+      while (!pending_.empty() && pending_.top().tick <= tick) {
+        const PendingStart start = pending_.top();
+        pending_.pop();
+        StartSession(start);
+      }
+      for (std::size_t i = 0; i < active_.size();) {
+        if (StepSession(active_[i], tick)) {
+          arena_.Release(active_[i]);
+          active_[i] = active_.back();
+          active_.pop_back();
+        } else {
+          ++i;
+        }
+      }
+      if (tick % sample_every == 0) {
+        acc_.live_samples.push_back(active_.size());
+      }
+    }
+    // Sessions still live at the horizon are censored, not finalized; fold
+    // their full state into the checksum so bit-identity claims cover them.
+    acc_.live_at_end = active_.size();
+    for (const Slot slot : active_) {
+      acc_.session_checksum += LiveStateDigest(slot);
+    }
+    acc_.arena_bytes = arena_.MemoryBytes();
+  }
+
+  [[nodiscard]] ShardAccum& Accum() noexcept { return acc_; }
+
+ private:
+  void BuildArrivals() {
+    const FleetConfig& cfg = ctx_.config;
+    const auto shards = static_cast<std::uint64_t>(cfg.shards);
+    const double dt = cfg.segment_seconds;
+    std::vector<PendingStart> initial;
+    for (std::uint64_t user = static_cast<std::uint64_t>(shard_index_);
+         user < cfg.users; user += shards) {
+      Rng rng(ArrivalSeed(cfg.base_seed, user));
+      const double arrival_s = SampleArrivalTime(cfg.arrival, rng);
+      initial.push_back({static_cast<std::int64_t>(arrival_s / dt), user, 0});
+    }
+    pending_ = PendingQueue(std::greater<>(), std::move(initial));
+  }
+
+  void StartSession(const PendingStart& start) {
+    const FleetConfig& cfg = ctx_.config;
+    const Slot s = arena_.Allocate();
+    active_.push_back(s);
+    arena_.user_id[s] = start.user;
+    arena_.incarnation[s] = start.incarnation;
+    arena_.rng[s] =
+        Rng(SessionSeed(cfg.base_seed, start.user, start.incarnation));
+    Rng& rng = arena_.rng[s];
+    const double log_mean =
+        std::log(cfg.median_mbps) + cfg.session_log_sigma * rng.Gaussian();
+    arena_.log_mbps_mean[s] = log_mean;
+    arena_.log_mbps[s] = log_mean;
+    arena_.stream_s[s] = std::clamp(
+        std::exp(std::log(cfg.stream_median_s) +
+                 cfg.stream_log_sigma * rng.Gaussian()),
+        cfg.stream_min_s, cfg.stream_max_s);
+    arena_.buffer_s[s] = 0.0;
+    arena_.ema_fast[s] = 0.0;
+    arena_.ema_slow[s] = 0.0;
+    arena_.ema_fast_w[s] = 0.0;
+    arena_.ema_slow_w[s] = 0.0;
+    arena_.played_s[s] = 0.0;
+    arena_.rebuffer_s[s] = 0.0;
+    arena_.utility_sum[s] = 0.0;
+    arena_.segments[s] = 0;
+    arena_.switches[s] = 0;
+    arena_.prev_rung[s] = -1;
+    ++acc_.sessions_started;
+    if (start.incarnation > 0) ++acc_.rejoins;
+  }
+
+  // Advances one session by one segment tick. Returns true when the
+  // session ended this tick (already finalized into the accumulators).
+  bool StepSession(Slot s, std::int64_t tick) {
+    const FleetConfig& cfg = ctx_.config;
+    const double dt = cfg.segment_seconds;
+
+    // Dual-EMA forecast, bit-identical to EmaPredictor / DecisionService.
+    double w = predict::kDefaultColdStartMbps;
+    if (arena_.ema_fast_w[s] > 0.0 && arena_.ema_slow_w[s] > 0.0) {
+      const double fast = arena_.ema_fast[s] / arena_.ema_fast_w[s];
+      const double slow = arena_.ema_slow[s] / arena_.ema_slow_w[s];
+      w = std::max(std::min(fast, slow), 1e-3);
+    }
+    // The fleet's hot loop never runs the exact solver: off-grid inputs are
+    // clamped into the grid instead (and counted). At population scale the
+    // clamp binds only in deep fades below the grid's min throughput; the
+    // serving daemon keeps the exact-fallback semantics for parity work.
+    const double wl = std::clamp(w, ctx_.grid_min_mbps, ctx_.grid_max_mbps);
+    const double bl = std::clamp(arena_.buffer_s[s], 0.0, cfg.max_buffer_s);
+    if (wl != w || bl != arena_.buffer_s[s]) ++acc_.clamped_lookups;
+    const media::Rung prev = arena_.prev_rung[s];
+    const media::Rung rung =
+        ctx_.quantized
+            ? core::LookupDecision(*ctx_.quantized, cfg.controller.lookup, bl,
+                                   wl, prev)
+            : core::LookupDecision(*ctx_.exact, cfg.controller.lookup, bl,
+                                   cfg.max_buffer_s, wl, prev);
+    ++acc_.decisions;
+
+    // The AR(1) log-throughput walk supplies this segment's actual rate.
+    Rng& rng = arena_.rng[s];
+    arena_.log_mbps[s] = arena_.log_mbps_mean[s] +
+                         cfg.walk_phi *
+                             (arena_.log_mbps[s] - arena_.log_mbps_mean[s]) +
+                         cfg.walk_sigma * rng.Gaussian();
+    const double mbps = std::max(std::exp(arena_.log_mbps[s]), cfg.min_mbps);
+    const double download_s =
+        ctx_.rung_megabits[static_cast<std::size_t>(rung)] / mbps + cfg.rtt_s;
+
+    // Buffer drains in real time during the download; a shortfall stalls
+    // playback. The first segment's wait is startup delay, not rebuffering
+    // (the paper's QoE omits startup).
+    if (arena_.segments[s] > 0) {
+      arena_.rebuffer_s[s] += std::max(download_s - arena_.buffer_s[s], 0.0);
+    }
+    arena_.buffer_s[s] = std::min(
+        std::max(arena_.buffer_s[s] - download_s, 0.0) + dt, cfg.max_buffer_s);
+
+    // Fold the observation into the dual EMA (serve::DecisionService's
+    // arithmetic, duration-weighted like dash.js).
+    {
+      const auto update = [&](double half_life, double& estimate,
+                              double& weight) {
+        const double alpha = std::pow(0.5, download_s / half_life);
+        estimate = alpha * estimate + (1.0 - alpha) * mbps;
+        weight = alpha * weight + (1.0 - alpha);
+      };
+      update(3.0, arena_.ema_fast[s], arena_.ema_fast_w[s]);
+      update(8.0, arena_.ema_slow[s], arena_.ema_slow_w[s]);
+    }
+
+    arena_.utility_sum[s] += ctx_.rung_utility[static_cast<std::size_t>(rung)];
+    if (prev >= 0 && rung != prev) ++arena_.switches[s];
+    arena_.prev_rung[s] = static_cast<std::int16_t>(rung);
+    ++arena_.segments[s];
+    arena_.played_s[s] += dt;
+
+    // Engagement: every K segments the viewer re-evaluates. The model maps
+    // the session's running switching/rebuffering into a watch fraction;
+    // once the viewer has consumed their (noisy) share, they leave.
+    if (arena_.segments[s] %
+            static_cast<std::uint32_t>(cfg.engagement_check_segments) ==
+        0) {
+      qoe::QoeMetrics running;
+      running.switch_rate =
+          arena_.segments[s] > 1
+              ? static_cast<double>(arena_.switches[s]) /
+                    static_cast<double>(arena_.segments[s] - 1)
+              : 0.0;
+      const double wall = arena_.played_s[s] + arena_.rebuffer_s[s];
+      running.rebuffer_ratio = wall > 0.0 ? arena_.rebuffer_s[s] / wall : 0.0;
+      const double fraction = engagement_.SampleWatchFraction(running, rng);
+      if (arena_.played_s[s] >= fraction * arena_.stream_s[s]) {
+        EndSession(s, tick, /*completed=*/false);
+        return true;
+      }
+    }
+    if (arena_.played_s[s] >= arena_.stream_s[s]) {
+      EndSession(s, tick, /*completed=*/true);
+      return true;
+    }
+    return false;
+  }
+
+  void EndSession(Slot s, std::int64_t tick, bool completed) {
+    const FleetConfig& cfg = ctx_.config;
+    const std::uint32_t segs = arena_.segments[s];
+    const double utility =
+        segs > 0 ? arena_.utility_sum[s] / static_cast<double>(segs) : 0.0;
+    const double switch_rate =
+        segs > 1 ? static_cast<double>(arena_.switches[s]) /
+                       static_cast<double>(segs - 1)
+                 : 0.0;
+    const double wall = arena_.played_s[s] + arena_.rebuffer_s[s];
+    const double rebuffer_ratio =
+        wall > 0.0 ? arena_.rebuffer_s[s] / wall : 0.0;
+    const qoe::QoeWeights weights;
+    const double qoe = utility - weights.beta * rebuffer_ratio -
+                       weights.gamma * switch_rate;
+
+    completed ? ++acc_.sessions_completed : ++acc_.sessions_abandoned;
+    if (rebuffer_ratio > cfg.slo_rebuffer_ratio) ++acc_.slo_violations;
+    const std::int64_t qoe_fp = ToFixedPoint(qoe);
+    acc_.qoe_fp += qoe_fp;
+    acc_.utility_fp += ToFixedPoint(utility);
+    acc_.rebuffer_ratio_fp += ToFixedPoint(rebuffer_ratio);
+    acc_.switch_rate_fp += ToFixedPoint(switch_rate);
+    acc_.watch_s_fp += ToFixedPoint(arena_.played_s[s]);
+    ++acc_.qoe_hist[QoeBucket(qoe)];
+    ctx_.qoe_histogram.Record(qoe);
+
+    std::uint64_t h = arena_.user_id[s] * kGolden;
+    h = Mix64(h ^ (arena_.incarnation[s] + 1));
+    h = Mix64(h ^ static_cast<std::uint64_t>(qoe_fp));
+    h = Mix64(h ^ ((static_cast<std::uint64_t>(segs) << 32) |
+                   arena_.switches[s]));
+    h = Mix64(h ^ std::bit_cast<std::uint64_t>(arena_.played_s[s]));
+    h = Mix64(h ^ std::bit_cast<std::uint64_t>(arena_.rebuffer_s[s]));
+    acc_.session_checksum += h;
+
+    // Churn: some viewers come back. The re-join is a fresh incarnation of
+    // the same user chain — its delay comes from the *ending* session's
+    // rng, its own randomness from SessionSeed(user, incarnation + 1) — so
+    // the whole chain stays a pure function of (base_seed, user_id).
+    const std::uint32_t next = arena_.incarnation[s] + 1;
+    if (next < static_cast<std::uint32_t>(cfg.max_incarnations) &&
+        arena_.rng[s].Chance(cfg.rejoin_probability)) {
+      const double delay_s =
+          arena_.rng[s].Exponential(1.0 / cfg.rejoin_delay_mean_s);
+      const auto delay_ticks =
+          static_cast<std::int64_t>(delay_s / cfg.segment_seconds);
+      pending_.push({tick + 1 + delay_ticks, arena_.user_id[s], next});
+    }
+  }
+
+  [[nodiscard]] std::uint64_t LiveStateDigest(Slot s) const noexcept {
+    std::uint64_t h = arena_.user_id[s] * kGolden;
+    h = Mix64(h ^ (arena_.incarnation[s] + 1));
+    h = Mix64(h ^ ((static_cast<std::uint64_t>(arena_.segments[s]) << 32) |
+                   arena_.switches[s]));
+    h = Mix64(h ^ std::bit_cast<std::uint64_t>(arena_.buffer_s[s]));
+    h = Mix64(h ^ std::bit_cast<std::uint64_t>(arena_.ema_fast[s]));
+    h = Mix64(h ^ std::bit_cast<std::uint64_t>(arena_.ema_slow[s]));
+    h = Mix64(h ^ std::bit_cast<std::uint64_t>(arena_.played_s[s]));
+    h = Mix64(h ^ std::bit_cast<std::uint64_t>(arena_.rebuffer_s[s]));
+    h = Mix64(h ^ std::bit_cast<std::uint64_t>(arena_.utility_sum[s]));
+    h = Mix64(h ^ static_cast<std::uint64_t>(
+                      static_cast<std::uint16_t>(arena_.prev_rung[s])));
+    return h;
+  }
+
+  using PendingQueue =
+      std::priority_queue<PendingStart, std::vector<PendingStart>,
+                          std::greater<>>;
+
+  const FleetContext& ctx_;
+  int shard_index_;
+  user::EngagementModel engagement_{ctx_.config.engagement};
+  SessionArena arena_;
+  std::vector<Slot> active_;
+  PendingQueue pending_;
+  ShardAccum acc_;
+};
+
+void ValidateConfig(const FleetConfig& config) {
+  SODA_ENSURE(config.users > 0, "fleet needs at least one user");
+  SODA_ENSURE(config.shards >= 1, "need at least one shard");
+  SODA_ENSURE(config.segment_seconds > 0.0, "segment length must be positive");
+  SODA_ENSURE(config.max_buffer_s > 0.0, "max buffer must be positive");
+  SODA_ENSURE(config.rtt_s >= 0.0, "rtt must be non-negative");
+  SODA_ENSURE(config.median_mbps > 0.0, "median throughput must be positive");
+  SODA_ENSURE(config.session_log_sigma >= 0.0 && config.walk_sigma >= 0.0,
+              "log-sigmas must be non-negative");
+  SODA_ENSURE(config.walk_phi >= 0.0 && config.walk_phi < 1.0,
+              "walk_phi must be in [0, 1)");
+  SODA_ENSURE(config.min_mbps > 0.0, "throughput floor must be positive");
+  SODA_ENSURE(config.stream_min_s > 0.0 &&
+                  config.stream_min_s <= config.stream_max_s,
+              "stream length clamp range invalid");
+  SODA_ENSURE(config.stream_median_s > 0.0,
+              "stream median length must be positive");
+  SODA_ENSURE(config.engagement_check_segments >= 1,
+              "engagement check cadence must be >= 1 segment");
+  SODA_ENSURE(config.rejoin_probability >= 0.0 &&
+                  config.rejoin_probability <= 1.0,
+              "rejoin probability must be in [0, 1]");
+  SODA_ENSURE(config.rejoin_delay_mean_s > 0.0,
+              "rejoin delay mean must be positive");
+  SODA_ENSURE(config.max_incarnations >= 1, "need at least one incarnation");
+  SODA_ENSURE(config.live_sample_every_ticks >= 1,
+              "live sample cadence must be >= 1 tick");
+  SODA_ENSURE(config.arrival.horizon_s > config.segment_seconds,
+              "horizon must cover at least one tick");
+  SODA_ENSURE(config.arrival.diurnal_amplitude >= 0.0 &&
+                  config.arrival.diurnal_amplitude < 1.0,
+              "diurnal amplitude must be in [0, 1)");
+  SODA_ENSURE(config.arrival.diurnal_period_s > 0.0,
+              "diurnal period must be positive");
+  // Delegate planner/grid validation to the exact controller.
+  (void)core::SodaController(config.controller.base);
+  const auto& cc = config.controller;
+  SODA_ENSURE(cc.buffer_points >= 2 && cc.throughput_points >= 2,
+              "decision table needs at least a 2x2 grid");
+  SODA_ENSURE(cc.max_mbps > cc.min_mbps && cc.min_mbps > 0.0,
+              "invalid table throughput range");
+}
+
+}  // namespace
+
+double FleetSummary::MeanQoe() const noexcept {
+  return sessions_ended > 0 ? static_cast<double>(qoe_fp) / kFixedPointScale /
+                                  static_cast<double>(sessions_ended)
+                            : 0.0;
+}
+double FleetSummary::MeanUtility() const noexcept {
+  return sessions_ended > 0
+             ? static_cast<double>(utility_fp) / kFixedPointScale /
+                   static_cast<double>(sessions_ended)
+             : 0.0;
+}
+double FleetSummary::MeanRebufferRatio() const noexcept {
+  return sessions_ended > 0
+             ? static_cast<double>(rebuffer_ratio_fp) / kFixedPointScale /
+                   static_cast<double>(sessions_ended)
+             : 0.0;
+}
+double FleetSummary::MeanSwitchRate() const noexcept {
+  return sessions_ended > 0
+             ? static_cast<double>(switch_rate_fp) / kFixedPointScale /
+                   static_cast<double>(sessions_ended)
+             : 0.0;
+}
+double FleetSummary::MeanWatchSeconds() const noexcept {
+  return sessions_ended > 0
+             ? static_cast<double>(watch_s_fp) / kFixedPointScale /
+                   static_cast<double>(sessions_ended)
+             : 0.0;
+}
+double FleetSummary::SloViolationFraction() const noexcept {
+  return sessions_ended > 0 ? static_cast<double>(slo_violations) /
+                                  static_cast<double>(sessions_ended)
+                            : 0.0;
+}
+
+FleetSummary RunFleet(const FleetConfig& config, int threads) {
+  ValidateConfig(config);
+
+  FleetContext ctx(config);
+  ctx.ticks = static_cast<std::int64_t>(
+      std::ceil(config.arrival.horizon_s / config.segment_seconds));
+
+  // Table setup mirrors serve::DecisionService::RegisterTenant so a fleet
+  // run, a serving tenant and a simulated CachedDecisionController with the
+  // same geometry all adopt the same shared build.
+  const auto& cc = config.controller;
+  core::CostModelConfig mc;
+  mc.weights = cc.base.weights;
+  mc.dt_s = config.segment_seconds;
+  mc.max_buffer_s = config.max_buffer_s;
+  mc.target_buffer_s = cc.base.target_buffer_s.value_or(
+      cc.base.target_fraction * config.max_buffer_s);
+  mc.distortion = cc.base.distortion;
+  core::SolverConfig sc;
+  sc.hard_buffer_constraints = cc.base.hard_buffer_constraints;
+  sc.tail_intervals = cc.base.tail_intervals;
+  const auto build = [&] {
+    core::CostModel model(config.ladder, mc);
+    core::MonotonicSolver solver(model, sc);
+    return core::BuildDecisionTable(model, solver, cc.base, cc.buffer_points,
+                                    cc.throughput_points, cc.min_mbps,
+                                    cc.max_mbps);
+  };
+  if (cc.share_table) {
+    const std::string key = core::DecisionTableKey(
+        config.ladder, mc, cc.base, cc.buffer_points, cc.throughput_points,
+        cc.min_mbps, cc.max_mbps);
+    ctx.exact = core::SharedDecisionTable(key, build);
+    if (config.quantized) {
+      ctx.quantized = core::SharedQuantizedTable(
+          key, [&] { return core::QuantizeDecisionTable(*ctx.exact); });
+    }
+  } else {
+    ctx.exact = std::make_shared<const core::DecisionTable>(build());
+    if (config.quantized) {
+      ctx.quantized = std::make_shared<const core::QuantizedDecisionTable>(
+          core::QuantizeDecisionTable(*ctx.exact));
+    }
+  }
+  ctx.grid_min_mbps = cc.min_mbps;
+  ctx.grid_max_mbps = cc.max_mbps;
+
+  const media::NormalizedLogUtility utility(config.ladder);
+  for (media::Rung r = 0; r < config.ladder.Count(); ++r) {
+    const double mbps = config.ladder.BitrateMbps(r);
+    ctx.rung_utility.push_back(utility.At(mbps));
+    ctx.rung_megabits.push_back(mbps * config.segment_seconds);
+  }
+  ctx.qoe_histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "fleet.qoe", {-1.0, -0.75, -0.5, -0.25, -0.1, 0.0, 0.1, 0.2, 0.3, 0.4,
+                    0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+
+  // Shards never interact (open loop), so each runs its entire timeline
+  // independently; ParallelFor only decides which worker runs which shard.
+  std::vector<std::unique_ptr<ShardRunner>> runners;
+  runners.reserve(static_cast<std::size_t>(config.shards));
+  for (int s = 0; s < config.shards; ++s) {
+    runners.push_back(std::make_unique<ShardRunner>(ctx, s));
+  }
+  util::ParallelFor(runners.size(), threads,
+                    [&](int /*worker*/, std::size_t s) { runners[s]->Run(); });
+
+  // Merge in shard order. Every field is an integer sum, so the result is
+  // also independent of this order — and of the shard count itself.
+  FleetSummary summary;
+  summary.users = config.users;
+  summary.ticks = ctx.ticks;
+  const int sample_every = std::max(config.live_sample_every_ticks, 1);
+  const auto samples = static_cast<std::size_t>(
+      (ctx.ticks + sample_every - 1) / sample_every);
+  summary.live_samples.assign(samples, 0);
+  for (const auto& runner : runners) {
+    const ShardAccum& a = runner->Accum();
+    summary.sessions_started += a.sessions_started;
+    summary.sessions_completed += a.sessions_completed;
+    summary.sessions_abandoned += a.sessions_abandoned;
+    summary.rejoins += a.rejoins;
+    summary.decisions += a.decisions;
+    summary.clamped_lookups += a.clamped_lookups;
+    summary.live_at_end += a.live_at_end;
+    summary.slo_violations += a.slo_violations;
+    summary.arena_bytes += a.arena_bytes;
+    summary.qoe_fp += a.qoe_fp;
+    summary.utility_fp += a.utility_fp;
+    summary.rebuffer_ratio_fp += a.rebuffer_ratio_fp;
+    summary.switch_rate_fp += a.switch_rate_fp;
+    summary.watch_s_fp += a.watch_s_fp;
+    summary.session_checksum += a.session_checksum;
+    for (std::size_t b = 0; b < kQoeHistBuckets; ++b) {
+      summary.qoe_hist[b] += a.qoe_hist[b];
+    }
+    SODA_ENSURE(a.live_samples.size() == samples,
+                "shard live-sample series length mismatch");
+    for (std::size_t i = 0; i < samples; ++i) {
+      summary.live_samples[i] += a.live_samples[i];
+    }
+  }
+  summary.sessions_ended =
+      summary.sessions_completed + summary.sessions_abandoned;
+  for (const std::uint64_t live : summary.live_samples) {
+    summary.peak_live = std::max(summary.peak_live, live);
+  }
+
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("fleet.runs").Add();
+  reg.GetCounter("fleet.sessions_started").Add(summary.sessions_started);
+  reg.GetCounter("fleet.sessions_ended").Add(summary.sessions_ended);
+  reg.GetCounter("fleet.rejoins").Add(summary.rejoins);
+  reg.GetCounter("fleet.decisions").Add(summary.decisions);
+  reg.GetCounter("fleet.clamped_lookups").Add(summary.clamped_lookups);
+  reg.GetCounter("fleet.slo_violations").Add(summary.slo_violations);
+  reg.GetGauge("fleet.live_sessions")
+      .Set(static_cast<double>(summary.live_at_end));
+  reg.GetGauge("fleet.peak_live_sessions")
+      .Set(static_cast<double>(summary.peak_live));
+  reg.GetGauge("fleet.qoe_mean").Set(summary.MeanQoe());
+  reg.GetGauge("fleet.rebuffer_slo_violation_fraction")
+      .Set(summary.SloViolationFraction());
+  reg.GetGauge("fleet.arena_bytes")
+      .Set(static_cast<double>(summary.arena_bytes));
+  return summary;
+}
+
+}  // namespace soda::fleet

@@ -1,0 +1,178 @@
+// Population-scale open-loop fleet simulator.
+//
+// qoe::Evaluate replays a fixed corpus in closed loop — every session runs
+// to completion and the population is whatever the corpus says. A
+// production ABR service sees the opposite shape: an open-loop *fleet* of
+// sessions arriving (Poisson with diurnal modulation), watching for as
+// long as the engagement model says they will (the paper's Fig. 1 cohort:
+// switching and rebuffering shorten viewing), abandoning, and sometimes
+// re-joining. RunFleet advances that population on a shared virtual clock
+// in segment-length ticks, holding every live session's hot state in
+// arena-backed SoA shards (fleet/session_arena.hpp) and serving every
+// decision from the process-wide shared decision-table caches
+// (core/decision_table.hpp, core/quantized_table.hpp) — no per-session
+// controller objects, no per-session allocation at steady state, 1M+
+// concurrent sessions in one process.
+//
+// Per-tick session step: dual-EMA throughput forecast -> table decision
+// (inputs clamped to the grid; see FleetSummary::clamped_lookups) -> exact
+// download time against the session's AR(1) log-throughput walk -> buffer /
+// stall accounting -> EMA observation -> engagement check every
+// `engagement_check_segments` segments (user::EngagementModel decides
+// whether the viewer keeps watching). A departed viewer re-joins with
+// probability `rejoin_probability` after an exponential delay, as a new
+// incarnation of the same user chain.
+//
+// Determinism contract (the PR-1 guarantee, extended): every stochastic
+// value for a session is drawn from a private Rng seeded as a pure
+// function of (base_seed, user_id, incarnation) — never of arrival order,
+// shard assignment or thread interleaving. Users are partitioned across
+// shards by user_id; shards never interact (the fleet is open-loop), so
+// each shard simulates its whole timeline independently and
+// util::ParallelFor only decides which worker runs which shard. All
+// cross-session aggregates are integer sums (doubles are accumulated in
+// 1e6 fixed point), which are commutative and associative — so
+// FleetSummary is bit-identical for ANY thread count and ANY shard count
+// (fleet_sim_test and fleet_perf_test pin both, the latter at >= 100k
+// concurrent sessions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/cached_controller.hpp"
+#include "fleet/arrivals.hpp"
+#include "media/bitrate_ladder.hpp"
+#include "user/engagement.hpp"
+
+namespace soda::fleet {
+
+// Fixed-point scale for double aggregates (micro-units): exact integer
+// sums keep the merged view order-independent, unlike floating-point
+// accumulation whose result depends on summation order.
+inline constexpr double kFixedPointScale = 1e6;
+
+// QoE histogram: 26 buckets of width 0.1 covering [-1.5, 1.0); the first
+// and last buckets absorb underflow/overflow.
+inline constexpr std::size_t kQoeHistBuckets = 26;
+
+struct FleetConfig {
+  std::uint64_t base_seed = 1;
+  // Users arriving over the horizon. Each may contribute several sessions
+  // (re-joins); concurrency is what the engagement model makes of it.
+  std::uint64_t users = 50000;
+  // User chains are partitioned across this many independent shards
+  // (user_id % shards). More shards = finer parallel grain; results are
+  // bit-identical for any value >= 1.
+  int shards = 64;
+  ArrivalConfig arrival;
+  // Virtual clock tick = one segment.
+  double segment_seconds = 2.0;
+  double max_buffer_s = 20.0;
+  double rtt_s = 0.05;
+
+  // Per-session network model: the session's mean throughput is log-normal
+  // across the population (median `median_mbps`, log-stddev
+  // `session_log_sigma`); within a session, log-throughput follows an
+  // AR(1) walk with mean reversion `walk_phi` and innovation stddev
+  // `walk_sigma`, floored at `min_mbps`.
+  double median_mbps = 8.0;
+  double session_log_sigma = 0.6;
+  double walk_phi = 0.92;
+  double walk_sigma = 0.22;
+  double min_mbps = 0.05;
+
+  // Stream lengths are log-normal (median `stream_median_s`), clamped.
+  double stream_median_s = 1800.0;
+  double stream_log_sigma = 0.8;
+  double stream_min_s = 60.0;
+  double stream_max_s = 14400.0;
+
+  // Viewer behavior.
+  user::EngagementConfig engagement;
+  int engagement_check_segments = 4;
+  double rejoin_probability = 0.35;
+  double rejoin_delay_mean_s = 45.0;
+  // Maximum sessions per user chain (1 = no re-joins).
+  int max_incarnations = 3;
+
+  // A finished session violates the rebuffer SLO when its rebuffer ratio
+  // exceeds this.
+  double slo_rebuffer_ratio = 0.01;
+  // Live-session time series resolution (ticks per sample; >= 1).
+  int live_sample_every_ticks = 1;
+
+  // Decision serving: table geometry/planner config, exactly as
+  // CachedDecisionController and serve::DecisionService interpret it. The
+  // tables come from the process-wide shared caches.
+  media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  core::CachedControllerConfig controller;
+  // Serve from the compact quantized table (exact table still built: it is
+  // the quantization source).
+  bool quantized = true;
+};
+
+// Aggregate fleet outcome. Every field is either an integer or a vector /
+// array of integers, so equality is bitwise and holds across thread and
+// shard counts (see the determinism contract above). The Mean*/Fraction
+// helpers derive doubles from the fixed-point sums.
+struct FleetSummary {
+  std::uint64_t users = 0;
+  std::int64_t ticks = 0;
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_ended = 0;      // completed + abandoned
+  std::uint64_t sessions_completed = 0;  // watched the whole stream
+  std::uint64_t sessions_abandoned = 0;  // engagement model ended it
+  std::uint64_t rejoins = 0;             // incarnations beyond the first
+  std::uint64_t decisions = 0;           // table decisions served
+  std::uint64_t clamped_lookups = 0;     // inputs clamped into the grid
+  std::uint64_t live_at_end = 0;         // sessions still live at horizon
+  std::uint64_t peak_live = 0;           // max concurrent sessions
+  std::uint64_t slo_violations = 0;      // ended sessions over the SLO
+  // Resident SoA bytes across all shards. This is memory *accounting*, not
+  // simulation output: it reflects per-shard high-water marks and vector
+  // growth, so it is thread-invariant (same shards -> same arenas) but NOT
+  // shard-count-invariant. Every other field is invariant to both.
+  std::uint64_t arena_bytes = 0;
+
+  // Concurrent-session time series, sampled every
+  // `live_sample_every_ticks` ticks and summed across shards.
+  std::vector<std::uint64_t> live_samples;
+
+  // QoE distribution over ended sessions (kQoeHistBuckets buckets of 0.1
+  // from -1.5; ends absorb out-of-range).
+  std::array<std::uint64_t, kQoeHistBuckets> qoe_hist{};
+
+  // 1e6 fixed-point sums over ended sessions.
+  std::int64_t qoe_fp = 0;
+  std::int64_t utility_fp = 0;
+  std::int64_t rebuffer_ratio_fp = 0;
+  std::int64_t switch_rate_fp = 0;
+  std::int64_t watch_s_fp = 0;
+
+  // Order-independent per-session digest: a mixed hash of every ended (and
+  // end-of-run live) session's full observable state, summed mod 2^64.
+  // Equal checksums across runs are strong evidence of per-session bitwise
+  // identity, not just matching aggregates.
+  std::uint64_t session_checksum = 0;
+
+  [[nodiscard]] double MeanQoe() const noexcept;
+  [[nodiscard]] double MeanUtility() const noexcept;
+  [[nodiscard]] double MeanRebufferRatio() const noexcept;
+  [[nodiscard]] double MeanSwitchRate() const noexcept;
+  [[nodiscard]] double MeanWatchSeconds() const noexcept;
+  [[nodiscard]] double SloViolationFraction() const noexcept;
+
+  bool operator==(const FleetSummary&) const = default;
+};
+
+// Runs the fleet across `threads` workers (<= 0 = hardware concurrency).
+// Deterministic: the summary is a pure function of `config` — identical
+// for any thread count. Publishes fleet.* counters/gauges and the fleet.qoe
+// histogram through obs::MetricsRegistry::Global(). Throws
+// std::invalid_argument on nonsensical configuration.
+[[nodiscard]] FleetSummary RunFleet(const FleetConfig& config,
+                                    int threads = 1);
+
+}  // namespace soda::fleet

@@ -1,0 +1,77 @@
+#include "fleet/session_arena.hpp"
+
+namespace soda::fleet {
+
+namespace {
+
+template <typename T>
+std::size_t VecBytes(const std::vector<T>& v) noexcept {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+void SessionArena::Reserve(std::size_t sessions) {
+  user_id.reserve(sessions);
+  incarnation.reserve(sessions);
+  rng.reserve(sessions);
+  buffer_s.reserve(sessions);
+  log_mbps.reserve(sessions);
+  log_mbps_mean.reserve(sessions);
+  ema_fast.reserve(sessions);
+  ema_slow.reserve(sessions);
+  ema_fast_w.reserve(sessions);
+  ema_slow_w.reserve(sessions);
+  stream_s.reserve(sessions);
+  played_s.reserve(sessions);
+  rebuffer_s.reserve(sessions);
+  utility_sum.reserve(sessions);
+  segments.reserve(sessions);
+  switches.reserve(sessions);
+  prev_rung.reserve(sessions);
+  free_.reserve(sessions);
+}
+
+void SessionArena::GrowOne() {
+  user_id.push_back(0);
+  incarnation.push_back(0);
+  rng.emplace_back(0);
+  buffer_s.push_back(0.0);
+  log_mbps.push_back(0.0);
+  log_mbps_mean.push_back(0.0);
+  ema_fast.push_back(0.0);
+  ema_slow.push_back(0.0);
+  ema_fast_w.push_back(0.0);
+  ema_slow_w.push_back(0.0);
+  stream_s.push_back(0.0);
+  played_s.push_back(0.0);
+  rebuffer_s.push_back(0.0);
+  utility_sum.push_back(0.0);
+  segments.push_back(0);
+  switches.push_back(0);
+  prev_rung.push_back(-1);
+  ++size_;
+}
+
+Slot SessionArena::Allocate() {
+  if (!free_.empty()) {
+    const Slot slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  GrowOne();
+  return static_cast<Slot>(size_ - 1);
+}
+
+void SessionArena::Release(Slot slot) { free_.push_back(slot); }
+
+std::size_t SessionArena::MemoryBytes() const noexcept {
+  return VecBytes(user_id) + VecBytes(incarnation) + VecBytes(rng) +
+         VecBytes(buffer_s) + VecBytes(log_mbps) + VecBytes(log_mbps_mean) +
+         VecBytes(ema_fast) + VecBytes(ema_slow) + VecBytes(ema_fast_w) +
+         VecBytes(ema_slow_w) + VecBytes(stream_s) + VecBytes(played_s) +
+         VecBytes(rebuffer_s) + VecBytes(utility_sum) + VecBytes(segments) +
+         VecBytes(switches) + VecBytes(prev_rung) + VecBytes(free_);
+}
+
+}  // namespace soda::fleet

@@ -1,0 +1,102 @@
+// Arena-backed SoA storage for fleet session state.
+//
+// The fleet simulator advances hundreds of thousands to millions of
+// concurrent sessions per virtual tick. Holding each session as a
+// heap-allocated object (the simulator's RunSession owns controllers,
+// predictors and logs per session) would cost an allocation per arrival
+// and scatter the per-tick working set across the heap. SessionArena packs
+// the *hot* per-session state — playback buffer, the AR(1) log-throughput
+// walk, the dual-EMA predictor, engagement counters and the previously
+// committed rung — into parallel arrays (structure-of-arrays), indexed by
+// a 32-bit slot:
+//
+//  - Allocation is a free-list pop (O(1), no heap traffic); releasing a
+//    departed session pushes its slot back for the next arrival, so a
+//    steady-state fleet of N sessions touches the allocator only while
+//    growing to its high-water mark. Growth is amortized via the backing
+//    std::vectors; Reserve() pre-sizes everything for a known target.
+//  - Each field lives in its own contiguous array, so the per-tick sweep
+//    streams through memory field by field instead of striding over fat
+//    session objects; a slot's state is ~170 bytes across all arrays,
+//    putting 1M+ concurrent sessions comfortably in a couple hundred MB.
+//
+// The arena is single-owner by design: each fleet shard owns one arena and
+// only its worker touches it, so there is no locking anywhere. Determinism
+// does not depend on slot assignment — every per-session value is a pure
+// function of (base_seed, user_id, incarnation), never of which slot the
+// session landed in (slots only affect sweep order, and the fleet's
+// aggregates are order-independent integer sums).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace soda::fleet {
+
+using Slot = std::uint32_t;
+
+class SessionArena {
+ public:
+  // Pre-sizes every field array (and the free list) for `sessions` live
+  // sessions so the steady-state hot loop never reallocates.
+  void Reserve(std::size_t sessions);
+
+  // Pops a free slot (or grows every array by one). The slot's fields hold
+  // whatever the previous occupant left; the caller initializes them.
+  [[nodiscard]] Slot Allocate();
+
+  // Returns a slot to the free list. The caller must not touch it again
+  // until Allocate() hands it back.
+  void Release(Slot slot);
+
+  [[nodiscard]] std::size_t LiveCount() const noexcept {
+    return size_ - free_.size();
+  }
+  [[nodiscard]] std::size_t Capacity() const noexcept { return size_; }
+  [[nodiscard]] std::size_t FreeCount() const noexcept { return free_.size(); }
+
+  // Resident bytes across all field arrays plus the free list (capacity,
+  // not size: this is what the process actually holds).
+  [[nodiscard]] std::size_t MemoryBytes() const noexcept;
+
+  // --- Per-session hot state, parallel arrays indexed by Slot. ---
+  // Identity: which user chain this session belongs to and which session
+  // of the chain it is (0 = first join, k = k-th re-join).
+  std::vector<std::uint64_t> user_id;
+  std::vector<std::uint32_t> incarnation;
+  // Private random stream, seeded from (base_seed, user_id, incarnation).
+  std::vector<Rng> rng;
+  // Playback buffer (seconds of content).
+  std::vector<double> buffer_s;
+  // AR(1) random walk over log-throughput: current value and the
+  // session's mean-reversion level.
+  std::vector<double> log_mbps;
+  std::vector<double> log_mbps_mean;
+  // Dual-EMA throughput predictor (bit-identical arithmetic to
+  // predict::EmaPredictor / serve::DecisionService).
+  std::vector<double> ema_fast;
+  std::vector<double> ema_slow;
+  std::vector<double> ema_fast_w;
+  std::vector<double> ema_slow_w;
+  // Engagement state: total stream length, content seconds watched, total
+  // stall time, and the running utility sum over committed rungs.
+  std::vector<double> stream_s;
+  std::vector<double> played_s;
+  std::vector<double> rebuffer_s;
+  std::vector<double> utility_sum;
+  // Decision history: committed segments, rung switches, previous rung.
+  std::vector<std::uint32_t> segments;
+  std::vector<std::uint32_t> switches;
+  std::vector<std::int16_t> prev_rung;
+
+ private:
+  void GrowOne();
+
+  std::size_t size_ = 0;          // slots ever created (arrays' length)
+  std::vector<Slot> free_;        // recycled slots, LIFO
+};
+
+}  // namespace soda::fleet

@@ -62,16 +62,23 @@ struct DecisionService::SessionState {
   double fast_weight = 0.0;
   double slow_weight = 0.0;
   double rebuffer_s = 0.0;
+  double last_seen_s = 0.0;  // now_s of the last ingested event
 };
 
 struct DecisionService::Shard {
   mutable std::mutex mu;
   std::unordered_map<std::string, SessionState, IdHash, IdEq> sessions;
+  // TTL sweep bookkeeping (guarded by mu): the shard's event clock
+  // high-water mark and the ingests since the last sweep. Sweeping only
+  // after `sessions.size()` ingests amortizes the scan to O(1) per event.
+  double max_now_s = 0.0;
+  std::size_t ingests_since_sweep = 0;
 };
 
 struct DecisionService::Metrics {
   obs::Counter events;
   obs::Counter sessions_created;
+  obs::Counter sessions_evicted;
   obs::Counter startups;
   obs::Counter rebuffers;
   obs::Counter decisions;
@@ -137,6 +144,8 @@ DecisionService::DecisionService(ServeConfig config) : config_(config) {
   SODA_ENSURE(config_.shadow_check_fraction >= 0.0 &&
                   config_.shadow_check_fraction <= 1.0,
               "shadow fraction must be in [0, 1]");
+  SODA_ENSURE(config_.session_ttl_s >= 0.0,
+              "session TTL must be non-negative (0 disables)");
   shard_count_ = static_cast<int>(
       std::bit_ceil(static_cast<unsigned>(config_.session_shards)));
   // Shadow sampling compares the top 32 bits of a mixed hash against this
@@ -148,6 +157,7 @@ DecisionService::DecisionService(ServeConfig config) : config_(config) {
   metrics_ = std::make_unique<Metrics>();
   metrics_->events = reg.GetCounter("serve.events");
   metrics_->sessions_created = reg.GetCounter("serve.sessions_created");
+  metrics_->sessions_evicted = reg.GetCounter("serve.sessions_evicted");
   metrics_->startups = reg.GetCounter("serve.startup_events");
   metrics_->rebuffers = reg.GetCounter("serve.rebuffer_events");
   metrics_->decisions = reg.GetCounter("serve.decisions");
@@ -298,7 +308,37 @@ void DecisionService::Ingest(const SessionEvent& event) {
       observe(s, event.duration_s, event.mbps);
       break;
   }
+  s.last_seen_s = event.now_s;
   metrics_->events.Add();
+
+  // Idle-session eviction, amortized to O(1) per ingest: sweep the shard
+  // only after as many ingests as it holds sessions. Time is the shard's
+  // own event clock (max now_s seen), so the service needs no wall clock
+  // and eviction stays deterministic for a given event stream.
+  if (config_.session_ttl_s <= 0.0) return;
+  shard.max_now_s = std::max(shard.max_now_s, event.now_s);
+  // A quarter of the live map (with a floor) rather than the full size:
+  // under pure-churn load every ingest creates a session, so a full-size
+  // threshold would recede as fast as the counter chases it and the shard
+  // would never sweep again. n/4 keeps the scan amortized at O(1).
+  constexpr std::size_t kMinSweepIngests = 64;
+  if (++shard.ingests_since_sweep <
+      kMinSweepIngests + shard.sessions.size() / 4) {
+    return;
+  }
+  shard.ingests_since_sweep = 0;
+  const double deadline = shard.max_now_s - config_.session_ttl_s;
+  std::uint64_t evicted = 0;
+  for (auto session = shard.sessions.begin();
+       session != shard.sessions.end();) {
+    if (session->second.last_seen_s < deadline) {
+      session = shard.sessions.erase(session);
+      ++evicted;
+    } else {
+      ++session;
+    }
+  }
+  if (evicted > 0) metrics_->sessions_evicted.Add(evicted);
 }
 
 void DecisionService::IngestBatch(std::span<const SessionEvent> events) {

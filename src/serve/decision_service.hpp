@@ -92,6 +92,14 @@ struct ServeConfig {
   // session seed and state version — reproducible across runs, batch sizes
   // and thread counts). 0 disables shadow checking.
   double shadow_check_fraction = 1.0 / 64.0;
+  // Idle-session eviction: a session whose last event is older than this
+  // (by the shard's most recent event clock, `SessionEvent::now_s`) is
+  // dropped at ingest time, so clients that vanish without RemoveSession
+  // cannot grow the session maps without bound under churn. Sweeps are
+  // amortized: a shard scans its map only after ~a quarter of its session
+  // count in ingests, so steady-state ingest stays O(1). Evictions count
+  // toward "serve.sessions_evicted". 0 disables eviction.
+  double session_ttl_s = 0.0;
 };
 
 enum class EventType : std::uint8_t {

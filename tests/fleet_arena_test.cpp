@@ -1,0 +1,90 @@
+#include "fleet/session_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace soda::fleet {
+namespace {
+
+TEST(SessionArena, StartsEmpty) {
+  SessionArena arena;
+  EXPECT_EQ(arena.LiveCount(), 0u);
+  EXPECT_EQ(arena.Capacity(), 0u);
+  EXPECT_EQ(arena.FreeCount(), 0u);
+}
+
+TEST(SessionArena, AllocateGrowsAllArraysInLockstep) {
+  SessionArena arena;
+  const Slot a = arena.Allocate();
+  const Slot b = arena.Allocate();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(arena.Capacity(), 2u);
+  EXPECT_EQ(arena.LiveCount(), 2u);
+  ASSERT_EQ(arena.user_id.size(), 2u);
+  ASSERT_EQ(arena.rng.size(), 2u);
+  ASSERT_EQ(arena.buffer_s.size(), 2u);
+  ASSERT_EQ(arena.ema_fast_w.size(), 2u);
+  ASSERT_EQ(arena.segments.size(), 2u);
+  ASSERT_EQ(arena.prev_rung.size(), 2u);
+}
+
+TEST(SessionArena, ReleaseRecyclesSlotsLifoWithoutGrowth) {
+  SessionArena arena;
+  const Slot a = arena.Allocate();
+  const Slot b = arena.Allocate();
+  const Slot c = arena.Allocate();
+  EXPECT_EQ(arena.Capacity(), 3u);
+
+  arena.Release(b);
+  arena.Release(a);
+  EXPECT_EQ(arena.LiveCount(), 1u);
+  EXPECT_EQ(arena.FreeCount(), 2u);
+
+  // LIFO recycling: the most recently released slot comes back first, and
+  // no new slots are created while the free list is non-empty.
+  EXPECT_EQ(arena.Allocate(), a);
+  EXPECT_EQ(arena.Allocate(), b);
+  EXPECT_EQ(arena.Capacity(), 3u);
+  EXPECT_EQ(arena.LiveCount(), 3u);
+  arena.Release(c);
+  EXPECT_EQ(arena.Allocate(), c);
+}
+
+TEST(SessionArena, SteadyStateChurnNeverGrowsPastHighWaterMark) {
+  SessionArena arena;
+  std::vector<Slot> live;
+  for (int i = 0; i < 100; ++i) live.push_back(arena.Allocate());
+  const std::size_t high_water = arena.Capacity();
+  // Churn 10x the population through release/allocate cycles.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 100; ++i) arena.Release(live[static_cast<std::size_t>(i)]);
+    for (int i = 0; i < 100; ++i) live[static_cast<std::size_t>(i)] = arena.Allocate();
+  }
+  EXPECT_EQ(arena.Capacity(), high_water);
+  EXPECT_EQ(arena.LiveCount(), 100u);
+}
+
+TEST(SessionArena, ReservePreSizesWithoutCreatingSlots) {
+  SessionArena arena;
+  arena.Reserve(1000);
+  EXPECT_EQ(arena.Capacity(), 0u);
+  EXPECT_EQ(arena.LiveCount(), 0u);
+  EXPECT_GE(arena.MemoryBytes(),
+            1000 * (sizeof(double) + sizeof(std::uint64_t)));
+  const std::size_t reserved = arena.MemoryBytes();
+  // Allocations within the reservation do not change the footprint.
+  for (int i = 0; i < 1000; ++i) (void)arena.Allocate();
+  EXPECT_EQ(arena.MemoryBytes(), reserved);
+}
+
+TEST(SessionArena, MemoryBytesCoversFieldArrays) {
+  SessionArena arena;
+  for (int i = 0; i < 10; ++i) (void)arena.Allocate();
+  // 17 field arrays; a lower bound from the doubles alone.
+  EXPECT_GE(arena.MemoryBytes(), 10 * 13 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace soda::fleet

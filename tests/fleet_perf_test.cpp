@@ -1,0 +1,69 @@
+// Fleet-scale regression pin (run via `ctest -L perf`, see EXPERIMENTS.md).
+//
+// The correctness half — bitwise thread invariance at >= 100k concurrent
+// sessions — runs in every build type, including sanitizers. The timing
+// assertion (steady-state decision throughput) is compiled in only for
+// Release (SODA_PERF_ASSERT) so debug builds don't flake, and gates a
+// deliberately conservative floor: the measured single-core rate is ~6M
+// decisions/sec, the pin is 500k/sec.
+#include "fleet/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace soda::fleet {
+namespace {
+
+FleetConfig ScaleConfig() {
+  FleetConfig config;
+  // ~250k users over a 10-minute horizon holds >= 100k concurrent sessions
+  // at the default engagement (quick-run measurement: peak ~ 0.4 * users
+  // at a 600 s horizon).
+  config.users = 260000;
+  config.shards = 128;
+  config.arrival.horizon_s = 600.0;
+  return config;
+}
+
+TEST(FleetPerf, HoldsHundredThousandSessionsBitIdenticalAcrossThreads) {
+  const FleetConfig config = ScaleConfig();
+
+  const auto start = std::chrono::steady_clock::now();
+  const FleetSummary t1 = RunFleet(config, 1);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_GE(t1.peak_live, 100000u) << "fleet failed to hold 100k sessions";
+  EXPECT_GT(t1.decisions, 10u * 1000u * 1000u);
+  EXPECT_EQ(t1.sessions_ended, t1.sessions_completed + t1.sessions_abandoned);
+
+  const FleetSummary t4 = RunFleet(config, 4);
+  EXPECT_EQ(t1, t4) << "fleet summary differs between 1 and 4 threads";
+
+#ifdef SODA_PERF_ASSERT
+  const double decisions_per_sec =
+      static_cast<double>(t1.decisions) / wall_s;
+  EXPECT_GE(decisions_per_sec, 500000.0)
+      << "steady-state throughput regressed: " << decisions_per_sec
+      << " decisions/sec over " << wall_s << " s";
+#else
+  (void)wall_s;
+#endif
+}
+
+TEST(FleetPerf, ArenaStaysAllocationFreeAtSteadyState) {
+  // Memory for the whole 100k+ population must stay in the SoA arenas:
+  // ~170 bytes of hot state per slot, so even the peak population costs a
+  // couple hundred MB at 1M sessions and tens of MB here.
+  const FleetConfig config = ScaleConfig();
+  const FleetSummary s = RunFleet(config, 2);
+  EXPECT_GT(s.arena_bytes, 0u);
+  // < 400 bytes per peak-live session across every array incl. slack from
+  // vector growth: the SoA layout, not per-session heap objects.
+  EXPECT_LT(s.arena_bytes, s.peak_live * 400u);
+}
+
+}  // namespace
+}  // namespace soda::fleet

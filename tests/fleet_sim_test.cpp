@@ -1,0 +1,228 @@
+#include "fleet/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "fleet/arrivals.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace soda::fleet {
+namespace {
+
+FleetConfig SmallConfig() {
+  FleetConfig config;
+  config.users = 3000;
+  config.shards = 16;
+  config.arrival.horizon_s = 240.0;
+  return config;
+}
+
+FleetSummary WithoutArenaBytes(FleetSummary s) {
+  s.arena_bytes = 0;
+  return s;
+}
+
+TEST(FleetArrivals, DeterministicAndWithinHorizon) {
+  const ArrivalConfig config;
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 200; ++i) {
+    const double ta = SampleArrivalTime(config, a);
+    const double tb = SampleArrivalTime(config, b);
+    EXPECT_EQ(ta, tb);
+    EXPECT_GE(ta, 0.0);
+    EXPECT_LT(ta, config.horizon_s);
+  }
+}
+
+TEST(FleetArrivals, IntensityTracksDiurnalModulation) {
+  ArrivalConfig config;
+  config.diurnal_amplitude = 0.6;
+  config.diurnal_period_s = 86400.0;
+  // Peak at a quarter period (sin = 1), trough at three quarters.
+  const double peak = ArrivalIntensity(config, 86400.0 / 4.0);
+  const double trough = ArrivalIntensity(config, 3.0 * 86400.0 / 4.0);
+  EXPECT_NEAR(peak, 1.0, 1e-12);
+  EXPECT_NEAR(trough, (1.0 - 0.6) / (1.0 + 0.6), 1e-12);
+  // Amplitude 0 is homogeneous.
+  config.diurnal_amplitude = 0.0;
+  EXPECT_EQ(ArrivalIntensity(config, 12345.0), 1.0);
+}
+
+TEST(FleetArrivals, DiurnalSamplingFollowsIntensityShape) {
+  ArrivalConfig config;
+  config.horizon_s = 86400.0;
+  config.diurnal_amplitude = 0.8;
+  Rng rng(7);
+  int first_half = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (SampleArrivalTime(config, rng) < config.horizon_s / 2.0) ++first_half;
+  }
+  // sin > 0 over the first half period, so it must attract well over half
+  // the arrivals (expected share ~ (1 + 2a/pi) / 2 ~ 0.75 at a = 0.8).
+  EXPECT_GT(first_half, n * 6 / 10);
+}
+
+TEST(FleetSim, BitIdenticalAcrossThreadCounts) {
+  const FleetConfig config = SmallConfig();
+  const FleetSummary t1 = RunFleet(config, 1);
+  const FleetSummary t2 = RunFleet(config, 2);
+  const FleetSummary t4 = RunFleet(config, 4);
+  const FleetSummary t8 = RunFleet(config, 8);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t4);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(FleetSim, BitIdenticalAcrossShardCounts) {
+  FleetConfig config = SmallConfig();
+  config.shards = 8;
+  const FleetSummary s8 = RunFleet(config, 2);
+  config.shards = 32;
+  const FleetSummary s32 = RunFleet(config, 2);
+  config.shards = 5;  // not a divisor of anything interesting on purpose
+  const FleetSummary s5 = RunFleet(config, 2);
+  // arena_bytes is memory accounting (per-shard high-water marks), the one
+  // field that legitimately varies with the shard layout.
+  EXPECT_EQ(WithoutArenaBytes(s8), WithoutArenaBytes(s32));
+  EXPECT_EQ(WithoutArenaBytes(s8), WithoutArenaBytes(s5));
+  EXPECT_NE(s8.session_checksum, 0u);
+}
+
+TEST(FleetSim, DifferentSeedsDecorrelate) {
+  FleetConfig config = SmallConfig();
+  const FleetSummary a = RunFleet(config, 2);
+  config.base_seed = 2;
+  const FleetSummary b = RunFleet(config, 2);
+  EXPECT_NE(a.session_checksum, b.session_checksum);
+  EXPECT_NE(a.qoe_fp, b.qoe_fp);
+}
+
+TEST(FleetSim, SessionAccountingIsConsistent) {
+  const FleetConfig config = SmallConfig();
+  const FleetSummary s = RunFleet(config, 2);
+  EXPECT_GT(s.sessions_started, 0u);
+  EXPECT_EQ(s.sessions_ended, s.sessions_completed + s.sessions_abandoned);
+  EXPECT_EQ(s.sessions_started, s.sessions_ended + s.live_at_end);
+  EXPECT_GT(s.sessions_abandoned, 0u);  // default engagement is impatient
+  EXPECT_GT(s.decisions, s.sessions_started);
+  EXPECT_GE(s.peak_live, s.live_at_end);
+  std::uint64_t hist_total = 0;
+  for (const auto count : s.qoe_hist) hist_total += count;
+  EXPECT_EQ(hist_total, s.sessions_ended);
+  // Live samples: one per tick at the default cadence, monotone nothing —
+  // but the peak must appear in the series.
+  ASSERT_EQ(s.live_samples.size(), static_cast<std::size_t>(s.ticks));
+  EXPECT_EQ(*std::max_element(s.live_samples.begin(), s.live_samples.end()),
+            s.peak_live);
+  EXPECT_EQ(s.live_samples.back(), s.live_at_end);
+}
+
+TEST(FleetSim, RejoinsProduceNewIncarnations) {
+  FleetConfig config = SmallConfig();
+  config.users = 800;
+  config.rejoin_probability = 1.0;
+  config.max_incarnations = 3;
+  // Impatient viewers + short streams end sessions quickly, leaving room
+  // for re-joins within the horizon.
+  config.stream_median_s = 120.0;
+  config.stream_min_s = 60.0;
+  config.stream_max_s = 240.0;
+  config.rejoin_delay_mean_s = 10.0;
+  const FleetSummary s = RunFleet(config, 2);
+  EXPECT_GT(s.rejoins, 0u);
+  EXPECT_GT(s.sessions_started, s.users);
+  // A chain is at most max_incarnations sessions.
+  EXPECT_LE(s.sessions_started, s.users * 3);
+
+  FleetConfig no_rejoin = config;
+  no_rejoin.rejoin_probability = 0.0;
+  const FleetSummary n = RunFleet(no_rejoin, 2);
+  EXPECT_EQ(n.rejoins, 0u);
+  EXPECT_LE(n.sessions_started, n.users);
+}
+
+TEST(FleetSim, PatientViewersCompleteShortStreams) {
+  FleetConfig config = SmallConfig();
+  config.users = 500;
+  // Patient cohort: watch everything, no noise.
+  config.engagement.base_fraction = 1.0;
+  config.engagement.max_fraction = 1.0;
+  config.engagement.switch_slope = 0.0;
+  config.engagement.rebuffer_sensitivity = 0.0;
+  config.engagement.noise = 0.0;
+  config.stream_median_s = 60.0;
+  config.stream_log_sigma = 0.0;
+  config.stream_min_s = 60.0;
+  config.stream_max_s = 60.0;
+  const FleetSummary s = RunFleet(config, 2);
+  EXPECT_GT(s.sessions_completed, 0u);
+  EXPECT_EQ(s.sessions_abandoned, 0u);
+  // 60 s of content at 2 s segments: about 30 decisions per session.
+  EXPECT_GE(s.MeanWatchSeconds(), 59.0);
+}
+
+TEST(FleetSim, NarrowGridClampsLookups) {
+  FleetConfig config = SmallConfig();
+  config.users = 400;
+  // A grid whose floor sits above the population's slow tail forces
+  // below-grid forecasts to clamp.
+  config.controller.min_mbps = 4.0;
+  config.controller.max_mbps = 12.0;
+  const FleetSummary s = RunFleet(config, 2);
+  EXPECT_GT(s.clamped_lookups, 0u);
+  EXPECT_LE(s.clamped_lookups, s.decisions);
+}
+
+TEST(FleetSim, QuantizedAndExactTablesBothServe) {
+  FleetConfig config = SmallConfig();
+  config.users = 500;
+  const FleetSummary q = RunFleet(config, 2);
+  config.quantized = false;
+  const FleetSummary e = RunFleet(config, 2);
+  // Same population either way; decisions may differ only at cell
+  // boundaries (fp32 axis rounding), so aggregate QoE stays close.
+  EXPECT_EQ(q.sessions_started, e.sessions_started);
+  EXPECT_NEAR(q.MeanQoe(), e.MeanQoe(), 0.01);
+}
+
+TEST(FleetSim, PublishesFleetMetrics) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const auto before = registry.Snapshot();
+  const std::uint64_t started_before =
+      before.counters.count("fleet.sessions_started")
+          ? before.counters.at("fleet.sessions_started")
+          : 0;
+  const FleetSummary s = RunFleet(SmallConfig(), 2);
+  const auto after = registry.Snapshot();
+  EXPECT_EQ(after.counters.at("fleet.sessions_started") - started_before,
+            s.sessions_started);
+  EXPECT_EQ(after.gauges.at("fleet.peak_live_sessions"),
+            static_cast<double>(s.peak_live));
+  EXPECT_GT(after.histograms.at("fleet.qoe").TotalCount(), 0u);
+}
+
+TEST(FleetSim, RejectsNonsenseConfig) {
+  FleetConfig config;
+  config.users = 0;
+  EXPECT_THROW((void)RunFleet(config, 1), std::invalid_argument);
+  config = FleetConfig{};
+  config.shards = 0;
+  EXPECT_THROW((void)RunFleet(config, 1), std::invalid_argument);
+  config = FleetConfig{};
+  config.walk_phi = 1.5;
+  EXPECT_THROW((void)RunFleet(config, 1), std::invalid_argument);
+  config = FleetConfig{};
+  config.rejoin_probability = 2.0;
+  EXPECT_THROW((void)RunFleet(config, 1), std::invalid_argument);
+  config = FleetConfig{};
+  config.arrival.diurnal_amplitude = 1.0;
+  EXPECT_THROW((void)RunFleet(config, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soda::fleet

@@ -363,5 +363,86 @@ TEST(DecisionService, ConcurrentIngestAndDecide) {
             static_cast<std::size_t>(kWriters * kSessionsPerWriter));
 }
 
+TEST(DecisionService, TtlEvictsIdleSessionsUnderChurn) {
+  ServeConfig config;
+  config.session_shards = 1;  // one shard so the sweep cadence is predictable
+  config.session_ttl_s = 30.0;
+  DecisionService service(config);
+  const TenantId tenant = service.RegisterTenant(DefaultTenant(true));
+
+  const auto sample = [&](const std::string& id, double now_s) {
+    SessionEvent event;
+    event.type = EventType::kThroughputSample;
+    event.tenant = tenant;
+    event.session_id = id;
+    event.now_s = now_s;
+    event.duration_s = 1.0;
+    event.mbps = 8.0;
+    service.Ingest(event);
+  };
+
+  // A churning population: generation g's sessions all go idle before
+  // generation g+2 arrives, so eviction must hold the live set near one
+  // generation instead of accumulating all of them.
+  constexpr int kGenerations = 20;
+  constexpr int kPerGeneration = 100;
+  for (int g = 0; g < kGenerations; ++g) {
+    const double now_s = g * 40.0;  // > TTL apart
+    for (int i = 0; i < kPerGeneration; ++i) {
+      sample("gen-" + std::to_string(g) + "-" + std::to_string(i), now_s);
+    }
+  }
+  // Without eviction this would be kGenerations * kPerGeneration = 2000;
+  // the amortized sweep (every ~quarter of the live map) bounds the live
+  // set to a few generations.
+  EXPECT_LE(service.ActiveSessions(), 4u * kPerGeneration);
+
+  const auto snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snapshot.counters.at("serve.sessions_evicted"),
+            static_cast<std::uint64_t>((kGenerations - 5) * kPerGeneration));
+
+  // A session that keeps reporting survives every sweep.
+  DecisionService fresh(config);
+  const TenantId t2 = fresh.RegisterTenant(DefaultTenant(true));
+  const auto keepalive = [&](double now_s) {
+    SessionEvent event;
+    event.type = EventType::kThroughputSample;
+    event.tenant = t2;
+    event.session_id = "keepalive";
+    event.now_s = now_s;
+    event.duration_s = 1.0;
+    event.mbps = 8.0;
+    fresh.Ingest(event);
+  };
+  for (int step = 0; step < 100; ++step) keepalive(step * 10.0);
+  EXPECT_EQ(fresh.ActiveSessions(), 1u);
+}
+
+TEST(DecisionService, TtlZeroNeverEvicts) {
+  ServeConfig config;
+  config.session_shards = 1;
+  config.session_ttl_s = 0.0;
+  DecisionService service(config);
+  const TenantId tenant = service.RegisterTenant(DefaultTenant(true));
+  for (int i = 0; i < 200; ++i) {
+    const std::string id = "s-" + std::to_string(i);
+    SessionEvent event;
+    event.type = EventType::kThroughputSample;
+    event.tenant = tenant;
+    event.session_id = id;
+    event.now_s = i * 1000.0;  // ancient gaps, but TTL is off
+    event.duration_s = 1.0;
+    event.mbps = 8.0;
+    service.Ingest(event);
+  }
+  EXPECT_EQ(service.ActiveSessions(), 200u);
+}
+
+TEST(DecisionService, RejectsNegativeTtl) {
+  ServeConfig config;
+  config.session_ttl_s = -1.0;
+  EXPECT_THROW(DecisionService service(config), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace soda::serve

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace soda::user {
 namespace {
 
@@ -64,6 +66,59 @@ TEST(Engagement, ViewingSecondsScaleWithStreamLength) {
   const double two_hours = model.ExpectedViewingSeconds(m, 7200.0);
   const double one_hour = model.ExpectedViewingSeconds(m, 3600.0);
   EXPECT_NEAR(two_hours, 2.0 * one_hour, 1e-9);
+}
+
+TEST(Engagement, SameSeedReproducesWatchAndAbandonSequence) {
+  // The fleet simulator's abandonment decisions hinge on this: the sampled
+  // watch-fraction stream — and therefore the derived abandon/keep-watching
+  // sequence — must be a pure function of the seed.
+  const EngagementModel model;
+  Rng a(2024);
+  Rng b(2024);
+  std::vector<double> fractions_a;
+  std::vector<bool> abandons_a;
+  for (int step = 0; step < 500; ++step) {
+    // Vary the session metrics over the sequence like a live session would.
+    const qoe::QoeMetrics m = Metrics(0.002 * (step % 100), 0.0005 * step);
+    const double fa = model.SampleWatchFraction(m, a);
+    const double fb = model.SampleWatchFraction(m, b);
+    ASSERT_EQ(fa, fb) << "step " << step;  // bitwise, not approximate
+    fractions_a.push_back(fa);
+    // The fleet's abandonment predicate: watched >= fraction * stream.
+    const double played_fraction = 0.001 * step;
+    abandons_a.push_back(played_fraction >= fa);
+  }
+  // Replay once more from the seed and compare the derived sequence too.
+  Rng c(2024);
+  for (int step = 0; step < 500; ++step) {
+    const qoe::QoeMetrics m = Metrics(0.002 * (step % 100), 0.0005 * step);
+    const double fc = model.SampleWatchFraction(m, c);
+    ASSERT_EQ(fc, fractions_a[static_cast<std::size_t>(step)]);
+    ASSERT_EQ(0.001 * step >= fc, abandons_a[static_cast<std::size_t>(step)]);
+  }
+}
+
+TEST(Engagement, DistinctSeedsDecorrelate) {
+  const EngagementModel model;
+  Rng a(1);
+  Rng b(2);
+  const qoe::QoeMetrics m = Metrics(0.05, 0.002);
+  int equal = 0;
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  constexpr int kSamples = 1000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double fa = model.SampleWatchFraction(m, a);
+    const double fb = model.SampleWatchFraction(m, b);
+    if (fa == fb) ++equal;
+    sum_a += fa;
+    sum_b += fb;
+  }
+  // Streams from different seeds must not track each other sample-by-sample
+  // (continuous noise: bitwise collisions should be essentially absent)...
+  EXPECT_LT(equal, kSamples / 100);
+  // ...while still agreeing in distribution (same model, same metrics).
+  EXPECT_NEAR(sum_a / kSamples, sum_b / kSamples, 0.005);
 }
 
 TEST(Engagement, ConfigValidation) {

@@ -6,7 +6,8 @@ Usage: tools/bench_delta.py BASELINE CANDIDATE
 Prints the sessions/sec delta per controller and thread count, the QoE
 deltas, the serving-throughput block (DecisionService decisions/sec,
 batch latency, quantized memory cut and QoE delta), and the candidate's
-shared-link scaling and fairness-workload tables (if present). Always
+shared-link scaling, fairness-workload and fleet-scaling tables (if
+present; older baselines without these blocks are fine). Always
 exits 0: timing on shared CI runners is too noisy to gate on, so this is
 an eyeballing aid, not a check. Structural fields (QoE) should match the
 baseline bit-for-bit when the corpus seed is unchanged; timing fields are
@@ -144,6 +145,44 @@ def main():
                   f"{row['mean_rebuffer_s']:10.4f}  "
                   f"{row['sessions_per_sec']:12.1f}  {row['speedup']:7.2f}  "
                   f"{row['identical_output']}{jain_marker}")
+
+    fleet = candidate.get("fleet_scaling")
+    if fleet:
+        base_fleet = baseline.get("fleet_scaling") or {}
+        checksum_marker = ""
+        if base_fleet.get("session_checksum") is not None and \
+                base_fleet.get("session_checksum") != \
+                fleet.get("session_checksum"):
+            checksum_marker = "  *** CHECKSUM DIFFERS ***"
+        print("\nfleet scaling (open-loop population simulator; "
+              "identical_output must be true at every thread count, and the "
+              "session checksum should match the baseline bit-for-bit when "
+              "the seed/config is unchanged):")
+        print(f"  users={fleet.get('users')} horizon={fleet.get('horizon_s')}s "
+              f"shards={fleet.get('shards')} "
+              f"peak_live={fleet.get('peak_live')} "
+              f"decisions={fleet.get('decisions')}")
+        print(f"  qoe_mean {fleet.get('qoe_mean', 0.0):.6f}  "
+              f"slo_violation_fraction "
+              f"{fleet.get('rebuffer_slo_violation_fraction', 0.0):.6f}  "
+              f"checksum {fleet.get('session_checksum')}{checksum_marker}")
+        base_points = {
+            point["threads"]: point
+            for point in base_fleet.get("threads", [])
+        }
+        print("  threads   decisions/sec   vs baseline   identical")
+        for point in fleet.get("threads", []):
+            base = base_points.get(point["threads"])
+            if base and base.get("decisions_per_sec"):
+                delta = 100.0 * (point["decisions_per_sec"] /
+                                 base["decisions_per_sec"] - 1.0)
+                delta_text = f"{delta:+10.1f}%"
+            else:
+                delta_text = "       n/a"
+            ident = point.get("identical_output")
+            ident_marker = "" if ident else "  *** NOT BIT-IDENTICAL ***"
+            print(f"  {point['threads']:7d}  {point['decisions_per_sec']:14.0f}  "
+                  f"{delta_text}  {ident}{ident_marker}")
     return 0
 
 

@@ -1,0 +1,135 @@
+// Load generator / scaling driver for the open-loop fleet simulator.
+//
+// Runs fleet::RunFleet at a configurable population and thread count and
+// reports steady-state decision throughput, peak concurrency and the fleet
+// QoE aggregates. With --check-threads N the same configuration is re-run
+// at N threads and the two summaries are compared bitwise — the CI
+// fleet-smoke job gates on `identical` staying true, which is the fleet's
+// determinism contract (results are a pure function of the config, never of
+// the thread count).
+//
+//   fleet_loadgen [--users N] [--horizon S] [--threads N] [--shards N]
+//                 [--seed S] [--segment S] [--check-threads N]
+//                 [--json PATH] [--metrics PATH] [--quick]
+//
+// --json writes a machine-readable summary; --metrics dumps the full
+// "fleet.*" metrics registry snapshot (the CI artifact).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "fleet/fleet.hpp"
+#include "obs/metrics.hpp"
+#include "tools/cli_args.hpp"
+#include "util/ensure.hpp"
+#include "util/json_writer.hpp"
+
+namespace {
+
+using namespace soda;
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::CliArgs args(argc, argv,
+                      {"users", "horizon", "threads", "shards", "seed",
+                       "segment", "check-threads", "json", "metrics"},
+                      {"quick"});
+
+  const bool quick = args.Has("quick");
+  fleet::FleetConfig config;
+  config.users =
+      static_cast<std::uint64_t>(args.GetLong("users", quick ? 10000 : 200000));
+  config.arrival.horizon_s = args.GetDouble("horizon", quick ? 300.0 : 600.0);
+  config.shards = static_cast<int>(args.GetLong("shards", 64));
+  config.base_seed = static_cast<std::uint64_t>(args.GetLong("seed", 1));
+  config.segment_seconds = args.GetDouble("segment", 2.0);
+  const int threads = static_cast<int>(args.GetLong("threads", 1));
+  const int check_threads = static_cast<int>(args.GetLong("check-threads", 0));
+
+  const auto start = std::chrono::steady_clock::now();
+  const fleet::FleetSummary summary = fleet::RunFleet(config, threads);
+  const double wall_s = Seconds(start, std::chrono::steady_clock::now());
+  const double decisions_per_sec =
+      wall_s > 0.0 ? static_cast<double>(summary.decisions) / wall_s : 0.0;
+
+  bool identical = true;
+  if (check_threads > 0) {
+    const fleet::FleetSummary check = fleet::RunFleet(config, check_threads);
+    identical = check == summary;
+  }
+
+  std::printf(
+      "fleet: users=%llu started=%llu ended=%llu peak_live=%llu "
+      "decisions=%llu (%.0f/s, wall %.2fs)\n",
+      static_cast<unsigned long long>(summary.users),
+      static_cast<unsigned long long>(summary.sessions_started),
+      static_cast<unsigned long long>(summary.sessions_ended),
+      static_cast<unsigned long long>(summary.peak_live),
+      static_cast<unsigned long long>(summary.decisions), decisions_per_sec,
+      wall_s);
+  std::printf(
+      "      qoe=%.4f utility=%.4f rebuffer=%.5f switches=%.4f "
+      "slo_violation=%.4f arena=%.1f MB\n",
+      summary.MeanQoe(), summary.MeanUtility(), summary.MeanRebufferRatio(),
+      summary.MeanSwitchRate(), summary.SloViolationFraction(),
+      static_cast<double>(summary.arena_bytes) / 1e6);
+  if (check_threads > 0) {
+    std::printf("      threads %d vs %d bitwise identical: %s\n", threads,
+                check_threads, identical ? "yes" : "NO");
+  }
+
+  if (args.Has("json")) {
+    std::ofstream out(args.Get("json", ""));
+    SODA_ENSURE(out.good(), "cannot open --json output file");
+    util::JsonWriter json(out);
+    json.BeginObject();
+    json.Key("users").Int(static_cast<std::int64_t>(summary.users));
+    json.Key("ticks").Int(summary.ticks);
+    json.Key("threads").Int(threads);
+    json.Key("shards").Int(config.shards);
+    json.Key("sessions_started")
+        .Int(static_cast<std::int64_t>(summary.sessions_started));
+    json.Key("sessions_ended")
+        .Int(static_cast<std::int64_t>(summary.sessions_ended));
+    json.Key("sessions_completed")
+        .Int(static_cast<std::int64_t>(summary.sessions_completed));
+    json.Key("sessions_abandoned")
+        .Int(static_cast<std::int64_t>(summary.sessions_abandoned));
+    json.Key("rejoins").Int(static_cast<std::int64_t>(summary.rejoins));
+    json.Key("decisions").Int(static_cast<std::int64_t>(summary.decisions));
+    json.Key("clamped_lookups")
+        .Int(static_cast<std::int64_t>(summary.clamped_lookups));
+    json.Key("peak_live").Int(static_cast<std::int64_t>(summary.peak_live));
+    json.Key("live_at_end").Int(static_cast<std::int64_t>(summary.live_at_end));
+    json.Key("arena_bytes").Int(static_cast<std::int64_t>(summary.arena_bytes));
+    json.Key("qoe_mean").Number(summary.MeanQoe());
+    json.Key("utility_mean").Number(summary.MeanUtility());
+    json.Key("rebuffer_ratio_mean").Number(summary.MeanRebufferRatio());
+    json.Key("switch_rate_mean").Number(summary.MeanSwitchRate());
+    json.Key("watch_seconds_mean").Number(summary.MeanWatchSeconds());
+    json.Key("rebuffer_slo_violation_fraction")
+        .Number(summary.SloViolationFraction());
+    json.Key("wall_s").Number(wall_s);
+    json.Key("decisions_per_sec").Number(decisions_per_sec);
+    json.Key("session_checksum")
+        .String(std::to_string(summary.session_checksum));
+    if (check_threads > 0) {
+      json.Key("check_threads").Int(check_threads);
+      json.Key("identical").Bool(identical);
+    }
+    json.EndObject();
+  }
+  if (args.Has("metrics")) {
+    std::ofstream out(args.Get("metrics", ""));
+    SODA_ENSURE(out.good(), "cannot open --metrics output file");
+    obs::MetricsRegistry::Global().WriteJson(out);
+  }
+  return identical ? 0 : 1;
+}

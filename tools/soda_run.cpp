@@ -35,6 +35,14 @@
 //                       (observability only: results are bit-identical
 //                       with or without tracing)
 //   --metrics-out PATH  write the run-level metrics snapshot JSON
+//   --fleet             open-loop fleet mode (fleet::RunFleet) instead of
+//                       corpus replay: prints one summary row with peak
+//                       live sessions, decisions/sec and the rebuffer SLO
+//                       violation fraction. Honors --seed, --segment,
+//                       --buffer, --ladder/--trim, --threads and
+//                       --metrics-out.
+//   --fleet-users N     fleet population (default 20000)
+//   --fleet-horizon S   fleet arrival horizon in seconds (default 600)
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -43,6 +51,7 @@
 
 #include "core/registry.hpp"
 #include "fault/profile.hpp"
+#include "fleet/fleet.hpp"
 #include "media/quality.hpp"
 #include "net/dataset.hpp"
 #include "net/mahimahi.hpp"
@@ -71,13 +80,80 @@ media::BitrateLadder LadderByName(const std::string& name, long trim) {
   return ladder;
 }
 
+// Open-loop fleet mode: a population of arriving/abandoning/re-joining
+// sessions on a shared virtual clock (see src/fleet/), summarized as one
+// console row. The corpus-replay flags that make no sense here (traces,
+// datasets, controllers beyond the table-served SODA) are simply ignored.
+int RunFleetMode(const tools::CliArgs& args) {
+  fleet::FleetConfig config;
+  config.users =
+      static_cast<std::uint64_t>(args.GetLong("fleet-users", 20000));
+  config.arrival.horizon_s = args.GetDouble("fleet-horizon", 600.0);
+  config.base_seed = static_cast<std::uint64_t>(args.GetLong("seed", 1));
+  config.segment_seconds = args.GetDouble("segment", 2.0);
+  config.max_buffer_s = args.GetDouble("buffer", 20.0);
+  config.ladder =
+      LadderByName(args.Get("ladder", "youtube"), args.GetLong("trim", 0));
+  const int threads = static_cast<int>(args.GetLong("threads", 0));
+
+  const auto start = std::chrono::steady_clock::now();
+  const fleet::FleetSummary summary = fleet::RunFleet(config, threads);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("fleet: users=%llu horizon=%.0fs ladder=%s buffer=%.0fs\n",
+              static_cast<unsigned long long>(summary.users),
+              config.arrival.horizon_s, config.ladder.ToString().c_str(),
+              config.max_buffer_s);
+  ConsoleTable table({"metric", "value"});
+  table.AddRow({"peak live sessions",
+                std::to_string(static_cast<long long>(summary.peak_live))});
+  table.AddRow({"sessions started",
+                std::to_string(static_cast<long long>(summary.sessions_started))});
+  table.AddRow({"sessions ended",
+                std::to_string(static_cast<long long>(summary.sessions_ended))});
+  table.AddRow({"mean QoE", FormatDouble(summary.MeanQoe(), 4)});
+  table.AddRow({"mean utility", FormatDouble(summary.MeanUtility(), 4)});
+  table.AddRow(
+      {"rebuffer ratio", FormatDouble(summary.MeanRebufferRatio(), 5)});
+  table.AddRow({"switch rate", FormatDouble(summary.MeanSwitchRate(), 4)});
+  table.AddRow({"rebuffer SLO violations",
+                FormatDouble(summary.SloViolationFraction(), 4)});
+  table.Print();
+  // Timing goes to stderr: stdout stays byte-identical across runs and
+  // thread counts (the same determinism check corpus mode documents).
+  std::fprintf(stderr,
+               "fleet: %.0f decisions/sec (%llu decisions in %.2fs), "
+               "arena %.1f MB\n",
+               wall_s > 0.0 ? static_cast<double>(summary.decisions) / wall_s
+                            : 0.0,
+               static_cast<unsigned long long>(summary.decisions), wall_s,
+               static_cast<double>(summary.arena_bytes) / 1e6);
+
+  if (args.Has("metrics-out")) {
+    const std::filesystem::path file = args.Get("metrics-out", "");
+    if (file.has_parent_path()) {
+      std::filesystem::create_directories(file.parent_path());
+    }
+    std::ofstream out(file);
+    SODA_ENSURE(out.good(), "cannot open " + file.string());
+    obs::MetricsRegistry::Global().WriteJson(out);
+    std::printf("wrote metrics snapshot to %s\n", file.string().c_str());
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   const tools::CliArgs args(
       argc, argv,
       {"trace", "mahimahi", "dataset", "sessions", "controller", "predictor",
        "ladder", "trim", "segment", "buffer", "seed", "threads", "csv",
-       "fault-profile", "trace-out", "metrics-out"},
-      {"vod", "timeline"});
+       "fault-profile", "trace-out", "metrics-out", "fleet-users",
+       "fleet-horizon"},
+      {"vod", "timeline", "fleet"});
+
+  if (args.Has("fleet")) return RunFleetMode(args);
 
   // Sessions.
   std::vector<net::ThroughputTrace> sessions;
