@@ -525,6 +525,82 @@ void WriteFleetScaling(util::JsonWriter& json, bool quick) {
   json.EndObject();
 }
 
+// Regional-capacity block: the closed-loop fleet (user->region capacity
+// pools with congestion feedback) at a fixed population, swept over
+// per-region capacity from generous to heavily oversubscribed. Reports the
+// QoE / abandonment / congestion response curve, checks thread-count
+// bitwise identity at every point, and checks the zero-coupling contract:
+// with effectively infinite regional capacity the closed-loop machinery
+// must reproduce the open-loop summary bit for bit (modulo the region
+// stats themselves).
+void WriteFleetRegionCapacity(util::JsonWriter& json, bool quick) {
+  fleet::FleetConfig config;
+  config.base_seed = bench::kDefaultSeed;
+  config.users = quick ? 8000 : 60000;
+  config.arrival.horizon_s = quick ? 300.0 : 600.0;
+  config.shards = 64;
+  const int region_count = 4;
+
+  json.Key("fleet_region_capacity").BeginObject();
+  json.Key("users").Int(static_cast<std::int64_t>(config.users));
+  json.Key("horizon_s").Number(config.arrival.horizon_s);
+  json.Key("shards").Int(config.shards);
+  json.Key("regions").Int(region_count);
+
+  const fleet::FleetSummary open = fleet::RunFleet(config, 1);
+  json.Key("open_loop_qoe").Number(open.MeanQoe());
+  json.Key("open_loop_checksum").String(std::to_string(open.session_checksum));
+
+  config.regions = fleet::MakeUniformRegions(region_count, 1e9);
+  fleet::FleetSummary uncongested = fleet::RunFleet(config, 1);
+  uncongested.regions.clear();
+  json.Key("zero_coupling_identical").Bool(uncongested == open);
+
+  // From comfortably provisioned (~0.6x utilized at the full population)
+  // down to ~15x oversubscribed.
+  json.Key("capacities").BeginArray();
+  for (const double region_mbps : {50000.0, 20000.0, 8000.0, 2000.0}) {
+    config.regions = fleet::MakeUniformRegions(region_count, region_mbps);
+    const auto start = Clock::now();
+    const fleet::FleetSummary summary = fleet::RunFleet(config, 1);
+    const double ns = ElapsedNs(start, Clock::now());
+    const fleet::FleetSummary check = fleet::RunFleet(config, 4);
+
+    double utilization = 0.0;
+    double multiplier = 0.0;
+    std::int64_t congested = 0;
+    for (const fleet::RegionStats& region : summary.regions) {
+      utilization += region.MeanUtilization(summary.ticks);
+      multiplier += region.MeanMultiplier(summary.ticks);
+      congested += region.congested_ticks;
+    }
+    utilization /= region_count;
+    multiplier /= region_count;
+
+    json.BeginObject();
+    json.Key("region_mbps").Number(region_mbps);
+    json.Key("qoe_mean").Number(summary.MeanQoe());
+    json.Key("abandon_fraction")
+        .Number(summary.sessions_ended > 0
+                    ? static_cast<double>(summary.sessions_abandoned) /
+                          static_cast<double>(summary.sessions_ended)
+                    : 0.0);
+    json.Key("rebuffer_ratio_mean").Number(summary.MeanRebufferRatio());
+    json.Key("utilization_mean").Number(utilization);
+    json.Key("congestion_multiplier_mean").Number(multiplier);
+    json.Key("congested_tick_fraction")
+        .Number(summary.ticks > 0 ? static_cast<double>(congested) /
+                                        static_cast<double>(summary.ticks *
+                                                            region_count)
+                                  : 0.0);
+    json.Key("wall_ms").Number(ns * 1e-6);
+    json.Key("identical_output").Bool(check == summary);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
 // Serving-throughput block: a DecisionService replay in serve_loadgen's
 // shape — one tenant, a warm session corpus, repeated single-threaded
 // DecideBatch calls — reporting decisions/sec, batch-latency quantiles
@@ -706,6 +782,7 @@ void WriteEvalReport(const std::string& path, bool quick) {
   WriteSharedLinkScaling(json, quick);
   WriteFairnessScaling(json, quick, max_threads);
   WriteFleetScaling(json, quick);
+  WriteFleetRegionCapacity(json, quick);
   json.EndObject();
   out << '\n';
   std::printf("wrote %s (soda QoE %.4f, cached QoE %.4f, delta %+.4f)\n",

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <numbers>
 #include <queue>
 #include <tuple>
 
@@ -25,6 +26,9 @@ constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
 // one user never alias.
 constexpr std::uint64_t kArrivalSalt = 0xF1EE7A44C0FFEE00ULL;
 constexpr std::uint64_t kSessionSalt = 0x5E5510Eul;
+// Salt for the user -> region map, so region membership is decorrelated
+// from both the arrival process and the session streams.
+constexpr std::uint64_t kRegionSalt = 0x4E67104A1C0DE500ULL;
 
 // splitmix64 finalizer (the same mixing the serve daemon uses for session
 // seeds): a cheap, well-mixed bijection on 64-bit words.
@@ -69,6 +73,17 @@ struct PendingStart {
   }
 };
 
+// Per-shard, per-region slice of the integer accumulators (coupled runs
+// only; sized to the region count). Merging is summation, like the rest.
+struct RegionShardAccum {
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_abandoned = 0;
+  std::uint64_t live_at_end = 0;
+  std::int64_t qoe_fp = 0;
+  std::array<std::uint64_t, kQoeHistBuckets> qoe_hist{};
+};
+
 // Integer-only per-shard accumulators; merging is summation, which is
 // order-independent, so the merged totals cannot depend on shard count.
 struct ShardAccum {
@@ -89,6 +104,7 @@ struct ShardAccum {
   std::int64_t watch_s_fp = 0;
   std::uint64_t session_checksum = 0;
   std::vector<std::uint64_t> live_samples;
+  std::vector<RegionShardAccum> regions;
 };
 
 // Everything shards share, all of it immutable during the run.
@@ -104,6 +120,9 @@ struct FleetContext {
   double grid_min_mbps = 0.0;
   double grid_max_mbps = 0.0;
   obs::Histogram qoe_histogram;       // fleet.qoe, recorded at session end
+  // Regional coupling (empty `regions` leaves both unused).
+  std::size_t region_count = 0;
+  std::vector<obs::Histogram> region_qoe;  // fleet.region.<name>.qoe
 };
 
 class ShardRunner {
@@ -111,8 +130,7 @@ class ShardRunner {
   ShardRunner(const FleetContext& ctx, int shard_index)
       : ctx_(ctx), shard_index_(shard_index) {}
 
-  void Run() {
-    const FleetConfig& cfg = ctx_.config;
+  void Prepare() {
     BuildArrivals();
     const auto shard_users = static_cast<std::size_t>(pending_.size());
     // Steady-state live count per shard is bounded by its user count;
@@ -120,39 +138,108 @@ class ShardRunner {
     // memory when engagement keeps concurrency low.
     arena_.Reserve(shard_users / 2 + 16);
     active_.reserve(shard_users / 2 + 16);
+    acc_.regions.resize(ctx_.region_count);
+    tick_region_demand_fp_.resize(ctx_.region_count);
+    tick_region_live_.resize(ctx_.region_count);
+  }
 
-    const int sample_every = std::max(cfg.live_sample_every_ticks, 1);
+  // Open-loop timeline: with no regions there is no cross-session state,
+  // so the shard runs every tick back to back with no synchronization.
+  // Per session this is exactly DemandPhase + ApplyPhase with a unit
+  // multiplier (x1.0 is exact in IEEE arithmetic), which is what keeps
+  // the zero-coupling run bit-identical to the coupled code path.
+  void RunOpenLoop() {
     for (std::int64_t tick = 0; tick < ctx_.ticks; ++tick) {
-      while (!pending_.empty() && pending_.top().tick <= tick) {
-        const PendingStart start = pending_.top();
-        pending_.pop();
-        StartSession(start);
-      }
+      AdmitArrivals(tick);
       for (std::size_t i = 0; i < active_.size();) {
-        if (StepSession(active_[i], tick)) {
-          arena_.Release(active_[i]);
+        const Slot s = active_[i];
+        DrawDemand(s);
+        if (CompleteStep(s, tick, /*multiplier=*/1.0)) {
+          arena_.Release(s);
           active_[i] = active_.back();
           active_.pop_back();
         } else {
           ++i;
         }
       }
-      if (tick % sample_every == 0) {
-        acc_.live_samples.push_back(active_.size());
+      SampleLive(tick);
+    }
+  }
+
+  // Coupled tick, phase 1: admit arrivals, advance every live session's
+  // AR(1) walk, and accumulate this tick's per-region demand and live
+  // count. Fixed-point integer sums make the totals independent of session
+  // order within the shard and of how users are split across shards.
+  void DemandPhase(std::int64_t tick) {
+    AdmitArrivals(tick);
+    std::fill(tick_region_demand_fp_.begin(), tick_region_demand_fp_.end(),
+              std::int64_t{0});
+    std::fill(tick_region_live_.begin(), tick_region_live_.end(),
+              std::uint64_t{0});
+    for (const Slot s : active_) {
+      DrawDemand(s);
+      const std::uint32_t region = arena_.region[s];
+      tick_region_demand_fp_[region] += ToFixedPoint(arena_.demand_mbps[s]);
+      ++tick_region_live_[region];
+    }
+  }
+
+  // Coupled tick, phase 2: complete every session's step under its
+  // region's congestion multiplier.
+  void ApplyPhase(std::int64_t tick, const std::vector<double>& multipliers) {
+    for (std::size_t i = 0; i < active_.size();) {
+      const Slot s = active_[i];
+      if (CompleteStep(s, tick, multipliers[arena_.region[s]])) {
+        arena_.Release(s);
+        active_[i] = active_.back();
+        active_.pop_back();
+      } else {
+        ++i;
       }
     }
+    SampleLive(tick);
+  }
+
+  void Finish() {
     // Sessions still live at the horizon are censored, not finalized; fold
     // their full state into the checksum so bit-identity claims cover them.
     acc_.live_at_end = active_.size();
     for (const Slot slot : active_) {
       acc_.session_checksum += LiveStateDigest(slot);
+      if (ctx_.region_count > 0) {
+        ++acc_.regions[arena_.region[slot]].live_at_end;
+      }
     }
     acc_.arena_bytes = arena_.MemoryBytes();
   }
 
   [[nodiscard]] ShardAccum& Accum() noexcept { return acc_; }
+  [[nodiscard]] const std::vector<std::int64_t>& TickRegionDemand()
+      const noexcept {
+    return tick_region_demand_fp_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& TickRegionLive()
+      const noexcept {
+    return tick_region_live_;
+  }
 
  private:
+  void AdmitArrivals(std::int64_t tick) {
+    while (!pending_.empty() && pending_.top().tick <= tick) {
+      const PendingStart start = pending_.top();
+      pending_.pop();
+      StartSession(start);
+    }
+  }
+
+  void SampleLive(std::int64_t tick) {
+    const int sample_every =
+        std::max(ctx_.config.live_sample_every_ticks, 1);
+    if (tick % sample_every == 0) {
+      acc_.live_samples.push_back(active_.size());
+    }
+  }
+
   void BuildArrivals() {
     const FleetConfig& cfg = ctx_.config;
     const auto shards = static_cast<std::uint64_t>(cfg.shards);
@@ -195,13 +282,34 @@ class ShardRunner {
     arena_.segments[s] = 0;
     arena_.switches[s] = 0;
     arena_.prev_rung[s] = -1;
+    arena_.demand_mbps[s] = 0.0;
+    arena_.region[s] =
+        ctx_.region_count > 0 ? RegionOfUser(start.user, ctx_.region_count) : 0;
     ++acc_.sessions_started;
+    if (ctx_.region_count > 0) {
+      ++acc_.regions[arena_.region[s]].sessions_started;
+    }
     if (start.incarnation > 0) ++acc_.rejoins;
   }
 
-  // Advances one session by one segment tick. Returns true when the
-  // session ended this tick (already finalized into the accumulators).
-  bool StepSession(Slot s, std::int64_t tick) {
+  // Step, phase 1: the AR(1) log-throughput walk supplies this segment's
+  // uncongested rate — the session's demand on its region's pool.
+  void DrawDemand(Slot s) {
+    const FleetConfig& cfg = ctx_.config;
+    Rng& rng = arena_.rng[s];
+    arena_.log_mbps[s] = arena_.log_mbps_mean[s] +
+                         cfg.walk_phi *
+                             (arena_.log_mbps[s] - arena_.log_mbps_mean[s]) +
+                         cfg.walk_sigma * rng.Gaussian();
+    arena_.demand_mbps[s] =
+        std::max(std::exp(arena_.log_mbps[s]), cfg.min_mbps);
+  }
+
+  // Step, phase 2: decision, download, buffer/stall accounting, engagement
+  // — everything past the walk, under the region's congestion multiplier.
+  // Returns true when the session ended this tick (already finalized into
+  // the accumulators).
+  bool CompleteStep(Slot s, std::int64_t tick, double multiplier) {
     const FleetConfig& cfg = ctx_.config;
     const double dt = cfg.segment_seconds;
 
@@ -228,13 +336,12 @@ class ShardRunner {
                                    cfg.max_buffer_s, wl, prev);
     ++acc_.decisions;
 
-    // The AR(1) log-throughput walk supplies this segment's actual rate.
-    Rng& rng = arena_.rng[s];
-    arena_.log_mbps[s] = arena_.log_mbps_mean[s] +
-                         cfg.walk_phi *
-                             (arena_.log_mbps[s] - arena_.log_mbps_mean[s]) +
-                         cfg.walk_sigma * rng.Gaussian();
-    const double mbps = std::max(std::exp(arena_.log_mbps[s]), cfg.min_mbps);
+    // The delivered rate is the walk's draw scaled by the region's
+    // congestion multiplier (1.0 when uncongested or open-loop — exact, so
+    // the uncoupled path reproduces the pre-region arithmetic bitwise),
+    // floored at the access floor.
+    const double mbps =
+        std::max(arena_.demand_mbps[s] * multiplier, cfg.min_mbps);
     const double download_s =
         ctx_.rung_megabits[static_cast<std::size_t>(rung)] / mbps + cfg.rtt_s;
 
@@ -280,7 +387,8 @@ class ShardRunner {
               : 0.0;
       const double wall = arena_.played_s[s] + arena_.rebuffer_s[s];
       running.rebuffer_ratio = wall > 0.0 ? arena_.rebuffer_s[s] / wall : 0.0;
-      const double fraction = engagement_.SampleWatchFraction(running, rng);
+      const double fraction =
+          engagement_.SampleWatchFraction(running, arena_.rng[s]);
       if (arena_.played_s[s] >= fraction * arena_.stream_s[s]) {
         EndSession(s, tick, /*completed=*/false);
         return true;
@@ -319,6 +427,13 @@ class ShardRunner {
     acc_.watch_s_fp += ToFixedPoint(arena_.played_s[s]);
     ++acc_.qoe_hist[QoeBucket(qoe)];
     ctx_.qoe_histogram.Record(qoe);
+    if (ctx_.region_count > 0) {
+      RegionShardAccum& region = acc_.regions[arena_.region[s]];
+      completed ? ++region.sessions_completed : ++region.sessions_abandoned;
+      region.qoe_fp += qoe_fp;
+      ++region.qoe_hist[QoeBucket(qoe)];
+      ctx_.region_qoe[arena_.region[s]].Record(qoe);
+    }
 
     std::uint64_t h = arena_.user_id[s] * kGolden;
     h = Mix64(h ^ (arena_.incarnation[s] + 1));
@@ -371,6 +486,10 @@ class ShardRunner {
   std::vector<Slot> active_;
   PendingQueue pending_;
   ShardAccum acc_;
+  // Per-tick scratch (coupled runs): this shard's demand and live count
+  // per region, re-filled by every DemandPhase.
+  std::vector<std::int64_t> tick_region_demand_fp_;
+  std::vector<std::uint64_t> tick_region_live_;
 };
 
 void ValidateConfig(const FleetConfig& config) {
@@ -407,6 +526,16 @@ void ValidateConfig(const FleetConfig& config) {
               "diurnal amplitude must be in [0, 1)");
   SODA_ENSURE(config.arrival.diurnal_period_s > 0.0,
               "diurnal period must be positive");
+  for (const RegionConfig& region : config.regions) {
+    SODA_ENSURE(!region.name.empty(), "region name must be non-empty");
+    SODA_ENSURE(region.capacity_mbps > 0.0,
+                "region capacity must be positive");
+    SODA_ENSURE(region.diurnal_amplitude >= 0.0 &&
+                    region.diurnal_amplitude < 1.0,
+                "region diurnal amplitude must be in [0, 1)");
+    SODA_ENSURE(region.diurnal_period_s > 0.0,
+                "region diurnal period must be positive");
+  }
   // Delegate planner/grid validation to the exact controller.
   (void)core::SodaController(config.controller.base);
   const auto& cc = config.controller;
@@ -416,7 +545,61 @@ void ValidateConfig(const FleetConfig& config) {
               "invalid table throughput range");
 }
 
+// A region's pool capacity at virtual time t_s: the arrival model's
+// sinusoidal modulation shape applied to the pool. Pure function of
+// (config, t_s), so every shard and thread computes the same value.
+double RegionCapacityMbps(const RegionConfig& region, double t_s) noexcept {
+  return region.capacity_mbps *
+         (1.0 + region.diurnal_amplitude *
+                    std::sin(2.0 * std::numbers::pi *
+                             (t_s + region.diurnal_phase_s) /
+                             region.diurnal_period_s));
+}
+
 }  // namespace
+
+std::vector<RegionConfig> MakeUniformRegions(int count, double capacity_mbps,
+                                             double diurnal_amplitude) {
+  SODA_ENSURE(count >= 1, "need at least one region");
+  std::vector<RegionConfig> regions;
+  regions.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    RegionConfig region;
+    region.name = "r" + std::to_string(i);
+    region.capacity_mbps = capacity_mbps;
+    region.diurnal_amplitude = diurnal_amplitude;
+    regions.push_back(std::move(region));
+  }
+  return regions;
+}
+
+std::uint32_t RegionOfUser(std::uint64_t user_id,
+                           std::size_t region_count) noexcept {
+  if (region_count <= 1) return 0;
+  return static_cast<std::uint32_t>(Mix64(user_id * kGolden ^ kRegionSalt) %
+                                    static_cast<std::uint64_t>(region_count));
+}
+
+double RegionStats::MeanMultiplier(std::int64_t ticks) const noexcept {
+  return ticks > 0 ? static_cast<double>(multiplier_fp_sum) /
+                         kFixedPointScale / static_cast<double>(ticks)
+                   : 1.0;
+}
+double RegionStats::MeanUtilization(std::int64_t ticks) const noexcept {
+  return ticks > 0 ? static_cast<double>(utilization_fp_sum) /
+                         kFixedPointScale / static_cast<double>(ticks)
+                   : 0.0;
+}
+double RegionStats::MeanQoe() const noexcept {
+  return sessions_ended > 0 ? static_cast<double>(qoe_fp) / kFixedPointScale /
+                                  static_cast<double>(sessions_ended)
+                            : 0.0;
+}
+double RegionStats::AbandonFraction() const noexcept {
+  return sessions_ended > 0 ? static_cast<double>(sessions_abandoned) /
+                                  static_cast<double>(sessions_ended)
+                            : 0.0;
+}
 
 double FleetSummary::MeanQoe() const noexcept {
   return sessions_ended > 0 ? static_cast<double>(qoe_fp) / kFixedPointScale /
@@ -506,25 +689,103 @@ FleetSummary RunFleet(const FleetConfig& config, int threads) {
     ctx.rung_utility.push_back(utility.At(mbps));
     ctx.rung_megabits.push_back(mbps * config.segment_seconds);
   }
-  ctx.qoe_histogram = obs::MetricsRegistry::Global().GetHistogram(
-      "fleet.qoe", {-1.0, -0.75, -0.5, -0.25, -0.1, 0.0, 0.1, 0.2, 0.3, 0.4,
-                    0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  const std::vector<double> qoe_buckets = {-1.0, -0.75, -0.5, -0.25, -0.1,
+                                           0.0,  0.1,   0.2,  0.3,   0.4,
+                                           0.5,  0.6,   0.7,  0.8,   0.9,
+                                           1.0};
+  ctx.qoe_histogram =
+      obs::MetricsRegistry::Global().GetHistogram("fleet.qoe", qoe_buckets);
+  ctx.region_count = config.regions.size();
+  for (const RegionConfig& region : config.regions) {
+    ctx.region_qoe.push_back(obs::MetricsRegistry::Global().GetHistogram(
+        "fleet.region." + region.name + ".qoe", qoe_buckets));
+  }
 
-  // Shards never interact (open loop), so each runs its entire timeline
-  // independently; ParallelFor only decides which worker runs which shard.
   std::vector<std::unique_ptr<ShardRunner>> runners;
   runners.reserve(static_cast<std::size_t>(config.shards));
   for (int s = 0; s < config.shards; ++s) {
     runners.push_back(std::make_unique<ShardRunner>(ctx, s));
   }
-  util::ParallelFor(runners.size(), threads,
-                    [&](int /*worker*/, std::size_t s) { runners[s]->Run(); });
+  util::ParallelFor(
+      runners.size(), threads,
+      [&](int /*worker*/, std::size_t s) { runners[s]->Prepare(); });
+
+  // Central per-region tick statistics, filled by the coordinator during
+  // the coupled reduction (serial, so trivially deterministic).
+  struct RegionTickStats {
+    std::uint64_t peak_live = 0;
+    std::int64_t congested_ticks = 0;
+    std::int64_t multiplier_fp_sum = 0;
+    std::int64_t utilization_fp_sum = 0;
+  };
+  std::vector<RegionTickStats> region_ticks(ctx.region_count);
+
+  if (ctx.region_count == 0) {
+    // Open loop: shards never interact, so each runs its entire timeline
+    // independently; ParallelFor only decides which worker runs which
+    // shard.
+    util::ParallelFor(
+        runners.size(), threads,
+        [&](int /*worker*/, std::size_t s) { runners[s]->RunOpenLoop(); });
+  } else {
+    // Closed loop: sessions in one region interact through the congestion
+    // multiplier, so the fleet advances tick by tick in two deterministic
+    // phases — parallel per-shard demand accumulation, an ordered integer
+    // reduction to one multiplier per region, then a parallel apply. The
+    // reduction sums int64 fixed-point demand in shard order; integer
+    // addition is associative and commutative, so the totals (and every
+    // multiplier) are independent of shard count and thread interleaving.
+    std::vector<double> multipliers(ctx.region_count, 1.0);
+    for (std::int64_t tick = 0; tick < ctx.ticks; ++tick) {
+      util::ParallelFor(
+          runners.size(), threads,
+          [&](int /*worker*/, std::size_t s) { runners[s]->DemandPhase(tick); });
+      const double t_s = static_cast<double>(tick) * config.segment_seconds;
+      for (std::size_t r = 0; r < ctx.region_count; ++r) {
+        std::int64_t demand_fp = 0;
+        std::uint64_t live = 0;
+        for (const auto& runner : runners) {
+          demand_fp += runner->TickRegionDemand()[r];
+          live += runner->TickRegionLive()[r];
+        }
+        const double capacity_mbps =
+            RegionCapacityMbps(config.regions[r], t_s);
+        const double demand_mbps =
+            static_cast<double>(demand_fp) / kFixedPointScale;
+        const double multiplier =
+            demand_mbps > capacity_mbps ? capacity_mbps / demand_mbps : 1.0;
+        multipliers[r] = multiplier;
+        RegionTickStats& stats = region_ticks[r];
+        stats.peak_live = std::max(stats.peak_live, live);
+        if (multiplier < 1.0) ++stats.congested_ticks;
+        stats.multiplier_fp_sum += ToFixedPoint(multiplier);
+        stats.utilization_fp_sum +=
+            ToFixedPoint(demand_mbps / capacity_mbps);
+      }
+      util::ParallelFor(runners.size(), threads,
+                        [&](int /*worker*/, std::size_t s) {
+                          runners[s]->ApplyPhase(tick, multipliers);
+                        });
+    }
+  }
+  util::ParallelFor(
+      runners.size(), threads,
+      [&](int /*worker*/, std::size_t s) { runners[s]->Finish(); });
 
   // Merge in shard order. Every field is an integer sum, so the result is
   // also independent of this order — and of the shard count itself.
   FleetSummary summary;
   summary.users = config.users;
   summary.ticks = ctx.ticks;
+  summary.regions.resize(ctx.region_count);
+  for (std::size_t r = 0; r < ctx.region_count; ++r) {
+    RegionStats& stats = summary.regions[r];
+    stats.name = config.regions[r].name;
+    stats.peak_live = region_ticks[r].peak_live;
+    stats.congested_ticks = region_ticks[r].congested_ticks;
+    stats.multiplier_fp_sum = region_ticks[r].multiplier_fp_sum;
+    stats.utilization_fp_sum = region_ticks[r].utilization_fp_sum;
+  }
   const int sample_every = std::max(config.live_sample_every_ticks, 1);
   const auto samples = static_cast<std::size_t>(
       (ctx.ticks + sample_every - 1) / sample_every);
@@ -549,6 +810,19 @@ FleetSummary RunFleet(const FleetConfig& config, int threads) {
     for (std::size_t b = 0; b < kQoeHistBuckets; ++b) {
       summary.qoe_hist[b] += a.qoe_hist[b];
     }
+    for (std::size_t r = 0; r < ctx.region_count; ++r) {
+      RegionStats& stats = summary.regions[r];
+      const RegionShardAccum& shard_region = a.regions[r];
+      stats.sessions_started += shard_region.sessions_started;
+      stats.sessions_ended +=
+          shard_region.sessions_completed + shard_region.sessions_abandoned;
+      stats.sessions_abandoned += shard_region.sessions_abandoned;
+      stats.live_at_end += shard_region.live_at_end;
+      stats.qoe_fp += shard_region.qoe_fp;
+      for (std::size_t b = 0; b < kQoeHistBuckets; ++b) {
+        stats.qoe_hist[b] += shard_region.qoe_hist[b];
+      }
+    }
     SODA_ENSURE(a.live_samples.size() == samples,
                 "shard live-sample series length mismatch");
     for (std::size_t i = 0; i < samples; ++i) {
@@ -560,6 +834,7 @@ FleetSummary RunFleet(const FleetConfig& config, int threads) {
   for (const std::uint64_t live : summary.live_samples) {
     summary.peak_live = std::max(summary.peak_live, live);
   }
+  summary.live_state_bytes = summary.peak_live * SessionArena::kBytesPerSession;
 
   auto& reg = obs::MetricsRegistry::Global();
   reg.GetCounter("fleet.runs").Add();
@@ -578,6 +853,25 @@ FleetSummary RunFleet(const FleetConfig& config, int threads) {
       .Set(summary.SloViolationFraction());
   reg.GetGauge("fleet.arena_bytes")
       .Set(static_cast<double>(summary.arena_bytes));
+  reg.GetGauge("fleet.live_state_bytes")
+      .Set(static_cast<double>(summary.live_state_bytes));
+  for (const RegionStats& stats : summary.regions) {
+    const std::string prefix = "fleet.region." + stats.name + ".";
+    reg.GetCounter(prefix + "sessions_started").Add(stats.sessions_started);
+    reg.GetCounter(prefix + "sessions_ended").Add(stats.sessions_ended);
+    reg.GetCounter(prefix + "congested_ticks")
+        .Add(static_cast<std::uint64_t>(stats.congested_ticks));
+    reg.GetGauge(prefix + "live_sessions")
+        .Set(static_cast<double>(stats.live_at_end));
+    reg.GetGauge(prefix + "peak_live_sessions")
+        .Set(static_cast<double>(stats.peak_live));
+    reg.GetGauge(prefix + "utilization_mean")
+        .Set(stats.MeanUtilization(summary.ticks));
+    reg.GetGauge(prefix + "congestion_multiplier_mean")
+        .Set(stats.MeanMultiplier(summary.ticks));
+    reg.GetGauge(prefix + "qoe_mean").Set(stats.MeanQoe());
+    reg.GetGauge(prefix + "abandon_fraction").Set(stats.AbandonFraction());
+  }
   return summary;
 }
 

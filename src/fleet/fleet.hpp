@@ -23,22 +23,42 @@
 // probability `rejoin_probability` after an exponential delay, as a new
 // incarnation of the same user chain.
 //
+// Closed-loop regional coupling: with FleetConfig::regions set, every
+// user chain maps to a capacity region (a pure function of user_id), each
+// region holds a shared capacity pool (Mbps, with optional diurnal
+// modulation), and every tick the region's live demand is aggregated and
+// a load-dependent multiplier min(1, capacity/demand) scales each
+// session's AR(1) throughput draw — the fleet congests as it grows,
+// exactly the CDN-scale regime SODA's production claims were made in.
+// With `regions` empty the fleet is open-loop (zero coupling), and runs
+// bit-identical to the pre-region simulator.
+//
 // Determinism contract (the PR-1 guarantee, extended): every stochastic
 // value for a session is drawn from a private Rng seeded as a pure
 // function of (base_seed, user_id, incarnation) — never of arrival order,
 // shard assignment or thread interleaving. Users are partitioned across
-// shards by user_id; shards never interact (the fleet is open-loop), so
-// each shard simulates its whole timeline independently and
-// util::ParallelFor only decides which worker runs which shard. All
-// cross-session aggregates are integer sums (doubles are accumulated in
-// 1e6 fixed point), which are commutative and associative — so
-// FleetSummary is bit-identical for ANY thread count and ANY shard count
+// shards by user_id. Open-loop, shards never interact, so each shard
+// simulates its whole timeline independently and util::ParallelFor only
+// decides which worker runs which shard. With regions, sessions DO
+// interact — through the per-tick congestion multiplier — so each tick
+// runs as a deterministic two-phase step: (1) every shard, in parallel,
+// advances its sessions' AR(1) walks and accumulates per-region demand as
+// 1e6 fixed-point integer sums; (2) the coordinator reduces those sums
+// (integer addition: order-independent, so independent of shard count and
+// merge order) into one congestion multiplier per region, a pure function
+// of (tick, total demand); (3) every shard, in parallel, applies its
+// region's multiplier and completes the session step. No per-session
+// value ever depends on which worker ran which shard. All cross-session
+// aggregates are integer sums (doubles are accumulated in 1e6 fixed
+// point), which are commutative and associative — so FleetSummary is
+// bit-identical for ANY thread count and ANY shard count, coupled or not
 // (fleet_sim_test and fleet_perf_test pin both, the latter at >= 100k
 // concurrent sessions).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/cached_controller.hpp"
@@ -56,6 +76,37 @@ inline constexpr double kFixedPointScale = 1e6;
 // QoE histogram: 26 buckets of width 0.1 covering [-1.5, 1.0); the first
 // and last buckets absorb underflow/overflow.
 inline constexpr std::size_t kQoeHistBuckets = 26;
+
+// One regional capacity pool. A region's capacity at virtual time t is
+//   capacity_mbps * (1 + diurnal_amplitude * sin(2*pi*(t + diurnal_phase_s)
+//                                                / diurnal_period_s))
+// — the same modulation shape the arrival process uses, so capacity
+// troughs can be phased against demand peaks. When a tick's aggregate
+// session demand exceeds the pool, every session in the region has its
+// throughput draw scaled by capacity/demand (max-min with equal weights:
+// all sessions share one bottleneck, so the fair share is proportional).
+struct RegionConfig {
+  std::string name;
+  // Pool capacity in Mbps. Must be positive.
+  double capacity_mbps = 50000.0;
+  // Diurnal capacity modulation; amplitude 0 = constant pool.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_s = 86400.0;
+  double diurnal_phase_s = 0.0;
+
+  bool operator==(const RegionConfig&) const = default;
+};
+
+// `count` identical regions named "r0".."r<count-1>", each with the given
+// pool. The convenience constructor behind the --fleet-regions CLI knobs.
+[[nodiscard]] std::vector<RegionConfig> MakeUniformRegions(
+    int count, double capacity_mbps, double diurnal_amplitude = 0.0);
+
+// The region user `user_id` belongs to: a pure function of the user id and
+// the region count — never of shard count, arrival order or thread
+// interleaving (the determinism anchor for coupled runs).
+[[nodiscard]] std::uint32_t RegionOfUser(std::uint64_t user_id,
+                                         std::size_t region_count) noexcept;
 
 struct FleetConfig {
   std::uint64_t base_seed = 1;
@@ -103,6 +154,11 @@ struct FleetConfig {
   // Live-session time series resolution (ticks per sample; >= 1).
   int live_sample_every_ticks = 1;
 
+  // Closed-loop regional capacity pools. Empty = open-loop (no coupling,
+  // bit-identical to the pre-region fleet). Users map to regions by
+  // RegionOfUser(user_id, regions.size()).
+  std::vector<RegionConfig> regions;
+
   // Decision serving: table geometry/planner config, exactly as
   // CachedDecisionController and serve::DecisionService interpret it. The
   // tables come from the process-wide shared caches.
@@ -111,6 +167,35 @@ struct FleetConfig {
   // Serve from the compact quantized table (exact table still built: it is
   // the quantization source).
   bool quantized = true;
+};
+
+// Per-region outcome, index-parallel to FleetConfig::regions. Like the
+// fleet totals, every field is an integer (or a fixed-point integer sum),
+// so equality is bitwise and holds across thread and shard counts.
+struct RegionStats {
+  std::string name;
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_ended = 0;
+  std::uint64_t sessions_abandoned = 0;
+  std::uint64_t peak_live = 0;
+  std::uint64_t live_at_end = 0;
+  // Ticks on which demand exceeded the pool (congestion multiplier < 1).
+  std::int64_t congested_ticks = 0;
+  // 1e6 fixed-point per-tick sums: congestion multiplier in (0, 1] and
+  // utilization demand/capacity (clamped into ToFixedPoint's range).
+  std::int64_t multiplier_fp_sum = 0;
+  std::int64_t utilization_fp_sum = 0;
+  // 1e6 fixed-point QoE sum and distribution over ended sessions.
+  std::int64_t qoe_fp = 0;
+  std::array<std::uint64_t, kQoeHistBuckets> qoe_hist{};
+
+  // Means over the run's ticks / the region's ended sessions.
+  [[nodiscard]] double MeanMultiplier(std::int64_t ticks) const noexcept;
+  [[nodiscard]] double MeanUtilization(std::int64_t ticks) const noexcept;
+  [[nodiscard]] double MeanQoe() const noexcept;
+  [[nodiscard]] double AbandonFraction() const noexcept;
+
+  bool operator==(const RegionStats&) const = default;
 };
 
 // Aggregate fleet outcome. Every field is either an integer or a vector /
@@ -130,10 +215,17 @@ struct FleetSummary {
   std::uint64_t live_at_end = 0;         // sessions still live at horizon
   std::uint64_t peak_live = 0;           // max concurrent sessions
   std::uint64_t slo_violations = 0;      // ended sessions over the SLO
-  // Resident SoA bytes across all shards. This is memory *accounting*, not
-  // simulation output: it reflects per-shard high-water marks and vector
-  // growth, so it is thread-invariant (same shards -> same arenas) but NOT
-  // shard-count-invariant. Every other field is invariant to both.
+  // Live-state memory floor: peak concurrent sessions x the exact
+  // per-session SoA footprint (SessionArena::kBytesPerSession). Unlike
+  // arena_bytes this is simulation output — invariant to thread AND shard
+  // count — and is part of the bit-identity contract.
+  std::uint64_t live_state_bytes = 0;
+  // Resident SoA *capacity* across all shards: a memory diagnostic, not
+  // simulation output. It reflects per-shard high-water marks and vector
+  // growth, so it is thread-invariant (same shards -> same arenas) but not
+  // shard-count-invariant; shard-invariance comparisons zero it first
+  // (fleet_sim_test's WithoutArenaBytes). Use live_state_bytes for the
+  // layout-independent number.
   std::uint64_t arena_bytes = 0;
 
   // Concurrent-session time series, sampled every
@@ -143,6 +235,10 @@ struct FleetSummary {
   // QoE distribution over ended sessions (kQoeHistBuckets buckets of 0.1
   // from -1.5; ends absorb out-of-range).
   std::array<std::uint64_t, kQoeHistBuckets> qoe_hist{};
+
+  // Per-region outcomes, index-parallel to FleetConfig::regions (empty for
+  // open-loop runs). Part of the bitwise-equality contract.
+  std::vector<RegionStats> regions;
 
   // 1e6 fixed-point sums over ended sessions.
   std::int64_t qoe_fp = 0;

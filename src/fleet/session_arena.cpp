@@ -29,6 +29,8 @@ void SessionArena::Reserve(std::size_t sessions) {
   segments.reserve(sessions);
   switches.reserve(sessions);
   prev_rung.reserve(sessions);
+  region.reserve(sessions);
+  demand_mbps.reserve(sessions);
   free_.reserve(sessions);
 }
 
@@ -50,6 +52,8 @@ void SessionArena::GrowOne() {
   segments.push_back(0);
   switches.push_back(0);
   prev_rung.push_back(-1);
+  region.push_back(0);
+  demand_mbps.push_back(0.0);
   ++size_;
 }
 
@@ -71,7 +75,8 @@ std::size_t SessionArena::MemoryBytes() const noexcept {
          VecBytes(ema_fast) + VecBytes(ema_slow) + VecBytes(ema_fast_w) +
          VecBytes(ema_slow_w) + VecBytes(stream_s) + VecBytes(played_s) +
          VecBytes(rebuffer_s) + VecBytes(utility_sum) + VecBytes(segments) +
-         VecBytes(switches) + VecBytes(prev_rung) + VecBytes(free_);
+         VecBytes(switches) + VecBytes(prev_rung) + VecBytes(region) +
+         VecBytes(demand_mbps) + VecBytes(free_);
 }
 
 }  // namespace soda::fleet

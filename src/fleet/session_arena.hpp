@@ -91,6 +91,24 @@ class SessionArena {
   std::vector<std::uint32_t> segments;
   std::vector<std::uint32_t> switches;
   std::vector<std::int16_t> prev_rung;
+  // Regional coupling: the session's capacity region (a pure function of
+  // user_id, cached at start) and the tick's uncongested throughput draw,
+  // staged by the demand phase for the apply phase (see fleet.cpp's
+  // two-phase tick). Open-loop runs leave both untouched.
+  std::vector<std::uint32_t> region;
+  std::vector<double> demand_mbps;
+
+  // Exact per-session footprint across all field arrays: the basis for
+  // FleetSummary::live_state_bytes (live sessions x this), which — unlike
+  // MemoryBytes() — is independent of shard layout and vector growth.
+  static constexpr std::size_t kBytesPerSession =
+      sizeof(std::uint64_t) +      // user_id
+      sizeof(std::uint32_t) +      // incarnation
+      sizeof(Rng) +                // rng
+      12 * sizeof(double) +        // buffer_s .. utility_sum, demand_mbps
+      2 * sizeof(std::uint32_t) +  // segments, switches
+      sizeof(std::int16_t) +       // prev_rung
+      sizeof(std::uint32_t);       // region
 
  private:
   void GrowOne();

@@ -314,7 +314,9 @@ void DecisionService::Ingest(const SessionEvent& event) {
   // Idle-session eviction, amortized to O(1) per ingest: sweep the shard
   // only after as many ingests as it holds sessions. Time is the shard's
   // own event clock (max now_s seen), so the service needs no wall clock
-  // and eviction stays deterministic for a given event stream.
+  // and eviction stays deterministic for a given event stream. This only
+  // ever reclaims shards that keep ingesting; SweepIdleSessions covers the
+  // shards that went quiet.
   if (config_.session_ttl_s <= 0.0) return;
   shard.max_now_s = std::max(shard.max_now_s, event.now_s);
   // A quarter of the live map (with a floor) rather than the full size:
@@ -327,8 +329,13 @@ void DecisionService::Ingest(const SessionEvent& event) {
     return;
   }
   shard.ingests_since_sweep = 0;
-  const double deadline = shard.max_now_s - config_.session_ttl_s;
-  std::uint64_t evicted = 0;
+  const std::size_t evicted =
+      SweepLocked(shard, shard.max_now_s - config_.session_ttl_s);
+  if (evicted > 0) metrics_->sessions_evicted.Add(evicted);
+}
+
+std::size_t DecisionService::SweepLocked(Shard& shard, double deadline) {
+  std::size_t evicted = 0;
   for (auto session = shard.sessions.begin();
        session != shard.sessions.end();) {
     if (session->second.last_seen_s < deadline) {
@@ -338,7 +345,26 @@ void DecisionService::Ingest(const SessionEvent& event) {
       ++session;
     }
   }
+  return evicted;
+}
+
+std::size_t DecisionService::SweepIdleSessions(double now_s) {
+  if (config_.session_ttl_s <= 0.0) return 0;
+  std::size_t evicted = 0;
+  std::shared_lock tenants_lock(tenants_mu_);
+  for (const auto& tenant : tenants_) {
+    for (const auto& shard : tenant->shards) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      // Advance the shard clock first: a shard that never ingested an event
+      // still measures idleness against the service-wide "now".
+      shard->max_now_s = std::max(shard->max_now_s, now_s);
+      shard->ingests_since_sweep = 0;
+      evicted +=
+          SweepLocked(*shard, shard->max_now_s - config_.session_ttl_s);
+    }
+  }
   if (evicted > 0) metrics_->sessions_evicted.Add(evicted);
+  return evicted;
 }
 
 void DecisionService::IngestBatch(std::span<const SessionEvent> events) {

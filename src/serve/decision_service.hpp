@@ -94,11 +94,13 @@ struct ServeConfig {
   double shadow_check_fraction = 1.0 / 64.0;
   // Idle-session eviction: a session whose last event is older than this
   // (by the shard's most recent event clock, `SessionEvent::now_s`) is
-  // dropped at ingest time, so clients that vanish without RemoveSession
-  // cannot grow the session maps without bound under churn. Sweeps are
+  // dropped, so clients that vanish without RemoveSession cannot grow the
+  // session maps without bound under churn. Ingest-time sweeps are
   // amortized: a shard scans its map only after ~a quarter of its session
-  // count in ingests, so steady-state ingest stays O(1). Evictions count
-  // toward "serve.sessions_evicted". 0 disables eviction.
+  // count in ingests, so steady-state ingest stays O(1) — which also means
+  // a shard that stops ingesting never sweeps itself; call
+  // SweepIdleSessions to reclaim quiescent shards. Evictions count toward
+  // "serve.sessions_evicted". 0 disables eviction.
   double session_ttl_s = 0.0;
 };
 
@@ -168,6 +170,16 @@ class DecisionService {
   // Drops a session's state (client departed). Returns whether it existed.
   bool RemoveSession(TenantId tenant, std::string_view session_id);
 
+  // Evicts every session (all tenants, all shards) idle past session_ttl_s,
+  // after advancing each shard's event clock to at least `now_s`. The
+  // ingest-time sweep is amortized against a shard's own ingest count, so a
+  // shard whose clients all vanished never sweeps itself — drive this from
+  // a maintenance timer to bound memory on quiescent shards. Deterministic
+  // for a given event stream and call sequence; each eviction counts toward
+  // "serve.sessions_evicted" exactly once. Returns the number evicted
+  // (always 0 when TTL is disabled).
+  std::size_t SweepIdleSessions(double now_s);
+
   [[nodiscard]] std::size_t ActiveSessions() const;
   [[nodiscard]] std::size_t TenantCount() const;
 
@@ -187,6 +199,9 @@ class DecisionService {
   [[nodiscard]] TenantState& Tenant(TenantId id) const;
   [[nodiscard]] Decision Decide(TenantState& tenant,
                                 const DecisionRequest& request);
+  // Erases sessions idle past `deadline` from a shard (caller holds its
+  // mutex); returns how many were evicted.
+  static std::size_t SweepLocked(Shard& shard, double deadline);
 
   ServeConfig config_;
   int shard_count_ = 1;  // power of two

@@ -12,6 +12,8 @@
 
 #include <chrono>
 
+#include "fleet/session_arena.hpp"
+
 namespace soda::fleet {
 namespace {
 
@@ -63,6 +65,10 @@ TEST(FleetPerf, ArenaStaysAllocationFreeAtSteadyState) {
   // < 400 bytes per peak-live session across every array incl. slack from
   // vector growth: the SoA layout, not per-session heap objects.
   EXPECT_LT(s.arena_bytes, s.peak_live * 400u);
+  // The shard-invariant footprint is exactly peak live x the per-session
+  // column width, and the capacity diagnostic can only sit above it
+  // (vector slack + free-list) scaled by the shard count's fragmentation.
+  EXPECT_EQ(s.live_state_bytes, s.peak_live * SessionArena::kBytesPerSession);
 }
 
 }  // namespace

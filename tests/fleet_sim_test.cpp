@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "fleet/arrivals.hpp"
+#include "fleet/session_arena.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -23,6 +25,21 @@ FleetConfig SmallConfig() {
 FleetSummary WithoutArenaBytes(FleetSummary s) {
   s.arena_bytes = 0;
   return s;
+}
+
+// Strips the per-region stats so a closed-loop summary can be compared
+// field-for-field against an open-loop one (whose regions vector is empty).
+FleetSummary WithoutRegions(FleetSummary s) {
+  s.regions.clear();
+  return s;
+}
+
+// A coupling config tight enough that every region congests for most of
+// the run.
+FleetConfig CoupledConfig() {
+  FleetConfig config = SmallConfig();
+  config.regions = MakeUniformRegions(3, 150.0);
+  return config;
 }
 
 TEST(FleetArrivals, DeterministicAndWithinHorizon) {
@@ -86,11 +103,14 @@ TEST(FleetSim, BitIdenticalAcrossShardCounts) {
   const FleetSummary s32 = RunFleet(config, 2);
   config.shards = 5;  // not a divisor of anything interesting on purpose
   const FleetSummary s5 = RunFleet(config, 2);
-  // arena_bytes is memory accounting (per-shard high-water marks), the one
-  // field that legitimately varies with the shard layout.
+  // arena_bytes is a capacity diagnostic (per-shard vector high-water
+  // marks), the one field that legitimately varies with the shard layout;
+  // live_state_bytes is its shard-invariant counterpart and stays inside
+  // the == contract.
   EXPECT_EQ(WithoutArenaBytes(s8), WithoutArenaBytes(s32));
   EXPECT_EQ(WithoutArenaBytes(s8), WithoutArenaBytes(s5));
   EXPECT_NE(s8.session_checksum, 0u);
+  EXPECT_EQ(s8.live_state_bytes, s8.peak_live * SessionArena::kBytesPerSession);
 }
 
 TEST(FleetSim, DifferentSeedsDecorrelate) {
@@ -204,6 +224,153 @@ TEST(FleetSim, PublishesFleetMetrics) {
   EXPECT_EQ(after.gauges.at("fleet.peak_live_sessions"),
             static_cast<double>(s.peak_live));
   EXPECT_GT(after.histograms.at("fleet.qoe").TotalCount(), 0u);
+}
+
+TEST(FleetRegions, AssignmentIsAPureFunctionOfUserId) {
+  // Same (user, region_count) always lands in the same region, regardless
+  // of shards/threads — that is what keeps region membership layout-free.
+  for (std::uint64_t user = 0; user < 500; ++user) {
+    const std::uint32_t r = RegionOfUser(user, 4);
+    EXPECT_LT(r, 4u);
+    EXPECT_EQ(r, RegionOfUser(user, 4));
+  }
+  // The hash spreads a contiguous id range across all regions.
+  std::array<int, 4> counts{};
+  for (std::uint64_t user = 0; user < 4000; ++user) {
+    ++counts[RegionOfUser(user, 4)];
+  }
+  for (const int c : counts) EXPECT_GT(c, 4000 / 8);
+}
+
+TEST(FleetRegions, CoupledBitIdenticalAcrossThreadCounts) {
+  const FleetConfig config = CoupledConfig();
+  const FleetSummary t1 = RunFleet(config, 1);
+  const FleetSummary t2 = RunFleet(config, 2);
+  const FleetSummary t4 = RunFleet(config, 4);
+  const FleetSummary t8 = RunFleet(config, 8);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t4);
+  EXPECT_EQ(t1, t8);
+  // The run actually exercised the congestion path.
+  ASSERT_EQ(t1.regions.size(), 3u);
+  for (const RegionStats& region : t1.regions) {
+    EXPECT_GT(region.congested_ticks, 0);
+    EXPECT_LT(region.MeanMultiplier(t1.ticks), 1.0);
+  }
+}
+
+TEST(FleetRegions, CoupledBitIdenticalAcrossShardCounts) {
+  FleetConfig config = CoupledConfig();
+  config.shards = 8;
+  const FleetSummary s8 = RunFleet(config, 2);
+  config.shards = 32;
+  const FleetSummary s32 = RunFleet(config, 2);
+  config.shards = 5;
+  const FleetSummary s5 = RunFleet(config, 2);
+  EXPECT_EQ(WithoutArenaBytes(s8), WithoutArenaBytes(s32));
+  EXPECT_EQ(WithoutArenaBytes(s8), WithoutArenaBytes(s5));
+  // live_state_bytes is the shard-invariant footprint: peak live sessions
+  // times the exact per-session column width, identical across layouts
+  // (it is inside the == contract above; spot-check the formula too).
+  EXPECT_EQ(s8.live_state_bytes, s8.peak_live * SessionArena::kBytesPerSession);
+  EXPECT_EQ(s8.live_state_bytes, s5.live_state_bytes);
+  ASSERT_EQ(s8.regions.size(), 3u);
+  EXPECT_GT(s8.regions[0].congested_ticks, 0);
+}
+
+TEST(FleetRegions, ZeroCouplingMatchesOpenLoopBitwise) {
+  // Regions with effectively infinite capacity never congest: every tick's
+  // multiplier is exactly 1.0 and x * 1.0 is IEEE-exact, so the closed-loop
+  // machinery must reproduce the open-loop fleet bit for bit.
+  const FleetConfig open = SmallConfig();
+  FleetConfig coupled = SmallConfig();
+  coupled.regions = MakeUniformRegions(4, 1e9);
+  const FleetSummary o = RunFleet(open, 2);
+  const FleetSummary c = RunFleet(coupled, 2);
+  EXPECT_EQ(WithoutRegions(c), o);
+  ASSERT_EQ(c.regions.size(), 4u);
+  for (const RegionStats& region : c.regions) {
+    EXPECT_EQ(region.congested_ticks, 0);
+    EXPECT_EQ(region.MeanMultiplier(c.ticks), 1.0);
+  }
+}
+
+TEST(FleetRegions, CongestionDegradesQoeAndRaisesAbandonment) {
+  // A patient cohort (would watch everything) whose only exit pressure is
+  // rebuffering — exactly what capacity congestion induces. The default
+  // cohort abandons ~100% of sessions even open-loop, which would saturate
+  // the comparison.
+  FleetConfig base = SmallConfig();
+  base.engagement.base_fraction = 1.0;
+  base.engagement.max_fraction = 1.0;
+  base.engagement.switch_slope = 0.0;
+  base.engagement.noise = 0.0;
+  base.stream_median_s = 120.0;
+  base.stream_min_s = 60.0;
+  base.stream_max_s = 180.0;
+  FleetConfig coupled = base;
+  coupled.regions = MakeUniformRegions(3, 150.0);
+  const FleetSummary open = RunFleet(base, 2);
+  const FleetSummary tight = RunFleet(coupled, 2);
+  EXPECT_LT(tight.MeanQoe(), open.MeanQoe());
+  EXPECT_GT(tight.MeanRebufferRatio(), open.MeanRebufferRatio());
+  const auto abandon_fraction = [](const FleetSummary& s) {
+    return static_cast<double>(s.sessions_abandoned) /
+           static_cast<double>(s.sessions_ended);
+  };
+  EXPECT_GT(abandon_fraction(tight), abandon_fraction(open));
+
+  // Region accounting reconciles with the fleet totals.
+  std::uint64_t started = 0, ended = 0, abandoned = 0, live = 0;
+  for (const RegionStats& region : tight.regions) {
+    started += region.sessions_started;
+    ended += region.sessions_ended;
+    abandoned += region.sessions_abandoned;
+    live += region.live_at_end;
+    EXPECT_GE(region.MeanUtilization(tight.ticks), 0.0);
+  }
+  EXPECT_EQ(started, tight.sessions_started);
+  EXPECT_EQ(ended, tight.sessions_ended);
+  EXPECT_EQ(abandoned, tight.sessions_abandoned);
+  EXPECT_EQ(live, tight.live_at_end);
+}
+
+TEST(FleetRegions, PublishesRegionMetrics) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const auto before = registry.Snapshot();
+  const std::uint64_t congested_before =
+      before.counters.count("fleet.region.r0.congested_ticks")
+          ? before.counters.at("fleet.region.r0.congested_ticks")
+          : 0;
+  const FleetSummary s = RunFleet(CoupledConfig(), 2);
+  const auto after = registry.Snapshot();
+  EXPECT_EQ(after.counters.at("fleet.region.r0.congested_ticks") -
+                congested_before,
+            static_cast<std::uint64_t>(s.regions[0].congested_ticks));
+  EXPECT_EQ(after.gauges.at("fleet.region.r0.peak_live_sessions"),
+            static_cast<double>(s.regions[0].peak_live));
+  EXPECT_GT(after.histograms.at("fleet.region.r0.qoe").TotalCount(), 0u);
+  EXPECT_EQ(after.gauges.at("fleet.live_state_bytes"),
+            static_cast<double>(s.live_state_bytes));
+}
+
+TEST(FleetRegions, RejectsBadRegionConfig) {
+  FleetConfig config = SmallConfig();
+  config.regions = MakeUniformRegions(2, 100.0);
+  config.regions[0].name.clear();
+  EXPECT_THROW((void)RunFleet(config, 1), std::invalid_argument);
+  config = SmallConfig();
+  config.regions = MakeUniformRegions(2, 100.0);
+  config.regions[1].capacity_mbps = 0.0;
+  EXPECT_THROW((void)RunFleet(config, 1), std::invalid_argument);
+  config = SmallConfig();
+  config.regions = MakeUniformRegions(2, 100.0);
+  config.regions[0].diurnal_amplitude = 1.0;
+  EXPECT_THROW((void)RunFleet(config, 1), std::invalid_argument);
+  config = SmallConfig();
+  config.regions = MakeUniformRegions(2, 100.0);
+  config.regions[0].diurnal_period_s = 0.0;
+  EXPECT_THROW((void)RunFleet(config, 1), std::invalid_argument);
 }
 
 TEST(FleetSim, RejectsNonsenseConfig) {

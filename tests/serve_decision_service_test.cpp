@@ -418,6 +418,78 @@ TEST(DecisionService, TtlEvictsIdleSessionsUnderChurn) {
   EXPECT_EQ(fresh.ActiveSessions(), 1u);
 }
 
+// Regression: the ingest-time sweep is amortized against a shard's own
+// ingest count, so a shard whose clients all vanish never sweeps itself —
+// a burst followed by silence used to pin those sessions forever. The
+// explicit SweepIdleSessions API must reclaim them, with an exact
+// "serve.sessions_evicted" count.
+TEST(DecisionService, SweepIdleSessionsReclaimsQuiescentShards) {
+  ServeConfig config;
+  config.session_shards = 8;  // spread the burst across several shards
+  config.session_ttl_s = 30.0;
+  DecisionService service(config);
+  const TenantId tenant = service.RegisterTenant(DefaultTenant(true));
+
+  const auto sample = [&](const std::string& id, double now_s) {
+    SessionEvent event;
+    event.type = EventType::kThroughputSample;
+    event.tenant = tenant;
+    event.session_id = id;
+    event.now_s = now_s;
+    event.duration_s = 1.0;
+    event.mbps = 8.0;
+    service.Ingest(event);
+  };
+
+  constexpr int kBurst = 50;  // below the per-shard amortized-sweep floor
+  for (int i = 0; i < kBurst; ++i) sample("burst-" + std::to_string(i), 0.0);
+  ASSERT_EQ(service.ActiveSessions(), static_cast<std::size_t>(kBurst));
+
+  // Before anything expires the sweep is a no-op.
+  EXPECT_EQ(service.SweepIdleSessions(20.0), 0u);
+  EXPECT_EQ(service.ActiveSessions(), static_cast<std::size_t>(kBurst));
+
+  // One session reports again and stays within TTL of the sweep time.
+  sample("burst-0", 90.0);
+
+  // Then: total silence. No further ingests means the amortized sweep can
+  // never fire, no matter how stale the rest of the burst gets — only the
+  // explicit sweep reclaims it, evicting everything but the fresh session
+  // and counting each eviction exactly once.
+  const std::uint64_t before = obs::MetricsRegistry::Global()
+                                   .Snapshot()
+                                   .counters.at("serve.sessions_evicted");
+  EXPECT_EQ(service.SweepIdleSessions(100.0),
+            static_cast<std::size_t>(kBurst - 1));
+  EXPECT_EQ(service.ActiveSessions(), 1u);
+  const std::uint64_t after = obs::MetricsRegistry::Global()
+                                  .Snapshot()
+                                  .counters.at("serve.sessions_evicted");
+  EXPECT_EQ(after - before, static_cast<std::uint64_t>(kBurst - 1));
+
+  // Idempotent once the map is clean (the survivor is still within TTL of
+  // the advanced shard clock only until it ages out).
+  EXPECT_EQ(service.SweepIdleSessions(100.0), 0u);
+  EXPECT_EQ(service.SweepIdleSessions(1000.0), 1u);
+  EXPECT_EQ(service.ActiveSessions(), 0u);
+
+  // TTL disabled: the explicit sweep is a guaranteed no-op.
+  ServeConfig off;
+  off.session_ttl_s = 0.0;
+  DecisionService no_ttl(off);
+  const TenantId t2 = no_ttl.RegisterTenant(DefaultTenant(true));
+  SessionEvent event;
+  event.type = EventType::kThroughputSample;
+  event.tenant = t2;
+  event.session_id = "stays";
+  event.now_s = 0.0;
+  event.duration_s = 1.0;
+  event.mbps = 8.0;
+  no_ttl.Ingest(event);
+  EXPECT_EQ(no_ttl.SweepIdleSessions(1e9), 0u);
+  EXPECT_EQ(no_ttl.ActiveSessions(), 1u);
+}
+
 TEST(DecisionService, TtlZeroNeverEvicts) {
   ServeConfig config;
   config.session_shards = 1;

@@ -6,8 +6,9 @@ Usage: tools/bench_delta.py BASELINE CANDIDATE
 Prints the sessions/sec delta per controller and thread count, the QoE
 deltas, the serving-throughput block (DecisionService decisions/sec,
 batch latency, quantized memory cut and QoE delta), and the candidate's
-shared-link scaling, fairness-workload and fleet-scaling tables (if
-present; older baselines without these blocks are fine). Always
+shared-link scaling, fairness-workload, fleet-scaling and fleet
+regional-capacity tables (if present; older baselines without these
+blocks are fine). Always
 exits 0: timing on shared CI runners is too noisy to gate on, so this is
 an eyeballing aid, not a check. Structural fields (QoE) should match the
 baseline bit-for-bit when the corpus seed is unchanged; timing fields are
@@ -183,6 +184,41 @@ def main():
             ident_marker = "" if ident else "  *** NOT BIT-IDENTICAL ***"
             print(f"  {point['threads']:7d}  {point['decisions_per_sec']:14.0f}  "
                   f"{delta_text}  {ident}{ident_marker}")
+
+    region = candidate.get("fleet_region_capacity")
+    if region:
+        base_region = baseline.get("fleet_region_capacity") or {}
+        zero_ok = region.get("zero_coupling_identical")
+        zero_marker = "" if zero_ok else "  *** OPEN-LOOP MISMATCH ***"
+        print("\nfleet regional capacity (closed-loop coupling; "
+              "identical_output must be true at every capacity, "
+              "zero_coupling_identical must be true, and qoe_mean should "
+              "match the baseline bit-for-bit for an unchanged seed):")
+        print(f"  users={region.get('users')} "
+              f"horizon={region.get('horizon_s')}s "
+              f"shards={region.get('shards')} "
+              f"regions={region.get('regions')}  "
+              f"open_loop_qoe {region.get('open_loop_qoe', 0.0):.6f}  "
+              f"zero_coupling_identical {zero_ok}{zero_marker}")
+        base_rows = {
+            row["region_mbps"]: row
+            for row in base_region.get("capacities", [])
+        }
+        print("  region_mbps   qoe_mean   abandon   util   mult   congested  "
+              "identical")
+        for row in region.get("capacities", []):
+            base = base_rows.get(row["region_mbps"])
+            qoe_marker = ""
+            if base is not None and base.get("qoe_mean") != row["qoe_mean"]:
+                qoe_marker = "  *** QOE DIFFERS ***"
+            ident = row.get("identical_output")
+            ident_marker = "" if ident else "  *** NOT BIT-IDENTICAL ***"
+            print(f"  {row['region_mbps']:11.0f}  {row['qoe_mean']:9.4f}  "
+                  f"{row['abandon_fraction']:8.4f}  "
+                  f"{row['utilization_mean']:5.2f}  "
+                  f"{row['congestion_multiplier_mean']:5.3f}  "
+                  f"{row['congested_tick_fraction']:9.4f}  "
+                  f"{ident}{ident_marker}{qoe_marker}")
     return 0
 
 

@@ -10,10 +10,15 @@
 //
 //   fleet_loadgen [--users N] [--horizon S] [--threads N] [--shards N]
 //                 [--seed S] [--segment S] [--check-threads N]
+//                 [--fleet-regions N] [--region-mbps C] [--region-diurnal A]
 //                 [--json PATH] [--metrics PATH] [--quick]
 //
-// --json writes a machine-readable summary; --metrics dumps the full
-// "fleet.*" metrics registry snapshot (the CI artifact).
+// --fleet-regions N turns on closed-loop capacity coupling: users map to N
+// regional pools of --region-mbps Mbps each (optionally modulated by
+// --region-diurnal amplitude), which congest as the fleet grows; 0
+// (default) is the open-loop fleet. --json writes a machine-readable
+// summary; --metrics dumps the full "fleet.*" metrics registry snapshot
+// (the CI artifact).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -39,7 +44,8 @@ double Seconds(std::chrono::steady_clock::time_point start,
 int main(int argc, char** argv) {
   tools::CliArgs args(argc, argv,
                       {"users", "horizon", "threads", "shards", "seed",
-                       "segment", "check-threads", "json", "metrics"},
+                       "segment", "check-threads", "fleet-regions",
+                       "region-mbps", "region-diurnal", "json", "metrics"},
                       {"quick"});
 
   const bool quick = args.Has("quick");
@@ -50,6 +56,12 @@ int main(int argc, char** argv) {
   config.shards = static_cast<int>(args.GetLong("shards", 64));
   config.base_seed = static_cast<std::uint64_t>(args.GetLong("seed", 1));
   config.segment_seconds = args.GetDouble("segment", 2.0);
+  const int regions = static_cast<int>(args.GetLong("fleet-regions", 0));
+  if (regions > 0) {
+    config.regions = fleet::MakeUniformRegions(
+        regions, args.GetDouble("region-mbps", 2000.0),
+        args.GetDouble("region-diurnal", 0.0));
+  }
   const int threads = static_cast<int>(args.GetLong("threads", 1));
   const int check_threads = static_cast<int>(args.GetLong("check-threads", 0));
 
@@ -76,10 +88,23 @@ int main(int argc, char** argv) {
       wall_s);
   std::printf(
       "      qoe=%.4f utility=%.4f rebuffer=%.5f switches=%.4f "
-      "slo_violation=%.4f arena=%.1f MB\n",
+      "slo_violation=%.4f live_state=%.1f MB arena=%.1f MB\n",
       summary.MeanQoe(), summary.MeanUtility(), summary.MeanRebufferRatio(),
       summary.MeanSwitchRate(), summary.SloViolationFraction(),
+      static_cast<double>(summary.live_state_bytes) / 1e6,
       static_cast<double>(summary.arena_bytes) / 1e6);
+  for (const fleet::RegionStats& region : summary.regions) {
+    std::printf(
+        "      region %-8s peak_live=%llu ended=%llu qoe=%.4f abandon=%.4f "
+        "util=%.3f mult=%.3f congested_ticks=%lld/%lld\n",
+        region.name.c_str(), static_cast<unsigned long long>(region.peak_live),
+        static_cast<unsigned long long>(region.sessions_ended),
+        region.MeanQoe(), region.AbandonFraction(),
+        region.MeanUtilization(summary.ticks),
+        region.MeanMultiplier(summary.ticks),
+        static_cast<long long>(region.congested_ticks),
+        static_cast<long long>(summary.ticks));
+  }
   if (check_threads > 0) {
     std::printf("      threads %d vs %d bitwise identical: %s\n", threads,
                 check_threads, identical ? "yes" : "NO");
@@ -108,6 +133,8 @@ int main(int argc, char** argv) {
         .Int(static_cast<std::int64_t>(summary.clamped_lookups));
     json.Key("peak_live").Int(static_cast<std::int64_t>(summary.peak_live));
     json.Key("live_at_end").Int(static_cast<std::int64_t>(summary.live_at_end));
+    json.Key("live_state_bytes")
+        .Int(static_cast<std::int64_t>(summary.live_state_bytes));
     json.Key("arena_bytes").Int(static_cast<std::int64_t>(summary.arena_bytes));
     json.Key("qoe_mean").Number(summary.MeanQoe());
     json.Key("utility_mean").Number(summary.MeanUtility());
@@ -120,6 +147,29 @@ int main(int argc, char** argv) {
     json.Key("decisions_per_sec").Number(decisions_per_sec);
     json.Key("session_checksum")
         .String(std::to_string(summary.session_checksum));
+    if (!summary.regions.empty()) {
+      json.Key("regions").BeginArray();
+      for (const fleet::RegionStats& region : summary.regions) {
+        json.BeginObject();
+        json.Key("name").String(region.name);
+        json.Key("sessions_started")
+            .Int(static_cast<std::int64_t>(region.sessions_started));
+        json.Key("sessions_ended")
+            .Int(static_cast<std::int64_t>(region.sessions_ended));
+        json.Key("sessions_abandoned")
+            .Int(static_cast<std::int64_t>(region.sessions_abandoned));
+        json.Key("peak_live").Int(static_cast<std::int64_t>(region.peak_live));
+        json.Key("congested_ticks").Int(region.congested_ticks);
+        json.Key("qoe_mean").Number(region.MeanQoe());
+        json.Key("abandon_fraction").Number(region.AbandonFraction());
+        json.Key("utilization_mean")
+            .Number(region.MeanUtilization(summary.ticks));
+        json.Key("congestion_multiplier_mean")
+            .Number(region.MeanMultiplier(summary.ticks));
+        json.EndObject();
+      }
+      json.EndArray();
+    }
     if (check_threads > 0) {
       json.Key("check_threads").Int(check_threads);
       json.Key("identical").Bool(identical);

@@ -43,6 +43,10 @@
 //                       --metrics-out.
 //   --fleet-users N     fleet population (default 20000)
 //   --fleet-horizon S   fleet arrival horizon in seconds (default 600)
+//   --fleet-regions N   closed-loop capacity coupling: map users to N
+//                       regional capacity pools that congest as the fleet
+//                       grows (0 = open loop, the default)
+//   --fleet-region-mbps C  per-region pool capacity in Mbps (default 2000)
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -94,6 +98,11 @@ int RunFleetMode(const tools::CliArgs& args) {
   config.max_buffer_s = args.GetDouble("buffer", 20.0);
   config.ladder =
       LadderByName(args.Get("ladder", "youtube"), args.GetLong("trim", 0));
+  const int regions = static_cast<int>(args.GetLong("fleet-regions", 0));
+  if (regions > 0) {
+    config.regions = fleet::MakeUniformRegions(
+        regions, args.GetDouble("fleet-region-mbps", 2000.0));
+  }
   const int threads = static_cast<int>(args.GetLong("threads", 0));
 
   const auto start = std::chrono::steady_clock::now();
@@ -121,6 +130,23 @@ int RunFleetMode(const tools::CliArgs& args) {
   table.AddRow({"rebuffer SLO violations",
                 FormatDouble(summary.SloViolationFraction(), 4)});
   table.Print();
+  if (!summary.regions.empty()) {
+    std::printf("regions (closed-loop capacity pools):\n");
+    ConsoleTable region_table({"region", "peak live", "qoe", "abandon",
+                               "utilization", "multiplier", "congested"});
+    for (const fleet::RegionStats& region : summary.regions) {
+      region_table.AddRow(
+          {region.name,
+           std::to_string(static_cast<long long>(region.peak_live)),
+           FormatDouble(region.MeanQoe(), 4),
+           FormatDouble(region.AbandonFraction(), 4),
+           FormatDouble(region.MeanUtilization(summary.ticks), 3),
+           FormatDouble(region.MeanMultiplier(summary.ticks), 3),
+           std::to_string(static_cast<long long>(region.congested_ticks)) +
+               "/" + std::to_string(static_cast<long long>(summary.ticks))});
+    }
+    region_table.Print();
+  }
   // Timing goes to stderr: stdout stays byte-identical across runs and
   // thread counts (the same determinism check corpus mode documents).
   std::fprintf(stderr,
@@ -150,7 +176,7 @@ int Run(int argc, char** argv) {
       {"trace", "mahimahi", "dataset", "sessions", "controller", "predictor",
        "ladder", "trim", "segment", "buffer", "seed", "threads", "csv",
        "fault-profile", "trace-out", "metrics-out", "fleet-users",
-       "fleet-horizon"},
+       "fleet-horizon", "fleet-regions", "fleet-region-mbps"},
       {"vod", "timeline", "fleet"});
 
   if (args.Has("fleet")) return RunFleetMode(args);
