@@ -20,7 +20,11 @@
 //                      n up to 400 players, with an identical-output check)
 //                      and a fairness_scaling block (1k/10k-player fairness
 //                      workload: Jain indices, sessions/sec, and the same
-//                      engine differential)
+//                      engine differential), plus two thread-scaling blocks
+//                      (fleet_thread_scaling with the batched-vs-scalar
+//                      decision-kernel micro, serving_thread_scaling) at
+//                      1/2/4/8 threads with parallel efficiency and bitwise
+//                      identity flags
 //
 // Usage: bench_perf_report [--out-dir DIR] [--quick]
 //   --out-dir DIR  directory the JSON files are written to (default ".")
@@ -38,7 +42,9 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/batch_lookup.hpp"
 #include "core/cached_controller.hpp"
+#include "core/quantized_table.hpp"
 #include "fleet/fleet.hpp"
 #include "core/registry.hpp"
 #include "media/video_model.hpp"
@@ -525,6 +531,230 @@ void WriteFleetScaling(util::JsonWriter& json, bool quick) {
   json.EndObject();
 }
 
+// Thread-scaling block for the fleet decision hot path. Two parts:
+//
+//  - kernel_micro: the batched BatchDecisionKernel against the scalar
+//    LookupDecision loop it replaced, over one deterministic input set on
+//    the fleet's default (quantized, nearest) table. Min-of-reps on both
+//    sides; `bitwise_identical` asserts the kernel's contract (same rungs,
+//    bit for bit) and `boundary_inversion` records whether the log-free
+//    fast path verified and engaged on this geometry.
+//  - threads: fleet::RunFleet at 1/2/4/8 threads — decisions/sec, parallel
+//    efficiency relative to the single-thread run, and the bitwise
+//    identical_output flag at every point (the determinism contract means
+//    threads only redistribute work, never change results).
+void WriteFleetThreadScaling(util::JsonWriter& json, bool quick) {
+  json.Key("fleet_thread_scaling").BeginObject();
+
+  // Kernel microbenchmark on the fleet's default geometry.
+  {
+    const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+    core::CachedControllerConfig cc;
+    core::CostModelConfig mc;
+    mc.weights = cc.base.weights;
+    mc.dt_s = 2.0;
+    mc.max_buffer_s = 20.0;
+    mc.target_buffer_s =
+        cc.base.target_buffer_s.value_or(cc.base.target_fraction * 20.0);
+    mc.distortion = cc.base.distortion;
+    core::SolverConfig solver_config;
+    solver_config.hard_buffer_constraints = cc.base.hard_buffer_constraints;
+    solver_config.tail_intervals = cc.base.tail_intervals;
+    const core::CostModel model(ladder, mc);
+    const core::MonotonicSolver solver(model, solver_config);
+    const auto exact =
+        std::make_shared<const core::DecisionTable>(core::BuildDecisionTable(
+            model, solver, cc.base, cc.buffer_points, cc.throughput_points,
+            cc.min_mbps, cc.max_mbps));
+    const auto quantized =
+        std::make_shared<const core::QuantizedDecisionTable>(
+            core::QuantizeDecisionTable(*exact));
+    const core::BatchDecisionKernel kernel(quantized, cc.lookup);
+
+    const int n = quick ? 16384 : 65536;
+    std::vector<double> buffer(static_cast<std::size_t>(n));
+    std::vector<double> mbps(static_cast<std::size_t>(n));
+    std::vector<std::int16_t> prev(static_cast<std::size_t>(n));
+    std::vector<std::int16_t> scalar(static_cast<std::size_t>(n));
+    std::vector<std::int16_t> batched(static_cast<std::size_t>(n));
+    Rng rng(bench::kDefaultSeed);
+    const double log_span = std::log(cc.max_mbps / cc.min_mbps);
+    for (int i = 0; i < n; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      buffer[s] = mc.max_buffer_s * rng.NextDouble();
+      mbps[s] = cc.min_mbps * std::exp(log_span * rng.NextDouble());
+      prev[s] = static_cast<std::int16_t>(
+          static_cast<int>(rng.NextDouble() *
+                           static_cast<double>(ladder.Count() + 1)) -
+          1);
+    }
+
+    const int reps = quick ? 3 : 7;
+    double scalar_ns = 0.0;
+    double batched_ns = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto start = Clock::now();
+      for (int i = 0; i < n; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        scalar[s] = static_cast<std::int16_t>(core::LookupDecision(
+            *quantized, cc.lookup, buffer[s], mbps[s], prev[s]));
+      }
+      const double ns = ElapsedNs(start, Clock::now());
+      if (rep == 0 || ns < scalar_ns) scalar_ns = ns;
+
+      start = Clock::now();
+      kernel.LookupBatch(buffer, mbps, prev, batched);
+      const double bns = ElapsedNs(start, Clock::now());
+      if (rep == 0 || bns < batched_ns) batched_ns = bns;
+    }
+    json.Key("kernel_micro").BeginObject();
+    json.Key("inputs").Int(n);
+    json.Key("scalar_ns_per_lookup")
+        .Number(scalar_ns / static_cast<double>(n));
+    json.Key("batched_ns_per_lookup")
+        .Number(batched_ns / static_cast<double>(n));
+    json.Key("speedup").Number(scalar_ns / batched_ns);
+    json.Key("bitwise_identical").Bool(scalar == batched);
+    json.Key("boundary_inversion").Bool(kernel.UsesBoundaryInversion());
+    json.EndObject();
+    std::printf("  decision kernel %.2fx vs scalar (%s)\n",
+                scalar_ns / batched_ns,
+                scalar == batched ? "bitwise identical" : "MISMATCH");
+  }
+
+  // End-to-end fleet sweep.
+  fleet::FleetConfig config;
+  config.base_seed = bench::kDefaultSeed;
+  config.users = quick ? 8000 : 120000;
+  config.arrival.horizon_s = quick ? 300.0 : 600.0;
+  config.shards = 128;
+  json.Key("users").Int(static_cast<std::int64_t>(config.users));
+  json.Key("horizon_s").Number(config.arrival.horizon_s);
+  json.Key("shards").Int(config.shards);
+  json.Key("hardware_threads")
+      .Int(static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+
+  const fleet::FleetSummary reference = fleet::RunFleet(config, 1);  // warm
+  double single_rate = 0.0;
+  json.Key("threads").BeginArray();
+  for (const int threads : {1, 2, 4, 8}) {
+    const int reps = quick ? 1 : 2;
+    double best_ns = 0.0;
+    fleet::FleetSummary summary;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto start = Clock::now();
+      summary = fleet::RunFleet(config, threads);
+      const double ns = ElapsedNs(start, Clock::now());
+      if (rep == 0 || ns < best_ns) best_ns = ns;
+    }
+    const double rate =
+        static_cast<double>(summary.decisions) / (best_ns * 1e-9);
+    if (threads == 1) single_rate = rate;
+    json.BeginObject();
+    json.Key("threads").Int(threads);
+    json.Key("wall_ms").Number(best_ns * 1e-6);
+    json.Key("decisions_per_sec").Number(rate);
+    json.Key("parallel_efficiency")
+        .Number(single_rate > 0.0
+                    ? rate / single_rate / static_cast<double>(threads)
+                    : 0.0);
+    json.Key("identical_output").Bool(summary == reference);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+// Thread-scaling block for the serving daemon: one tenant, a warm corpus
+// large enough for the batch fan-out to matter, DecideBatch swept over
+// 1/2/4/8 worker threads. Reports decisions/sec, parallel efficiency vs
+// the single-thread run, and whether every thread count produced the same
+// decisions (rung and flags) as the single-thread reference — the
+// service's batch-partitioning determinism contract.
+void WriteServingThreadScaling(util::JsonWriter& json, bool quick) {
+  serve::DecisionService service({.base_seed = bench::kDefaultSeed});
+  serve::TenantConfig tenant_config{media::YoutubeHfr4kLadder()};
+  const serve::TenantId tenant = service.RegisterTenant(tenant_config);
+
+  const int n_sessions = quick ? 512 : 4096;
+  std::vector<std::string> ids;
+  ids.reserve(static_cast<std::size_t>(n_sessions));
+  for (int s = 0; s < n_sessions; ++s) {
+    ids.push_back("scale-session-" + std::to_string(s));
+  }
+  for (int s = 0; s < n_sessions; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    service.Ingest({.type = serve::EventType::kStartup,
+                    .tenant = tenant,
+                    .session_id = ids[i],
+                    .now_s = 0.0,
+                    .duration_s = 0.4});
+    service.Ingest({.type = serve::EventType::kThroughputSample,
+                    .tenant = tenant,
+                    .session_id = ids[i],
+                    .now_s = 1.0,
+                    .duration_s = 2.0,
+                    .mbps = 3.0 + 0.07 * (s % 120)});
+  }
+  std::vector<serve::DecisionRequest> requests(
+      static_cast<std::size_t>(n_sessions));
+  for (int s = 0; s < n_sessions; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    requests[i] = {.tenant = tenant,
+                   .session_id = ids[i],
+                   .buffer_s = 0.1 * ((7 * s) % 200)};
+  }
+  std::vector<serve::Decision> reference(static_cast<std::size_t>(n_sessions));
+  service.DecideBatch(requests, reference, /*threads=*/1);  // warm-up + ref
+
+  const auto identical = [&](const std::vector<serve::Decision>& got) {
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const serve::Decision& a = reference[i];
+      const serve::Decision& b = got[i];
+      if (a.rung != b.rung || a.predicted_mbps != b.predicted_mbps ||
+          a.from_table != b.from_table ||
+          a.solver_fallback != b.solver_fallback ||
+          a.shadow_checked != b.shadow_checked ||
+          a.shadow_mismatch != b.shadow_mismatch) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  json.Key("serving_thread_scaling").BeginObject();
+  json.Key("sessions").Int(n_sessions);
+  json.Key("hardware_threads")
+      .Int(static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  const long long batches = quick ? 100 : 800;
+  json.Key("batches").Int(batches);
+  double single_rate = 0.0;
+  json.Key("threads").BeginArray();
+  for (const int threads : {1, 2, 4, 8}) {
+    std::vector<serve::Decision> decisions(
+        static_cast<std::size_t>(n_sessions));
+    const auto start = Clock::now();
+    for (long long b = 0; b < batches; ++b) {
+      service.DecideBatch(requests, decisions, threads);
+    }
+    const double ns = ElapsedNs(start, Clock::now());
+    const double rate =
+        static_cast<double>(batches * n_sessions) / (ns * 1e-9);
+    if (threads == 1) single_rate = rate;
+    json.BeginObject();
+    json.Key("threads").Int(threads);
+    json.Key("decisions_per_sec").Number(rate);
+    json.Key("parallel_efficiency")
+        .Number(single_rate > 0.0
+                    ? rate / single_rate / static_cast<double>(threads)
+                    : 0.0);
+    json.Key("identical_output").Bool(identical(decisions));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
 // Regional-capacity block: the closed-loop fleet (user->region capacity
 // pools with congestion feedback) at a fixed population, swept over
 // per-region capacity from generous to heavily oversubscribed. Reports the
@@ -779,9 +1009,11 @@ void WriteEvalReport(const std::string& path, bool quick) {
   // one (tests pin |delta| <= 0.005; bench_delta.py re-checks the report).
   json.Key("quantized_qoe_delta").Number(quantized_qoe - cached_qoe);
   WriteServingThroughput(json, quick);
+  WriteServingThreadScaling(json, quick);
   WriteSharedLinkScaling(json, quick);
   WriteFairnessScaling(json, quick, max_threads);
   WriteFleetScaling(json, quick);
+  WriteFleetThreadScaling(json, quick);
   WriteFleetRegionCapacity(json, quick);
   json.EndObject();
   out << '\n';

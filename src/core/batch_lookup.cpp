@@ -1,0 +1,404 @@
+#include "core/batch_lookup.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/ensure.hpp"
+
+namespace soda::core {
+namespace {
+
+// Monotone bit-order mapping for non-negative doubles: for 0 <= a <= b,
+// Bits(a) <= Bits(b), and every u in [0, Bits(+inf)] is a valid
+// non-negative double. This is what makes a bit-level binary search find
+// the exact smallest double satisfying a monotone predicate.
+[[nodiscard]] std::uint64_t BitsOf(double x) noexcept {
+  return std::bit_cast<std::uint64_t>(x);
+}
+[[nodiscard]] double FromBits(std::uint64_t u) noexcept {
+  return std::bit_cast<double>(u);
+}
+
+const std::uint64_t kInfBits = BitsOf(std::numeric_limits<double>::infinity());
+
+// Branchless count of boundary entries <= x over an array padded with NaN
+// to a power-of-two length. NaN pads behave as "greater than everything"
+// (NaN <= x is false for every x, including +inf), and a NaN *query*
+// counts 0 — exactly detail::NearestIndex's NaN -> 0. The loop body is a
+// compare + conditional add, which compilers turn into cmov/select, so a
+// block of independent searches pipelines with no branch misses.
+[[nodiscard]] int CountLE(const double* bounds, std::size_t pow2,
+                          double x) noexcept {
+  std::size_t base = 0;
+  std::size_t len = pow2;
+  while (len > 1) {
+    const std::size_t half = len >> 1;
+    base += (bounds[base + half - 1] <= x) ? half : 0;
+    len -= half;
+  }
+  return static_cast<int>(base + ((bounds[base] <= x) ? 1u : 0u));
+}
+
+// Direct nearest index on the linear buffer axis, bit-identical to
+// detail::NearestIndex(x / max_buffer * (n - 1), n): for f in (0, n-1),
+// lround(f) == g + (f >= g + 0.5) with g = (int)f (floor of a positive
+// double), because g + 0.5 is exactly representable and the comparison is
+// exact; the !(f > 0) test collapses NearestIndex's NaN and <= 0 early
+// outs into one branch.
+[[nodiscard]] int BufferNearestIndex(double x, double max_buffer_s,
+                                     int n) noexcept {
+  const double f = x / max_buffer_s * (n - 1.0);
+  if (!(f > 0.0)) return 0;
+  if (f >= n - 1.0) return n - 1;
+  const int g = static_cast<int>(f);
+  return g + (f >= static_cast<double>(g) + 0.5 ? 1 : 0);
+}
+
+// Exact-table cell fetch: DecisionTable::Cell without the struct
+// indirection.
+struct ExactCell {
+  const std::int16_t* cells;
+  int nb;
+  int nt;
+  [[nodiscard]] int operator()(int prev, int t, int b) const noexcept {
+    return cells[(static_cast<std::size_t>(prev + 1) * nt + t) * nb + b];
+  }
+};
+
+// Quantized cell fetch with the bit width as a template parameter so the
+// decode has no per-cell branches. Mirrors
+// QuantizedDecisionTable::DecodeCell bit for bit.
+template <unsigned Bits>
+struct QuantCell {
+  const std::uint8_t* words;
+  int nb;
+  int nt;
+  [[nodiscard]] int operator()(int prev, int t, int b) const noexcept {
+    const std::size_t index =
+        (static_cast<std::size_t>(prev + 1) * nt + t) * nb + b;
+    if constexpr (Bits == 16) {
+      const std::size_t byte = index * 2;
+      return static_cast<int>(static_cast<unsigned>(words[byte]) |
+                              (static_cast<unsigned>(words[byte + 1]) << 8));
+    } else {
+      constexpr unsigned kPerByte = 8u / Bits;
+      const unsigned shift = static_cast<unsigned>(index % kPerByte) * Bits;
+      constexpr unsigned kMask = (1u << Bits) - 1u;
+      return static_cast<int>((words[index / kPerByte] >> shift) & kMask);
+    }
+  }
+};
+
+struct KernelCache {
+  std::mutex mu;
+  std::unordered_map<std::string, BatchKernelPtr> kernels;
+};
+
+KernelCache& Cache() {
+  // Leaked intentionally: controllers may outlive static destruction order.
+  static KernelCache* cache = new KernelCache();
+  return *cache;
+}
+
+void AppendBits(std::string& key, std::uint64_t bits) {
+  key.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+[[nodiscard]] std::string KernelKey(const std::string& table_key,
+                                    bool quantized, TableLookup lookup,
+                                    double max_buffer_s) {
+  std::string key = table_key;
+  key.push_back(quantized ? 'q' : 'x');
+  key.push_back(lookup == TableLookup::kNearest ? 'n' : 'b');
+  AppendBits(key, BitsOf(max_buffer_s));
+  return key;
+}
+
+}  // namespace
+
+BatchDecisionKernel::BatchDecisionKernel(DecisionTablePtr table,
+                                         TableLookup lookup,
+                                         double max_buffer_s)
+    : exact_(std::move(table)),
+      lookup_(lookup),
+      max_buffer_s_(max_buffer_s),
+      log_min_mbps_(exact_->log_min_mbps),
+      inv_log_step_(exact_->inv_log_step),
+      min_mbps_(exact_->throughput_axis.front()),
+      max_mbps_(exact_->throughput_axis.back()),
+      nb_(static_cast<int>(exact_->buffer_axis.size())),
+      nt_(static_cast<int>(exact_->throughput_axis.size())),
+      rungs_(exact_->rung_count),
+      cells16_(exact_->cells.data()),
+      lookups_counter_(
+          obs::MetricsRegistry::Global().GetCounter("core.batch.lookups")),
+      clamped_counter_(
+          obs::MetricsRegistry::Global().GetCounter("core.batch.clamped")) {
+  SODA_ENSURE(nb_ >= 2 && nt_ >= 2 && rungs_ >= 1, "degenerate table");
+  SODA_ENSURE(max_buffer_s_ > 0.0, "buffer capacity must be positive");
+  BuildBoundaries();
+}
+
+BatchDecisionKernel::BatchDecisionKernel(QuantizedTablePtr table,
+                                         TableLookup lookup)
+    : quantized_(std::move(table)),
+      lookup_(lookup),
+      max_buffer_s_(static_cast<double>(quantized_->max_buffer_s)),
+      log_min_mbps_(static_cast<double>(quantized_->log_min_mbps)),
+      inv_log_step_(static_cast<double>(quantized_->inv_log_step)),
+      min_mbps_(static_cast<double>(quantized_->min_mbps)),
+      max_mbps_(static_cast<double>(quantized_->max_mbps)),
+      nb_(static_cast<int>(quantized_->buffer_points)),
+      nt_(static_cast<int>(quantized_->throughput_points)),
+      rungs_(quantized_->rung_count),
+      words_(quantized_->words.data()),
+      bits_per_cell_(quantized_->bits_per_cell),
+      lookups_counter_(
+          obs::MetricsRegistry::Global().GetCounter("core.batch.lookups")),
+      clamped_counter_(
+          obs::MetricsRegistry::Global().GetCounter("core.batch.clamped")) {
+  SODA_ENSURE(nb_ >= 2 && nt_ >= 2 && rungs_ >= 1, "degenerate table");
+  SODA_ENSURE(bits_per_cell_ == 2 || bits_per_cell_ == 4 ||
+                  bits_per_cell_ == 8 || bits_per_cell_ == 16,
+              "unsupported cell width");
+  BuildBoundaries();
+}
+
+// Inverts the throughput axis's index function into its boundary array.
+// See the header for the contract; in short: the boundary for index k is
+// the smallest non-negative double whose scalar index is >= k, found by
+// binary search over double bit patterns, then *verified* against the
+// scalar index function over a ±kBoundaryVerifyWindow window (plus
+// deterministic domain probes) so a non-monotone libm log can never
+// produce a silently wrong fast path — verification failure just disables
+// it. (The linear buffer axis needs no inversion: BufferNearestIndex is
+// exact arithmetic.)
+void BatchDecisionKernel::BuildBoundaries() {
+  if (lookup_ != TableLookup::kNearest) return;
+
+  const auto mbps_index = [this](double x) noexcept {
+    return detail::NearestIndex((std::log(x) - log_min_mbps_) * inv_log_step_,
+                                nt_);
+  };
+
+  const auto build_axis = [](int n, const auto& index,
+                             std::vector<double>* bounds,
+                             std::size_t* pow2) -> bool {
+    bounds->clear();
+    if (index(0.0) != 0 || index(FromBits(kInfBits)) != n - 1) return false;
+    for (int k = 1; k < n; ++k) {
+      std::uint64_t lo = 0;          // index(FromBits(lo)) < k
+      std::uint64_t hi = kInfBits;   // index(FromBits(hi)) >= k
+      while (hi - lo > 1) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        (index(FromBits(mid)) >= k ? hi : lo) = mid;
+      }
+      bounds->push_back(FromBits(hi));
+    }
+    for (std::size_t k = 1; k < bounds->size(); ++k) {
+      if ((*bounds)[k] < (*bounds)[k - 1]) return false;
+    }
+    const auto count_index = [&](double x) {
+      return static_cast<int>(
+          std::upper_bound(bounds->begin(), bounds->end(), x) -
+          bounds->begin());
+    };
+    // Window verification around every boundary: the scalar index may only
+    // change inside these windows (outside them the fractional coordinate
+    // is far further from a half-integer than any plausible libm error),
+    // and inside them we check every representable input directly.
+    for (const double bound : *bounds) {
+      const std::uint64_t b = BitsOf(bound);
+      const std::uint64_t window = static_cast<std::uint64_t>(
+          kBoundaryVerifyWindow);
+      const std::uint64_t start = b > window ? b - window : 0;
+      const std::uint64_t end = b + window < kInfBits ? b + window : kInfBits;
+      for (std::uint64_t u = start; u <= end; ++u) {
+        const double x = FromBits(u);
+        if (count_index(x) != index(x)) return false;
+      }
+    }
+    // Deterministic cross-domain probes (cheap extra insurance; the
+    // differential tests fuzz far wider).
+    const double top = bounds->empty() ? 1.0 : bounds->back();
+    for (int i = 0; i <= 256; ++i) {
+      const double x = std::isinf(top)
+                           ? static_cast<double>(i)
+                           : top * static_cast<double>(i) / 128.0;
+      if (count_index(x) != index(x)) return false;
+    }
+    std::size_t p = 1;
+    while (p < bounds->size()) p <<= 1;
+    *pow2 = p;
+    bounds->resize(p, std::numeric_limits<double>::quiet_NaN());
+    return true;
+  };
+
+  boundary_path_ = build_axis(nt_, mbps_index, &mbps_bounds_, &mbps_pow2_);
+  if (!boundary_path_) mbps_bounds_.clear();
+}
+
+template <typename CellFn>
+void BatchDecisionKernel::NearestBlocks(const double* buffer_s,
+                                        const double* mbps,
+                                        const std::int16_t* prev,
+                                        std::int16_t* out, std::size_t n,
+                                        const CellFn& cell) const {
+  const double* tb = mbps_bounds_.data();
+  const std::size_t tp = mbps_pow2_;
+  const double max_buffer = max_buffer_s_;
+  const int nb = nb_;
+  int bidx[kBlockSessions];
+  int tidx[kBlockSessions];
+  for (std::size_t start = 0; start < n; start += kBlockSessions) {
+    const std::size_t m = std::min(kBlockSessions, n - start);
+    for (std::size_t i = 0; i < m; ++i) {
+      bidx[i] = BufferNearestIndex(buffer_s[start + i], max_buffer, nb);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      tidx[i] = CountLE(tb, tp, mbps[start + i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      out[start + i] =
+          static_cast<std::int16_t>(cell(prev[start + i], tidx[i], bidx[i]));
+    }
+  }
+}
+
+// Per-element scalar formula, batched only in the sense that table
+// parameters are hoisted. Calls the same detail::LookupCells template as
+// the scalar LookupDecision overloads, so bit-identity is by construction.
+// Bilinear lookups always land here (they need the fractional coordinate,
+// not just the cell index); nearest lookups land here only if boundary
+// verification failed.
+template <typename CellFn>
+void BatchDecisionKernel::ScalarFormulaLoop(const double* buffer_s,
+                                            const double* mbps,
+                                            const std::int16_t* prev,
+                                            std::int16_t* out, std::size_t n,
+                                            const CellFn& cell) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fb = buffer_s[i] / max_buffer_s_ * (nb_ - 1.0);
+    const double ft = (std::log(mbps[i]) - log_min_mbps_) * inv_log_step_;
+    const int p = prev[i];
+    out[i] = static_cast<std::int16_t>(detail::LookupCells(
+        lookup_, fb, ft, nb_, nt_, rungs_,
+        [&](int t, int b) -> media::Rung { return cell(p, t, b); }));
+  }
+}
+
+template <typename CellFn>
+void BatchDecisionKernel::RunPath(const double* buffer_s, const double* mbps,
+                                  const std::int16_t* prev, std::int16_t* out,
+                                  std::size_t n, const CellFn& cell) const {
+  if (boundary_path_) {
+    NearestBlocks(buffer_s, mbps, prev, out, n, cell);
+  } else {
+    ScalarFormulaLoop(buffer_s, mbps, prev, out, n, cell);
+  }
+}
+
+std::uint64_t BatchDecisionKernel::CountClamped(const double* buffer_s,
+                                                const double* mbps,
+                                                std::size_t n) const noexcept {
+  std::uint64_t clamped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool in_domain = buffer_s[i] >= 0.0 && buffer_s[i] <= max_buffer_s_ &&
+                           mbps[i] >= min_mbps_ && mbps[i] <= max_mbps_;
+    clamped += in_domain ? 0u : 1u;
+  }
+  return clamped;
+}
+
+void BatchDecisionKernel::LookupBatch(std::span<const double> buffer_s,
+                                      std::span<const double> forecast_mbps,
+                                      std::span<const std::int16_t> prev_rung,
+                                      std::span<std::int16_t> rungs) const {
+  const std::size_t n = buffer_s.size();
+  SODA_ENSURE(forecast_mbps.size() == n && prev_rung.size() == n &&
+                  rungs.size() == n,
+              "batch lookup spans must have equal size");
+  if (n == 0) return;
+  lookups_counter_.Add(n);
+  clamped_counter_.Add(CountClamped(buffer_s.data(), forecast_mbps.data(), n));
+
+  const double* bs = buffer_s.data();
+  const double* ms = forecast_mbps.data();
+  const std::int16_t* ps = prev_rung.data();
+  std::int16_t* out = rungs.data();
+  if (cells16_ != nullptr) {
+    RunPath(bs, ms, ps, out, n, ExactCell{cells16_, nb_, nt_});
+    return;
+  }
+  switch (bits_per_cell_) {
+    case 2:
+      RunPath(bs, ms, ps, out, n, QuantCell<2>{words_, nb_, nt_});
+      break;
+    case 4:
+      RunPath(bs, ms, ps, out, n, QuantCell<4>{words_, nb_, nt_});
+      break;
+    case 8:
+      RunPath(bs, ms, ps, out, n, QuantCell<8>{words_, nb_, nt_});
+      break;
+    default:
+      RunPath(bs, ms, ps, out, n, QuantCell<16>{words_, nb_, nt_});
+      break;
+  }
+}
+
+media::Rung BatchDecisionKernel::LookupOne(double buffer_s,
+                                           double forecast_mbps,
+                                           media::Rung prev_rung) const {
+  const double b[1] = {buffer_s};
+  const double m[1] = {forecast_mbps};
+  const std::int16_t p[1] = {static_cast<std::int16_t>(prev_rung)};
+  std::int16_t out[1];
+  LookupBatch(b, m, p, out);
+  return out[0];
+}
+
+BatchKernelPtr SharedBatchKernel(const std::string& table_key,
+                                 DecisionTablePtr table, TableLookup lookup,
+                                 double max_buffer_s) {
+  const std::string key = KernelKey(table_key, false, lookup, max_buffer_s);
+  KernelCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  const auto it = cache.kernels.find(key);
+  if (it != cache.kernels.end()) return it->second;
+  BatchKernelPtr kernel = std::make_shared<const BatchDecisionKernel>(
+      std::move(table), lookup, max_buffer_s);
+  cache.kernels.emplace(key, kernel);
+  return kernel;
+}
+
+BatchKernelPtr SharedBatchKernel(const std::string& table_key,
+                                 QuantizedTablePtr table, TableLookup lookup) {
+  const std::string key = KernelKey(table_key, true, lookup, 0.0);
+  KernelCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  const auto it = cache.kernels.find(key);
+  if (it != cache.kernels.end()) return it->second;
+  BatchKernelPtr kernel =
+      std::make_shared<const BatchDecisionKernel>(std::move(table), lookup);
+  cache.kernels.emplace(key, kernel);
+  return kernel;
+}
+
+void ClearBatchKernelCacheForTesting() {
+  KernelCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.kernels.clear();
+}
+
+std::size_t BatchKernelCacheSize() {
+  KernelCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.kernels.size();
+}
+
+}  // namespace soda::core

@@ -1,0 +1,183 @@
+// Batched SoA decision lookups: the shared fleet/serve/controller hot path.
+//
+// Every table-serving caller — fleet::FleetRunner's tick loop,
+// serve::DecisionService::DecideBatch, CachedDecisionController — used to
+// resolve decisions one session at a time through LookupDecision: one
+// std::log per call to place the forecast on the log-spaced throughput
+// axis, one lround per axis, one cell fetch. At fleet scale that scalar
+// loop is the bottleneck (PAPER.md Fig. 12-13 motivates cheap per-request
+// decisions; SABR motivates table serving precisely because lookup cost
+// dominates).
+//
+// BatchDecisionKernel takes SoA spans of (buffer_s, forecast_mbps,
+// prev_rung) and fills a span of rungs in cache-blocked batches of
+// kBlockSessions. Two per-axis tricks make the hot loop log- and
+// lround-free:
+//  - The linear buffer axis's nearest index is computed directly:
+//    lround(f) for f in (0, n-1) equals g + (f >= g + 0.5) with
+//    g = (int)f, because g + 0.5 is exactly representable — a multiply,
+//    a truncation and one exact compare, no libm call.
+//  - The log-spaced throughput axis's index function is inverted at
+//    construction into a sorted array of *boundary inputs* (the smallest
+//    double mapping to each grid index), so the hot loop replaces
+//    std::log + lround with a branchless binary search over an
+//    L1-resident boundary array — ~6 compare/select steps, fully
+//    pipelined across the block.
+//
+// Bit-identity contract (pinned by differential tests against the scalar
+// oracle, like LinkEngine::kReference):
+//  - The boundary array is *exactly* inverted by a bit-level binary search
+//    over the non-negative doubles (their bit patterns are ordered). The
+//    throughput axis goes through std::log, which libm does not guarantee
+//    monotone to the last ulp, so each searched boundary is *verified*
+//    against the scalar index function over a ±kBoundaryVerifyWindow-double
+//    window (any plausible libm error is a few ulps; the window is
+//    hundreds). If verification fails the kernel silently falls back to
+//    the scalar-formula path — bit-identity is unconditional, the fast
+//    path is an optimization.
+//  - A deliberate non-choice: folding the axis transform into an FMA (as a
+//    "branchless clamp + FMA") would contract the rounding of
+//    (log(m) - log_min) * inv_log_step and break bit-identity with the
+//    scalar path. Boundary inversion is the bit-exact alternative: it
+//    changes *where* the comparison happens (input domain instead of index
+//    domain), not the arithmetic the index is defined by.
+//  - Nearest lookups (the fleet/serve default) take the boundary path.
+//    Bilinear needs the fractional coordinate, not just the cell index, so
+//    it batches the scalar formula per element (still amortizing parameter
+//    loads across the block).
+//  - NaN/±inf inputs resolve exactly like the (hardened) scalar path: NaN
+//    compares false against every boundary -> index 0, matching
+//    detail::NearestIndex; ±inf saturate to the axis ends.
+//
+// Kernels are immutable after construction and thread-safe to share (the
+// obs counters are sharded). SharedBatchKernel mirrors SharedDecisionTable:
+// one kernel per (table geometry, lookup, buffer capacity) per process, so
+// per-session controller instances don't pay the boundary construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/decision_table.hpp"
+#include "core/quantized_table.hpp"
+#include "obs/metrics.hpp"
+
+namespace soda::core {
+
+class BatchDecisionKernel {
+ public:
+  // Cache-blocked batch size: index scratch for one block (2 x 64 ints)
+  // stays in registers/L1 while the boundary array (<= 1 KB) stays hot.
+  static constexpr std::size_t kBlockSessions = 64;
+  // Doubles checked on each side of every searched throughput boundary.
+  static constexpr int kBoundaryVerifyWindow = 512;
+
+  // Exact-table kernel. `max_buffer_s` is the cost model's buffer capacity
+  // (same parameter LookupDecision takes; the table axis does not pin it).
+  BatchDecisionKernel(DecisionTablePtr table, TableLookup lookup,
+                      double max_buffer_s);
+  // Quantized-table kernel; fp32 axis parameters are widened to double
+  // once, exactly like the scalar quantized LookupDecision.
+  BatchDecisionKernel(QuantizedTablePtr table, TableLookup lookup);
+
+  // Fills rungs[i] with the decision for (buffer_s[i], forecast_mbps[i],
+  // prev_rung[i]). All spans must have equal size; prev_rung values are in
+  // [-1, rung_count). Bit-identical to calling the scalar LookupDecision
+  // per element. Increments core.batch.lookups by size() and
+  // core.batch.clamped by the number of elements outside the table's
+  // native domain (buffer outside [0, max buffer], forecast outside
+  // [min_mbps, max_mbps], or NaN).
+  void LookupBatch(std::span<const double> buffer_s,
+                   std::span<const double> forecast_mbps,
+                   std::span<const std::int16_t> prev_rung,
+                   std::span<std::int16_t> rungs) const;
+
+  // Single-element batch (CachedDecisionController's path).
+  [[nodiscard]] media::Rung LookupOne(double buffer_s, double forecast_mbps,
+                                      media::Rung prev_rung) const;
+
+  // True when nearest lookups run the boundary-inversion fast path (always,
+  // unless throughput-boundary verification failed and the kernel fell
+  // back to the scalar formula). Exposed for tests and the bench report.
+  [[nodiscard]] bool UsesBoundaryInversion() const noexcept {
+    return boundary_path_;
+  }
+  [[nodiscard]] int RungCount() const noexcept { return rungs_; }
+
+ private:
+  void BuildBoundaries();
+
+  template <typename CellFn>
+  void RunPath(const double* buffer_s, const double* mbps,
+               const std::int16_t* prev, std::int16_t* out, std::size_t n,
+               const CellFn& cell) const;
+  template <typename CellFn>
+  void NearestBlocks(const double* buffer_s, const double* mbps,
+                     const std::int16_t* prev, std::int16_t* out,
+                     std::size_t n, const CellFn& cell) const;
+  template <typename CellFn>
+  void ScalarFormulaLoop(const double* buffer_s, const double* mbps,
+                         const std::int16_t* prev, std::int16_t* out,
+                         std::size_t n, const CellFn& cell) const;
+  [[nodiscard]] std::uint64_t CountClamped(const double* buffer_s,
+                                           const double* mbps,
+                                           std::size_t n) const noexcept;
+
+  // Exactly one of exact_/quantized_ is set; the shared_ptr keeps the
+  // table's cells alive for the raw pointers below.
+  DecisionTablePtr exact_;
+  QuantizedTablePtr quantized_;
+  TableLookup lookup_;
+
+  // Axis parameters hoisted to double once (for quantized tables this is
+  // the same fp32 -> double widening the scalar path does per call).
+  double max_buffer_s_ = 0.0;
+  double log_min_mbps_ = 0.0;
+  double inv_log_step_ = 0.0;
+  double min_mbps_ = 0.0;  // native domain, for the clamped counter
+  double max_mbps_ = 0.0;
+  int nb_ = 0;
+  int nt_ = 0;
+  int rungs_ = 0;
+
+  // Cell storage raw views (one of the two, matching exact_/quantized_).
+  const std::int16_t* cells16_ = nullptr;
+  const std::uint8_t* words_ = nullptr;
+  unsigned bits_per_cell_ = 0;
+
+  // Sorted throughput boundary array padded with NaN to a power of two:
+  // index(x) = |{k : bounds[k] <= x}|, nt_-1 real entries. (The linear
+  // buffer axis needs no boundary array — its index is direct arithmetic.)
+  std::vector<double> mbps_bounds_;
+  std::size_t mbps_pow2_ = 0;
+  bool boundary_path_ = false;
+
+  obs::Counter lookups_counter_;
+  obs::Counter clamped_counter_;
+};
+
+using BatchKernelPtr = std::shared_ptr<const BatchDecisionKernel>;
+
+// Process-wide keyed kernel cache, mirroring SharedDecisionTable: callers
+// that already identify their table by DecisionTableKey get one kernel per
+// (geometry, lookup, buffer capacity) per process instead of paying the
+// boundary construction per controller/session instance. `table_key` is
+// the exact table's DecisionTableKey; the full cache key also covers the
+// lookup mode, the exact/quantized variant and (for exact tables) the
+// bit pattern of max_buffer_s.
+[[nodiscard]] BatchKernelPtr SharedBatchKernel(const std::string& table_key,
+                                               DecisionTablePtr table,
+                                               TableLookup lookup,
+                                               double max_buffer_s);
+[[nodiscard]] BatchKernelPtr SharedBatchKernel(const std::string& table_key,
+                                               QuantizedTablePtr table,
+                                               TableLookup lookup);
+
+void ClearBatchKernelCacheForTesting();
+[[nodiscard]] std::size_t BatchKernelCacheSize();
+
+}  // namespace soda::core

@@ -71,12 +71,21 @@ void CachedDecisionController::EnsureTable(const abr::Context& context) {
       // table's key identifies the quantized build too.
       quantized_ = SharedQuantizedTable(
           key, [this] { return QuantizeDecisionTable(*table_); });
+      kernel_ = SharedBatchKernel(key, quantized_, config_.lookup);
+    } else {
+      kernel_ = SharedBatchKernel(key, table_, config_.lookup,
+                                  mc.max_buffer_s);
     }
   } else {
     table_ = std::make_shared<const DecisionTable>(build());
     if (config_.quantize) {
       quantized_ = std::make_shared<const QuantizedDecisionTable>(
           QuantizeDecisionTable(*table_));
+      kernel_ = std::make_shared<const BatchDecisionKernel>(quantized_,
+                                                            config_.lookup);
+    } else {
+      kernel_ = std::make_shared<const BatchDecisionKernel>(
+          table_, config_.lookup, mc.max_buffer_s);
     }
   }
 }
@@ -106,12 +115,10 @@ media::Rung CachedDecisionController::TableRung(media::Rung prev_rung, int t,
 
 media::Rung CachedDecisionController::LookupRung(double buffer_s, double mbps,
                                                  media::Rung prev_rung) const {
-  if (config_.quantize) {
-    return LookupDecision(*quantized_, config_.lookup, buffer_s, mbps,
-                          prev_rung);
-  }
-  return LookupDecision(*table_, config_.lookup, buffer_s,
-                        model_->Config().max_buffer_s, mbps, prev_rung);
+  // Single-element batch through the shared kernel; bit-identical to the
+  // scalar LookupDecision on `quantized_`/`table_` (the differential
+  // tests' oracle).
+  return kernel_->LookupOne(buffer_s, mbps, prev_rung);
 }
 
 media::Rung CachedDecisionController::ChooseRung(const abr::Context& context) {

@@ -28,6 +28,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/batch_lookup.hpp"
 #include "core/decision_table.hpp"
 #include "core/quantized_table.hpp"
 #include "core/soda_controller.hpp"
@@ -133,6 +134,11 @@ class CachedDecisionController final : public abr::Controller {
   std::optional<MonotonicSolver> solver_;
   DecisionTablePtr table_;
   QuantizedTablePtr quantized_;
+  // Table lookups run as single-element batches through the shared
+  // BatchDecisionKernel (bit-identical to the scalar LookupDecision, which
+  // tests keep as the oracle), so the controller, the serving daemon and
+  // the fleet simulator all exercise one decision path.
+  BatchKernelPtr kernel_;
   Stats stats_;
   abr::DecisionStats last_stats_;
   // Process-wide grid-hit/fallback counters (aggregated across instances,

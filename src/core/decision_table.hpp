@@ -66,26 +66,54 @@ enum class TableLookup {
 
 namespace detail {
 
+// Index clamps with fully defined behavior on every input. For finite
+// coordinates these are bit-identical to the historical
+// `std::clamp(static_cast<int>(std::lround(f)), 0, n - 1)` /
+// `std::clamp(static_cast<int>(std::floor(f)), 0, n - 2)` expressions
+// (the early-outs fire exactly when the clamp would have saturated), but
+// they additionally define NaN -> 0 and avoid the unspecified
+// `lround`/int-cast results for NaN, ±inf and huge finite values.
+[[nodiscard]] inline int NearestIndex(double f, int n) noexcept {
+  if (std::isnan(f)) return 0;
+  if (f <= 0.0) return 0;
+  if (f >= n - 1.0) return n - 1;
+  return static_cast<int>(std::lround(f));
+}
+
+[[nodiscard]] inline int FloorIndex(double f, int n) noexcept {
+  if (std::isnan(f)) return 0;
+  if (f <= 0.0) return 0;
+  if (f >= n - 2.0) return n - 2;
+  return static_cast<int>(std::floor(f));
+}
+
+// clamp(w, 0, 1) that maps NaN (and -0.0) to +0.0. Identical blend results
+// for finite weights: the only divergence is -0.0 -> +0.0, and ±0.0 weights
+// produce bitwise-equal interpolants (x + ±0.0 == x, 1.0 - ±0.0 == 1.0).
+[[nodiscard]] inline double UnitWeight(double w) noexcept {
+  return w > 0.0 ? (w < 1.0 ? w : 1.0) : 0.0;
+}
+
 // The one lookup routine every table-serving path shares
-// (CachedDecisionController and the serve::DecisionService daemon): given
-// fractional grid coordinates (fb, ft) it resolves a cell via `cell(t, b)`.
-// Centralizing it keeps the controller and the daemon decision-identical by
-// construction.
+// (CachedDecisionController, the serve::DecisionService daemon, and the
+// batched kernel in core/batch_lookup.hpp): given fractional grid
+// coordinates (fb, ft) it resolves a cell via `cell(t, b)`. Centralizing it
+// keeps the controller and the daemon decision-identical by construction.
 template <typename CellFn>
 [[nodiscard]] media::Rung LookupCells(TableLookup lookup, double fb, double ft,
                                       int nb, int nt, int rungs,
                                       const CellFn& cell) noexcept {
   if (lookup == TableLookup::kNearest) {
-    const int b = std::clamp(static_cast<int>(std::lround(fb)), 0, nb - 1);
-    const int t = std::clamp(static_cast<int>(std::lround(ft)), 0, nt - 1);
+    const int b = NearestIndex(fb, nb);
+    const int t = NearestIndex(ft, nt);
     return cell(t, b);
   }
   // Bilinear: interpolate the four surrounding cells' rung indices and
   // round to the nearest rung.
-  const int b0 = std::clamp(static_cast<int>(std::floor(fb)), 0, nb - 2);
-  const int t0 = std::clamp(static_cast<int>(std::floor(ft)), 0, nt - 2);
-  const double wb = std::clamp(fb - b0, 0.0, 1.0);
-  const double wt = std::clamp(ft - t0, 0.0, 1.0);
+  const int b0 = FloorIndex(fb, nb);
+  const int t0 = FloorIndex(ft, nt);
+  const double wb = UnitWeight(fb - b0);
+  const double wt = UnitWeight(ft - t0);
   const double r00 = cell(t0, b0);
   const double r01 = cell(t0, b0 + 1);
   const double r10 = cell(t0 + 1, b0);

@@ -7,6 +7,7 @@
 #include <queue>
 #include <tuple>
 
+#include "core/batch_lookup.hpp"
 #include "core/decision_table.hpp"
 #include "core/quantized_table.hpp"
 #include "core/soda_controller.hpp"
@@ -115,6 +116,10 @@ struct FleetContext {
   std::int64_t ticks = 0;
   core::DecisionTablePtr exact;
   core::QuantizedTablePtr quantized;
+  // Batched lookup kernel over the serving table (quantized if configured,
+  // else exact); immutable and shared across shards. Bit-identical to the
+  // scalar LookupDecision the tick loop used to call per session.
+  core::BatchKernelPtr kernel;
   std::vector<double> rung_utility;   // NormalizedLogUtility per rung
   std::vector<double> rung_megabits;  // segment payload per rung
   double grid_min_mbps = 0.0;
@@ -138,6 +143,12 @@ class ShardRunner {
     // memory when engagement keeps concurrency low.
     arena_.Reserve(shard_users / 2 + 16);
     active_.reserve(shard_users / 2 + 16);
+    const std::size_t batch = shard_users / 2 + 16;
+    batch_buffer_.reserve(batch);
+    batch_mbps_.reserve(batch);
+    batch_prev_.reserve(batch);
+    batch_rung_.reserve(batch);
+    batch_ended_.reserve(batch);
     acc_.regions.resize(ctx_.region_count);
     tick_region_demand_fp_.resize(ctx_.region_count);
     tick_region_live_.resize(ctx_.region_count);
@@ -151,17 +162,8 @@ class ShardRunner {
   void RunOpenLoop() {
     for (std::int64_t tick = 0; tick < ctx_.ticks; ++tick) {
       AdmitArrivals(tick);
-      for (std::size_t i = 0; i < active_.size();) {
-        const Slot s = active_[i];
-        DrawDemand(s);
-        if (CompleteStep(s, tick, /*multiplier=*/1.0)) {
-          arena_.Release(s);
-          active_[i] = active_.back();
-          active_.pop_back();
-        } else {
-          ++i;
-        }
-      }
+      for (const Slot s : active_) DrawDemand(s);
+      StepAllBatched(tick, /*multipliers=*/nullptr);
       SampleLive(tick);
     }
   }
@@ -187,16 +189,7 @@ class ShardRunner {
   // Coupled tick, phase 2: complete every session's step under its
   // region's congestion multiplier.
   void ApplyPhase(std::int64_t tick, const std::vector<double>& multipliers) {
-    for (std::size_t i = 0; i < active_.size();) {
-      const Slot s = active_[i];
-      if (CompleteStep(s, tick, multipliers[arena_.region[s]])) {
-        arena_.Release(s);
-        active_[i] = active_.back();
-        active_.pop_back();
-      } else {
-        ++i;
-      }
-    }
+    StepAllBatched(tick, &multipliers);
     SampleLive(tick);
   }
 
@@ -305,36 +298,81 @@ class ShardRunner {
         std::max(std::exp(arena_.log_mbps[s]), cfg.min_mbps);
   }
 
-  // Step, phase 2: decision, download, buffer/stall accounting, engagement
-  // — everything past the walk, under the region's congestion multiplier.
-  // Returns true when the session ended this tick (already finalized into
-  // the accumulators).
-  bool CompleteStep(Slot s, std::int64_t tick, double multiplier) {
+  // Step, phase 2 over the whole shard: one SoA gather of every live
+  // session's decision inputs, one batched kernel call, then the per-session
+  // completion. The kernel is bit-identical to the scalar LookupDecision the
+  // old per-session loop ran, each session's RNG is consumed in the same
+  // order as before (only FinishStep and DrawDemand touch it), and the
+  // accumulators are order-independent integer sums, so the whole run is
+  // bit-identical to the scalar tick loop at any batch size.
+  void StepAllBatched(std::int64_t tick,
+                      const std::vector<double>* multipliers) {
+    const FleetConfig& cfg = ctx_.config;
+    const std::size_t n = active_.size();
+    batch_buffer_.resize(n);
+    batch_mbps_.resize(n);
+    batch_prev_.resize(n);
+    batch_rung_.resize(n);
+    batch_ended_.assign(n, 0);
+
+    // Gather. The fleet's hot loop never runs the exact solver: off-grid
+    // inputs are clamped into the grid instead (and counted). At population
+    // scale the clamp binds only in deep fades below the grid's min
+    // throughput; the serving daemon keeps the exact-fallback semantics for
+    // parity work.
+    for (std::size_t i = 0; i < n; ++i) {
+      const Slot s = active_[i];
+      // Dual-EMA forecast, bit-identical to EmaPredictor / DecisionService.
+      double w = predict::kDefaultColdStartMbps;
+      if (arena_.ema_fast_w[s] > 0.0 && arena_.ema_slow_w[s] > 0.0) {
+        const double fast = arena_.ema_fast[s] / arena_.ema_fast_w[s];
+        const double slow = arena_.ema_slow[s] / arena_.ema_slow_w[s];
+        w = std::max(std::min(fast, slow), 1e-3);
+      }
+      const double wl = std::clamp(w, ctx_.grid_min_mbps, ctx_.grid_max_mbps);
+      const double bl = std::clamp(arena_.buffer_s[s], 0.0, cfg.max_buffer_s);
+      if (wl != w || bl != arena_.buffer_s[s]) ++acc_.clamped_lookups;
+      batch_buffer_[i] = bl;
+      batch_mbps_[i] = wl;
+      batch_prev_[i] = arena_.prev_rung[s];
+    }
+
+    ctx_.kernel->LookupBatch(batch_buffer_, batch_mbps_, batch_prev_,
+                             batch_rung_);
+    acc_.decisions += n;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const Slot s = active_[i];
+      const double multiplier =
+          multipliers != nullptr ? (*multipliers)[arena_.region[s]] : 1.0;
+      batch_ended_[i] =
+          FinishStep(s, tick, batch_rung_[i], multiplier) ? 1 : 0;
+    }
+
+    // Compact after the batched pass (no mid-iteration swap-remove): keep
+    // the survivors in place, release the rest. Which arena slots end up on
+    // the free list in which order is immaterial — all session state is
+    // per-slot and nothing ever iterates the arena itself.
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (batch_ended_[i] != 0) {
+        arena_.Release(active_[i]);
+      } else {
+        active_[live++] = active_[i];
+      }
+    }
+    active_.resize(live);
+  }
+
+  // Per-session completion: download, buffer/stall accounting, EMA update,
+  // engagement — everything past the (already batched) rung decision, under
+  // the region's congestion multiplier. Returns true when the session ended
+  // this tick (already finalized into the accumulators).
+  bool FinishStep(Slot s, std::int64_t tick, media::Rung rung,
+                  double multiplier) {
     const FleetConfig& cfg = ctx_.config;
     const double dt = cfg.segment_seconds;
-
-    // Dual-EMA forecast, bit-identical to EmaPredictor / DecisionService.
-    double w = predict::kDefaultColdStartMbps;
-    if (arena_.ema_fast_w[s] > 0.0 && arena_.ema_slow_w[s] > 0.0) {
-      const double fast = arena_.ema_fast[s] / arena_.ema_fast_w[s];
-      const double slow = arena_.ema_slow[s] / arena_.ema_slow_w[s];
-      w = std::max(std::min(fast, slow), 1e-3);
-    }
-    // The fleet's hot loop never runs the exact solver: off-grid inputs are
-    // clamped into the grid instead (and counted). At population scale the
-    // clamp binds only in deep fades below the grid's min throughput; the
-    // serving daemon keeps the exact-fallback semantics for parity work.
-    const double wl = std::clamp(w, ctx_.grid_min_mbps, ctx_.grid_max_mbps);
-    const double bl = std::clamp(arena_.buffer_s[s], 0.0, cfg.max_buffer_s);
-    if (wl != w || bl != arena_.buffer_s[s]) ++acc_.clamped_lookups;
     const media::Rung prev = arena_.prev_rung[s];
-    const media::Rung rung =
-        ctx_.quantized
-            ? core::LookupDecision(*ctx_.quantized, cfg.controller.lookup, bl,
-                                   wl, prev)
-            : core::LookupDecision(*ctx_.exact, cfg.controller.lookup, bl,
-                                   cfg.max_buffer_s, wl, prev);
-    ++acc_.decisions;
 
     // The delivered rate is the walk's draw scaled by the region's
     // congestion multiplier (1.0 when uncongested or open-loop — exact, so
@@ -490,6 +528,13 @@ class ShardRunner {
   // per region, re-filled by every DemandPhase.
   std::vector<std::int64_t> tick_region_demand_fp_;
   std::vector<std::uint64_t> tick_region_live_;
+  // SoA decision-batch scratch, re-filled by every StepAllBatched; reserved
+  // in Prepare so the steady state never reallocates.
+  std::vector<double> batch_buffer_;
+  std::vector<double> batch_mbps_;
+  std::vector<std::int16_t> batch_prev_;
+  std::vector<std::int16_t> batch_rung_;
+  std::vector<std::uint8_t> batch_ended_;
 };
 
 void ValidateConfig(const FleetConfig& config) {
@@ -672,12 +717,21 @@ FleetSummary RunFleet(const FleetConfig& config, int threads) {
     if (config.quantized) {
       ctx.quantized = core::SharedQuantizedTable(
           key, [&] { return core::QuantizeDecisionTable(*ctx.exact); });
+      ctx.kernel = core::SharedBatchKernel(key, ctx.quantized, cc.lookup);
+    } else {
+      ctx.kernel = core::SharedBatchKernel(key, ctx.exact, cc.lookup,
+                                           config.max_buffer_s);
     }
   } else {
     ctx.exact = std::make_shared<const core::DecisionTable>(build());
     if (config.quantized) {
       ctx.quantized = std::make_shared<const core::QuantizedDecisionTable>(
           core::QuantizeDecisionTable(*ctx.exact));
+      ctx.kernel = std::make_shared<const core::BatchDecisionKernel>(
+          ctx.quantized, cc.lookup);
+    } else {
+      ctx.kernel = std::make_shared<const core::BatchDecisionKernel>(
+          ctx.exact, cc.lookup, config.max_buffer_s);
     }
   }
   ctx.grid_min_mbps = cc.min_mbps;

@@ -102,6 +102,11 @@ struct DecisionService::TenantState {
   int horizon = 1;
   core::DecisionTablePtr exact;
   core::QuantizedTablePtr quantized;
+  // Batched lookup kernel over the serving table (quantized if configured,
+  // else exact). Bit-identical to the scalar LookupDecision; the shadow
+  // check still runs the scalar exact-table lookup, so the oracle path
+  // stays exercised in production.
+  core::BatchKernelPtr kernel;
   std::vector<std::unique_ptr<Shard>> shards;
 
   // The exact-solver fallback needs a CostModel/MonotonicSolver pair, whose
@@ -223,12 +228,22 @@ TenantId DecisionService::RegisterTenant(const TenantConfig& config) {
       tenant->quantized = core::SharedQuantizedTable(key, [&] {
         return core::QuantizeDecisionTable(*tenant->exact);
       });
+      tenant->kernel = core::SharedBatchKernel(key, tenant->quantized,
+                                               cc.lookup);
+    } else {
+      tenant->kernel = core::SharedBatchKernel(key, tenant->exact, cc.lookup,
+                                               mc.max_buffer_s);
     }
   } else {
     tenant->exact = std::make_shared<const core::DecisionTable>(build());
     if (config.quantized) {
       tenant->quantized = std::make_shared<const core::QuantizedDecisionTable>(
           core::QuantizeDecisionTable(*tenant->exact));
+      tenant->kernel = std::make_shared<const core::BatchDecisionKernel>(
+          tenant->quantized, cc.lookup);
+    } else {
+      tenant->kernel = std::make_shared<const core::BatchDecisionKernel>(
+          tenant->exact, cc.lookup, mc.max_buffer_s);
     }
   }
 
@@ -372,12 +387,17 @@ void DecisionService::IngestBatch(std::span<const SessionEvent> events) {
   for (const SessionEvent& event : events) Ingest(event);
 }
 
-Decision DecisionService::Decide(TenantState& tenant,
-                                 const DecisionRequest& request) {
+// Snapshot + forecast + servable check. Fills d.predicted_mbps and
+// d.from_table; returns whether the table may serve this request (when
+// false the caller routes to SolveFallback).
+bool DecisionService::PrepareDecision(TenantState& tenant,
+                                      const DecisionRequest& request,
+                                      SessionState* snapshot,
+                                      double* forecast_mbps, Decision* d) {
   // Snapshot the session under the shard lock; the decision itself runs
   // lock-free on the copy. An unknown session is served from cold-start
   // state without being created — decisions never mutate the session map.
-  SessionState s;
+  SessionState& s = *snapshot;
   {
     const std::uint64_t id_hash = Fnv1a(request.session_id);
     Shard& shard = *tenant.shards[static_cast<std::size_t>(
@@ -387,6 +407,7 @@ Decision DecisionService::Decide(TenantState& tenant,
     if (it != shard.sessions.end()) {
       s = it->second;
     } else {
+      s = SessionState{};
       s.seed = Mix64(config_.base_seed ^ Mix64(id_hash) ^
                      (static_cast<std::uint64_t>(request.tenant) * kGolden));
     }
@@ -399,9 +420,9 @@ Decision DecisionService::Decide(TenantState& tenant,
     const double slow = s.slow_estimate / s.slow_weight;
     w = std::max(std::min(fast, slow), 1e-3);
   }
+  *forecast_mbps = w;
+  d->predicted_mbps = static_cast<float>(w);
 
-  Decision d;
-  d.predicted_mbps = static_cast<float>(w);
   const auto& cc = tenant.config.controller;
   // The same servable-range check as CachedDecisionController (the EMA
   // forecast is constant, so the constant-prediction tolerance always
@@ -409,41 +430,59 @@ Decision DecisionService::Decide(TenantState& tenant,
   const bool servable = w >= cc.min_mbps && w <= cc.max_mbps &&
                         request.buffer_s >= 0.0 &&
                         request.buffer_s <= tenant.model_config.max_buffer_s;
-  if (!servable) {
-    d.solver_fallback = true;
-    auto ctx = tenant.AcquireFallback();
-    ctx->predictions.assign(static_cast<std::size_t>(tenant.horizon), w);
-    d.rung = core::DecideSoda(ctx->model, ctx->solver, cc.base,
-                              ctx->predictions, request.buffer_s, s.prev_rung,
-                              {});
-    tenant.ReleaseFallback(std::move(ctx));
-    metrics_->fallbacks.Add();
+  d->from_table = servable;
+  d->solver_fallback = !servable;
+  return servable;
+}
+
+void DecisionService::SolveFallback(TenantState& tenant, double buffer_s,
+                                    const SessionState& snapshot,
+                                    double forecast_mbps, Decision* d) {
+  auto ctx = tenant.AcquireFallback();
+  ctx->predictions.assign(static_cast<std::size_t>(tenant.horizon),
+                          forecast_mbps);
+  d->rung = core::DecideSoda(ctx->model, ctx->solver,
+                             tenant.config.controller.base, ctx->predictions,
+                             buffer_s, snapshot.prev_rung, {});
+  tenant.ReleaseFallback(std::move(ctx));
+  metrics_->fallbacks.Add();
+}
+
+// Deterministic shadow sampling for quantized-served decisions: a pure
+// function of (session seed, state version), so the same decisions are
+// checked regardless of batch partitioning or thread count. The reference
+// runs the *scalar* exact-table lookup — the oracle path — so shadow
+// checks also guard the batched kernel in production.
+void DecisionService::ShadowCheck(TenantState& tenant, double buffer_s,
+                                  const SessionState& snapshot,
+                                  double forecast_mbps, Decision* d) {
+  if (shadow_threshold_ == 0 ||
+      (Mix64(snapshot.seed ^ (snapshot.version * kGolden)) >> 32) >=
+          shadow_threshold_) {
+    return;
+  }
+  d->shadow_checked = true;
+  metrics_->shadow_checks.Add();
+  const media::Rung exact = LookupDecision(
+      *tenant.exact, tenant.config.controller.lookup, buffer_s,
+      tenant.model_config.max_buffer_s, forecast_mbps, snapshot.prev_rung);
+  if (exact != d->rung) {
+    d->shadow_mismatch = true;
+    metrics_->shadow_mismatches.Add();
+  }
+}
+
+Decision DecisionService::Decide(TenantState& tenant,
+                                 const DecisionRequest& request) {
+  Decision d;
+  SessionState s;
+  double w = 0.0;
+  if (!PrepareDecision(tenant, request, &s, &w, &d)) {
+    SolveFallback(tenant, request.buffer_s, s, w, &d);
     return d;
   }
-
-  d.from_table = true;
-  if (tenant.quantized) {
-    d.rung = LookupDecision(*tenant.quantized, cc.lookup, request.buffer_s, w,
-                            s.prev_rung);
-    // Deterministic shadow sampling: a pure function of (session seed,
-    // state version), so the same decisions are checked regardless of batch
-    // partitioning or thread count.
-    if (shadow_threshold_ != 0 &&
-        (Mix64(s.seed ^ (s.version * kGolden)) >> 32) < shadow_threshold_) {
-      d.shadow_checked = true;
-      metrics_->shadow_checks.Add();
-      const media::Rung exact =
-          LookupDecision(*tenant.exact, cc.lookup, request.buffer_s,
-                         tenant.model_config.max_buffer_s, w, s.prev_rung);
-      if (exact != d.rung) {
-        d.shadow_mismatch = true;
-        metrics_->shadow_mismatches.Add();
-      }
-    }
-  } else {
-    d.rung = LookupDecision(*tenant.exact, cc.lookup, request.buffer_s,
-                            tenant.model_config.max_buffer_s, w, s.prev_rung);
-  }
+  d.rung = tenant.kernel->LookupOne(request.buffer_s, w, s.prev_rung);
+  if (tenant.quantized) ShadowCheck(tenant, request.buffer_s, s, w, &d);
   metrics_->table_hits.Add();
   return d;
 }
@@ -462,13 +501,66 @@ void DecisionService::DecideBatch(std::span<const DecisionRequest> requests,
     // call) would cost as much as the work. Chunking amortizes it 256x;
     // out[i] depends only on requests[i], so partitioning cannot change
     // results.
+    //
+    // Within a chunk, decisions run in two passes: pass 1 snapshots every
+    // session and routes non-servable requests to the exact-solver
+    // fallback; pass 2 gathers the table-servable requests into SoA
+    // scratch and resolves runs of same-tenant requests through the
+    // tenant's BatchDecisionKernel, then applies the per-element shadow
+    // checks. Each out[i] is still a pure function of requests[i], so the
+    // restructure cannot change results — pinned by the batch-vs-DecideOne
+    // differential tests.
     constexpr std::size_t kChunk = 256;
     const std::size_t n = requests.size();
     const std::size_t chunks = (n + kChunk - 1) / kChunk;
     util::ParallelFor(chunks, threads, [&](int /*worker*/, std::size_t c) {
-      const std::size_t end = std::min((c + 1) * kChunk, n);
-      for (std::size_t i = c * kChunk; i < end; ++i) {
-        out[i] = Decide(Tenant(requests[i].tenant), requests[i]);
+      const std::size_t begin = c * kChunk;
+      const std::size_t end = std::min(begin + kChunk, n);
+      // SoA scratch for the chunk's table-servable requests.
+      double buffer_s[kChunk];
+      double mbps[kChunk];
+      std::int16_t prev[kChunk];
+      std::int16_t rung[kChunk];
+      SessionState snaps[kChunk];
+      std::uint32_t req_index[kChunk];
+      TenantId tenant_ids[kChunk];
+      std::size_t servable = 0;
+
+      for (std::size_t i = begin; i < end; ++i) {
+        TenantState& tenant = Tenant(requests[i].tenant);
+        Decision d;
+        SessionState s;
+        double w = 0.0;
+        if (PrepareDecision(tenant, requests[i], &s, &w, &d)) {
+          buffer_s[servable] = requests[i].buffer_s;
+          mbps[servable] = w;
+          prev[servable] = static_cast<std::int16_t>(s.prev_rung);
+          snaps[servable] = s;
+          req_index[servable] = static_cast<std::uint32_t>(i);
+          tenant_ids[servable] = requests[i].tenant;
+          ++servable;
+        } else {
+          SolveFallback(tenant, requests[i].buffer_s, s, w, &d);
+        }
+        out[i] = d;
+      }
+
+      std::size_t j = 0;
+      while (j < servable) {
+        std::size_t k = j + 1;
+        while (k < servable && tenant_ids[k] == tenant_ids[j]) ++k;
+        TenantState& tenant = Tenant(tenant_ids[j]);
+        tenant.kernel->LookupBatch({buffer_s + j, k - j}, {mbps + j, k - j},
+                                   {prev + j, k - j}, {rung + j, k - j});
+        for (std::size_t r = j; r < k; ++r) {
+          Decision& d = out[req_index[r]];
+          d.rung = rung[r];
+          if (tenant.quantized) {
+            ShadowCheck(tenant, buffer_s[r], snaps[r], mbps[r], &d);
+          }
+        }
+        metrics_->table_hits.Add(k - j);
+        j = k;
       }
     });
   }

@@ -199,6 +199,21 @@ class DecisionService {
   [[nodiscard]] TenantState& Tenant(TenantId id) const;
   [[nodiscard]] Decision Decide(TenantState& tenant,
                                 const DecisionRequest& request);
+  // Shared pieces of the scalar and batched decision paths: snapshot +
+  // forecast + servable check (returns whether the table may serve),
+  // the exact-solver fallback, and the deterministic quantized-vs-exact
+  // shadow check. Factored so DecideBatch can run the table lookups
+  // through the tenant's BatchDecisionKernel in SoA batches while keeping
+  // every per-request result bit-identical to Decide().
+  bool PrepareDecision(TenantState& tenant, const DecisionRequest& request,
+                       SessionState* snapshot, double* forecast_mbps,
+                       Decision* d);
+  void SolveFallback(TenantState& tenant, double buffer_s,
+                     const SessionState& snapshot, double forecast_mbps,
+                     Decision* d);
+  void ShadowCheck(TenantState& tenant, double buffer_s,
+                   const SessionState& snapshot, double forecast_mbps,
+                   Decision* d);
   // Erases sessions idle past `deadline` from a shard (caller holds its
   // mutex); returns how many were evicted.
   static std::size_t SweepLocked(Shard& shard, double deadline);

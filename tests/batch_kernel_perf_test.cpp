@@ -1,0 +1,107 @@
+// Batched decision-kernel regression pin (run via `ctest -L perf`).
+//
+// The correctness half — the batched kernel bit-identical to the scalar
+// LookupDecision loop over a large deterministic input set — runs in every
+// build type, including sanitizers. The timing half is compiled in only
+// for Release (SODA_PERF_ASSERT) and pins the tentpole's floor: the
+// batched kernel, min-of-reps, must never be slower than the scalar loop
+// it replaced (the measured advantage is ~1.3-1.6x; the pin is 1.0x so a
+// noisy box cannot flake while a real regression — e.g. losing the
+// boundary fast path on the default geometry — still trips it).
+#include "core/batch_lookup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "core/cached_controller.hpp"
+#include "core/decision_table.hpp"
+#include "core/quantized_table.hpp"
+#include "media/bitrate_ladder.hpp"
+#include "util/rng.hpp"
+
+namespace soda::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kMaxBuffer = 20.0;
+
+TEST(BatchKernelPerf, BatchedNeverSlowerThanScalarAndBitIdentical) {
+  const media::BitrateLadder ladder = media::YoutubeHfr4kLadder();
+  CachedControllerConfig cc;
+  CostModelConfig mc;
+  mc.weights = cc.base.weights;
+  mc.dt_s = 2.0;
+  mc.max_buffer_s = kMaxBuffer;
+  mc.target_buffer_s =
+      cc.base.target_buffer_s.value_or(cc.base.target_fraction * kMaxBuffer);
+  mc.distortion = cc.base.distortion;
+  SolverConfig sc;
+  sc.hard_buffer_constraints = cc.base.hard_buffer_constraints;
+  sc.tail_intervals = cc.base.tail_intervals;
+  const CostModel model(ladder, mc);
+  const MonotonicSolver solver(model, sc);
+  const auto exact = std::make_shared<const DecisionTable>(BuildDecisionTable(
+      model, solver, cc.base, cc.buffer_points, cc.throughput_points,
+      cc.min_mbps, cc.max_mbps));
+  const auto quantized = std::make_shared<const QuantizedDecisionTable>(
+      QuantizeDecisionTable(*exact));
+  const BatchDecisionKernel kernel(quantized, cc.lookup);
+  ASSERT_TRUE(kernel.UsesBoundaryInversion())
+      << "boundary fast path failed to verify on the default geometry";
+
+  const int n = 65536;
+  std::vector<double> buffer(n);
+  std::vector<double> mbps(n);
+  std::vector<std::int16_t> prev(n);
+  std::vector<std::int16_t> scalar(n);
+  std::vector<std::int16_t> batched(n);
+  Rng rng(20240804);
+  const double log_span = std::log(cc.max_mbps / cc.min_mbps);
+  for (int i = 0; i < n; ++i) {
+    buffer[i] = kMaxBuffer * rng.NextDouble();
+    mbps[i] = cc.min_mbps * std::exp(log_span * rng.NextDouble());
+    prev[i] = static_cast<std::int16_t>(
+        static_cast<int>(rng.NextDouble() *
+                         static_cast<double>(ladder.Count() + 1)) -
+        1);
+  }
+
+  const int reps = 7;
+  double scalar_ns = 0.0;
+  double batched_ns = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = Clock::now();
+    for (int i = 0; i < n; ++i) {
+      scalar[i] = static_cast<std::int16_t>(
+          LookupDecision(*quantized, cc.lookup, buffer[i], mbps[i], prev[i]));
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+    if (rep == 0 || ns < scalar_ns) scalar_ns = ns;
+
+    start = Clock::now();
+    kernel.LookupBatch(buffer, mbps, prev, batched);
+    const double bns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+    if (rep == 0 || bns < batched_ns) batched_ns = bns;
+  }
+
+  EXPECT_EQ(scalar, batched)
+      << "batched kernel diverged from the scalar oracle";
+
+#ifdef SODA_PERF_ASSERT
+  EXPECT_LE(batched_ns, scalar_ns)
+      << "batched kernel slower than the scalar loop it replaced: "
+      << batched_ns / n << " vs " << scalar_ns / n << " ns/lookup";
+#else
+  (void)scalar_ns;
+  (void)batched_ns;
+#endif
+}
+
+}  // namespace
+}  // namespace soda::core

@@ -1,0 +1,313 @@
+// BatchDecisionKernel differential tests: the batched SoA lookup path must
+// be bit-identical to the scalar LookupDecision oracle on every input —
+// finite, boundary-adjacent, NaN and ±inf — for exact and quantized
+// tables, nearest and bilinear lookups, any batch size, any thread count.
+// Also pins the hardened index-clamp semantics (NaN -> cell 0, ±inf
+// saturate), the core.batch.* counter accounting, and the shared kernel
+// cache.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/batch_lookup.hpp"
+#include "core/cached_controller.hpp"
+#include "core/decision_table.hpp"
+#include "core/quantized_table.hpp"
+#include "media/quality.hpp"
+#include "obs/metrics.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace soda::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// One scalar-oracle call, matching the kernel's table variant.
+media::Rung ScalarOracle(const DecisionTable* exact,
+                         const QuantizedDecisionTable* quantized,
+                         TableLookup lookup, double max_buffer_s,
+                         double buffer_s, double mbps, media::Rung prev) {
+  if (quantized != nullptr) {
+    return LookupDecision(*quantized, lookup, buffer_s, mbps, prev);
+  }
+  return LookupDecision(*exact, lookup, buffer_s, max_buffer_s, mbps, prev);
+}
+
+class BatchLookupTest : public ::testing::Test {
+ protected:
+  static constexpr double kMaxBuffer = 20.0;
+
+  void SetUp() override {
+    fx_.SetThroughput(10.0);
+    (void)controller_.ChooseRung(fx_.Make(10.0, 2));
+    ASSERT_NE(controller_.Table(), nullptr);
+    exact_ = controller_.Table();
+    quantized_ = std::make_shared<const QuantizedDecisionTable>(
+        QuantizeDecisionTable(*exact_));
+  }
+
+  // The four kernel variants under test.
+  struct Variant {
+    const char* name;
+    std::unique_ptr<BatchDecisionKernel> kernel;
+    const DecisionTable* exact = nullptr;
+    const QuantizedDecisionTable* quantized = nullptr;
+    TableLookup lookup = TableLookup::kNearest;
+  };
+
+  std::vector<Variant> MakeVariants() const {
+    std::vector<Variant> variants;
+    for (const TableLookup lookup :
+         {TableLookup::kNearest, TableLookup::kBilinear}) {
+      Variant exact;
+      exact.name = lookup == TableLookup::kNearest ? "exact/nearest"
+                                                   : "exact/bilinear";
+      exact.kernel =
+          std::make_unique<BatchDecisionKernel>(exact_, lookup, kMaxBuffer);
+      exact.exact = exact_.get();
+      exact.lookup = lookup;
+      variants.push_back(std::move(exact));
+
+      Variant quant;
+      quant.name = lookup == TableLookup::kNearest ? "quantized/nearest"
+                                                   : "quantized/bilinear";
+      quant.kernel = std::make_unique<BatchDecisionKernel>(quantized_, lookup);
+      quant.quantized = quantized_.get();
+      quant.lookup = lookup;
+      variants.push_back(std::move(quant));
+    }
+    return variants;
+  }
+
+  // Asserts batched == scalar for `inputs`, sliced into batches of
+  // `batch_size`.
+  void ExpectBatchedMatchesScalar(const Variant& v,
+                                  const std::vector<double>& buffers,
+                                  const std::vector<double>& mbps,
+                                  const std::vector<std::int16_t>& prev,
+                                  std::size_t batch_size) {
+    const std::size_t n = buffers.size();
+    std::vector<std::int16_t> out(n, -99);
+    for (std::size_t start = 0; start < n; start += batch_size) {
+      const std::size_t m = std::min(batch_size, n - start);
+      v.kernel->LookupBatch({buffers.data() + start, m},
+                            {mbps.data() + start, m},
+                            {prev.data() + start, m}, {out.data() + start, m});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const media::Rung want =
+          ScalarOracle(v.exact, v.quantized, v.lookup, kMaxBuffer, buffers[i],
+                       mbps[i], prev[i]);
+      ASSERT_EQ(out[i], want)
+          << v.name << " batch=" << batch_size << " i=" << i
+          << " buffer=" << buffers[i] << " mbps=" << mbps[i]
+          << " prev=" << prev[i];
+    }
+  }
+
+  soda::testing::ContextFixture fx_{media::YoutubeHfr4kLadder(), 2.0,
+                                    kMaxBuffer};
+  CachedDecisionController controller_;
+  DecisionTablePtr exact_;
+  QuantizedTablePtr quantized_;
+};
+
+TEST_F(BatchLookupTest, NearestKernelsUseTheBoundaryFastPath) {
+  for (const auto& v : MakeVariants()) {
+    if (v.lookup == TableLookup::kNearest) {
+      // The fast path is an optimization with a correctness fallback; this
+      // pins that on the default geometry it actually engages.
+      EXPECT_TRUE(v.kernel->UsesBoundaryInversion()) << v.name;
+    } else {
+      EXPECT_FALSE(v.kernel->UsesBoundaryInversion()) << v.name;
+    }
+  }
+}
+
+TEST_F(BatchLookupTest, FuzzedEquivalenceAcrossSeedsAndBatchSizes) {
+  const int rungs = exact_->rung_count;
+  const auto variants = MakeVariants();
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    soda::Rng rng(seed * 7919);
+    const std::size_t n = 403;  // not a multiple of any batch size
+    std::vector<double> buffers(n);
+    std::vector<double> mbps(n);
+    std::vector<std::int16_t> prev(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Buffers beyond [0, max] and throughputs beyond the grid range are
+      // deliberate: clamping must match the oracle too.
+      buffers[i] = -5.0 + 30.0 * rng.NextDouble();
+      mbps[i] = 0.01 * std::exp(std::log(1e5) * rng.NextDouble());
+      prev[i] = static_cast<std::int16_t>(
+          static_cast<int>(rng.NextDouble() * (rungs + 1)) - 1);
+    }
+    for (const auto& v : variants) {
+      for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                      std::size_t{64}, std::size_t{403}}) {
+        ExpectBatchedMatchesScalar(v, buffers, mbps, prev, batch);
+      }
+    }
+  }
+}
+
+TEST_F(BatchLookupTest, BoundaryAdjacentInputsMatchTheOracle) {
+  // Inputs packed around every grid point: the exact axis values and their
+  // neighboring representable doubles, where nearest-index rounding flips.
+  std::vector<double> buffers;
+  std::vector<double> mbps;
+  for (const double b : exact_->buffer_axis) {
+    for (int step = -2; step <= 2; ++step) {
+      double x = b;
+      for (int s = 0; s < std::abs(step); ++s) {
+        x = std::nextafter(x, step < 0 ? -kInf : kInf);
+      }
+      buffers.push_back(x);
+    }
+  }
+  for (const double t : exact_->throughput_axis) {
+    for (int step = -2; step <= 2; ++step) {
+      double x = t;
+      for (int s = 0; s < std::abs(step); ++s) {
+        x = std::nextafter(x, step < 0 ? 0.0 : kInf);
+      }
+      mbps.push_back(x);
+    }
+  }
+  // Midpoints between adjacent buffer grid points sit exactly on the
+  // nearest-rounding boundary.
+  for (std::size_t i = 1; i < exact_->buffer_axis.size(); ++i) {
+    buffers.push_back(0.5 *
+                      (exact_->buffer_axis[i - 1] + exact_->buffer_axis[i]));
+  }
+  while (mbps.size() < buffers.size()) mbps.push_back(10.0);
+  while (buffers.size() < mbps.size()) buffers.push_back(10.0);
+  const std::vector<std::int16_t> prev(buffers.size(), 2);
+  for (const auto& v : MakeVariants()) {
+    ExpectBatchedMatchesScalar(v, buffers, mbps, prev, 64);
+  }
+}
+
+TEST_F(BatchLookupTest, NonFiniteAndOutOfRangeInputsAreDefined) {
+  const std::vector<double> buffers = {kNaN, kInf,  -kInf, -3.0, 1e300,
+                                       0.0,  -0.0,  kMaxBuffer, 5.0, kNaN};
+  const std::vector<double> mbps = {10.0, 10.0, 10.0, 10.0, 10.0,
+                                    kNaN, kInf, -kInf, -2.0, kNaN};
+  const std::vector<std::int16_t> prev(buffers.size(), 3);
+  for (const auto& v : MakeVariants()) {
+    ExpectBatchedMatchesScalar(v, buffers, mbps, prev, 3);
+  }
+  // Pin the hardened semantics themselves (not just agreement): NaN and
+  // -inf resolve to the low edge, +inf to the high edge.
+  const auto& table = *exact_;
+  const int nb = static_cast<int>(table.buffer_axis.size());
+  const int nt = static_cast<int>(table.throughput_axis.size());
+  EXPECT_EQ(LookupDecision(table, TableLookup::kNearest, kNaN, kMaxBuffer,
+                           kNaN, 3),
+            table.Cell(3, 0, 0));
+  EXPECT_EQ(LookupDecision(table, TableLookup::kNearest, kInf, kMaxBuffer,
+                           kInf, 3),
+            table.Cell(3, nt - 1, nb - 1));
+  EXPECT_EQ(LookupDecision(table, TableLookup::kNearest, -kInf, kMaxBuffer,
+                           0.0, 3),
+            table.Cell(3, 0, 0));
+}
+
+TEST_F(BatchLookupTest, LookupOneMatchesScalarAndBatch) {
+  const auto variants = MakeVariants();
+  soda::Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const double buffer = -2.0 + 25.0 * rng.NextDouble();
+    const double mbps = 0.05 * std::exp(std::log(1e4) * rng.NextDouble());
+    const media::Rung prev = static_cast<media::Rung>(
+        static_cast<int>(rng.NextDouble() * (exact_->rung_count + 1)) - 1);
+    for (const auto& v : variants) {
+      EXPECT_EQ(v.kernel->LookupOne(buffer, mbps, prev),
+                ScalarOracle(v.exact, v.quantized, v.lookup, kMaxBuffer,
+                             buffer, mbps, prev));
+    }
+  }
+}
+
+TEST_F(BatchLookupTest, IdenticalOutputAtAnyThreadCount) {
+  // One shared kernel, many threads, disjoint output ranges: results must
+  // be bit-identical to the single-threaded pass at every thread count.
+  const BatchDecisionKernel kernel(exact_, TableLookup::kNearest, kMaxBuffer);
+  const std::size_t n = 4096;
+  std::vector<double> buffers(n);
+  std::vector<double> mbps(n);
+  std::vector<std::int16_t> prev(n);
+  soda::Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    buffers[i] = 22.0 * rng.NextDouble() - 1.0;
+    mbps[i] = 0.1 * std::exp(std::log(3000.0) * rng.NextDouble());
+    prev[i] = static_cast<std::int16_t>(i % (exact_->rung_count + 1)) - 1;
+  }
+  std::vector<std::int16_t> reference(n);
+  kernel.LookupBatch(buffers, mbps, prev, reference);
+  constexpr std::size_t kChunk = 128;
+  const std::size_t chunks = n / kChunk;
+  for (const int threads : {1, 2, 4, 8}) {
+    std::vector<std::int16_t> out(n, -99);
+    util::ParallelFor(chunks, threads, [&](unsigned, std::size_t c) {
+      const std::size_t start = c * kChunk;
+      kernel.LookupBatch({buffers.data() + start, kChunk},
+                         {mbps.data() + start, kChunk},
+                         {prev.data() + start, kChunk},
+                         {out.data() + start, kChunk});
+    });
+    EXPECT_EQ(out, reference) << "threads=" << threads;
+  }
+}
+
+TEST_F(BatchLookupTest, CountersAccountLookupsAndClamped) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const BatchDecisionKernel kernel(exact_, TableLookup::kNearest, kMaxBuffer);
+  // 3 in-domain, 3 clamped (buffer above max; mbps below grid; NaN).
+  const std::vector<double> buffers = {1.0, 10.0, kMaxBuffer, 25.0, 5.0, kNaN};
+  const std::vector<double> mbps = {1.0, 10.0, 100.0, 10.0, 0.01, 10.0};
+  const std::vector<std::int16_t> prev(buffers.size(), 0);
+  std::vector<std::int16_t> out(buffers.size());
+  const auto before = registry.Snapshot();
+  kernel.LookupBatch(buffers, mbps, prev, out);
+  const auto after = registry.Snapshot();
+  const auto delta = [&](const char* name) {
+    const auto b = before.counters.find(name);
+    const auto a = after.counters.find(name);
+    const std::uint64_t bv = b == before.counters.end() ? 0 : b->second;
+    return (a == after.counters.end() ? 0 : a->second) - bv;
+  };
+  EXPECT_EQ(delta("core.batch.lookups"), 6u);
+  EXPECT_EQ(delta("core.batch.clamped"), 3u);
+}
+
+TEST_F(BatchLookupTest, SharedKernelCacheReturnsOneKernelPerGeometry) {
+  ClearBatchKernelCacheForTesting();
+  const std::string key = "test-geometry-key";
+  const auto a =
+      SharedBatchKernel(key, exact_, TableLookup::kNearest, kMaxBuffer);
+  const auto b =
+      SharedBatchKernel(key, exact_, TableLookup::kNearest, kMaxBuffer);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(BatchKernelCacheSize(), 1u);
+  // Different lookup mode, buffer capacity, or variant -> distinct kernels.
+  const auto c =
+      SharedBatchKernel(key, exact_, TableLookup::kBilinear, kMaxBuffer);
+  const auto d =
+      SharedBatchKernel(key, exact_, TableLookup::kNearest, kMaxBuffer + 1.0);
+  const auto e = SharedBatchKernel(key, quantized_, TableLookup::kNearest);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_NE(a.get(), d.get());
+  EXPECT_NE(a.get(), e.get());
+  EXPECT_EQ(BatchKernelCacheSize(), 4u);
+  ClearBatchKernelCacheForTesting();
+}
+
+}  // namespace
+}  // namespace soda::core

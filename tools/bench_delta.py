@@ -5,14 +5,18 @@ Usage: tools/bench_delta.py BASELINE CANDIDATE
 
 Prints the sessions/sec delta per controller and thread count, the QoE
 deltas, the serving-throughput block (DecisionService decisions/sec,
-batch latency, quantized memory cut and QoE delta), and the candidate's
+batch latency, quantized memory cut and QoE delta), the candidate's
 shared-link scaling, fairness-workload, fleet-scaling and fleet
-regional-capacity tables (if present; older baselines without these
-blocks are fine). Always
-exits 0: timing on shared CI runners is too noisy to gate on, so this is
-an eyeballing aid, not a check. Structural fields (QoE) should match the
-baseline bit-for-bit when the corpus seed is unchanged; timing fields are
-machine-dependent.
+regional-capacity tables, and the thread-scaling blocks
+(fleet_thread_scaling with the batched-vs-scalar decision-kernel micro,
+serving_thread_scaling) with parallel-efficiency regression flags.
+Blocks absent from either report are skipped; a block the baseline has
+but the candidate lost is called out with a warning (a silently dropped
+block usually means the bench was truncated or a report section was
+renamed). Always exits 0: timing on shared CI runners is too noisy to
+gate on, so this is an eyeballing aid, not a check. Structural fields
+(QoE, bitwise-identity flags) should match the baseline bit-for-bit when
+the corpus seed is unchanged; timing fields are machine-dependent.
 """
 
 import json
@@ -46,6 +50,61 @@ def qoe_map(report):
     }
 
 
+# Top-level report blocks a candidate is expected to carry forward once a
+# baseline has them. Used for the missing-block warning only, never to gate.
+KNOWN_BLOCKS = (
+    "controllers",
+    "serving_throughput",
+    "serving_thread_scaling",
+    "shared_link_scaling",
+    "fairness_scaling",
+    "fleet_scaling",
+    "fleet_thread_scaling",
+    "fleet_region_capacity",
+)
+
+
+def warn_missing_blocks(baseline, candidate):
+    missing = [name for name in KNOWN_BLOCKS
+               if baseline.get(name) and not candidate.get(name)]
+    for name in missing:
+        print(f"WARNING: baseline has a '{name}' block the candidate lacks "
+              "(truncated bench run or renamed section?)")
+
+
+def thread_scaling_table(name, candidate_block, baseline_block, intro):
+    """Shared printer for fleet/serving thread-scaling blocks."""
+    print(f"\n{name} ({intro}):")
+    base_points = {
+        point["threads"]: point
+        for point in (baseline_block or {}).get("threads", [])
+    }
+    hw = candidate_block.get("hardware_threads")
+    if hw:
+        print(f"  hardware_threads={hw} (efficiency beyond {hw} threads is "
+              "oversubscription, not regression)")
+    print("  threads   decisions/sec   vs baseline   efficiency   identical")
+    for point in candidate_block.get("threads", []):
+        base = base_points.get(point["threads"])
+        if base and base.get("decisions_per_sec"):
+            delta = 100.0 * (point["decisions_per_sec"] /
+                             base["decisions_per_sec"] - 1.0)
+            delta_text = f"{delta:+10.1f}%"
+        else:
+            delta_text = "       n/a"
+        eff = point.get("parallel_efficiency", 0.0)
+        eff_marker = ""
+        base_eff = (base or {}).get("parallel_efficiency")
+        # Report-only flag: efficiency visibly below the baseline's at the
+        # same thread count (beyond timing noise) is worth a look.
+        if base_eff and eff < 0.8 * base_eff:
+            eff_marker = "  *** EFFICIENCY REGRESSED ***"
+        ident = point.get("identical_output")
+        ident_marker = "" if ident else "  *** NOT BIT-IDENTICAL ***"
+        print(f"  {point['threads']:7d}  {point['decisions_per_sec']:14.0f}  "
+              f"{delta_text}  {eff:10.2f}  {ident}{ident_marker}{eff_marker}")
+
+
 def main():
     if len(sys.argv) != 3:
         print(__doc__.strip())
@@ -54,6 +113,7 @@ def main():
     candidate = load(sys.argv[2])
     if baseline is None or candidate is None:
         return 0
+    warn_missing_blocks(baseline, candidate)
 
     print(f"baseline:  {sys.argv[1]} "
           f"(sessions={baseline.get('sessions')}, quick={baseline.get('quick')})")
@@ -111,6 +171,15 @@ def main():
             delta = 100.0 * (serving["decisions_per_sec"] /
                              base_serving["decisions_per_sec"] - 1.0)
             print(f"  decisions/sec delta: {delta:+.1f}%")
+
+    serving_threads = candidate.get("serving_thread_scaling")
+    if serving_threads:
+        thread_scaling_table(
+            "serving thread scaling",
+            serving_threads,
+            baseline.get("serving_thread_scaling"),
+            "DecisionService::DecideBatch; identical must be true at every "
+            "thread count, efficiency is report-only")
 
     scaling = candidate.get("shared_link_scaling")
     if scaling:
@@ -184,6 +253,41 @@ def main():
             ident_marker = "" if ident else "  *** NOT BIT-IDENTICAL ***"
             print(f"  {point['threads']:7d}  {point['decisions_per_sec']:14.0f}  "
                   f"{delta_text}  {ident}{ident_marker}")
+
+    fleet_threads = candidate.get("fleet_thread_scaling")
+    if fleet_threads:
+        micro = fleet_threads.get("kernel_micro")
+        if micro:
+            speedup = micro.get("speedup", 0.0)
+            base_micro = (baseline.get("fleet_thread_scaling") or
+                          {}).get("kernel_micro") or {}
+            base_speedup = base_micro.get("speedup")
+            speedup_marker = ""
+            # The PR's floor: the batched kernel should beat the scalar
+            # loop by >= 1.3x on the fleet's default geometry.
+            if speedup < 1.3:
+                speedup_marker = "  *** BELOW 1.3x TARGET ***"
+            ident_marker = ("" if micro.get("bitwise_identical")
+                            else "  *** NOT BIT-IDENTICAL ***")
+            print("\ndecision-kernel micro (batched vs scalar lookup, "
+                  "min-of-reps):")
+            print(f"  speedup x{speedup:.2f} "
+                  f"(baseline "
+                  f"{'n/a' if base_speedup is None else f'x{base_speedup:.2f}'})"
+                  f"{speedup_marker}")
+            print(f"  scalar {micro.get('scalar_ns_per_lookup', 0.0):.1f} "
+                  f"ns/lookup, batched "
+                  f"{micro.get('batched_ns_per_lookup', 0.0):.1f} ns/lookup "
+                  f"over {micro.get('inputs')} inputs")
+            print(f"  bitwise_identical {micro.get('bitwise_identical')}"
+                  f"{ident_marker}  boundary_inversion "
+                  f"{micro.get('boundary_inversion')}")
+        thread_scaling_table(
+            "fleet thread scaling",
+            fleet_threads,
+            baseline.get("fleet_thread_scaling"),
+            "fleet::RunFleet batched tick loop; identical must be true at "
+            "every thread count, efficiency is report-only")
 
     region = candidate.get("fleet_region_capacity")
     if region:

@@ -1,13 +1,18 @@
-// Minimal command-line flag parsing shared by the CLI tools.
-// Supports "--flag value" and boolean "--flag"; unknown flags are errors.
+// Minimal command-line flag parsing shared by the CLI tools, plus the
+// --json / --metrics export plumbing every loadgen repeats. Supports
+// "--flag value" and boolean "--flag"; unknown flags are errors.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/ensure.hpp"
+#include "util/json_writer.hpp"
 
 namespace soda::tools {
 
@@ -52,5 +57,36 @@ class CliArgs {
  private:
   std::map<std::string, std::string> values_;
 };
+
+// If `--json PATH` was passed, streams one JSON object to PATH whose body
+// is produced by `fill(json)`; BeginObject/EndObject and the trailing
+// newline are handled here. No-op when the flag is absent.
+template <typename Fill>
+void WriteJsonIfRequested(const CliArgs& args, const Fill& fill) {
+  if (!args.Has("json")) return;
+  std::ofstream out(args.Get("json", ""));
+  SODA_ENSURE(out.good(), "cannot open --json output file");
+  util::JsonWriter json(out);
+  json.BeginObject();
+  fill(json);
+  json.EndObject();
+  out << '\n';
+}
+
+// If `--metrics PATH` was passed, dumps the full process metrics registry
+// snapshot (the CI artifact) to PATH. No-op when the flag is absent.
+inline void DumpMetricsIfRequested(const CliArgs& args) {
+  if (!args.Has("metrics")) return;
+  std::ofstream out(args.Get("metrics", ""));
+  SODA_ENSURE(out.good(), "cannot open --metrics output file");
+  obs::MetricsRegistry::Global().WriteJson(out);
+}
+
+// Counter lookup over a metrics snapshot; absent counters read 0.
+[[nodiscard]] inline std::uint64_t SnapshotCounter(
+    const obs::MetricsSnapshot& snapshot, const std::string& name) {
+  const auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
 
 }  // namespace soda::tools

@@ -16,18 +16,18 @@
 // --fleet-regions N turns on closed-loop capacity coupling: users map to N
 // regional pools of --region-mbps Mbps each (optionally modulated by
 // --region-diurnal amplitude), which congest as the fleet grows; 0
-// (default) is the open-loop fleet. --json writes a machine-readable
-// summary; --metrics dumps the full "fleet.*" metrics registry snapshot
-// (the CI artifact).
+// (default) is the open-loop fleet. With --threads > 1 the tool also runs
+// a timed single-thread reference (reusing the --check-threads 1 rerun
+// when that is requested) and prints the decisions/sec scaling line:
+// speedup and parallel efficiency vs one thread. --json writes a
+// machine-readable summary; --metrics dumps the full "fleet.*" metrics
+// registry snapshot (the CI artifact).
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 
 #include "fleet/fleet.hpp"
-#include "obs/metrics.hpp"
 #include "tools/cli_args.hpp"
-#include "util/ensure.hpp"
 #include "util/json_writer.hpp"
 
 namespace {
@@ -72,9 +72,36 @@ int main(int argc, char** argv) {
       wall_s > 0.0 ? static_cast<double>(summary.decisions) / wall_s : 0.0;
 
   bool identical = true;
+  double check_rate = 0.0;
   if (check_threads > 0) {
+    const auto check_start = std::chrono::steady_clock::now();
     const fleet::FleetSummary check = fleet::RunFleet(config, check_threads);
+    const double check_wall_s =
+        Seconds(check_start, std::chrono::steady_clock::now());
     identical = check == summary;
+    check_rate = check_wall_s > 0.0
+                     ? static_cast<double>(check.decisions) / check_wall_s
+                     : 0.0;
+  }
+
+  // Thread-scaling report: with --threads > 1 the single-thread rate comes
+  // from the --check-threads 1 rerun when available, otherwise from a
+  // dedicated reference run (results are bitwise identical either way —
+  // the fleet determinism contract — so only the timing differs).
+  double single_rate = 0.0;
+  if (threads > 1) {
+    if (check_threads == 1) {
+      single_rate = check_rate;
+    } else {
+      const auto ref_start = std::chrono::steady_clock::now();
+      const fleet::FleetSummary ref = fleet::RunFleet(config, 1);
+      const double ref_wall_s =
+          Seconds(ref_start, std::chrono::steady_clock::now());
+      identical = identical && ref == summary;
+      single_rate = ref_wall_s > 0.0
+                        ? static_cast<double>(ref.decisions) / ref_wall_s
+                        : 0.0;
+    }
   }
 
   std::printf(
@@ -106,15 +133,21 @@ int main(int argc, char** argv) {
         static_cast<long long>(summary.ticks));
   }
   if (check_threads > 0) {
-    std::printf("      threads %d vs %d bitwise identical: %s\n", threads,
-                check_threads, identical ? "yes" : "NO");
+    std::printf("      threads %d vs %d bitwise identical: %s (%.0f vs %.0f "
+                "decisions/s)\n",
+                threads, check_threads, identical ? "yes" : "NO",
+                decisions_per_sec, check_rate);
+  }
+  if (threads > 1 && single_rate > 0.0) {
+    const double speedup = decisions_per_sec / single_rate;
+    std::printf(
+        "      scaling: %d threads %.0f decisions/s vs 1 thread %.0f "
+        "(speedup %.2fx, parallel efficiency %.0f%%)\n",
+        threads, decisions_per_sec, single_rate, speedup,
+        100.0 * speedup / static_cast<double>(threads));
   }
 
-  if (args.Has("json")) {
-    std::ofstream out(args.Get("json", ""));
-    SODA_ENSURE(out.good(), "cannot open --json output file");
-    util::JsonWriter json(out);
-    json.BeginObject();
+  tools::WriteJsonIfRequested(args, [&](util::JsonWriter& json) {
     json.Key("users").Int(static_cast<std::int64_t>(summary.users));
     json.Key("ticks").Int(summary.ticks);
     json.Key("threads").Int(threads);
@@ -172,14 +205,17 @@ int main(int argc, char** argv) {
     }
     if (check_threads > 0) {
       json.Key("check_threads").Int(check_threads);
+      json.Key("check_decisions_per_sec").Number(check_rate);
       json.Key("identical").Bool(identical);
     }
-    json.EndObject();
-  }
-  if (args.Has("metrics")) {
-    std::ofstream out(args.Get("metrics", ""));
-    SODA_ENSURE(out.good(), "cannot open --metrics output file");
-    obs::MetricsRegistry::Global().WriteJson(out);
-  }
+    if (threads > 1 && single_rate > 0.0) {
+      json.Key("single_thread_decisions_per_sec").Number(single_rate);
+      json.Key("speedup").Number(decisions_per_sec / single_rate);
+      json.Key("parallel_efficiency")
+          .Number(decisions_per_sec / single_rate /
+                  static_cast<double>(threads));
+    }
+  });
+  tools::DumpMetricsIfRequested(args);
   return identical ? 0 : 1;
 }

@@ -18,7 +18,6 @@
 // "serve.*" metrics registry snapshot (the CI artifact).
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -28,7 +27,6 @@
 #include "obs/metrics.hpp"
 #include "serve/decision_service.hpp"
 #include "tools/cli_args.hpp"
-#include "util/ensure.hpp"
 #include "util/json_writer.hpp"
 #include "util/rng.hpp"
 
@@ -163,9 +161,8 @@ int main(int argc, char** argv) {
       .Set(decisions_per_sec);
 
   const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
-  const auto counter = [&](const char* name) -> std::uint64_t {
-    const auto it = snapshot.counters.find(name);
-    return it == snapshot.counters.end() ? 0 : it->second;
+  const auto counter = [&](const char* name) {
+    return tools::SnapshotCounter(snapshot, name);
   };
   const std::uint64_t shadow_checks = counter("serve.shadow_checks");
   const std::uint64_t shadow_mismatches = counter("serve.shadow_mismatches");
@@ -194,11 +191,7 @@ int main(int argc, char** argv) {
   std::printf("  shadow checks        %llu (mismatch rate %.2g)\n",
               static_cast<unsigned long long>(shadow_checks), mismatch_rate);
 
-  if (args.Has("json")) {
-    std::ofstream out(args.Get("json", ""));
-    SODA_ENSURE(out.good(), "cannot open --json output file");
-    util::JsonWriter json(out);
-    json.BeginObject();
+  tools::WriteJsonIfRequested(args, [&](util::JsonWriter& json) {
     json.Key("table").String(quantized ? "quantized" : "exact");
     json.Key("sessions").Int(static_cast<std::int64_t>(replays.size()));
     json.Key("steps").Int(steps);
@@ -212,13 +205,7 @@ int main(int argc, char** argv) {
     json.Key("shadow_checks").Int(static_cast<std::int64_t>(shadow_checks));
     json.Key("shadow_mismatches").Int(static_cast<std::int64_t>(shadow_mismatches));
     json.Key("shadow_mismatch_rate").Number(mismatch_rate);
-    json.EndObject();
-    out << '\n';
-  }
-  if (args.Has("metrics")) {
-    std::ofstream out(args.Get("metrics", ""));
-    SODA_ENSURE(out.good(), "cannot open --metrics output file");
-    obs::MetricsRegistry::Global().WriteJson(out);
-  }
+  });
+  tools::DumpMetricsIfRequested(args);
   return 0;
 }

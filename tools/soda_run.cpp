@@ -149,13 +149,35 @@ int RunFleetMode(const tools::CliArgs& args) {
   }
   // Timing goes to stderr: stdout stays byte-identical across runs and
   // thread counts (the same determinism check corpus mode documents).
+  const double rate =
+      wall_s > 0.0 ? static_cast<double>(summary.decisions) / wall_s : 0.0;
   std::fprintf(stderr,
                "fleet: %.0f decisions/sec (%llu decisions in %.2fs), "
                "arena %.1f MB\n",
-               wall_s > 0.0 ? static_cast<double>(summary.decisions) / wall_s
-                            : 0.0,
-               static_cast<unsigned long long>(summary.decisions), wall_s,
-               static_cast<double>(summary.arena_bytes) / 1e6);
+               rate, static_cast<unsigned long long>(summary.decisions),
+               wall_s, static_cast<double>(summary.arena_bytes) / 1e6);
+  if (threads > 1) {
+    // Thread-scaling report: rerun at one thread (bitwise-identical
+    // results by the fleet determinism contract; only the timing differs)
+    // and print speedup + parallel efficiency vs that reference.
+    const auto ref_start = std::chrono::steady_clock::now();
+    const fleet::FleetSummary reference = fleet::RunFleet(config, 1);
+    const double ref_wall_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - ref_start)
+                                  .count();
+    const double ref_rate =
+        ref_wall_s > 0.0
+            ? static_cast<double>(reference.decisions) / ref_wall_s
+            : 0.0;
+    const double speedup = ref_rate > 0.0 ? rate / ref_rate : 0.0;
+    std::fprintf(stderr,
+                 "fleet scaling: %d threads %.0f decisions/sec vs 1 thread "
+                 "%.0f (speedup %.2fx, parallel efficiency %.0f%%, bitwise "
+                 "identical: %s)\n",
+                 threads, rate, ref_rate, speedup,
+                 100.0 * speedup / static_cast<double>(threads),
+                 reference == summary ? "yes" : "NO");
+  }
 
   if (args.Has("metrics-out")) {
     const std::filesystem::path file = args.Get("metrics-out", "");
